@@ -1,0 +1,90 @@
+//! Microbenchmarks of the evaluation stack and the RFM baseline: AUROC,
+//! ROC curves, logistic regression fitting, and out-of-fold scoring.
+
+use attrition_eval::{auroc, RocCurve};
+use attrition_rfm::{out_of_fold_scores, LogisticRegression, RfmFeatures, RfmModel};
+use attrition_util::Rng;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn scored_population(n: usize, seed: u64) -> (Vec<bool>, Vec<f64>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let labels: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+    let scores: Vec<f64> = labels
+        .iter()
+        .map(|&l| {
+            if l {
+                rng.normal_with(0.6, 0.3)
+            } else {
+                rng.normal_with(0.4, 0.3)
+            }
+        })
+        .collect();
+    (labels, scores)
+}
+
+fn bench_auroc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auroc");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (labels, scores) = scored_population(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("mann_whitney", n), &n, |b, _| {
+            b.iter(|| black_box(auroc(&labels, &scores)))
+        });
+        group.bench_with_input(BenchmarkId::new("roc_curve", n), &n, |b, _| {
+            b.iter(|| black_box(RocCurve::compute(&labels, &scores)))
+        });
+    }
+    group.finish();
+}
+
+fn rfm_rows(n: usize, seed: u64) -> (Vec<RfmFeatures>, Vec<bool>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let defector = rng.bernoulli(0.5);
+        let shift = if defector { 1.0 } else { 0.0 };
+        features.push(RfmFeatures {
+            recency_days: rng.normal_with(10.0 + 20.0 * shift, 6.0).max(0.0),
+            frequency: rng.normal_with(8.0 - 4.0 * shift, 2.0).max(0.0),
+            monetary: rng.normal_with(200.0 - 120.0 * shift, 50.0).max(0.0),
+        });
+        labels.push(defector);
+    }
+    (features, labels)
+}
+
+fn bench_logistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logistic_regression");
+    for &n in &[1_000usize, 10_000] {
+        let (features, labels) = rfm_rows(n, 2);
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_array().to_vec()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("irls_fit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut lr = LogisticRegression::new(3);
+                black_box(lr.fit(&rows, &labels))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rfm_fit_scaled", n), &n, |b, _| {
+            b.iter(|| {
+                let mut model = RfmModel::new(1);
+                black_box(model.fit(&features, &labels))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_oof(c: &mut Criterion) {
+    let (features, labels) = rfm_rows(2_000, 3);
+    let mut group = c.benchmark_group("rfm_out_of_fold");
+    group.sample_size(20);
+    group.bench_function("oof_5fold_2000", |b| {
+        b.iter(|| black_box(out_of_fold_scores(&features, &labels, 1, 5, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_auroc, bench_logistic, bench_oof);
+criterion_main!(benches);

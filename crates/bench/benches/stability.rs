@@ -1,0 +1,155 @@
+//! Microbenchmarks of the stability model's hot paths: significance
+//! tracker updates, single-customer series, and the parallel batch
+//! engine.
+
+use attrition_core::{
+    analyze_customer, stability_series, SignificanceTracker, StabilityEngine, StabilityParams,
+};
+use attrition_store::{CustomerWindows, WindowAlignment, WindowSpec, WindowedDatabase};
+use attrition_types::{Basket, Cents, CustomerId, Date, ItemId};
+use attrition_util::Rng;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn random_windows(n_windows: usize, vocab: u32, items_per_window: usize, seed: u64) -> CustomerWindows {
+    let mut rng = Rng::seed_from_u64(seed);
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 2);
+    let baskets: Vec<Basket> = (0..n_windows)
+        .map(|_| {
+            Basket::new(
+                (0..items_per_window)
+                    .map(|_| ItemId::new(rng.u64_below(vocab as u64) as u32))
+                    .collect(),
+            )
+        })
+        .collect();
+    CustomerWindows {
+        customer: CustomerId::new(1),
+        trips: vec![4; n_windows],
+        spend: vec![Cents(5000); n_windows],
+        last_purchase: vec![None; n_windows],
+        baskets,
+        spec,
+    }
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("significance_tracker");
+    for &items in &[10usize, 40, 160] {
+        let windows = random_windows(14, 400, items, 7);
+        group.bench_with_input(
+            BenchmarkId::new("observe_14_windows", items),
+            &windows,
+            |b, w| {
+                b.iter(|| {
+                    let mut t = SignificanceTracker::new(StabilityParams::PAPER);
+                    for u in &w.baskets {
+                        black_box(t.total_significance());
+                        t.observe_window(u);
+                    }
+                    black_box(t.num_tracked())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stability_series");
+    for &n_windows in &[14usize, 56, 224] {
+        let windows = random_windows(n_windows, 400, 40, 9);
+        group.bench_with_input(
+            BenchmarkId::new("series", n_windows),
+            &windows,
+            |b, w| b.iter(|| black_box(stability_series(w, StabilityParams::PAPER))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("analyze_with_explanations", n_windows),
+            &windows,
+            |b, w| b.iter(|| black_box(analyze_customer(w, StabilityParams::PAPER, 5))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // A realistic small windowed database via the simulator would pull in
+    // datagen; synthesize receipts directly for a pure engine measurement.
+    let mut builder = attrition_store::ReceiptStoreBuilder::new();
+    let mut rng = Rng::seed_from_u64(3);
+    let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+    for cust in 0..500u64 {
+        for month in 0..28 {
+            for _ in 0..4 {
+                let date = d0.add_months(month) + rng.u64_below(28) as i32;
+                let items: Vec<ItemId> = (0..20)
+                    .map(|_| ItemId::new(rng.u64_below(120) as u32))
+                    .collect();
+                builder.push(attrition_types::Receipt::new(
+                    CustomerId::new(cust),
+                    date,
+                    Basket::new(items),
+                    Cents(4000),
+                ));
+            }
+        }
+    }
+    let store = builder.build();
+    let db = WindowedDatabase::from_store(
+        &store,
+        WindowSpec::months(d0, 2),
+        14,
+        WindowAlignment::Global,
+    );
+    let mut group = c.benchmark_group("stability_engine");
+    group.sample_size(20);
+    group.bench_function("batch_500_customers_serial", |b| {
+        let engine = StabilityEngine::new(StabilityParams::PAPER).with_threads(1);
+        b.iter(|| black_box(engine.compute(&db)))
+    });
+    group.bench_function("batch_500_customers_parallel", |b| {
+        let engine = StabilityEngine::new(StabilityParams::PAPER);
+        b.iter(|| black_box(engine.compute(&db)))
+    });
+    group.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    use attrition_core::StabilityMonitor;
+    // A chronological receipt stream of 200 customers × 12 months.
+    let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+    let mut rng = Rng::seed_from_u64(11);
+    let mut stream: Vec<(CustomerId, Date, Basket)> = Vec::new();
+    for month in 0..12 {
+        for cust in 0..200u64 {
+            for _ in 0..4 {
+                let date = d0.add_months(month) + rng.u64_below(28) as i32;
+                let items: Vec<ItemId> = (0..20)
+                    .map(|_| ItemId::new(rng.u64_below(120) as u32))
+                    .collect();
+                stream.push((CustomerId::new(cust), date, Basket::new(items)));
+            }
+        }
+    }
+    stream.sort_by_key(|(c, d, _)| (*d, *c));
+    let mut group = c.benchmark_group("stability_monitor");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(stream.len() as u64));
+    group.bench_function("ingest_stream_9600_receipts", |b| {
+        b.iter(|| {
+            let mut monitor = StabilityMonitor::new(
+                attrition_store::WindowSpec::months(d0, 2),
+                StabilityParams::PAPER,
+            );
+            let mut closed = 0usize;
+            for (customer, date, basket) in &stream {
+                closed += monitor.ingest(*customer, *date, basket).len();
+            }
+            black_box(closed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracker, bench_series, bench_engine, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Microbenchmarks of the substrates: store construction, windowing,
+//! segment projection, and synthetic data generation.
+
+use attrition_datagen::{generate, ScenarioConfig};
+use attrition_store::{
+    project_to_segments, ReceiptStoreBuilder, WindowAlignment, WindowSpec, WindowedDatabase,
+};
+use attrition_types::{Basket, Cents, CustomerId, Date, ItemId, Receipt};
+use attrition_util::Rng;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn synth_receipts(n_customers: u64, months: i32, trips_per_month: u64, seed: u64) -> Vec<Receipt> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+    let mut receipts = Vec::new();
+    for cust in 0..n_customers {
+        for month in 0..months {
+            for _ in 0..trips_per_month {
+                let date = d0.add_months(month) + rng.u64_below(28) as i32;
+                let items: Vec<ItemId> = (0..15)
+                    .map(|_| ItemId::new(rng.u64_below(500) as u32))
+                    .collect();
+                receipts.push(Receipt::new(
+                    CustomerId::new(cust),
+                    date,
+                    Basket::new(items),
+                    Cents(3000),
+                ));
+            }
+        }
+    }
+    receipts
+}
+
+fn bench_store_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_build");
+    for &n in &[100u64, 400] {
+        let receipts = synth_receipts(n, 28, 4, 1);
+        group.throughput(Throughput::Elements(receipts.len() as u64));
+        group.bench_with_input(BenchmarkId::new("sorted_build", n), &receipts, |b, rs| {
+            b.iter(|| {
+                let mut builder = ReceiptStoreBuilder::with_capacity(rs.len());
+                for r in rs {
+                    builder.push(r.clone());
+                }
+                black_box(builder.build())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_windowing(c: &mut Criterion) {
+    let receipts = synth_receipts(400, 28, 4, 2);
+    let mut builder = ReceiptStoreBuilder::with_capacity(receipts.len());
+    for r in receipts {
+        builder.push(r);
+    }
+    let store = builder.build();
+    let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+    let mut group = c.benchmark_group("windowing");
+    group.throughput(Throughput::Elements(store.num_receipts() as u64));
+    group.bench_function("window_400_customers", |b| {
+        b.iter(|| {
+            black_box(WindowedDatabase::from_store(
+                &store,
+                WindowSpec::months(d0, 2),
+                14,
+                WindowAlignment::Global,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let cfg = ScenarioConfig::small();
+    let dataset = generate(&cfg);
+    let mut group = c.benchmark_group("segment_projection");
+    group.throughput(Throughput::Elements(dataset.store.num_receipts() as u64));
+    group.bench_function("project_small_scenario", |b| {
+        b.iter(|| black_box(project_to_segments(&dataset.store, &dataset.taxonomy).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    use attrition_store::csv_io::{receipts_from_csv, receipts_to_csv};
+    use attrition_store::{store_from_bytes, store_to_bytes};
+    let cfg = ScenarioConfig::small();
+    let dataset = generate(&cfg);
+    let csv = receipts_to_csv(&dataset.store);
+    let bin = store_to_bytes(&dataset.store);
+    let mut group = c.benchmark_group("persistence");
+    group.throughput(Throughput::Elements(dataset.store.num_receipts() as u64));
+    group.bench_function("load_csv", |b| {
+        b.iter(|| black_box(receipts_from_csv(&csv).unwrap()))
+    });
+    group.bench_function("load_binary", |b| {
+        b.iter(|| black_box(store_from_bytes(&bin).unwrap()))
+    });
+    group.bench_function("save_csv", |b| b.iter(|| black_box(receipts_to_csv(&dataset.store))));
+    group.bench_function("save_binary", |b| {
+        b.iter(|| black_box(store_to_bytes(&dataset.store)))
+    });
+    group.finish();
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("generate_small_scenario", |b| {
+        b.iter(|| black_box(generate(&ScenarioConfig::small())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_build,
+    bench_windowing,
+    bench_projection,
+    bench_persistence,
+    bench_datagen
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! ABL-GRAN — product- vs segment-granularity ablation.
+//!
+//! The paper abstracts 4M products into 3,388 segments before modeling.
+//! This ablation runs the stability AUROC at both granularities on the
+//! same dataset, quantifying what the abstraction buys: at product level
+//! a customer who switches brands within a segment looks unstable even
+//! though their need is still served, so segment-level stability should
+//! discriminate defection at least as well with far less noise.
+//!
+//! Run: `cargo run -p attrition-bench --release --bin ablation_granularity`
+
+use attrition_bench::{
+    align_labels, auroc_series_csv, write_result, AurocPoint,
+};
+use attrition_core::{StabilityEngine, StabilityParams};
+use attrition_datagen::{generate, ScenarioConfig};
+use attrition_store::{ReceiptStore, WindowAlignment, WindowSpec, WindowedDatabase};
+use attrition_types::{CustomerId, WindowIndex};
+use attrition_util::table::fmt_f64;
+use attrition_util::Table;
+
+fn series_for(
+    store: &ReceiptStore,
+    cfg: &ScenarioConfig,
+    labels: &attrition_datagen::LabelSet,
+) -> Vec<AurocPoint> {
+    let w_months = 2u32;
+    let spec = WindowSpec::months(cfg.start, w_months);
+    let n_windows = cfg.n_months.div_ceil(w_months);
+    let db = WindowedDatabase::from_store(store, spec, n_windows, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+    (0..n_windows)
+        .map(|k| {
+            let pairs = matrix.attrition_scores_at(WindowIndex::new(k));
+            let customers: Vec<CustomerId> = pairs.iter().map(|(c, _)| *c).collect();
+            let scores: Vec<f64> = pairs.iter().map(|(_, s)| *s).collect();
+            let aligned = align_labels(labels, &customers);
+            AurocPoint::from_scores(k, (k + 1) * w_months, &aligned, &scores)
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = ScenarioConfig::paper_default();
+    eprintln!("generating scenario once, modeling at two granularities…");
+    let dataset = generate(&cfg);
+    let seg_store = dataset.segment_store();
+
+    let product_series = series_for(&dataset.store, &cfg, &dataset.labels);
+    let segment_series = series_for(&seg_store, &cfg, &dataset.labels);
+
+    println!("\nABL-GRAN: stability AUROC at product vs segment granularity\n");
+    let mut table = Table::new(["month", "product level", "segment level", "delta"]);
+    for (p, s) in product_series.iter().zip(&segment_series) {
+        table.row([
+            p.month.to_string(),
+            fmt_f64(p.auroc, 3),
+            fmt_f64(s.auroc, 3),
+            fmt_f64(s.auroc - p.auroc, 3),
+        ]);
+    }
+    println!("{table}");
+
+    // Post-onset means.
+    let onset = cfg.onset_month;
+    let mean_post = |series: &[AurocPoint]| -> f64 {
+        let post: Vec<f64> = series
+            .iter()
+            .filter(|p| p.month > onset)
+            .map(|p| p.auroc)
+            .collect();
+        post.iter().sum::<f64>() / post.len() as f64
+    };
+    println!(
+        "mean post-onset AUROC: product {:.3}, segment {:.3}",
+        mean_post(&product_series),
+        mean_post(&segment_series)
+    );
+
+    let csv = auroc_series_csv(
+        &["product", "segment"],
+        &[&product_series, &segment_series],
+    );
+    write_result("ablation_granularity.csv", &csv);
+}

@@ -1,0 +1,88 @@
+//! COHORT — population stability curves and campaign volume.
+//!
+//! Complements Figure 1 (which plots *discrimination*) with the raw
+//! population dynamics: mean stability of the defector cohort vs the
+//! loyal cohort per window, plus the fraction of the population a fixed
+//! β rule would flag (the retention campaign's volume over time — the
+//! operational quantity the paper's retailer budgets against).
+//!
+//! Run: `cargo run -p attrition-bench --release --bin cohort_curves`
+
+use attrition_bench::{write_result, Prepared};
+use attrition_core::{cohort_curves, flag_rate_per_window, StabilityParams};
+use attrition_datagen::ScenarioConfig;
+use attrition_types::CustomerId;
+use attrition_util::chart::{render, ChartConfig, Series};
+use attrition_util::csv::CsvWriter;
+use attrition_util::table::fmt_f64;
+use attrition_util::Table;
+
+fn main() {
+    let cfg = ScenarioConfig::paper_default();
+    let w_months = 2u32;
+    let beta = 0.75;
+    eprintln!("generating scenario, computing cohort curves…");
+    let prepared = Prepared::new(&cfg, w_months, StabilityParams::PAPER);
+    let defectors: Vec<CustomerId> = prepared
+        .dataset
+        .labels
+        .labels()
+        .iter()
+        .filter(|l| l.cohort.is_defector())
+        .map(|l| l.customer)
+        .collect();
+    let curves = cohort_curves(&prepared.matrix, defectors);
+    let flag_rates = flag_rate_per_window(&prepared.matrix, beta);
+
+    println!("\nCOHORT: mean stability per cohort and flagged fraction (β = {beta})\n");
+    let mut table = Table::new([
+        "month",
+        "loyal mean stability",
+        "defector mean stability",
+        "flagged fraction",
+    ]);
+    for (point, (_, rate)) in curves.iter().zip(&flag_rates) {
+        table.row([
+            ((point.window.raw() + 1) * w_months).to_string(),
+            fmt_f64(point.rest_mean, 3),
+            fmt_f64(point.cohort_mean, 3),
+            fmt_f64(*rate, 3),
+        ]);
+    }
+    println!("{table}");
+
+    let to_points = |f: &dyn Fn(&attrition_core::CohortPoint) -> f64| -> Vec<(f64, f64)> {
+        curves
+            .iter()
+            .map(|p| (((p.window.raw() + 1) * w_months) as f64, f(p)))
+            .collect()
+    };
+    let chart = render(
+        &[
+            Series::new("Loyal cohort", 'o', to_points(&|p| p.rest_mean)),
+            Series::new("Defector cohort", '*', to_points(&|p| p.cohort_mean)),
+        ],
+        &ChartConfig {
+            width: 72,
+            height: 18,
+            y_range: Some((0.0, 1.0)),
+            vmarks: vec![(cfg.onset_month as f64, "Start of attrition".into())],
+            x_label: "Number of months".into(),
+            y_label: "Mean stability".into(),
+        },
+    );
+    println!("{chart}");
+
+    let mut csv = CsvWriter::new();
+    csv.record(&["window", "month", "loyal_mean", "defector_mean", "flagged_fraction"]);
+    for (point, (_, rate)) in curves.iter().zip(&flag_rates) {
+        csv.record(&[
+            &point.window.raw().to_string(),
+            &((point.window.raw() + 1) * w_months).to_string(),
+            &format!("{:.6}", point.rest_mean),
+            &format!("{:.6}", point.cohort_mean),
+            &format!("{rate:.6}"),
+        ]);
+    }
+    write_result("cohort_curves.csv", &csv.finish());
+}

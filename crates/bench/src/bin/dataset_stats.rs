@@ -1,0 +1,89 @@
+//! DATA — reproduce the paper's dataset description (Section 3):
+//! "The dataset provided by a major French retailer contains anonymized
+//! receipts of 6 millions customers, from May 2012 to August 2014. …
+//! The dataset contains 4 millions products, that are grouped into
+//! 3 388 segments."
+//!
+//! Prints the synthetic dataset's statistics at product and segment
+//! granularity next to the paper's numbers, plus the distributional
+//! summaries the paper does not report (basket sizes, trip rates) that
+//! characterize the simulator.
+//!
+//! Run: `cargo run -p attrition-bench --release --bin dataset_stats`
+
+use attrition_bench::write_result;
+use attrition_datagen::{generate, ScenarioConfig};
+use attrition_store::DatasetStats;
+use attrition_util::csv::CsvWriter;
+use attrition_util::Table;
+
+fn main() {
+    let cfg = ScenarioConfig::paper_default();
+    eprintln!("generating the default paper-shaped scenario…");
+    let dataset = generate(&cfg);
+    let product_stats = DatasetStats::compute(&dataset.store, Some(&dataset.taxonomy));
+    let seg_store = dataset.segment_store();
+    let segment_stats = DatasetStats::compute(&seg_store, None);
+
+    println!("\nDATA: synthetic dataset vs the paper's description\n");
+    let mut table = Table::new(["statistic", "paper", "this repo (synthetic)"]);
+    table.row([
+        "customers",
+        "6,000,000",
+        &product_stats.customers.to_string(),
+    ]);
+    table.row([
+        "observation period",
+        "May 2012 – Aug 2014",
+        &product_stats
+            .date_range
+            .map(|(lo, hi)| format!("{lo} – {hi}"))
+            .unwrap_or_default(),
+    ]);
+    table.row([
+        "span (months)",
+        "28",
+        &product_stats.span_months.to_string(),
+    ]);
+    table.row([
+        "products",
+        "4,000,000",
+        &dataset.taxonomy.num_products().to_string(),
+    ]);
+    table.row([
+        "segments",
+        "3,388",
+        &dataset.taxonomy.num_segments().to_string(),
+    ]);
+    table.row([
+        "cohorts",
+        "loyal + defected last 6 months",
+        &format!(
+            "{} loyal + {} defectors (onset month {})",
+            dataset.labels.num_loyal(),
+            dataset.labels.num_defectors(),
+            cfg.onset_month
+        ),
+    ]);
+    println!("{table}");
+
+    println!("full product-granularity statistics:\n\n{product_stats}");
+    println!("segment-granularity statistics (modeling level):\n\n{segment_stats}");
+
+    let mut csv = CsvWriter::new();
+    csv.record(&["statistic", "value"]);
+    csv.record(&["customers", &product_stats.customers.to_string()]);
+    csv.record(&["receipts", &product_stats.receipts.to_string()]);
+    csv.record(&["products", &dataset.taxonomy.num_products().to_string()]);
+    csv.record(&["segments", &dataset.taxonomy.num_segments().to_string()]);
+    csv.record(&["span_months", &product_stats.span_months.to_string()]);
+    csv.record(&[
+        "mean_basket_size",
+        &format!("{:.3}", product_stats.basket_size.mean),
+    ]);
+    csv.record(&[
+        "mean_trips_per_customer",
+        &format!("{:.3}", product_stats.trips_per_customer.mean),
+    ]);
+    write_result("dataset_stats.csv", &csv.finish());
+}

@@ -1,0 +1,152 @@
+//! FIG2 — reproduce Figure 2: "Defecting customer stability value example."
+//!
+//! One scripted defecting customer: loyal through month 19, stops buying
+//! **coffee** in month 20 ("Coffee loss") and **milk, sponges and
+//! cheese** in month 22 ("Milk, sponge and cheese loss"). The experiment
+//! plots their stability trajectory and prints, for every window where
+//! the stability dropped, the model's lost-product explanation — the
+//! actionable knowledge of Section 3.2.
+//!
+//! Run: `cargo run -p attrition-bench --release --bin fig2_case_study`
+
+use attrition_bench::write_result;
+use attrition_core::{analyze_customer, StabilityParams};
+use attrition_datagen::{figure2_customer, generate, ScenarioConfig, Simulator};
+use attrition_store::{
+    project_to_segments, WindowAlignment, WindowSpec, WindowedDatabase,
+};
+use attrition_types::{CustomerId, SegmentId};
+use attrition_util::chart::{render, ChartConfig, Series};
+use attrition_util::csv::CsvWriter;
+use attrition_util::table::fmt_f64;
+use attrition_util::Table;
+
+fn main() {
+    let cfg = ScenarioConfig::paper_default();
+    let w_months = 2u32;
+    let coffee_loss_month = 20u32;
+    eprintln!("generating catalog and scripted Figure-2 customer…");
+    let dataset = generate(&cfg);
+
+    // Simulate the scripted customer over the same observation period.
+    let customer = CustomerId::new(1_000_000);
+    let profile = figure2_customer(&dataset.taxonomy, customer, coffee_loss_month);
+    let sim = Simulator::new(cfg.start, cfg.n_months, cfg.seasonality.clone(), cfg.seed ^ 0xF16);
+    let store = sim.run(&[profile], &dataset.taxonomy);
+    let seg_store = project_to_segments(&store, &dataset.taxonomy)
+        .expect("simulated receipts reference cataloged products");
+
+    let spec = WindowSpec::months(cfg.start, w_months);
+    let db = WindowedDatabase::from_store(
+        &seg_store,
+        spec,
+        cfg.n_months.div_ceil(w_months),
+        WindowAlignment::Global,
+    );
+    let windows = db.customer(customer).expect("customer was simulated");
+    let analysis = analyze_customer(windows, StabilityParams::PAPER, 4);
+
+    let seg_name = |raw: u32| -> String {
+        dataset
+            .taxonomy
+            .segment(SegmentId::new(raw))
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|_| format!("segment {raw}"))
+    };
+
+    // --- Table ------------------------------------------------------
+    println!("\nFIG2: stability trajectory of the scripted defecting customer\n");
+    let mut table = Table::new(["month", "window", "stability", "explanation (lost products, share)"]);
+    for (point, expl) in analysis.points.iter().zip(&analysis.explanations) {
+        let month = (point.window.raw() + 1) * w_months;
+        let drop_note: String = expl
+            .lost
+            .iter()
+            .filter(|l| l.share >= 0.04)
+            .map(|l| format!("{} ({:.0}%)", seg_name(l.item.raw()), l.share * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        table.row([
+            month.to_string(),
+            point.window.to_string(),
+            fmt_f64(point.value, 3),
+            drop_note,
+        ]);
+    }
+    println!("{table}");
+
+    // --- Narrative check against the paper ---------------------------
+    let value_at = |month: u32| -> f64 {
+        let k = (month / w_months - 1) as usize;
+        analysis.points[k].value
+    };
+    let expl_at = |month: u32| -> Vec<String> {
+        let k = (month / w_months - 1) as usize;
+        analysis.explanations[k]
+            .lost
+            .iter()
+            .filter(|l| l.share >= 0.04)
+            .map(|l| seg_name(l.item.raw()))
+            .collect()
+    };
+    // Window ending at coffee_loss_month+2 contains months 20–21 (coffee
+    // already gone); window ending +4 contains 22–23 (milk/sponge/cheese
+    // gone as well).
+    println!(
+        "month {}: stability {:.3}, lost: {:?}   (paper: coffee loss)",
+        coffee_loss_month + 2,
+        value_at(coffee_loss_month + 2),
+        expl_at(coffee_loss_month + 2)
+    );
+    println!(
+        "month {}: stability {:.3}, lost: {:?}   (paper: milk, sponge and cheese loss)",
+        coffee_loss_month + 4,
+        value_at(coffee_loss_month + 4),
+        expl_at(coffee_loss_month + 4)
+    );
+
+    // --- Figure ------------------------------------------------------
+    let points: Vec<(f64, f64)> = analysis
+        .points
+        .iter()
+        .map(|p| (((p.window.raw() + 1) * w_months) as f64, p.value))
+        .collect();
+    let chart = render(
+        &[Series::new("Stability value", '*', points)],
+        &ChartConfig {
+            width: 72,
+            height: 18,
+            y_range: Some((0.0, 1.0)),
+            vmarks: vec![
+                ((coffee_loss_month + 2) as f64, "Coffee loss".into()),
+                (
+                    (coffee_loss_month + 4) as f64,
+                    "Milk, sponge and cheese loss".into(),
+                ),
+            ],
+            x_label: "Number of months".into(),
+            y_label: "Stability value".into(),
+        },
+    );
+    println!("{chart}");
+
+    // --- Artifacts ---------------------------------------------------
+    let mut csv = CsvWriter::new();
+    csv.record(&["window", "month", "stability", "top_lost_segments"]);
+    for (point, expl) in analysis.points.iter().zip(&analysis.explanations) {
+        let month = (point.window.raw() + 1) * w_months;
+        let lost: Vec<String> = expl
+            .lost
+            .iter()
+            .filter(|l| l.share >= 0.04)
+            .map(|l| seg_name(l.item.raw()))
+            .collect();
+        csv.record(&[
+            &point.window.raw().to_string(),
+            &month.to_string(),
+            &format!("{:.6}", point.value),
+            &lost.join("; "),
+        ]);
+    }
+    write_result("fig2_case_study.csv", &csv.finish());
+}

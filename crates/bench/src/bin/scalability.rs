@@ -1,0 +1,132 @@
+//! SCALE — end-to-end throughput sweep.
+//!
+//! Not a paper artifact: the paper's substrate is a 6M-customer
+//! production dataset, so a credible open-source release must show how
+//! this implementation scales toward that regime. Sweeps the population
+//! size and reports wall time and throughput of each pipeline stage
+//! (simulation, segment projection, windowing, stability scoring) plus
+//! the stability engine's thread scaling.
+//!
+//! Run: `cargo run -p attrition-bench --release --bin scalability`
+
+use attrition_bench::write_result;
+use attrition_core::{StabilityEngine, StabilityParams};
+use attrition_datagen::{generate, ScenarioConfig};
+use attrition_store::{WindowAlignment, WindowSpec, WindowedDatabase};
+use attrition_util::csv::CsvWriter;
+use attrition_util::Table;
+use std::time::Instant;
+
+fn main() {
+    let sizes = [250usize, 500, 1_000, 2_000, 4_000, 8_000];
+    let w_months = 2u32;
+    println!("\nSCALE: pipeline wall time by population size (2-month windows, α = 2)\n");
+    let mut table = Table::new([
+        "customers",
+        "receipts",
+        "simulate (ms)",
+        "project (ms)",
+        "window (ms)",
+        "stability (ms)",
+        "receipts/s (stability)",
+    ]);
+    let mut csv = CsvWriter::new();
+    csv.record(&[
+        "customers",
+        "receipts",
+        "simulate_ms",
+        "project_ms",
+        "window_ms",
+        "stability_ms",
+        "receipts_per_s",
+    ]);
+
+    for &n in &sizes {
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.n_loyal = n / 2;
+        cfg.n_defectors = n / 2;
+
+        let t0 = Instant::now();
+        let dataset = generate(&cfg);
+        let simulate_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let seg_store = dataset.segment_store();
+        let project_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let t2 = Instant::now();
+        let spec = WindowSpec::months(cfg.start, w_months);
+        let db = WindowedDatabase::from_store(
+            &seg_store,
+            spec,
+            cfg.n_months.div_ceil(w_months),
+            WindowAlignment::Global,
+        );
+        let window_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        let t3 = Instant::now();
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+        let stability_ms = t3.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(matrix.num_customers(), n);
+
+        let receipts = seg_store.num_receipts();
+        let throughput = receipts as f64 / (stability_ms / 1e3);
+        table.row([
+            n.to_string(),
+            receipts.to_string(),
+            format!("{simulate_ms:.0}"),
+            format!("{project_ms:.0}"),
+            format!("{window_ms:.0}"),
+            format!("{stability_ms:.0}"),
+            format!("{throughput:.0}"),
+        ]);
+        csv.record(&[
+            &n.to_string(),
+            &receipts.to_string(),
+            &format!("{simulate_ms:.1}"),
+            &format!("{project_ms:.1}"),
+            &format!("{window_ms:.1}"),
+            &format!("{stability_ms:.1}"),
+            &format!("{throughput:.0}"),
+        ]);
+    }
+    println!("{table}");
+
+    // Thread-scaling of the stability engine on the largest population.
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.n_loyal = 4_000;
+    cfg.n_defectors = 4_000;
+    let dataset = generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let db = WindowedDatabase::from_store(
+        &seg_store,
+        WindowSpec::months(cfg.start, w_months),
+        cfg.n_months.div_ceil(w_months),
+        WindowAlignment::Global,
+    );
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("stability engine thread scaling (8,000 customers, {hw} hardware threads):\n");
+    let mut scaling = Table::new(["threads", "time (ms)", "speedup"]);
+    let mut base_ms = 0.0f64;
+    let mut threads = 1usize;
+    while threads <= hw {
+        let t = Instant::now();
+        let _ = StabilityEngine::new(StabilityParams::PAPER)
+            .with_threads(threads)
+            .compute(&db);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if threads == 1 {
+            base_ms = ms;
+        }
+        scaling.row([
+            threads.to_string(),
+            format!("{ms:.0}"),
+            format!("{:.2}x", base_ms / ms),
+        ]);
+        threads *= 2;
+    }
+    println!("{scaling}");
+    write_result("scalability.csv", &csv.finish());
+}

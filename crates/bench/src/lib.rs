@@ -1,0 +1,288 @@
+//! # attrition-bench
+//!
+//! Experiment harness. Each binary under `src/bin/` regenerates one
+//! artifact of the paper (see DESIGN.md's experiment index):
+//!
+//! | binary                 | paper artifact |
+//! |------------------------|----------------|
+//! | `fig1_auroc`           | Figure 1 — AUROC of stability vs RFM over months |
+//! | `fig2_case_study`      | Figure 2 — individual stability trajectory with product-loss annotations |
+//! | `cv_param_search`      | Section 3.1 — 5-fold CV selection of (α, window) |
+//! | `dataset_stats`        | Section 3 — dataset description statistics |
+//! | `ablation_alignment`   | design ablation — global vs per-customer window alignment |
+//! | `ablation_granularity` | design ablation — product vs segment granularity |
+//! | `ablation_significance`| future-work ablation — significance-function variants |
+//! | `ablation_rfm_features`| baseline ablation — R/F/M vs extended feature set |
+//! | `cohort_curves`        | population dynamics: per-cohort mean stability + flag volume |
+//! | `detection_latency`    | earliness claim quantified: onset-to-alarm delay at fixed FPR |
+//! | `sensitivity`          | calibration sensitivity of the synthetic substitution |
+//! | `scalability`          | systems benchmark — end-to-end throughput sweep |
+//!
+//! This library holds the shared plumbing: scenario preparation, the
+//! per-window AUROC series for both models, and result-file output under
+//! `results/`.
+
+use attrition_core::{StabilityEngine, StabilityMatrix, StabilityParams};
+use attrition_datagen::{GeneratedDataset, LabelSet, ScenarioConfig};
+use attrition_eval::auroc;
+use attrition_rfm::{out_of_fold_scores, RfmModel};
+use attrition_store::{
+    ReceiptStore, WindowAlignment, WindowSpec, WindowedDatabase,
+};
+use attrition_types::{CustomerId, WindowIndex};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A prepared experiment: dataset + segment-level windowed database +
+/// stability matrix.
+pub struct Prepared {
+    /// The generated dataset (product granularity + taxonomy + labels).
+    pub dataset: GeneratedDataset,
+    /// Receipts projected to segment granularity.
+    pub seg_store: ReceiptStore,
+    /// Windowed database over the segment store.
+    pub db: WindowedDatabase,
+    /// Window length used, in months.
+    pub w_months: u32,
+    /// Stability matrix at the configured α.
+    pub matrix: StabilityMatrix,
+}
+
+impl Prepared {
+    /// Generate the scenario and compute everything the experiments need.
+    pub fn new(cfg: &ScenarioConfig, w_months: u32, params: StabilityParams) -> Prepared {
+        let dataset = attrition_datagen::generate(cfg);
+        Prepared::from_dataset(dataset, w_months, params, WindowAlignment::Global)
+    }
+
+    /// Same, from an already generated dataset (lets experiments reuse
+    /// one dataset across parameter settings).
+    pub fn from_dataset(
+        dataset: GeneratedDataset,
+        w_months: u32,
+        params: StabilityParams,
+        alignment: WindowAlignment,
+    ) -> Prepared {
+        let seg_store = dataset.segment_store();
+        let spec = WindowSpec::months(dataset.config.start, w_months);
+        let n_windows = dataset.config.n_months.div_ceil(w_months);
+        let db = WindowedDatabase::from_store(&seg_store, spec, n_windows, alignment);
+        let matrix = StabilityEngine::new(params).compute(&db);
+        Prepared {
+            dataset,
+            seg_store,
+            db,
+            w_months,
+            matrix,
+        }
+    }
+
+    /// The calendar month (0-based, relative to the start) at which
+    /// window `k` *ends* — the x-coordinate the paper plots AUROC at.
+    pub fn month_of_window_end(&self, k: u32) -> u32 {
+        (k + 1) * self.w_months
+    }
+
+    /// Labels aligned to a customer list (defector = `true`).
+    pub fn labels_for(&self, customers: &[CustomerId]) -> Vec<bool> {
+        align_labels(&self.dataset.labels, customers)
+    }
+}
+
+/// Labels aligned to a customer list (defector = `true`). Panics if a
+/// customer is unlabeled (cannot happen for generated datasets).
+pub fn align_labels(labels: &LabelSet, customers: &[CustomerId]) -> Vec<bool> {
+    customers
+        .iter()
+        .map(|&c| {
+            labels
+                .cohort_of(c)
+                .unwrap_or_else(|| panic!("customer {c} missing a cohort label"))
+                .is_defector()
+        })
+        .collect()
+}
+
+/// One point of a per-window AUROC series, with a 95% DeLong interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AurocPoint {
+    /// Window index.
+    pub window: u32,
+    /// Month (relative to start) at which the window ends.
+    pub month: u32,
+    /// AUROC of defector-vs-loyal discrimination at that window.
+    pub auroc: f64,
+    /// Lower bound of the 95% DeLong confidence interval.
+    pub ci_lo: f64,
+    /// Upper bound of the 95% DeLong confidence interval.
+    pub ci_hi: f64,
+}
+
+impl AurocPoint {
+    /// Build a point from labels and scores, computing the DeLong CI.
+    pub fn from_scores(window: u32, month: u32, labels: &[bool], scores: &[f64]) -> AurocPoint {
+        let ci = attrition_eval::auroc_ci_delong(labels, scores, 0.05);
+        AurocPoint {
+            window,
+            month,
+            auroc: auroc(labels, scores),
+            ci_lo: ci.lo,
+            ci_hi: ci.hi,
+        }
+    }
+}
+
+/// Per-window AUROC of the stability model (score = `1 − stability`).
+pub fn stability_auroc_series(prepared: &Prepared, windows: impl Iterator<Item = u32>) -> Vec<AurocPoint> {
+    windows
+        .map(|k| {
+            let pairs = prepared.matrix.attrition_scores_at(WindowIndex::new(k));
+            let customers: Vec<CustomerId> = pairs.iter().map(|(c, _)| *c).collect();
+            let scores: Vec<f64> = pairs.iter().map(|(_, s)| *s).collect();
+            let labels = prepared.labels_for(&customers);
+            AurocPoint::from_scores(k, prepared.month_of_window_end(k), &labels, &scores)
+        })
+        .collect()
+}
+
+/// Per-window AUROC of the RFM baseline, scored out-of-fold with
+/// `k_folds` stratified folds (the paper's 5).
+pub fn rfm_auroc_series(
+    prepared: &Prepared,
+    windows: impl Iterator<Item = u32>,
+    horizon_windows: usize,
+    k_folds: usize,
+    seed: u64,
+) -> Vec<AurocPoint> {
+    let model = RfmModel::new(horizon_windows);
+    windows
+        .map(|k| {
+            let rows = model.features_at(&prepared.db, WindowIndex::new(k));
+            let customers: Vec<CustomerId> = rows.iter().map(|(c, _)| *c).collect();
+            let features: Vec<attrition_rfm::RfmFeatures> =
+                rows.iter().map(|(_, f)| *f).collect();
+            let labels = prepared.labels_for(&customers);
+            let scores = out_of_fold_scores(&features, &labels, horizon_windows, k_folds, seed);
+            AurocPoint::from_scores(k, prepared.month_of_window_end(k), &labels, &scores)
+        })
+        .collect()
+}
+
+/// Directory experiment outputs are written to (`results/` next to the
+/// workspace root, creatable), overridable via `ATTRITION_RESULTS_DIR`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("ATTRITION_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // CARGO_MANIFEST_DIR = crates/bench → workspace root is ../..
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Write an experiment artifact to `results/<name>` and echo the path.
+pub fn write_result(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    f.write_all(contents.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("[wrote {}]", path.display());
+    path
+}
+
+/// Render an AUROC-series CSV (month, series1, series2, …).
+pub fn auroc_series_csv(names: &[&str], series: &[&[AurocPoint]]) -> String {
+    use attrition_util::csv::CsvWriter;
+    assert_eq!(names.len(), series.len());
+    let mut w = CsvWriter::new();
+    let mut header = vec!["window".to_owned(), "month".to_owned()];
+    for n in names {
+        header.push(format!("auroc_{n}"));
+        header.push(format!("ci_lo_{n}"));
+        header.push(format!("ci_hi_{n}"));
+    }
+    w.record_owned(&header);
+    if let Some(first) = series.first() {
+        for (i, point) in first.iter().enumerate() {
+            let mut row = vec![point.window.to_string(), point.month.to_string()];
+            for s in series {
+                row.push(format!("{:.6}", s[i].auroc));
+                row.push(format!("{:.6}", s[i].ci_lo));
+                row.push(format!("{:.6}", s[i].ci_hi));
+            }
+            w.record_owned(&row);
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prepared() -> Prepared {
+        Prepared::new(&ScenarioConfig::small(), 2, StabilityParams::PAPER)
+    }
+
+    #[test]
+    fn preparation_shapes() {
+        let p = prepared();
+        assert_eq!(p.db.num_windows, 8); // 16 months / 2
+        assert_eq!(p.matrix.num_customers(), 120);
+        assert_eq!(p.month_of_window_end(0), 2);
+        assert_eq!(p.month_of_window_end(7), 16);
+    }
+
+    #[test]
+    fn stability_series_has_signal_after_onset() {
+        let p = prepared();
+        let series = stability_auroc_series(&p, 0..8);
+        assert_eq!(series.len(), 8);
+        // Onset at month 10 = window 5; pre-onset windows ≈ chance.
+        let pre: f64 = series[2..5].iter().map(|p| p.auroc).sum::<f64>() / 3.0;
+        assert!((0.35..0.65).contains(&pre), "pre-onset AUROC {pre}");
+        // Post-onset must rise substantially.
+        let post = series[6].auroc.max(series[7].auroc);
+        assert!(post > 0.75, "post-onset AUROC {post}");
+    }
+
+    #[test]
+    fn rfm_series_has_signal_after_onset() {
+        let p = prepared();
+        let series = rfm_auroc_series(&p, 4..8, 2, 5, 11);
+        let post = series.last().unwrap().auroc;
+        assert!(post > 0.65, "post-onset RFM AUROC {post}");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let a = [AurocPoint {
+            window: 0,
+            month: 2,
+            auroc: 0.5,
+            ci_lo: 0.4,
+            ci_hi: 0.6,
+        }];
+        let b = [AurocPoint {
+            window: 0,
+            month: 2,
+            auroc: 0.75,
+            ci_lo: 0.7,
+            ci_hi: 0.8,
+        }];
+        let csv = auroc_series_csv(&["stability", "rfm"], &[&a, &b]);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "window,month,auroc_stability,ci_lo_stability,ci_hi_stability,auroc_rfm,ci_lo_rfm,ci_hi_rfm"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "0,2,0.500000,0.400000,0.600000,0.750000,0.700000,0.800000"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal `--flag value` argument parsing.
+//!
+//! Hand-rolled to stay within the workspace's allowed dependency set;
+//! supports `--key value`, `--key=value`, boolean `--key`, and collects
+//! positional arguments.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// Argument parsing/validation errors, rendered to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments (excluding the program/subcommand names).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(stripped) = token.strip_prefix("--") {
+                if stripped.is_empty() {
+                    return Err(ArgError("bare `--` is not supported".into()));
+                }
+                if let Some((key, value)) = stripped.split_once('=') {
+                    args.flags.insert(key.to_owned(), value.to_owned());
+                } else if iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false)
+                {
+                    let value = iter.next().expect("peeked");
+                    args.flags.insert(stripped.to_owned(), value);
+                } else {
+                    args.flags.insert(stripped.to_owned(), "true".to_owned());
+                }
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key} has invalid value {raw:?}"))),
+        }
+    }
+
+    /// A boolean flag (present = true).
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse(&["--seed", "7", "--out", "dir"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get("out"), Some("dir"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn equals_form() {
+        let a = parse(&["--alpha=2.5"]);
+        assert_eq!(a.get("alpha"), Some("2.5"));
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse(&["--verbose", "--seed", "3"]);
+        assert!(a.get_bool("verbose"));
+        assert!(!a.get_bool("quiet"));
+        assert_eq!(a.get("seed"), Some("3"));
+    }
+
+    #[test]
+    fn positional_collected() {
+        let a = parse(&["file.csv", "--k", "v", "other"]);
+        assert_eq!(a.positional(), &["file.csv".to_owned(), "other".into()]);
+    }
+
+    #[test]
+    fn parsed_with_default() {
+        let a = parse(&["--n", "42"]);
+        assert_eq!(a.get_parsed("n", 0u32).unwrap(), 42);
+        assert_eq!(a.get_parsed("m", 7u32).unwrap(), 7);
+        let bad = parse(&["--n", "x"]);
+        assert!(bad.get_parsed("n", 0u32).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = parse(&[]);
+        let err = a.require("receipts").unwrap_err();
+        assert!(err.to_string().contains("--receipts"));
+    }
+
+    #[test]
+    fn bare_double_dash_rejected() {
+        assert!(Args::parse(vec!["--".to_owned()]).is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use crate::labels_csv;
+use attrition_core::{analyze_customer, StabilityEngine, StabilityMonitor, StabilityParams};
+use attrition_datagen::{generate as generate_dataset, ScenarioConfig};
+use attrition_eval::auroc;
+use attrition_rfm::{out_of_fold_scores, RfmModel};
+use attrition_store::{
+    csv_io, project_to_segments, DatasetStats, ReceiptStore, WindowAlignment, WindowSpec,
+    WindowedDatabase,
+};
+use attrition_types::{Basket, CustomerId, SegmentId, Taxonomy, WindowIndex};
+use attrition_util::table::fmt_f64;
+use attrition_util::Table;
+use std::error::Error;
+use std::path::Path;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Per-command help text.
+pub fn help_for(command: &str) -> String {
+    match command {
+        "generate" => "\
+attrition generate — synthesize a dataset
+
+FLAGS:
+    --out DIR           output directory (required; created if missing)
+    --preset NAME       paper | small (default: small)
+    --format FMT        receipts format: csv | bin (default: csv)
+    --seed N            override the preset's seed
+    --loyal N           override the loyal cohort size
+    --defectors N       override the defector cohort size
+    --months N          override the observation length in months
+    --onset N           override the defection onset month
+
+Writes receipts.csv (or receipts.bin), taxonomy.csv and labels.csv into DIR."
+            .into(),
+        "stats" => "\
+attrition stats — dataset description statistics
+
+FLAGS:
+    --receipts FILE     receipts CSV (required)
+    --taxonomy FILE     taxonomy CSV (optional; enables segment counts)"
+            .into(),
+        "evaluate" => "\
+attrition evaluate — per-window AUROC of both models
+
+FLAGS:
+    --receipts FILE     receipts CSV (required)
+    --taxonomy FILE     taxonomy CSV (required; evaluation runs at segment level)
+    --labels FILE       labels CSV (required)
+    --alpha X           significance base α (default 2)
+    --window N          window length in months (default 2)
+    --folds N           RFM cross-fitting folds (default 5)"
+            .into(),
+        "explain" => "\
+attrition explain — one customer's stability trajectory
+
+FLAGS:
+    --receipts FILE     receipts CSV (required)
+    --taxonomy FILE     taxonomy CSV (required)
+    --customer ID       customer to analyze (required)
+    --alpha X           significance base α (default 2)
+    --window N          window length in months (default 2)
+    --top N             lost products shown per window (default 5)"
+            .into(),
+        "rank" => "\
+attrition rank — the most at-risk customers at a window
+
+FLAGS:
+    --receipts FILE     receipts CSV/binary (required)
+    --taxonomy FILE     taxonomy CSV (required)
+    --window-index K    window to rank at (default: last complete window)
+    --top N             list size (default 20)
+    --alpha X           significance base α (default 2)
+    --window N          window length in months (default 2)"
+            .into(),
+        "export" => "\
+attrition export — write stability scores and explanations as CSV
+
+FLAGS:
+    --receipts FILE     receipts CSV/binary (required)
+    --taxonomy FILE     taxonomy CSV (required)
+    --out DIR           output directory (required; created if missing)
+    --alpha X           significance base α (default 2)
+    --window N          window length in months (default 2)
+    --min-share X       minimum significance share for exported losses (default 0.02)
+
+Writes stability_scores.csv and explanations.csv into DIR."
+            .into(),
+        "monitor" => "\
+attrition monitor — replay receipts through the streaming monitor
+
+FLAGS:
+    --receipts FILE     receipts CSV (required)
+    --taxonomy FILE     taxonomy CSV (required)
+    --beta X            alert threshold on stability (default 0.6)
+    --alpha X           significance base α (default 2)
+    --window N          window length in months (default 2)
+    --warmup N          windows to skip before alerting (default 3)"
+            .into(),
+        other => format!("no detailed help for {other:?}; run `attrition help`"),
+    }
+}
+
+fn load_store(path: &str) -> Result<ReceiptStore, Box<dyn Error>> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("cannot read receipts file {path}: {e}"))?;
+    // Auto-detect: binary columnar files carry a magic header.
+    if bytes.starts_with(&attrition_store::binary_io::MAGIC) {
+        return Ok(attrition_store::store_from_bytes(&bytes)?);
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| format!("{path} is neither a binary store nor UTF-8 CSV"))?;
+    Ok(csv_io::receipts_from_csv(&text)?)
+}
+
+fn load_taxonomy(path: &str) -> Result<Taxonomy, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read taxonomy file {path}: {e}"))?;
+    Ok(csv_io::taxonomy_from_csv(&text)?)
+}
+
+/// Window grid shared by evaluate/explain/monitor: anchored at the first
+/// day of the earliest receipt's month.
+fn derive_spec(store: &ReceiptStore, w_months: u32) -> Result<WindowSpec, Box<dyn Error>> {
+    let (first, _) = store
+        .date_range()
+        .ok_or("receipts file contains no receipts")?;
+    Ok(WindowSpec::months(first.first_of_month(), w_months))
+}
+
+/// `attrition generate`
+pub fn generate(args: &Args) -> CliResult {
+    let out = args.require("out")?;
+    let mut cfg = match args.get("preset").unwrap_or("small") {
+        "paper" => ScenarioConfig::paper_default(),
+        "small" => ScenarioConfig::small(),
+        other => return Err(format!("unknown preset {other:?} (paper|small)").into()),
+    };
+    cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    cfg.n_loyal = args.get_parsed("loyal", cfg.n_loyal)?;
+    cfg.n_defectors = args.get_parsed("defectors", cfg.n_defectors)?;
+    cfg.n_months = args.get_parsed("months", cfg.n_months)?;
+    cfg.onset_month = args.get_parsed("onset", cfg.onset_month)?;
+    if cfg.onset_month >= cfg.n_months {
+        return Err(format!(
+            "onset month {} must precede the end of the observation ({} months)",
+            cfg.onset_month, cfg.n_months
+        )
+        .into());
+    }
+
+    if !args.get_bool("quiet") {
+        eprintln!(
+            "generating {} loyal + {} defectors over {} months (seed {})…",
+            cfg.n_loyal, cfg.n_defectors, cfg.n_months, cfg.seed
+        );
+    }
+    let dataset = generate_dataset(&cfg);
+    let dir = Path::new(out);
+    std::fs::create_dir_all(dir)?;
+    match args.get("format").unwrap_or("csv") {
+        "csv" => std::fs::write(
+            dir.join("receipts.csv"),
+            csv_io::receipts_to_csv(&dataset.store),
+        )?,
+        "bin" => std::fs::write(
+            dir.join("receipts.bin"),
+            attrition_store::store_to_bytes(&dataset.store),
+        )?,
+        other => return Err(format!("unknown format {other:?} (csv|bin)").into()),
+    }
+    std::fs::write(
+        dir.join("taxonomy.csv"),
+        csv_io::taxonomy_to_csv(&dataset.taxonomy),
+    )?;
+    std::fs::write(
+        dir.join("labels.csv"),
+        labels_csv::labels_to_csv(&dataset.labels),
+    )?;
+    println!(
+        "wrote {} receipts, {} products, {} labels to {}",
+        dataset.store.num_receipts(),
+        dataset.taxonomy.num_products(),
+        dataset.labels.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// `attrition stats`
+pub fn stats(args: &Args) -> CliResult {
+    let store = load_store(args.require("receipts")?)?;
+    let taxonomy = match args.get("taxonomy") {
+        Some(path) => Some(load_taxonomy(path)?),
+        None => None,
+    };
+    println!("{}", DatasetStats::compute(&store, taxonomy.as_ref()));
+    Ok(())
+}
+
+/// `attrition evaluate`
+pub fn evaluate(args: &Args) -> CliResult {
+    let store = load_store(args.require("receipts")?)?;
+    let taxonomy = load_taxonomy(args.require("taxonomy")?)?;
+    let labels_text = std::fs::read_to_string(args.require("labels")?)?;
+    let labels = labels_csv::labels_from_csv(&labels_text)?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let w_months: u32 = args.get_parsed("window", 2)?;
+    let folds: usize = args.get_parsed("folds", 5)?;
+    let params = StabilityParams::new(alpha)?;
+
+    let seg_store = project_to_segments(&store, &taxonomy)?;
+    let spec = derive_spec(&seg_store, w_months)?;
+    let db = WindowedDatabase::covering_store(&seg_store, spec, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(params).compute(&db);
+    let rfm = RfmModel::new(1);
+
+    let mut table = Table::new(["window", "end month", "stability AUROC", "RFM AUROC"]);
+    for k in 0..db.num_windows {
+        let pairs = matrix.attrition_scores_at(WindowIndex::new(k));
+        let customers: Vec<CustomerId> = pairs.iter().map(|(c, _)| *c).collect();
+        let stab_scores: Vec<f64> = pairs.iter().map(|(_, s)| *s).collect();
+        let lab: Vec<bool> = customers
+            .iter()
+            .map(|c| {
+                labels
+                    .cohort_of(*c)
+                    .map(|co| co.is_defector())
+                    .unwrap_or(false)
+            })
+            .collect();
+        let stab_auc = auroc(&lab, &stab_scores);
+
+        let rows = rfm.features_at(&db, WindowIndex::new(k));
+        let features: Vec<attrition_rfm::RfmFeatures> = rows.iter().map(|(_, f)| *f).collect();
+        let rfm_auc = if lab.iter().filter(|&&l| l).count() >= folds
+            && lab.iter().filter(|&&l| !l).count() >= folds
+        {
+            let scores = out_of_fold_scores(&features, &lab, 1, folds, 42);
+            auroc(&lab, &scores)
+        } else {
+            f64::NAN
+        };
+        table.row([
+            k.to_string(),
+            ((k + 1) * w_months).to_string(),
+            fmt_f64(stab_auc, 3),
+            fmt_f64(rfm_auc, 3),
+        ]);
+    }
+    println!(
+        "evaluation at segment granularity: {} customers, α = {alpha}, {w_months}-month windows\n",
+        db.num_customers()
+    );
+    println!("{table}");
+    Ok(())
+}
+
+/// `attrition explain`
+pub fn explain(args: &Args) -> CliResult {
+    let store = load_store(args.require("receipts")?)?;
+    let taxonomy = load_taxonomy(args.require("taxonomy")?)?;
+    let customer = CustomerId::new(args.get_parsed("customer", u64::MAX)?);
+    if customer.raw() == u64::MAX {
+        return Err("missing required flag --customer".into());
+    }
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let w_months: u32 = args.get_parsed("window", 2)?;
+    let top: usize = args.get_parsed("top", 5)?;
+    let params = StabilityParams::new(alpha)?;
+
+    let seg_store = project_to_segments(&store, &taxonomy)?;
+    let spec = derive_spec(&seg_store, w_months)?;
+    let db = WindowedDatabase::covering_store(&seg_store, spec, WindowAlignment::Global);
+    let windows = db.customer(customer)?;
+    let analysis = analyze_customer(windows, params, top);
+
+    println!("stability trajectory of customer {customer} (α = {alpha}, {w_months}-month windows):\n");
+    let mut table = Table::new(["window", "stability", "lost products (share)"]);
+    for (point, expl) in analysis.points.iter().zip(&analysis.explanations) {
+        let lost: Vec<String> = expl
+            .lost
+            .iter()
+            .filter(|l| l.share >= 0.02)
+            .map(|l| {
+                let name = taxonomy
+                    .segment(SegmentId::new(l.item.raw()))
+                    .map(|s| s.name.clone())
+                    .unwrap_or_else(|_| l.item.to_string());
+                format!("{name} ({:.0}%)", l.share * 100.0)
+            })
+            .collect();
+        table.row([
+            point.window.raw().to_string(),
+            fmt_f64(point.value, 3),
+            lost.join(", "),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+/// `attrition rank`
+pub fn rank(args: &Args) -> CliResult {
+    let store = load_store(args.require("receipts")?)?;
+    let taxonomy = load_taxonomy(args.require("taxonomy")?)?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let w_months: u32 = args.get_parsed("window", 2)?;
+    let top: usize = args.get_parsed("top", 20)?;
+    let params = StabilityParams::new(alpha)?;
+
+    let seg_store = project_to_segments(&store, &taxonomy)?;
+    let spec = derive_spec(&seg_store, w_months)?;
+    let db = WindowedDatabase::covering_store(&seg_store, spec, WindowAlignment::Global);
+    if db.num_windows == 0 {
+        return Err("no complete windows in the data".into());
+    }
+    let k = args.get_parsed("window-index", db.num_windows - 1)?;
+    if k >= db.num_windows {
+        return Err(format!("window {k} out of range (have {})", db.num_windows).into());
+    }
+    let matrix = StabilityEngine::new(params).compute(&db);
+
+    println!(
+        "top {top} at-risk customers at window {k} (of {}):\n",
+        db.num_windows
+    );
+    let mut table = Table::new(["customer", "stability", "top lost products"]);
+    for (customer, score) in matrix.rank_at(WindowIndex::new(k), top) {
+        let lost: Vec<String> = matrix
+            .explanation(customer, WindowIndex::new(k))
+            .map(|e| {
+                e.lost
+                    .iter()
+                    .take(3)
+                    .map(|l| {
+                        taxonomy
+                            .segment(SegmentId::new(l.item.raw()))
+                            .map(|s| s.name.clone())
+                            .unwrap_or_else(|_| l.item.to_string())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        table.row([
+            customer.to_string(),
+            fmt_f64(1.0 - score, 3),
+            lost.join(", "),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+/// `attrition export`
+pub fn export(args: &Args) -> CliResult {
+    let store = load_store(args.require("receipts")?)?;
+    let taxonomy = load_taxonomy(args.require("taxonomy")?)?;
+    let out = args.require("out")?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let w_months: u32 = args.get_parsed("window", 2)?;
+    let min_share: f64 = args.get_parsed("min-share", 0.02)?;
+    let params = StabilityParams::new(alpha)?;
+
+    let seg_store = project_to_segments(&store, &taxonomy)?;
+    let spec = derive_spec(&seg_store, w_months)?;
+    let db = WindowedDatabase::covering_store(&seg_store, spec, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(params).compute(&db);
+
+    let dir = Path::new(out);
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("stability_scores.csv"),
+        attrition_core::matrix_to_csv(&matrix),
+    )?;
+    std::fs::write(
+        dir.join("explanations.csv"),
+        attrition_core::explanations_to_csv(&matrix, min_share),
+    )?;
+    println!(
+        "exported {} customers × {} windows to {}",
+        matrix.num_customers(),
+        db.num_windows,
+        dir.display()
+    );
+    Ok(())
+}
+
+/// `attrition monitor`
+pub fn monitor(args: &Args) -> CliResult {
+    let store = load_store(args.require("receipts")?)?;
+    let taxonomy = load_taxonomy(args.require("taxonomy")?)?;
+    let beta: f64 = args.get_parsed("beta", 0.6)?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let w_months: u32 = args.get_parsed("window", 2)?;
+    let warmup: u32 = args.get_parsed("warmup", 3)?;
+    let params = StabilityParams::new(alpha)?;
+    if !(0.0..=1.0).contains(&beta) {
+        return Err("--beta must be within [0, 1]".into());
+    }
+
+    let seg_store = project_to_segments(&store, &taxonomy)?;
+    let spec = derive_spec(&seg_store, w_months)?;
+    let mut mon = StabilityMonitor::new(spec, params).with_max_explanations(3);
+    let mut alerts = 0usize;
+    let stream: Vec<(CustomerId, attrition_types::Date, Basket)> =
+        attrition_store::chronological(&seg_store)
+            .map(|r| (r.customer, r.date, Basket::new(r.items.to_vec())))
+            .collect();
+    for (customer, date, basket) in stream {
+        for closed in mon.ingest(customer, date, &basket) {
+            if closed.point.window.raw() >= warmup && closed.point.value <= beta {
+                alerts += 1;
+                let lost: Vec<String> = closed
+                    .explanation
+                    .lost
+                    .iter()
+                    .map(|l| {
+                        taxonomy
+                            .segment(SegmentId::new(l.item.raw()))
+                            .map(|s| s.name.clone())
+                            .unwrap_or_else(|_| l.item.to_string())
+                    })
+                    .collect();
+                println!(
+                    "ALERT customer {} window {} stability {:.3} lost: {}",
+                    closed.customer,
+                    closed.point.window.raw(),
+                    closed.point.value,
+                    lost.join(", ")
+                );
+            }
+        }
+    }
+    println!("\n{alerts} alerts (stability ≤ {beta}, warm-up {warmup} windows)");
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Cohort-label CSV: `customer,cohort,onset_month` with cohort ∈
+//! {`loyal`, `defector`} and an empty onset for loyal customers.
+
+use attrition_datagen::{Cohort, CustomerLabel, LabelSet};
+use attrition_types::CustomerId;
+use attrition_util::csv::{parse_document, CsvWriter};
+
+/// Serialize labels (with header).
+pub fn labels_to_csv(labels: &LabelSet) -> String {
+    let mut w = CsvWriter::new();
+    w.record(&["customer", "cohort", "onset_month"]);
+    for label in labels.labels() {
+        match label.cohort {
+            Cohort::Loyal => w.record(&[&label.customer.raw().to_string(), "loyal", ""]),
+            Cohort::Defector { onset_month } => w.record(&[
+                &label.customer.raw().to_string(),
+                "defector",
+                &onset_month.to_string(),
+            ]),
+        };
+    }
+    w.finish()
+}
+
+/// Parse labels CSV (header optional).
+pub fn labels_from_csv(text: &str) -> Result<LabelSet, String> {
+    let mut labels = Vec::new();
+    for (idx, record) in parse_document(text).enumerate() {
+        let line = idx + 1;
+        let fields = record.ok_or_else(|| format!("line {line}: malformed record"))?;
+        if idx == 0 && fields.first().map(String::as_str) == Some("customer") {
+            continue;
+        }
+        if fields.len() != 3 {
+            return Err(format!("line {line}: expected 3 fields, got {}", fields.len()));
+        }
+        let customer: u64 = fields[0]
+            .parse()
+            .map_err(|_| format!("line {line}: bad customer id"))?;
+        let cohort = match fields[1].as_str() {
+            "loyal" => Cohort::Loyal,
+            "defector" => {
+                let onset: u32 = fields[2]
+                    .parse()
+                    .map_err(|_| format!("line {line}: defector needs an onset_month"))?;
+                Cohort::Defector { onset_month: onset }
+            }
+            other => return Err(format!("line {line}: unknown cohort {other:?}")),
+        };
+        labels.push(CustomerLabel {
+            customer: CustomerId::new(customer),
+            cohort,
+        });
+    }
+    Ok(LabelSet::new(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let set = LabelSet::new(vec![
+            CustomerLabel {
+                customer: CustomerId::new(1),
+                cohort: Cohort::Loyal,
+            },
+            CustomerLabel {
+                customer: CustomerId::new(2),
+                cohort: Cohort::Defector { onset_month: 18 },
+            },
+        ]);
+        let csv = labels_to_csv(&set);
+        let back = labels_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.cohort_of(CustomerId::new(1)), Some(Cohort::Loyal));
+        assert_eq!(
+            back.cohort_of(CustomerId::new(2)),
+            Some(Cohort::Defector { onset_month: 18 })
+        );
+    }
+
+    #[test]
+    fn bad_rows_rejected() {
+        assert!(labels_from_csv("x,loyal,\n").is_err());
+        assert!(labels_from_csv("1,ghost,\n").is_err());
+        assert!(labels_from_csv("1,defector,\n").is_err());
+        assert!(labels_from_csv("1,loyal\n").is_err());
+    }
+
+    #[test]
+    fn headerless_accepted() {
+        let back = labels_from_csv("5,loyal,\n").unwrap();
+        assert_eq!(back.len(), 1);
+    }
+}

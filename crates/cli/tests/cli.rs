@@ -1,0 +1,253 @@
+//! End-to-end CLI tests: drive the real `attrition` binary through every
+//! subcommand on a generated dataset.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_attrition")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary must execute")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Unique temp dir per test to keep parallel tests isolated.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("attrition_cli_tests")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn generate_dataset(dir: &Path) {
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--preset",
+        "small",
+        "--loyal",
+        "30",
+        "--defectors",
+        "30",
+        "--quiet",
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn help_flag_succeeds_per_command() {
+    for cmd in ["generate", "stats", "evaluate", "explain", "rank", "export", "monitor"] {
+        let out = run(&[cmd, "--help"]);
+        assert!(out.status.success(), "{cmd} --help failed");
+        assert!(stdout(&out).contains("FLAGS"), "{cmd} help lacks FLAGS");
+    }
+}
+
+#[test]
+fn missing_required_flag_reports_name() {
+    let out = run(&["stats"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--receipts"));
+}
+
+#[test]
+fn positional_argument_rejected() {
+    let out = run(&["stats", "receipts.csv"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("positional"));
+}
+
+#[test]
+fn full_pipeline_generate_stats_evaluate_explain_rank_monitor() {
+    let dir = temp_dir("pipeline");
+    generate_dataset(&dir);
+    let receipts = dir.join("receipts.csv");
+    let taxonomy = dir.join("taxonomy.csv");
+    let labels = dir.join("labels.csv");
+    assert!(receipts.exists() && taxonomy.exists() && labels.exists());
+
+    let stats = run(&[
+        "stats",
+        "--receipts",
+        receipts.to_str().unwrap(),
+        "--taxonomy",
+        taxonomy.to_str().unwrap(),
+    ]);
+    assert!(stats.status.success(), "{}", stderr(&stats));
+    assert!(stdout(&stats).contains("customers"));
+    assert!(stdout(&stats).contains("60"));
+
+    let eval = run(&[
+        "evaluate",
+        "--receipts",
+        receipts.to_str().unwrap(),
+        "--taxonomy",
+        taxonomy.to_str().unwrap(),
+        "--labels",
+        labels.to_str().unwrap(),
+    ]);
+    assert!(eval.status.success(), "{}", stderr(&eval));
+    assert!(stdout(&eval).contains("stability AUROC"));
+
+    let explain = run(&[
+        "explain",
+        "--receipts",
+        receipts.to_str().unwrap(),
+        "--taxonomy",
+        taxonomy.to_str().unwrap(),
+        "--customer",
+        "35",
+    ]);
+    assert!(explain.status.success(), "{}", stderr(&explain));
+    assert!(stdout(&explain).contains("stability"));
+
+    let rank = run(&[
+        "rank",
+        "--receipts",
+        receipts.to_str().unwrap(),
+        "--taxonomy",
+        taxonomy.to_str().unwrap(),
+        "--top",
+        "5",
+    ]);
+    assert!(rank.status.success(), "{}", stderr(&rank));
+    assert!(stdout(&rank).contains("at-risk"));
+
+    let export_dir = dir.join("exported");
+    let export = run(&[
+        "export",
+        "--receipts",
+        receipts.to_str().unwrap(),
+        "--taxonomy",
+        taxonomy.to_str().unwrap(),
+        "--out",
+        export_dir.to_str().unwrap(),
+    ]);
+    assert!(export.status.success(), "{}", stderr(&export));
+    assert!(export_dir.join("stability_scores.csv").exists());
+    assert!(export_dir.join("explanations.csv").exists());
+
+    let monitor = run(&[
+        "monitor",
+        "--receipts",
+        receipts.to_str().unwrap(),
+        "--taxonomy",
+        taxonomy.to_str().unwrap(),
+        "--beta",
+        "0.5",
+    ]);
+    assert!(monitor.status.success(), "{}", stderr(&monitor));
+    assert!(stdout(&monitor).contains("alerts"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_format_roundtrips_through_cli() {
+    let dir = temp_dir("binfmt");
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--format",
+        "bin",
+        "--quiet",
+        "--loyal",
+        "10",
+        "--defectors",
+        "10",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let receipts = dir.join("receipts.bin");
+    assert!(receipts.exists());
+    let stats = run(&["stats", "--receipts", receipts.to_str().unwrap()]);
+    assert!(stats.status.success(), "{}", stderr(&stats));
+    assert!(stdout(&stats).contains("20"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_customer_fails_cleanly() {
+    let dir = temp_dir("badcust");
+    generate_dataset(&dir);
+    let out = run(&[
+        "explain",
+        "--receipts",
+        dir.join("receipts.csv").to_str().unwrap(),
+        "--taxonomy",
+        dir.join("taxonomy.csv").to_str().unwrap(),
+        "--customer",
+        "999999",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_alpha_rejected() {
+    let dir = temp_dir("badalpha");
+    generate_dataset(&dir);
+    let out = run(&[
+        "evaluate",
+        "--receipts",
+        dir.join("receipts.csv").to_str().unwrap(),
+        "--taxonomy",
+        dir.join("taxonomy.csv").to_str().unwrap(),
+        "--labels",
+        dir.join("labels.csv").to_str().unwrap(),
+        "--alpha",
+        "0.5",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("alpha"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_rejects_bad_preset_and_onset() {
+    let dir = temp_dir("badgen");
+    let out = run(&["generate", "--out", dir.to_str().unwrap(), "--preset", "huge"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("preset"));
+    let out2 = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--months",
+        "10",
+        "--onset",
+        "12",
+    ]);
+    assert!(!out2.status.success());
+    assert!(stderr(&out2).contains("onset"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,134 @@
+//! The threshold classifier.
+//!
+//! "The points on these curves are obtained using different thresholds β
+//! for the customer stability. If `Stability_i^k > β` the customer is
+//! considered loyal. Otherwise, the customer is considered as defecting
+//! on window k."
+
+use crate::stability::StabilityPoint;
+
+/// Decision of the classifier for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `Stability > β`.
+    Loyal,
+    /// `Stability ≤ β`.
+    Defecting,
+}
+
+/// The β-threshold rule on stability values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityClassifier {
+    /// The threshold β.
+    pub beta: f64,
+}
+
+impl StabilityClassifier {
+    /// Construct; β must be in `[0, 1]` (stability's range).
+    pub fn new(beta: f64) -> StabilityClassifier {
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "beta must be within stability's range [0, 1]"
+        );
+        StabilityClassifier { beta }
+    }
+
+    /// Classify one stability value.
+    #[inline]
+    pub fn classify_value(&self, stability: f64) -> Verdict {
+        if stability > self.beta {
+            Verdict::Loyal
+        } else {
+            Verdict::Defecting
+        }
+    }
+
+    /// Classify one series point.
+    #[inline]
+    pub fn classify(&self, point: &StabilityPoint) -> Verdict {
+        self.classify_value(point.value)
+    }
+
+    /// The attrition *score* of a stability value for ROC analysis:
+    /// higher = more likely defecting. Defined as `1 − stability` so the
+    /// β sweep of the paper corresponds to the standard
+    /// `score ≥ threshold` convention with `threshold = 1 − β`.
+    #[inline]
+    pub fn attrition_score(stability: f64) -> f64 {
+        1.0 - stability
+    }
+
+    /// First window (if any) of a series the classifier flags as
+    /// defecting — the detected onset.
+    pub fn detect_onset<'a>(
+        &self,
+        series: impl IntoIterator<Item = &'a StabilityPoint>,
+    ) -> Option<attrition_types::WindowIndex> {
+        series
+            .into_iter()
+            .find(|p| self.classify(p) == Verdict::Defecting)
+            .map(|p| p.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_types::WindowIndex;
+
+    fn point(window: u32, value: f64) -> StabilityPoint {
+        StabilityPoint {
+            window: WindowIndex::new(window),
+            value,
+            present_significance: 0.0,
+            total_significance: 1.0,
+        }
+    }
+
+    #[test]
+    fn threshold_semantics_match_paper() {
+        let c = StabilityClassifier::new(0.6);
+        // strictly greater → loyal; equal or below → defecting
+        assert_eq!(c.classify_value(0.61), Verdict::Loyal);
+        assert_eq!(c.classify_value(0.6), Verdict::Defecting);
+        assert_eq!(c.classify_value(0.2), Verdict::Defecting);
+    }
+
+    #[test]
+    fn classify_point() {
+        let c = StabilityClassifier::new(0.5);
+        assert_eq!(c.classify(&point(0, 0.9)), Verdict::Loyal);
+        assert_eq!(c.classify(&point(0, 0.3)), Verdict::Defecting);
+    }
+
+    #[test]
+    fn attrition_score_inverts() {
+        assert_eq!(StabilityClassifier::attrition_score(1.0), 0.0);
+        assert_eq!(StabilityClassifier::attrition_score(0.25), 0.75);
+    }
+
+    #[test]
+    fn onset_detection() {
+        let series = [point(0, 1.0), point(1, 0.9), point(2, 0.4), point(3, 0.2)];
+        let c = StabilityClassifier::new(0.5);
+        assert_eq!(c.detect_onset(series.iter()), Some(WindowIndex::new(2)));
+        let all_loyal = [point(0, 1.0), point(1, 0.9)];
+        assert_eq!(c.detect_onset(all_loyal.iter()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "within stability's range")]
+    fn invalid_beta_panics() {
+        StabilityClassifier::new(1.5);
+    }
+
+    #[test]
+    fn boundary_betas_valid() {
+        // β = 0 flags only exactly-zero stability; β = 1 flags everyone.
+        let zero = StabilityClassifier::new(0.0);
+        assert_eq!(zero.classify_value(0.0), Verdict::Defecting);
+        assert_eq!(zero.classify_value(0.01), Verdict::Loyal);
+        let one = StabilityClassifier::new(1.0);
+        assert_eq!(one.classify_value(1.0), Verdict::Defecting);
+    }
+}

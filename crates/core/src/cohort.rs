@@ -1,0 +1,168 @@
+//! Population-level stability analytics.
+//!
+//! The per-customer series roll up into the curves a retention dashboard
+//! shows: mean stability of a cohort per window, and the fraction of the
+//! population the β rule flags per window (the projected campaign volume
+//! — what the retailer budgets against).
+
+use crate::classifier::{StabilityClassifier, Verdict};
+use crate::engine::StabilityMatrix;
+use attrition_types::{CustomerId, WindowIndex};
+use std::collections::HashSet;
+
+/// Mean stability of two cohorts at one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CohortPoint {
+    /// The window.
+    pub window: WindowIndex,
+    /// Mean stability of the in-cohort customers (`NaN` if none).
+    pub cohort_mean: f64,
+    /// Mean stability of everyone else (`NaN` if none).
+    pub rest_mean: f64,
+    /// Cohort size at this window.
+    pub cohort_count: usize,
+    /// Size of the complement at this window.
+    pub rest_count: usize,
+}
+
+/// Per-window mean stability of a cohort vs the rest of the population.
+///
+/// Typical call: `cohort` = the ground-truth (or flagged) defectors, so
+/// the two curves visualize when the populations separate.
+pub fn cohort_curves(
+    matrix: &StabilityMatrix,
+    cohort: impl IntoIterator<Item = CustomerId>,
+) -> Vec<CohortPoint> {
+    let cohort: HashSet<CustomerId> = cohort.into_iter().collect();
+    (0..matrix.num_windows)
+        .map(|k| {
+            let window = WindowIndex::new(k);
+            let (mut c_sum, mut c_n, mut r_sum, mut r_n) = (0.0, 0usize, 0.0, 0usize);
+            for (customer, value) in matrix.stability_at(window) {
+                if cohort.contains(&customer) {
+                    c_sum += value;
+                    c_n += 1;
+                } else {
+                    r_sum += value;
+                    r_n += 1;
+                }
+            }
+            CohortPoint {
+                window,
+                cohort_mean: if c_n > 0 { c_sum / c_n as f64 } else { f64::NAN },
+                rest_mean: if r_n > 0 { r_sum / r_n as f64 } else { f64::NAN },
+                cohort_count: c_n,
+                rest_count: r_n,
+            }
+        })
+        .collect()
+}
+
+/// Fraction of scored customers the β rule flags per window — the
+/// projected retention-campaign volume over time.
+pub fn flag_rate_per_window(matrix: &StabilityMatrix, beta: f64) -> Vec<(WindowIndex, f64)> {
+    let classifier = StabilityClassifier::new(beta);
+    (0..matrix.num_windows)
+        .map(|k| {
+            let window = WindowIndex::new(k);
+            let values = matrix.stability_at(window);
+            let flagged = values
+                .iter()
+                .filter(|(_, v)| classifier.classify_value(*v) == Verdict::Defecting)
+                .count();
+            let rate = if values.is_empty() {
+                f64::NAN
+            } else {
+                flagged as f64 / values.len() as f64
+            };
+            (window, rate)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StabilityEngine;
+    use crate::params::StabilityParams;
+    use attrition_store::{ReceiptStoreBuilder, WindowAlignment, WindowSpec, WindowedDatabase};
+    use attrition_types::{Basket, Cents, Date, Receipt};
+
+    /// 6 customers, 6 monthly windows; customers 3..6 drop item 100 from
+    /// month 3 on.
+    fn matrix() -> StabilityMatrix {
+        let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+        let mut b = ReceiptStoreBuilder::new();
+        for c in 0..6u64 {
+            for month in 0..6 {
+                let items: Vec<u32> = if month >= 3 && c >= 3 {
+                    vec![c as u32]
+                } else {
+                    vec![c as u32, 100]
+                };
+                b.push(Receipt::new(
+                    CustomerId::new(c),
+                    d0.add_months(month),
+                    Basket::from_raw(&items),
+                    Cents(100),
+                ));
+            }
+        }
+        let db = WindowedDatabase::from_store(
+            &b.build(),
+            WindowSpec::months(d0, 1),
+            6,
+            WindowAlignment::Global,
+        );
+        StabilityEngine::new(StabilityParams::PAPER).compute(&db)
+    }
+
+    #[test]
+    fn curves_separate_after_drop() {
+        let m = matrix();
+        let droppers: Vec<CustomerId> = (3..6).map(CustomerId::new).collect();
+        let curves = cohort_curves(&m, droppers);
+        assert_eq!(curves.len(), 6);
+        // Before the drop both cohorts sit at 1.
+        assert_eq!(curves[2].cohort_mean, 1.0);
+        assert_eq!(curves[2].rest_mean, 1.0);
+        // After the drop the dropper cohort falls below the rest.
+        for point in &curves[3..] {
+            assert!(
+                point.cohort_mean < point.rest_mean,
+                "window {}: {} !< {}",
+                point.window,
+                point.cohort_mean,
+                point.rest_mean
+            );
+            assert_eq!(point.cohort_count, 3);
+            assert_eq!(point.rest_count, 3);
+        }
+    }
+
+    #[test]
+    fn empty_cohort_gives_nan_side() {
+        let m = matrix();
+        let curves = cohort_curves(&m, std::iter::empty());
+        assert!(curves[0].cohort_mean.is_nan());
+        assert_eq!(curves[0].rest_count, 6);
+        assert!(!curves[0].rest_mean.is_nan());
+    }
+
+    #[test]
+    fn flag_rate_tracks_defection() {
+        let m = matrix();
+        let rates = flag_rate_per_window(&m, 0.8);
+        // Nobody flagged early; half the population once items drop.
+        assert_eq!(rates[2].1, 0.0);
+        let late = rates[4].1;
+        assert!((late - 0.5).abs() < 1e-9, "late flag rate {late}");
+    }
+
+    #[test]
+    fn flag_rate_beta_one_flags_everyone() {
+        let m = matrix();
+        let rates = flag_rate_per_window(&m, 1.0);
+        assert!(rates.iter().all(|(_, r)| *r == 1.0));
+    }
+}

@@ -1,0 +1,341 @@
+//! Batch scoring of a whole windowed database.
+//!
+//! The paper's Figure 1 needs the stability of *every* customer at
+//! *every* window; [`StabilityEngine`] computes that matrix, fanning
+//! customers out across OS threads (customers are independent, so the
+//! parallelism is embarrassing; `std::thread::scope` keeps it
+//! dependency-free).
+
+use crate::explanation::WindowExplanation;
+use crate::params::StabilityParams;
+use crate::stability::{analyze_customer, CustomerAnalysis, StabilityPoint};
+use attrition_store::WindowedDatabase;
+use attrition_types::{CustomerId, WindowIndex};
+
+/// Configured batch scorer.
+#[derive(Debug, Clone)]
+pub struct StabilityEngine {
+    /// Model parameters.
+    pub params: StabilityParams,
+    /// How many lost products to retain per window explanation.
+    pub max_explanations: usize,
+    /// Thread cap (`None` = `available_parallelism`).
+    pub threads: Option<usize>,
+}
+
+impl StabilityEngine {
+    /// Engine with the given parameters, 5 explanations per window,
+    /// automatic thread count.
+    pub fn new(params: StabilityParams) -> StabilityEngine {
+        StabilityEngine {
+            params,
+            max_explanations: 5,
+            threads: None,
+        }
+    }
+
+    /// Override the number of lost products retained per window.
+    pub fn with_max_explanations(mut self, n: usize) -> StabilityEngine {
+        self.max_explanations = n;
+        self
+    }
+
+    /// Override the thread count (useful for benchmarking scaling).
+    pub fn with_threads(mut self, threads: usize) -> StabilityEngine {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = Some(threads);
+        self
+    }
+
+    fn effective_threads(&self, work_items: usize) -> usize {
+        let hw = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        hw.min(work_items.max(1))
+    }
+
+    /// Score every customer of `db`.
+    pub fn compute(&self, db: &WindowedDatabase) -> StabilityMatrix {
+        let customers = db.customers();
+        let n_threads = self.effective_threads(customers.len());
+        let analyses: Vec<CustomerAnalysis> = if n_threads <= 1 || customers.len() < 32 {
+            customers
+                .iter()
+                .map(|w| analyze_customer(w, self.params, self.max_explanations))
+                .collect()
+        } else {
+            let chunk_size = customers.len().div_ceil(n_threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = customers
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|w| analyze_customer(w, self.params, self.max_explanations))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(customers.len());
+                for h in handles {
+                    out.extend(h.join().expect("worker thread panicked"));
+                }
+                out
+            })
+        };
+        StabilityMatrix {
+            num_windows: db.num_windows,
+            analyses,
+        }
+    }
+}
+
+/// The stability of every customer at every window, with explanations.
+#[derive(Debug, Clone)]
+pub struct StabilityMatrix {
+    /// Number of horizon windows of the underlying database.
+    pub num_windows: u32,
+    analyses: Vec<CustomerAnalysis>,
+}
+
+impl StabilityMatrix {
+    /// Number of customers scored.
+    pub fn num_customers(&self) -> usize {
+        self.analyses.len()
+    }
+
+    /// All per-customer analyses, in customer-id order.
+    pub fn analyses(&self) -> &[CustomerAnalysis] {
+        &self.analyses
+    }
+
+    /// The analysis of one customer.
+    pub fn customer(&self, id: CustomerId) -> Option<&CustomerAnalysis> {
+        self.analyses
+            .binary_search_by_key(&id, |a| a.customer)
+            .ok()
+            .map(|i| &self.analyses[i])
+    }
+
+    /// `(customer, stability)` pairs at window `k`, skipping customers
+    /// whose horizon is shorter than `k + 1` (possible under per-customer
+    /// alignment).
+    pub fn stability_at(&self, k: WindowIndex) -> Vec<(CustomerId, f64)> {
+        self.analyses
+            .iter()
+            .filter_map(|a| a.points.get(k.index()).map(|p| (a.customer, p.value)))
+            .collect()
+    }
+
+    /// `(customer, attrition score)` pairs at window `k`, where the score
+    /// is `1 − stability` (higher = more likely defecting) — the input
+    /// convention of `attrition-eval`-style ROC analysis.
+    pub fn attrition_scores_at(&self, k: WindowIndex) -> Vec<(CustomerId, f64)> {
+        self.stability_at(k)
+            .into_iter()
+            .map(|(c, v)| (c, 1.0 - v))
+            .collect()
+    }
+
+    /// The explanation of one customer at one window.
+    pub fn explanation(&self, id: CustomerId, k: WindowIndex) -> Option<&WindowExplanation> {
+        self.customer(id).and_then(|a| a.explanations.get(k.index()))
+    }
+
+    /// The `limit` most at-risk customers at window `k` (highest
+    /// attrition score first, ties broken by customer id). This is the
+    /// retention campaign's call list.
+    pub fn rank_at(&self, k: WindowIndex, limit: usize) -> Vec<(CustomerId, f64)> {
+        let mut ranked = self.attrition_scores_at(k);
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(limit);
+        ranked
+    }
+
+    /// Summary statistics of the stability values at window `k`
+    /// (population health at a glance).
+    pub fn summary_at(&self, k: WindowIndex) -> attrition_util::Summary {
+        let values: Vec<f64> = self.stability_at(k).into_iter().map(|(_, v)| v).collect();
+        attrition_util::Summary::of(&values)
+    }
+
+    /// The full point (value + decomposition) of one customer at one
+    /// window.
+    pub fn point(&self, id: CustomerId, k: WindowIndex) -> Option<&StabilityPoint> {
+        self.customer(id).and_then(|a| a.points.get(k.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_store::{ReceiptStoreBuilder, WindowAlignment, WindowSpec, WindowedDatabase};
+    use attrition_types::{Basket, Cents, Date, Receipt};
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn db(n_customers: u64) -> WindowedDatabase {
+        let mut b = ReceiptStoreBuilder::new();
+        for c in 0..n_customers {
+            // Each customer buys item c and item 100 every month for 6
+            // months, then drops item 100 if c is odd.
+            for month in 0..6 {
+                let date = d(2012, 5, 1).add_months(month);
+                let items = if month >= 4 && c % 2 == 1 {
+                    vec![c as u32]
+                } else {
+                    vec![c as u32, 100]
+                };
+                b.push(Receipt::new(
+                    CustomerId::new(c),
+                    date,
+                    Basket::new(items.into_iter().map(attrition_types::ItemId::new).collect()),
+                    Cents(100),
+                ));
+            }
+        }
+        WindowedDatabase::from_store(
+            &b.build(),
+            WindowSpec::months(d(2012, 5, 1), 1),
+            6,
+            WindowAlignment::Global,
+        )
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(10));
+        assert_eq!(matrix.num_customers(), 10);
+        assert_eq!(matrix.num_windows, 6);
+        for a in matrix.analyses() {
+            assert_eq!(a.points.len(), 6);
+            assert_eq!(a.explanations.len(), 6);
+        }
+    }
+
+    #[test]
+    fn droppers_score_lower_late() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(10));
+        let at5 = matrix.stability_at(WindowIndex::new(5));
+        for (c, v) in at5 {
+            if c.raw() % 2 == 1 {
+                assert!(v < 1.0, "dropper {c} at {v}");
+            } else {
+                assert_eq!(v, 1.0, "keeper {c} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn attrition_scores_invert() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(4));
+        let stab = matrix.stability_at(WindowIndex::new(5));
+        let attr = matrix.attrition_scores_at(WindowIndex::new(5));
+        for ((c1, s), (c2, a)) in stab.iter().zip(&attr) {
+            assert_eq!(c1, c2);
+            assert!((s + a - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let database = db(64);
+        let serial = StabilityEngine::new(StabilityParams::PAPER)
+            .with_threads(1)
+            .compute(&database);
+        let parallel = StabilityEngine::new(StabilityParams::PAPER)
+            .with_threads(4)
+            .compute(&database);
+        assert_eq!(serial.num_customers(), parallel.num_customers());
+        for (a, b) in serial.analyses().iter().zip(parallel.analyses()) {
+            assert_eq!(a.customer, b.customer);
+            assert_eq!(a.points, b.points);
+            assert_eq!(a.explanations, b.explanations);
+        }
+    }
+
+    #[test]
+    fn customer_lookup() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(5));
+        assert!(matrix.customer(CustomerId::new(3)).is_some());
+        assert!(matrix.customer(CustomerId::new(99)).is_none());
+        assert!(matrix.point(CustomerId::new(3), WindowIndex::new(0)).is_some());
+        assert!(matrix.point(CustomerId::new(3), WindowIndex::new(9)).is_none());
+    }
+
+    #[test]
+    fn dropper_explanation_names_item_100() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(4));
+        let expl = matrix
+            .explanation(CustomerId::new(1), WindowIndex::new(4))
+            .unwrap();
+        assert_eq!(
+            expl.primary().unwrap().item,
+            attrition_types::ItemId::new(100)
+        );
+    }
+
+    #[test]
+    fn ranking_puts_droppers_first() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(10));
+        let top = matrix.rank_at(WindowIndex::new(5), 5);
+        assert_eq!(top.len(), 5);
+        // Odd customers dropped item 100 → all five droppers outrank
+        // every keeper.
+        for (c, score) in &top {
+            assert_eq!(c.raw() % 2, 1, "keeper {c} ranked in top 5");
+            assert!(*score > 0.0);
+        }
+        // Scores descend.
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        // Limit larger than the population clamps.
+        assert_eq!(matrix.rank_at(WindowIndex::new(5), 99).len(), 10);
+    }
+
+    #[test]
+    fn summary_at_reports_population_health() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(10));
+        let healthy = matrix.summary_at(WindowIndex::new(3));
+        assert_eq!(healthy.count, 10);
+        assert_eq!(healthy.median, 1.0);
+        let late = matrix.summary_at(WindowIndex::new(5));
+        assert!(late.mean < healthy.mean);
+        assert_eq!(matrix.summary_at(WindowIndex::new(50)).count, 0);
+    }
+
+    #[test]
+    fn stability_at_out_of_range_empty() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(3));
+        assert!(matrix.stability_at(WindowIndex::new(40)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_panics() {
+        StabilityEngine::new(StabilityParams::PAPER).with_threads(0);
+    }
+
+    #[test]
+    fn empty_database() {
+        let store = ReceiptStoreBuilder::new().build();
+        let db = WindowedDatabase::from_store(
+            &store,
+            WindowSpec::months(d(2012, 5, 1), 1),
+            0,
+            WindowAlignment::Global,
+        );
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+        assert_eq!(matrix.num_customers(), 0);
+        assert!(matrix.stability_at(WindowIndex::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! CSV export of batch results.
+//!
+//! Downstream consumers (BI dashboards, campaign tooling) want the
+//! stability matrix and the explanations as flat files; these functions
+//! render them in stable, documented schemas.
+//!
+//! * scores: `customer,window,stability,present_significance,total_significance`
+//! * explanations: `customer,window,rank,item,significance,share`
+
+use crate::engine::StabilityMatrix;
+use attrition_util::csv::CsvWriter;
+
+/// Render the full stability matrix as CSV (one row per customer-window).
+pub fn matrix_to_csv(matrix: &StabilityMatrix) -> String {
+    let mut w = CsvWriter::new();
+    w.record(&[
+        "customer",
+        "window",
+        "stability",
+        "present_significance",
+        "total_significance",
+    ]);
+    for analysis in matrix.analyses() {
+        for point in &analysis.points {
+            w.record(&[
+                &analysis.customer.raw().to_string(),
+                &point.window.raw().to_string(),
+                &format!("{:.6}", point.value),
+                &format!("{:.6}", point.present_significance),
+                &format!("{:.6}", point.total_significance),
+            ]);
+        }
+    }
+    w.finish()
+}
+
+/// Render every window explanation as CSV (one row per lost product),
+/// keeping only losses with `share ≥ min_share`.
+pub fn explanations_to_csv(matrix: &StabilityMatrix, min_share: f64) -> String {
+    let mut w = CsvWriter::new();
+    w.record(&["customer", "window", "rank", "item", "significance", "share"]);
+    for analysis in matrix.analyses() {
+        for expl in &analysis.explanations {
+            for (rank, lost) in expl
+                .lost
+                .iter()
+                .filter(|l| l.share >= min_share)
+                .enumerate()
+            {
+                w.record(&[
+                    &analysis.customer.raw().to_string(),
+                    &expl.window.raw().to_string(),
+                    &(rank + 1).to_string(),
+                    &lost.item.raw().to_string(),
+                    &format!("{:.6}", lost.significance),
+                    &format!("{:.6}", lost.share),
+                ]);
+            }
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StabilityEngine;
+    use crate::params::StabilityParams;
+    use attrition_store::{ReceiptStoreBuilder, WindowAlignment, WindowSpec, WindowedDatabase};
+    use attrition_types::{Basket, Cents, CustomerId, Date, Receipt};
+
+    fn matrix() -> StabilityMatrix {
+        let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+        let mut b = ReceiptStoreBuilder::new();
+        for month in 0..3 {
+            b.push(Receipt::new(
+                CustomerId::new(1),
+                d0.add_months(month),
+                Basket::from_raw(if month < 2 { &[1, 2] } else { &[1] }),
+                Cents(100),
+            ));
+        }
+        let db = WindowedDatabase::from_store(
+            &b.build(),
+            WindowSpec::months(d0, 1),
+            3,
+            WindowAlignment::Global,
+        );
+        StabilityEngine::new(StabilityParams::PAPER).compute(&db)
+    }
+
+    #[test]
+    fn matrix_csv_schema_and_rows() {
+        let csv = matrix_to_csv(&matrix());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "customer,window,stability,present_significance,total_significance"
+        );
+        assert_eq!(lines.len(), 1 + 3); // header + 1 customer × 3 windows
+        // Window 2: item 2 missing → stability 4/(4+4) wait: S(1)=S(2)=4 at
+        // k=2 → 0.5.
+        assert!(lines[3].starts_with("1,2,0.5"));
+    }
+
+    #[test]
+    fn explanations_csv_lists_losses() {
+        let csv = explanations_to_csv(&matrix(), 0.0);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "customer,window,rank,item,significance,share"
+        );
+        // Only window 2 has a loss (item 2).
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("1,2,1,2,"));
+    }
+
+    #[test]
+    fn min_share_filters() {
+        let csv = explanations_to_csv(&matrix(), 0.99);
+        assert_eq!(csv.lines().count(), 1); // header only
+    }
+
+    #[test]
+    fn exported_csv_parses_back() {
+        let csv = matrix_to_csv(&matrix());
+        let rows: Vec<Vec<String>> = attrition_util::csv::parse_document(&csv)
+            .map(|r| r.expect("own CSV parses"))
+            .collect();
+        assert_eq!(rows.len(), 4);
+        for row in &rows[1..] {
+            assert_eq!(row.len(), 5);
+            let v: f64 = row[2].parse().expect("stability is numeric");
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Streaming stability monitoring.
+//!
+//! The batch engine recomputes from scratch; a deployed retention system
+//! instead *watches receipts arrive* and closes a window per customer
+//! when the calendar crosses a window boundary. [`StabilityMonitor`] is
+//! that online mode: feed receipts in any order of customers (but
+//! chronologically per customer); every time a customer's receipt lands
+//! past their current window, the elapsed windows are closed and scored.
+//!
+//! The scores are identical to the batch engine's by construction (same
+//! tracker, same fold order) — asserted by integration tests.
+
+use crate::explanation::WindowExplanation;
+use crate::params::StabilityParams;
+use crate::significance::SignificanceTracker;
+use crate::stability::StabilityPoint;
+use attrition_store::WindowSpec;
+use attrition_types::{Basket, CustomerId, Date, ItemId, WindowIndex};
+use std::collections::HashMap;
+
+/// A closed-window event emitted by the monitor.
+#[derive(Debug, Clone)]
+pub struct WindowClosed {
+    /// The customer whose window closed.
+    pub customer: CustomerId,
+    /// The scored point.
+    pub point: StabilityPoint,
+    /// The ranked lost products of that window.
+    pub explanation: WindowExplanation,
+}
+
+/// Per-customer online state.
+#[derive(Debug)]
+struct CustomerState {
+    tracker: SignificanceTracker,
+    /// Window currently being accumulated.
+    current_window: u32,
+    /// Items seen so far in the current window.
+    pending: Vec<ItemId>,
+}
+
+/// Online, multi-customer stability monitor.
+#[derive(Debug)]
+pub struct StabilityMonitor {
+    spec: WindowSpec,
+    params: StabilityParams,
+    max_explanations: usize,
+    customers: HashMap<CustomerId, CustomerState>,
+}
+
+impl StabilityMonitor {
+    /// Create a monitor on a window grid.
+    pub fn new(spec: WindowSpec, params: StabilityParams) -> StabilityMonitor {
+        StabilityMonitor {
+            spec,
+            params,
+            max_explanations: 5,
+            customers: HashMap::new(),
+        }
+    }
+
+    /// Override how many lost products each emitted explanation retains.
+    pub fn with_max_explanations(mut self, n: usize) -> StabilityMonitor {
+        self.max_explanations = n;
+        self
+    }
+
+    /// Number of customers currently tracked.
+    pub fn num_customers(&self) -> usize {
+        self.customers.len()
+    }
+
+    /// Ingest one receipt. Receipts of the same customer must arrive in
+    /// chronological order; receipts dated before the grid origin are
+    /// ignored. Returns the windows that were closed (and scored) by this
+    /// receipt's arrival — empty while the receipt falls into the
+    /// customer's current window.
+    pub fn ingest(
+        &mut self,
+        customer: CustomerId,
+        date: Date,
+        basket: &Basket,
+    ) -> Vec<WindowClosed> {
+        let Some(window) = self.spec.window_of(date) else {
+            return Vec::new();
+        };
+        let state = self
+            .customers
+            .entry(customer)
+            .or_insert_with(|| CustomerState {
+                tracker: SignificanceTracker::new(self.params),
+                current_window: 0,
+                pending: Vec::new(),
+            });
+        assert!(
+            window.raw() >= state.current_window,
+            "receipts of customer {customer} arrived out of order \
+             (window {} after {})",
+            window.raw(),
+            state.current_window
+        );
+        let mut closed = Vec::new();
+        while state.current_window < window.raw() {
+            closed.push(Self::close_one(
+                customer,
+                state,
+                self.max_explanations,
+            ));
+        }
+        state.pending.extend(basket.iter());
+        closed
+    }
+
+    /// Close every customer's windows up to (excluding) the window
+    /// containing `now`; call at end-of-period or on a timer.
+    pub fn flush_until(&mut self, now: Date) -> Vec<WindowClosed> {
+        let Some(window) = self.spec.window_of(now) else {
+            return Vec::new();
+        };
+        let mut closed = Vec::new();
+        let mut ids: Vec<CustomerId> = self.customers.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let state = self.customers.get_mut(&id).expect("key just listed");
+            while state.current_window < window.raw() {
+                closed.push(Self::close_one(id, state, self.max_explanations));
+            }
+        }
+        closed
+    }
+
+    /// The live (not yet closed) stability of a customer's current
+    /// window, scored against their history so far.
+    pub fn preview(&self, customer: CustomerId) -> Option<StabilityPoint> {
+        let state = self.customers.get(&customer)?;
+        let u = Basket::new(state.pending.clone());
+        let total = state.tracker.total_significance();
+        let present = state.tracker.present_significance(&u);
+        Some(StabilityPoint {
+            window: WindowIndex::new(state.current_window),
+            value: if total > 0.0 { present / total } else { 1.0 },
+            present_significance: present,
+            total_significance: total,
+        })
+    }
+
+    /// Serialize the monitor's state to a CSV checkpoint.
+    ///
+    /// Schema: a header row `#monitor,<windows grid origin days>,<length
+    /// code>,<alpha>,<max_explanations>`, then one row per `(customer,
+    /// kind, …)`: `c,<customer>,<current_window>,<windows_observed>` for
+    /// customer headers, `i,<customer>,<item>,<count>` for tracker
+    /// counters, `p,<customer>,<item>` for pending (current-window) items
+    /// (repeated per occurrence). Restoring with
+    /// [`StabilityMonitor::restore`] yields a monitor whose future
+    /// outputs are identical to the original's.
+    pub fn snapshot(&self) -> String {
+        use attrition_util::csv::CsvWriter;
+        let mut w = CsvWriter::new();
+        let length_code = match self.spec.length {
+            attrition_store::WindowLength::Days(d) => format!("d{d}"),
+            attrition_store::WindowLength::Months(m) => format!("m{m}"),
+        };
+        w.record(&[
+            "#monitor",
+            &self.spec.origin.days_since_epoch().to_string(),
+            &length_code,
+            &self.params.alpha.to_string(),
+            &self.max_explanations.to_string(),
+        ]);
+        let mut ids: Vec<CustomerId> = self.customers.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let state = &self.customers[&id];
+            w.record(&[
+                "c",
+                &id.raw().to_string(),
+                &state.current_window.to_string(),
+                &state.tracker.windows_observed().to_string(),
+            ]);
+            let mut items: Vec<(ItemId, u32)> = state
+                .tracker
+                .tracked_items()
+                .map(|(item, c, _, _)| (item, c))
+                .collect();
+            items.sort_unstable_by_key(|(item, _)| *item);
+            for (item, count) in items {
+                w.record(&["i", &id.raw().to_string(), &item.raw().to_string(), &count.to_string()]);
+            }
+            for item in &state.pending {
+                w.record(&["p", &id.raw().to_string(), &item.raw().to_string(), ""]);
+            }
+        }
+        w.finish()
+    }
+
+    /// Restore a monitor from a [`snapshot`](StabilityMonitor::snapshot).
+    pub fn restore(text: &str) -> Result<StabilityMonitor, String> {
+        use attrition_util::csv::parse_document;
+        let mut lines = parse_document(text);
+        let header = lines
+            .next()
+            .ok_or("empty checkpoint")?
+            .ok_or("malformed header")?;
+        if header.len() != 5 || header[0] != "#monitor" {
+            return Err("not a monitor checkpoint".into());
+        }
+        let origin = Date::from_days(
+            header[1].parse().map_err(|_| "bad origin".to_string())?,
+        );
+        let spec = match header[2].split_at(1) {
+            ("d", days) => WindowSpec::days(origin, days.parse().map_err(|_| "bad length")?),
+            ("m", months) => WindowSpec::months(origin, months.parse().map_err(|_| "bad length")?),
+            _ => return Err("bad window length code".into()),
+        };
+        let alpha: f64 = header[3].parse().map_err(|_| "bad alpha".to_string())?;
+        let params = StabilityParams::new(alpha).map_err(|e| e.to_string())?;
+        let max_explanations: usize =
+            header[4].parse().map_err(|_| "bad max_explanations".to_string())?;
+        let mut monitor = StabilityMonitor::new(spec, params).with_max_explanations(max_explanations);
+        for (idx, record) in lines.enumerate() {
+            let row = record.ok_or_else(|| format!("malformed row {}", idx + 2))?;
+            let customer = CustomerId::new(
+                row.get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad customer at row {}", idx + 2))?,
+            );
+            match row.first().map(String::as_str) {
+                Some("c") => {
+                    let current_window: u32 =
+                        row[2].parse().map_err(|_| "bad current_window")?;
+                    let windows: u32 = row[3].parse().map_err(|_| "bad windows")?;
+                    let mut tracker = SignificanceTracker::new(params);
+                    // Advance the window counter with empty observations;
+                    // counters are replayed by the `i` rows below.
+                    for _ in 0..windows {
+                        tracker.observe_window(&Basket::empty());
+                    }
+                    monitor.customers.insert(
+                        customer,
+                        CustomerState {
+                            tracker,
+                            current_window,
+                            pending: Vec::new(),
+                        },
+                    );
+                }
+                Some("i") => {
+                    let item = ItemId::new(row[2].parse().map_err(|_| "bad item")?);
+                    let count: u32 = row[3].parse().map_err(|_| "bad count")?;
+                    let state = monitor
+                        .customers
+                        .get_mut(&customer)
+                        .ok_or("item row before customer row")?;
+                    state.tracker.set_occurrences(item, count);
+                }
+                Some("p") => {
+                    let item = ItemId::new(row[2].parse().map_err(|_| "bad item")?);
+                    let state = monitor
+                        .customers
+                        .get_mut(&customer)
+                        .ok_or("pending row before customer row")?;
+                    state.pending.push(item);
+                }
+                other => return Err(format!("unknown row kind {other:?}")),
+            }
+        }
+        Ok(monitor)
+    }
+
+    fn close_one(
+        customer: CustomerId,
+        state: &mut CustomerState,
+        max_explanations: usize,
+    ) -> WindowClosed {
+        let u = Basket::new(std::mem::take(&mut state.pending));
+        let k = WindowIndex::new(state.current_window);
+        let total = state.tracker.total_significance();
+        let present = state.tracker.present_significance(&u);
+        let point = StabilityPoint {
+            window: k,
+            value: if total > 0.0 { present / total } else { 1.0 },
+            present_significance: present,
+            total_significance: total,
+        };
+        let mut lost: Vec<crate::explanation::LostProduct> = state
+            .tracker
+            .tracked_items()
+            .filter(|(item, c, _, _)| *c > 0 && !u.contains(*item))
+            .map(|(item, _, _, s)| crate::explanation::LostProduct {
+                item,
+                significance: s,
+                share: if total > 0.0 { s / total } else { 0.0 },
+            })
+            .collect();
+        lost.sort_by(|a, b| {
+            b.significance
+                .total_cmp(&a.significance)
+                .then(a.item.cmp(&b.item))
+        });
+        lost.truncate(max_explanations);
+        state.tracker.observe_window(&u);
+        state.current_window += 1;
+        WindowClosed {
+            customer,
+            point,
+            explanation: WindowExplanation { window: k, lost },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn monitor() -> StabilityMonitor {
+        StabilityMonitor::new(
+            WindowSpec::months(d(2012, 5, 1), 1),
+            StabilityParams::PAPER,
+        )
+    }
+
+    fn b(raw: &[u32]) -> Basket {
+        Basket::from_raw(raw)
+    }
+
+    #[test]
+    fn same_window_receipts_accumulate() {
+        let mut m = monitor();
+        let c = CustomerId::new(1);
+        assert!(m.ingest(c, d(2012, 5, 2), &b(&[1])).is_empty());
+        assert!(m.ingest(c, d(2012, 5, 20), &b(&[2])).is_empty());
+        let preview = m.preview(c).unwrap();
+        assert_eq!(preview.window, WindowIndex::new(0));
+        assert_eq!(preview.value, 1.0); // no history yet
+    }
+
+    #[test]
+    fn crossing_boundary_closes_window() {
+        let mut m = monitor();
+        let c = CustomerId::new(1);
+        m.ingest(c, d(2012, 5, 2), &b(&[1, 2]));
+        let closed = m.ingest(c, d(2012, 6, 3), &b(&[1]));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].point.window, WindowIndex::new(0));
+        assert_eq!(closed[0].point.value, 1.0);
+    }
+
+    #[test]
+    fn gap_closes_multiple_windows() {
+        let mut m = monitor();
+        let c = CustomerId::new(1);
+        m.ingest(c, d(2012, 5, 2), &b(&[1]));
+        // Jump straight to August: closes May, June, July windows.
+        let closed = m.ingest(c, d(2012, 8, 10), &b(&[1]));
+        assert_eq!(closed.len(), 3);
+        // June and July are empty windows: stability 0 (history exists).
+        assert_eq!(closed[1].point.value, 0.0);
+        assert_eq!(closed[2].point.value, 0.0);
+        // Their explanation names the missing item 1.
+        assert_eq!(
+            closed[1].explanation.primary().unwrap().item,
+            ItemId::new(1)
+        );
+    }
+
+    #[test]
+    fn matches_batch_series() {
+        // Feed the same history through the monitor and the batch path.
+        use attrition_store::CustomerWindows;
+        let history: Vec<Vec<u32>> = vec![
+            vec![1, 2],
+            vec![1, 2],
+            vec![1],
+            vec![],
+            vec![2, 3],
+            vec![1, 2, 3],
+        ];
+        let c = CustomerId::new(9);
+
+        let mut m = monitor();
+        let mut online = Vec::new();
+        for (month, items) in history.iter().enumerate() {
+            if !items.is_empty() {
+                let date = d(2012, 5, 5).add_months(month as i32);
+                online.extend(m.ingest(c, date, &b(items)));
+            }
+        }
+        online.extend(m.flush_until(d(2012, 11, 1))); // closes through Oct
+
+        let spec = WindowSpec::months(d(2012, 5, 1), 1);
+        let windows = CustomerWindows {
+            customer: c,
+            baskets: history.iter().map(|v| b(v)).collect(),
+            trips: vec![1; history.len()],
+            spend: vec![attrition_types::Cents(0); history.len()],
+            last_purchase: vec![None; history.len()],
+            spec,
+        };
+        let batch = crate::stability::stability_series(&windows, StabilityParams::PAPER);
+
+        assert_eq!(online.len(), batch.len());
+        for (o, bp) in online.iter().zip(&batch) {
+            assert_eq!(o.point.window, bp.window);
+            assert!(
+                (o.point.value - bp.value).abs() < 1e-12,
+                "window {}: online {} batch {}",
+                bp.window,
+                o.point.value,
+                bp.value
+            );
+        }
+    }
+
+    #[test]
+    fn receipts_before_origin_ignored() {
+        let mut m = monitor();
+        let c = CustomerId::new(1);
+        assert!(m.ingest(c, d(2012, 4, 30), &b(&[1])).is_empty());
+        assert_eq!(m.num_customers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_panics() {
+        let mut m = monitor();
+        let c = CustomerId::new(1);
+        m.ingest(c, d(2012, 7, 1), &b(&[1]));
+        m.ingest(c, d(2012, 5, 1), &b(&[1]));
+    }
+
+    #[test]
+    fn multiple_customers_independent() {
+        let mut m = monitor();
+        m.ingest(CustomerId::new(1), d(2012, 5, 2), &b(&[1]));
+        m.ingest(CustomerId::new(2), d(2012, 5, 2), &b(&[9]));
+        let closed = m.ingest(CustomerId::new(1), d(2012, 6, 2), &b(&[1]));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].customer, CustomerId::new(1));
+        // Customer 2 still pending.
+        assert_eq!(m.preview(CustomerId::new(2)).unwrap().window, WindowIndex::new(0));
+        assert_eq!(m.num_customers(), 2);
+    }
+
+    #[test]
+    fn flush_emits_in_customer_order() {
+        let mut m = monitor();
+        m.ingest(CustomerId::new(5), d(2012, 5, 2), &b(&[1]));
+        m.ingest(CustomerId::new(2), d(2012, 5, 2), &b(&[2]));
+        let closed = m.flush_until(d(2012, 7, 1));
+        let ids: Vec<u64> = closed.iter().map(|c| c.customer.raw()).collect();
+        // Two windows each (May, June), grouped per customer ascending.
+        assert_eq!(ids, vec![2, 2, 5, 5]);
+    }
+
+    #[test]
+    fn preview_reflects_partial_window() {
+        let mut m = monitor();
+        let c = CustomerId::new(1);
+        m.ingest(c, d(2012, 5, 2), &b(&[1, 2]));
+        m.ingest(c, d(2012, 6, 2), &b(&[1])); // closes May; June pending: {1}
+        let preview = m.preview(c).unwrap();
+        // History: {1,2} → S(1)=S(2)=2; present {1} → 2/4.
+        assert!((preview.value - 0.5).abs() < 1e-12);
+        assert_eq!(preview.window, WindowIndex::new(1));
+    }
+
+    #[test]
+    fn unknown_customer_preview_none() {
+        assert!(monitor().preview(CustomerId::new(3)).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_future_outputs() {
+        // Feed half a history, checkpoint, restore, feed the rest into
+        // both the original and the restored monitor: identical outputs.
+        let feed_first = |m: &mut StabilityMonitor| {
+            m.ingest(CustomerId::new(1), d(2012, 5, 2), &b(&[1, 2]));
+            m.ingest(CustomerId::new(1), d(2012, 6, 3), &b(&[1]));
+            m.ingest(CustomerId::new(2), d(2012, 6, 10), &b(&[9]));
+            m.ingest(CustomerId::new(1), d(2012, 7, 4), &b(&[2]));
+        };
+        let feed_rest = |m: &mut StabilityMonitor| -> Vec<WindowClosed> {
+            let mut out = Vec::new();
+            out.extend(m.ingest(CustomerId::new(1), d(2012, 9, 1), &b(&[1, 2])));
+            out.extend(m.ingest(CustomerId::new(2), d(2012, 9, 5), &b(&[9, 10])));
+            out.extend(m.flush_until(d(2012, 12, 1)));
+            out
+        };
+
+        let mut original = monitor();
+        feed_first(&mut original);
+        let checkpoint = original.snapshot();
+
+        let mut restored = StabilityMonitor::restore(&checkpoint).expect("restores");
+        assert_eq!(restored.num_customers(), original.num_customers());
+        // Previews agree immediately after restore.
+        for c in [CustomerId::new(1), CustomerId::new(2)] {
+            let a = original.preview(c).unwrap();
+            let b = restored.preview(c).unwrap();
+            assert_eq!(a.window, b.window);
+            assert!((a.value - b.value).abs() < 1e-12);
+        }
+
+        let out_original = feed_rest(&mut original);
+        let out_restored = feed_rest(&mut restored);
+        assert_eq!(out_original.len(), out_restored.len());
+        for (a, b) in out_original.iter().zip(&out_restored) {
+            assert_eq!(a.customer, b.customer);
+            assert_eq!(a.point.window, b.point.window);
+            assert!((a.point.value - b.point.value).abs() < 1e-12);
+            assert_eq!(a.explanation.lost.len(), b.explanation.lost.len());
+            for (la, lb) in a.explanation.lost.iter().zip(&b.explanation.lost) {
+                assert_eq!(la.item, lb.item);
+                assert!((la.significance - lb.significance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(StabilityMonitor::restore("").is_err());
+        assert!(StabilityMonitor::restore("not,a,checkpoint\n").is_err());
+        assert!(StabilityMonitor::restore("#monitor,0,x9,2,5\n").is_err());
+        assert!(StabilityMonitor::restore("#monitor,0,m1,0.5,5\n").is_err());
+        // Item row before its customer row.
+        let bad = "#monitor,15461,m1,2,5\ni,1,3,2\n";
+        assert!(StabilityMonitor::restore(bad).is_err());
+    }
+
+    #[test]
+    fn empty_monitor_snapshot_roundtrips() {
+        let m = monitor();
+        let restored = StabilityMonitor::restore(&m.snapshot()).unwrap();
+        assert_eq!(restored.num_customers(), 0);
+    }
+}

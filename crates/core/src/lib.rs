@@ -1,0 +1,57 @@
+//! # attrition-core
+//!
+//! The paper's contribution: the **customer stability model** for
+//! individual-level attrition detection and explanation (Gautrais et al.,
+//! EDBT 2016).
+//!
+//! Definitions (Section 2 of the paper), over a windowed database
+//! `D_i^w` with per-window item sets `u_k`:
+//!
+//! * `c(k)` — number of windows before `k` containing item `p`;
+//!   `l(k)` — number of windows before `k` **not** containing `p`.
+//! * **Significance** `S(p,k) = α^(c(k)−l(k))` if `c(k) > 0`, else `0`,
+//!   with `α > 1`.
+//! * **Stability** `Stability_i^k = Σ_{p∈u_k} S(p,k) / Σ_{p∈I} S(p,k)`.
+//! * **Explanation** of a drop: `argmax_{p∉u_k} S(p,k)` — the most
+//!   significant product missing from window `k` (extended here to the
+//!   ranked set of missing products).
+//!
+//! Implementation note: every window before `k` either contains `p` or
+//! not, so `l(k) = k − c(k)` and `S(p,k) = α^(2c(k)−k)` — the incremental
+//! [`significance::SignificanceTracker`] therefore stores one counter per
+//! item plus the global window count, and scores a window in O(|u_k| +
+//! |tracked items|).
+//!
+//! Modules: [`params`] (α and the threshold β), [`significance`],
+//! [`stability`] (per-customer series), [`explanation`] (lost-product
+//! ranking + population aggregation), [`classifier`] (the β rule),
+//! [`engine`] (parallel batch scoring of a whole
+//! [`WindowedDatabase`](attrition_store::WindowedDatabase)), and
+//! [`incremental`] (a streaming monitor — the deployment mode a retailer
+//! would run in production).
+
+pub mod classifier;
+pub mod cohort;
+pub mod engine;
+pub mod explanation;
+pub mod export;
+pub mod incremental;
+pub mod params;
+pub mod recovery;
+pub mod significance;
+pub mod stability;
+pub mod trajectory;
+pub mod variants;
+
+pub use classifier::StabilityClassifier;
+pub use cohort::{cohort_curves, flag_rate_per_window, CohortPoint};
+pub use engine::{StabilityMatrix, StabilityEngine};
+pub use explanation::{aggregate_explanations, LostProduct, SegmentDriver, WindowExplanation};
+pub use export::{explanations_to_csv, matrix_to_csv};
+pub use incremental::StabilityMonitor;
+pub use params::StabilityParams;
+pub use recovery::{detect_recoveries, RegainedProduct, WindowRecovery};
+pub use trajectory::{faded_items, significance_trajectories, ItemTrajectory};
+pub use significance::SignificanceTracker;
+pub use stability::{analyze_customer, stability_series, CustomerAnalysis, StabilityPoint};
+pub use variants::{stability_series_variant, SignificanceVariant, VariantTracker};

@@ -1,0 +1,87 @@
+//! Model parameters.
+
+use std::fmt;
+
+/// Parameters of the stability model.
+///
+/// * `alpha` — base of the significance exponent `α^(c−l)`. The paper:
+///   "The usual expected behavior is to increase the item significance
+///   when incrementing c(k). Therefore, we generally fix α > 1", and its
+///   experiments use α = 2 (selected by 5-fold cross-validation).
+///
+/// The window length is not part of this struct — it lives in the
+/// [`WindowSpec`](attrition_store::WindowSpec) that produced the windowed
+/// database (the paper's chosen value is two months).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityParams {
+    /// Significance base, `> 1`.
+    pub alpha: f64,
+}
+
+impl StabilityParams {
+    /// The paper's cross-validated choice: α = 2.
+    pub const PAPER: StabilityParams = StabilityParams { alpha: 2.0 };
+
+    /// Construct with validation.
+    ///
+    /// # Errors
+    /// Returns an error when `alpha` is not a finite number `> 1`.
+    pub fn new(alpha: f64) -> Result<StabilityParams, InvalidParams> {
+        if !alpha.is_finite() || alpha <= 1.0 {
+            return Err(InvalidParams { alpha });
+        }
+        Ok(StabilityParams { alpha })
+    }
+}
+
+impl Default for StabilityParams {
+    fn default() -> StabilityParams {
+        StabilityParams::PAPER
+    }
+}
+
+/// Rejected stability parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidParams {
+    /// The offending α.
+    pub alpha: f64,
+}
+
+impl fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid stability parameters: alpha = {} (must be finite and > 1)",
+            self.alpha
+        )
+    }
+}
+
+impl std::error::Error for InvalidParams {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constant() {
+        assert_eq!(StabilityParams::PAPER.alpha, 2.0);
+        assert_eq!(StabilityParams::default(), StabilityParams::PAPER);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StabilityParams::new(1.5).is_ok());
+        assert!(StabilityParams::new(2.0).is_ok());
+        assert!(StabilityParams::new(1.0).is_err());
+        assert!(StabilityParams::new(0.5).is_err());
+        assert!(StabilityParams::new(f64::NAN).is_err());
+        assert!(StabilityParams::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StabilityParams::new(0.0).unwrap_err();
+        assert!(e.to_string().contains("alpha = 0"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Incremental item-significance tracking.
+//!
+//! For item `p` at window `k` the paper defines `S(p,k) = α^(c(k)−l(k))`
+//! when `c(k) > 0` and `0` otherwise, where `c(k)` / `l(k)` count the
+//! windows strictly before `k` that do / do not contain `p`. Since every
+//! prior window falls in exactly one of the two groups, `l(k) = k − c(k)`
+//! and
+//!
+//! ```text
+//! S(p,k) = α^(2·c(k) − k)        (when c(k) > 0)
+//! ```
+//!
+//! so the tracker stores one occurrence counter per item it has ever seen
+//! plus the number of windows observed. Scoring is `O(1)` per item;
+//! folding in a new window is `O(|u_k|)`.
+
+use crate::params::StabilityParams;
+use attrition_types::{Basket, ItemId};
+use std::collections::HashMap;
+
+/// Incremental significance state for one customer.
+///
+/// Usage per window `k`: first *query* (`significance`,
+/// `total_significance`, …) — the answers are with respect to the windows
+/// observed so far, i.e. those strictly before `k` — then
+/// [`observe_window`](SignificanceTracker::observe_window) with `u_k`.
+///
+/// ```
+/// use attrition_core::{SignificanceTracker, StabilityParams};
+/// use attrition_types::{Basket, ItemId};
+///
+/// let mut tracker = SignificanceTracker::new(StabilityParams::PAPER);
+/// tracker.observe_window(&Basket::from_raw(&[1, 2]));
+/// tracker.observe_window(&Basket::from_raw(&[1]));
+/// // Item 1 in both windows: S = 2^(2-0) = 4; item 2 in one of two: 2^0.
+/// assert_eq!(tracker.significance(ItemId::new(1)), 4.0);
+/// assert_eq!(tracker.significance(ItemId::new(2)), 1.0);
+/// assert_eq!(tracker.total_significance(), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignificanceTracker {
+    params: StabilityParams,
+    /// `c` per item ever seen (items never seen have `c = 0` implicitly).
+    counts: HashMap<ItemId, u32>,
+    /// Number of windows folded in so far (`k`).
+    windows: u32,
+}
+
+impl SignificanceTracker {
+    /// Fresh tracker (zero windows observed).
+    pub fn new(params: StabilityParams) -> SignificanceTracker {
+        SignificanceTracker {
+            params,
+            counts: HashMap::new(),
+            windows: 0,
+        }
+    }
+
+    /// The α parameter in use.
+    pub fn params(&self) -> StabilityParams {
+        self.params
+    }
+
+    /// Number of windows observed so far (`k`).
+    pub fn windows_observed(&self) -> u32 {
+        self.windows
+    }
+
+    /// Number of distinct items ever observed.
+    pub fn num_tracked(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `c(k)` for an item.
+    pub fn occurrences(&self, item: ItemId) -> u32 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// `l(k)` for an item.
+    pub fn absences(&self, item: ItemId) -> u32 {
+        self.windows - self.occurrences(item)
+    }
+
+    /// `S(p, k)` where `k` is the current window count.
+    pub fn significance(&self, item: ItemId) -> f64 {
+        match self.counts.get(&item) {
+            None | Some(0) => 0.0,
+            Some(&c) => self.significance_of_count(c),
+        }
+    }
+
+    #[inline]
+    fn significance_of_count(&self, c: u32) -> f64 {
+        // exponent = c − l = 2c − k; |exponent| ≤ k ≤ u32::MAX, and f64
+        // powi degrades to 0/inf gracefully at the extremes.
+        let exponent = 2 * c as i64 - self.windows as i64;
+        self.params.alpha.powi(exponent.clamp(-1_000, 1_000) as i32)
+    }
+
+    /// `Σ_{p∈I} S(p,k)` — the stability denominator. Items never bought
+    /// contribute zero, so the sum ranges over tracked items.
+    pub fn total_significance(&self) -> f64 {
+        self.counts
+            .values()
+            .filter(|&&c| c > 0)
+            .map(|&c| self.significance_of_count(c))
+            .sum()
+    }
+
+    /// `Σ_{p∈u} S(p,k)` — the stability numerator for a window whose item
+    /// set is `u`. Items of `u` not seen before contribute zero.
+    pub fn present_significance(&self, u: &Basket) -> f64 {
+        u.iter().map(|item| self.significance(item)).sum()
+    }
+
+    /// Iterate over `(item, c, l, S(p,k))` of every tracked item, in
+    /// unspecified order.
+    pub fn tracked_items(&self) -> impl Iterator<Item = (ItemId, u32, u32, f64)> + '_ {
+        self.counts.iter().map(move |(&item, &c)| {
+            (
+                item,
+                c,
+                self.windows - c,
+                if c > 0 {
+                    self.significance_of_count(c)
+                } else {
+                    0.0
+                },
+            )
+        })
+    }
+
+    /// Overwrite `c` for an item directly. Exists for checkpoint
+    /// restoration ([`StabilityMonitor::restore`]
+    /// (crate::incremental::StabilityMonitor::restore)); normal updates
+    /// go through [`observe_window`](SignificanceTracker::observe_window).
+    pub fn set_occurrences(&mut self, item: ItemId, c: u32) {
+        assert!(
+            c <= self.windows,
+            "occurrence count {c} exceeds observed windows {}",
+            self.windows
+        );
+        if c == 0 {
+            self.counts.remove(&item);
+        } else {
+            self.counts.insert(item, c);
+        }
+    }
+
+    /// Fold window `k`'s item set into the counters (advancing `k` to
+    /// `k + 1`). Call *after* scoring the window.
+    pub fn observe_window(&mut self, u: &Basket) {
+        for item in u.iter() {
+            *self.counts.entry(item).or_insert(0) += 1;
+        }
+        self.windows += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(raw: &[u32]) -> Basket {
+        Basket::from_raw(raw)
+    }
+
+    fn tracker() -> SignificanceTracker {
+        SignificanceTracker::new(StabilityParams::PAPER)
+    }
+
+    #[test]
+    fn fresh_tracker_all_zero() {
+        let t = tracker();
+        assert_eq!(t.windows_observed(), 0);
+        assert_eq!(t.significance(ItemId::new(1)), 0.0);
+        assert_eq!(t.total_significance(), 0.0);
+        assert_eq!(t.num_tracked(), 0);
+    }
+
+    #[test]
+    fn single_item_every_window() {
+        let mut t = tracker();
+        for k in 1..=5u32 {
+            t.observe_window(&b(&[7]));
+            // After k windows all containing the item: c=k, l=0, S=2^k.
+            assert_eq!(t.occurrences(ItemId::new(7)), k);
+            assert_eq!(t.absences(ItemId::new(7)), 0);
+            assert_eq!(t.significance(ItemId::new(7)), 2f64.powi(k as i32));
+        }
+    }
+
+    #[test]
+    fn absence_decays_significance() {
+        let mut t = tracker();
+        t.observe_window(&b(&[7])); // c=1, k=1 → S = 2^1
+        assert_eq!(t.significance(ItemId::new(7)), 2.0);
+        t.observe_window(&b(&[])); // c=1, k=2 → S = 2^0
+        assert_eq!(t.significance(ItemId::new(7)), 1.0);
+        t.observe_window(&b(&[])); // c=1, k=3 → S = 2^-1
+        assert_eq!(t.significance(ItemId::new(7)), 0.5);
+    }
+
+    #[test]
+    fn unseen_item_zero_even_after_windows() {
+        let mut t = tracker();
+        t.observe_window(&b(&[1]));
+        t.observe_window(&b(&[1]));
+        assert_eq!(t.significance(ItemId::new(99)), 0.0);
+    }
+
+    #[test]
+    fn matches_paper_definition_directly() {
+        // Direct check against the c/l definition on a mixed history.
+        let history = [
+            vec![1u32, 2],
+            vec![1],
+            vec![2, 3],
+            vec![1, 2],
+            vec![],
+            vec![1],
+        ];
+        let mut t = tracker();
+        for u in &history {
+            t.observe_window(&b(u));
+        }
+        let k = history.len() as i32;
+        for item in [1u32, 2, 3, 4] {
+            let c = history.iter().filter(|u| u.contains(&item)).count() as i32;
+            let l = k - c;
+            let expected = if c > 0 { 2f64.powi(c - l) } else { 0.0 };
+            assert_eq!(
+                t.significance(ItemId::new(item)),
+                expected,
+                "item {item}: c={c} l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn totals_and_presence() {
+        let mut t = tracker();
+        t.observe_window(&b(&[1, 2]));
+        t.observe_window(&b(&[1]));
+        // k=2: S(1)=2^2=4, S(2)=2^0=1.
+        assert_eq!(t.total_significance(), 5.0);
+        assert_eq!(t.present_significance(&b(&[1])), 4.0);
+        assert_eq!(t.present_significance(&b(&[2])), 1.0);
+        assert_eq!(t.present_significance(&b(&[1, 2, 99])), 5.0);
+        assert_eq!(t.present_significance(&b(&[])), 0.0);
+    }
+
+    #[test]
+    fn tracked_items_report() {
+        let mut t = tracker();
+        t.observe_window(&b(&[1, 2]));
+        t.observe_window(&b(&[2]));
+        let mut rows: Vec<(u32, u32, u32, f64)> = t
+            .tracked_items()
+            .map(|(i, c, l, s)| (i.raw(), c, l, s))
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        assert_eq!(rows, vec![(1, 1, 1, 1.0), (2, 2, 0, 4.0)]);
+    }
+
+    #[test]
+    fn long_absence_underflows_to_zero_not_panic() {
+        let mut t = tracker();
+        t.observe_window(&b(&[5]));
+        for _ in 0..5000 {
+            t.observe_window(&b(&[]));
+        }
+        let s = t.significance(ItemId::new(5));
+        assert!((0.0..1e-300).contains(&s), "significance {s}");
+        assert!(t.total_significance().is_finite());
+    }
+
+    #[test]
+    fn alpha_parameter_used() {
+        let mut t = SignificanceTracker::new(StabilityParams::new(3.0).unwrap());
+        t.observe_window(&b(&[1]));
+        t.observe_window(&b(&[1]));
+        assert_eq!(t.significance(ItemId::new(1)), 9.0);
+    }
+
+    proptest! {
+        /// Significance is monotone in c for fixed k: more occurrences ⇒
+        /// at least as significant.
+        #[test]
+        fn monotone_in_occurrences(histories in proptest::collection::vec(
+            proptest::collection::vec(0u32..6, 0..4), 1..12)) {
+            let mut t = tracker();
+            for u in &histories {
+                t.observe_window(&b(u));
+            }
+            let mut rows: Vec<(u32, f64)> = t
+                .tracked_items()
+                .filter(|(_, c, _, _)| *c > 0)
+                .map(|(_, c, _, s)| (c, s))
+                .collect();
+            rows.sort_by_key(|r| r.0);
+            for pair in rows.windows(2) {
+                prop_assert!(pair[1].1 >= pair[0].1,
+                    "c={} S={} vs c={} S={}", pair[0].0, pair[0].1, pair[1].0, pair[1].1);
+            }
+        }
+
+        /// total == Σ significance over tracked items, and present ≤ total.
+        #[test]
+        fn totals_consistent(histories in proptest::collection::vec(
+            proptest::collection::vec(0u32..8, 0..5), 1..10),
+            probe in proptest::collection::vec(0u32..8, 0..5)) {
+            let mut t = tracker();
+            for u in &histories {
+                t.observe_window(&b(u));
+            }
+            let manual: f64 = t.tracked_items().map(|(_, _, _, s)| s).sum();
+            prop_assert!((t.total_significance() - manual).abs() < 1e-9);
+            let present = t.present_significance(&b(&probe));
+            prop_assert!(present <= t.total_significance() + 1e-9);
+            prop_assert!(present >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-item significance trajectories.
+//!
+//! The stability value compresses a customer's whole repertoire into one
+//! number; understanding *which products are becoming (in)significant
+//! over time* — the paper's stated future work — needs the underlying
+//! per-item series `S(p, 0), S(p, 1), …`. This module extracts them,
+//! plus summary descriptors (peak significance, final-to-peak ratio)
+//! that characterize a product's life cycle within one customer's
+//! repertoire: ramping up, established, or fading out.
+
+use crate::params::StabilityParams;
+use crate::significance::SignificanceTracker;
+use attrition_store::CustomerWindows;
+use attrition_types::ItemId;
+
+/// The significance series of one item across a customer's windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemTrajectory {
+    /// The item.
+    pub item: ItemId,
+    /// `S(p, k)` for `k = 0..num_windows` (value *at* window `k`,
+    /// computed on the history before it, like the stability series).
+    pub series: Vec<f64>,
+    /// Maximum significance ever reached.
+    pub peak: f64,
+    /// Significance at the final window divided by the peak (`1` =
+    /// still at full strength, `→ 0` = faded out). `NaN` if peak is 0.
+    pub final_to_peak: f64,
+}
+
+impl ItemTrajectory {
+    /// True if the item faded: peaked at ≥ `min_peak` but retains less
+    /// than `fade_ratio` of that peak at the end.
+    pub fn is_faded(&self, min_peak: f64, fade_ratio: f64) -> bool {
+        self.peak >= min_peak && self.final_to_peak < fade_ratio
+    }
+}
+
+/// Compute the significance trajectory of every item the customer ever
+/// bought (or only `items`, when given), ordered by descending peak.
+pub fn significance_trajectories(
+    windows: &CustomerWindows,
+    params: StabilityParams,
+    items: Option<&[ItemId]>,
+) -> Vec<ItemTrajectory> {
+    let n = windows.num_windows();
+    let mut tracker = SignificanceTracker::new(params);
+    // Which items to report: requested set, or everything ever bought.
+    let targets: Vec<ItemId> = match items {
+        Some(list) => list.to_vec(),
+        None => windows.vocabulary().items().to_vec(),
+    };
+    let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(n); targets.len()];
+    for u in &windows.baskets {
+        for (slot, &item) in series.iter_mut().zip(&targets) {
+            slot.push(tracker.significance(item));
+        }
+        tracker.observe_window(u);
+    }
+    let mut out: Vec<ItemTrajectory> = targets
+        .into_iter()
+        .zip(series)
+        .map(|(item, series)| {
+            let peak = series.iter().copied().fold(0.0f64, f64::max);
+            let last = series.last().copied().unwrap_or(0.0);
+            ItemTrajectory {
+                item,
+                series,
+                peak,
+                final_to_peak: if peak > 0.0 { last / peak } else { f64::NAN },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.peak.total_cmp(&a.peak).then(a.item.cmp(&b.item)));
+    out
+}
+
+/// Items that established themselves and then faded — the per-customer
+/// "what went missing over time" report (superset of single-window
+/// explanations: a product can fade gradually without ever dominating
+/// one window's drop).
+pub fn faded_items(
+    windows: &CustomerWindows,
+    params: StabilityParams,
+    min_peak: f64,
+    fade_ratio: f64,
+) -> Vec<ItemTrajectory> {
+    significance_trajectories(windows, params, None)
+        .into_iter()
+        .filter(|t| t.is_faded(min_peak, fade_ratio))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_store::WindowSpec;
+    use attrition_types::{Basket, Cents, CustomerId, Date};
+
+    fn windows_of(sets: &[&[u32]]) -> CustomerWindows {
+        CustomerWindows {
+            customer: CustomerId::new(1),
+            baskets: sets.iter().map(|s| Basket::from_raw(s)).collect(),
+            trips: vec![1; sets.len()],
+            spend: vec![Cents(0); sets.len()],
+            last_purchase: vec![None; sets.len()],
+            spec: WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 2),
+        }
+    }
+
+    #[test]
+    fn trajectory_matches_manual_series() {
+        let w = windows_of(&[&[1], &[1], &[], &[1]]);
+        let trajectories =
+            significance_trajectories(&w, StabilityParams::PAPER, Some(&[ItemId::new(1)]));
+        assert_eq!(trajectories.len(), 1);
+        // S at k=0: unseen → 0; k=1: 2^1; k=2: 2^2; k=3: c=2,l=1 → 2^1.
+        assert_eq!(trajectories[0].series, vec![0.0, 2.0, 4.0, 2.0]);
+        assert_eq!(trajectories[0].peak, 4.0);
+        assert!((trajectories[0].final_to_peak - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_items_reported_and_ordered_by_peak() {
+        // Item 1 in every window; item 9 once.
+        let w = windows_of(&[&[1, 9], &[1], &[1], &[1]]);
+        let trajectories = significance_trajectories(&w, StabilityParams::PAPER, None);
+        assert_eq!(trajectories.len(), 2);
+        assert_eq!(trajectories[0].item, ItemId::new(1));
+        assert!(trajectories[0].peak > trajectories[1].peak);
+    }
+
+    #[test]
+    fn fade_detection() {
+        // Item established over 4 windows then gone for 4.
+        let w = windows_of(&[&[1], &[1], &[1], &[1], &[], &[], &[], &[]]);
+        let faded = faded_items(&w, StabilityParams::PAPER, 4.0, 0.5);
+        assert_eq!(faded.len(), 1);
+        assert_eq!(faded[0].item, ItemId::new(1));
+        // A still-strong item is not faded.
+        let strong = windows_of(&[[1].as_slice(); 6]);
+        assert!(faded_items(&strong, StabilityParams::PAPER, 4.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn never_bought_item_nan_ratio() {
+        let w = windows_of(&[&[1]]);
+        let t = significance_trajectories(&w, StabilityParams::PAPER, Some(&[ItemId::new(42)]));
+        assert_eq!(t[0].peak, 0.0);
+        assert!(t[0].final_to_peak.is_nan());
+    }
+
+    #[test]
+    fn empty_windows_empty_output() {
+        let w = windows_of(&[]);
+        let t = significance_trajectories(&w, StabilityParams::PAPER, None);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Grocery catalog / taxonomy generation.
+//!
+//! Produces a [`Taxonomy`] with human-readable segment names (coffee,
+//! milk, cheese, sponges, …) so that the individual-explanation use case
+//! of the paper's Figure 2 ("coffee loss", "milk, sponge and cheese
+//! loss") reads literally. Segments beyond the base name list get
+//! numbered variants; per-segment product counts and prices are sampled
+//! from configurable distributions.
+
+use attrition_types::{Cents, Taxonomy, TaxonomyBuilder};
+use attrition_util::Rng;
+
+/// Base grocery segment names, ordered roughly by how central they are to
+/// a typical shopping repertoire (the population sampler favors early
+/// entries via a Zipf over this order). The first four are the products
+/// named in the paper's Figure 2.
+pub const SEGMENT_NAMES: [&str; 64] = [
+    "coffee",
+    "milk",
+    "cheese",
+    "sponges",
+    "bread",
+    "butter",
+    "eggs",
+    "yogurt",
+    "pasta",
+    "rice",
+    "cereal",
+    "sugar",
+    "flour",
+    "chocolate",
+    "biscuits",
+    "jam",
+    "honey",
+    "tea",
+    "fruit juice",
+    "mineral water",
+    "soda",
+    "beer",
+    "wine",
+    "chicken",
+    "beef",
+    "pork",
+    "ham",
+    "sausages",
+    "fish",
+    "shrimp",
+    "canned tuna",
+    "canned tomatoes",
+    "olive oil",
+    "vinegar",
+    "salt",
+    "pepper",
+    "herbs",
+    "mustard",
+    "ketchup",
+    "mayonnaise",
+    "lettuce",
+    "tomatoes",
+    "potatoes",
+    "onions",
+    "carrots",
+    "apples",
+    "bananas",
+    "oranges",
+    "lemons",
+    "frozen vegetables",
+    "frozen pizza",
+    "ice cream",
+    "dish soap",
+    "laundry detergent",
+    "toilet paper",
+    "paper towels",
+    "shampoo",
+    "toothpaste",
+    "soap",
+    "razor blades",
+    "cat food",
+    "dog food",
+    "diapers",
+    "baby food",
+];
+
+/// Configuration of the catalog generator.
+#[derive(Debug, Clone)]
+pub struct CatalogConfig {
+    /// Number of segments to create.
+    pub n_segments: usize,
+    /// Mean number of products per segment (Poisson, min 1).
+    pub mean_products_per_segment: f64,
+    /// Price range (log-uniform) of a segment's base price, in cents.
+    pub base_price_range: (i64, i64),
+    /// Multiplicative spread of product prices within a segment.
+    pub price_spread: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> CatalogConfig {
+        CatalogConfig {
+            n_segments: 120,
+            mean_products_per_segment: 8.0,
+            base_price_range: (80, 1500),
+            price_spread: 0.35,
+        }
+    }
+}
+
+/// Name of segment `idx`: base names first, then numbered variants
+/// (`"coffee #2"`, …).
+pub fn segment_name(idx: usize) -> String {
+    let base = SEGMENT_NAMES[idx % SEGMENT_NAMES.len()];
+    let round = idx / SEGMENT_NAMES.len();
+    if round == 0 {
+        base.to_owned()
+    } else {
+        format!("{base} #{}", round + 1)
+    }
+}
+
+/// Generate a taxonomy according to `cfg`, deterministically from `rng`.
+pub fn generate_catalog(cfg: &CatalogConfig, rng: &mut Rng) -> Taxonomy {
+    assert!(cfg.n_segments > 0, "catalog needs at least one segment");
+    assert!(
+        cfg.base_price_range.0 > 0 && cfg.base_price_range.1 >= cfg.base_price_range.0,
+        "invalid price range"
+    );
+    let mut builder = TaxonomyBuilder::new();
+    for s in 0..cfg.n_segments {
+        let seg_name = segment_name(s);
+        let seg = builder.add_segment(seg_name.clone());
+        let n_products = rng.poisson(cfg.mean_products_per_segment).max(1) as usize;
+        // Log-uniform base price for the segment.
+        let (lo, hi) = cfg.base_price_range;
+        let base = (lo as f64).ln() + rng.f64() * ((hi as f64).ln() - (lo as f64).ln());
+        let base = base.exp();
+        for p in 0..n_products {
+            let spread = (1.0 + cfg.price_spread * rng.normal()).clamp(0.3, 3.0);
+            let price = Cents(((base * spread).round() as i64).max(10));
+            let name = format!("{seg_name} — product {}", p + 1);
+            builder
+                .add_product(seg, name, price)
+                .expect("segment was just created");
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let cfg = CatalogConfig::default();
+        let tax = generate_catalog(&cfg, &mut rng);
+        assert_eq!(tax.num_segments(), 120);
+        // Mean 8 products/segment → expect within a broad band.
+        let per = tax.num_products() as f64 / tax.num_segments() as f64;
+        assert!((5.0..11.0).contains(&per), "products per segment {per}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CatalogConfig::default();
+        let a = generate_catalog(&cfg, &mut Rng::seed_from_u64(9));
+        let b = generate_catalog(&cfg, &mut Rng::seed_from_u64(9));
+        assert_eq!(a.num_products(), b.num_products());
+        for (pa, pb) in a.products().zip(b.products()) {
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn figure2_segments_exist_by_name() {
+        let mut rng = Rng::seed_from_u64(2);
+        let tax = generate_catalog(&CatalogConfig::default(), &mut rng);
+        for name in ["coffee", "milk", "cheese", "sponges"] {
+            assert!(tax.segment_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn numbered_variants_beyond_base_list() {
+        assert_eq!(segment_name(0), "coffee");
+        assert_eq!(segment_name(64), "coffee #2");
+        assert_eq!(segment_name(65), "milk #2");
+        assert_eq!(segment_name(128), "coffee #3");
+        let mut rng = Rng::seed_from_u64(3);
+        let tax = generate_catalog(
+            &CatalogConfig {
+                n_segments: 70,
+                ..CatalogConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(tax.segment_by_name("coffee #2").is_some());
+    }
+
+    #[test]
+    fn prices_positive_and_in_plausible_band() {
+        let mut rng = Rng::seed_from_u64(4);
+        let tax = generate_catalog(&CatalogConfig::default(), &mut rng);
+        for p in tax.products() {
+            assert!(p.price.raw() >= 10, "price too low: {}", p.price);
+            assert!(p.price.raw() < 10_000, "price too high: {}", p.price);
+        }
+    }
+
+    #[test]
+    fn every_segment_has_a_product() {
+        let mut rng = Rng::seed_from_u64(5);
+        let tax = generate_catalog(
+            &CatalogConfig {
+                n_segments: 30,
+                mean_products_per_segment: 0.5,
+                ..CatalogConfig::default()
+            },
+            &mut rng,
+        );
+        for s in tax.segments() {
+            assert!(
+                !tax.products_in(s.segment).unwrap().is_empty(),
+                "segment {} empty",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        generate_catalog(
+            &CatalogConfig {
+                n_segments: 0,
+                ..CatalogConfig::default()
+            },
+            &mut Rng::seed_from_u64(0),
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Ground-truth cohort labels.
+//!
+//! The paper's retailer supplied "the IDs of loyal customers, and of loyal
+//! customers that defected in the last 6 months". The simulator emits the
+//! same two cohorts, exactly — with the defection onset month attached so
+//! experiments can mark it on the time axis.
+
+use attrition_types::CustomerId;
+
+/// The cohort of one customer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cohort {
+    /// Behaviorally loyal throughout the observation period.
+    Loyal,
+    /// Loyal until `onset_month` (0-based month index relative to the
+    /// observation start), partially defecting afterwards.
+    Defector {
+        /// First month of the defection.
+        onset_month: u32,
+    },
+}
+
+impl Cohort {
+    /// True for the defector cohort.
+    #[inline]
+    pub fn is_defector(self) -> bool {
+        matches!(self, Cohort::Defector { .. })
+    }
+}
+
+/// One labeled customer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomerLabel {
+    /// The customer.
+    pub customer: CustomerId,
+    /// Their cohort.
+    pub cohort: Cohort,
+}
+
+/// All labels of a generated population, sorted by customer id.
+#[derive(Debug, Clone, Default)]
+pub struct LabelSet {
+    labels: Vec<CustomerLabel>,
+}
+
+impl LabelSet {
+    /// Build from unsorted labels.
+    pub fn new(mut labels: Vec<CustomerLabel>) -> LabelSet {
+        labels.sort_by_key(|l| l.customer);
+        LabelSet { labels }
+    }
+
+    /// Number of labeled customers.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All labels, sorted by customer id.
+    pub fn labels(&self) -> &[CustomerLabel] {
+        &self.labels
+    }
+
+    /// The cohort of one customer, if labeled.
+    pub fn cohort_of(&self, customer: CustomerId) -> Option<Cohort> {
+        self.labels
+            .binary_search_by_key(&customer, |l| l.customer)
+            .ok()
+            .map(|i| self.labels[i].cohort)
+    }
+
+    /// Number of defectors.
+    pub fn num_defectors(&self) -> usize {
+        self.labels.iter().filter(|l| l.cohort.is_defector()).count()
+    }
+
+    /// Number of loyal customers.
+    pub fn num_loyal(&self) -> usize {
+        self.len() - self.num_defectors()
+    }
+
+    /// Iterate over `(customer, is_defector)` pairs — the binary label
+    /// stream evaluation consumes (defector = positive class).
+    pub fn binary_labels(&self) -> impl Iterator<Item = (CustomerId, bool)> + '_ {
+        self.labels.iter().map(|l| (l.customer, l.cohort.is_defector()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(id: u64, cohort: Cohort) -> CustomerLabel {
+        CustomerLabel {
+            customer: CustomerId::new(id),
+            cohort,
+        }
+    }
+
+    #[test]
+    fn sorted_on_build_and_lookup() {
+        let set = LabelSet::new(vec![
+            label(5, Cohort::Loyal),
+            label(1, Cohort::Defector { onset_month: 18 }),
+            label(3, Cohort::Loyal),
+        ]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(
+            set.cohort_of(CustomerId::new(1)),
+            Some(Cohort::Defector { onset_month: 18 })
+        );
+        assert_eq!(set.cohort_of(CustomerId::new(3)), Some(Cohort::Loyal));
+        assert_eq!(set.cohort_of(CustomerId::new(2)), None);
+        let ids: Vec<u64> = set.labels().iter().map(|l| l.customer.raw()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn cohort_counts() {
+        let set = LabelSet::new(vec![
+            label(1, Cohort::Defector { onset_month: 10 }),
+            label(2, Cohort::Loyal),
+            label(3, Cohort::Defector { onset_month: 12 }),
+        ]);
+        assert_eq!(set.num_defectors(), 2);
+        assert_eq!(set.num_loyal(), 1);
+    }
+
+    #[test]
+    fn binary_labels_stream() {
+        let set = LabelSet::new(vec![
+            label(1, Cohort::Loyal),
+            label(2, Cohort::Defector { onset_month: 3 }),
+        ]);
+        let pairs: Vec<(u64, bool)> = set
+            .binary_labels()
+            .map(|(c, d)| (c.raw(), d))
+            .collect();
+        assert_eq!(pairs, vec![(1, false), (2, true)]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = LabelSet::default();
+        assert!(set.is_empty());
+        assert_eq!(set.num_defectors(), 0);
+        assert_eq!(set.cohort_of(CustomerId::new(0)), None);
+    }
+
+    #[test]
+    fn cohort_is_defector() {
+        assert!(!Cohort::Loyal.is_defector());
+        assert!(Cohort::Defector { onset_month: 0 }.is_defector());
+    }
+}

@@ -1,0 +1,46 @@
+//! # attrition-datagen
+//!
+//! A synthetic grocery-retail simulator, standing in for the proprietary
+//! dataset of the paper ("anonymized receipts of 6 millions customers,
+//! from May 2012 to August 2014 ... 4 millions products, that are grouped
+//! into 3 388 segments", provided by a major French retailer).
+//!
+//! The stability model consumes only `(customer, timestamp, item-set)`
+//! triples, so what the substitution must preserve is the *behavioral
+//! structure* the paper's evaluation relies on:
+//!
+//! 1. loyal customers keep a stable item repertoire, revisiting their core
+//!    products with high per-trip probability plus exploration noise;
+//! 2. partial defectors behave identically until a known onset month, then
+//!    progressively stop buying their established products and shop less
+//!    often — grocery attrition is partial, not contract-cancelling;
+//! 3. cohort labels (loyal / defected in the last 6 months) with the onset
+//!    marked on the time axis, matching Figure 1's vertical line.
+//!
+//! Pipeline: [`catalog`] generates a named product/segment taxonomy;
+//! [`population`] draws customer [`profile`]s (defectors get a
+//! [`defection`] plan); [`simulate`] plays the population month by month
+//! (with [`seasonality`]) into a columnar
+//! [`ReceiptStore`](attrition_store::ReceiptStore); [`scenario`] bundles
+//! presets, including [`scenario::ScenarioConfig::paper_default`].
+//!
+//! Everything is driven by the workspace's deterministic PRNG: the same
+//! seed reproduces the same dataset byte-for-byte, forever.
+
+pub mod catalog;
+pub mod defection;
+pub mod labels;
+pub mod population;
+pub mod profile;
+pub mod scenario;
+pub mod seasonality;
+pub mod simulate;
+
+pub use catalog::{generate_catalog, CatalogConfig};
+pub use defection::DefectionPlan;
+pub use labels::{Cohort, CustomerLabel, LabelSet};
+pub use population::{BehaviorConfig, Population, PopulationConfig};
+pub use profile::{CustomerProfile, PreferredItem, TripDecay};
+pub use scenario::{figure2_customer, generate, GeneratedDataset, ScenarioConfig};
+pub use seasonality::Seasonality;
+pub use simulate::Simulator;

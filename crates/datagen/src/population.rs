@@ -1,0 +1,334 @@
+//! Population sampling: drawing customer profiles.
+//!
+//! A population is `n_loyal` loyal profiles plus `n_defectors` profiles
+//! that were loyal until the scenario's onset month and then follow a
+//! [`DefectionPlan`]. Profile construction:
+//!
+//! * the customer's **core repertoire** is a set of segments drawn from a
+//!   Zipf over the catalog's segment order (early segments — coffee, milk,
+//!   cheese… — are population-wide staples), with one or occasionally two
+//!   products per chosen segment (Zipf within the segment);
+//! * each core item gets a per-trip purchase probability spread over a
+//!   configurable band, so repertoires mix near-every-trip staples with
+//!   occasional purchases — which is exactly what makes the paper's
+//!   significance weights α^(c−l) informative;
+//! * the trip rate and exploration rate are drawn per customer.
+
+use crate::defection::DefectionPlan;
+use crate::labels::{Cohort, CustomerLabel, LabelSet};
+use crate::profile::{CustomerProfile, PreferredItem};
+use attrition_types::{CustomerId, Taxonomy};
+use attrition_util::{Rng, Zipf};
+
+/// Behavioral knobs shared by every sampled customer.
+#[derive(Debug, Clone)]
+pub struct BehaviorConfig {
+    /// Inclusive range of the number of core segments per customer.
+    pub core_segments: (usize, usize),
+    /// Probability that a core segment contributes a second product.
+    pub second_product_prob: f64,
+    /// Band of per-trip purchase probabilities (highest-affinity item
+    /// first; the band is swept linearly across the repertoire).
+    pub per_trip_prob: (f64, f64),
+    /// Inclusive range of mean shopping trips per month.
+    pub trips_per_month: (f64, f64),
+    /// Inclusive range of the exploration (noise) rate: mean non-core
+    /// items added per trip.
+    pub exploration_rate: (f64, f64),
+    /// Zipf exponent over segments (population-level staple skew).
+    pub segment_zipf_s: f64,
+    /// Zipf exponent over products within a segment.
+    pub item_zipf_s: f64,
+    /// Inclusive range of the per-item monthly brand-switch probability
+    /// (switching to a sibling product of the same segment).
+    pub brand_switch_prob: (f64, f64),
+    /// Late joiners: `Some((fraction, max_entry_month))` gives that
+    /// fraction of customers a uniformly drawn entry month in
+    /// `1..=max_entry_month`; `None` starts everyone at month 0.
+    pub late_join: Option<(f64, u32)>,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> BehaviorConfig {
+        BehaviorConfig {
+            core_segments: (12, 28),
+            second_product_prob: 0.2,
+            per_trip_prob: (0.35, 0.92),
+            trips_per_month: (2.5, 6.0),
+            exploration_rate: (0.6, 2.0),
+            segment_zipf_s: 0.9,
+            item_zipf_s: 1.1,
+            brand_switch_prob: (0.0, 0.03),
+            late_join: None,
+        }
+    }
+}
+
+/// Size and defection parameters of a population.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of loyal customers (ids `0..n_loyal`).
+    pub n_loyal: usize,
+    /// Number of defectors (ids `n_loyal..n_loyal+n_defectors`).
+    pub n_defectors: usize,
+    /// Shared behavior knobs.
+    pub behavior: BehaviorConfig,
+    /// Plan applied to every defector.
+    pub defection: DefectionPlan,
+}
+
+/// A sampled population: profiles plus ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// One profile per customer, in id order.
+    pub profiles: Vec<CustomerProfile>,
+    /// Ground-truth cohort labels.
+    pub labels: LabelSet,
+}
+
+impl Population {
+    /// Sample a population from `cfg` against `taxonomy`.
+    ///
+    /// Each customer is generated from an independent child stream keyed
+    /// by their id, so profiles do not depend on generation order.
+    pub fn generate(cfg: &PopulationConfig, taxonomy: &Taxonomy, seed: u64) -> Population {
+        let n_total = cfg.n_loyal + cfg.n_defectors;
+        let segment_zipf = Zipf::new(taxonomy.num_segments(), cfg.behavior.segment_zipf_s);
+        let mut profiles = Vec::with_capacity(n_total);
+        let mut labels = Vec::with_capacity(n_total);
+        for raw_id in 0..n_total as u64 {
+            let customer = CustomerId::new(raw_id);
+            // Independent stream per customer: seed mixed with the id.
+            let mut rng = Rng::seed_from_u64(seed ^ raw_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut profile =
+                sample_profile(customer, taxonomy, &cfg.behavior, &segment_zipf, &mut rng);
+            let cohort = if raw_id < cfg.n_loyal as u64 {
+                Cohort::Loyal
+            } else {
+                cfg.defection.apply(&mut profile, &mut rng);
+                Cohort::Defector {
+                    onset_month: cfg.defection.onset_month,
+                }
+            };
+            labels.push(CustomerLabel { customer, cohort });
+            profiles.push(profile);
+        }
+        Population {
+            profiles,
+            labels: LabelSet::new(labels),
+        }
+    }
+}
+
+/// Sample one loyal profile.
+fn sample_profile(
+    customer: CustomerId,
+    taxonomy: &Taxonomy,
+    behavior: &BehaviorConfig,
+    segment_zipf: &Zipf,
+    rng: &mut Rng,
+) -> CustomerProfile {
+    let (seg_lo, seg_hi) = behavior.core_segments;
+    assert!(seg_lo >= 1 && seg_hi >= seg_lo, "invalid core_segments range");
+    let target_segments = rng.i64_in(seg_lo as i64, seg_hi as i64) as usize;
+    let target_segments = target_segments.min(taxonomy.num_segments());
+
+    // Draw distinct core segments from the population-level Zipf.
+    let mut chosen = Vec::with_capacity(target_segments);
+    let mut seen = vec![false; taxonomy.num_segments()];
+    let mut attempts = 0usize;
+    while chosen.len() < target_segments && attempts < target_segments * 64 {
+        attempts += 1;
+        let s = segment_zipf.sample(rng);
+        if !seen[s] {
+            seen[s] = true;
+            chosen.push(attrition_types::SegmentId::new(s as u32));
+        }
+    }
+    // Fallback: fill with the first unchosen segments if the Zipf kept
+    // colliding (only reachable with tiny catalogs).
+    for (s, taken) in seen.iter_mut().enumerate() {
+        if chosen.len() >= target_segments {
+            break;
+        }
+        if !*taken {
+            *taken = true;
+            chosen.push(attrition_types::SegmentId::new(s as u32));
+        }
+    }
+
+    // Pick products within each chosen segment.
+    let mut items = Vec::with_capacity(chosen.len() + 4);
+    for seg in &chosen {
+        let products = taxonomy
+            .products_in(*seg)
+            .expect("segment drawn from the taxonomy");
+        let within = Zipf::new(products.len(), behavior.item_zipf_s);
+        let first = products[within.sample(rng)];
+        items.push(first);
+        if products.len() > 1 && rng.bernoulli(behavior.second_product_prob) {
+            let second = products[within.sample(rng)];
+            if second != first {
+                items.push(second);
+            }
+        }
+    }
+
+    // Spread per-trip probabilities across the repertoire: first items get
+    // the top of the band (staples), later ones the bottom, with jitter.
+    let (p_lo, p_hi) = behavior.per_trip_prob;
+    let n = items.len().max(1);
+    let preferred = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let frac = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let base = p_hi - (p_hi - p_lo) * frac;
+            let jitter = 0.05 * rng.normal();
+            PreferredItem {
+                item,
+                per_trip_prob: (base + jitter).clamp(0.05, 0.98),
+                drop_month: None,
+            }
+        })
+        .collect();
+
+    let entry_month = match behavior.late_join {
+        Some((fraction, max_entry)) if max_entry > 0 && rng.bernoulli(fraction) => {
+            rng.i64_in(1, max_entry as i64) as u32
+        }
+        _ => 0,
+    };
+    CustomerProfile {
+        customer,
+        trips_per_month: rng.f64_in(behavior.trips_per_month.0, behavior.trips_per_month.1),
+        preferred,
+        exploration_rate: rng.f64_in(behavior.exploration_rate.0, behavior.exploration_rate.1),
+        trip_decay: None,
+        brand_switch_prob: rng.f64_in(behavior.brand_switch_prob.0, behavior.brand_switch_prob.1),
+        entry_month,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{generate_catalog, CatalogConfig};
+
+    fn taxonomy() -> Taxonomy {
+        generate_catalog(&CatalogConfig::default(), &mut Rng::seed_from_u64(1))
+    }
+
+    fn config(n_loyal: usize, n_defectors: usize) -> PopulationConfig {
+        PopulationConfig {
+            n_loyal,
+            n_defectors,
+            behavior: BehaviorConfig::default(),
+            defection: DefectionPlan::standard(18),
+        }
+    }
+
+    #[test]
+    fn sizes_and_cohorts() {
+        let tax = taxonomy();
+        let pop = Population::generate(&config(30, 20), &tax, 7);
+        assert_eq!(pop.profiles.len(), 50);
+        assert_eq!(pop.labels.num_loyal(), 30);
+        assert_eq!(pop.labels.num_defectors(), 20);
+        // Loyal profiles carry no defection machinery; defectors do.
+        for p in &pop.profiles[..30] {
+            assert!(!p.is_defector_profile(), "customer {}", p.customer);
+        }
+        for p in &pop.profiles[30..] {
+            assert!(p.is_defector_profile(), "customer {}", p.customer);
+        }
+    }
+
+    #[test]
+    fn repertoire_sizes_in_range() {
+        let tax = taxonomy();
+        let pop = Population::generate(&config(40, 0), &tax, 8);
+        for p in &pop.profiles {
+            // 12..=28 core segments, each contributing 1–2 products.
+            assert!(
+                (12..=56).contains(&p.preferred.len()),
+                "repertoire size {}",
+                p.preferred.len()
+            );
+            for item in &p.preferred {
+                assert!((0.05..=0.98).contains(&item.per_trip_prob));
+            }
+        }
+    }
+
+    #[test]
+    fn first_item_is_a_staple() {
+        let tax = taxonomy();
+        let pop = Population::generate(&config(20, 0), &tax, 9);
+        for p in &pop.profiles {
+            let first = p.preferred.first().unwrap().per_trip_prob;
+            let last = p.preferred.last().unwrap().per_trip_prob;
+            assert!(
+                first > last - 0.2,
+                "expected descending probability band: {first} vs {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tax = taxonomy();
+        let a = Population::generate(&config(10, 10), &tax, 99);
+        let b = Population::generate(&config(10, 10), &tax, 99);
+        assert_eq!(a.profiles, b.profiles);
+        let c = Population::generate(&config(10, 10), &tax, 100);
+        assert_ne!(a.profiles, c.profiles);
+    }
+
+    #[test]
+    fn profiles_independent_of_population_size() {
+        // Customer 5's profile must be identical whether the population
+        // has 10 or 100 members (independent per-customer streams).
+        let tax = taxonomy();
+        let small = Population::generate(&config(10, 0), &tax, 5);
+        let large = Population::generate(&config(100, 0), &tax, 5);
+        assert_eq!(small.profiles[5], large.profiles[5]);
+    }
+
+    #[test]
+    fn core_segments_are_distinct() {
+        let tax = taxonomy();
+        let pop = Population::generate(&config(10, 0), &tax, 11);
+        for p in &pop.profiles {
+            let mut segs: Vec<u32> = p
+                .preferred
+                .iter()
+                .map(|i| tax.segment_of(i.item).unwrap().raw())
+                .collect();
+            segs.sort_unstable();
+            // Each segment contributes at most 2 products.
+            let mut counts = std::collections::HashMap::new();
+            for s in segs {
+                *counts.entry(s).or_insert(0usize) += 1;
+            }
+            assert!(counts.values().all(|&c| c <= 2));
+        }
+    }
+
+    #[test]
+    fn tiny_catalog_does_not_hang() {
+        let tax = generate_catalog(
+            &CatalogConfig {
+                n_segments: 3,
+                mean_products_per_segment: 1.0,
+                ..CatalogConfig::default()
+            },
+            &mut Rng::seed_from_u64(2),
+        );
+        let pop = Population::generate(&config(5, 0), &tax, 1);
+        for p in &pop.profiles {
+            assert!(p.preferred.len() <= 6);
+            assert!(!p.preferred.is_empty());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Customer behavior profiles.
+//!
+//! A [`CustomerProfile`] is the generative model of one customer: how
+//! often they shop (Poisson trips per month), which items form their core
+//! repertoire and with what per-trip purchase probability, how much they
+//! explore outside it, and — for defectors — when each core item is lost
+//! (see [`crate::defection`]).
+
+use attrition_types::{CustomerId, ItemId};
+
+/// One item of a customer's core repertoire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferredItem {
+    /// The product.
+    pub item: ItemId,
+    /// Probability of putting the item in the basket on any given trip
+    /// (before defection).
+    pub per_trip_prob: f64,
+    /// Month index (0-based, relative to the observation start) from which
+    /// the customer no longer buys the item; `None` = never lost.
+    pub drop_month: Option<u32>,
+}
+
+impl PreferredItem {
+    /// The effective per-trip probability during `month`.
+    #[inline]
+    pub fn prob_in_month(&self, month: u32) -> f64 {
+        match self.drop_month {
+            Some(m) if month >= m => 0.0,
+            _ => self.per_trip_prob,
+        }
+    }
+}
+
+/// The generative model of one simulated customer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomerProfile {
+    /// The customer.
+    pub customer: CustomerId,
+    /// Mean shopping trips per month (before seasonality/defection).
+    pub trips_per_month: f64,
+    /// Core repertoire with per-trip probabilities.
+    pub preferred: Vec<PreferredItem>,
+    /// Mean number of exploration (non-core) items added per trip,
+    /// sampled from the global catalog popularity distribution.
+    pub exploration_rate: f64,
+    /// Monthly multiplicative decay of the trip rate after `trip_decay`'s
+    /// onset; `None` for customers whose trip frequency never decays.
+    pub trip_decay: Option<TripDecay>,
+    /// Probability, per core item per month, of permanently switching to
+    /// a sibling product of the same segment (brand switching). The
+    /// customer's *need* stays served — which is exactly why the paper
+    /// models at segment granularity; the granularity ablation quantifies
+    /// it.
+    pub brand_switch_prob: f64,
+    /// First month (0-based) the customer is active; `0` for customers
+    /// present from the observation start. Late joiners make the window
+    /// alignment choice (global vs per-customer) consequential.
+    pub entry_month: u32,
+}
+
+/// Post-onset multiplicative decay of the shopping-trip rate — the
+/// "shops less and less often" half of partial defection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripDecay {
+    /// Month (0-based) the decay starts.
+    pub onset_month: u32,
+    /// Multiplier applied for every month elapsed past the onset
+    /// (e.g. `0.85` → rate × 0.85^(months past onset)).
+    pub monthly_factor: f64,
+}
+
+impl CustomerProfile {
+    /// The effective mean trip rate during `month` (seasonality excluded —
+    /// the simulator applies it on top). Zero before the entry month.
+    pub fn trip_rate_in_month(&self, month: u32) -> f64 {
+        if month < self.entry_month {
+            return 0.0;
+        }
+        let mut rate = self.trips_per_month;
+        if let Some(decay) = self.trip_decay {
+            if month >= decay.onset_month {
+                let elapsed = (month - decay.onset_month + 1) as i32;
+                rate *= decay.monthly_factor.powi(elapsed);
+            }
+        }
+        rate
+    }
+
+    /// True if any core item carries a drop month or the trip rate decays
+    /// — i.e. the profile was injected with defection behavior.
+    pub fn is_defector_profile(&self) -> bool {
+        self.trip_decay.is_some() || self.preferred.iter().any(|p| p.drop_month.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(raw: u32, p: f64, drop: Option<u32>) -> PreferredItem {
+        PreferredItem {
+            item: ItemId::new(raw),
+            per_trip_prob: p,
+            drop_month: drop,
+        }
+    }
+
+    #[test]
+    fn prob_in_month_respects_drop() {
+        let pi = item(1, 0.8, Some(18));
+        assert_eq!(pi.prob_in_month(0), 0.8);
+        assert_eq!(pi.prob_in_month(17), 0.8);
+        assert_eq!(pi.prob_in_month(18), 0.0);
+        assert_eq!(pi.prob_in_month(25), 0.0);
+        let keeps = item(1, 0.8, None);
+        assert_eq!(keeps.prob_in_month(100), 0.8);
+    }
+
+    #[test]
+    fn trip_rate_decay() {
+        let p = CustomerProfile {
+            customer: CustomerId::new(1),
+            trips_per_month: 4.0,
+            preferred: vec![],
+            exploration_rate: 1.0,
+            trip_decay: Some(TripDecay {
+                onset_month: 10,
+                monthly_factor: 0.5,
+            }),
+            brand_switch_prob: 0.0,
+            entry_month: 0,
+        };
+        assert_eq!(p.trip_rate_in_month(9), 4.0);
+        assert!((p.trip_rate_in_month(10) - 2.0).abs() < 1e-12);
+        assert!((p.trip_rate_in_month(12) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_decay_profile() {
+        let p = CustomerProfile {
+            customer: CustomerId::new(1),
+            trips_per_month: 3.0,
+            preferred: vec![item(1, 0.5, None)],
+            exploration_rate: 0.5,
+            trip_decay: None,
+            brand_switch_prob: 0.0,
+            entry_month: 0,
+        };
+        assert_eq!(p.trip_rate_in_month(27), 3.0);
+        assert!(!p.is_defector_profile());
+    }
+
+    #[test]
+    fn entry_month_gates_trips() {
+        let p = CustomerProfile {
+            customer: CustomerId::new(1),
+            trips_per_month: 4.0,
+            preferred: vec![],
+            exploration_rate: 0.0,
+            trip_decay: None,
+            brand_switch_prob: 0.0,
+            entry_month: 6,
+        };
+        assert_eq!(p.trip_rate_in_month(5), 0.0);
+        assert_eq!(p.trip_rate_in_month(6), 4.0);
+    }
+
+    #[test]
+    fn defector_detection() {
+        let by_drop = CustomerProfile {
+            customer: CustomerId::new(1),
+            trips_per_month: 3.0,
+            preferred: vec![item(1, 0.5, Some(2))],
+            exploration_rate: 0.0,
+            trip_decay: None,
+            brand_switch_prob: 0.0,
+            entry_month: 0,
+        };
+        assert!(by_drop.is_defector_profile());
+        let by_decay = CustomerProfile {
+            customer: CustomerId::new(2),
+            trips_per_month: 3.0,
+            preferred: vec![],
+            exploration_rate: 0.0,
+            trip_decay: Some(TripDecay {
+                onset_month: 0,
+                monthly_factor: 0.9,
+            }),
+            brand_switch_prob: 0.0,
+            entry_month: 0,
+        };
+        assert!(by_decay.is_defector_profile());
+    }
+}

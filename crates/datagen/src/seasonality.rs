@@ -1,0 +1,99 @@
+//! Seasonal modulation of shopping activity.
+//!
+//! Real grocery demand is seasonal (December peaks, summer-holiday dips);
+//! the simulator multiplies every customer's trip rate by a calendar-month
+//! factor so that loyal customers show realistic activity fluctuation that
+//! the models must not mistake for attrition.
+
+use attrition_types::Month;
+
+/// Multiplicative trip-rate factors per calendar month.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seasonality {
+    factors: [f64; 12],
+}
+
+impl Seasonality {
+    /// No seasonal effect (all factors 1).
+    pub fn flat() -> Seasonality {
+        Seasonality { factors: [1.0; 12] }
+    }
+
+    /// A mild, realistic grocery profile: +18% in December, +6% around
+    /// school start (September), −10% in July/August (holidays), ±3%
+    /// elsewhere.
+    pub fn grocery_default() -> Seasonality {
+        Seasonality {
+            factors: [
+                0.98, // January
+                0.97, // February
+                1.00, // March
+                1.01, // April
+                1.02, // May
+                1.00, // June
+                0.90, // July
+                0.90, // August
+                1.06, // September
+                1.02, // October
+                1.03, // November
+                1.18, // December
+            ],
+        }
+    }
+
+    /// Build from explicit factors (January first). All must be positive.
+    pub fn from_factors(factors: [f64; 12]) -> Seasonality {
+        assert!(
+            factors.iter().all(|&f| f > 0.0),
+            "seasonality factors must be positive"
+        );
+        Seasonality { factors }
+    }
+
+    /// Factor for a calendar month.
+    #[inline]
+    pub fn factor(&self, month: Month) -> f64 {
+        self.factors[(month.number() - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_unity() {
+        let s = Seasonality::flat();
+        for m in Month::ALL {
+            assert_eq!(s.factor(m), 1.0);
+        }
+    }
+
+    #[test]
+    fn grocery_profile_shape() {
+        let s = Seasonality::grocery_default();
+        assert!(s.factor(Month::December) > 1.1);
+        assert!(s.factor(Month::July) < 1.0);
+        assert!(s.factor(Month::August) < 1.0);
+        // Mean stays near 1 so long-run volume is unbiased.
+        let mean: f64 = Month::ALL.iter().map(|&m| s.factor(m)).sum::<f64>() / 12.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
+    }
+
+    #[test]
+    fn from_factors_roundtrip() {
+        let mut f = [1.0; 12];
+        f[3] = 1.5;
+        let s = Seasonality::from_factors(f);
+        assert_eq!(s.factor(Month::April), 1.5);
+        assert_eq!(s.factor(Month::May), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_factor_panics() {
+        let mut f = [1.0; 12];
+        f[0] = 0.0;
+        Seasonality::from_factors(f);
+    }
+}

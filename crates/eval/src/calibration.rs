@@ -1,0 +1,156 @@
+//! Probability calibration diagnostics.
+//!
+//! AUROC measures ranking only; when the RFM logistic regression's output
+//! is used as a probability (e.g. to budget a retention campaign), its
+//! calibration matters. [`brier_score`] and [`reliability_bins`] quantify
+//! it.
+
+/// Mean squared error between predicted probabilities and binary outcomes
+/// (lower is better; 0.25 is the score of a constant 0.5 prediction).
+/// `NaN` when empty.
+pub fn brier_score(labels: &[bool], probabilities: &[f64]) -> f64 {
+    assert_eq!(
+        labels.len(),
+        probabilities.len(),
+        "labels/probabilities length mismatch"
+    );
+    if labels.is_empty() {
+        return f64::NAN;
+    }
+    labels
+        .iter()
+        .zip(probabilities)
+        .map(|(&l, &p)| {
+            let y = if l { 1.0 } else { 0.0 };
+            (p - y) * (p - y)
+        })
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+/// One reliability bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Lower edge of the predicted-probability bin (inclusive).
+    pub lo: f64,
+    /// Upper edge (exclusive, except the last bin which includes 1.0).
+    pub hi: f64,
+    /// Number of predictions in the bin.
+    pub count: usize,
+    /// Mean predicted probability in the bin (`NaN` if empty).
+    pub mean_predicted: f64,
+    /// Observed positive rate in the bin (`NaN` if empty).
+    pub observed_rate: f64,
+}
+
+/// Equal-width reliability diagram bins over `[0, 1]`.
+pub fn reliability_bins(labels: &[bool], probabilities: &[f64], bins: usize) -> Vec<ReliabilityBin> {
+    assert!(bins > 0, "need at least one bin");
+    assert_eq!(
+        labels.len(),
+        probabilities.len(),
+        "labels/probabilities length mismatch"
+    );
+    let mut counts = vec![0usize; bins];
+    let mut sum_p = vec![0.0f64; bins];
+    let mut sum_y = vec![0usize; bins];
+    for (&l, &p) in labels.iter().zip(probabilities) {
+        let idx = ((p * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[idx] += 1;
+        sum_p[idx] += p;
+        if l {
+            sum_y[idx] += 1;
+        }
+    }
+    (0..bins)
+        .map(|b| ReliabilityBin {
+            lo: b as f64 / bins as f64,
+            hi: (b + 1) as f64 / bins as f64,
+            count: counts[b],
+            mean_predicted: if counts[b] == 0 {
+                f64::NAN
+            } else {
+                sum_p[b] / counts[b] as f64
+            },
+            observed_rate: if counts[b] == 0 {
+                f64::NAN
+            } else {
+                sum_y[b] as f64 / counts[b] as f64
+            },
+        })
+        .collect()
+}
+
+/// Expected calibration error: bin-count-weighted mean |predicted −
+/// observed| over non-empty bins. `NaN` when there are no observations.
+pub fn expected_calibration_error(labels: &[bool], probabilities: &[f64], bins: usize) -> f64 {
+    let total = labels.len();
+    if total == 0 {
+        return f64::NAN;
+    }
+    reliability_bins(labels, probabilities, bins)
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.count as f64 / total as f64) * (b.mean_predicted - b.observed_rate).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_known_values() {
+        assert_eq!(brier_score(&[true], &[1.0]), 0.0);
+        assert_eq!(brier_score(&[true], &[0.0]), 1.0);
+        assert!((brier_score(&[true, false], &[0.5, 0.5]) - 0.25).abs() < 1e-12);
+        assert!(brier_score(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn brier_mismatch_panics() {
+        brier_score(&[true], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn bins_cover_unit_interval() {
+        let labels = [true, false, true, false];
+        let probs = [0.05, 0.05, 0.95, 0.95];
+        let bins = reliability_bins(&labels, &probs, 10);
+        assert_eq!(bins.len(), 10);
+        assert_eq!(bins[0].count, 2);
+        assert_eq!(bins[9].count, 2);
+        assert!((bins[0].observed_rate - 0.5).abs() < 1e-12);
+        assert!((bins[0].mean_predicted - 0.05).abs() < 1e-12);
+        assert!(bins[5].mean_predicted.is_nan());
+    }
+
+    #[test]
+    fn probability_one_lands_in_last_bin() {
+        let bins = reliability_bins(&[true], &[1.0], 4);
+        assert_eq!(bins[3].count, 1);
+    }
+
+    #[test]
+    fn perfectly_calibrated_ece_zero() {
+        // Predictions equal to the observed rates per bin.
+        let labels = [true, false, true, true];
+        let probs = [0.5, 0.5, 1.0, 1.0];
+        let ece = expected_calibration_error(&labels, &probs, 2);
+        assert!(ece.abs() < 1e-12, "ece {ece}");
+    }
+
+    #[test]
+    fn miscalibrated_ece_positive() {
+        let labels = [false, false, false, false];
+        let probs = [0.9, 0.9, 0.9, 0.9];
+        let ece = expected_calibration_error(&labels, &probs, 10);
+        assert!((ece - 0.9).abs() < 1e-12, "ece {ece}");
+    }
+
+    #[test]
+    fn empty_ece_nan() {
+        assert!(expected_calibration_error(&[], &[], 5).is_nan());
+    }
+}

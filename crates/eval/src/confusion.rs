@@ -1,0 +1,218 @@
+//! Thresholded binary-classification metrics.
+//!
+//! Once a stability threshold β is chosen ("If `Stability_i^k > β` the
+//! customer is considered loyal. Otherwise … defecting"), retention
+//! marketing cares about the resulting confusion matrix: precision of the
+//! targeted list, recall of actual defectors, and lift over blanket
+//! mailing.
+
+use std::fmt;
+
+/// Counts of a binary confusion matrix (positive = defector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Positives predicted positive.
+    pub tp: usize,
+    /// Negatives predicted positive.
+    pub fp: usize,
+    /// Negatives predicted negative.
+    pub tn: usize,
+    /// Positives predicted negative.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tally predictions against labels.
+    pub fn from_predictions(labels: &[bool], predictions: &[bool]) -> ConfusionMatrix {
+        assert_eq!(
+            labels.len(),
+            predictions.len(),
+            "labels/predictions length mismatch"
+        );
+        let mut m = ConfusionMatrix::default();
+        for (&l, &p) in labels.iter().zip(predictions) {
+            match (l, p) {
+                (true, true) => m.tp += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (true, false) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Tally `score >= threshold` predictions (higher = more positive).
+    pub fn at_threshold(labels: &[bool], scores: &[f64], threshold: f64) -> ConfusionMatrix {
+        assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+        let predictions: Vec<bool> = scores.iter().map(|&s| s >= threshold).collect();
+        ConfusionMatrix::from_predictions(labels, &predictions)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions (`NaN` when empty).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// TP / predicted positive (`NaN` if nothing predicted positive).
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// TP / actual positive, a.k.a. sensitivity/TPR (`NaN` if no
+    /// positives).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// TN / actual negative (`NaN` if no negatives).
+    pub fn specificity(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// FP / actual negative (`NaN` if no negatives).
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.fp, self.tn + self.fp)
+    }
+
+    /// Harmonic mean of precision and recall (`NaN` when undefined).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            f64::NAN
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Precision over the positive base rate: how much better targeting
+    /// by this classifier is than mailing uniformly at random (`NaN` when
+    /// undefined).
+    pub fn lift(&self) -> f64 {
+        let base = ratio(self.tp + self.fn_, self.total());
+        let p = self.precision();
+        if base == 0.0 {
+            f64::NAN
+        } else {
+            p / base
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} (precision={:.3} recall={:.3} f1={:.3})",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally() {
+        let labels = [true, true, false, false, true];
+        let preds = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_predictions(&labels, &preds);
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn metrics_known_values() {
+        let m = ConfusionMatrix {
+            tp: 2,
+            fp: 1,
+            tn: 1,
+            fn_: 1,
+        };
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.specificity() - 0.5).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        // base rate = 3/5, lift = (2/3)/(3/5) = 10/9
+        assert!((m.lift() - 10.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_threshold_semantics() {
+        let labels = [true, false];
+        let scores = [0.7, 0.7];
+        let m = ConfusionMatrix::at_threshold(&labels, &scores, 0.7);
+        // score >= threshold predicts positive for both.
+        assert_eq!((m.tp, m.fp), (1, 1));
+        let m2 = ConfusionMatrix::at_threshold(&labels, &scores, 0.71);
+        assert_eq!((m2.tp, m2.fp, m2.fn_, m2.tn), (0, 0, 1, 1));
+    }
+
+    #[test]
+    fn degenerate_nan() {
+        let m = ConfusionMatrix::default();
+        assert!(m.accuracy().is_nan());
+        assert!(m.precision().is_nan());
+        assert!(m.recall().is_nan());
+        assert!(m.f1().is_nan());
+        assert!(m.lift().is_nan());
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let labels = [true, false, true];
+        let m = ConfusionMatrix::from_predictions(&labels, &labels);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert!((m.lift() - 1.5).abs() < 1e-12); // 1 / (2/3)
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        ConfusionMatrix::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let m = ConfusionMatrix {
+            tp: 1,
+            fp: 0,
+            tn: 1,
+            fn_: 0,
+        };
+        let s = m.to_string();
+        assert!(s.contains("tp=1"));
+        assert!(s.contains("precision=1.000"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Cross-validation splitters.
+//!
+//! The paper fixes its hyper-parameters ("The window length … is set to
+//! two months and the α parameter is set to 2. These values were chosen
+//! after performing a 5-fold cross-validation search"). [`KFold`] and
+//! [`StratifiedKFold`] provide the deterministic splits that the
+//! `cv_param_search` experiment uses to reproduce that selection.
+
+use attrition_util::Rng;
+
+/// One train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of the training portion.
+    pub train: Vec<usize>,
+    /// Indices of the held-out portion.
+    pub test: Vec<usize>,
+}
+
+/// Plain k-fold over `n` indices, shuffled deterministically by seed.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Fold>,
+}
+
+impl KFold {
+    /// Split `0..n` into `k` folds. Panics unless `2 <= k <= n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> KFold {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        assert!(k <= n, "k-fold needs k <= n");
+        let mut rng = Rng::seed_from_u64(seed);
+        let perm = rng.permutation(n);
+        KFold {
+            folds: folds_from_groups(&assign_round_robin(&perm, k)),
+        }
+    }
+
+    /// The folds.
+    pub fn folds(&self) -> &[Fold] {
+        &self.folds
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+}
+
+/// Stratified k-fold: each fold preserves the positive/negative ratio of
+/// `labels` as closely as integer counts allow.
+#[derive(Debug, Clone)]
+pub struct StratifiedKFold {
+    folds: Vec<Fold>,
+}
+
+impl StratifiedKFold {
+    /// Split `0..labels.len()` into `k` folds stratified by label.
+    ///
+    /// Panics unless `2 <= k` and each class has at least `k` members.
+    pub fn new(labels: &[bool], k: usize, seed: u64) -> StratifiedKFold {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+        let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+        assert!(
+            pos.len() >= k && neg.len() >= k,
+            "each class needs at least k members (pos={}, neg={}, k={k})",
+            pos.len(),
+            neg.len()
+        );
+        rng.shuffle(&mut pos);
+        rng.shuffle(&mut neg);
+        let mut groups = assign_round_robin(&pos, k);
+        for (g, extra) in groups.iter_mut().zip(assign_round_robin(&neg, k)) {
+            g.extend(extra);
+        }
+        StratifiedKFold {
+            folds: folds_from_groups(&groups),
+        }
+    }
+
+    /// The folds.
+    pub fn folds(&self) -> &[Fold] {
+        &self.folds
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+}
+
+/// Deal shuffled indices into `k` groups round-robin.
+fn assign_round_robin(indices: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::with_capacity(indices.len() / k + 1); k];
+    for (pos, &idx) in indices.iter().enumerate() {
+        groups[pos % k].push(idx);
+    }
+    groups
+}
+
+/// Each group in turn is the test set; the others are training.
+fn folds_from_groups(groups: &[Vec<usize>]) -> Vec<Fold> {
+    (0..groups.len())
+        .map(|t| {
+            let mut train = Vec::new();
+            for (g, group) in groups.iter().enumerate() {
+                if g != t {
+                    train.extend_from_slice(group);
+                }
+            }
+            let mut test = groups[t].clone();
+            train.sort_unstable();
+            test.sort_unstable();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn kfold_partitions() {
+        let kf = KFold::new(10, 3, 1);
+        assert_eq!(kf.k(), 3);
+        let mut seen = HashSet::new();
+        for fold in kf.folds() {
+            for &i in &fold.test {
+                assert!(seen.insert(i), "index {i} in two test folds");
+            }
+            // Train and test are disjoint and together cover 0..10.
+            let train: HashSet<usize> = fold.train.iter().copied().collect();
+            assert!(fold.test.iter().all(|i| !train.contains(i)));
+            assert_eq!(fold.train.len() + fold.test.len(), 10);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        let a = KFold::new(20, 5, 9);
+        let b = KFold::new(20, 5, 9);
+        assert_eq!(a.folds(), b.folds());
+        let c = KFold::new(20, 5, 10);
+        assert_ne!(a.folds(), c.folds());
+    }
+
+    #[test]
+    fn kfold_balanced_sizes() {
+        let kf = KFold::new(11, 3, 0);
+        let sizes: Vec<usize> = kf.folds().iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        for &s in &sizes {
+            assert!((3..=4).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_k1_panics() {
+        KFold::new(10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= n")]
+    fn kfold_k_too_large_panics() {
+        KFold::new(3, 5, 0);
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        // 20 positives, 40 negatives, 5 folds → each test fold has
+        // exactly 4 positives and 8 negatives.
+        let labels: Vec<bool> = (0..60).map(|i| i < 20).collect();
+        let skf = StratifiedKFold::new(&labels, 5, 3);
+        for fold in skf.folds() {
+            let pos = fold.test.iter().filter(|&&i| labels[i]).count();
+            assert_eq!(pos, 4, "fold positives {pos}");
+            assert_eq!(fold.test.len(), 12);
+        }
+    }
+
+    #[test]
+    fn stratified_partitions() {
+        let labels: Vec<bool> = (0..31).map(|i| i % 3 == 0).collect();
+        let skf = StratifiedKFold::new(&labels, 3, 7);
+        let mut seen = HashSet::new();
+        for fold in skf.folds() {
+            for &i in &fold.test {
+                assert!(seen.insert(i));
+            }
+        }
+        assert_eq!(seen.len(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k members")]
+    fn stratified_small_class_panics() {
+        let labels = [true, false, false, false, false];
+        StratifiedKFold::new(&labels, 2, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn kfold_always_partitions(n in 4usize..80, k in 2usize..5, seed in 0u64..100) {
+            prop_assume!(k <= n);
+            let kf = KFold::new(n, k, seed);
+            let mut seen = vec![false; n];
+            for fold in kf.folds() {
+                for &i in &fold.test {
+                    prop_assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Cumulative gains and lift curves.
+//!
+//! Retention budgets are set as "mail the top X% riskiest customers";
+//! the gains curve answers what fraction of true defectors such a
+//! campaign captures, and the lift curve how much better that is than
+//! mailing at random. Standard campaign-planning companions to the
+//! paper's AUROC evaluation.
+
+/// One point of a cumulative gains curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainsPoint {
+    /// Fraction of the population targeted (top-scored first), `(0, 1]`.
+    pub targeted_fraction: f64,
+    /// Fraction of all positives captured within the targeted set.
+    pub captured_fraction: f64,
+    /// Lift over random targeting: `captured / targeted`.
+    pub lift: f64,
+}
+
+/// A cumulative gains curve (one point per distinct score threshold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainsCurve {
+    /// Points with strictly increasing `targeted_fraction`.
+    pub points: Vec<GainsPoint>,
+}
+
+impl GainsCurve {
+    /// Compute the curve (higher score = more positive). Empty when
+    /// there are no positives or no observations.
+    pub fn compute(labels: &[bool], scores: &[f64]) -> GainsCurve {
+        assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+        let n = labels.len();
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        if n == 0 || n_pos == 0 {
+            return GainsCurve { points: Vec::new() };
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let mut points = Vec::new();
+        let mut captured = 0usize;
+        let mut i = 0;
+        while i < n {
+            let threshold = scores[order[i]];
+            while i < n && scores[order[i]] == threshold {
+                if labels[order[i]] {
+                    captured += 1;
+                }
+                i += 1;
+            }
+            let targeted_fraction = i as f64 / n as f64;
+            let captured_fraction = captured as f64 / n_pos as f64;
+            points.push(GainsPoint {
+                targeted_fraction,
+                captured_fraction,
+                lift: captured_fraction / targeted_fraction,
+            });
+        }
+        GainsCurve { points }
+    }
+
+    /// Captured fraction when targeting (at least) the top `fraction` of
+    /// the population; `None` on an empty curve.
+    pub fn captured_at(&self, fraction: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.targeted_fraction >= fraction)
+            .map(|p| p.captured_fraction)
+    }
+
+    /// Smallest targeted fraction capturing at least `captured` of the
+    /// positives; `None` if never reached (cannot happen for
+    /// `captured ≤ 1` on a non-empty curve).
+    pub fn targeted_for(&self, captured: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.captured_fraction >= captured)
+            .map(|p| p.targeted_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_captures_early() {
+        // 2 positives of 4, ranked on top.
+        let labels = [true, true, false, false];
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let curve = GainsCurve::compute(&labels, &scores);
+        assert_eq!(curve.captured_at(0.5), Some(1.0));
+        assert_eq!(curve.targeted_for(1.0), Some(0.5));
+        // Lift at the first point: captured 0.5 of positives with 0.25 of
+        // the population → 2.0.
+        assert!((curve.points[0].lift - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ranking_diagonal() {
+        let mut rng = attrition_util::Rng::seed_from_u64(1);
+        let n = 50_000;
+        let labels: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.3)).collect();
+        let scores: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let curve = GainsCurve::compute(&labels, &scores);
+        for frac in [0.2, 0.5, 0.8] {
+            let captured = curve.captured_at(frac).unwrap();
+            assert!(
+                (captured - frac).abs() < 0.02,
+                "at {frac}: captured {captured}"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_ends_at_one_one() {
+        let labels = [true, false, true];
+        let scores = [0.3, 0.2, 0.1];
+        let curve = GainsCurve::compute(&labels, &scores);
+        let last = curve.points.last().unwrap();
+        assert_eq!(last.targeted_fraction, 1.0);
+        assert_eq!(last.captured_fraction, 1.0);
+        assert!((last.lift - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_captured() {
+        let labels = [true, false, true, false, true, false];
+        let scores = [0.9, 0.85, 0.6, 0.5, 0.3, 0.1];
+        let curve = GainsCurve::compute(&labels, &scores);
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].targeted_fraction > pair[0].targeted_fraction);
+            assert!(pair[1].captured_fraction >= pair[0].captured_fraction);
+        }
+    }
+
+    #[test]
+    fn ties_grouped() {
+        let labels = [true, false, true];
+        let scores = [0.5, 0.5, 0.5];
+        let curve = GainsCurve::compute(&labels, &scores);
+        assert_eq!(curve.points.len(), 1);
+        assert_eq!(curve.points[0].targeted_fraction, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(GainsCurve::compute(&[], &[]).points.is_empty());
+        assert!(GainsCurve::compute(&[false], &[0.1]).points.is_empty());
+        let empty = GainsCurve { points: Vec::new() };
+        assert_eq!(empty.captured_at(0.5), None);
+        assert_eq!(empty.targeted_for(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        GainsCurve::compute(&[true], &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Grid search.
+//!
+//! Evaluates a caller-supplied scorer over a list of candidate parameter
+//! values and reports every score plus the argmax — the shape of the
+//! paper's "(α, window) chosen by 5-fold cross-validation search" (the
+//! scorer is typically a CV-mean-AUROC closure built with [`crate::cv`]).
+
+/// The score of one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult<P> {
+    /// The candidate parameters.
+    pub params: P,
+    /// Its score (higher is better). `NaN` scores lose to any number.
+    pub score: f64,
+}
+
+/// Score every candidate and return `(all results, best index)`.
+///
+/// Results keep the candidate order. `best` is `None` when `candidates`
+/// is empty or every score is `NaN`.
+pub fn grid_search<P: Clone>(
+    candidates: &[P],
+    mut scorer: impl FnMut(&P) -> f64,
+) -> (Vec<GridResult<P>>, Option<usize>) {
+    let results: Vec<GridResult<P>> = candidates
+        .iter()
+        .map(|p| GridResult {
+            params: p.clone(),
+            score: scorer(p),
+        })
+        .collect();
+    let best = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.score.is_nan())
+        .max_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+        .map(|(i, _)| i);
+    (results, best)
+}
+
+/// Cartesian product of two candidate axes, row-major (`a` outer).
+pub fn product2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_best() {
+        let candidates = [1.0f64, 2.0, 3.0, 4.0];
+        let (results, best) = grid_search(&candidates, |&x| -(x - 2.5f64).abs());
+        assert_eq!(results.len(), 4);
+        // 2.0 and 3.0 tie at -0.5; max_by returns the last maximal element.
+        let b = best.unwrap();
+        assert!(b == 1 || b == 2);
+        assert!((results[b].score + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let (results, best) = grid_search::<f64>(&[], |_| 0.0);
+        assert!(results.is_empty());
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn all_nan_scores() {
+        let (_, best) = grid_search(&[1, 2, 3], |_| f64::NAN);
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn nan_skipped_but_others_win() {
+        let (_, best) = grid_search(&[1, 2, 3], |&x| if x == 2 { 5.0 } else { f64::NAN });
+        assert_eq!(best, Some(1));
+    }
+
+    #[test]
+    fn preserves_candidate_order() {
+        let (results, _) = grid_search(&["a", "b"], |_| 0.0);
+        assert_eq!(results[0].params, "a");
+        assert_eq!(results[1].params, "b");
+    }
+
+    #[test]
+    fn product2_row_major() {
+        let p = product2(&[1, 2], &['x', 'y', 'z']);
+        assert_eq!(
+            p,
+            vec![(1, 'x'), (1, 'y'), (1, 'z'), (2, 'x'), (2, 'y'), (2, 'z')]
+        );
+        assert!(product2::<i32, i32>(&[], &[1]).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # attrition-eval
+//!
+//! Evaluation toolkit used by every experiment:
+//!
+//! * [`roc`] — ROC curves and AUROC (the paper's headline metric,
+//!   Figure 1), computed exactly by the Mann–Whitney rank statistic with
+//!   tie correction; threshold selection by Youden's J.
+//! * [`confusion`] — thresholded binary-classification metrics
+//!   (precision, recall, F1, lift).
+//! * [`cv`] — deterministic k-fold and stratified k-fold cross-validation
+//!   (the paper selects α and the window length by 5-fold CV).
+//! * [`grid`] — grid search driven by a caller-supplied scorer.
+//! * [`calibration`] — Brier score and reliability bins.
+//!
+//! The crate is dependency-light (only `attrition-util`) and fully
+//! generic over where scores come from, so the stability model and the
+//! RFM baseline are evaluated by identical code paths.
+
+pub mod calibration;
+pub mod ci;
+pub mod confusion;
+pub mod cv;
+pub mod gains;
+pub mod grid;
+pub mod pr;
+pub mod roc;
+
+pub use confusion::ConfusionMatrix;
+pub use cv::{KFold, StratifiedKFold};
+pub use gains::{GainsCurve, GainsPoint};
+pub use grid::{grid_search, GridResult};
+pub use ci::{auroc_ci_bootstrap, auroc_ci_delong, delong_paired_test, AurocCi, PairedDelong};
+pub use pr::{average_precision, PrCurve, PrPoint};
+pub use roc::{auroc, RocCurve, RocPoint};

@@ -1,0 +1,155 @@
+//! Precision–recall analysis.
+//!
+//! Retention campaigns flag a small minority of customers, and under
+//! class imbalance PR curves are more informative than ROC: they answer
+//! "if I mail the top-N riskiest customers, what fraction are really
+//! defecting?" directly.
+
+/// One point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall (fraction of positives captured) at this threshold.
+    pub recall: f64,
+    /// Precision among predicted positives at this threshold.
+    pub precision: f64,
+    /// Predict positive when `score >= threshold`.
+    pub threshold: f64,
+}
+
+/// An empirical precision–recall curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrCurve {
+    /// Points in order of decreasing threshold (increasing recall).
+    pub points: Vec<PrPoint>,
+}
+
+impl PrCurve {
+    /// Compute the PR curve (higher score = more positive). Returns an
+    /// empty curve when there are no positives.
+    pub fn compute(labels: &[bool], scores: &[f64]) -> PrCurve {
+        assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        if n_pos == 0 {
+            return PrCurve { points: Vec::new() };
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let mut points = Vec::new();
+        let (mut tp, mut fp) = (0usize, 0usize);
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(PrPoint {
+                recall: tp as f64 / n_pos as f64,
+                precision: tp as f64 / (tp + fp) as f64,
+                threshold,
+            });
+        }
+        PrCurve { points }
+    }
+
+    /// Average precision: the standard step-wise integral
+    /// `Σ (R_i − R_{i−1}) · P_i`. `NaN` on an empty curve.
+    pub fn average_precision(&self) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        let mut ap = 0.0;
+        let mut prev_recall = 0.0;
+        for p in &self.points {
+            ap += (p.recall - prev_recall) * p.precision;
+            prev_recall = p.recall;
+        }
+        ap
+    }
+
+    /// Precision at the smallest threshold reaching at least `recall`
+    /// (`None` if the curve never reaches it).
+    pub fn precision_at_recall(&self, recall: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.recall >= recall)
+            .map(|p| p.precision)
+    }
+}
+
+/// Average precision convenience wrapper.
+pub fn average_precision(labels: &[bool], scores: &[f64]) -> f64 {
+    PrCurve::compute(labels, scores).average_precision()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let labels = [true, true, false, false];
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let curve = PrCurve::compute(&labels, &scores);
+        assert!((curve.average_precision() - 1.0).abs() < 1e-12);
+        assert_eq!(curve.precision_at_recall(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn worst_ranking() {
+        let labels = [false, false, true];
+        let scores = [0.9, 0.8, 0.1];
+        let curve = PrCurve::compute(&labels, &scores);
+        // The single positive is found last: AP = 1/3.
+        assert!((curve.average_precision() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_intermediate_case() {
+        // Ranking: +, -, + → points: (0.5, 1.0), (0.5, 0.5), (1.0, 2/3).
+        let labels = [true, false, true];
+        let scores = [0.9, 0.8, 0.7];
+        let curve = PrCurve::compute(&labels, &scores);
+        let ap = curve.average_precision();
+        // AP = 0.5·1.0 + 0·0.5 + 0.5·(2/3) = 0.8333…
+        assert!((ap - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-12, "ap {ap}");
+    }
+
+    #[test]
+    fn ties_grouped() {
+        let labels = [true, false];
+        let scores = [0.5, 0.5];
+        let curve = PrCurve::compute(&labels, &scores);
+        assert_eq!(curve.points.len(), 1);
+        assert_eq!(curve.points[0].recall, 1.0);
+        assert_eq!(curve.points[0].precision, 0.5);
+    }
+
+    #[test]
+    fn no_positives_empty() {
+        let curve = PrCurve::compute(&[false, false], &[0.1, 0.2]);
+        assert!(curve.points.is_empty());
+        assert!(curve.average_precision().is_nan());
+        assert_eq!(curve.precision_at_recall(0.5), None);
+    }
+
+    #[test]
+    fn random_scores_ap_near_base_rate() {
+        let mut rng = attrition_util::Rng::seed_from_u64(5);
+        let n = 20_000;
+        let labels: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.2)).collect();
+        let scores: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let ap = average_precision(&labels, &scores);
+        assert!((ap - 0.2).abs() < 0.02, "ap {ap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        PrCurve::compute(&[true], &[0.1, 0.2]);
+    }
+}

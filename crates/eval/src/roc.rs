@@ -1,0 +1,294 @@
+//! ROC analysis.
+//!
+//! The paper evaluates discrimination with "the area under the ROC curve
+//! for different window indices", sweeping the stability threshold β. We
+//! compute the AUROC exactly via the Mann–Whitney rank statistic (with
+//! average ranks for ties), which equals the area under the empirical ROC
+//! curve without choosing a threshold grid, and provide the explicit
+//! curve for plotting and threshold selection.
+//!
+//! Convention: **higher score = more likely positive**. The stability
+//! model flags *low* stability as defection, so callers feed it as
+//! `-stability` (or `1 − stability`).
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// The threshold: predict positive when `score >= threshold`.
+    pub threshold: f64,
+}
+
+/// An empirical ROC curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Points from `(0,0)` (threshold `+inf`) to `(1,1)` (threshold
+    /// `-inf`), in order of decreasing threshold.
+    pub points: Vec<RocPoint>,
+}
+
+/// AUROC by the Mann–Whitney U statistic with tie correction.
+///
+/// `labels[i]` is true for the positive class; `scores[i]` is the
+/// classifier score (higher = more positive). Returns `NaN` when either
+/// class is empty.
+///
+/// Equal to the probability that a random positive outranks a random
+/// negative (ties counting half), which is exactly the area under the
+/// empirical ROC curve.
+///
+/// ```
+/// use attrition_eval::auroc;
+/// let labels = [true, true, false, false];
+/// let scores = [0.9, 0.6, 0.7, 0.1]; // one inversion
+/// assert_eq!(auroc(&labels, &scores), 0.75);
+/// ```
+pub fn auroc(labels: &[bool], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return f64::NAN;
+    }
+    // Rank the scores ascending with average ranks for ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based: positions i..=j share the average rank.
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+impl RocCurve {
+    /// Compute the empirical ROC curve.
+    ///
+    /// Returns a curve with only the trivial endpoints when either class
+    /// is empty.
+    pub fn compute(labels: &[bool], scores: &[f64]) -> RocCurve {
+        assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+        let n_pos = labels.iter().filter(|&&l| l).count() as f64;
+        let n_neg = labels.len() as f64 - n_pos;
+        let mut points = vec![RocPoint {
+            fpr: 0.0,
+            tpr: 0.0,
+            threshold: f64::INFINITY,
+        }];
+        if n_pos == 0.0 || n_neg == 0.0 {
+            points.push(RocPoint {
+                fpr: 1.0,
+                tpr: 1.0,
+                threshold: f64::NEG_INFINITY,
+            });
+            return RocCurve { points };
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a])); // descending
+        let (mut tp, mut fp) = (0usize, 0usize);
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            // Consume the whole tie group at once (a threshold admits all
+            // tied scores together).
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                fpr: fp as f64 / n_neg,
+                tpr: tp as f64 / n_pos,
+                threshold,
+            });
+        }
+        RocCurve { points }
+    }
+
+    /// Area under this curve by trapezoidal integration. Matches
+    /// [`auroc`] up to floating-point error.
+    pub fn area(&self) -> f64 {
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            area += (b.fpr - a.fpr) * (a.tpr + b.tpr) / 2.0;
+        }
+        area
+    }
+
+    /// The threshold maximizing Youden's J (`tpr − fpr`), with its point.
+    ///
+    /// Returns `None` when the curve is degenerate (no real thresholds).
+    pub fn youden_optimal(&self) -> Option<RocPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.threshold.is_finite())
+            .max_by(|a, b| (a.tpr - a.fpr).total_cmp(&(b.tpr - b.fpr)))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_separation() {
+        let labels = [true, true, false, false];
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        assert_eq!(auroc(&labels, &scores), 1.0);
+        let curve = RocCurve::compute(&labels, &scores);
+        assert!((curve.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let labels = [true, true, false, false];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert_eq!(auroc(&labels, &scores), 0.0);
+    }
+
+    #[test]
+    fn random_like_interleaving() {
+        let labels = [true, false, true, false];
+        let scores = [0.4, 0.3, 0.2, 0.1];
+        // Positives at ranks {4, 2}: U = (4+2) - 3 = 3, AUC = 3/4.
+        assert!((auroc(&labels, &scores) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ties_gives_half() {
+        let labels = [true, false, true, false];
+        let scores = [0.5; 4];
+        assert!((auroc(&labels, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ties() {
+        // pos: {0.5, 0.3}, neg: {0.5, 0.1}
+        // Pairs: (0.5 vs 0.5)=0.5, (0.5 vs 0.1)=1, (0.3 vs 0.5)=0, (0.3 vs 0.1)=1
+        // AUC = 2.5/4 = 0.625
+        let labels = [true, true, false, false];
+        let scores = [0.5, 0.3, 0.5, 0.1];
+        assert!((auroc(&labels, &scores) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_nan() {
+        assert!(auroc(&[true, true], &[0.1, 0.2]).is_nan());
+        assert!(auroc(&[false], &[0.1]).is_nan());
+        assert!(auroc(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        auroc(&[true], &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let labels = [true, false];
+        let scores = [0.9, 0.1];
+        let curve = RocCurve::compute(&labels, &scores);
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn curve_monotone() {
+        let labels = [true, false, true, false, true, false, false];
+        let scores = [0.9, 0.85, 0.7, 0.6, 0.55, 0.3, 0.2];
+        let curve = RocCurve::compute(&labels, &scores);
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].fpr >= pair[0].fpr);
+            assert!(pair[1].tpr >= pair[0].tpr);
+            assert!(pair[1].threshold <= pair[0].threshold);
+        }
+    }
+
+    #[test]
+    fn youden_picks_separating_threshold() {
+        let labels = [true, true, false, false];
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let best = RocCurve::compute(&labels, &scores).youden_optimal().unwrap();
+        assert_eq!(best.tpr, 1.0);
+        assert_eq!(best.fpr, 0.0);
+        assert_eq!(best.threshold, 0.8);
+    }
+
+    #[test]
+    fn degenerate_curve_trivial() {
+        let curve = RocCurve::compute(&[true], &[0.5]);
+        assert_eq!(curve.points.len(), 2);
+        assert!((curve.area() - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn curve_area_matches_mann_whitney(
+            labels in proptest::collection::vec(any::<bool>(), 2..60),
+            seed in 0u64..1000,
+        ) {
+            // Build scores with deliberate ties: quantized uniforms.
+            let mut rng = attrition_util::Rng::seed_from_u64(seed);
+            let scores: Vec<f64> = labels.iter().map(|_| (rng.f64() * 8.0).floor() / 8.0).collect();
+            let n_pos = labels.iter().filter(|&&l| l).count();
+            prop_assume!(n_pos > 0 && n_pos < labels.len());
+            let mw = auroc(&labels, &scores);
+            let curve = RocCurve::compute(&labels, &scores).area();
+            prop_assert!((mw - curve).abs() < 1e-9, "mw {mw} vs curve {curve}");
+        }
+
+        #[test]
+        fn auroc_invariant_to_monotone_transform(
+            labels in proptest::collection::vec(any::<bool>(), 2..40),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = attrition_util::Rng::seed_from_u64(seed);
+            let scores: Vec<f64> = labels.iter().map(|_| rng.f64()).collect();
+            let n_pos = labels.iter().filter(|&&l| l).count();
+            prop_assume!(n_pos > 0 && n_pos < labels.len());
+            let transformed: Vec<f64> = scores.iter().map(|s| s.exp() * 3.0 + 1.0).collect();
+            let a = auroc(&labels, &scores);
+            let b = auroc(&labels, &transformed);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+
+        #[test]
+        fn auroc_flips_under_negation(
+            labels in proptest::collection::vec(any::<bool>(), 2..40),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = attrition_util::Rng::seed_from_u64(seed);
+            let scores: Vec<f64> = labels.iter().map(|_| rng.f64()).collect();
+            let n_pos = labels.iter().filter(|&&l| l).count();
+            prop_assume!(n_pos > 0 && n_pos < labels.len());
+            let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+            let a = auroc(&labels, &scores);
+            let b = auroc(&labels, &negated);
+            prop_assert!((a + b - 1.0).abs() < 1e-12);
+        }
+    }
+}

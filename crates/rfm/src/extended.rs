@@ -1,0 +1,252 @@
+//! Extended behavioral features beyond R/F/M.
+//!
+//! The paper restricts the Buckinx & Van den Poel (2005) methodology "to
+//! predictors associated to the recency, frequency and monetary
+//! variables". The original study used a broader behavioral set; this
+//! module implements a representative superset so the
+//! `ablation_rfm_features` experiment can measure what the restriction
+//! costs:
+//!
+//! * the three R/F/M features (delegated to [`crate::features`]),
+//! * inter-purchase time regularity (mean and coefficient of variation of
+//!   per-window trip counts over the history),
+//! * frequency and monetary *trend* (recent half vs earlier half of the
+//!   trailing horizon) — partial defection is a downward trend before it
+//!   is a low level.
+
+use crate::features::{extract_at_window, RfmFeatures};
+use attrition_store::CustomerWindows;
+use attrition_types::WindowIndex;
+
+/// R/F/M plus regularity and trend features.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendedFeatures {
+    /// The plain R/F/M block.
+    pub rfm: RfmFeatures,
+    /// Mean trips per window over the full history up to `k`.
+    pub mean_trips: f64,
+    /// Coefficient of variation of trips per window (0 when degenerate).
+    pub trips_cv: f64,
+    /// Trips in the recent half of the history divided by trips in the
+    /// earlier half (1 = steady; < 1 = slowing down). Capped at 4.
+    pub frequency_trend: f64,
+    /// Spend in the recent half divided by spend in the earlier half,
+    /// capped at 4.
+    pub monetary_trend: f64,
+}
+
+impl ExtendedFeatures {
+    /// Feature vector in a fixed order (R, F, M, mean, cv, f-trend,
+    /// m-trend).
+    pub fn as_vec(&self) -> Vec<f64> {
+        vec![
+            self.rfm.recency_days,
+            self.rfm.frequency,
+            self.rfm.monetary,
+            self.mean_trips,
+            self.trips_cv,
+            self.frequency_trend,
+            self.monetary_trend,
+        ]
+    }
+
+    /// Number of features.
+    pub const WIDTH: usize = 7;
+}
+
+fn capped_ratio(recent: f64, earlier: f64) -> f64 {
+    if earlier <= 0.0 {
+        if recent > 0.0 {
+            4.0
+        } else {
+            1.0
+        }
+    } else {
+        (recent / earlier).min(4.0)
+    }
+}
+
+/// Extract extended features at window `k` (history = windows `0..=k`).
+///
+/// Returns `None` when the customer's view does not reach `k`.
+pub fn extract_extended(
+    windows: &CustomerWindows,
+    k: WindowIndex,
+    horizon_windows: usize,
+) -> Option<ExtendedFeatures> {
+    let rfm = extract_at_window(windows, k, horizon_windows)?;
+    let idx = k.index();
+    let trips: Vec<f64> = windows.trips[..=idx].iter().map(|&t| t as f64).collect();
+    let spend: Vec<f64> = windows.spend[..=idx]
+        .iter()
+        .map(|c| c.as_units_f64())
+        .collect();
+    let n = trips.len();
+    let mean_trips = trips.iter().sum::<f64>() / n as f64;
+    let var = trips
+        .iter()
+        .map(|t| (t - mean_trips) * (t - mean_trips))
+        .sum::<f64>()
+        / n as f64;
+    let trips_cv = if mean_trips > 0.0 {
+        var.sqrt() / mean_trips
+    } else {
+        0.0
+    };
+    let half = n / 2;
+    let (early_t, recent_t) = trips.split_at(half);
+    let (early_s, recent_s) = spend.split_at(half);
+    let frequency_trend = capped_ratio(
+        recent_t.iter().sum::<f64>() / recent_t.len().max(1) as f64,
+        early_t.iter().sum::<f64>() / early_t.len().max(1) as f64,
+    );
+    let monetary_trend = capped_ratio(
+        recent_s.iter().sum::<f64>() / recent_s.len().max(1) as f64,
+        early_s.iter().sum::<f64>() / early_s.len().max(1) as f64,
+    );
+    Some(ExtendedFeatures {
+        rfm,
+        mean_trips,
+        trips_cv,
+        frequency_trend,
+        monetary_trend,
+    })
+}
+
+/// Leak-free out-of-fold scores for the extended feature set (mirror of
+/// [`crate::model::out_of_fold_scores`]).
+pub fn out_of_fold_scores_extended(
+    features: &[ExtendedFeatures],
+    labels: &[bool],
+    k_folds: usize,
+    seed: u64,
+) -> Vec<f64> {
+    use crate::logistic::LogisticRegression;
+    use crate::standardize::Standardizer;
+    assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+    let folds = crate::model::stratified_folds(labels, k_folds, seed);
+    let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_vec()).collect();
+    let mut scores = vec![f64::NAN; features.len()];
+    for (train, test) in &folds {
+        let train_rows: Vec<Vec<f64>> = train.iter().map(|&i| rows[i].clone()).collect();
+        let train_labels: Vec<bool> = train.iter().map(|&i| labels[i]).collect();
+        let scaler = Standardizer::fit(&train_rows);
+        let scaled = scaler.transform(&train_rows);
+        let mut lr = LogisticRegression::new(ExtendedFeatures::WIDTH);
+        lr.fit(&scaled, &train_labels);
+        for &i in test {
+            let mut row = rows[i].clone();
+            scaler.transform_row(&mut row);
+            scores[i] = lr.predict_proba(&row);
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_store::WindowSpec;
+    use attrition_types::{Basket, Cents, CustomerId, Date};
+
+    fn windows_with(trips: &[u32], spend_units: &[i64]) -> CustomerWindows {
+        let n = trips.len();
+        CustomerWindows {
+            customer: CustomerId::new(1),
+            baskets: vec![Basket::from_raw(&[1]); n],
+            trips: trips.to_vec(),
+            spend: spend_units.iter().map(|&u| Cents(u * 100)).collect(),
+            last_purchase: vec![Some(Date::from_ymd(2012, 5, 10).unwrap()); n],
+            spec: WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1),
+        }
+    }
+
+    #[test]
+    fn steady_customer_trends_near_one() {
+        let w = windows_with(&[4, 4, 4, 4], &[100, 100, 100, 100]);
+        let f = extract_extended(&w, WindowIndex::new(3), 1).unwrap();
+        assert_eq!(f.mean_trips, 4.0);
+        assert_eq!(f.trips_cv, 0.0);
+        assert_eq!(f.frequency_trend, 1.0);
+        assert_eq!(f.monetary_trend, 1.0);
+    }
+
+    #[test]
+    fn declining_customer_trends_below_one() {
+        let w = windows_with(&[6, 6, 2, 0], &[200, 200, 50, 0]);
+        let f = extract_extended(&w, WindowIndex::new(3), 1).unwrap();
+        assert!(f.frequency_trend < 0.5, "{}", f.frequency_trend);
+        assert!(f.monetary_trend < 0.5, "{}", f.monetary_trend);
+        assert!(f.trips_cv > 0.5, "{}", f.trips_cv);
+    }
+
+    #[test]
+    fn growing_customer_capped() {
+        let w = windows_with(&[0, 0, 8, 8], &[0, 0, 100, 100]);
+        let f = extract_extended(&w, WindowIndex::new(3), 1).unwrap();
+        assert_eq!(f.frequency_trend, 4.0);
+        assert_eq!(f.monetary_trend, 4.0);
+    }
+
+    #[test]
+    fn all_zero_history_degenerate() {
+        let mut w = windows_with(&[0, 0], &[0, 0]);
+        w.last_purchase = vec![None; 2];
+        let f = extract_extended(&w, WindowIndex::new(1), 1).unwrap();
+        assert_eq!(f.mean_trips, 0.0);
+        assert_eq!(f.trips_cv, 0.0);
+        assert_eq!(f.frequency_trend, 1.0);
+    }
+
+    #[test]
+    fn out_of_horizon_none() {
+        let w = windows_with(&[1], &[1]);
+        assert!(extract_extended(&w, WindowIndex::new(1), 1).is_none());
+    }
+
+    #[test]
+    fn as_vec_width() {
+        let w = windows_with(&[1, 2], &[1, 2]);
+        let f = extract_extended(&w, WindowIndex::new(1), 1).unwrap();
+        assert_eq!(f.as_vec().len(), ExtendedFeatures::WIDTH);
+    }
+
+    #[test]
+    fn oof_extended_separates_synthetic_cohorts() {
+        // Build loyal (steady) vs defector (declining) feature rows.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = attrition_util::Rng::seed_from_u64(4);
+        for i in 0..120 {
+            let defector = i % 2 == 0;
+            let base = rng.f64_in(3.0, 6.0);
+            let trips: Vec<u32> = (0..8)
+                .map(|w| {
+                    let decay = if defector && w >= 4 { 0.4 } else { 1.0 };
+                    (base * decay + rng.normal_with(0.0, 0.4)).max(0.0) as u32
+                })
+                .collect();
+            let spend: Vec<i64> = trips.iter().map(|&t| t as i64 * 30).collect();
+            let w = windows_with(&trips, &spend);
+            features.push(extract_extended(&w, WindowIndex::new(7), 2).unwrap());
+            labels.push(defector);
+        }
+        let scores = out_of_fold_scores_extended(&features, &labels, 5, 9);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        let mean_pos: f64 = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l)
+            .map(|(s, _)| *s)
+            .sum::<f64>()
+            / 60.0;
+        let mean_neg: f64 = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| !l)
+            .map(|(s, _)| *s)
+            .sum::<f64>()
+            / 60.0;
+        assert!(mean_pos > mean_neg + 0.3, "pos {mean_pos} neg {mean_neg}");
+    }
+}

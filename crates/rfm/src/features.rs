@@ -1,0 +1,166 @@
+//! Recency / frequency / monetary feature extraction.
+//!
+//! At evaluation window `k` (knowing everything up to the end of `k`):
+//!
+//! * **recency** — days from the customer's last shopping trip to the end
+//!   of window `k`; customers who never purchased get the full span since
+//!   the grid origin (maximally stale);
+//! * **frequency** — number of trips within the trailing
+//!   `horizon_windows` windows ending at `k`;
+//! * **monetary** — spend over the same trailing horizon, in currency
+//!   units.
+
+use attrition_store::CustomerWindows;
+use attrition_types::WindowIndex;
+
+/// The three RFM predictors for one customer at one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfmFeatures {
+    /// Days since the last trip at the end of the window.
+    pub recency_days: f64,
+    /// Trips within the trailing horizon.
+    pub frequency: f64,
+    /// Spend within the trailing horizon (currency units).
+    pub monetary: f64,
+}
+
+impl RfmFeatures {
+    /// As a fixed-size array (the order the regression uses).
+    #[inline]
+    pub fn as_array(&self) -> [f64; 3] {
+        [self.recency_days, self.frequency, self.monetary]
+    }
+}
+
+/// Extract the RFM features of one customer at window `k`, looking back
+/// over `horizon_windows` windows (including `k` itself).
+///
+/// Returns `None` when the customer's windowed view does not extend to
+/// `k` (possible under per-customer alignment).
+pub fn extract_at_window(
+    windows: &CustomerWindows,
+    k: WindowIndex,
+    horizon_windows: usize,
+) -> Option<RfmFeatures> {
+    assert!(horizon_windows >= 1, "horizon must cover at least window k");
+    let idx = k.index();
+    if idx >= windows.num_windows() {
+        return None;
+    }
+    let window_end = windows.spec.window_end(k.raw()); // exclusive
+    let last_day_in_window = window_end + -1;
+    let recency_days = match windows.last_purchase[idx] {
+        Some(last) => (last_day_in_window - last).max(0) as f64,
+        None => (last_day_in_window - windows.spec.origin).max(0) as f64,
+    };
+    let lo = idx.saturating_sub(horizon_windows - 1);
+    let frequency: u32 = windows.trips[lo..=idx].iter().sum();
+    let monetary: f64 = windows.spend[lo..=idx]
+        .iter()
+        .map(|c| c.as_units_f64())
+        .sum();
+    Some(RfmFeatures {
+        recency_days,
+        frequency: frequency as f64,
+        monetary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_store::WindowSpec;
+    use attrition_types::{Basket, Cents, CustomerId, Date};
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    /// Three monthly windows: trips (2, 0, 1), spend (10.00, 0, 4.00),
+    /// last purchases (May 20, May 20, Jul 4).
+    fn sample() -> CustomerWindows {
+        CustomerWindows {
+            customer: CustomerId::new(1),
+            baskets: vec![
+                Basket::from_raw(&[1, 2]),
+                Basket::empty(),
+                Basket::from_raw(&[1]),
+            ],
+            trips: vec![2, 0, 1],
+            spend: vec![Cents(1000), Cents::ZERO, Cents(400)],
+            last_purchase: vec![
+                Some(d(2012, 5, 20)),
+                Some(d(2012, 5, 20)),
+                Some(d(2012, 7, 4)),
+            ],
+            spec: WindowSpec::months(d(2012, 5, 1), 1),
+        }
+    }
+
+    #[test]
+    fn recency_measures_to_window_end() {
+        let w = sample();
+        // Window 0 ends May 31; last trip May 20 → 11 days.
+        let f0 = extract_at_window(&w, WindowIndex::new(0), 1).unwrap();
+        assert_eq!(f0.recency_days, 11.0);
+        // Window 1 ends Jun 30; last trip still May 20 → 41 days.
+        let f1 = extract_at_window(&w, WindowIndex::new(1), 1).unwrap();
+        assert_eq!(f1.recency_days, 41.0);
+        // Window 2 ends Jul 31; last trip Jul 4 → 27 days.
+        let f2 = extract_at_window(&w, WindowIndex::new(2), 1).unwrap();
+        assert_eq!(f2.recency_days, 27.0);
+    }
+
+    #[test]
+    fn frequency_and_monetary_over_horizon() {
+        let w = sample();
+        let f = extract_at_window(&w, WindowIndex::new(2), 1).unwrap();
+        assert_eq!(f.frequency, 1.0);
+        assert!((f.monetary - 4.0).abs() < 1e-12);
+        let f3 = extract_at_window(&w, WindowIndex::new(2), 3).unwrap();
+        assert_eq!(f3.frequency, 3.0);
+        assert!((f3.monetary - 14.0).abs() < 1e-12);
+        // Horizon longer than the history clamps at window 0.
+        let f9 = extract_at_window(&w, WindowIndex::new(2), 9).unwrap();
+        assert_eq!(f9.frequency, 3.0);
+    }
+
+    #[test]
+    fn never_purchased_customer_max_recency() {
+        let w = CustomerWindows {
+            customer: CustomerId::new(2),
+            baskets: vec![Basket::empty(), Basket::empty()],
+            trips: vec![0, 0],
+            spend: vec![Cents::ZERO; 2],
+            last_purchase: vec![None, None],
+            spec: WindowSpec::months(d(2012, 5, 1), 1),
+        };
+        let f = extract_at_window(&w, WindowIndex::new(1), 2).unwrap();
+        // Jun 30 − May 1 = 60 days.
+        assert_eq!(f.recency_days, 60.0);
+        assert_eq!(f.frequency, 0.0);
+        assert_eq!(f.monetary, 0.0);
+    }
+
+    #[test]
+    fn out_of_horizon_window_none() {
+        let w = sample();
+        assert!(extract_at_window(&w, WindowIndex::new(3), 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        extract_at_window(&sample(), WindowIndex::new(0), 0);
+    }
+
+    #[test]
+    fn as_array_order() {
+        let f = RfmFeatures {
+            recency_days: 1.0,
+            frequency: 2.0,
+            monetary: 3.0,
+        };
+        assert_eq!(f.as_array(), [1.0, 2.0, 3.0]);
+    }
+}

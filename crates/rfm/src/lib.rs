@@ -1,0 +1,30 @@
+//! # attrition-rfm
+//!
+//! The comparison baseline of the paper's Figure 1: "the standard RFM
+//! model, that uses recency, frequency and monetary variables to identify
+//! defecting customers. This RFM model is built using a logistic
+//! regression on these three types of variables" (methodology of Buckinx
+//! & Van den Poel 2005, restricted to the R/F/M predictors).
+//!
+//! * [`features`] — per-customer, per-window recency / frequency /
+//!   monetary extraction from a windowed database.
+//! * [`standardize`] — z-score feature scaling.
+//! * [`logistic`] — from-scratch logistic regression, fit by iteratively
+//!   reweighted least squares (IRLS/Newton) with L2 regularization; no ML
+//!   dependency exists in the allowed crate set, and for 3 predictors
+//!   IRLS converges in a handful of iterations with no learning-rate
+//!   tuning.
+//! * [`model`] — the assembled baseline: extract → standardize → fit →
+//!   score, mirroring the stability model's per-window evaluation.
+
+pub mod extended;
+pub mod features;
+pub mod logistic;
+pub mod model;
+pub mod standardize;
+
+pub use extended::{extract_extended, out_of_fold_scores_extended, ExtendedFeatures};
+pub use features::{extract_at_window, RfmFeatures};
+pub use logistic::{FitReport, LogisticRegression};
+pub use model::{out_of_fold_scores, RfmModel};
+pub use standardize::Standardizer;

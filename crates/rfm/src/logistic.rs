@@ -1,0 +1,361 @@
+//! Logistic regression, from scratch.
+//!
+//! Fit by iteratively reweighted least squares (IRLS / Newton–Raphson)
+//! with L2 regularization on the weights (not the intercept). With three
+//! standardized predictors the Hessian is 4×4; each Newton step solves it
+//! by Gaussian elimination with partial pivoting. Converges in a handful
+//! of iterations with no learning-rate tuning, and the ridge term keeps
+//! the system nonsingular even under perfect separation.
+
+/// Convergence report of a fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Whether the step-size tolerance was reached within `max_iter`.
+    pub converged: bool,
+    /// Newton iterations performed.
+    pub iterations: usize,
+    /// Final penalized negative log-likelihood (mean per observation).
+    pub loss: f64,
+}
+
+/// A fitted (or to-be-fitted) logistic regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    /// `weights[0]` is the intercept; `weights[1..]` the coefficients.
+    pub weights: Vec<f64>,
+    /// L2 penalty strength on the non-intercept weights.
+    pub l2: f64,
+    /// Newton iteration cap.
+    pub max_iter: usize,
+    /// Convergence tolerance on the max absolute weight update.
+    pub tol: f64,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Untrained model for `n_features` predictors with default
+    /// regularization (`l2 = 1e-4`).
+    pub fn new(n_features: usize) -> LogisticRegression {
+        LogisticRegression {
+            weights: vec![0.0; n_features + 1],
+            l2: 1e-4,
+            max_iter: 50,
+            tol: 1e-8,
+        }
+    }
+
+    /// Override the ridge strength.
+    pub fn with_l2(mut self, l2: f64) -> LogisticRegression {
+        assert!(l2 >= 0.0, "l2 must be non-negative");
+        self.l2 = l2;
+        self
+    }
+
+    /// Number of predictors (excluding the intercept).
+    pub fn n_features(&self) -> usize {
+        self.weights.len() - 1
+    }
+
+    /// Linear score `w·x + b`.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features(), "feature width mismatch");
+        self.weights[0]
+            + self
+                .weights[1..]
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+
+    /// `P(y = 1 | x)`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.decision(x))
+    }
+
+    /// Fit on rows `x` (each of width `n_features`) with binary labels.
+    ///
+    /// Panics on empty input or width mismatches; returns the
+    /// convergence report. Weights are reset before fitting.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) -> FitReport {
+        assert!(!x.is_empty(), "cannot fit on an empty set");
+        assert_eq!(x.len(), y.len(), "rows/labels length mismatch");
+        let d = self.n_features();
+        for row in x {
+            assert_eq!(row.len(), d, "feature width mismatch");
+        }
+        let p = d + 1; // parameters including intercept
+        self.weights = vec![0.0; p];
+        // Effective ridge: never exactly zero, so the Newton system stays
+        // solvable under perfect separation.
+        let ridge = self.l2.max(1e-10);
+
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut hessian = vec![0.0f64; p * p];
+        let mut gradient = vec![0.0f64; p];
+        while iterations < self.max_iter {
+            iterations += 1;
+            hessian.iter_mut().for_each(|v| *v = 0.0);
+            gradient.iter_mut().for_each(|v| *v = 0.0);
+            for (row, &label) in x.iter().zip(y) {
+                let prob = sigmoid(self.decision(row));
+                let target = if label { 1.0 } else { 0.0 };
+                let resid = target - prob;
+                let weight = (prob * (1.0 - prob)).max(1e-10);
+                // Augmented row: (1, x_1, …, x_d).
+                let xi = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+                for j in 0..p {
+                    gradient[j] += resid * xi(j);
+                    for l in j..p {
+                        hessian[j * p + l] += weight * xi(j) * xi(l);
+                    }
+                }
+            }
+            // Mirror the upper triangle, add the ridge (skip intercept),
+            // and include the penalty gradient −λw.
+            for j in 0..p {
+                for l in 0..j {
+                    hessian[j * p + l] = hessian[l * p + j];
+                }
+            }
+            for j in 1..p {
+                hessian[j * p + j] += ridge;
+                gradient[j] -= ridge * self.weights[j];
+            }
+            let Some(step) = solve_dense(&mut hessian.clone(), &gradient) else {
+                break; // singular despite ridge: stop with current weights
+            };
+            let mut max_step = 0.0f64;
+            for (w, s) in self.weights.iter_mut().zip(&step) {
+                *w += s;
+                max_step = max_step.max(s.abs());
+            }
+            if max_step < self.tol {
+                converged = true;
+                break;
+            }
+        }
+        FitReport {
+            converged,
+            iterations,
+            loss: self.mean_loss(x, y),
+        }
+    }
+
+    /// Mean penalized negative log-likelihood on a dataset.
+    pub fn mean_loss(&self, x: &[Vec<f64>], y: &[bool]) -> f64 {
+        let n = x.len() as f64;
+        let mut loss = 0.0;
+        for (row, &label) in x.iter().zip(y) {
+            let p = self.predict_proba(row).clamp(1e-12, 1.0 - 1e-12);
+            loss -= if label { p.ln() } else { (1.0 - p).ln() };
+        }
+        let penalty: f64 = self.weights[1..].iter().map(|w| w * w).sum::<f64>() * self.l2 / 2.0;
+        (loss + penalty) / n
+    }
+}
+
+/// Solve `A x = b` for small dense `A` (row-major, overwritten) by
+/// Gaussian elimination with partial pivoting. `None` if singular.
+fn solve_dense(a: &mut [f64], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert_eq!(a.len(), n * n);
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot * n + j);
+            }
+            x.swap(col, pivot);
+        }
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row * n + col] / a[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            x[row] -= factor * x[col];
+        }
+    }
+    // Back-substitute.
+    for col in (0..n).rev() {
+        for j in col + 1..n {
+            let v = x[j];
+            x[col] -= a[col * n + j] * v;
+        }
+        x[col] /= a[col * n + col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_util::Rng;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+        // No overflow at extremes.
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert_eq!(sigmoid(1000.0), 1.0);
+    }
+
+    #[test]
+    fn solve_dense_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = (1, 3)
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let x = solve_dense(&mut a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let x = solve_dense(&mut a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_singular_none() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(&mut a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fits_1d_separation() {
+        // y = 1 iff x > 0 with a margin: weights should point positive.
+        let x: Vec<Vec<f64>> = vec![
+            vec![-2.0],
+            vec![-1.5],
+            vec![-1.0],
+            vec![1.0],
+            vec![1.5],
+            vec![2.0],
+        ];
+        let y = vec![false, false, false, true, true, true];
+        let mut lr = LogisticRegression::new(1).with_l2(0.01);
+        let report = lr.fit(&x, &y);
+        assert!(report.converged, "did not converge: {report:?}");
+        assert!(lr.weights[1] > 0.5, "slope {}", lr.weights[1]);
+        assert!(lr.predict_proba(&[2.0]) > 0.9);
+        assert!(lr.predict_proba(&[-2.0]) < 0.1);
+        assert!((lr.predict_proba(&[0.0]) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn recovers_known_coefficients() {
+        // Simulate from a known model and check recovery.
+        let mut rng = Rng::seed_from_u64(5);
+        let (w0, w1, w2) = (-0.5, 1.5, -2.0);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..20_000 {
+            let a = rng.normal();
+            let b = rng.normal();
+            let p = sigmoid(w0 + w1 * a + w2 * b);
+            x.push(vec![a, b]);
+            y.push(rng.bernoulli(p));
+        }
+        let mut lr = LogisticRegression::new(2).with_l2(1e-6);
+        let report = lr.fit(&x, &y);
+        assert!(report.converged);
+        assert!((lr.weights[0] - w0).abs() < 0.1, "b {}", lr.weights[0]);
+        assert!((lr.weights[1] - w1).abs() < 0.1, "w1 {}", lr.weights[1]);
+        assert!((lr.weights[2] - w2).abs() < 0.1, "w2 {}", lr.weights[2]);
+    }
+
+    #[test]
+    fn perfect_separation_stays_finite() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 - 4.5]).collect();
+        let y: Vec<bool> = (0..10).map(|i| i >= 5).collect();
+        let mut lr = LogisticRegression::new(1).with_l2(0.1);
+        lr.fit(&x, &y);
+        assert!(lr.weights.iter().all(|w| w.is_finite()));
+        assert!(lr.predict_proba(&[5.0]) > 0.8);
+    }
+
+    #[test]
+    fn balanced_noise_gives_half_probability() {
+        let mut rng = Rng::seed_from_u64(8);
+        let x: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.normal()]).collect();
+        let y: Vec<bool> = (0..2000).map(|_| rng.bernoulli(0.5)).collect();
+        let mut lr = LogisticRegression::new(1);
+        lr.fit(&x, &y);
+        let p = lr.predict_proba(&[0.0]);
+        assert!((p - 0.5).abs() < 0.05, "p {p}");
+    }
+
+    #[test]
+    fn intercept_matches_base_rate() {
+        // No signal in x, 80% positive rate: P(y|x) ≈ 0.8 everywhere.
+        let x: Vec<Vec<f64>> = (0..1000).map(|i| vec![(i % 7) as f64]).collect();
+        let y: Vec<bool> = (0..1000).map(|i| i % 5 != 0).collect();
+        let mut lr = LogisticRegression::new(1);
+        lr.fit(&x, &y);
+        let p = lr.predict_proba(&[3.0]);
+        assert!((p - 0.8).abs() < 0.05, "p {p}");
+    }
+
+    #[test]
+    fn loss_decreases_from_null() {
+        let x: Vec<Vec<f64>> = vec![vec![-1.0], vec![1.0], vec![-2.0], vec![2.0]];
+        let y = vec![false, true, false, true];
+        let null = LogisticRegression::new(1);
+        let null_loss = null.mean_loss(&x, &y);
+        let mut lr = LogisticRegression::new(1);
+        let report = lr.fit(&x, &y);
+        assert!(
+            report.loss < null_loss,
+            "fit loss {} vs null {null_loss}",
+            report.loss
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        LogisticRegression::new(1).fit(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn label_mismatch_panics() {
+        LogisticRegression::new(1).fit(&[vec![1.0]], &[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn decision_width_mismatch_panics() {
+        LogisticRegression::new(2).decision(&[1.0]);
+    }
+}

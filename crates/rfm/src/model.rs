@@ -1,0 +1,378 @@
+//! The assembled RFM baseline.
+//!
+//! Mirrors the paper's per-window evaluation: at each window `k`, extract
+//! RFM features from every customer's history up to the end of `k`,
+//! standardize, fit a logistic regression against the cohort labels, and
+//! score. [`out_of_fold_scores`] produces leak-free scores via k-fold
+//! cross-fitting (train on k−1 folds, score the held-out fold), which is
+//! what the Figure 1 experiment feeds to the AUROC.
+
+use crate::features::{extract_at_window, RfmFeatures};
+use crate::logistic::{FitReport, LogisticRegression};
+use crate::standardize::Standardizer;
+use attrition_store::WindowedDatabase;
+use attrition_types::{CustomerId, WindowIndex};
+
+/// RFM feature extraction + scaling + logistic regression.
+#[derive(Debug, Clone)]
+pub struct RfmModel {
+    /// Trailing windows used for frequency/monetary accumulation.
+    pub horizon_windows: usize,
+    standardizer: Option<Standardizer>,
+    regression: LogisticRegression,
+}
+
+impl RfmModel {
+    /// New untrained model with the given trailing horizon.
+    pub fn new(horizon_windows: usize) -> RfmModel {
+        assert!(horizon_windows >= 1, "horizon must be at least 1 window");
+        RfmModel {
+            horizon_windows,
+            standardizer: None,
+            regression: LogisticRegression::new(3),
+        }
+    }
+
+    /// Extract `(customer, features)` pairs at window `k` for every
+    /// customer whose horizon reaches `k`.
+    pub fn features_at(
+        &self,
+        db: &WindowedDatabase,
+        k: WindowIndex,
+    ) -> Vec<(CustomerId, RfmFeatures)> {
+        db.customers()
+            .iter()
+            .filter_map(|w| {
+                extract_at_window(w, k, self.horizon_windows).map(|f| (w.customer, f))
+            })
+            .collect()
+    }
+
+    /// Fit on features/labels (standardizer fit on the same set).
+    pub fn fit(&mut self, features: &[RfmFeatures], labels: &[bool]) -> FitReport {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_array().to_vec()).collect();
+        let scaler = Standardizer::fit(&rows);
+        let scaled = scaler.transform(&rows);
+        self.standardizer = Some(scaler);
+        self.regression.fit(&scaled, labels)
+    }
+
+    /// `P(defector)` for one feature vector. Panics if not fitted.
+    pub fn score(&self, features: &RfmFeatures) -> f64 {
+        let scaler = self
+            .standardizer
+            .as_ref()
+            .expect("RfmModel::score called before fit");
+        let mut row = features.as_array();
+        scaler.transform_row(&mut row);
+        self.regression.predict_proba(&row)
+    }
+
+    /// Scores for many feature vectors.
+    pub fn scores(&self, features: &[RfmFeatures]) -> Vec<f64> {
+        features.iter().map(|f| self.score(f)).collect()
+    }
+
+    /// Fitted coefficients `(intercept, recency, frequency, monetary)` on
+    /// the standardized scale. Panics if not fitted.
+    pub fn coefficients(&self) -> [f64; 4] {
+        assert!(
+            self.standardizer.is_some(),
+            "RfmModel::coefficients called before fit"
+        );
+        [
+            self.regression.weights[0],
+            self.regression.weights[1],
+            self.regression.weights[2],
+            self.regression.weights[3],
+        ]
+    }
+
+    /// Serialize the fitted model (scaler + coefficients) to a compact
+    /// CSV checkpoint. Panics if not fitted.
+    pub fn save(&self) -> String {
+        let scaler = self
+            .standardizer
+            .as_ref()
+            .expect("RfmModel::save called before fit");
+        use attrition_util::csv::CsvWriter;
+        let mut w = CsvWriter::new();
+        w.record(&["#rfm_model", &self.horizon_windows.to_string()]);
+        let fmt = |xs: &[f64]| -> Vec<String> { xs.iter().map(|v| format!("{v:e}")).collect() };
+        w.record_owned(&{
+            let mut row = vec!["means".to_owned()];
+            row.extend(fmt(&scaler.means));
+            row
+        });
+        w.record_owned(&{
+            let mut row = vec!["stds".to_owned()];
+            row.extend(fmt(&scaler.stds));
+            row
+        });
+        w.record_owned(&{
+            let mut row = vec!["weights".to_owned()];
+            row.extend(fmt(&self.regression.weights));
+            row
+        });
+        w.finish()
+    }
+
+    /// Restore a model saved with [`save`](RfmModel::save). The restored
+    /// model scores identically (exact float round-trip via scientific
+    /// notation).
+    pub fn load(text: &str) -> Result<RfmModel, String> {
+        use attrition_util::csv::parse_document;
+        let rows: Vec<Vec<String>> = parse_document(text)
+            .collect::<Option<Vec<_>>>()
+            .ok_or("malformed checkpoint")?;
+        if rows.len() != 4 || rows[0].first().map(String::as_str) != Some("#rfm_model") {
+            return Err("not an RFM model checkpoint".into());
+        }
+        let horizon: usize = rows[0]
+            .get(1)
+            .and_then(|v| v.parse().ok())
+            .ok_or("bad horizon")?;
+        let parse_row = |row: &[String], tag: &str| -> Result<Vec<f64>, String> {
+            if row.first().map(String::as_str) != Some(tag) {
+                return Err(format!("expected {tag} row"));
+            }
+            row[1..]
+                .iter()
+                .map(|v| v.parse().map_err(|_| format!("bad float in {tag}")))
+                .collect()
+        };
+        let means = parse_row(&rows[1], "means")?;
+        let stds = parse_row(&rows[2], "stds")?;
+        let weights = parse_row(&rows[3], "weights")?;
+        if means.len() != 3 || stds.len() != 3 || weights.len() != 4 {
+            return Err("wrong checkpoint dimensions".into());
+        }
+        let mut model = RfmModel::new(horizon);
+        model.standardizer = Some(Standardizer { means, stds });
+        model.regression.weights = weights;
+        Ok(model)
+    }
+}
+
+/// Leak-free per-observation scores by k-fold cross-fitting: for each
+/// fold, a fresh [`RfmModel`] is trained on the other folds and scores
+/// the held-out observations. Returns one score per input index.
+pub fn out_of_fold_scores(
+    features: &[RfmFeatures],
+    labels: &[bool],
+    horizon_windows: usize,
+    k_folds: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+    let folds = stratified_folds(labels, k_folds, seed);
+    let mut scores = vec![f64::NAN; features.len()];
+    for fold in &folds {
+        let train_x: Vec<RfmFeatures> = fold.0.iter().map(|&i| features[i]).collect();
+        let train_y: Vec<bool> = fold.0.iter().map(|&i| labels[i]).collect();
+        let mut model = RfmModel::new(horizon_windows);
+        model.fit(&train_x, &train_y);
+        for &i in &fold.1 {
+            scores[i] = model.score(&features[i]);
+        }
+    }
+    scores
+}
+
+/// Stratified folds as `(train, test)` index lists.
+///
+/// Local reimplementation (rather than depending on `attrition-eval`) to
+/// keep the crate DAG acyclic: eval is a leaf, and the bench crate
+/// cross-checks both implementations agree.
+pub(crate) fn stratified_folds(labels: &[bool], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut rng = attrition_util::Rng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    assert!(
+        pos.len() >= k && neg.len() >= k,
+        "each class needs at least k members"
+    );
+    rng.shuffle(&mut pos);
+    rng.shuffle(&mut neg);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (n, &i) in pos.iter().chain(neg.iter()).enumerate() {
+        groups[n % k].push(i);
+    }
+    (0..k)
+        .map(|t| {
+            let mut train = Vec::new();
+            for (g, group) in groups.iter().enumerate() {
+                if g != t {
+                    train.extend_from_slice(group);
+                }
+            }
+            (train, groups[t].clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(recency: f64, freq: f64, money: f64) -> RfmFeatures {
+        RfmFeatures {
+            recency_days: recency,
+            frequency: freq,
+            monetary: money,
+        }
+    }
+
+    /// Loyal: fresh, frequent, big spender. Defector: stale, rare, small.
+    fn synthetic_cohorts(n_per: usize) -> (Vec<RfmFeatures>, Vec<bool>) {
+        let mut rng = attrition_util::Rng::seed_from_u64(3);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n_per {
+            features.push(feats(
+                rng.f64_in(0.0, 10.0),
+                rng.f64_in(6.0, 12.0),
+                rng.f64_in(150.0, 400.0),
+            ));
+            labels.push(false);
+            features.push(feats(
+                rng.f64_in(20.0, 60.0),
+                rng.f64_in(0.0, 4.0),
+                rng.f64_in(0.0, 120.0),
+            ));
+            labels.push(true);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn separates_obvious_cohorts() {
+        let (features, labels) = synthetic_cohorts(100);
+        let mut model = RfmModel::new(1);
+        let report = model.fit(&features, &labels);
+        assert!(report.converged);
+        // Defectors score high, loyals low.
+        let d = model.score(&feats(45.0, 1.0, 30.0));
+        let l = model.score(&feats(3.0, 9.0, 300.0));
+        assert!(d > 0.9, "defector score {d}");
+        assert!(l < 0.1, "loyal score {l}");
+    }
+
+    #[test]
+    fn coefficient_signs_match_intuition() {
+        let (features, labels) = synthetic_cohorts(200);
+        let mut model = RfmModel::new(1);
+        model.fit(&features, &labels);
+        let [_, recency, frequency, monetary] = model.coefficients();
+        assert!(recency > 0.0, "staleness should predict defection");
+        assert!(frequency < 0.0, "frequency should predict loyalty");
+        assert!(monetary < 0.0, "spend should predict loyalty");
+    }
+
+    #[test]
+    fn out_of_fold_scores_cover_everyone() {
+        let (features, labels) = synthetic_cohorts(50);
+        let scores = out_of_fold_scores(&features, &labels, 1, 5, 7);
+        assert_eq!(scores.len(), features.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+        // Ranking quality: defectors above loyals on average.
+        let mean_pos: f64 = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l)
+            .map(|(s, _)| *s)
+            .sum::<f64>()
+            / 50.0;
+        let mean_neg: f64 = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| !l)
+            .map(|(s, _)| *s)
+            .sum::<f64>()
+            / 50.0;
+        assert!(mean_pos > mean_neg + 0.5, "pos {mean_pos} neg {mean_neg}");
+    }
+
+    #[test]
+    fn oof_deterministic() {
+        let (features, labels) = synthetic_cohorts(30);
+        let a = out_of_fold_scores(&features, &labels, 1, 5, 1);
+        let b = out_of_fold_scores(&features, &labels, 1, 5, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        RfmModel::new(1).score(&feats(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn save_load_roundtrip_scores_identically() {
+        let (features, labels) = synthetic_cohorts(80);
+        let mut model = RfmModel::new(3);
+        model.fit(&features, &labels);
+        let checkpoint = model.save();
+        let restored = RfmModel::load(&checkpoint).expect("loads");
+        assert_eq!(restored.horizon_windows, 3);
+        for f in features.iter().take(20) {
+            assert_eq!(model.score(f), restored.score(f), "score diverged for {f:?}");
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(RfmModel::load("").is_err());
+        assert!(RfmModel::load("#rfm_model,1\n").is_err());
+        assert!(RfmModel::load("#other,1\nmeans,1,2,3\nstds,1,2,3\nweights,1,2,3,4\n").is_err());
+        assert!(RfmModel::load("#rfm_model,1\nmeans,1,2\nstds,1,2,3\nweights,1,2,3,4\n").is_err());
+        assert!(
+            RfmModel::load("#rfm_model,1\nmeans,1,2,x\nstds,1,2,3\nweights,1,2,3,4\n").is_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn save_before_fit_panics() {
+        RfmModel::new(1).save();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 window")]
+    fn zero_horizon_panics() {
+        RfmModel::new(0);
+    }
+
+    #[test]
+    fn features_at_windowed_db() {
+        use attrition_store::{ReceiptStoreBuilder, WindowAlignment, WindowSpec, WindowedDatabase};
+        use attrition_types::{Basket, Cents, Date, Receipt};
+        let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+        let mut b = ReceiptStoreBuilder::new();
+        for c in 0..4u64 {
+            b.push(Receipt::new(
+                CustomerId::new(c),
+                d0 + 3,
+                Basket::from_raw(&[1]),
+                Cents(500),
+            ));
+        }
+        let db = WindowedDatabase::from_store(
+            &b.build(),
+            WindowSpec::months(d0, 1),
+            2,
+            WindowAlignment::Global,
+        );
+        let model = RfmModel::new(2);
+        let rows = model.features_at(&db, WindowIndex::new(1));
+        assert_eq!(rows.len(), 4);
+        for (_, f) in rows {
+            assert_eq!(f.frequency, 1.0);
+            assert!((f.monetary - 5.0).abs() < 1e-12);
+            // Last trip May 4; window 1 ends Jun 30 → 57 days.
+            assert_eq!(f.recency_days, 57.0);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Z-score standardization.
+//!
+//! Logistic regression on raw RFM columns is badly conditioned (recency
+//! in days vs. monetary in hundreds of currency units); the standardizer
+//! is fit on the training fold only and applied to both folds, keeping
+//! cross-validation leak-free.
+
+/// Per-column mean/std scaler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations (population, clamped away from zero).
+    pub stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit to rows of equal width. Panics on an empty set or ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Standardizer {
+        assert!(!rows.is_empty(), "cannot standardize an empty set");
+        let width = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; width];
+        for row in rows {
+            assert_eq!(row.len(), width, "ragged feature rows");
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; width];
+        for row in rows {
+            for ((s, &v), &m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant column: leave it centered only
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "row width mismatch");
+        for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a copy of the rows.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut row = r.clone();
+                self.transform_row(&mut row);
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_transform() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let s = Standardizer::fit(&rows);
+        assert_eq!(s.means, vec![3.0, 10.0]);
+        // Population std of column 0: sqrt(8/3).
+        assert!((s.stds[0] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // Constant column: std clamped to 1.
+        assert_eq!(s.stds[1], 1.0);
+        let t = s.transform(&rows);
+        assert!((t[0][0] + t[2][0]).abs() < 1e-12); // symmetric around 0
+        assert_eq!(t[1][0], 0.0);
+        assert_eq!(t[0][1], 0.0); // centered constant column
+    }
+
+    #[test]
+    fn transformed_columns_standardized() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 3.0 + 7.0]).collect();
+        let s = Standardizer::fit(&rows);
+        let t = s.transform(&rows);
+        let mean: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 100.0;
+        let var: f64 = t.iter().map(|r| r[0] * r[0]).sum::<f64>() / 100.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Standardizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_panics() {
+        Standardizer::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let s = Standardizer::fit(&[vec![1.0]]);
+        s.transform_row(&mut [1.0, 2.0]);
+    }
+}

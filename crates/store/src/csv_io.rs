@@ -1,0 +1,255 @@
+//! CSV import/export for receipts and taxonomies.
+//!
+//! Receipt schema (one row per receipt):
+//! `customer,date,total_cents,items` where `items` is a space-separated
+//! list of raw item ids — e.g. `42,2012-05-03,1250,3 17 99`.
+//!
+//! Taxonomy schema (one row per product):
+//! `item,segment,item_name,segment_name,price_cents`.
+//!
+//! Both formats roundtrip exactly and are what the CLI's `generate`
+//! subcommand writes and the other subcommands read.
+
+use crate::{ReceiptStore, ReceiptStoreBuilder, StoreError};
+use attrition_types::{Basket, Cents, CustomerId, Date, ItemId, Receipt, Taxonomy, TaxonomyBuilder};
+use attrition_util::csv::{parse_document, CsvWriter};
+
+/// Header of the receipts CSV.
+pub const RECEIPTS_HEADER: [&str; 4] = ["customer", "date", "total_cents", "items"];
+
+/// Header of the taxonomy CSV.
+pub const TAXONOMY_HEADER: [&str; 5] = ["item", "segment", "item_name", "segment_name", "price_cents"];
+
+/// Serialize a store to receipts CSV (with header).
+pub fn receipts_to_csv(store: &ReceiptStore) -> String {
+    let mut w = CsvWriter::new();
+    w.record(&RECEIPTS_HEADER);
+    let mut items_buf = String::new();
+    for r in store.receipts() {
+        items_buf.clear();
+        for (i, item) in r.items.iter().enumerate() {
+            if i > 0 {
+                items_buf.push(' ');
+            }
+            items_buf.push_str(&item.raw().to_string());
+        }
+        w.record(&[
+            &r.customer.raw().to_string(),
+            &r.date.to_string(),
+            &r.total.raw().to_string(),
+            &items_buf,
+        ]);
+    }
+    w.finish()
+}
+
+fn csv_err(line: usize, message: impl Into<String>) -> StoreError {
+    StoreError::Csv {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse receipts CSV (tolerates a missing header) into a store.
+pub fn receipts_from_csv(text: &str) -> Result<ReceiptStore, StoreError> {
+    let mut builder = ReceiptStoreBuilder::new();
+    for (idx, record) in parse_document(text).enumerate() {
+        let line = idx + 1;
+        let fields = record.ok_or_else(|| csv_err(line, "malformed record"))?;
+        if idx == 0 && fields.first().map(String::as_str) == Some("customer") {
+            continue; // header
+        }
+        if fields.len() != 4 {
+            return Err(csv_err(line, format!("expected 4 fields, got {}", fields.len())));
+        }
+        let customer: u64 = fields[0]
+            .parse()
+            .map_err(|_| csv_err(line, "bad customer id"))?;
+        let date = Date::parse_iso(&fields[1]).map_err(|e| csv_err(line, e.to_string()))?;
+        let total: i64 = fields[2]
+            .parse()
+            .map_err(|_| csv_err(line, "bad total_cents"))?;
+        let mut items = Vec::new();
+        for tok in fields[3].split_whitespace() {
+            let raw: u32 = tok
+                .parse()
+                .map_err(|_| csv_err(line, format!("bad item id {tok:?}")))?;
+            items.push(ItemId::new(raw));
+        }
+        builder.push(Receipt::new(
+            CustomerId::new(customer),
+            date,
+            Basket::new(items),
+            Cents(total),
+        ));
+    }
+    Ok(builder.build())
+}
+
+/// Serialize a taxonomy to CSV (with header).
+pub fn taxonomy_to_csv(taxonomy: &Taxonomy) -> String {
+    let mut w = CsvWriter::new();
+    w.record(&TAXONOMY_HEADER);
+    for p in taxonomy.products() {
+        let seg_name = taxonomy
+            .segment(p.segment)
+            .map(|s| s.name.clone())
+            .unwrap_or_default();
+        w.record(&[
+            &p.item.raw().to_string(),
+            &p.segment.raw().to_string(),
+            &p.name,
+            &seg_name,
+            &p.price.raw().to_string(),
+        ]);
+    }
+    w.finish()
+}
+
+/// Parse taxonomy CSV back into a [`Taxonomy`].
+///
+/// Requires products to appear with dense, ascending item ids and dense
+/// segment ids (which is what [`taxonomy_to_csv`] produces).
+pub fn taxonomy_from_csv(text: &str) -> Result<Taxonomy, StoreError> {
+    let mut builder = TaxonomyBuilder::new();
+    let mut next_segment: u32 = 0;
+    let mut next_item: u32 = 0;
+    for (idx, record) in parse_document(text).enumerate() {
+        let line = idx + 1;
+        let fields = record.ok_or_else(|| csv_err(line, "malformed record"))?;
+        if idx == 0 && fields.first().map(String::as_str) == Some("item") {
+            continue;
+        }
+        if fields.len() != 5 {
+            return Err(csv_err(line, format!("expected 5 fields, got {}", fields.len())));
+        }
+        let item: u32 = fields[0].parse().map_err(|_| csv_err(line, "bad item id"))?;
+        let segment: u32 = fields[1]
+            .parse()
+            .map_err(|_| csv_err(line, "bad segment id"))?;
+        let price: i64 = fields[4]
+            .parse()
+            .map_err(|_| csv_err(line, "bad price_cents"))?;
+        if item != next_item {
+            return Err(csv_err(
+                line,
+                format!("expected dense item id {next_item}, got {item}"),
+            ));
+        }
+        next_item += 1;
+        // Register segments as their ids first appear; ids must be dense.
+        while next_segment <= segment {
+            builder.add_segment(fields[3].clone());
+            next_segment += 1;
+        }
+        builder
+            .add_product(
+                attrition_types::SegmentId::new(segment),
+                fields[2].clone(),
+                Cents(price),
+            )
+            .map_err(|e| csv_err(line, e.to_string()))?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_types::TaxonomyBuilder;
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn sample_store() -> ReceiptStore {
+        let mut b = ReceiptStoreBuilder::new();
+        b.push(Receipt::new(
+            CustomerId::new(7),
+            d(2012, 5, 3),
+            Basket::from_raw(&[3, 17]),
+            Cents(1250),
+        ));
+        b.push(Receipt::new(
+            CustomerId::new(7),
+            d(2012, 5, 10),
+            Basket::from_raw(&[]),
+            Cents(0),
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn receipts_roundtrip() {
+        let store = sample_store();
+        let csv = receipts_to_csv(&store);
+        assert!(csv.starts_with("customer,date,total_cents,items\n"));
+        let back = receipts_from_csv(&csv).unwrap();
+        assert_eq!(back.num_receipts(), 2);
+        let r = back.receipt(0).unwrap();
+        assert_eq!(r.customer, CustomerId::new(7));
+        assert_eq!(r.date, d(2012, 5, 3));
+        assert_eq!(r.total, Cents(1250));
+        assert_eq!(r.items, &[ItemId::new(3), ItemId::new(17)]);
+        // Empty basket row survives.
+        assert_eq!(back.receipt(1).unwrap().items.len(), 0);
+    }
+
+    #[test]
+    fn receipts_without_header_accepted() {
+        let back = receipts_from_csv("5,2013-01-02,99,1 2\n").unwrap();
+        assert_eq!(back.num_receipts(), 1);
+    }
+
+    #[test]
+    fn receipts_bad_rows_rejected() {
+        assert!(receipts_from_csv("a,2013-01-02,99,1\n").is_err());
+        assert!(receipts_from_csv("5,2013-13-02,99,1\n").is_err());
+        assert!(receipts_from_csv("5,2013-01-02,x,1\n").is_err());
+        assert!(receipts_from_csv("5,2013-01-02,99,zap\n").is_err());
+        assert!(receipts_from_csv("5,2013-01-02,99\n").is_err());
+    }
+
+    #[test]
+    fn csv_error_reports_line() {
+        let err = receipts_from_csv("customer,date,total_cents,items\n5,bad,9,1\n").unwrap_err();
+        match err {
+            StoreError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    fn sample_taxonomy() -> Taxonomy {
+        let mut t = TaxonomyBuilder::new();
+        let coffee = t.add_segment("coffee");
+        let milk = t.add_segment("milk");
+        t.add_product(coffee, "arabica, ground", Cents(400)).unwrap();
+        t.add_product(milk, "whole 1L", Cents(120)).unwrap();
+        t.build()
+    }
+
+    #[test]
+    fn taxonomy_roundtrip() {
+        let tax = sample_taxonomy();
+        let csv = taxonomy_to_csv(&tax);
+        let back = taxonomy_from_csv(&csv).unwrap();
+        assert_eq!(back.num_products(), 2);
+        assert_eq!(back.num_segments(), 2);
+        // The quoted comma in the product name survives.
+        assert_eq!(
+            back.product(ItemId::new(0)).unwrap().name,
+            "arabica, ground"
+        );
+        assert_eq!(back.price_of(ItemId::new(1)).unwrap(), Cents(120));
+        assert_eq!(
+            back.segment(attrition_types::SegmentId::new(1)).unwrap().name,
+            "milk"
+        );
+    }
+
+    #[test]
+    fn taxonomy_non_dense_rejected() {
+        let csv = "item,segment,item_name,segment_name,price_cents\n5,0,p,s,10\n";
+        assert!(taxonomy_from_csv(csv).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Store errors.
+
+use std::fmt;
+
+/// Errors raised by the receipt store and its importers.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A customer id that is not present in the store.
+    UnknownCustomer(u64),
+    /// A receipt row index out of range.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Number of rows in the store.
+        len: usize,
+    },
+    /// CSV input that failed to parse, with 1-based line number.
+    Csv {
+        /// 1-based line of the offending record (0 for binary formats).
+        line: usize,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// Domain-type construction failure during import.
+    Type(attrition_types::TypeError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownCustomer(id) => write!(f, "unknown customer id {id}"),
+            StoreError::RowOutOfRange { row, len } => {
+                write!(f, "receipt row {row} out of range (store has {len})")
+            }
+            StoreError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Type(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<attrition_types::TypeError> for StoreError {
+    fn from(e: attrition_types::TypeError) -> StoreError {
+        StoreError::Type(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::UnknownCustomer(9).to_string().contains("9"));
+        assert!(StoreError::RowOutOfRange { row: 5, len: 2 }
+            .to_string()
+            .contains("5"));
+        assert!(StoreError::Csv {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn conversions() {
+        let io: StoreError = std::io::Error::other("x").into();
+        assert!(matches!(io, StoreError::Io(_)));
+        let ty: StoreError = attrition_types::TypeError::InvalidMonth(0).into();
+        assert!(matches!(ty, StoreError::Type(_)));
+        use std::error::Error;
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,203 @@
+//! Dataset description statistics.
+//!
+//! Section 3 of the paper describes its dataset as: receipts of 6 million
+//! customers, May 2012 → August 2014, 4 million products grouped into
+//! 3,388 segments. [`DatasetStats`] computes the same description (plus
+//! basket-size and trip-rate summaries) for any store; the `dataset_stats`
+//! experiment binary prints it next to the paper's numbers.
+
+use crate::ReceiptStore;
+use attrition_types::{Cents, Date, Taxonomy};
+use attrition_util::stats::Summary;
+use attrition_util::Table;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Summary statistics of a receipt dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Distinct customers.
+    pub customers: usize,
+    /// Number of receipts.
+    pub receipts: usize,
+    /// Distinct items appearing in baskets.
+    pub distinct_items: usize,
+    /// Distinct segments (when a taxonomy is supplied).
+    pub distinct_segments: Option<usize>,
+    /// First and last receipt date.
+    pub date_range: Option<(Date, Date)>,
+    /// Observation span in whole months (inclusive of partial end month).
+    pub span_months: u32,
+    /// Basket size distribution.
+    pub basket_size: Summary,
+    /// Receipts per customer distribution.
+    pub trips_per_customer: Summary,
+    /// Total revenue.
+    pub revenue: Cents,
+}
+
+impl DatasetStats {
+    /// Compute statistics over `store`; pass the taxonomy to also count
+    /// the distinct segments touched.
+    pub fn compute(store: &ReceiptStore, taxonomy: Option<&Taxonomy>) -> DatasetStats {
+        let mut items: HashSet<u32> = HashSet::new();
+        let mut segments: HashSet<u32> = HashSet::new();
+        let mut basket_sizes: Vec<f64> = Vec::with_capacity(store.num_receipts());
+        let mut revenue = Cents::ZERO;
+        for r in store.receipts() {
+            basket_sizes.push(r.items.len() as f64);
+            revenue += r.total;
+            for &item in r.items {
+                items.insert(item.raw());
+                if let Some(t) = taxonomy {
+                    if let Ok(seg) = t.segment_of(item) {
+                        segments.insert(seg.raw());
+                    }
+                }
+            }
+        }
+        let trips: Vec<f64> = store
+            .customers()
+            .map(|c| {
+                store
+                    .customer_rows(c)
+                    .map(|r| r.len() as f64)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let date_range = store.date_range();
+        let span_months = date_range
+            .map(|(lo, hi)| (hi.months_since(lo) + 1).max(0) as u32)
+            .unwrap_or(0);
+        DatasetStats {
+            customers: store.num_customers(),
+            receipts: store.num_receipts(),
+            distinct_items: items.len(),
+            distinct_segments: taxonomy.map(|_| segments.len()),
+            date_range,
+            span_months,
+            basket_size: Summary::of(&basket_sizes),
+            trips_per_customer: Summary::of(&trips),
+            revenue,
+        }
+    }
+
+    /// Render as a two-column table.
+    pub fn to_table(&self) -> Table {
+        use attrition_util::table::fmt_f64;
+        let mut t = Table::new(["statistic", "value"]);
+        t.row(["customers", &self.customers.to_string()]);
+        t.row(["receipts", &self.receipts.to_string()]);
+        t.row(["distinct items", &self.distinct_items.to_string()]);
+        if let Some(s) = self.distinct_segments {
+            t.row(["distinct segments", &s.to_string()]);
+        }
+        if let Some((lo, hi)) = self.date_range {
+            t.row(["first receipt", &lo.to_string()]);
+            t.row(["last receipt", &hi.to_string()]);
+        }
+        t.row(["span (months)", &self.span_months.to_string()]);
+        t.row(["mean basket size", &fmt_f64(self.basket_size.mean, 2)]);
+        t.row(["median basket size", &fmt_f64(self.basket_size.median, 1)]);
+        t.row([
+            "mean trips per customer",
+            &fmt_f64(self.trips_per_customer.mean, 2),
+        ]);
+        t.row(["total revenue", &self.revenue.to_string()]);
+        t
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReceiptStoreBuilder;
+    use attrition_types::{Basket, CustomerId, Receipt, TaxonomyBuilder};
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn store() -> ReceiptStore {
+        let mut b = ReceiptStoreBuilder::new();
+        b.push(Receipt::new(
+            CustomerId::new(1),
+            d(2012, 5, 2),
+            Basket::from_raw(&[0, 1]),
+            Cents(500),
+        ));
+        b.push(Receipt::new(
+            CustomerId::new(1),
+            d(2012, 8, 2),
+            Basket::from_raw(&[0]),
+            Cents(200),
+        ));
+        b.push(Receipt::new(
+            CustomerId::new(2),
+            d(2012, 7, 15),
+            Basket::from_raw(&[2]),
+            Cents(300),
+        ));
+        b.build()
+    }
+
+    fn taxonomy() -> attrition_types::Taxonomy {
+        let mut t = TaxonomyBuilder::new();
+        let a = t.add_segment("a");
+        let b = t.add_segment("b");
+        t.add_product(a, "p0", Cents(100)).unwrap();
+        t.add_product(a, "p1", Cents(100)).unwrap();
+        t.add_product(b, "p2", Cents(100)).unwrap();
+        t.build()
+    }
+
+    #[test]
+    fn counts_and_span() {
+        let s = DatasetStats::compute(&store(), None);
+        assert_eq!(s.customers, 2);
+        assert_eq!(s.receipts, 3);
+        assert_eq!(s.distinct_items, 3);
+        assert_eq!(s.distinct_segments, None);
+        assert_eq!(s.date_range, Some((d(2012, 5, 2), d(2012, 8, 2))));
+        assert_eq!(s.span_months, 4); // May..Aug inclusive
+        assert_eq!(s.revenue, Cents(1000));
+    }
+
+    #[test]
+    fn segment_counting() {
+        let tax = taxonomy();
+        let s = DatasetStats::compute(&store(), Some(&tax));
+        assert_eq!(s.distinct_segments, Some(2));
+    }
+
+    #[test]
+    fn summaries() {
+        let s = DatasetStats::compute(&store(), None);
+        assert!((s.basket_size.mean - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.trips_per_customer.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let s = DatasetStats::compute(&ReceiptStoreBuilder::new().build(), None);
+        assert_eq!(s.customers, 0);
+        assert_eq!(s.span_months, 0);
+        assert!(s.date_range.is_none());
+    }
+
+    #[test]
+    fn table_renders() {
+        let tax = taxonomy();
+        let s = DatasetStats::compute(&store(), Some(&tax));
+        let text = s.to_string();
+        assert!(text.contains("customers"));
+        assert!(text.contains("distinct segments"));
+        assert!(text.contains("2012-05-02"));
+    }
+}

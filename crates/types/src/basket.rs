@@ -1,0 +1,340 @@
+//! Baskets and receipts.
+//!
+//! A [`Basket`] is the item *set* of one shopping trip (`b_j ⊂ I` in the
+//! paper): sorted, deduplicated, immutable once built. A [`Receipt`] is a
+//! basket with its customer, timestamp and monetary total — the unit record
+//! of the dataset ("each timestamped customer receipt describes a related
+//! basket content").
+
+use crate::{Cents, CustomerId, Date, ItemId};
+use std::fmt;
+
+/// A sorted, deduplicated set of items bought in one shopping trip.
+///
+/// Stored as a sorted `Box<[ItemId]>`: membership is `O(log n)`,
+/// intersection/union are linear merges, and the representation is two
+/// words + payload (baskets are instantiated in the millions).
+///
+/// ```
+/// use attrition_types::{Basket, ItemId};
+/// let a = Basket::from_raw(&[3, 1, 3, 2]); // sorted + deduplicated
+/// assert_eq!(a.len(), 3);
+/// assert!(a.contains(ItemId::new(2)));
+/// let b = Basket::from_raw(&[2, 4]);
+/// assert_eq!(a.union(&b).len(), 4);
+/// assert_eq!(a.intersection(&b).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Basket {
+    items: Box<[ItemId]>,
+}
+
+impl Basket {
+    /// Build a basket from any collection of items; sorts and deduplicates.
+    pub fn new(mut items: Vec<ItemId>) -> Basket {
+        items.sort_unstable();
+        items.dedup();
+        Basket {
+            items: items.into_boxed_slice(),
+        }
+    }
+
+    /// Build from a slice of raw `u32` item ids (convenience for tests and
+    /// loaders).
+    pub fn from_raw(raw: &[u32]) -> Basket {
+        Basket::new(raw.iter().copied().map(ItemId::new).collect())
+    }
+
+    /// The empty basket.
+    pub fn empty() -> Basket {
+        Basket::default()
+    }
+
+    /// Number of distinct items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the basket has no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Membership test (binary search over the sorted representation).
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// The items, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Iterate over the items in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Set union with another basket (linear merge).
+    pub fn union(&self, other: &Basket) -> Basket {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other.items[j..]);
+        Basket {
+            items: out.into_boxed_slice(),
+        }
+    }
+
+    /// Set intersection with another basket (linear merge).
+    pub fn intersection(&self, other: &Basket) -> Basket {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Basket {
+            items: out.into_boxed_slice(),
+        }
+    }
+
+    /// Items of `self` not present in `other` (linear merge).
+    pub fn difference(&self, other: &Basket) -> Basket {
+        let mut out = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        Basket {
+            items: out.into_boxed_slice(),
+        }
+    }
+}
+
+impl FromIterator<ItemId> for Basket {
+    fn from_iter<T: IntoIterator<Item = ItemId>>(iter: T) -> Basket {
+        Basket::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Basket {
+    type Item = ItemId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ItemId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+impl fmt::Display for Basket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, item) in self.items.iter().enumerate() {
+            if n > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One timestamped shopping trip of one customer, with its monetary total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// The purchasing customer.
+    pub customer: CustomerId,
+    /// Date of the trip (day resolution, like the paper's dataset).
+    pub date: Date,
+    /// Distinct items bought.
+    pub basket: Basket,
+    /// Total amount paid.
+    pub total: Cents,
+}
+
+impl Receipt {
+    /// Construct a receipt.
+    pub fn new(customer: CustomerId, date: Date, basket: Basket, total: Cents) -> Receipt {
+        Receipt {
+            customer,
+            date,
+            basket,
+            total,
+        }
+    }
+}
+
+impl fmt::Display for Receipt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.customer, self.date, self.total, self.basket
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(raw: &[u32]) -> Basket {
+        Basket::from_raw(raw)
+    }
+
+    #[test]
+    fn dedup_and_sort_on_build() {
+        let basket = b(&[3, 1, 2, 3, 1]);
+        assert_eq!(basket.len(), 3);
+        assert_eq!(
+            basket.items(),
+            &[ItemId::new(1), ItemId::new(2), ItemId::new(3)]
+        );
+    }
+
+    #[test]
+    fn membership() {
+        let basket = b(&[10, 20, 30]);
+        assert!(basket.contains(ItemId::new(20)));
+        assert!(!basket.contains(ItemId::new(25)));
+        assert!(!Basket::empty().contains(ItemId::new(0)));
+    }
+
+    #[test]
+    fn empty_basket() {
+        let e = Basket::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.to_string(), "{}");
+    }
+
+    #[test]
+    fn union_merges() {
+        assert_eq!(b(&[1, 3]).union(&b(&[2, 3, 4])), b(&[1, 2, 3, 4]));
+        assert_eq!(b(&[]).union(&b(&[5])), b(&[5]));
+        assert_eq!(b(&[5]).union(&b(&[])), b(&[5]));
+    }
+
+    #[test]
+    fn intersection_merges() {
+        assert_eq!(b(&[1, 2, 3]).intersection(&b(&[2, 3, 4])), b(&[2, 3]));
+        assert_eq!(b(&[1]).intersection(&b(&[2])), b(&[]));
+    }
+
+    #[test]
+    fn difference_merges() {
+        assert_eq!(b(&[1, 2, 3]).difference(&b(&[2])), b(&[1, 3]));
+        assert_eq!(b(&[1, 2]).difference(&b(&[1, 2])), b(&[]));
+        assert_eq!(b(&[1, 2]).difference(&b(&[])), b(&[1, 2]));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let basket: Basket = [ItemId::new(2), ItemId::new(1)].into_iter().collect();
+        assert_eq!(basket, b(&[1, 2]));
+    }
+
+    #[test]
+    fn into_iterator_ref() {
+        let basket = b(&[4, 5]);
+        let collected: Vec<ItemId> = (&basket).into_iter().collect();
+        assert_eq!(collected, vec![ItemId::new(4), ItemId::new(5)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(b(&[2, 1]).to_string(), "{i1, i2}");
+    }
+
+    #[test]
+    fn receipt_display() {
+        let r = Receipt::new(
+            CustomerId::new(9),
+            Date::from_ymd(2012, 5, 3).unwrap(),
+            b(&[1]),
+            Cents(499),
+        );
+        assert_eq!(r.to_string(), "c9 2012-05-03 4.99 {i1}");
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_commutative(a in proptest::collection::vec(0u32..50, 0..20),
+                                bb in proptest::collection::vec(0u32..50, 0..20)) {
+            let (x, y) = (b(&a), b(&bb));
+            prop_assert_eq!(x.union(&y), y.union(&x));
+        }
+
+        #[test]
+        fn intersection_subset_of_both(a in proptest::collection::vec(0u32..50, 0..20),
+                                       bb in proptest::collection::vec(0u32..50, 0..20)) {
+            let (x, y) = (b(&a), b(&bb));
+            let inter = x.intersection(&y);
+            for item in inter.iter() {
+                prop_assert!(x.contains(item) && y.contains(item));
+            }
+        }
+
+        #[test]
+        fn difference_disjoint_from_rhs(a in proptest::collection::vec(0u32..50, 0..20),
+                                        bb in proptest::collection::vec(0u32..50, 0..20)) {
+            let (x, y) = (b(&a), b(&bb));
+            let diff = x.difference(&y);
+            for item in diff.iter() {
+                prop_assert!(x.contains(item) && !y.contains(item));
+            }
+            // difference ∪ intersection == self
+            prop_assert_eq!(diff.union(&x.intersection(&y)), x);
+        }
+
+        #[test]
+        fn items_always_sorted_unique(a in proptest::collection::vec(0u32..1000, 0..64)) {
+            let basket = b(&a);
+            let items = basket.items();
+            for w in items.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Civil-calendar dates without external dependencies.
+//!
+//! The paper's dataset spans May 2012 → August 2014 and the windowing model
+//! needs nothing more than day-resolution civil dates with month
+//! arithmetic. [`Date`] stores a count of days since the proleptic
+//! Gregorian epoch 1970-01-01 and converts to/from `(year, month, day)`
+//! with Howard Hinnant's `days_from_civil` / `civil_from_days` algorithms,
+//! which are exact over the entire `i32` day range used here.
+
+use crate::error::TypeError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A month of the Gregorian calendar, 1-based like humans write it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Month {
+    /// January (1).
+    January = 1,
+    /// February (2).
+    February = 2,
+    /// March (3).
+    March = 3,
+    /// April (4).
+    April = 4,
+    /// May (5).
+    May = 5,
+    /// June (6).
+    June = 6,
+    /// July (7).
+    July = 7,
+    /// August (8).
+    August = 8,
+    /// September (9).
+    September = 9,
+    /// October (10).
+    October = 10,
+    /// November (11).
+    November = 11,
+    /// December (12).
+    December = 12,
+}
+
+impl Month {
+    /// All months in calendar order.
+    pub const ALL: [Month; 12] = [
+        Month::January,
+        Month::February,
+        Month::March,
+        Month::April,
+        Month::May,
+        Month::June,
+        Month::July,
+        Month::August,
+        Month::September,
+        Month::October,
+        Month::November,
+        Month::December,
+    ];
+
+    /// Construct from the 1-based month number.
+    pub fn from_number(n: u32) -> Result<Month, TypeError> {
+        Month::ALL
+            .get((n as usize).wrapping_sub(1))
+            .copied()
+            .ok_or(TypeError::InvalidMonth(n))
+    }
+
+    /// The 1-based month number.
+    #[inline]
+    pub const fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// English month name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Month::January => "January",
+            Month::February => "February",
+            Month::March => "March",
+            Month::April => "April",
+            Month::May => "May",
+            Month::June => "June",
+            Month::July => "July",
+            Month::August => "August",
+            Month::September => "September",
+            Month::October => "October",
+            Month::November => "November",
+            Month::December => "December",
+        }
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A civil date, stored as days since 1970-01-01 (negative before it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    days: i32,
+}
+
+/// `days_from_civil` (Hinnant): exact for all representable dates.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March=0 .. February=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// `civil_from_days` (Hinnant): inverse of [`days_from_civil`].
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month validated on construction"),
+    }
+}
+
+impl Date {
+    /// The Unix epoch, 1970-01-01.
+    pub const EPOCH: Date = Date { days: 0 };
+
+    /// Construct from year / month / day-of-month, validating the triple.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Date, TypeError> {
+        if !(1..=12).contains(&month) {
+            return Err(TypeError::InvalidMonth(month));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(TypeError::InvalidDay { year, month, day });
+        }
+        Ok(Date {
+            days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Construct directly from a days-since-epoch count.
+    #[inline]
+    pub const fn from_days(days: i32) -> Date {
+        Date { days }
+    }
+
+    /// Days since 1970-01-01 (negative before it).
+    #[inline]
+    pub const fn days_since_epoch(self) -> i32 {
+        self.days
+    }
+
+    /// The `(year, month, day)` triple of this date.
+    #[inline]
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.days)
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Calendar month.
+    pub fn month(self) -> Month {
+        Month::from_number(self.ymd().1).expect("civil_from_days yields valid months")
+    }
+
+    /// Day of month, 1-based.
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// First day of this date's month.
+    pub fn first_of_month(self) -> Date {
+        let (y, m, _) = self.ymd();
+        Date {
+            days: days_from_civil(y, m, 1),
+        }
+    }
+
+    /// The date `n` whole months later, clamped to the target month's
+    /// length (e.g. Jan 31 + 1 month = Feb 28/29). `n` may be negative.
+    pub fn add_months(self, n: i32) -> Date {
+        let (y, m, d) = self.ymd();
+        let zero_based = y as i64 * 12 + (m as i64 - 1) + n as i64;
+        let ny = zero_based.div_euclid(12) as i32;
+        let nm = (zero_based.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm));
+        Date {
+            days: days_from_civil(ny, nm, nd),
+        }
+    }
+
+    /// Number of whole months from `origin` to `self` where both are taken
+    /// at month granularity (the day-of-month is ignored). Negative if
+    /// `self` is in an earlier month than `origin`.
+    pub fn months_since(self, origin: Date) -> i32 {
+        let (y1, m1, _) = self.ymd();
+        let (y0, m0, _) = origin.ymd();
+        (y1 - y0) * 12 + (m1 as i32 - m0 as i32)
+    }
+
+    /// Signed number of days from `other` to `self`.
+    #[inline]
+    pub const fn days_since(self, other: Date) -> i32 {
+        self.days - other.days
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse_iso(s: &str) -> Result<Date, TypeError> {
+        let err = || TypeError::InvalidDate(s.to_owned());
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let m: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let d: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        Date::from_ymd(y, m, d).map_err(|_| err())
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl Add<i32> for Date {
+    type Output = Date;
+
+    /// Add a number of days.
+    #[inline]
+    fn add(self, rhs: i32) -> Date {
+        Date {
+            days: self.days + rhs,
+        }
+    }
+}
+
+impl AddAssign<i32> for Date {
+    #[inline]
+    fn add_assign(&mut self, rhs: i32) {
+        self.days += rhs;
+    }
+}
+
+impl Sub for Date {
+    type Output = i32;
+
+    /// Signed number of days between two dates.
+    #[inline]
+    fn sub(self, rhs: Date) -> i32 {
+        self.days - rhs.days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(Date::EPOCH.ymd(), (1970, 1, 1));
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days_since_epoch(), 0);
+    }
+
+    #[test]
+    fn known_dates() {
+        // Paper's observation span.
+        let start = Date::from_ymd(2012, 5, 1).unwrap();
+        let end = Date::from_ymd(2014, 8, 31).unwrap();
+        assert_eq!(start.days_since_epoch(), 15461);
+        assert_eq!(end - start, 852);
+        assert_eq!(end.months_since(start), 27); // 28 months inclusive
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(Date::from_ymd(2012, 2, 29).is_ok());
+        assert!(Date::from_ymd(2013, 2, 29).is_err());
+        assert!(Date::from_ymd(2000, 2, 29).is_ok());
+        assert!(Date::from_ymd(1900, 2, 29).is_err());
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::from_ymd(2012, 0, 1).is_err());
+        assert!(Date::from_ymd(2012, 13, 1).is_err());
+        assert!(Date::from_ymd(2012, 4, 31).is_err());
+        assert!(Date::from_ymd(2012, 1, 0).is_err());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let d = Date::from_ymd(2013, 11, 5).unwrap();
+        assert_eq!(d.to_string(), "2013-11-05");
+        assert_eq!(Date::parse_iso("2013-11-05").unwrap(), d);
+        assert!(Date::parse_iso("2013-11").is_err());
+        assert!(Date::parse_iso("abcd-ef-gh").is_err());
+        assert!(Date::parse_iso("2013-02-30").is_err());
+    }
+
+    #[test]
+    fn add_months_clamps() {
+        let jan31 = Date::from_ymd(2013, 1, 31).unwrap();
+        assert_eq!(jan31.add_months(1).ymd(), (2013, 2, 28));
+        assert_eq!(jan31.add_months(13).ymd(), (2014, 2, 28));
+        let leap = Date::from_ymd(2012, 1, 31).unwrap();
+        assert_eq!(leap.add_months(1).ymd(), (2012, 2, 29));
+    }
+
+    #[test]
+    fn add_months_negative() {
+        let mar = Date::from_ymd(2013, 3, 15).unwrap();
+        assert_eq!(mar.add_months(-3).ymd(), (2012, 12, 15));
+        assert_eq!(mar.add_months(-15).ymd(), (2011, 12, 15));
+    }
+
+    #[test]
+    fn months_since_ignores_day() {
+        let a = Date::from_ymd(2012, 5, 30).unwrap();
+        let b = Date::from_ymd(2012, 6, 1).unwrap();
+        assert_eq!(b.months_since(a), 1);
+        assert_eq!(a.months_since(b), -1);
+        assert_eq!(a.months_since(a), 0);
+    }
+
+    #[test]
+    fn month_enum() {
+        assert_eq!(Month::from_number(5).unwrap(), Month::May);
+        assert!(Month::from_number(0).is_err());
+        assert!(Month::from_number(13).is_err());
+        assert_eq!(Month::May.number(), 5);
+        assert_eq!(Month::May.to_string(), "May");
+        assert_eq!(Month::ALL.len(), 12);
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        let d = Date::from_ymd(2012, 12, 31).unwrap();
+        assert_eq!((d + 1).ymd(), (2013, 1, 1));
+        let mut e = d;
+        e += 32;
+        assert_eq!(e.ymd(), (2013, 2, 1));
+    }
+
+    #[test]
+    fn first_of_month() {
+        let d = Date::from_ymd(2014, 8, 23).unwrap();
+        assert_eq!(d.first_of_month().ymd(), (2014, 8, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn civil_roundtrip(days in -1_000_000i32..1_000_000) {
+            let d = Date::from_days(days);
+            let (y, m, dd) = d.ymd();
+            prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+        }
+
+        #[test]
+        fn ordering_matches_days(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+            let da = Date::from_days(a);
+            let db = Date::from_days(b);
+            prop_assert_eq!(da < db, a < b);
+            prop_assert_eq!(da - db, a - b);
+        }
+
+        #[test]
+        fn add_months_inverse(days in -100_000i32..100_000, n in -240i32..240) {
+            let d = Date::from_days(days).first_of_month();
+            // On the first of the month, add_months is exactly invertible.
+            prop_assert_eq!(d.add_months(n).add_months(-n), d);
+            prop_assert_eq!(d.add_months(n).months_since(d), n);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for domain-type construction.
+
+use std::fmt;
+
+/// Errors raised when constructing domain values from raw input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Month number outside `1..=12`.
+    InvalidMonth(u32),
+    /// Day outside the valid range for the given year/month.
+    InvalidDay {
+        /// Calendar year.
+        year: i32,
+        /// 1-based month.
+        month: u32,
+        /// Offending day of month.
+        day: u32,
+    },
+    /// A date string that failed to parse as `YYYY-MM-DD`.
+    InvalidDate(String),
+    /// An item id referenced but not present in the taxonomy.
+    UnknownItem(u32),
+    /// A segment id referenced but not present in the taxonomy.
+    UnknownSegment(u32),
+    /// Attempt to register an item twice in a taxonomy builder.
+    DuplicateItem(u32),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidMonth(m) => write!(f, "invalid month number {m} (expected 1..=12)"),
+            TypeError::InvalidDay { year, month, day } => {
+                write!(f, "invalid day {day} for {year:04}-{month:02}")
+            }
+            TypeError::InvalidDate(s) => write!(f, "invalid date string {s:?} (expected YYYY-MM-DD)"),
+            TypeError::UnknownItem(i) => write!(f, "unknown item id {i}"),
+            TypeError::UnknownSegment(s) => write!(f, "unknown segment id {s}"),
+            TypeError::DuplicateItem(i) => write!(f, "item id {i} registered twice"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TypeError::InvalidMonth(13).to_string(),
+            "invalid month number 13 (expected 1..=12)"
+        );
+        assert_eq!(
+            TypeError::InvalidDay {
+                year: 2013,
+                month: 2,
+                day: 30
+            }
+            .to_string(),
+            "invalid day 30 for 2013-02"
+        );
+        assert!(TypeError::InvalidDate("x".into()).to_string().contains("x"));
+        assert!(TypeError::UnknownItem(7).to_string().contains("7"));
+        assert!(TypeError::UnknownSegment(7).to_string().contains("7"));
+        assert!(TypeError::DuplicateItem(7).to_string().contains("twice"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&TypeError::InvalidMonth(0));
+    }
+}

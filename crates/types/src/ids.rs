@@ -1,0 +1,156 @@
+//! Strongly-typed identifiers.
+//!
+//! The store and the models index heavily by these ids; they are newtypes
+//! over small integers so that a `Vec<T>` indexed by id is the natural
+//! representation and accidental cross-use (customer id where an item id is
+//! expected) is a compile error.
+
+use std::fmt;
+
+/// Identifier of a purchasable item.
+///
+/// Depending on the granularity chosen by the caller this is either a
+/// concrete product (the paper's dataset has ~4M products) or an abstracted
+/// segment (3,388 segments); the models are agnostic. Dense: generated
+/// catalogs allocate ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+/// Identifier of a taxonomy segment (product category).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u32);
+
+/// Identifier of a customer. Dense: generated populations allocate `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CustomerId(pub u64);
+
+/// Index of a time window in a windowed database (`k` in the paper).
+///
+/// Windows are consecutive, non-overlapping and aligned on the observation
+/// start, so the index doubles as a position into per-customer window
+/// vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowIndex(pub u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $inner:ty, $prefix:literal) => {
+        impl $ty {
+            /// Construct from the raw integer value.
+            #[inline]
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// The raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// The value as a `usize`, for direct indexing into dense vectors.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $ty {
+            #[inline]
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for $inner {
+            #[inline]
+            fn from(id: $ty) -> $inner {
+                id.0
+            }
+        }
+    };
+}
+
+impl_id!(ItemId, u32, "i");
+impl_id!(SegmentId, u32, "s");
+impl_id!(CustomerId, u64, "c");
+impl_id!(WindowIndex, u32, "w");
+
+impl WindowIndex {
+    /// The window immediately after this one.
+    #[inline]
+    pub const fn next(self) -> WindowIndex {
+        WindowIndex(self.0 + 1)
+    }
+
+    /// The window immediately before this one, or `None` at the origin.
+    #[inline]
+    pub const fn prev(self) -> Option<WindowIndex> {
+        match self.0.checked_sub(1) {
+            Some(v) => Some(WindowIndex(v)),
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn raw_roundtrip() {
+        assert_eq!(ItemId::new(7).raw(), 7);
+        assert_eq!(SegmentId::new(9).raw(), 9);
+        assert_eq!(CustomerId::new(123).raw(), 123);
+        assert_eq!(WindowIndex::new(4).raw(), 4);
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(ItemId::new(42).index(), 42usize);
+        assert_eq!(CustomerId::new(1 << 40).index(), 1usize << 40);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(ItemId::new(3).to_string(), "i3");
+        assert_eq!(SegmentId::new(3).to_string(), "s3");
+        assert_eq!(CustomerId::new(3).to_string(), "c3");
+        assert_eq!(WindowIndex::new(3).to_string(), "w3");
+    }
+
+    #[test]
+    fn from_into_roundtrip() {
+        let id: ItemId = 5u32.into();
+        let raw: u32 = id.into();
+        assert_eq!(raw, 5);
+    }
+
+    #[test]
+    fn ordering_follows_raw_values() {
+        assert!(ItemId::new(1) < ItemId::new(2));
+        assert!(WindowIndex::new(0) < WindowIndex::new(1));
+    }
+
+    #[test]
+    fn window_next_prev() {
+        let w = WindowIndex::new(3);
+        assert_eq!(w.next(), WindowIndex::new(4));
+        assert_eq!(w.prev(), Some(WindowIndex::new(2)));
+        assert_eq!(WindowIndex::new(0).prev(), None);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<ItemId> = [ItemId::new(1), ItemId::new(2), ItemId::new(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

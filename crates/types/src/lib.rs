@@ -1,0 +1,35 @@
+//! # attrition-types
+//!
+//! Domain vocabulary shared by every crate in the `attrition` workspace.
+//!
+//! The paper ("Understanding Customer Attrition at an Individual Level",
+//! EDBT 2016) models a customer's purchases as a chronologically ordered
+//! list of `(basket, timestamp)` pairs over a universe of items that are
+//! optionally abstracted into *segments* by a taxonomy. This crate provides
+//! exactly that vocabulary:
+//!
+//! * strongly-typed identifiers ([`ItemId`], [`SegmentId`], [`CustomerId`]),
+//! * a dependency-free civil-calendar [`Date`] (days-since-epoch based),
+//! * [`Money`](Cents) as integer cents,
+//! * [`Basket`] (a sorted item set) and [`Receipt`] (a timestamped basket
+//!   with its monetary total),
+//! * [`Taxonomy`]: item → segment mapping with human-readable names and
+//!   unit prices.
+//!
+//! Nothing here allocates beyond what the data requires and nothing depends
+//! on crates outside `std`, so every downstream experiment is deterministic
+//! and portable.
+
+pub mod basket;
+pub mod date;
+pub mod error;
+pub mod ids;
+pub mod money;
+pub mod taxonomy;
+
+pub use basket::{Basket, Receipt};
+pub use date::{Date, Month};
+pub use error::TypeError;
+pub use ids::{CustomerId, ItemId, SegmentId, WindowIndex};
+pub use money::Cents;
+pub use taxonomy::{ProductInfo, SegmentInfo, Taxonomy, TaxonomyBuilder};

@@ -1,0 +1,159 @@
+//! Money as integer cents.
+//!
+//! The RFM baseline needs a *monetary* variable; floats accumulate rounding
+//! error over millions of receipts, so amounts are exact integer cents with
+//! checked-by-construction arithmetic (saturating would hide bugs; we use
+//! plain `i64` ops, which have > 9 × 10^16 cents of headroom).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A monetary amount in cents (1/100 of the currency unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cents(pub i64);
+
+impl Cents {
+    /// Zero amount.
+    pub const ZERO: Cents = Cents(0);
+
+    /// Construct from a whole number of currency units.
+    #[inline]
+    pub const fn from_units(units: i64) -> Cents {
+        Cents(units * 100)
+    }
+
+    /// The raw cent count.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// The amount as floating-point currency units (for statistics only).
+    #[inline]
+    pub fn as_units_f64(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+
+    /// True if the amount is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl Add for Cents {
+    type Output = Cents;
+    #[inline]
+    fn add(self, rhs: Cents) -> Cents {
+        Cents(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cents {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cents) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cents {
+    type Output = Cents;
+    #[inline]
+    fn sub(self, rhs: Cents) -> Cents {
+        Cents(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cents {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cents) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Cents {
+    type Output = Cents;
+    #[inline]
+    fn mul(self, rhs: i64) -> Cents {
+        Cents(self.0 * rhs)
+    }
+}
+
+impl Neg for Cents {
+    type Output = Cents;
+    #[inline]
+    fn neg(self) -> Cents {
+        Cents(-self.0)
+    }
+}
+
+impl Sum for Cents {
+    fn sum<I: Iterator<Item = Cents>>(iter: I) -> Cents {
+        iter.fold(Cents::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cents {
+    /// Renders as `units.cc`, e.g. `12.05`; negative amounts keep the sign
+    /// in front (`-3.40`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}{}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Cents::from_units(12), Cents(1200));
+        assert_eq!(Cents(1234).raw(), 1234);
+        assert_eq!(Cents::ZERO, Cents(0));
+        assert!(Cents(1).is_positive());
+        assert!(!Cents(0).is_positive());
+        assert!(!Cents(-1).is_positive());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cents(100) + Cents(250), Cents(350));
+        assert_eq!(Cents(100) - Cents(250), Cents(-150));
+        assert_eq!(Cents(100) * 3, Cents(300));
+        assert_eq!(-Cents(70), Cents(-70));
+        let mut c = Cents(10);
+        c += Cents(5);
+        c -= Cents(3);
+        assert_eq!(c, Cents(12));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Cents = [Cents(100), Cents(25), Cents(3)].into_iter().sum();
+        assert_eq!(total, Cents(128));
+        let empty: Cents = std::iter::empty().sum();
+        assert_eq!(empty, Cents::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cents(1205).to_string(), "12.05");
+        assert_eq!(Cents(5).to_string(), "0.05");
+        assert_eq!(Cents(-340).to_string(), "-3.40");
+        assert_eq!(Cents(0).to_string(), "0.00");
+    }
+
+    #[test]
+    fn as_units_f64() {
+        assert!((Cents(1250).as_units_f64() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Cents(1) < Cents(2));
+        assert!(Cents(-1) < Cents(0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Product taxonomy: items grouped into segments.
+//!
+//! The paper's dataset "contains 4 millions products, that are grouped into
+//! 3 388 segments" and the models operate on the segment abstraction. A
+//! [`Taxonomy`] is a dense item → segment map with human-readable names and
+//! unit prices; a [`TaxonomyBuilder`] constructs it incrementally.
+
+use crate::{Cents, ItemId, SegmentId, TypeError};
+
+/// Per-product metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductInfo {
+    /// The product id (dense: equals its position in the taxonomy).
+    pub item: ItemId,
+    /// The segment the product belongs to.
+    pub segment: SegmentId,
+    /// Display name, e.g. `"arabica ground coffee 250g"`.
+    pub name: String,
+    /// Unit price.
+    pub price: Cents,
+}
+
+/// Per-segment metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// The segment id (dense: equals its position in the taxonomy).
+    pub segment: SegmentId,
+    /// Display name, e.g. `"coffee"`.
+    pub name: String,
+}
+
+/// Immutable item → segment taxonomy with names and prices.
+///
+/// Ids are dense (`0..n_products`, `0..n_segments`), so all lookups are
+/// array indexing.
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    products: Vec<ProductInfo>,
+    segments: Vec<SegmentInfo>,
+    /// Products of each segment, in id order.
+    members: Vec<Vec<ItemId>>,
+}
+
+impl Taxonomy {
+    /// Number of products.
+    #[inline]
+    pub fn num_products(&self) -> usize {
+        self.products.len()
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Metadata of a product.
+    pub fn product(&self, item: ItemId) -> Result<&ProductInfo, TypeError> {
+        self.products
+            .get(item.index())
+            .ok_or(TypeError::UnknownItem(item.raw()))
+    }
+
+    /// Metadata of a segment.
+    pub fn segment(&self, seg: SegmentId) -> Result<&SegmentInfo, TypeError> {
+        self.segments
+            .get(seg.index())
+            .ok_or(TypeError::UnknownSegment(seg.raw()))
+    }
+
+    /// Segment of a product.
+    pub fn segment_of(&self, item: ItemId) -> Result<SegmentId, TypeError> {
+        self.product(item).map(|p| p.segment)
+    }
+
+    /// Unit price of a product.
+    pub fn price_of(&self, item: ItemId) -> Result<Cents, TypeError> {
+        self.product(item).map(|p| p.price)
+    }
+
+    /// Products belonging to a segment, in id order.
+    pub fn products_in(&self, seg: SegmentId) -> Result<&[ItemId], TypeError> {
+        self.members
+            .get(seg.index())
+            .map(Vec::as_slice)
+            .ok_or(TypeError::UnknownSegment(seg.raw()))
+    }
+
+    /// Iterate over all products.
+    pub fn products(&self) -> impl Iterator<Item = &ProductInfo> {
+        self.products.iter()
+    }
+
+    /// Iterate over all segments.
+    pub fn segments(&self) -> impl Iterator<Item = &SegmentInfo> {
+        self.segments.iter()
+    }
+
+    /// Look a segment up by exact name (linear scan; intended for tests,
+    /// examples and CLI use, not hot paths).
+    pub fn segment_by_name(&self, name: &str) -> Option<SegmentId> {
+        self.segments
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.segment)
+    }
+
+    /// Look a product up by exact name (linear scan; convenience only).
+    pub fn product_by_name(&self, name: &str) -> Option<ItemId> {
+        self.products
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.item)
+    }
+}
+
+/// Incremental builder for [`Taxonomy`]; allocates dense ids.
+#[derive(Debug, Default)]
+pub struct TaxonomyBuilder {
+    products: Vec<ProductInfo>,
+    segments: Vec<SegmentInfo>,
+    members: Vec<Vec<ItemId>>,
+}
+
+impl TaxonomyBuilder {
+    /// Create an empty builder.
+    pub fn new() -> TaxonomyBuilder {
+        TaxonomyBuilder::default()
+    }
+
+    /// Register a new segment; returns its dense id.
+    pub fn add_segment(&mut self, name: impl Into<String>) -> SegmentId {
+        let id = SegmentId::new(self.segments.len() as u32);
+        self.segments.push(SegmentInfo {
+            segment: id,
+            name: name.into(),
+        });
+        self.members.push(Vec::new());
+        id
+    }
+
+    /// Register a new product under `segment`; returns its dense id.
+    pub fn add_product(
+        &mut self,
+        segment: SegmentId,
+        name: impl Into<String>,
+        price: Cents,
+    ) -> Result<ItemId, TypeError> {
+        if segment.index() >= self.segments.len() {
+            return Err(TypeError::UnknownSegment(segment.raw()));
+        }
+        let id = ItemId::new(self.products.len() as u32);
+        self.products.push(ProductInfo {
+            item: id,
+            segment,
+            name: name.into(),
+            price,
+        });
+        self.members[segment.index()].push(id);
+        Ok(id)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Taxonomy {
+        Taxonomy {
+            products: self.products,
+            segments: self.segments,
+            members: self.members,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new();
+        let coffee = b.add_segment("coffee");
+        let milk = b.add_segment("milk");
+        b.add_product(coffee, "arabica 250g", Cents(450)).unwrap();
+        b.add_product(coffee, "robusta 500g", Cents(380)).unwrap();
+        b.add_product(milk, "whole milk 1L", Cents(120)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn dense_ids() {
+        let t = sample();
+        assert_eq!(t.num_segments(), 2);
+        assert_eq!(t.num_products(), 3);
+        assert_eq!(t.product(ItemId::new(0)).unwrap().name, "arabica 250g");
+        assert_eq!(t.segment(SegmentId::new(1)).unwrap().name, "milk");
+    }
+
+    #[test]
+    fn segment_of_and_price() {
+        let t = sample();
+        assert_eq!(t.segment_of(ItemId::new(1)).unwrap(), SegmentId::new(0));
+        assert_eq!(t.segment_of(ItemId::new(2)).unwrap(), SegmentId::new(1));
+        assert_eq!(t.price_of(ItemId::new(2)).unwrap(), Cents(120));
+    }
+
+    #[test]
+    fn members_listing() {
+        let t = sample();
+        assert_eq!(
+            t.products_in(SegmentId::new(0)).unwrap(),
+            &[ItemId::new(0), ItemId::new(1)]
+        );
+        assert_eq!(t.products_in(SegmentId::new(1)).unwrap(), &[ItemId::new(2)]);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let t = sample();
+        assert_eq!(
+            t.product(ItemId::new(99)).unwrap_err(),
+            TypeError::UnknownItem(99)
+        );
+        assert_eq!(
+            t.segment(SegmentId::new(99)).unwrap_err(),
+            TypeError::UnknownSegment(99)
+        );
+        assert!(t.products_in(SegmentId::new(99)).is_err());
+    }
+
+    #[test]
+    fn add_product_to_unknown_segment_fails() {
+        let mut b = TaxonomyBuilder::new();
+        assert!(b
+            .add_product(SegmentId::new(0), "ghost", Cents(1))
+            .is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = sample();
+        assert_eq!(t.segment_by_name("milk"), Some(SegmentId::new(1)));
+        assert_eq!(t.segment_by_name("fish"), None);
+        assert_eq!(t.product_by_name("whole milk 1L"), Some(ItemId::new(2)));
+        assert_eq!(t.product_by_name("nope"), None);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let t = sample();
+        assert_eq!(t.products().count(), 3);
+        assert_eq!(t.segments().count(), 2);
+    }
+
+    #[test]
+    fn empty_taxonomy() {
+        let t = TaxonomyBuilder::new().build();
+        assert_eq!(t.num_products(), 0);
+        assert_eq!(t.num_segments(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! ASCII line charts.
+//!
+//! The paper's two figures are line plots (AUROC over months; stability
+//! over months). The experiment binaries render them directly in the
+//! terminal with this module, alongside CSV series for external plotting.
+
+use crate::table::fmt_f64;
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points, assumed sorted by x.
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series in the plot body.
+    pub glyph: char,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(name: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            name: name.into(),
+            points,
+            glyph,
+        }
+    }
+}
+
+/// Configuration for [`render`].
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Plot body width in columns.
+    pub width: usize,
+    /// Plot body height in rows.
+    pub height: usize,
+    /// Y-axis range; `None` derives it from the data.
+    pub y_range: Option<(f64, f64)>,
+    /// Optional x positions to mark with a vertical line (e.g. the paper's
+    /// "start of attrition" marker at month 18).
+    pub vmarks: Vec<(f64, String)>,
+    /// Axis titles.
+    pub x_label: String,
+    /// Y axis title.
+    pub y_label: String,
+}
+
+impl Default for ChartConfig {
+    fn default() -> ChartConfig {
+        ChartConfig {
+            width: 72,
+            height: 20,
+            y_range: None,
+            vmarks: Vec::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+}
+
+/// Render series as an ASCII chart.
+///
+/// Returns an empty string when no series has any point.
+pub fn render(series: &[Series], cfg: &ChartConfig) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, _) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+    }
+    if x_hi == x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    let (y_lo, y_hi) = cfg.y_range.unwrap_or_else(|| {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(_, y) in &all {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        if hi == lo {
+            hi = lo + 1.0;
+        }
+        (lo, hi)
+    });
+
+    let w = cfg.width.max(8);
+    let h = cfg.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    let col_of = |x: f64| -> usize {
+        let t = (x - x_lo) / (x_hi - x_lo);
+        ((t * (w - 1) as f64).round() as i64).clamp(0, w as i64 - 1) as usize
+    };
+    let row_of = |y: f64| -> usize {
+        let t = ((y - y_lo) / (y_hi - y_lo)).clamp(0.0, 1.0);
+        let r = ((1.0 - t) * (h - 1) as f64).round() as i64;
+        r.clamp(0, h as i64 - 1) as usize
+    };
+
+    // Vertical markers first so data overdraws them.
+    for (x, _) in &cfg.vmarks {
+        let c = col_of(*x);
+        for row in grid.iter_mut() {
+            row[c] = '|';
+        }
+    }
+
+    for s in series {
+        // Connect consecutive points with linear interpolation at column
+        // resolution so the plot reads as a line, not a scatter.
+        for pair in s.points.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let (c0, c1) = (col_of(x0), col_of(x1));
+            if c1 > c0 {
+                // `c` is both an index and an interpolation coordinate, so
+                // a plain range reads better than enumerate here.
+                #[allow(clippy::needless_range_loop)]
+                for c in c0..=c1 {
+                    let t = (c - c0) as f64 / (c1 - c0) as f64;
+                    let y = y0 + t * (y1 - y0);
+                    grid[row_of(y)][c] = s.glyph;
+                }
+            } else {
+                grid[row_of(y0)][c0] = s.glyph;
+                grid[row_of(y1)][c1] = s.glyph;
+            }
+        }
+        if s.points.len() == 1 {
+            let (x, y) = s.points[0];
+            grid[row_of(y)][col_of(x)] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    if !cfg.y_label.is_empty() {
+        let _ = writeln!(out, "{}", cfg.y_label);
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let y = y_hi - (y_hi - y_lo) * r as f64 / (h - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>8} |{}", fmt_f64(y, 2), line.trim_end());
+    }
+    let _ = writeln!(out, "{:>8} +{}", "", "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "{:>8}  {:<w$}",
+        "",
+        format!(
+            "{}{}{}",
+            fmt_f64(x_lo, 0),
+            " ".repeat(w.saturating_sub(fmt_f64(x_lo, 0).len() + fmt_f64(x_hi, 0).len() + 1)),
+            fmt_f64(x_hi, 0)
+        ),
+        w = w
+    );
+    if !cfg.x_label.is_empty() {
+        let _ = writeln!(out, "{:>8}  {:^w$}", "", cfg.x_label, w = w);
+    }
+    for s in series {
+        let _ = writeln!(out, "  {} {}", s.glyph, s.name);
+    }
+    for (x, label) in &cfg.vmarks {
+        let _ = writeln!(out, "  | {} (x = {})", label, fmt_f64(*x, 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(points: Vec<(f64, f64)>) -> Series {
+        Series::new("test", '*', points)
+    }
+
+    #[test]
+    fn empty_series_renders_empty() {
+        assert_eq!(render(&[], &ChartConfig::default()), "");
+        assert_eq!(
+            render(&[line(vec![])], &ChartConfig::default()),
+            ""
+        );
+    }
+
+    #[test]
+    fn single_point_plots() {
+        let out = render(&[line(vec![(1.0, 0.5)])], &ChartConfig::default());
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn flat_line_appears_once_per_column_band() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 0.5)).collect();
+        let cfg = ChartConfig {
+            width: 20,
+            height: 5,
+            y_range: Some((0.0, 1.0)),
+            ..ChartConfig::default()
+        };
+        let out = render(&[line(pts)], &cfg);
+        // Middle row should carry the line.
+        let rows: Vec<&str> = out.lines().collect();
+        let middle = rows[2];
+        assert!(middle.contains("*"), "middle row: {middle}");
+    }
+
+    #[test]
+    fn vmark_draws_vertical_line() {
+        let cfg = ChartConfig {
+            width: 21,
+            height: 5,
+            y_range: Some((0.0, 1.0)),
+            vmarks: vec![(5.0, "onset".into())],
+            ..ChartConfig::default()
+        };
+        let out = render(&[line(vec![(0.0, 0.0), (10.0, 0.0)])], &cfg);
+        let bars = out.lines().filter(|l| l.contains('|')).count();
+        assert!(bars >= 5, "expected vertical marker rows, got:\n{out}");
+        assert!(out.contains("onset"));
+    }
+
+    #[test]
+    fn rising_line_monotone_rows() {
+        let pts: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64, i as f64 / 10.0)).collect();
+        let cfg = ChartConfig {
+            width: 40,
+            height: 10,
+            y_range: Some((0.0, 1.0)),
+            ..ChartConfig::default()
+        };
+        let out = render(&[line(pts)], &cfg);
+        // First plotted row (top) should contain the glyph near the right,
+        // last near the left.
+        let body: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        let top = body.first().unwrap();
+        let bottom = body.last().unwrap();
+        assert!(top.rfind('*').unwrap() > bottom.rfind('*').unwrap());
+    }
+
+    #[test]
+    fn legend_and_labels_present() {
+        let cfg = ChartConfig {
+            x_label: "Number of months".into(),
+            y_label: "AUROC".into(),
+            ..ChartConfig::default()
+        };
+        let out = render(
+            &[Series::new("RFM model", 'o', vec![(0.0, 0.5), (1.0, 0.6)])],
+            &cfg,
+        );
+        assert!(out.contains("RFM model"));
+        assert!(out.contains("Number of months"));
+        assert!(out.contains("AUROC"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # attrition-util
+//!
+//! Foundation utilities shared across the attrition workspace:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64 seeding a
+//!   xoshiro256\*\*) with the samplers the retail simulator needs (uniform,
+//!   normal, Poisson, Zipf, Bernoulli, shuffling). Built in-repo instead of
+//!   depending on `rand` so that every experiment in the repository is
+//!   bit-reproducible regardless of external crate version churn.
+//! * [`stats`] — descriptive statistics (mean, variance, quantiles,
+//!   histograms) and bootstrap resampling.
+//! * [`table`] — aligned text tables for experiment reports.
+//! * [`csv`] — minimal CSV reading/writing (quoting-aware) used by the
+//!   store's import/export and by the experiment binaries.
+//! * [`chart`] — ASCII line charts so the paper's figures can be
+//!   regenerated directly in a terminal.
+
+pub mod chart;
+pub mod csv;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use rng::{Rng, Zipf};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,277 @@
+//! Descriptive statistics and bootstrap resampling.
+//!
+//! Everything operates on `f64` slices; the evaluation crate builds its
+//! confidence intervals and summaries on top of these primitives.
+
+use crate::rng::Rng;
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (`NaN` when empty).
+    pub mean: f64,
+    /// Sample standard deviation, `n-1` denominator (`0` for n < 2).
+    pub std_dev: f64,
+    /// Minimum (`NaN` when empty).
+    pub min: f64,
+    /// Median (`NaN` when empty).
+    pub median: f64,
+    /// Maximum (`NaN` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute the summary of a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: f64::NAN,
+                std_dev: 0.0,
+                min: f64::NAN,
+                median: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mean = mean(xs);
+        let std_dev = std_dev(xs);
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Summary {
+            count: xs.len(),
+            mean,
+            std_dev,
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (`n-1` denominator); `0` for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Quantile `q ∈ [0,1]` by linear interpolation on an **already sorted**
+/// slice; `NaN` for an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Quantile of an unsorted slice (sorts a copy).
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, q)
+}
+
+/// Pearson correlation of two equal-length samples; `NaN` if degenerate.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// A `(lo, hi)` percentile bootstrap confidence interval for a statistic.
+///
+/// Resamples `xs` with replacement `reps` times, applies `stat`, and takes
+/// the `alpha/2` and `1-alpha/2` quantiles of the resampled statistics.
+pub fn bootstrap_ci(
+    xs: &[f64],
+    reps: usize,
+    alpha: f64,
+    rng: &mut Rng,
+    stat: impl Fn(&[f64]) -> f64,
+) -> (f64, f64) {
+    assert!(!xs.is_empty(), "bootstrap_ci requires a non-empty sample");
+    assert!(reps > 0, "bootstrap_ci requires reps > 0");
+    let mut stats = Vec::with_capacity(reps);
+    let mut resample = vec![0.0; xs.len()];
+    for _ in 0..reps {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.usize_below(xs.len())];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(f64::total_cmp);
+    (
+        quantile_sorted(&stats, alpha / 2.0),
+        quantile_sorted(&stats, 1.0 - alpha / 2.0),
+    )
+}
+
+/// Equal-width histogram over `[lo, hi)` with `bins` buckets; values
+/// outside the range are clamped into the edge buckets.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram requires bins > 0");
+    assert!(hi > lo, "histogram requires hi > lo");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-12);
+        // interpolation between points
+        let ys = [0.0, 10.0];
+        assert!((quantile(&ys, 0.3) - 3.0).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -1.0), 1.0);
+        assert_eq!(quantile(&xs, 2.0), 2.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[5.0, 5.0, 5.0]).is_nan());
+        assert!(pearson(&[1.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_mean() {
+        // `crate::` path: proptest's prelude also exports an `Rng` trait.
+        let mut rng = crate::rng::Rng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..500).map(|_| rng.normal_with(10.0, 2.0)).collect();
+        let (lo, hi) = bootstrap_ci(&xs, 500, 0.05, &mut rng, mean);
+        assert!(lo < 10.0 && 10.0 < hi, "CI [{lo}, {hi}] misses 10");
+        assert!(hi - lo < 1.0, "CI too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let xs = [0.1, 0.2, 0.5, 0.9, -5.0, 7.0];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        // Buckets are half-open: [0,0.5) gets {0.1, 0.2} plus clamped -5.0;
+        // [0.5,1.0) gets {0.5, 0.9} plus clamped 7.0.
+        assert_eq!(h, vec![3, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn summary_bounds_are_consistent(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+            prop_assert!(s.std_dev >= 0.0);
+        }
+
+        #[test]
+        fn quantile_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                             a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let (qa, qb) = (quantile(&xs, a), quantile(&xs, b));
+            if a <= b {
+                prop_assert!(qa <= qb + 1e-9);
+            } else {
+                prop_assert!(qb <= qa + 1e-9);
+            }
+        }
+
+        #[test]
+        fn histogram_conserves_count(xs in proptest::collection::vec(-10f64..10.0, 0..200)) {
+            let h = histogram(&xs, -5.0, 5.0, 7);
+            prop_assert_eq!(h.iter().sum::<usize>(), xs.len());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Aligned text tables for experiment reports.
+//!
+//! The experiment binaries print the paper's tables/series as terminal
+//! tables; this keeps the formatting in one place.
+
+use std::fmt;
+
+/// Horizontal alignment of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+}
+
+/// A simple text table: header row + data rows, padded per column.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers; numeric-looking
+    /// alignment defaults to right for all but the first column.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = header
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            header,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override column alignments (must match the column count).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Table {
+        assert_eq!(
+            aligns.len(),
+            self.header.len(),
+            "alignment count must match column count"
+        );
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a data row (must match the column count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match column count"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{cell}{}", " ".repeat(pad))?,
+                    Align::Right => write!(f, "{}{cell}", " ".repeat(pad))?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with the given number of decimals, rendering NaN as "-".
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "2"]);
+        t.row(["window-months", "10"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name           value");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "alpha              2");
+        assert_eq!(lines[3], "window-months     10");
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t =
+            Table::new(["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.row(["x", "yy"]);
+        let s = t.to_string();
+        assert!(s.lines().nth(2).unwrap().starts_with("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_f64_handles_nan() {
+        assert_eq!(fmt_f64(1.23456, 3), "1.235");
+        assert_eq!(fmt_f64(f64::NAN, 3), "-");
+        assert_eq!(fmt_f64(0.5, 0), "0");
+    }
+}

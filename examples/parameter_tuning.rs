@@ -1,0 +1,88 @@
+//! Hyper-parameter tuning — the paper's 5-fold cross-validation search
+//! for (α, window length), as a library consumer would run it on their
+//! own data, plus β threshold selection on the chosen configuration.
+//!
+//! Run: `cargo run --release --example parameter_tuning`
+
+use attrition::eval::grid::{grid_search, product2};
+use attrition::prelude::*;
+
+fn main() {
+    let cfg = ScenarioConfig::small();
+    let dataset = attrition::datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+
+    // Shared folds so every candidate is scored on identical splits.
+    let customers: Vec<CustomerId> = seg_store.customers().collect();
+    let labels: Vec<bool> = customers
+        .iter()
+        .map(|c| dataset.labels.cohort_of(*c).unwrap().is_defector())
+        .collect();
+    let folds = StratifiedKFold::new(&labels, 5, 42);
+
+    let alphas = [1.5f64, 2.0, 3.0];
+    let window_lengths = [1u32, 2, 3];
+    let grid = product2(&window_lengths, &alphas);
+
+    let (results, best) = grid_search(&grid, |&(w, alpha)| {
+        let spec = WindowSpec::months(cfg.start, w);
+        let n_windows = cfg.n_months.div_ceil(w);
+        let db =
+            WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
+        let params = StabilityParams::new(alpha).expect("valid alpha");
+        let matrix = StabilityEngine::new(params).compute(&db);
+        // Early-detection criterion: windows ending within 4 months after
+        // the onset, averaged over held-out folds.
+        let eval_windows: Vec<u32> = (0..n_windows)
+            .filter(|k| {
+                let end = (k + 1) * w;
+                end > cfg.onset_month && end <= cfg.onset_month + 4
+            })
+            .collect();
+        let mut fold_scores = Vec::new();
+        for fold in folds.folds() {
+            let mut per_window = Vec::new();
+            for &k in &eval_windows {
+                let pairs = matrix.attrition_scores_at(WindowIndex::new(k));
+                let scores: Vec<f64> = fold.test.iter().map(|&i| pairs[i].1).collect();
+                let fold_labels: Vec<bool> = fold.test.iter().map(|&i| labels[i]).collect();
+                let a = auroc(&fold_labels, &scores);
+                if !a.is_nan() {
+                    per_window.push(a);
+                }
+            }
+            if !per_window.is_empty() {
+                fold_scores.push(per_window.iter().sum::<f64>() / per_window.len() as f64);
+            }
+        }
+        fold_scores.iter().sum::<f64>() / fold_scores.len().max(1) as f64
+    });
+
+    println!("5-fold CV early-detection AUROC per candidate:");
+    for r in &results {
+        println!(
+            "  window = {} month(s), α = {:<4} → {:.3}",
+            r.params.0, r.params.1, r.score
+        );
+    }
+    let (w, alpha) = results[best.expect("grid non-empty")].params;
+    println!("\nselected: window = {w} month(s), α = {alpha} (paper: 2 months, α = 2)");
+
+    // With the chosen (w, α), pick the operating threshold β.
+    let spec = WindowSpec::months(cfg.start, w);
+    let n_windows = cfg.n_months.div_ceil(w);
+    let db = WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(StabilityParams::new(alpha).unwrap()).compute(&db);
+    let k = WindowIndex::new(cfg.onset_month / w + 1);
+    let pairs = matrix.attrition_scores_at(k);
+    let scores: Vec<f64> = pairs.iter().map(|(_, s)| *s).collect();
+    let curve = RocCurve::compute(&labels, &scores);
+    let best_point = curve.youden_optimal().expect("non-degenerate");
+    println!(
+        "operating threshold at window {}: β = {:.3} (flag stability ≤ β; tpr {:.2}, fpr {:.2})",
+        k.raw(),
+        1.0 - best_point.threshold,
+        best_point.tpr,
+        best_point.fpr
+    );
+}

@@ -1,0 +1,103 @@
+//! Product life-cycle analysis — the paper's future work ("deepen the
+//! study of the characterization of significant products") as a library
+//! workflow: per-item significance trajectories, fade detection, and
+//! regained-product (recovery) events for one customer.
+//!
+//! Run: `cargo run --release --example trajectory_analysis`
+
+use attrition::model::{detect_recoveries, faded_items, significance_trajectories};
+use attrition::prelude::*;
+
+fn main() {
+    let cfg = ScenarioConfig::small();
+    let dataset = attrition::datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let db = WindowedDatabase::from_store(
+        &seg_store,
+        WindowSpec::months(cfg.start, 2),
+        cfg.n_months.div_ceil(2),
+        WindowAlignment::Global,
+    );
+    let seg_name = |raw: u32| {
+        dataset
+            .taxonomy
+            .segment(SegmentId::new(raw))
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|_| format!("s{raw}"))
+    };
+
+    // Pick the defector with the most faded products (some defectors'
+    // drop months fall beyond the observation end and show nothing yet).
+    let customer = dataset
+        .labels
+        .labels()
+        .iter()
+        .filter(|l| l.cohort.is_defector())
+        .map(|l| l.customer)
+        .max_by_key(|&c| {
+            db.customer(c)
+                .map(|w| faded_items(w, StabilityParams::PAPER, 8.0, 0.3).len())
+                .unwrap_or(0)
+        })
+        .expect("scenario has defectors");
+    let windows = db.customer(customer).expect("customer exists");
+    println!(
+        "customer {customer} ({:?}):",
+        dataset.labels.cohort_of(customer).unwrap()
+    );
+
+    // 1. Top significance trajectories: how the repertoire built up.
+    println!("\ntop-5 product trajectories (significance per 2-month window):");
+    for t in significance_trajectories(windows, StabilityParams::PAPER, None)
+        .iter()
+        .take(5)
+    {
+        let spark: String = t
+            .series
+            .iter()
+            .map(|&s| {
+                // log-scale sparkline: significance spans orders of magnitude.
+                let level = if s <= 0.0 { 0 } else { (s.log2() + 2.0).clamp(0.0, 7.0) as usize };
+                [' ', '.', ':', '-', '=', '+', '*', '#'][level]
+            })
+            .collect();
+        println!(
+            "  {:<16} peak {:>7.1}  final/peak {:>4.0}%  [{spark}]",
+            seg_name(t.item.raw()),
+            t.peak,
+            t.final_to_peak * 100.0
+        );
+    }
+
+    // 2. Faded products: established then abandoned (the gradual losses
+    //    single-window explanations can miss).
+    println!("\nfaded products (peaked ≥ 8, now below 30% of peak):");
+    for t in faded_items(windows, StabilityParams::PAPER, 8.0, 0.3) {
+        println!(
+            "  {:<16} peak {:>7.1} → final {:>5.1}",
+            seg_name(t.item.raw()),
+            t.peak,
+            t.series.last().copied().unwrap_or(0.0)
+        );
+    }
+
+    // 3. Recoveries: established products that came back after a gap —
+    //    what a successful retention intervention looks like.
+    println!("\nrecovery events (significant product returns after ≥1 absent window):");
+    let mut any = false;
+    for rec in detect_recoveries(windows, StabilityParams::PAPER, 2.0) {
+        for r in &rec.regained {
+            any = true;
+            println!(
+                "  window {:>2}: {:<16} back after {} window(s) away (S = {:.1})",
+                rec.window.raw(),
+                seg_name(r.item.raw()),
+                r.absence_run,
+                r.significance
+            );
+        }
+    }
+    if !any {
+        println!("  (none for this customer)");
+    }
+}

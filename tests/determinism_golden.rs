@@ -1,0 +1,71 @@
+//! Golden determinism pins.
+//!
+//! The whole repository's claim of bit-reproducibility is only credible
+//! if something would *fail* when a stream changes. These tests pin
+//! exact values derived from the default small scenario. If you change
+//! the generator, a sampler, or any consumption order of the PRNG
+//! intentionally, update the constants here **and regenerate every
+//! number in EXPERIMENTS.md** — that is exactly the reminder this test
+//! exists to give.
+
+use attrition::prelude::*;
+use attrition::store::csv_io;
+
+/// FNV-1a over a byte string: tiny, stable, good enough to fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn small_scenario_receipts_fingerprint_is_pinned() {
+    let dataset = attrition::datagen::generate(&ScenarioConfig::small());
+    let csv = csv_io::receipts_to_csv(&dataset.store);
+    let fingerprint = fnv1a(csv.as_bytes());
+    assert_eq!(
+        (dataset.store.num_receipts(), fingerprint),
+        (8043, 13834784866592823892),
+        "the small scenario's receipt stream changed — if intentional, \
+         update this pin and regenerate EXPERIMENTS.md"
+    );
+}
+
+#[test]
+fn small_scenario_stability_values_are_pinned() {
+    let cfg = ScenarioConfig::small();
+    let dataset = attrition::datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let db = WindowedDatabase::from_store(
+        &seg_store,
+        WindowSpec::months(cfg.start, 2),
+        8,
+        WindowAlignment::Global,
+    );
+    let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+    // Pin the final-window AUROC to full precision.
+    let pairs = matrix.attrition_scores_at(WindowIndex::new(7));
+    let labels: Vec<bool> = pairs
+        .iter()
+        .map(|(c, _)| dataset.labels.cohort_of(*c).unwrap().is_defector())
+        .collect();
+    let scores: Vec<f64> = pairs.iter().map(|(_, s)| *s).collect();
+    let auc = auroc(&labels, &scores);
+    assert!(
+        (auc - 0.9497222222222222).abs() < 1e-12,
+        "final-window AUROC drifted: {auc} (pin 0.9497222222222222)"
+    );
+}
+
+#[test]
+fn prng_stream_is_pinned() {
+    // Duplicated from attrition-util's unit test on purpose: this is the
+    // cross-crate tripwire a refactor cannot silently delete together
+    // with the implementation it guards.
+    let mut rng = attrition::util::Rng::seed_from_u64(0);
+    assert_eq!(rng.next_u64(), 11091344671253066420);
+    assert_eq!(rng.next_u64(), 13793997310169335082);
+}

@@ -1,0 +1,193 @@
+//! End-to-end integration across all crates: generation → CSV roundtrip
+//! → projection → windowing → both models → evaluation.
+
+use attrition::prelude::*;
+use attrition::store::csv_io;
+
+#[test]
+fn full_pipeline_on_small_scenario() {
+    let cfg = ScenarioConfig::small();
+    let dataset = attrition::datagen::generate(&cfg);
+
+    // Dataset sanity.
+    assert_eq!(dataset.store.num_customers(), 120);
+    let stats = DatasetStats::compute(&dataset.store, Some(&dataset.taxonomy));
+    assert_eq!(stats.span_months, cfg.n_months);
+    assert!(stats.basket_size.mean > 5.0, "baskets implausibly small");
+    assert!(stats.revenue.is_positive());
+
+    // Segment projection shrinks the vocabulary.
+    let seg_store = dataset.segment_store();
+    let product_items = dataset.store.max_item_id().unwrap().raw();
+    let segment_items = seg_store.max_item_id().unwrap().raw();
+    assert!(segment_items < product_items);
+
+    // Window + stability + AUROC at the final window.
+    let spec = WindowSpec::months(cfg.start, 2);
+    let n_windows = cfg.n_months.div_ceil(2);
+    let db = WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+    let pairs = matrix.attrition_scores_at(WindowIndex::new(n_windows - 1));
+    let labels: Vec<bool> = pairs
+        .iter()
+        .map(|(c, _)| dataset.labels.cohort_of(*c).unwrap().is_defector())
+        .collect();
+    let scores: Vec<f64> = pairs.iter().map(|(_, s)| *s).collect();
+    let stab_auc = auroc(&labels, &scores);
+    assert!(stab_auc > 0.85, "stability AUROC {stab_auc}");
+
+    // RFM baseline also discriminates at the end.
+    let model = RfmModel::new(1);
+    let rows = model.features_at(&db, WindowIndex::new(n_windows - 1));
+    let features: Vec<RfmFeatures> = rows.iter().map(|(_, f)| *f).collect();
+    let oof = out_of_fold_scores(&features, &labels, 1, 5, 9);
+    let rfm_auc = auroc(&labels, &oof);
+    assert!(rfm_auc > 0.75, "RFM AUROC {rfm_auc}");
+}
+
+#[test]
+fn csv_roundtrip_preserves_model_output() {
+    let cfg = ScenarioConfig::small();
+    let dataset = attrition::datagen::generate(&cfg);
+
+    // Receipts + taxonomy survive a CSV roundtrip…
+    let receipts_csv = csv_io::receipts_to_csv(&dataset.store);
+    let store2 = csv_io::receipts_from_csv(&receipts_csv).expect("own CSV parses");
+    assert_eq!(store2.num_receipts(), dataset.store.num_receipts());
+    let tax_csv = csv_io::taxonomy_to_csv(&dataset.taxonomy);
+    let tax2 = csv_io::taxonomy_from_csv(&tax_csv).expect("own CSV parses");
+    assert_eq!(tax2.num_products(), dataset.taxonomy.num_products());
+
+    // …and produce identical stability values.
+    let spec = WindowSpec::months(cfg.start, 2);
+    let n = cfg.n_months.div_ceil(2);
+    let db1 = WindowedDatabase::from_store(
+        &attrition::store::project_to_segments(&dataset.store, &dataset.taxonomy).unwrap(),
+        spec,
+        n,
+        WindowAlignment::Global,
+    );
+    let db2 = WindowedDatabase::from_store(
+        &attrition::store::project_to_segments(&store2, &tax2).unwrap(),
+        spec,
+        n,
+        WindowAlignment::Global,
+    );
+    let m1 = StabilityEngine::new(StabilityParams::PAPER).compute(&db1);
+    let m2 = StabilityEngine::new(StabilityParams::PAPER).compute(&db2);
+    for k in 0..n {
+        assert_eq!(
+            m1.stability_at(WindowIndex::new(k)),
+            m2.stability_at(WindowIndex::new(k)),
+            "window {k} diverged after CSV roundtrip"
+        );
+    }
+}
+
+#[test]
+fn streaming_monitor_matches_batch_engine() {
+    // The online monitor and the batch engine must agree on every closed
+    // window for every customer of a generated dataset.
+    let mut cfg = ScenarioConfig::small();
+    cfg.n_loyal = 20;
+    cfg.n_defectors = 20;
+    let dataset = attrition::datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let spec = WindowSpec::months(cfg.start, 2);
+    let n_windows = cfg.n_months.div_ceil(2);
+
+    // Batch.
+    let db = WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+
+    // Online: replay receipts in (date, customer) order.
+    let mut monitor = attrition::model::StabilityMonitor::new(spec, StabilityParams::PAPER);
+    let mut stream: Vec<(CustomerId, Date, Basket)> = seg_store
+        .receipts()
+        .map(|r| (r.customer, r.date, Basket::new(r.items.to_vec())))
+        .collect();
+    stream.sort_by_key(|(c, d, _)| (*d, *c));
+    let mut online: std::collections::HashMap<(CustomerId, u32), f64> =
+        std::collections::HashMap::new();
+    for (customer, date, basket) in stream {
+        for closed in monitor.ingest(customer, date, &basket) {
+            online.insert((closed.customer, closed.point.window.raw()), closed.point.value);
+        }
+    }
+    for closed in monitor.flush_until(cfg.start.add_months(cfg.n_months as i32)) {
+        online.insert((closed.customer, closed.point.window.raw()), closed.point.value);
+    }
+
+    let mut compared = 0usize;
+    for analysis in matrix.analyses() {
+        for point in &analysis.points {
+            if let Some(&v) = online.get(&(analysis.customer, point.window.raw())) {
+                assert!(
+                    (v - point.value).abs() < 1e-12,
+                    "customer {} window {}: online {v} vs batch {}",
+                    analysis.customer,
+                    point.window,
+                    point.value
+                );
+                compared += 1;
+            }
+        }
+    }
+    // Every customer appears in the stream, so most windows must match.
+    assert!(
+        compared >= 40 * (n_windows as usize - 1),
+        "too few comparable windows: {compared}"
+    );
+}
+
+#[test]
+fn dataset_generation_is_deterministic_across_processes() {
+    // Byte-stable CSV output is the strongest cheap determinism check.
+    let a = attrition::datagen::generate(&ScenarioConfig::small());
+    let b = attrition::datagen::generate(&ScenarioConfig::small());
+    assert_eq!(
+        csv_io::receipts_to_csv(&a.store),
+        csv_io::receipts_to_csv(&b.store)
+    );
+    assert_eq!(
+        csv_io::taxonomy_to_csv(&a.taxonomy),
+        csv_io::taxonomy_to_csv(&b.taxonomy)
+    );
+}
+
+#[test]
+fn classifier_flags_defectors_not_loyals_late() {
+    let cfg = ScenarioConfig::small();
+    let dataset = attrition::datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let db = WindowedDatabase::from_store(
+        &seg_store,
+        WindowSpec::months(cfg.start, 2),
+        cfg.n_months.div_ceil(2),
+        WindowAlignment::Global,
+    );
+    let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+    let k = WindowIndex::new(cfg.n_months.div_ceil(2) - 1);
+    let classifier = StabilityClassifier::new(0.75);
+    let mut flagged_defectors = 0usize;
+    let mut flagged_loyal = 0usize;
+    for (customer, value) in matrix.stability_at(k) {
+        let flagged = classifier.classify_value(value)
+            == attrition::model::classifier::Verdict::Defecting;
+        if flagged {
+            if dataset.labels.cohort_of(customer).unwrap().is_defector() {
+                flagged_defectors += 1;
+            } else {
+                flagged_loyal += 1;
+            }
+        }
+    }
+    assert!(
+        flagged_defectors >= 10,
+        "too few defectors flagged: {flagged_defectors}"
+    );
+    assert!(
+        flagged_defectors >= 5 * flagged_loyal.max(1),
+        "flags not concentrated on defectors: {flagged_defectors} vs {flagged_loyal}"
+    );
+}

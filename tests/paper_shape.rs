@@ -1,0 +1,141 @@
+//! Paper-shape assertions: the reproduction bands EXPERIMENTS.md records
+//! must keep holding. These encode Figure 1, the headline AUROC, and
+//! Figure 2's narrative as tests, so a regression in any crate that
+//! would silently distort the reproduction fails loudly.
+
+use attrition::datagen::{figure2_customer, Simulator};
+use attrition::prelude::*;
+use attrition::store::project_to_segments;
+
+fn auroc_at(
+    matrix: &StabilityMatrix,
+    labels: &LabelSet,
+    k: u32,
+) -> f64 {
+    let pairs = matrix.attrition_scores_at(WindowIndex::new(k));
+    let lab: Vec<bool> = pairs
+        .iter()
+        .map(|(c, _)| labels.cohort_of(*c).unwrap().is_defector())
+        .collect();
+    let scores: Vec<f64> = pairs.iter().map(|(_, s)| *s).collect();
+    auroc(&lab, &scores)
+}
+
+#[test]
+fn figure1_shape_holds() {
+    let cfg = ScenarioConfig::paper_default();
+    let dataset = attrition::datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let spec = WindowSpec::months(cfg.start, 2);
+    let db = WindowedDatabase::from_store(&seg_store, spec, 14, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+
+    // (i) Near-chance before the onset (months 12–18 → windows 5..=8).
+    for k in 5..=8 {
+        let a = auroc_at(&matrix, &dataset.labels, k);
+        assert!(
+            (0.40..0.62).contains(&a),
+            "pre-onset window {k}: AUROC {a} not near chance"
+        );
+    }
+
+    // (ii) The headline: two months after onset (window 9, ending month
+    // 20) the paper reports 0.79; the synthetic band is 0.70–0.90.
+    let headline = auroc_at(&matrix, &dataset.labels, 9);
+    assert!(
+        (0.70..0.90).contains(&headline),
+        "headline AUROC {headline} outside the paper band"
+    );
+
+    // (iii) Detection keeps improving as defection deepens.
+    let late = auroc_at(&matrix, &dataset.labels, 11);
+    assert!(late > headline, "late AUROC {late} <= headline {headline}");
+    assert!(late > 0.9, "late AUROC {late} too low");
+
+    // (iv) The RFM baseline is comparable after the onset: neither model
+    // dominates by more than 0.25 AUROC at month 22+, and RFM also ends
+    // high.
+    let rfm_model = RfmModel::new(1);
+    let mut rfm_last = 0.0;
+    for k in [10u32, 11, 12, 13] {
+        let rows = rfm_model.features_at(&db, WindowIndex::new(k));
+        let customers: Vec<CustomerId> = rows.iter().map(|(c, _)| *c).collect();
+        let features: Vec<RfmFeatures> = rows.iter().map(|(_, f)| *f).collect();
+        let labels: Vec<bool> = customers
+            .iter()
+            .map(|c| dataset.labels.cohort_of(*c).unwrap().is_defector())
+            .collect();
+        let scores = out_of_fold_scores(&features, &labels, 1, 5, 42);
+        let rfm_auc = auroc(&labels, &scores);
+        let stab_auc = auroc_at(&matrix, &dataset.labels, k);
+        assert!(
+            (stab_auc - rfm_auc).abs() < 0.25,
+            "window {k}: stability {stab_auc} vs RFM {rfm_auc} diverge"
+        );
+        rfm_last = rfm_auc;
+    }
+    assert!(rfm_last > 0.9, "RFM never catches up: {rfm_last}");
+}
+
+#[test]
+fn figure2_narrative_holds() {
+    let cfg = ScenarioConfig::paper_default();
+    let dataset = attrition::datagen::generate(&cfg);
+    let customer = CustomerId::new(1_000_000);
+    let profile = figure2_customer(&dataset.taxonomy, customer, 20);
+    let sim = Simulator::new(cfg.start, cfg.n_months, cfg.seasonality.clone(), cfg.seed ^ 0xF16);
+    let store = sim.run(&[profile], &dataset.taxonomy);
+    let seg_store = project_to_segments(&store, &dataset.taxonomy).unwrap();
+    let db = WindowedDatabase::from_store(
+        &seg_store,
+        WindowSpec::months(cfg.start, 2),
+        14,
+        WindowAlignment::Global,
+    );
+    let analysis = analyze_customer(
+        db.customer(customer).unwrap(),
+        StabilityParams::PAPER,
+        4,
+    );
+
+    // Loyal through month 20 (windows 2..=9 after warm-up).
+    for k in 2..=9usize {
+        assert!(
+            analysis.points[k].value > 0.9,
+            "window {k} should be loyal: {}",
+            analysis.points[k].value
+        );
+    }
+    // Coffee loss in the window ending month 22 (w10).
+    let w10 = &analysis.points[10];
+    assert!(
+        w10.value < 0.95,
+        "no visible drop at the coffee loss: {}",
+        w10.value
+    );
+    let coffee = dataset.taxonomy.segment_by_name("coffee").unwrap();
+    let primary10 = analysis.explanations[10].primary().expect("a loss");
+    assert_eq!(primary10.item.raw(), coffee.raw(), "w10 should lose coffee");
+
+    // Sharper drop at month 24 (w11): milk + sponges + cheese.
+    let w11 = &analysis.points[11];
+    assert!(
+        w11.value < w10.value,
+        "second drop should be sharper: {} vs {}",
+        w11.value,
+        w10.value
+    );
+    let lost11: Vec<u32> = analysis.explanations[11]
+        .lost
+        .iter()
+        .filter(|l| l.share > 0.05)
+        .map(|l| l.item.raw())
+        .collect();
+    for name in ["milk", "cheese", "sponges"] {
+        let seg = dataset.taxonomy.segment_by_name(name).unwrap();
+        assert!(
+            lost11.contains(&seg.raw()),
+            "w11 explanation missing {name}: {lost11:?}"
+        );
+    }
+}

@@ -1,10 +1,11 @@
 //! Microbenchmarks of the evaluation stack and the RFM baseline: AUROC,
 //! ROC curves, logistic regression fitting, and out-of-fold scoring.
+//! Run with `cargo bench -p attrition-bench --bench models`.
 
+use attrition_bench::micro::{black_box, Runner};
 use attrition_eval::{auroc, RocCurve};
 use attrition_rfm::{out_of_fold_scores, LogisticRegression, RfmFeatures, RfmModel};
 use attrition_util::Rng;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn scored_population(n: usize, seed: u64) -> (Vec<bool>, Vec<f64>) {
     let mut rng = Rng::seed_from_u64(seed);
@@ -22,19 +23,17 @@ fn scored_population(n: usize, seed: u64) -> (Vec<bool>, Vec<f64>) {
     (labels, scores)
 }
 
-fn bench_auroc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("auroc");
+fn bench_auroc() {
+    let mut runner = Runner::group("auroc");
     for &n in &[1_000usize, 10_000, 100_000] {
         let (labels, scores) = scored_population(n, 1);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("mann_whitney", n), &n, |b, _| {
-            b.iter(|| black_box(auroc(&labels, &scores)))
+        runner.bench_throughput(&format!("mann_whitney/{n}"), n as u64, || {
+            black_box(auroc(&labels, &scores))
         });
-        group.bench_with_input(BenchmarkId::new("roc_curve", n), &n, |b, _| {
-            b.iter(|| black_box(RocCurve::compute(&labels, &scores)))
+        runner.bench_throughput(&format!("roc_curve/{n}"), n as u64, || {
+            black_box(RocCurve::compute(&labels, &scores))
         });
     }
-    group.finish();
 }
 
 fn rfm_rows(n: usize, seed: u64) -> (Vec<RfmFeatures>, Vec<bool>) {
@@ -54,37 +53,32 @@ fn rfm_rows(n: usize, seed: u64) -> (Vec<RfmFeatures>, Vec<bool>) {
     (features, labels)
 }
 
-fn bench_logistic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logistic_regression");
+fn bench_logistic() {
+    let mut runner = Runner::group("logistic_regression");
     for &n in &[1_000usize, 10_000] {
         let (features, labels) = rfm_rows(n, 2);
         let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_array().to_vec()).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("irls_fit", n), &n, |b, _| {
-            b.iter(|| {
-                let mut lr = LogisticRegression::new(3);
-                black_box(lr.fit(&rows, &labels))
-            })
+        runner.bench_throughput(&format!("irls_fit/{n}"), n as u64, || {
+            let mut lr = LogisticRegression::new(3);
+            black_box(lr.fit(&rows, &labels))
         });
-        group.bench_with_input(BenchmarkId::new("rfm_fit_scaled", n), &n, |b, _| {
-            b.iter(|| {
-                let mut model = RfmModel::new(1);
-                black_box(model.fit(&features, &labels))
-            })
+        runner.bench_throughput(&format!("rfm_fit_scaled/{n}"), n as u64, || {
+            let mut model = RfmModel::new(1);
+            black_box(model.fit(&features, &labels))
         });
     }
-    group.finish();
 }
 
-fn bench_oof(c: &mut Criterion) {
+fn bench_oof() {
     let (features, labels) = rfm_rows(2_000, 3);
-    let mut group = c.benchmark_group("rfm_out_of_fold");
-    group.sample_size(20);
-    group.bench_function("oof_5fold_2000", |b| {
-        b.iter(|| black_box(out_of_fold_scores(&features, &labels, 1, 5, 7)))
+    let mut runner = Runner::group("rfm_out_of_fold").rounds(3);
+    runner.bench("oof_5fold_2000", || {
+        black_box(out_of_fold_scores(&features, &labels, 1, 5, 7))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_auroc, bench_logistic, bench_oof);
-criterion_main!(benches);
+fn main() {
+    bench_auroc();
+    bench_logistic();
+    bench_oof();
+}

@@ -1,16 +1,21 @@
 //! Microbenchmarks of the stability model's hot paths: significance
 //! tracker updates, single-customer series, and the parallel batch
-//! engine.
+//! engine. Run with `cargo bench -p attrition-bench --bench stability`.
 
+use attrition_bench::micro::{black_box, Runner};
 use attrition_core::{
     analyze_customer, stability_series, SignificanceTracker, StabilityEngine, StabilityParams,
 };
 use attrition_store::{CustomerWindows, WindowAlignment, WindowSpec, WindowedDatabase};
 use attrition_types::{Basket, Cents, CustomerId, Date, ItemId};
 use attrition_util::Rng;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn random_windows(n_windows: usize, vocab: u32, items_per_window: usize, seed: u64) -> CustomerWindows {
+fn random_windows(
+    n_windows: usize,
+    vocab: u32,
+    items_per_window: usize,
+    seed: u64,
+) -> CustomerWindows {
     let mut rng = Rng::seed_from_u64(seed);
     let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 2);
     let baskets: Vec<Basket> = (0..n_windows)
@@ -32,47 +37,35 @@ fn random_windows(n_windows: usize, vocab: u32, items_per_window: usize, seed: u
     }
 }
 
-fn bench_tracker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("significance_tracker");
+fn bench_tracker() {
+    let mut runner = Runner::group("significance_tracker");
     for &items in &[10usize, 40, 160] {
         let windows = random_windows(14, 400, items, 7);
-        group.bench_with_input(
-            BenchmarkId::new("observe_14_windows", items),
-            &windows,
-            |b, w| {
-                b.iter(|| {
-                    let mut t = SignificanceTracker::new(StabilityParams::PAPER);
-                    for u in &w.baskets {
-                        black_box(t.total_significance());
-                        t.observe_window(u);
-                    }
-                    black_box(t.num_tracked())
-                })
-            },
-        );
+        runner.bench(&format!("observe_14_windows/{items}"), || {
+            let mut t = SignificanceTracker::new(StabilityParams::PAPER);
+            for u in &windows.baskets {
+                black_box(t.total_significance());
+                t.observe_window(u);
+            }
+            black_box(t.num_tracked())
+        });
     }
-    group.finish();
 }
 
-fn bench_series(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stability_series");
+fn bench_series() {
+    let mut runner = Runner::group("stability_series");
     for &n_windows in &[14usize, 56, 224] {
         let windows = random_windows(n_windows, 400, 40, 9);
-        group.bench_with_input(
-            BenchmarkId::new("series", n_windows),
-            &windows,
-            |b, w| b.iter(|| black_box(stability_series(w, StabilityParams::PAPER))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("analyze_with_explanations", n_windows),
-            &windows,
-            |b, w| b.iter(|| black_box(analyze_customer(w, StabilityParams::PAPER, 5))),
-        );
+        runner.bench(&format!("series/{n_windows}"), || {
+            black_box(stability_series(&windows, StabilityParams::PAPER))
+        });
+        runner.bench(&format!("analyze_with_explanations/{n_windows}"), || {
+            black_box(analyze_customer(&windows, StabilityParams::PAPER, 5))
+        });
     }
-    group.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     // A realistic small windowed database via the simulator would pull in
     // datagen; synthesize receipts directly for a pure engine measurement.
     let mut builder = attrition_store::ReceiptStoreBuilder::new();
@@ -101,20 +94,18 @@ fn bench_engine(c: &mut Criterion) {
         14,
         WindowAlignment::Global,
     );
-    let mut group = c.benchmark_group("stability_engine");
-    group.sample_size(20);
-    group.bench_function("batch_500_customers_serial", |b| {
+    let mut runner = Runner::group("stability_engine").rounds(3);
+    runner.bench("batch_500_customers_serial", || {
         let engine = StabilityEngine::new(StabilityParams::PAPER).with_threads(1);
-        b.iter(|| black_box(engine.compute(&db)))
+        black_box(engine.compute(&db))
     });
-    group.bench_function("batch_500_customers_parallel", |b| {
+    runner.bench("batch_500_customers_parallel", || {
         let engine = StabilityEngine::new(StabilityParams::PAPER);
-        b.iter(|| black_box(engine.compute(&db)))
+        black_box(engine.compute(&db))
     });
-    group.finish();
 }
 
-fn bench_monitor(c: &mut Criterion) {
+fn bench_monitor() {
     use attrition_core::StabilityMonitor;
     // A chronological receipt stream of 200 customers × 12 months.
     let d0 = Date::from_ymd(2012, 5, 1).unwrap();
@@ -132,24 +123,23 @@ fn bench_monitor(c: &mut Criterion) {
         }
     }
     stream.sort_by_key(|(c, d, _)| (*d, *c));
-    let mut group = c.benchmark_group("stability_monitor");
-    group.sample_size(20);
-    group.throughput(criterion::Throughput::Elements(stream.len() as u64));
-    group.bench_function("ingest_stream_9600_receipts", |b| {
-        b.iter(|| {
-            let mut monitor = StabilityMonitor::new(
-                attrition_store::WindowSpec::months(d0, 2),
-                StabilityParams::PAPER,
-            );
-            let mut closed = 0usize;
-            for (customer, date, basket) in &stream {
-                closed += monitor.ingest(*customer, *date, basket).len();
-            }
-            black_box(closed)
-        })
+    let mut runner = Runner::group("stability_monitor").rounds(3);
+    runner.bench_throughput("ingest_stream_9600_receipts", stream.len() as u64, || {
+        let mut monitor = StabilityMonitor::new(
+            attrition_store::WindowSpec::months(d0, 2),
+            StabilityParams::PAPER,
+        );
+        let mut closed = 0usize;
+        for (customer, date, basket) in &stream {
+            closed += monitor.ingest(*customer, *date, basket).len();
+        }
+        black_box(closed)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_tracker, bench_series, bench_engine, bench_monitor);
-criterion_main!(benches);
+fn main() {
+    bench_tracker();
+    bench_series();
+    bench_engine();
+    bench_monitor();
+}

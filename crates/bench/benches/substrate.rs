@@ -1,13 +1,14 @@
 //! Microbenchmarks of the substrates: store construction, windowing,
-//! segment projection, and synthetic data generation.
+//! segment projection, persistence, and synthetic data generation. Run
+//! with `cargo bench -p attrition-bench --bench substrate`.
 
+use attrition_bench::micro::{black_box, Runner};
 use attrition_datagen::{generate, ScenarioConfig};
 use attrition_store::{
     project_to_segments, ReceiptStoreBuilder, WindowAlignment, WindowSpec, WindowedDatabase,
 };
 use attrition_types::{Basket, Cents, CustomerId, Date, ItemId, Receipt};
 use attrition_util::Rng;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn synth_receipts(n_customers: u64, months: i32, trips_per_month: u64, seed: u64) -> Vec<Receipt> {
     let mut rng = Rng::seed_from_u64(seed);
@@ -32,25 +33,21 @@ fn synth_receipts(n_customers: u64, months: i32, trips_per_month: u64, seed: u64
     receipts
 }
 
-fn bench_store_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_build");
+fn bench_store_build() {
+    let mut runner = Runner::group("store_build");
     for &n in &[100u64, 400] {
         let receipts = synth_receipts(n, 28, 4, 1);
-        group.throughput(Throughput::Elements(receipts.len() as u64));
-        group.bench_with_input(BenchmarkId::new("sorted_build", n), &receipts, |b, rs| {
-            b.iter(|| {
-                let mut builder = ReceiptStoreBuilder::with_capacity(rs.len());
-                for r in rs {
-                    builder.push(r.clone());
-                }
-                black_box(builder.build())
-            })
+        runner.bench_throughput(&format!("sorted_build/{n}"), receipts.len() as u64, || {
+            let mut builder = ReceiptStoreBuilder::with_capacity(receipts.len());
+            for r in &receipts {
+                builder.push(r.clone());
+            }
+            black_box(builder.build())
         });
     }
-    group.finish();
 }
 
-fn bench_windowing(c: &mut Criterion) {
+fn bench_windowing() {
     let receipts = synth_receipts(400, 28, 4, 2);
     let mut builder = ReceiptStoreBuilder::with_capacity(receipts.len());
     for r in receipts {
@@ -58,69 +55,60 @@ fn bench_windowing(c: &mut Criterion) {
     }
     let store = builder.build();
     let d0 = Date::from_ymd(2012, 5, 1).unwrap();
-    let mut group = c.benchmark_group("windowing");
-    group.throughput(Throughput::Elements(store.num_receipts() as u64));
-    group.bench_function("window_400_customers", |b| {
-        b.iter(|| {
-            black_box(WindowedDatabase::from_store(
-                &store,
-                WindowSpec::months(d0, 2),
-                14,
-                WindowAlignment::Global,
-            ))
-        })
+    let mut runner = Runner::group("windowing");
+    runner.bench_throughput("window_400_customers", store.num_receipts() as u64, || {
+        black_box(WindowedDatabase::from_store(
+            &store,
+            WindowSpec::months(d0, 2),
+            14,
+            WindowAlignment::Global,
+        ))
     });
-    group.finish();
 }
 
-fn bench_projection(c: &mut Criterion) {
+fn bench_projection() {
     let cfg = ScenarioConfig::small();
     let dataset = generate(&cfg);
-    let mut group = c.benchmark_group("segment_projection");
-    group.throughput(Throughput::Elements(dataset.store.num_receipts() as u64));
-    group.bench_function("project_small_scenario", |b| {
-        b.iter(|| black_box(project_to_segments(&dataset.store, &dataset.taxonomy).unwrap()))
-    });
-    group.finish();
+    let mut runner = Runner::group("segment_projection");
+    runner.bench_throughput(
+        "project_small_scenario",
+        dataset.store.num_receipts() as u64,
+        || black_box(project_to_segments(&dataset.store, &dataset.taxonomy).unwrap()),
+    );
 }
 
-fn bench_persistence(c: &mut Criterion) {
+fn bench_persistence() {
     use attrition_store::csv_io::{receipts_from_csv, receipts_to_csv};
     use attrition_store::{store_from_bytes, store_to_bytes};
     let cfg = ScenarioConfig::small();
     let dataset = generate(&cfg);
     let csv = receipts_to_csv(&dataset.store);
     let bin = store_to_bytes(&dataset.store);
-    let mut group = c.benchmark_group("persistence");
-    group.throughput(Throughput::Elements(dataset.store.num_receipts() as u64));
-    group.bench_function("load_csv", |b| {
-        b.iter(|| black_box(receipts_from_csv(&csv).unwrap()))
+    let n = dataset.store.num_receipts() as u64;
+    let mut runner = Runner::group("persistence");
+    runner.bench_throughput("load_csv", n, || {
+        black_box(receipts_from_csv(&csv).unwrap())
     });
-    group.bench_function("load_binary", |b| {
-        b.iter(|| black_box(store_from_bytes(&bin).unwrap()))
+    runner.bench_throughput("load_binary", n, || {
+        black_box(store_from_bytes(&bin).unwrap())
     });
-    group.bench_function("save_csv", |b| b.iter(|| black_box(receipts_to_csv(&dataset.store))));
-    group.bench_function("save_binary", |b| {
-        b.iter(|| black_box(store_to_bytes(&dataset.store)))
+    runner.bench_throughput("save_csv", n, || black_box(receipts_to_csv(&dataset.store)));
+    runner.bench_throughput("save_binary", n, || {
+        black_box(store_to_bytes(&dataset.store))
     });
-    group.finish();
 }
 
-fn bench_datagen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("datagen");
-    group.sample_size(10);
-    group.bench_function("generate_small_scenario", |b| {
-        b.iter(|| black_box(generate(&ScenarioConfig::small())))
+fn bench_datagen() {
+    let mut runner = Runner::group("datagen").rounds(3);
+    runner.bench("generate_small_scenario", || {
+        black_box(generate(&ScenarioConfig::small()))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_store_build,
-    bench_windowing,
-    bench_projection,
-    bench_persistence,
-    bench_datagen
-);
-criterion_main!(benches);
+fn main() {
+    bench_store_build();
+    bench_windowing();
+    bench_projection();
+    bench_persistence();
+    bench_datagen();
+}

@@ -60,10 +60,7 @@ fn run_comparison(title: &str, cfg: &ScenarioConfig, artifact: &str) {
         .fold(0.0f64, f64::max);
     println!("max |delta| = {max_delta:.4}");
 
-    let csv = auroc_series_csv(
-        &["global", "per_customer"],
-        &[&series_global, &series_per],
-    );
+    let csv = auroc_series_csv(&["global", "per_customer"], &[&series_global, &series_per]);
     write_result(artifact, &csv);
 }
 

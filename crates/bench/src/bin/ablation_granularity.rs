@@ -9,9 +9,7 @@
 //!
 //! Run: `cargo run -p attrition-bench --release --bin ablation_granularity`
 
-use attrition_bench::{
-    align_labels, auroc_series_csv, write_result, AurocPoint,
-};
+use attrition_bench::{align_labels, auroc_series_csv, write_result, AurocPoint};
 use attrition_core::{StabilityEngine, StabilityParams};
 use attrition_datagen::{generate, ScenarioConfig};
 use attrition_store::{ReceiptStore, WindowAlignment, WindowSpec, WindowedDatabase};
@@ -77,9 +75,6 @@ fn main() {
         mean_post(&segment_series)
     );
 
-    let csv = auroc_series_csv(
-        &["product", "segment"],
-        &[&product_series, &segment_series],
-    );
+    let csv = auroc_series_csv(&["product", "segment"], &[&product_series, &segment_series]);
     write_result("ablation_granularity.csv", &csv);
 }

@@ -10,8 +10,7 @@
 //! Run: `cargo run -p attrition-bench --release --bin ablation_rfm_features`
 
 use attrition_bench::{
-    auroc_series_csv, rfm_auroc_series, stability_auroc_series, write_result, AurocPoint,
-    Prepared,
+    auroc_series_csv, rfm_auroc_series, stability_auroc_series, write_result, AurocPoint, Prepared,
 };
 use attrition_core::StabilityParams;
 use attrition_datagen::ScenarioConfig;
@@ -51,7 +50,12 @@ fn main() {
     let extended = extended_series(&prepared, windows);
 
     println!("\nABL-RFM: baseline feature-set ablation (AUROC per window)\n");
-    let mut table = Table::new(["month", "stability", "RFM (paper's baseline)", "extended (7 features)"]);
+    let mut table = Table::new([
+        "month",
+        "stability",
+        "RFM (paper's baseline)",
+        "extended (7 features)",
+    ]);
     for ((s, r), e) in stability.iter().zip(&rfm).zip(&extended) {
         table.row([
             s.month.to_string(),
@@ -71,7 +75,11 @@ fn main() {
             .collect();
         xs.iter().sum::<f64>() / xs.len().max(1) as f64
     };
-    println!("early-detection means (windows ending in months {}..{}):", onset + 1, onset + 4);
+    println!(
+        "early-detection means (windows ending in months {}..{}):",
+        onset + 1,
+        onset + 4
+    );
     println!("  stability        {:.3}", early_mean(&stability));
     println!("  RFM              {:.3}", early_mean(&rfm));
     println!("  extended RFM     {:.3}", early_mean(&extended));

@@ -41,10 +41,7 @@ fn series_for(
     let aligned = align_labels(labels, &customers);
     (0..db.num_windows)
         .map(|k| {
-            let scores: Vec<f64> = per_customer
-                .iter()
-                .map(|(_, s)| s[k as usize])
-                .collect();
+            let scores: Vec<f64> = per_customer.iter().map(|(_, s)| s[k as usize]).collect();
             AurocPoint::from_scores(k, (k + 1) * w_months, &aligned, &scores)
         })
         .collect()
@@ -105,7 +102,10 @@ fn main() {
     header.extend(all.iter().map(|(l, _)| l.replace(' ', "_")));
     csv.record_owned(&header);
     for i in 0..all[0].1.len() {
-        let mut row = vec![all[0].1[i].window.to_string(), all[0].1[i].month.to_string()];
+        let mut row = vec![
+            all[0].1[i].window.to_string(),
+            all[0].1[i].month.to_string(),
+        ];
         for (_, series) in &all {
             row.push(format!("{:.6}", series[i].auroc));
         }

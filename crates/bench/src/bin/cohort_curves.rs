@@ -74,7 +74,13 @@ fn main() {
     println!("{chart}");
 
     let mut csv = CsvWriter::new();
-    csv.record(&["window", "month", "loyal_mean", "defector_mean", "flagged_fraction"]);
+    csv.record(&[
+        "window",
+        "month",
+        "loyal_mean",
+        "defector_mean",
+        "flagged_fraction",
+    ]);
     for (point, (_, rate)) in curves.iter().zip(&flag_rates) {
         csv.record(&[
             &point.window.raw().to_string(),

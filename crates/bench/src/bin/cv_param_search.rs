@@ -32,7 +32,10 @@ fn main() {
     let windows = [1u32, 2, 3, 4];
     let k_folds = 5;
 
-    eprintln!("generating scenario once, sweeping {} candidates…", alphas.len() * windows.len());
+    eprintln!(
+        "generating scenario once, sweeping {} candidates…",
+        alphas.len() * windows.len()
+    );
     let dataset = attrition_datagen::generate(&cfg);
     let onset = cfg.onset_month;
 

@@ -23,10 +23,7 @@ use attrition_util::Table;
 use std::collections::HashMap;
 
 /// Per-customer score series indexed `[window]`, customers in id order.
-fn collect_series(
-    prepared: &Prepared,
-    model: Model,
-) -> (Vec<CustomerId>, Vec<Vec<f64>>) {
+fn collect_series(prepared: &Prepared, model: Model) -> (Vec<CustomerId>, Vec<Vec<f64>>) {
     let n_windows = prepared.db.num_windows;
     match model {
         Model::Stability => {
@@ -77,6 +74,9 @@ enum Model {
 }
 
 fn main() {
+    // Stage timings (windowing, scoring, rfm/eval histograms) of the full
+    // run are exported as JSON next to the CSV artifact.
+    attrition_obs::set_enabled(true);
     let cfg = ScenarioConfig::paper_default();
     let w_months = 2u32;
     let fpr_budget = 0.10;
@@ -127,8 +127,8 @@ fn main() {
             })
             .collect();
         let threshold = quantile(&loyal_max, 1.0 - fpr_budget);
-        let loyal_fpr = loyal_max.iter().filter(|&&m| m > threshold).count() as f64
-            / loyal_max.len() as f64;
+        let loyal_fpr =
+            loyal_max.iter().filter(|&&m| m > threshold).count() as f64 / loyal_max.len() as f64;
 
         // Delay per defector: first post-onset window above threshold.
         let mut delays = Vec::new();
@@ -175,4 +175,7 @@ fn main() {
          minimum possible is {w_months} — a flag in the very first affected window)"
     );
     write_result("detection_latency.csv", &csv.finish());
+    let mut metrics_json = attrition_obs::global().snapshot().to_json();
+    metrics_json.push('\n');
+    write_result("detection_latency_metrics.json", &metrics_json);
 }

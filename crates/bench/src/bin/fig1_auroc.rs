@@ -85,8 +85,7 @@ fn main() {
         let stab_scores: Vec<f64> = stab_pairs.iter().map(|(_, s)| *s).collect();
         let rfm_features: Vec<attrition_rfm::RfmFeatures> =
             rfm_rows.iter().map(|(_, f)| *f).collect();
-        let rfm_scores =
-            attrition_rfm::out_of_fold_scores(&rfm_features, &labels, 1, 5, 42);
+        let rfm_scores = attrition_rfm::out_of_fold_scores(&rfm_features, &labels, 1, 5, 42);
         match attrition_eval::delong_paired_test(&labels, &stab_scores, &rfm_scores) {
             Some(t) => println!(
                 "  month {:>2}: ΔAUC = {:+.3}  z = {:+.2}  p = {:.2e}{}",
@@ -94,7 +93,11 @@ fn main() {
                 t.delta,
                 t.z,
                 t.p_value,
-                if t.p_value < 0.05 { "  (significant)" } else { "" }
+                if t.p_value < 0.05 {
+                    "  (significant)"
+                } else {
+                    ""
+                }
             ),
             None => println!("  month {:>2}: degenerate", (k + 1) * w_months),
         }

@@ -12,9 +12,7 @@
 use attrition_bench::write_result;
 use attrition_core::{analyze_customer, StabilityParams};
 use attrition_datagen::{figure2_customer, generate, ScenarioConfig, Simulator};
-use attrition_store::{
-    project_to_segments, WindowAlignment, WindowSpec, WindowedDatabase,
-};
+use attrition_store::{project_to_segments, WindowAlignment, WindowSpec, WindowedDatabase};
 use attrition_types::{CustomerId, SegmentId};
 use attrition_util::chart::{render, ChartConfig, Series};
 use attrition_util::csv::CsvWriter;
@@ -31,7 +29,12 @@ fn main() {
     // Simulate the scripted customer over the same observation period.
     let customer = CustomerId::new(1_000_000);
     let profile = figure2_customer(&dataset.taxonomy, customer, coffee_loss_month);
-    let sim = Simulator::new(cfg.start, cfg.n_months, cfg.seasonality.clone(), cfg.seed ^ 0xF16);
+    let sim = Simulator::new(
+        cfg.start,
+        cfg.n_months,
+        cfg.seasonality.clone(),
+        cfg.seed ^ 0xF16,
+    );
     let store = sim.run(&[profile], &dataset.taxonomy);
     let seg_store = project_to_segments(&store, &dataset.taxonomy)
         .expect("simulated receipts reference cataloged products");
@@ -56,7 +59,12 @@ fn main() {
 
     // --- Table ------------------------------------------------------
     println!("\nFIG2: stability trajectory of the scripted defecting customer\n");
-    let mut table = Table::new(["month", "window", "stability", "explanation (lost products, share)"]);
+    let mut table = Table::new([
+        "month",
+        "window",
+        "stability",
+        "explanation (lost products, share)",
+    ]);
     for (point, expl) in analysis.points.iter().zip(&analysis.explanations) {
         let month = (point.window.raw() + 1) * w_months;
         let drop_note: String = expl

@@ -18,6 +18,10 @@ use attrition_util::Table;
 use std::time::Instant;
 
 fn main() {
+    // Record stage timings (windowing, scoring, …) while the sweep runs;
+    // one JSON breakdown per population size lands in results/.
+    attrition_obs::set_enabled(true);
+    let mut stage_breakdowns: Vec<(usize, String)> = Vec::new();
     let sizes = [250usize, 500, 1_000, 2_000, 4_000, 8_000];
     let w_months = 2u32;
     println!("\nSCALE: pipeline wall time by population size (2-month windows, α = 2)\n");
@@ -42,6 +46,7 @@ fn main() {
     ]);
 
     for &n in &sizes {
+        attrition_obs::global().reset();
         let mut cfg = ScenarioConfig::paper_default();
         cfg.n_loyal = n / 2;
         cfg.n_defectors = n / 2;
@@ -89,6 +94,7 @@ fn main() {
             &format!("{stability_ms:.1}"),
             &format!("{throughput:.0}"),
         ]);
+        stage_breakdowns.push((n, attrition_obs::global().snapshot().to_json()));
     }
     println!("{table}");
 
@@ -129,4 +135,13 @@ fn main() {
     }
     println!("{scaling}");
     write_result("scalability.csv", &csv.finish());
+    // Machine-readable stage breakdown, keyed by population size.
+    let entries: Vec<String> = stage_breakdowns
+        .iter()
+        .map(|(n, json)| format!("\"{n}\":{json}"))
+        .collect();
+    write_result(
+        "scalability_metrics.json",
+        &format!("{{{}}}\n", entries.join(",")),
+    );
 }

@@ -22,13 +22,13 @@
 //! per-window AUROC series for both models, and result-file output under
 //! `results/`.
 
+pub mod micro;
+
 use attrition_core::{StabilityEngine, StabilityMatrix, StabilityParams};
 use attrition_datagen::{GeneratedDataset, LabelSet, ScenarioConfig};
 use attrition_eval::auroc;
 use attrition_rfm::{out_of_fold_scores, RfmModel};
-use attrition_store::{
-    ReceiptStore, WindowAlignment, WindowSpec, WindowedDatabase,
-};
+use attrition_store::{ReceiptStore, WindowAlignment, WindowSpec, WindowedDatabase};
 use attrition_types::{CustomerId, WindowIndex};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -133,7 +133,10 @@ impl AurocPoint {
 }
 
 /// Per-window AUROC of the stability model (score = `1 − stability`).
-pub fn stability_auroc_series(prepared: &Prepared, windows: impl Iterator<Item = u32>) -> Vec<AurocPoint> {
+pub fn stability_auroc_series(
+    prepared: &Prepared,
+    windows: impl Iterator<Item = u32>,
+) -> Vec<AurocPoint> {
     windows
         .map(|k| {
             let pairs = prepared.matrix.attrition_scores_at(WindowIndex::new(k));
@@ -159,8 +162,7 @@ pub fn rfm_auroc_series(
         .map(|k| {
             let rows = model.features_at(&prepared.db, WindowIndex::new(k));
             let customers: Vec<CustomerId> = rows.iter().map(|(c, _)| *c).collect();
-            let features: Vec<attrition_rfm::RfmFeatures> =
-                rows.iter().map(|(_, f)| *f).collect();
+            let features: Vec<attrition_rfm::RfmFeatures> = rows.iter().map(|(_, f)| *f).collect();
             let labels = prepared.labels_for(&customers);
             let scores = out_of_fold_scores(&features, &labels, horizon_windows, k_folds, seed);
             AurocPoint::from_scores(k, prepared.month_of_window_end(k), &labels, &scores)

@@ -1,0 +1,233 @@
+//! Minimal in-repo microbenchmark harness.
+//!
+//! Replaces the previous Criterion benches with something that builds
+//! offline: the `[[bench]]` targets under `benches/` keep
+//! `harness = false` and drive this runner from their `main`.
+//!
+//! Per benchmark the runner (1) calibrates an iteration count so one
+//! measurement round lasts roughly [`Runner::round_target`], (2) runs a
+//! warm-up round, (3) measures [`Runner::rounds`] rounds, and (4) prints
+//! the per-iteration minimum / mean / maximum. The minimum is the
+//! headline number: noise from scheduling is strictly additive, so the
+//! fastest round is the best estimate of the true cost.
+//!
+//! Set `ATTRITION_BENCH_QUICK=1` to shrink the time budget ~10× for
+//! smoke runs.
+
+use attrition_util::Table;
+use std::time::{Duration, Instant};
+
+/// Re-export so bench targets don't reach into `std::hint` themselves.
+pub use std::hint::black_box;
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name within its group.
+    pub name: String,
+    /// Iterations per measured round.
+    pub iters: u64,
+    /// Fastest per-iteration time over the measured rounds, in ns.
+    pub min_ns: f64,
+    /// Mean per-iteration time, in ns.
+    pub mean_ns: f64,
+    /// Slowest per-iteration time, in ns.
+    pub max_ns: f64,
+    /// Optional elements-per-iteration for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Elements per second at the minimum per-iteration time.
+    pub fn throughput(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 / (self.min_ns * 1e-9))
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2} M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} K/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} /s")
+    }
+}
+
+/// Runs and reports one group of benchmarks.
+pub struct Runner {
+    group: String,
+    round_target: Duration,
+    rounds: u32,
+    results: Vec<Measurement>,
+}
+
+impl Runner {
+    /// New runner for a named benchmark group.
+    pub fn group(name: &str) -> Runner {
+        let quick = std::env::var("ATTRITION_BENCH_QUICK").is_ok_and(|v| v != "0");
+        Runner {
+            group: name.to_owned(),
+            round_target: if quick {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(100)
+            },
+            rounds: if quick { 2 } else { 5 },
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the per-round time budget.
+    pub fn round_target(mut self, target: Duration) -> Runner {
+        self.round_target = target;
+        self
+    }
+
+    /// Override the number of measured rounds.
+    pub fn rounds(mut self, rounds: u32) -> Runner {
+        assert!(rounds > 0);
+        self.rounds = rounds;
+        self
+    }
+
+    /// Measure `f`, reporting per-iteration times under `name`.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &Measurement {
+        self.bench_inner(name, None, f)
+    }
+
+    /// Measure `f` which processes `elements` items per call; the report
+    /// adds a throughput column.
+    pub fn bench_throughput<T>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        f: impl FnMut() -> T,
+    ) -> &Measurement {
+        self.bench_inner(name, Some(elements), f)
+    }
+
+    fn bench_inner<T>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) -> &Measurement {
+        // Calibrate: double the iteration count until one round exceeds
+        // a quarter of the target, then scale to the target.
+        let mut iters = 1u64;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.round_target / 4 || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 2;
+        };
+        let iters = ((self.round_target.as_nanos() as f64 / per_iter_ns.max(1.0)).ceil() as u64)
+            .clamp(1, 1 << 30);
+
+        // Warm-up round (not recorded), then measured rounds.
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.rounds as usize);
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let min_ns = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_ns = per_iter.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        self.results.push(Measurement {
+            name: name.to_owned(),
+            iters,
+            min_ns,
+            mean_ns,
+            max_ns,
+            elements,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// Completed measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print the group's results as an aligned table.
+    pub fn report(&self) {
+        let mut table = Table::new(["benchmark", "iters", "min", "mean", "max", "throughput"]);
+        for m in &self.results {
+            table.row([
+                m.name.clone(),
+                m.iters.to_string(),
+                fmt_ns(m.min_ns),
+                fmt_ns(m.mean_ns),
+                fmt_ns(m.max_ns),
+                m.throughput().map(fmt_rate).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        println!("\n== {} ==\n{table}", self.group);
+    }
+}
+
+impl Drop for Runner {
+    fn drop(&mut self) {
+        if !self.results.is_empty() {
+            self.report();
+            self.results.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut runner = Runner::group("test")
+            .round_target(Duration::from_millis(2))
+            .rounds(2);
+        let m = runner.bench("sum", || (0..100u64).sum::<u64>()).clone();
+        assert!(m.iters >= 1);
+        assert!(m.min_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+        let t = runner
+            .bench_throughput("sum_tp", 100, || (0..100u64).sum::<u64>())
+            .clone();
+        assert!(t.throughput().unwrap() > 0.0);
+        assert_eq!(runner.results().len(), 2);
+        runner.results.clear(); // silence the drop report in test output
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(4_500.0), "4.50 µs");
+        assert_eq!(fmt_ns(7_800_000.0), "7.80 ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.000 s");
+        assert_eq!(fmt_rate(2_000_000.0), "2.00 M/s");
+        assert_eq!(fmt_rate(1_500.0), "1.5 K/s");
+        assert_eq!(fmt_rate(12.0), "12.0 /s");
+    }
+}

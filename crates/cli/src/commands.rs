@@ -18,9 +18,13 @@ use std::path::Path;
 
 type CliResult = Result<(), Box<dyn Error>>;
 
+/// Flags every subcommand accepts, appended to each command's help.
+const GLOBAL_FLAGS_HELP: &str = "\n\nGLOBAL FLAGS:\n    \
+    --metrics[=text|json]  print pipeline metrics after the command (default text)";
+
 /// Per-command help text.
 pub fn help_for(command: &str) -> String {
-    match command {
+    let body: String = match command {
         "generate" => "\
 attrition generate — synthesize a dataset
 
@@ -100,11 +104,13 @@ FLAGS:
     --window N          window length in months (default 2)
     --warmup N          windows to skip before alerting (default 3)"
             .into(),
-        other => format!("no detailed help for {other:?}; run `attrition help`"),
-    }
+        other => return format!("no detailed help for {other:?}; run `attrition help`"),
+    };
+    format!("{body}{GLOBAL_FLAGS_HELP}")
 }
 
 fn load_store(path: &str) -> Result<ReceiptStore, Box<dyn Error>> {
+    let _stage = attrition_obs::Stage::enter("ingest");
     let bytes =
         std::fs::read(path).map_err(|e| format!("cannot read receipts file {path}: {e}"))?;
     // Auto-detect: binary columnar files carry a magic header.
@@ -278,7 +284,9 @@ pub fn explain(args: &Args) -> CliResult {
     let windows = db.customer(customer)?;
     let analysis = analyze_customer(windows, params, top);
 
-    println!("stability trajectory of customer {customer} (α = {alpha}, {w_months}-month windows):\n");
+    println!(
+        "stability trajectory of customer {customer} (α = {alpha}, {w_months}-month windows):\n"
+    );
     let mut table = Table::new(["window", "stability", "lost products (share)"]);
     for (point, expl) in analysis.points.iter().zip(&analysis.explanations) {
         let lost: Vec<String> = expl

@@ -32,7 +32,10 @@ pub fn labels_from_csv(text: &str) -> Result<LabelSet, String> {
             continue;
         }
         if fields.len() != 3 {
-            return Err(format!("line {line}: expected 3 fields, got {}", fields.len()));
+            return Err(format!(
+                "line {line}: expected 3 fields, got {}",
+                fields.len()
+            ));
         }
         let customer: u64 = fields[0]
             .parse()

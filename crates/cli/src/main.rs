@@ -23,8 +23,10 @@
 mod args;
 mod commands;
 mod labels_csv;
+mod metrics;
 
 use args::Args;
+use metrics::MetricsMode;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -42,6 +44,11 @@ COMMANDS:
     export     write stability scores and explanations as CSV files
     monitor    replay receipts through the streaming monitor, printing alerts
     help       show this message
+
+GLOBAL FLAGS:
+    --metrics[=text|json]   print pipeline metrics (stage timings, counters)
+                            after the command; `json` emits one machine-readable
+                            line as the final stdout output
 
 Run `attrition <COMMAND> --help` for the command's flags.";
 
@@ -67,6 +74,16 @@ fn main() -> ExitCode {
         eprintln!("error: unexpected positional argument {stray:?} (all inputs are flags)");
         return ExitCode::FAILURE;
     }
+    let metrics_mode = match MetricsMode::from_flag(parsed.get("metrics")) {
+        Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if metrics_mode.is_on() {
+        attrition_obs::set_enabled(true);
+    }
     let result = match command.as_str() {
         "generate" => commands::generate(&parsed),
         "stats" => commands::stats(&parsed),
@@ -85,7 +102,13 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if metrics_mode.is_on() {
+                let report = attrition_obs::global().snapshot();
+                println!("{}", metrics::render(&report, metrics_mode));
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -1,0 +1,162 @@
+//! `--metrics[=text|json]` support.
+//!
+//! Every subcommand accepts the flag: `main` enables the observability
+//! layer before dispatching and renders the collected registry after
+//! the command succeeds — as a human-readable set of tables (`text`,
+//! the default) or as one compact JSON object on the last stdout line
+//! (`json`, for scripting).
+
+use attrition_obs::MetricsReport;
+use attrition_util::table::fmt_f64;
+use attrition_util::Table;
+
+/// Requested metrics output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Flag absent: observability stays disabled.
+    Off,
+    /// Bare `--metrics` or `--metrics=text`.
+    Text,
+    /// `--metrics=json`.
+    Json,
+}
+
+impl MetricsMode {
+    /// Interpret the raw `--metrics` flag value (`None` = flag absent;
+    /// the parser stores `"true"` for a bare boolean flag).
+    pub fn from_flag(value: Option<&str>) -> Result<MetricsMode, String> {
+        match value {
+            None => Ok(MetricsMode::Off),
+            Some("true") | Some("text") => Ok(MetricsMode::Text),
+            Some("json") => Ok(MetricsMode::Json),
+            Some(other) => Err(format!(
+                "flag --metrics has invalid value {other:?} (expected text or json)"
+            )),
+        }
+    }
+
+    /// Whether metric recording should be enabled.
+    pub fn is_on(self) -> bool {
+        !matches!(self, MetricsMode::Off)
+    }
+}
+
+/// Render the snapshot per the mode. `Off` renders nothing; `Json` is a
+/// single line; `Text` is a set of tables, one per metric kind.
+pub fn render(report: &MetricsReport, mode: MetricsMode) -> String {
+    match mode {
+        MetricsMode::Off => String::new(),
+        MetricsMode::Json => report.to_json(),
+        MetricsMode::Text => render_text(report),
+    }
+}
+
+fn render_text(report: &MetricsReport) -> String {
+    let mut out = String::from("── pipeline metrics ──\n");
+    let stages = report.stages();
+    if !stages.is_empty() {
+        let mut table = Table::new(["stage", "calls", "total ms", "mean ms", "min ms", "max ms"]);
+        for s in &stages {
+            table.row([
+                s.path.clone(),
+                s.calls.to_string(),
+                fmt_f64(s.total_ms, 3),
+                fmt_f64(s.mean_ms, 3),
+                fmt_f64(s.min_ms, 3),
+                fmt_f64(s.max_ms, 3),
+            ]);
+        }
+        out.push_str(&format!("\n{table}\n"));
+    }
+    if !report.counters.is_empty() {
+        let mut table = Table::new(["counter", "value"]);
+        for (name, value) in &report.counters {
+            table.row([name.clone(), value.to_string()]);
+        }
+        out.push_str(&format!("\n{table}\n"));
+    }
+    if !report.gauges.is_empty() {
+        let mut table = Table::new(["gauge", "value"]);
+        for (name, value) in &report.gauges {
+            table.row([name.clone(), value.to_string()]);
+        }
+        out.push_str(&format!("\n{table}\n"));
+    }
+    // Stage timings already rendered above; list only plain histograms.
+    let histograms: Vec<_> = report
+        .histograms
+        .iter()
+        .filter(|h| !h.name.starts_with(attrition_obs::timer::STAGE_PREFIX))
+        .collect();
+    if !histograms.is_empty() {
+        let mut table = Table::new(["histogram", "count", "mean ms", "min ms", "max ms"]);
+        for h in histograms {
+            table.row([
+                h.name.clone(),
+                h.count.to_string(),
+                fmt_f64(h.mean, 3),
+                fmt_f64(h.min, 3),
+                fmt_f64(h.max, 3),
+            ]);
+        }
+        out.push_str(&format!("\n{table}\n"));
+    }
+    if report.is_empty() {
+        out.push_str("\n(no metrics were recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(MetricsMode::from_flag(None).unwrap(), MetricsMode::Off);
+        assert_eq!(
+            MetricsMode::from_flag(Some("true")).unwrap(),
+            MetricsMode::Text
+        );
+        assert_eq!(
+            MetricsMode::from_flag(Some("text")).unwrap(),
+            MetricsMode::Text
+        );
+        assert_eq!(
+            MetricsMode::from_flag(Some("json")).unwrap(),
+            MetricsMode::Json
+        );
+        assert!(MetricsMode::from_flag(Some("yaml")).is_err());
+        assert!(!MetricsMode::Off.is_on());
+        assert!(MetricsMode::Text.is_on());
+        assert!(MetricsMode::Json.is_on());
+    }
+
+    #[test]
+    fn render_modes() {
+        let report = MetricsReport {
+            counters: vec![("store.rows_read".into(), 42)],
+            gauges: vec![("core.scoring.threads".into(), 4)],
+            histograms: Vec::new(),
+        };
+        assert_eq!(render(&report, MetricsMode::Off), "");
+        let json = render(&report, MetricsMode::Json);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"store.rows_read\":42"));
+        let text = render(&report, MetricsMode::Text);
+        assert!(text.contains("pipeline metrics"));
+        assert!(text.contains("store.rows_read"));
+        assert!(text.contains("core.scoring.threads"));
+    }
+
+    #[test]
+    fn empty_report_text_says_so() {
+        let report = MetricsReport {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let text = render(&report, MetricsMode::Text);
+        assert!(text.contains("no metrics were recorded"));
+    }
+}

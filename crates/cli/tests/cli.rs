@@ -64,7 +64,9 @@ fn unknown_command_fails() {
 
 #[test]
 fn help_flag_succeeds_per_command() {
-    for cmd in ["generate", "stats", "evaluate", "explain", "rank", "export", "monitor"] {
+    for cmd in [
+        "generate", "stats", "evaluate", "explain", "rank", "export", "monitor",
+    ] {
         let out = run(&[cmd, "--help"]);
         assert!(out.status.success(), "{cmd} --help failed");
         assert!(stdout(&out).contains("FLAGS"), "{cmd} help lacks FLAGS");
@@ -235,7 +237,13 @@ fn invalid_alpha_rejected() {
 #[test]
 fn generate_rejects_bad_preset_and_onset() {
     let dir = temp_dir("badgen");
-    let out = run(&["generate", "--out", dir.to_str().unwrap(), "--preset", "huge"]);
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--preset",
+        "huge",
+    ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("preset"));
     let out2 = run(&[
@@ -250,4 +258,260 @@ fn generate_rejects_bad_preset_and_onset() {
     assert!(!out2.status.success());
     assert!(stderr(&out2).contains("onset"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ── `--metrics` observability flag ──────────────────────────────────
+
+/// Minimal JSON value — just enough structure to validate the metrics
+/// export and pull out individual numbers (the workspace is
+/// dependency-free, so no serde here). The parser keeps every payload
+/// so malformed output fails loudly; only `Num` is read back by the
+/// assertions, hence the `allow`.
+#[derive(Debug)]
+#[allow(dead_code)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Strict recursive-descent parser; errors on trailing garbage.
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {c:?} at {pos}, found {:?}", b.get(*pos)))
+    }
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ':')?;
+                entries.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    other => return Err(format!("expected , or }} found {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected , or ] found {other:?}")),
+                }
+            }
+        }
+        Some('"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some('t') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some('f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some('n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && (b[*pos].is_ascii_digit() || "+-.eE".contains(b[*pos])) {
+                *pos += 1;
+            }
+            let raw: String = b[start..*pos].iter().collect();
+            raw.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {raw:?}"))
+        }
+        other => Err(format!("unexpected {other:?} at {pos}")),
+    }
+}
+
+fn parse_lit(b: &[char], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    for c in lit.chars() {
+        expect(b, pos, c)?;
+    }
+    Ok(value)
+}
+
+fn parse_string(b: &[char], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, '"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = b.get(*pos).copied().ok_or("truncated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' | '\\' | '/' => out.push(esc),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = b[*pos..(*pos + 4).min(b.len())].iter().collect();
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape \\{other}")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[test]
+fn metrics_json_reports_pipeline_stages_and_row_counts() {
+    let dir = temp_dir("metricsjson");
+    generate_dataset(&dir);
+    let receipts = dir.join("receipts.csv");
+    let out = run(&[
+        "rank",
+        "--receipts",
+        receipts.to_str().unwrap(),
+        "--taxonomy",
+        dir.join("taxonomy.csv").to_str().unwrap(),
+        "--metrics=json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // The JSON report is the final non-empty stdout line.
+    let text = stdout(&out);
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .expect("stdout has a metrics line");
+    let report = parse_json(line).unwrap_or_else(|e| panic!("metrics JSON invalid: {e}\n{line}"));
+
+    // Ingest and scoring stages ran, each with non-zero wall time.
+    for stage in ["ingest", "scoring", "windowing"] {
+        let s = report
+            .get("stages")
+            .and_then(|v| v.get(stage))
+            .unwrap_or_else(|| panic!("stage {stage:?} missing: {line}"));
+        assert!(s.get("calls").and_then(Json::num).unwrap_or(0.0) >= 1.0);
+        let total = s.get("total_ms").and_then(Json::num).unwrap();
+        assert!(total > 0.0, "stage {stage} total_ms = {total}");
+    }
+
+    // Rows-read counter matches the input CSV's data-row count.
+    let csv = std::fs::read_to_string(&receipts).unwrap();
+    let data_rows = csv.lines().filter(|l| !l.trim().is_empty()).count() - 1; // header
+    let rows_read = report
+        .get("counters")
+        .and_then(|c| c.get("store.rows_read"))
+        .and_then(Json::num)
+        .expect("store.rows_read counter");
+    assert_eq!(rows_read as usize, data_rows);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_text_prints_stage_table() {
+    let dir = temp_dir("metricstext");
+    generate_dataset(&dir);
+    let out = run(&[
+        "stats",
+        "--receipts",
+        dir.join("receipts.csv").to_str().unwrap(),
+        "--metrics",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("pipeline metrics"),
+        "no metrics block:\n{text}"
+    );
+    assert!(text.contains("ingest"));
+    assert!(text.contains("store.rows_read"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_off_prints_no_metrics() {
+    let dir = temp_dir("metricsoff");
+    generate_dataset(&dir);
+    let out = run(&[
+        "stats",
+        "--receipts",
+        dir.join("receipts.csv").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("pipeline metrics"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_rejects_unknown_format() {
+    let out = run(&["stats", "--receipts", "x.csv", "--metrics=yaml"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--metrics"));
 }

@@ -49,8 +49,16 @@ pub fn cohort_curves(
             }
             CohortPoint {
                 window,
-                cohort_mean: if c_n > 0 { c_sum / c_n as f64 } else { f64::NAN },
-                rest_mean: if r_n > 0 { r_sum / r_n as f64 } else { f64::NAN },
+                cohort_mean: if c_n > 0 {
+                    c_sum / c_n as f64
+                } else {
+                    f64::NAN
+                },
+                rest_mean: if r_n > 0 {
+                    r_sum / r_n as f64
+                } else {
+                    f64::NAN
+                },
                 cohort_count: c_n,
                 rest_count: r_n,
             }

@@ -61,12 +61,23 @@ impl StabilityEngine {
 
     /// Score every customer of `db`.
     pub fn compute(&self, db: &WindowedDatabase) -> StabilityMatrix {
+        let _stage = attrition_obs::Stage::enter("scoring");
         let customers = db.customers();
         let n_threads = self.effective_threads(customers.len());
-        let analyses: Vec<CustomerAnalysis> = if n_threads <= 1 || customers.len() < 32 {
+        let serial = n_threads <= 1 || customers.len() < 32;
+        if attrition_obs::enabled() {
+            attrition_obs::global()
+                .gauge("core.scoring.threads")
+                .set(if serial { 1 } else { n_threads as i64 });
+        }
+        let analyses: Vec<CustomerAnalysis> = if serial {
+            let mut telemetry = attrition_obs::ThreadTelemetry::start("core.scoring");
             customers
                 .iter()
-                .map(|w| analyze_customer(w, self.params, self.max_explanations))
+                .map(|w| {
+                    telemetry.add_items(1);
+                    analyze_customer(w, self.params, self.max_explanations)
+                })
                 .collect()
         } else {
             let chunk_size = customers.len().div_ceil(n_threads);
@@ -75,9 +86,14 @@ impl StabilityEngine {
                     .chunks(chunk_size)
                     .map(|chunk| {
                         scope.spawn(move || {
+                            let mut telemetry =
+                                attrition_obs::ThreadTelemetry::start("core.scoring");
                             chunk
                                 .iter()
-                                .map(|w| analyze_customer(w, self.params, self.max_explanations))
+                                .map(|w| {
+                                    telemetry.add_items(1);
+                                    analyze_customer(w, self.params, self.max_explanations)
+                                })
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -89,6 +105,11 @@ impl StabilityEngine {
                 out
             })
         };
+        if attrition_obs::enabled() {
+            attrition_obs::global()
+                .counter("core.scoring.customers_scored")
+                .add(analyses.len() as u64);
+        }
         StabilityMatrix {
             num_windows: db.num_windows,
             analyses,
@@ -145,7 +166,8 @@ impl StabilityMatrix {
 
     /// The explanation of one customer at one window.
     pub fn explanation(&self, id: CustomerId, k: WindowIndex) -> Option<&WindowExplanation> {
-        self.customer(id).and_then(|a| a.explanations.get(k.index()))
+        self.customer(id)
+            .and_then(|a| a.explanations.get(k.index()))
     }
 
     /// The `limit` most at-risk customers at window `k` (highest
@@ -197,7 +219,12 @@ mod tests {
                 b.push(Receipt::new(
                     CustomerId::new(c),
                     date,
-                    Basket::new(items.into_iter().map(attrition_types::ItemId::new).collect()),
+                    Basket::new(
+                        items
+                            .into_iter()
+                            .map(attrition_types::ItemId::new)
+                            .collect(),
+                    ),
                     Cents(100),
                 ));
             }
@@ -267,8 +294,12 @@ mod tests {
         let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(5));
         assert!(matrix.customer(CustomerId::new(3)).is_some());
         assert!(matrix.customer(CustomerId::new(99)).is_none());
-        assert!(matrix.point(CustomerId::new(3), WindowIndex::new(0)).is_some());
-        assert!(matrix.point(CustomerId::new(3), WindowIndex::new(9)).is_none());
+        assert!(matrix
+            .point(CustomerId::new(3), WindowIndex::new(0))
+            .is_some());
+        assert!(matrix
+            .point(CustomerId::new(3), WindowIndex::new(9))
+            .is_none());
     }
 
     #[test]

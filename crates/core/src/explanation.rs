@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn material_filters_by_share() {
-        let e = expl(3, vec![lost(1, 8.0, 0.4), lost(2, 2.0, 0.1), lost(3, 1.0, 0.05)]);
+        let e = expl(
+            3,
+            vec![lost(1, 8.0, 0.4), lost(2, 2.0, 0.1), lost(3, 1.0, 0.05)],
+        );
         let material: Vec<u32> = e.material(0.1).map(|l| l.item.raw()).collect();
         assert_eq!(material, vec![1, 2]);
     }
@@ -159,9 +162,11 @@ mod tests {
 
     #[test]
     fn aggregation_counts_and_ranks() {
-        let explanations = [expl(5, vec![lost(1, 8.0, 0.5), lost(2, 2.0, 0.2)]),
+        let explanations = [
+            expl(5, vec![lost(1, 8.0, 0.5), lost(2, 2.0, 0.2)]),
             expl(6, vec![lost(1, 4.0, 0.3)]),
-            expl(5, vec![lost(2, 2.0, 0.25), lost(3, 1.0, 0.01)])];
+            expl(5, vec![lost(2, 2.0, 0.25), lost(3, 1.0, 0.01)]),
+        ];
         let drivers = aggregate_explanations(explanations.iter(), 0.05);
         // Item 3 filtered by min_share.
         assert_eq!(drivers.len(), 2);
@@ -180,8 +185,10 @@ mod tests {
 
     #[test]
     fn aggregation_tie_broken_by_item_id() {
-        let explanations = [expl(1, vec![lost(9, 1.0, 0.3)]),
-            expl(1, vec![lost(4, 1.0, 0.3)])];
+        let explanations = [
+            expl(1, vec![lost(9, 1.0, 0.3)]),
+            expl(1, vec![lost(4, 1.0, 0.3)]),
+        ];
         let drivers = aggregate_explanations(explanations.iter(), 0.0);
         assert_eq!(drivers[0].item, ItemId::new(4));
         assert_eq!(drivers[1].item, ItemId::new(9));

@@ -38,7 +38,14 @@ pub fn matrix_to_csv(matrix: &StabilityMatrix) -> String {
 /// keeping only losses with `share ≥ min_share`.
 pub fn explanations_to_csv(matrix: &StabilityMatrix, min_share: f64) -> String {
     let mut w = CsvWriter::new();
-    w.record(&["customer", "window", "rank", "item", "significance", "share"]);
+    w.record(&[
+        "customer",
+        "window",
+        "rank",
+        "item",
+        "significance",
+        "share",
+    ]);
     for analysis in matrix.analyses() {
         for expl in &analysis.explanations {
             for (rank, lost) in expl
@@ -98,8 +105,8 @@ mod tests {
             "customer,window,stability,present_significance,total_significance"
         );
         assert_eq!(lines.len(), 1 + 3); // header + 1 customer × 3 windows
-        // Window 2: item 2 missing → stability 4/(4+4) wait: S(1)=S(2)=4 at
-        // k=2 → 0.5.
+                                        // Window 2: item 2 missing → stability 4/(4+4) wait: S(1)=S(2)=4 at
+                                        // k=2 → 0.5.
         assert!(lines[3].starts_with("1,2,0.5"));
     }
 
@@ -107,10 +114,7 @@ mod tests {
     fn explanations_csv_lists_losses() {
         let csv = explanations_to_csv(&matrix(), 0.0);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(
-            lines[0],
-            "customer,window,rank,item,significance,share"
-        );
+        assert_eq!(lines[0], "customer,window,rank,item,significance,share");
         // Only window 2 has a loss (item 2).
         assert_eq!(lines.len(), 2);
         assert!(lines[1].starts_with("1,2,1,2,"));

@@ -101,13 +101,16 @@ impl StabilityMonitor {
         );
         let mut closed = Vec::new();
         while state.current_window < window.raw() {
-            closed.push(Self::close_one(
-                customer,
-                state,
-                self.max_explanations,
-            ));
+            closed.push(Self::close_one(customer, state, self.max_explanations));
         }
         state.pending.extend(basket.iter());
+        if attrition_obs::enabled() {
+            let registry = attrition_obs::global();
+            registry.counter("core.monitor.receipts_ingested").add(1);
+            registry
+                .counter("core.monitor.windows_closed")
+                .add(closed.len() as u64);
+        }
         closed
     }
 
@@ -185,7 +188,12 @@ impl StabilityMonitor {
                 .collect();
             items.sort_unstable_by_key(|(item, _)| *item);
             for (item, count) in items {
-                w.record(&["i", &id.raw().to_string(), &item.raw().to_string(), &count.to_string()]);
+                w.record(&[
+                    "i",
+                    &id.raw().to_string(),
+                    &item.raw().to_string(),
+                    &count.to_string(),
+                ]);
             }
             for item in &state.pending {
                 w.record(&["p", &id.raw().to_string(), &item.raw().to_string(), ""]);
@@ -205,9 +213,7 @@ impl StabilityMonitor {
         if header.len() != 5 || header[0] != "#monitor" {
             return Err("not a monitor checkpoint".into());
         }
-        let origin = Date::from_days(
-            header[1].parse().map_err(|_| "bad origin".to_string())?,
-        );
+        let origin = Date::from_days(header[1].parse().map_err(|_| "bad origin".to_string())?);
         let spec = match header[2].split_at(1) {
             ("d", days) => WindowSpec::days(origin, days.parse().map_err(|_| "bad length")?),
             ("m", months) => WindowSpec::months(origin, months.parse().map_err(|_| "bad length")?),
@@ -215,9 +221,11 @@ impl StabilityMonitor {
         };
         let alpha: f64 = header[3].parse().map_err(|_| "bad alpha".to_string())?;
         let params = StabilityParams::new(alpha).map_err(|e| e.to_string())?;
-        let max_explanations: usize =
-            header[4].parse().map_err(|_| "bad max_explanations".to_string())?;
-        let mut monitor = StabilityMonitor::new(spec, params).with_max_explanations(max_explanations);
+        let max_explanations: usize = header[4]
+            .parse()
+            .map_err(|_| "bad max_explanations".to_string())?;
+        let mut monitor =
+            StabilityMonitor::new(spec, params).with_max_explanations(max_explanations);
         for (idx, record) in lines.enumerate() {
             let row = record.ok_or_else(|| format!("malformed row {}", idx + 2))?;
             let customer = CustomerId::new(
@@ -227,8 +235,7 @@ impl StabilityMonitor {
             );
             match row.first().map(String::as_str) {
                 Some("c") => {
-                    let current_window: u32 =
-                        row[2].parse().map_err(|_| "bad current_window")?;
+                    let current_window: u32 = row[2].parse().map_err(|_| "bad current_window")?;
                     let windows: u32 = row[3].parse().map_err(|_| "bad windows")?;
                     let mut tracker = SignificanceTracker::new(params);
                     // Advance the window counter with empty observations;
@@ -318,10 +325,7 @@ mod tests {
     }
 
     fn monitor() -> StabilityMonitor {
-        StabilityMonitor::new(
-            WindowSpec::months(d(2012, 5, 1), 1),
-            StabilityParams::PAPER,
-        )
+        StabilityMonitor::new(WindowSpec::months(d(2012, 5, 1), 1), StabilityParams::PAPER)
     }
 
     fn b(raw: &[u32]) -> Basket {
@@ -442,7 +446,10 @@ mod tests {
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].customer, CustomerId::new(1));
         // Customer 2 still pending.
-        assert_eq!(m.preview(CustomerId::new(2)).unwrap().window, WindowIndex::new(0));
+        assert_eq!(
+            m.preview(CustomerId::new(2)).unwrap().window,
+            WindowIndex::new(0)
+        );
         assert_eq!(m.num_customers(), 2);
     }
 

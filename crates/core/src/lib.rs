@@ -45,13 +45,13 @@ pub mod variants;
 
 pub use classifier::StabilityClassifier;
 pub use cohort::{cohort_curves, flag_rate_per_window, CohortPoint};
-pub use engine::{StabilityMatrix, StabilityEngine};
+pub use engine::{StabilityEngine, StabilityMatrix};
 pub use explanation::{aggregate_explanations, LostProduct, SegmentDriver, WindowExplanation};
 pub use export::{explanations_to_csv, matrix_to_csv};
 pub use incremental::StabilityMonitor;
 pub use params::StabilityParams;
 pub use recovery::{detect_recoveries, RegainedProduct, WindowRecovery};
-pub use trajectory::{faded_items, significance_trajectories, ItemTrajectory};
 pub use significance::SignificanceTracker;
 pub use stability::{analyze_customer, stability_series, CustomerAnalysis, StabilityPoint};
+pub use trajectory::{faded_items, significance_trajectories, ItemTrajectory};
 pub use variants::{stability_series_variant, SignificanceVariant, VariantTracker};

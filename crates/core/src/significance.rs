@@ -160,7 +160,8 @@ impl SignificanceTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use attrition_util::check::{forall, gen_vec};
+    use attrition_util::Rng;
 
     fn b(raw: &[u32]) -> Basket {
         Basket::from_raw(raw)
@@ -284,42 +285,111 @@ mod tests {
         assert_eq!(t.significance(ItemId::new(1)), 9.0);
     }
 
-    proptest! {
-        /// Significance is monotone in c for fixed k: more occurrences ⇒
-        /// at least as significant.
-        #[test]
-        fn monotone_in_occurrences(histories in proptest::collection::vec(
-            proptest::collection::vec(0u32..6, 0..4), 1..12)) {
-            let mut t = tracker();
-            for u in &histories {
-                t.observe_window(&b(u));
-            }
-            let mut rows: Vec<(u32, f64)> = t
-                .tracked_items()
-                .filter(|(_, c, _, _)| *c > 0)
-                .map(|(_, c, _, s)| (c, s))
-                .collect();
-            rows.sort_by_key(|r| r.0);
-            for pair in rows.windows(2) {
-                prop_assert!(pair[1].1 >= pair[0].1,
-                    "c={} S={} vs c={} S={}", pair[0].0, pair[0].1, pair[1].0, pair[1].1);
-            }
-        }
+    fn gen_history(
+        rng: &mut Rng,
+        item_bound: u64,
+        max_items: usize,
+        max_len: usize,
+    ) -> Vec<Vec<u32>> {
+        gen_vec(rng, 1, max_len, |r| {
+            gen_vec(r, 0, max_items, |rr| rr.u64_below(item_bound) as u32)
+        })
+    }
 
-        /// total == Σ significance over tracked items, and present ≤ total.
-        #[test]
-        fn totals_consistent(histories in proptest::collection::vec(
-            proptest::collection::vec(0u32..8, 0..5), 1..10),
-            probe in proptest::collection::vec(0u32..8, 0..5)) {
-            let mut t = tracker();
-            for u in &histories {
-                t.observe_window(&b(u));
-            }
-            let manual: f64 = t.tracked_items().map(|(_, _, _, s)| s).sum();
-            prop_assert!((t.total_significance() - manual).abs() < 1e-9);
-            let present = t.present_significance(&b(&probe));
-            prop_assert!(present <= t.total_significance() + 1e-9);
-            prop_assert!(present >= 0.0);
-        }
+    /// Significance is monotone in c for fixed k: more occurrences ⇒
+    /// at least as significant.
+    #[test]
+    fn monotone_in_occurrences() {
+        forall(
+            256,
+            |rng| gen_history(rng, 6, 3, 11),
+            |histories| {
+                let mut t = tracker();
+                for u in histories {
+                    t.observe_window(&b(u));
+                }
+                let mut rows: Vec<(u32, f64)> = t
+                    .tracked_items()
+                    .filter(|(_, c, _, _)| *c > 0)
+                    .map(|(_, c, _, s)| (c, s))
+                    .collect();
+                rows.sort_by_key(|r| r.0);
+                for pair in rows.windows(2) {
+                    assert!(
+                        pair[1].1 >= pair[0].1,
+                        "c={} S={} vs c={} S={}",
+                        pair[0].0,
+                        pair[0].1,
+                        pair[1].0,
+                        pair[1].1
+                    );
+                }
+            },
+        );
+    }
+
+    /// total == Σ significance over tracked items, and present ≤ total.
+    #[test]
+    fn totals_consistent() {
+        forall(
+            256,
+            |rng| {
+                (
+                    gen_history(rng, 8, 4, 9),
+                    gen_vec(rng, 0, 4, |r| r.u64_below(8) as u32),
+                )
+            },
+            |(histories, probe)| {
+                let mut t = tracker();
+                for u in histories {
+                    t.observe_window(&b(u));
+                }
+                let manual: f64 = t.tracked_items().map(|(_, _, _, s)| s).sum();
+                assert!((t.total_significance() - manual).abs() < 1e-9);
+                let present = t.present_significance(&b(probe));
+                assert!(present <= t.total_significance() + 1e-9);
+                assert!(present >= 0.0);
+            },
+        );
+    }
+
+    /// The recurrence the paper's S(p,k) = α^(c−l) obeys, checked on
+    /// arbitrary histories for an arbitrary probe item:
+    ///
+    /// 1. S is exactly 0 until the first window containing p;
+    /// 2. a window containing p strictly increases S;
+    /// 3. a window missing p (after the first purchase) strictly decays
+    ///    S but never takes it below 0.
+    #[test]
+    fn recurrence_follows_purchases() {
+        forall(
+            512,
+            |rng| {
+                let probe = rng.u64_below(4) as u32;
+                (probe, gen_history(rng, 4, 3, 16))
+            },
+            |(probe, histories)| {
+                let item = ItemId::new(*probe);
+                let mut t = tracker();
+                let mut seen = false;
+                let mut prev = t.significance(item);
+                assert_eq!(prev, 0.0, "fresh tracker must score 0");
+                for u in histories {
+                    let contains = u.contains(probe);
+                    t.observe_window(&b(u));
+                    let s = t.significance(item);
+                    seen |= contains;
+                    if !seen {
+                        assert_eq!(s, 0.0, "no purchase yet, S must stay 0");
+                    } else if contains {
+                        assert!(s > prev, "purchase must raise S: {prev} -> {s}");
+                    } else {
+                        assert!(s >= 0.0, "S must never go negative: {s}");
+                        assert!(s < prev, "absence must decay S: {prev} -> {s}");
+                    }
+                    prev = s;
+                }
+            },
+        );
     }
 }

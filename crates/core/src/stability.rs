@@ -128,7 +128,7 @@ mod tests {
     use super::*;
     use attrition_store::WindowSpec;
     use attrition_types::{Basket, CustomerId, Date, ItemId};
-    use proptest::prelude::*;
+    use attrition_util::check::{forall, gen_vec};
 
     /// Build a CustomerWindows directly from item-set literals.
     fn windows_of(sets: &[&[u32]]) -> CustomerWindows {
@@ -265,28 +265,41 @@ mod tests {
         assert_eq!(series[3].value, 1.0); // item returned: all of I present
     }
 
-    proptest! {
-        /// Stability is always within [0, 1].
-        #[test]
-        fn bounded(sets in proptest::collection::vec(
-            proptest::collection::vec(0u32..10, 0..6), 1..16)) {
-            let refs: Vec<&[u32]> = sets.iter().map(|v| v.as_slice()).collect();
-            let w = windows_of(&refs);
-            for p in stability_series(&w, StabilityParams::PAPER) {
-                prop_assert!((0.0..=1.0).contains(&p.value), "value {}", p.value);
-                prop_assert!(p.present_significance <= p.total_significance + 1e-9);
-            }
-        }
+    /// Stability is always within [0, 1].
+    #[test]
+    fn bounded() {
+        forall(
+            256,
+            |rng| {
+                gen_vec(rng, 1, 15, |r| {
+                    gen_vec(r, 0, 5, |rr| rr.u64_below(10) as u32)
+                })
+            },
+            |sets| {
+                let refs: Vec<&[u32]> = sets.iter().map(|v| v.as_slice()).collect();
+                let w = windows_of(&refs);
+                for p in stability_series(&w, StabilityParams::PAPER) {
+                    assert!((0.0..=1.0).contains(&p.value), "value {}", p.value);
+                    assert!(p.present_significance <= p.total_significance + 1e-9);
+                }
+            },
+        );
+    }
 
-        /// Repeating the full repertoire every window keeps stability at 1
-        /// regardless of α.
-        #[test]
-        fn constant_repertoire_invariant(alpha in 1.01f64..8.0, n in 1usize..20) {
-            let w = windows_of(&vec![[3u32, 4, 5].as_slice(); n]);
-            let params = StabilityParams::new(alpha).unwrap();
-            for p in stability_series(&w, params) {
-                prop_assert!((p.value - 1.0).abs() < 1e-12);
-            }
-        }
+    /// Repeating the full repertoire every window keeps stability at 1
+    /// regardless of α.
+    #[test]
+    fn constant_repertoire_invariant() {
+        forall(
+            128,
+            |rng| (rng.f64_in(1.01, 8.0), 1 + rng.usize_below(19)),
+            |&(alpha, n)| {
+                let w = windows_of(&vec![[3u32, 4, 5].as_slice(); n]);
+                let params = StabilityParams::new(alpha).unwrap();
+                for p in stability_series(&w, params) {
+                    assert!((p.value - 1.0).abs() < 1e-12);
+                }
+            },
+        );
     }
 }

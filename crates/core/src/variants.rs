@@ -113,10 +113,7 @@ impl VariantTracker {
 
     /// `Σ_p S(p,k)` over tracked items.
     pub fn total_significance(&self) -> f64 {
-        self.items
-            .keys()
-            .map(|&item| self.significance(item))
-            .sum()
+        self.items.keys().map(|&item| self.significance(item)).sum()
     }
 
     /// `Σ_{p∈u} S(p,k)`.
@@ -178,7 +175,7 @@ mod tests {
     use crate::stability::stability_series;
     use attrition_store::WindowSpec;
     use attrition_types::{Cents, CustomerId, Date};
-    use proptest::prelude::*;
+    use attrition_util::check::{forall, gen_vec};
 
     fn windows_of(sets: &[&[u32]]) -> CustomerWindows {
         CustomerWindows {
@@ -239,7 +236,10 @@ mod tests {
             "paper α=2"
         );
         assert_eq!(SignificanceVariant::FrequencyRatio.label(), "frequency c/k");
-        assert_eq!(SignificanceVariant::Ewma { lambda: 0.3 }.label(), "EWMA λ=0.3");
+        assert_eq!(
+            SignificanceVariant::Ewma { lambda: 0.3 }.label(),
+            "EWMA λ=0.3"
+        );
     }
 
     #[test]
@@ -254,37 +254,51 @@ mod tests {
         VariantTracker::new(SignificanceVariant::Ewma { lambda: 0.0 });
     }
 
-    proptest! {
-        /// Every variant keeps stability within [0, 1].
-        #[test]
-        fn all_variants_bounded(
-            sets in proptest::collection::vec(proptest::collection::vec(0u32..8, 0..5), 1..12),
-            which in 0usize..3,
-        ) {
-            let refs: Vec<&[u32]> = sets.iter().map(|v| v.as_slice()).collect();
-            let w = windows_of(&refs);
-            let variant = match which {
-                0 => SignificanceVariant::PaperExponential { alpha: 2.0 },
-                1 => SignificanceVariant::FrequencyRatio,
-                _ => SignificanceVariant::Ewma { lambda: 0.3 },
-            };
-            for p in stability_series_variant(&w, variant) {
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&p.value), "value {}", p.value);
-            }
-        }
+    /// Every variant keeps stability within [0, 1].
+    #[test]
+    fn all_variants_bounded() {
+        forall(
+            256,
+            |rng| {
+                (
+                    gen_vec(rng, 1, 11, |r| {
+                        gen_vec(r, 0, 4, |rr| rr.u64_below(8) as u32)
+                    }),
+                    rng.usize_below(3),
+                )
+            },
+            |(sets, which)| {
+                let refs: Vec<&[u32]> = sets.iter().map(|v| v.as_slice()).collect();
+                let w = windows_of(&refs);
+                let variant = match which {
+                    0 => SignificanceVariant::PaperExponential { alpha: 2.0 },
+                    1 => SignificanceVariant::FrequencyRatio,
+                    _ => SignificanceVariant::Ewma { lambda: 0.3 },
+                };
+                for p in stability_series_variant(&w, variant) {
+                    assert!((0.0..=1.0 + 1e-9).contains(&p.value), "value {}", p.value);
+                }
+            },
+        );
+    }
 
-        /// A perfectly repeating repertoire scores 1 under every variant.
-        #[test]
-        fn constant_repertoire_all_variants(n in 1usize..15, which in 0usize..3) {
-            let w = windows_of(&vec![[1u32, 2].as_slice(); n]);
-            let variant = match which {
-                0 => SignificanceVariant::PaperExponential { alpha: 2.0 },
-                1 => SignificanceVariant::FrequencyRatio,
-                _ => SignificanceVariant::Ewma { lambda: 0.5 },
-            };
-            for p in stability_series_variant(&w, variant) {
-                prop_assert!((p.value - 1.0).abs() < 1e-12);
-            }
-        }
+    /// A perfectly repeating repertoire scores 1 under every variant.
+    #[test]
+    fn constant_repertoire_all_variants() {
+        forall(
+            128,
+            |rng| (1 + rng.usize_below(14), rng.usize_below(3)),
+            |&(n, which)| {
+                let w = windows_of(&vec![[1u32, 2].as_slice(); n]);
+                let variant = match which {
+                    0 => SignificanceVariant::PaperExponential { alpha: 2.0 },
+                    1 => SignificanceVariant::FrequencyRatio,
+                    _ => SignificanceVariant::Ewma { lambda: 0.5 },
+                };
+                for p in stability_series_variant(&w, variant) {
+                    assert!((p.value - 1.0).abs() < 1e-12);
+                }
+            },
+        );
     }
 }

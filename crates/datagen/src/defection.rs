@@ -129,7 +129,11 @@ mod tests {
             ..DefectionPlan::standard(10)
         };
         plan.apply(&mut p, &mut Rng::seed_from_u64(2));
-        let kept = p.preferred.iter().filter(|i| i.drop_month.is_none()).count();
+        let kept = p
+            .preferred
+            .iter()
+            .filter(|i| i.drop_month.is_none())
+            .count();
         let rate = kept as f64 / 1000.0;
         assert!((rate - 0.5).abs() < 0.06, "kept rate {rate}");
     }

@@ -75,7 +75,10 @@ impl LabelSet {
 
     /// Number of defectors.
     pub fn num_defectors(&self) -> usize {
-        self.labels.iter().filter(|l| l.cohort.is_defector()).count()
+        self.labels
+            .iter()
+            .filter(|l| l.cohort.is_defector())
+            .count()
     }
 
     /// Number of loyal customers.
@@ -86,7 +89,9 @@ impl LabelSet {
     /// Iterate over `(customer, is_defector)` pairs — the binary label
     /// stream evaluation consumes (defector = positive class).
     pub fn binary_labels(&self) -> impl Iterator<Item = (CustomerId, bool)> + '_ {
-        self.labels.iter().map(|l| (l.customer, l.cohort.is_defector()))
+        self.labels
+            .iter()
+            .map(|l| (l.customer, l.cohort.is_defector()))
     }
 }
 
@@ -136,10 +141,7 @@ mod tests {
             label(1, Cohort::Loyal),
             label(2, Cohort::Defector { onset_month: 3 }),
         ]);
-        let pairs: Vec<(u64, bool)> = set
-            .binary_labels()
-            .map(|(c, d)| (c.raw(), d))
-            .collect();
+        let pairs: Vec<(u64, bool)> = set.binary_labels().map(|(c, d)| (c.raw(), d)).collect();
         assert_eq!(pairs, vec![(1, false), (2, true)]);
     }
 

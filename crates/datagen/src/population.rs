@@ -129,7 +129,10 @@ fn sample_profile(
     rng: &mut Rng,
 ) -> CustomerProfile {
     let (seg_lo, seg_hi) = behavior.core_segments;
-    assert!(seg_lo >= 1 && seg_hi >= seg_lo, "invalid core_segments range");
+    assert!(
+        seg_lo >= 1 && seg_hi >= seg_lo,
+        "invalid core_segments range"
+    );
     let target_segments = rng.i64_in(seg_lo as i64, seg_hi as i64) as usize;
     let target_segments = target_segments.min(taxonomy.num_segments());
 
@@ -182,7 +185,11 @@ fn sample_profile(
         .into_iter()
         .enumerate()
         .map(|(i, item)| {
-            let frac = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let frac = if n == 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64
+            };
             let base = p_hi - (p_hi - p_lo) * frac;
             let jitter = 0.05 * rng.normal();
             PreferredItem {

@@ -286,10 +286,7 @@ mod tests {
         assert_eq!(cfg.onset_window(2), 9);
         let spec = cfg.window_spec(2);
         assert_eq!(spec.window_start(0), Date::from_ymd(2012, 5, 1).unwrap());
-        assert_eq!(
-            spec.window_end(13),
-            Date::from_ymd(2014, 9, 1).unwrap()
-        );
+        assert_eq!(spec.window_end(13), Date::from_ymd(2014, 9, 1).unwrap());
     }
 
     #[test]

@@ -50,9 +50,8 @@ impl Simulator {
         assert!(taxonomy.num_products() > 0, "empty taxonomy");
         let exploration = Zipf::new(taxonomy.num_products(), self.exploration_zipf_s);
         // Rough pre-size: trips/month ≈ 4, so profiles × months × 4.
-        let mut builder = ReceiptStoreBuilder::with_capacity(
-            profiles.len() * self.n_months as usize * 4,
-        );
+        let mut builder =
+            ReceiptStoreBuilder::with_capacity(profiles.len() * self.n_months as usize * 4);
         for profile in profiles {
             self.simulate_customer(profile, taxonomy, &exploration, &mut builder);
         }
@@ -87,9 +86,7 @@ impl Simulator {
                         let segment = taxonomy
                             .segment_of(*brand)
                             .expect("core items come from the taxonomy");
-                        let siblings = taxonomy
-                            .products_in(segment)
-                            .expect("segment exists");
+                        let siblings = taxonomy.products_in(segment).expect("segment exists");
                         if siblings.len() > 1 {
                             *brand = *rng.choose(siblings).expect("non-empty");
                         }
@@ -202,11 +199,7 @@ mod tests {
         let mut saw_multipack = false;
         for r in store.receipts() {
             assert!(!r.items.is_empty());
-            let unit_sum: Cents = r
-                .items
-                .iter()
-                .map(|&i| tax.price_of(i).unwrap())
-                .sum();
+            let unit_sum: Cents = r.items.iter().map(|&i| tax.price_of(i).unwrap()).sum();
             // Quantities are ≥ 1 per line, so totals are at least the unit
             // sum and rarely more than a few multiples of it.
             assert!(r.total >= unit_sum, "total below unit prices");
@@ -312,14 +305,15 @@ mod tests {
         let mut before = (0usize, 0usize); // (core occurrences, baskets)
         let mut after = (0usize, 0usize);
         for profile in &pop.profiles {
-            let core: std::collections::HashSet<u32> = profile
-                .preferred
-                .iter()
-                .map(|p| p.item.raw())
-                .collect();
+            let core: std::collections::HashSet<u32> =
+                profile.preferred.iter().map(|p| p.item.raw()).collect();
             for r in store.customer_receipts(profile.customer).unwrap() {
                 let overlap = r.items.iter().filter(|i| core.contains(&i.raw())).count();
-                let slot = if r.date >= cutoff { &mut after } else { &mut before };
+                let slot = if r.date >= cutoff {
+                    &mut after
+                } else {
+                    &mut before
+                };
                 slot.0 += overlap;
                 slot.1 += 1;
             }
@@ -331,7 +325,6 @@ mod tests {
             "core rate before {rate_before:.2} vs after {rate_after:.2}"
         );
     }
-
 
     #[test]
     fn brand_switching_changes_products_not_segments() {
@@ -363,7 +356,10 @@ mod tests {
                 }
             }
         }
-        assert!(switches > 50, "expected visible brand switching, saw {switches}");
+        assert!(
+            switches > 50,
+            "expected visible brand switching, saw {switches}"
+        );
     }
 
     #[test]

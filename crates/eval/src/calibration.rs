@@ -44,7 +44,11 @@ pub struct ReliabilityBin {
 }
 
 /// Equal-width reliability diagram bins over `[0, 1]`.
-pub fn reliability_bins(labels: &[bool], probabilities: &[f64], bins: usize) -> Vec<ReliabilityBin> {
+pub fn reliability_bins(
+    labels: &[bool],
+    probabilities: &[f64],
+    bins: usize,
+) -> Vec<ReliabilityBin> {
     assert!(bins > 0, "need at least one bin");
     assert_eq!(
         labels.len(),

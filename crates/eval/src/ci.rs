@@ -204,8 +204,16 @@ pub fn delong_paired_test(
     scores_a: &[f64],
     scores_b: &[f64],
 ) -> Option<PairedDelong> {
-    assert_eq!(labels.len(), scores_a.len(), "labels/scores_a length mismatch");
-    assert_eq!(labels.len(), scores_b.len(), "labels/scores_b length mismatch");
+    assert_eq!(
+        labels.len(),
+        scores_a.len(),
+        "labels/scores_a length mismatch"
+    );
+    assert_eq!(
+        labels.len(),
+        scores_b.len(),
+        "labels/scores_b length mismatch"
+    );
     let idx_pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
     let idx_neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
     let (m, n) = (idx_pos.len(), idx_neg.len());

@@ -120,7 +120,7 @@ fn folds_from_groups(groups: &[Vec<usize>]) -> Vec<Fold> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use attrition_util::check::forall;
     use std::collections::HashSet;
 
     #[test]
@@ -204,19 +204,27 @@ mod tests {
         StratifiedKFold::new(&labels, 2, 0);
     }
 
-    proptest! {
-        #[test]
-        fn kfold_always_partitions(n in 4usize..80, k in 2usize..5, seed in 0u64..100) {
-            prop_assume!(k <= n);
-            let kf = KFold::new(n, k, seed);
-            let mut seen = vec![false; n];
-            for fold in kf.folds() {
-                for &i in &fold.test {
-                    prop_assert!(!seen[i]);
-                    seen[i] = true;
+    #[test]
+    fn kfold_always_partitions() {
+        forall(
+            256,
+            |rng| {
+                let n = 4 + rng.usize_below(76);
+                let k = 2 + rng.usize_below(3);
+                (n, k, rng.u64_below(100))
+            },
+            |&(n, k, seed)| {
+                // n ≥ 4 and k ≤ 4 keep k ≤ n by construction.
+                let kf = KFold::new(n, k, seed);
+                let mut seen = vec![false; n];
+                for fold in kf.folds() {
+                    for &i in &fold.test {
+                        assert!(!seen[i]);
+                        seen[i] = true;
+                    }
                 }
-            }
-            prop_assert!(seen.iter().all(|&s| s));
-        }
+                assert!(seen.iter().all(|&s| s));
+            },
+        );
     }
 }

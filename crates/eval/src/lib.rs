@@ -25,10 +25,10 @@ pub mod grid;
 pub mod pr;
 pub mod roc;
 
+pub use ci::{auroc_ci_bootstrap, auroc_ci_delong, delong_paired_test, AurocCi, PairedDelong};
 pub use confusion::ConfusionMatrix;
 pub use cv::{KFold, StratifiedKFold};
 pub use gains::{GainsCurve, GainsPoint};
 pub use grid::{grid_search, GridResult};
-pub use ci::{auroc_ci_bootstrap, auroc_ci_delong, delong_paired_test, AurocCi, PairedDelong};
 pub use pr::{average_precision, PrCurve, PrPoint};
 pub use roc::{auroc, RocCurve, RocPoint};

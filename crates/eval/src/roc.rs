@@ -47,6 +47,7 @@ pub struct RocCurve {
 /// assert_eq!(auroc(&labels, &scores), 0.75);
 /// ```
 pub fn auroc(labels: &[bool], scores: &[f64]) -> f64 {
+    let _timer = attrition_obs::ScopedTimer::new("eval.auroc_ms");
     assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
     let n_pos = labels.iter().filter(|&&l| l).count();
     let n_neg = labels.len() - n_pos;
@@ -149,7 +150,19 @@ impl RocCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use attrition_util::check::{forall, gen_vec};
+    use attrition_util::Rng;
+
+    /// Labels of length `[2, max_len]` guaranteed to contain at least
+    /// one positive and one negative (AUROC is NaN otherwise).
+    fn gen_mixed_labels(rng: &mut Rng, max_len: usize) -> Vec<bool> {
+        let mut labels = gen_vec(rng, 2, max_len, |r| r.bernoulli(0.5));
+        let flip = rng.usize_below(labels.len());
+        labels[flip] = true;
+        let other = (flip + 1 + rng.usize_below(labels.len() - 1)) % labels.len();
+        labels[other] = false;
+        labels
+    }
 
     #[test]
     fn perfect_separation() {
@@ -232,7 +245,9 @@ mod tests {
     fn youden_picks_separating_threshold() {
         let labels = [true, true, false, false];
         let scores = [0.9, 0.8, 0.2, 0.1];
-        let best = RocCurve::compute(&labels, &scores).youden_optimal().unwrap();
+        let best = RocCurve::compute(&labels, &scores)
+            .youden_optimal()
+            .unwrap();
         assert_eq!(best.tpr, 1.0);
         assert_eq!(best.fpr, 0.0);
         assert_eq!(best.threshold, 0.8);
@@ -245,50 +260,60 @@ mod tests {
         assert!((curve.area() - 0.5).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn curve_area_matches_mann_whitney(
-            labels in proptest::collection::vec(any::<bool>(), 2..60),
-            seed in 0u64..1000,
-        ) {
-            // Build scores with deliberate ties: quantized uniforms.
-            let mut rng = attrition_util::Rng::seed_from_u64(seed);
-            let scores: Vec<f64> = labels.iter().map(|_| (rng.f64() * 8.0).floor() / 8.0).collect();
-            let n_pos = labels.iter().filter(|&&l| l).count();
-            prop_assume!(n_pos > 0 && n_pos < labels.len());
-            let mw = auroc(&labels, &scores);
-            let curve = RocCurve::compute(&labels, &scores).area();
-            prop_assert!((mw - curve).abs() < 1e-9, "mw {mw} vs curve {curve}");
-        }
+    #[test]
+    fn curve_area_matches_mann_whitney() {
+        forall(
+            256,
+            |rng| {
+                let labels = gen_mixed_labels(rng, 59);
+                // Build scores with deliberate ties: quantized uniforms.
+                let scores: Vec<f64> = labels
+                    .iter()
+                    .map(|_| (rng.f64() * 8.0).floor() / 8.0)
+                    .collect();
+                (labels, scores)
+            },
+            |(labels, scores)| {
+                let mw = auroc(labels, scores);
+                let curve = RocCurve::compute(labels, scores).area();
+                assert!((mw - curve).abs() < 1e-9, "mw {mw} vs curve {curve}");
+            },
+        );
+    }
 
-        #[test]
-        fn auroc_invariant_to_monotone_transform(
-            labels in proptest::collection::vec(any::<bool>(), 2..40),
-            seed in 0u64..1000,
-        ) {
-            let mut rng = attrition_util::Rng::seed_from_u64(seed);
-            let scores: Vec<f64> = labels.iter().map(|_| rng.f64()).collect();
-            let n_pos = labels.iter().filter(|&&l| l).count();
-            prop_assume!(n_pos > 0 && n_pos < labels.len());
-            let transformed: Vec<f64> = scores.iter().map(|s| s.exp() * 3.0 + 1.0).collect();
-            let a = auroc(&labels, &scores);
-            let b = auroc(&labels, &transformed);
-            prop_assert!((a - b).abs() < 1e-12);
-        }
+    #[test]
+    fn auroc_invariant_to_monotone_transform() {
+        forall(
+            256,
+            |rng| {
+                let labels = gen_mixed_labels(rng, 39);
+                let scores: Vec<f64> = labels.iter().map(|_| rng.f64()).collect();
+                (labels, scores)
+            },
+            |(labels, scores)| {
+                let transformed: Vec<f64> = scores.iter().map(|s| s.exp() * 3.0 + 1.0).collect();
+                let a = auroc(labels, scores);
+                let b = auroc(labels, &transformed);
+                assert!((a - b).abs() < 1e-12);
+            },
+        );
+    }
 
-        #[test]
-        fn auroc_flips_under_negation(
-            labels in proptest::collection::vec(any::<bool>(), 2..40),
-            seed in 0u64..1000,
-        ) {
-            let mut rng = attrition_util::Rng::seed_from_u64(seed);
-            let scores: Vec<f64> = labels.iter().map(|_| rng.f64()).collect();
-            let n_pos = labels.iter().filter(|&&l| l).count();
-            prop_assume!(n_pos > 0 && n_pos < labels.len());
-            let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
-            let a = auroc(&labels, &scores);
-            let b = auroc(&labels, &negated);
-            prop_assert!((a + b - 1.0).abs() < 1e-12);
-        }
+    #[test]
+    fn auroc_flips_under_negation() {
+        forall(
+            256,
+            |rng| {
+                let labels = gen_mixed_labels(rng, 39);
+                let scores: Vec<f64> = labels.iter().map(|_| rng.f64()).collect();
+                (labels, scores)
+            },
+            |(labels, scores)| {
+                let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+                let a = auroc(labels, scores);
+                let b = auroc(labels, &negated);
+                assert!((a + b - 1.0).abs() < 1e-12);
+            },
+        );
     }
 }

@@ -1,0 +1,342 @@
+//! Named metric cells: counters, gauges, fixed-bucket histograms, and
+//! the registry that owns them.
+//!
+//! All cells are lock-free atomics; the registry's maps are guarded by
+//! `RwLock`s that are only write-locked the first time a name appears.
+//! Callers on hot paths should hold on to the `Arc` handle instead of
+//! re-resolving the name per operation.
+
+use crate::report::{HistogramReport, MetricsReport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed metric (thread counts, queue depths, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket upper bounds (milliseconds) used for every timing histogram:
+/// a coarse log ladder from 100µs to 10s plus a +∞ overflow bucket.
+pub const TIME_BUCKETS_MS: [f64; 16] = [
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0,
+    5_000.0, 10_000.0,
+];
+
+/// A fixed-bucket histogram over `f64` observations with running count,
+/// sum, min and max. Buckets are cumulative-style "≤ bound" counts plus
+/// one overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One cell per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bit patterns updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+fn cas_f64(cell: &AtomicU64, update: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = update(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Histogram {
+    /// Histogram with the given ascending bucket upper bounds.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        cas_f64(&self.sum_bits, |s| s + value);
+        cas_f64(&self.min_bits, |m| m.min(value));
+        cas_f64(&self.max_bits, |m| m.max(value));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn report(&self, name: &str) -> HistogramReport {
+        let count = self.count();
+        let sum = self.sum();
+        HistogramReport {
+            name: name.to_owned(),
+            count,
+            sum,
+            mean: if count == 0 {
+                f64::NAN
+            } else {
+                sum / count as f64
+            },
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            buckets: self
+                .bounds
+                .iter()
+                .copied()
+                .chain(std::iter::once(f64::INFINITY))
+                .zip(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// Registry of named metrics. Usually accessed through
+/// [`crate::global`]; separate instances exist only in tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T>(
+    map: &RwLock<HashMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(found) = map.read().expect("metrics lock").get(name) {
+        return Arc::clone(found);
+    }
+    let mut writer = map.write().expect("metrics lock");
+    Arc::clone(
+        writer
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Counter handle by name (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, Counter::default)
+    }
+
+    /// Gauge handle by name (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, Gauge::default)
+    }
+
+    /// Timing histogram by name (created on first use with the standard
+    /// millisecond ladder [`TIME_BUCKETS_MS`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &TIME_BUCKETS_MS)
+    }
+
+    /// Histogram by name with explicit bucket bounds (bounds apply only
+    /// on first creation).
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, || Histogram::new(bounds))
+    }
+
+    /// Drop every metric (tests and between CLI invocations).
+    pub fn reset(&self) {
+        self.counters.write().expect("metrics lock").clear();
+        self.gauges.write().expect("metrics lock").clear();
+        self.histograms.write().expect("metrics lock").clear();
+    }
+
+    /// Consistent point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsReport {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = self
+            .gauges
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<HistogramReport> = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| v.report(k))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsReport {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(3);
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 4);
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let r = MetricsRegistry::new();
+        r.gauge("g").set(7);
+        r.gauge("g").set(-2);
+        assert_eq!(r.gauge("g").get(), -2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let rep = h.report("h");
+        assert_eq!(rep.count, 4);
+        assert!((rep.sum - 56.2).abs() < 1e-12);
+        assert_eq!(rep.min, 0.5);
+        assert_eq!(rep.max, 50.0);
+        // ≤1: {0.5, 0.7}; ≤10: {5.0}; overflow: {50.0}.
+        let counts: Vec<u64> = rep.buckets.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 1, 1]);
+        assert!(rep.buckets.last().unwrap().0.is_infinite());
+    }
+
+    #[test]
+    fn histogram_boundary_value_falls_in_lower_bucket() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(1.0);
+        assert_eq!(h.report("h").buckets[0].1, 1);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_nan() {
+        let h = Histogram::new(&TIME_BUCKETS_MS);
+        let rep = h.report("h");
+        assert_eq!(rep.count, 0);
+        assert!(rep.mean.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_reset_clears() {
+        let r = MetricsRegistry::new();
+        r.counter("z").inc();
+        r.counter("a").inc();
+        r.histogram("t").observe(1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "z");
+        assert_eq!(snap.histograms.len(), 1);
+        r.reset();
+        let empty = r.snapshot();
+        assert!(empty.counters.is_empty() && empty.histograms.is_empty());
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let r = Arc::new(MetricsRegistry::new());
+        let handle = r.counter("shared");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let h = Arc::clone(&handle);
+                let reg = Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.inc();
+                        reg.histogram("hist").observe(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(handle.get(), 8000);
+        assert_eq!(r.histogram("hist").count(), 8000);
+    }
+}

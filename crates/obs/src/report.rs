@@ -1,0 +1,332 @@
+//! Point-in-time metric snapshots and their JSON rendering.
+//!
+//! The JSON schema (documented in README.md's Observability section):
+//!
+//! ```json
+//! {
+//!   "counters":   {"store.rows_read": 1200},
+//!   "gauges":     {"core.scoring.threads": 8},
+//!   "stages":     {"ingest": {"calls": 1, "total_ms": 4.2,
+//!                             "mean_ms": 4.2, "min_ms": 4.2, "max_ms": 4.2}},
+//!   "histograms": {"core.scoring.thread_busy_ms": {
+//!       "count": 8, "sum": 31.5, "mean": 3.9, "min": 2.1, "max": 6.0,
+//!       "buckets": [{"le": 0.1, "count": 0}, …, {"le": null, "count": 0}]}}
+//! }
+//! ```
+//!
+//! Stage histograms (names starting `stage.`) are folded into the
+//! `stages` object; every other histogram appears under `histograms`.
+//! The writer is hand-rolled — the whole point of this crate is to add
+//! observability without adding dependencies.
+
+use crate::timer::STAGE_PREFIX;
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramReport {
+    /// Registry name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Mean observation (NaN when empty).
+    pub mean: f64,
+    /// Smallest observation (+∞ when empty).
+    pub min: f64,
+    /// Largest observation (−∞ when empty).
+    pub max: f64,
+    /// `(upper_bound, count)` per bucket; the last bound is +∞.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// One pipeline stage's timing, derived from its `stage.<path>`
+/// histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Hierarchical path, e.g. `scoring` or `scoring/explain`.
+    pub path: String,
+    /// Times the stage ran.
+    pub calls: u64,
+    /// Total wall time across calls, in milliseconds.
+    pub total_ms: f64,
+    /// Mean wall time per call, in milliseconds.
+    pub mean_ms: f64,
+    /// Fastest call, in milliseconds.
+    pub min_ms: f64,
+    /// Slowest call, in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Sorted snapshot of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms (including stage timings), sorted by name.
+    pub histograms: Vec<HistogramReport>,
+}
+
+impl MetricsReport {
+    /// A counter's value, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// A gauge's value, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// A histogram snapshot, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
+    }
+
+    /// Stage timings (histograms under the `stage.` prefix), in path
+    /// order.
+    pub fn stages(&self) -> Vec<StageReport> {
+        self.histograms
+            .iter()
+            .filter_map(|h| {
+                h.name.strip_prefix(STAGE_PREFIX).map(|path| StageReport {
+                    path: path.to_owned(),
+                    calls: h.count,
+                    total_ms: h.sum,
+                    mean_ms: h.mean,
+                    min_ms: h.min,
+                    max_ms: h.max,
+                })
+            })
+            .collect()
+    }
+
+    /// One stage's timing by path.
+    pub fn stage(&self, path: &str) -> Option<StageReport> {
+        self.stages().into_iter().find(|s| s.path == path)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render the snapshot as one compact JSON object (schema above).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_key(&mut out, "counters");
+        push_object(&mut out, self.counters.iter(), |out, (name, v)| {
+            push_key(out, name);
+            out.push_str(&v.to_string());
+        });
+        out.push(',');
+        push_key(&mut out, "gauges");
+        push_object(&mut out, self.gauges.iter(), |out, (name, v)| {
+            push_key(out, name);
+            out.push_str(&v.to_string());
+        });
+        out.push(',');
+        push_key(&mut out, "stages");
+        push_object(&mut out, self.stages().iter(), |out, stage| {
+            push_key(out, &stage.path);
+            out.push('{');
+            push_key(out, "calls");
+            out.push_str(&stage.calls.to_string());
+            out.push(',');
+            push_key(out, "total_ms");
+            push_f64(out, stage.total_ms);
+            out.push(',');
+            push_key(out, "mean_ms");
+            push_f64(out, stage.mean_ms);
+            out.push(',');
+            push_key(out, "min_ms");
+            push_f64(out, stage.min_ms);
+            out.push(',');
+            push_key(out, "max_ms");
+            push_f64(out, stage.max_ms);
+            out.push('}');
+        });
+        out.push(',');
+        push_key(&mut out, "histograms");
+        let plain: Vec<&HistogramReport> = self
+            .histograms
+            .iter()
+            .filter(|h| !h.name.starts_with(STAGE_PREFIX))
+            .collect();
+        push_object(&mut out, plain.iter(), |out, h| {
+            push_key(out, &h.name);
+            out.push('{');
+            push_key(out, "count");
+            out.push_str(&h.count.to_string());
+            out.push(',');
+            push_key(out, "sum");
+            push_f64(out, h.sum);
+            out.push(',');
+            push_key(out, "mean");
+            push_f64(out, h.mean);
+            out.push(',');
+            push_key(out, "min");
+            push_f64(out, h.min);
+            out.push(',');
+            push_key(out, "max");
+            push_f64(out, h.max);
+            out.push(',');
+            push_key(out, "buckets");
+            out.push('[');
+            for (i, (le, count)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                push_key(out, "le");
+                if le.is_finite() {
+                    push_f64(out, *le);
+                } else {
+                    out.push_str("null");
+                }
+                out.push(',');
+                push_key(out, "count");
+                out.push_str(&count.to_string());
+                out.push('}');
+            }
+            out.push(']');
+            out.push('}');
+        });
+        out.push('}');
+        out
+    }
+}
+
+fn push_key(out: &mut String, key: &str) {
+    push_json_string(out, key);
+    out.push(':');
+}
+
+fn push_object<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    mut entry: impl FnMut(&mut String, T),
+) {
+    out.push('{');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        entry(out, item);
+    }
+    out.push('}');
+}
+
+/// Finite floats print plainly; NaN/±∞ (legal in empty-histogram
+/// min/max/mean) become `null` since JSON has no spelling for them.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.6}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample() -> MetricsReport {
+        let r = MetricsRegistry::new();
+        r.counter("store.rows_read").add(1200);
+        r.gauge("core.scoring.threads").set(8);
+        r.histogram("stage.ingest").observe(4.0);
+        r.histogram("stage.ingest").observe(6.0);
+        r.histogram_with("eval.auroc_ms", &[1.0, 10.0]).observe(0.5);
+        r.snapshot()
+    }
+
+    #[test]
+    fn accessors_find_metrics() {
+        let rep = sample();
+        assert_eq!(rep.counter("store.rows_read"), Some(1200));
+        assert_eq!(rep.counter("missing"), None);
+        assert_eq!(rep.gauge("core.scoring.threads"), Some(8));
+        assert!(rep.histogram("eval.auroc_ms").is_some());
+        assert!(!rep.is_empty());
+        assert!(MetricsReport::default().is_empty());
+    }
+
+    #[test]
+    fn stages_derived_from_prefixed_histograms() {
+        let rep = sample();
+        let stages = rep.stages();
+        assert_eq!(stages.len(), 1);
+        let ingest = rep.stage("ingest").unwrap();
+        assert_eq!(ingest.calls, 2);
+        assert!((ingest.total_ms - 10.0).abs() < 1e-9);
+        assert!((ingest.mean_ms - 5.0).abs() < 1e-9);
+        assert_eq!(ingest.min_ms, 4.0);
+        assert_eq!(ingest.max_ms, 6.0);
+        assert!(rep.stage("scoring").is_none());
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\":{\"store.rows_read\":1200}"));
+        assert!(json.contains("\"gauges\":{\"core.scoring.threads\":8}"));
+        assert!(json.contains("\"stages\":{\"ingest\":{\"calls\":2"));
+        // Stage histograms are folded into stages, not repeated.
+        assert!(!json.contains("\"stage.ingest\""));
+        assert!(json.contains("\"eval.auroc_ms\":{\"count\":1"));
+        assert!(json.contains("{\"le\":null,"));
+    }
+
+    #[test]
+    fn json_escapes_and_nonfinite() {
+        let r = MetricsRegistry::new();
+        r.counter("weird\"name\\with\nctrl").add(1);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("weird\\\"name\\\\with\\nctrl"));
+        // Empty histogram: min/max are ±∞ → null in JSON.
+        let r2 = MetricsRegistry::new();
+        let _ = r2.histogram("empty");
+        let j2 = r2.snapshot().to_json();
+        assert!(j2.contains("\"min\":null"));
+        assert!(j2.contains("\"max\":null"));
+    }
+
+    #[test]
+    fn empty_report_json() {
+        assert_eq!(
+            MetricsReport::default().to_json(),
+            "{\"counters\":{},\"gauges\":{},\"stages\":{},\"histograms\":{}}"
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! RAII wall-time measurement.
+//!
+//! [`Stage`] measures one pipeline stage and records it under a
+//! hierarchical path built from the stages currently open on this
+//! thread (`scoring`, `scoring/explain`, …); stage timings live in the
+//! registry as histograms named `stage.<path>`. [`ScopedTimer`] is the
+//! flat variant for arbitrary histogram names, and [`ThreadTelemetry`]
+//! accumulates per-worker-thread busy time + item counts that are
+//! flushed to the registry once per thread.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Histogram-name prefix under which stage timings are recorded.
+pub const STAGE_PREFIX: &str = "stage.";
+
+thread_local! {
+    /// Open stage names on this thread, outermost first.
+    static STAGE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard timing one named pipeline stage.
+///
+/// When metrics are disabled, [`Stage::enter`] checks the single
+/// enabled atomic and returns an inert guard without reading the clock
+/// or touching the registry.
+#[must_use = "a Stage records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Stage {
+    /// `None` when metrics were disabled at entry.
+    start: Option<Instant>,
+    path: String,
+}
+
+impl Stage {
+    /// Open a stage named `name`, nested under any stage already open
+    /// on this thread.
+    pub fn enter(name: &str) -> Stage {
+        if !crate::enabled() {
+            return Stage {
+                start: None,
+                path: String::new(),
+            };
+        }
+        let path = STAGE_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{}/{name}", stack.last().expect("non-empty"))
+            };
+            stack.push(path.clone());
+            path
+        });
+        Stage {
+            start: Some(Instant::now()),
+            path,
+        }
+    }
+
+    /// True when this guard records nothing (metrics were off).
+    pub fn is_noop(&self) -> bool {
+        self.start.is_none()
+    }
+
+    /// The hierarchical path this stage records under (empty if no-op).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Stage {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        STAGE_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        crate::global()
+            .histogram(&format!("{STAGE_PREFIX}{}", self.path))
+            .observe(ms);
+    }
+}
+
+/// RAII guard recording its lifetime into an arbitrary histogram name
+/// (no hierarchy). Useful for sub-stage hot spots where the path
+/// nesting of [`Stage`] is not wanted.
+#[must_use = "a ScopedTimer records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct ScopedTimer {
+    start: Option<Instant>,
+    name: String,
+}
+
+impl ScopedTimer {
+    /// Start timing into histogram `name`; inert when metrics are off.
+    pub fn new(name: &str) -> ScopedTimer {
+        if !crate::enabled() {
+            return ScopedTimer {
+                start: None,
+                name: String::new(),
+            };
+        }
+        ScopedTimer {
+            start: Some(Instant::now()),
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        crate::global().histogram(&self.name).observe(ms);
+    }
+}
+
+/// Per-worker-thread scoring telemetry: busy wall time and items
+/// processed, accumulated locally and flushed to the registry once at
+/// the end of the thread's work (so hot loops never touch atomics).
+#[derive(Debug)]
+pub struct ThreadTelemetry {
+    start: Option<Instant>,
+    items: u64,
+    prefix: &'static str,
+}
+
+impl ThreadTelemetry {
+    /// Start telemetry for a worker; metrics recorded under
+    /// `<prefix>.thread_busy_ms` and `<prefix>.items`. Inert when
+    /// metrics are off.
+    pub fn start(prefix: &'static str) -> ThreadTelemetry {
+        ThreadTelemetry {
+            start: crate::enabled().then(Instant::now),
+            items: 0,
+            prefix,
+        }
+    }
+
+    /// Count items processed (no-op when metrics are off).
+    #[inline]
+    pub fn add_items(&mut self, n: u64) {
+        if self.start.is_some() {
+            self.items += n;
+        }
+    }
+
+    /// Flush to the registry. Called automatically on drop.
+    fn flush(&mut self) {
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        let busy_ms = start.elapsed().as_secs_f64() * 1e3;
+        let registry = crate::global();
+        registry
+            .histogram(&format!("{}.thread_busy_ms", self.prefix))
+            .observe(busy_ms);
+        registry
+            .counter(&format!("{}.items", self.prefix))
+            .add(self.items);
+    }
+}
+
+impl Drop for ThreadTelemetry {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    #[test]
+    fn disabled_stage_is_noop_and_writes_nothing() {
+        let _guard = test_support::lock();
+        crate::set_enabled(false);
+        crate::global().reset();
+        {
+            let stage = Stage::enter("ingest");
+            assert!(stage.is_noop());
+            assert_eq!(stage.path(), "");
+            let _timer = ScopedTimer::new("eval.auroc_ms");
+            let mut telemetry = ThreadTelemetry::start("core.scoring");
+            telemetry.add_items(10);
+        }
+        let snap = crate::global().snapshot();
+        assert!(snap.histograms.is_empty(), "disabled path wrote {snap:?}");
+        assert!(snap.counters.is_empty());
+    }
+
+    #[test]
+    fn stage_records_hierarchical_path() {
+        let _guard = test_support::lock();
+        crate::set_enabled(true);
+        crate::global().reset();
+        {
+            let outer = Stage::enter("scoring");
+            assert_eq!(outer.path(), "scoring");
+            {
+                let inner = Stage::enter("explain");
+                assert_eq!(inner.path(), "scoring/explain");
+            }
+        }
+        let snap = crate::global().snapshot();
+        assert!(snap.stage("scoring").is_some());
+        assert!(snap.stage("scoring/explain").is_some());
+        // The stack unwound: a fresh stage is top-level again.
+        {
+            let again = Stage::enter("eval");
+            assert_eq!(again.path(), "eval");
+        }
+        crate::set_enabled(false);
+        crate::global().reset();
+    }
+
+    #[test]
+    fn scoped_timer_and_telemetry_record() {
+        let _guard = test_support::lock();
+        crate::set_enabled(true);
+        crate::global().reset();
+        {
+            let _timer = ScopedTimer::new("eval.auroc_ms");
+            let mut telemetry = ThreadTelemetry::start("core.scoring");
+            telemetry.add_items(7);
+            telemetry.add_items(3);
+        }
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.counter("core.scoring.items"), Some(10));
+        let busy = snap
+            .histogram("core.scoring.thread_busy_ms")
+            .expect("busy histogram");
+        assert_eq!(busy.count, 1);
+        assert!(snap.histogram("eval.auroc_ms").is_some());
+        crate::set_enabled(false);
+        crate::global().reset();
+    }
+
+    #[test]
+    fn stage_timing_is_nonzero() {
+        let _guard = test_support::lock();
+        crate::set_enabled(true);
+        crate::global().reset();
+        {
+            let _stage = Stage::enter("busy");
+            // Spin a little so elapsed > 0 even at coarse clock resolution.
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            assert!(acc != 1);
+        }
+        let snap = crate::global().snapshot();
+        let stage = snap.stage("busy").expect("stage recorded");
+        assert!(stage.total_ms > 0.0, "elapsed {}", stage.total_ms);
+        crate::set_enabled(false);
+        crate::global().reset();
+    }
+}

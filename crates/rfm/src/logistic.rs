@@ -69,8 +69,7 @@ impl LogisticRegression {
     pub fn decision(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n_features(), "feature width mismatch");
         self.weights[0]
-            + self
-                .weights[1..]
+            + self.weights[1..]
                 .iter()
                 .zip(x)
                 .map(|(w, v)| w * v)

@@ -40,16 +40,16 @@ impl RfmModel {
         db: &WindowedDatabase,
         k: WindowIndex,
     ) -> Vec<(CustomerId, RfmFeatures)> {
+        let _timer = attrition_obs::ScopedTimer::new("rfm.features_ms");
         db.customers()
             .iter()
-            .filter_map(|w| {
-                extract_at_window(w, k, self.horizon_windows).map(|f| (w.customer, f))
-            })
+            .filter_map(|w| extract_at_window(w, k, self.horizon_windows).map(|f| (w.customer, f)))
             .collect()
     }
 
     /// Fit on features/labels (standardizer fit on the same set).
     pub fn fit(&mut self, features: &[RfmFeatures], labels: &[bool]) -> FitReport {
+        let _timer = attrition_obs::ScopedTimer::new("rfm.fit_ms");
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_array().to_vec()).collect();
         let scaler = Standardizer::fit(&rows);
@@ -185,7 +185,11 @@ pub fn out_of_fold_scores(
 /// Local reimplementation (rather than depending on `attrition-eval`) to
 /// keep the crate DAG acyclic: eval is a leaf, and the bench crate
 /// cross-checks both implementations agree.
-pub(crate) fn stratified_folds(labels: &[bool], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+pub(crate) fn stratified_folds(
+    labels: &[bool],
+    k: usize,
+    seed: u64,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
     assert!(k >= 2, "k-fold needs k >= 2");
     let mut rng = attrition_util::Rng::seed_from_u64(seed);
     let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
@@ -318,7 +322,11 @@ mod tests {
         let restored = RfmModel::load(&checkpoint).expect("loads");
         assert_eq!(restored.horizon_windows, 3);
         for f in features.iter().take(20) {
-            assert_eq!(model.score(f), restored.score(f), "score diverged for {f:?}");
+            assert_eq!(
+                model.score(f),
+                restored.score(f),
+                "score diverged for {f:?}"
+            );
         }
     }
 

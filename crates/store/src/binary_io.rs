@@ -92,7 +92,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -111,10 +113,7 @@ pub fn store_from_bytes(bytes: &[u8]) -> Result<ReceiptStore, StoreError> {
     let offsets = cur.take((n + 1) * 4)?;
     let items = cur.take(m * 4)?;
     if cur.pos != bytes.len() {
-        return Err(corrupt(format!(
-            "{} trailing bytes",
-            bytes.len() - cur.pos
-        )));
+        return Err(corrupt(format!("{} trailing bytes", bytes.len() - cur.pos)));
     }
 
     let read_u32 = |buf: &[u8], i: usize| -> u32 {

@@ -11,14 +11,22 @@
 //! subcommand writes and the other subcommands read.
 
 use crate::{ReceiptStore, ReceiptStoreBuilder, StoreError};
-use attrition_types::{Basket, Cents, CustomerId, Date, ItemId, Receipt, Taxonomy, TaxonomyBuilder};
+use attrition_types::{
+    Basket, Cents, CustomerId, Date, ItemId, Receipt, Taxonomy, TaxonomyBuilder,
+};
 use attrition_util::csv::{parse_document, CsvWriter};
 
 /// Header of the receipts CSV.
 pub const RECEIPTS_HEADER: [&str; 4] = ["customer", "date", "total_cents", "items"];
 
 /// Header of the taxonomy CSV.
-pub const TAXONOMY_HEADER: [&str; 5] = ["item", "segment", "item_name", "segment_name", "price_cents"];
+pub const TAXONOMY_HEADER: [&str; 5] = [
+    "item",
+    "segment",
+    "item_name",
+    "segment_name",
+    "price_cents",
+];
 
 /// Serialize a store to receipts CSV (with header).
 pub fn receipts_to_csv(store: &ReceiptStore) -> String {
@@ -50,40 +58,93 @@ fn csv_err(line: usize, message: impl Into<String>) -> StoreError {
     }
 }
 
-/// Parse receipts CSV (tolerates a missing header) into a store.
-pub fn receipts_from_csv(text: &str) -> Result<ReceiptStore, StoreError> {
-    let mut builder = ReceiptStoreBuilder::new();
-    for (idx, record) in parse_document(text).enumerate() {
-        let line = idx + 1;
-        let fields = record.ok_or_else(|| csv_err(line, "malformed record"))?;
-        if idx == 0 && fields.first().map(String::as_str) == Some("customer") {
-            continue; // header
-        }
-        if fields.len() != 4 {
-            return Err(csv_err(line, format!("expected 4 fields, got {}", fields.len())));
-        }
-        let customer: u64 = fields[0]
-            .parse()
-            .map_err(|_| csv_err(line, "bad customer id"))?;
-        let date = Date::parse_iso(&fields[1]).map_err(|e| csv_err(line, e.to_string()))?;
-        let total: i64 = fields[2]
-            .parse()
-            .map_err(|_| csv_err(line, "bad total_cents"))?;
-        let mut items = Vec::new();
-        for tok in fields[3].split_whitespace() {
-            let raw: u32 = tok
-                .parse()
-                .map_err(|_| csv_err(line, format!("bad item id {tok:?}")))?;
-            items.push(ItemId::new(raw));
-        }
-        builder.push(Receipt::new(
-            CustomerId::new(customer),
-            date,
-            Basket::new(items),
-            Cents(total),
+fn parse_receipt_row(fields: &[String], line: usize) -> Result<Receipt, StoreError> {
+    if fields.len() != 4 {
+        return Err(csv_err(
+            line,
+            format!("expected 4 fields, got {}", fields.len()),
         ));
     }
-    Ok(builder.build())
+    let customer: u64 = fields[0]
+        .parse()
+        .map_err(|_| csv_err(line, "bad customer id"))?;
+    let date = Date::parse_iso(&fields[1]).map_err(|e| csv_err(line, e.to_string()))?;
+    let total: i64 = fields[2]
+        .parse()
+        .map_err(|_| csv_err(line, "bad total_cents"))?;
+    let mut items = Vec::new();
+    for tok in fields[3].split_whitespace() {
+        let raw: u32 = tok
+            .parse()
+            .map_err(|_| csv_err(line, format!("bad item id {tok:?}")))?;
+        items.push(ItemId::new(raw));
+    }
+    Ok(Receipt::new(
+        CustomerId::new(customer),
+        date,
+        Basket::new(items),
+        Cents(total),
+    ))
+}
+
+/// Flush ingest telemetry once per parse (no per-row atomics).
+fn record_ingest_metrics(bytes: usize, rows: u64, receipts: u64, quarantined: u64) {
+    if !attrition_obs::enabled() {
+        return;
+    }
+    let registry = attrition_obs::global();
+    registry.counter("store.bytes_read").add(bytes as u64);
+    registry.counter("store.rows_read").add(rows);
+    registry.counter("store.receipts_loaded").add(receipts);
+    registry.counter("store.rows_quarantined").add(quarantined);
+}
+
+fn parse_receipts(text: &str, lenient: bool) -> Result<(ReceiptStore, u64), StoreError> {
+    let mut builder = ReceiptStoreBuilder::new();
+    let mut rows = 0u64;
+    let mut receipts = 0u64;
+    let mut quarantined = 0u64;
+    for (idx, record) in parse_document(text).enumerate() {
+        let line = idx + 1;
+        let parsed = record
+            .ok_or_else(|| csv_err(line, "malformed record"))
+            .and_then(|fields| {
+                if idx == 0 && fields.first().map(String::as_str) == Some("customer") {
+                    Ok(None) // header
+                } else {
+                    parse_receipt_row(&fields, line).map(Some)
+                }
+            });
+        match parsed {
+            Ok(None) => continue,
+            Ok(Some(receipt)) => {
+                rows += 1;
+                receipts += 1;
+                builder.push(receipt);
+            }
+            Err(err) if lenient => {
+                rows += 1;
+                quarantined += 1;
+                let _ = err;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    record_ingest_metrics(text.len(), rows, receipts, quarantined);
+    Ok((builder.build(), quarantined))
+}
+
+/// Parse receipts CSV (tolerates a missing header) into a store. Any
+/// malformed row aborts the parse with a [`StoreError::Csv`].
+pub fn receipts_from_csv(text: &str) -> Result<ReceiptStore, StoreError> {
+    parse_receipts(text, false).map(|(store, _)| store)
+}
+
+/// Parse receipts CSV, quarantining malformed rows instead of failing:
+/// bad rows are skipped and counted (returned, and recorded under the
+/// `store.rows_quarantined` metric) while every well-formed row loads.
+pub fn receipts_from_csv_lenient(text: &str) -> (ReceiptStore, u64) {
+    parse_receipts(text, true).expect("lenient parse cannot fail")
 }
 
 /// Serialize a taxonomy to CSV (with header).
@@ -121,9 +182,14 @@ pub fn taxonomy_from_csv(text: &str) -> Result<Taxonomy, StoreError> {
             continue;
         }
         if fields.len() != 5 {
-            return Err(csv_err(line, format!("expected 5 fields, got {}", fields.len())));
+            return Err(csv_err(
+                line,
+                format!("expected 5 fields, got {}", fields.len()),
+            ));
         }
-        let item: u32 = fields[0].parse().map_err(|_| csv_err(line, "bad item id"))?;
+        let item: u32 = fields[0]
+            .parse()
+            .map_err(|_| csv_err(line, "bad item id"))?;
         let segment: u32 = fields[1]
             .parse()
             .map_err(|_| csv_err(line, "bad segment id"))?;
@@ -211,6 +277,38 @@ mod tests {
     }
 
     #[test]
+    fn lenient_parse_quarantines_bad_rows() {
+        let csv = "customer,date,total_cents,items\n\
+                   5,2013-01-02,99,1 2\n\
+                   x,2013-01-02,99,1\n\
+                   6,2013-01-03,50,\n\
+                   7,2013-13-09,10,3\n";
+        let (store, quarantined) = receipts_from_csv_lenient(csv);
+        assert_eq!(store.num_receipts(), 2);
+        assert_eq!(quarantined, 2);
+    }
+
+    #[test]
+    fn lenient_parse_records_metrics_when_enabled() {
+        let csv = "5,2013-01-02,99,1 2\nbad row\n";
+        attrition_obs::set_enabled(true);
+        attrition_obs::global().reset();
+        let (store, quarantined) = receipts_from_csv_lenient(csv);
+        let snap = attrition_obs::global().snapshot();
+        attrition_obs::set_enabled(false);
+        attrition_obs::global().reset();
+        assert_eq!(store.num_receipts(), 1);
+        assert_eq!(quarantined, 1);
+        // Other tests in this process may parse concurrently while the
+        // flag is up, so assert lower bounds except for quarantining,
+        // which only this test triggers.
+        assert_eq!(snap.counter("store.rows_quarantined"), Some(1));
+        assert!(snap.counter("store.rows_read").unwrap_or(0) >= 2);
+        assert!(snap.counter("store.receipts_loaded").unwrap_or(0) >= 1);
+        assert!(snap.counter("store.bytes_read").unwrap_or(0) >= csv.len() as u64);
+    }
+
+    #[test]
     fn csv_error_reports_line() {
         let err = receipts_from_csv("customer,date,total_cents,items\n5,bad,9,1\n").unwrap_err();
         match err {
@@ -223,7 +321,8 @@ mod tests {
         let mut t = TaxonomyBuilder::new();
         let coffee = t.add_segment("coffee");
         let milk = t.add_segment("milk");
-        t.add_product(coffee, "arabica, ground", Cents(400)).unwrap();
+        t.add_product(coffee, "arabica, ground", Cents(400))
+            .unwrap();
         t.add_product(milk, "whole 1L", Cents(120)).unwrap();
         t.build()
     }
@@ -242,7 +341,9 @@ mod tests {
         );
         assert_eq!(back.price_of(ItemId::new(1)).unwrap(), Cents(120));
         assert_eq!(
-            back.segment(attrition_types::SegmentId::new(1)).unwrap().name,
+            back.segment(attrition_types::SegmentId::new(1))
+                .unwrap()
+                .name,
             "milk"
         );
     }

@@ -34,7 +34,9 @@ impl fmt::Display for StoreError {
             StoreError::RowOutOfRange { row, len } => {
                 write!(f, "receipt row {row} out of range (store has {len})")
             }
-            StoreError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            StoreError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
             StoreError::Type(e) => write!(f, "type error: {e}"),
         }

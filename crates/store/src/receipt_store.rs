@@ -145,11 +145,7 @@ impl ReceiptStore {
     }
 
     /// Receipts (any customer) with `from <= date < to`.
-    pub fn scan_date_range(
-        &self,
-        from: Date,
-        to: Date,
-    ) -> impl Iterator<Item = ReceiptRef<'_>> {
+    pub fn scan_date_range(&self, from: Date, to: Date) -> impl Iterator<Item = ReceiptRef<'_>> {
         self.receipts()
             .filter(move |r| r.date >= from && r.date < to)
     }
@@ -278,10 +274,7 @@ mod tests {
     #[test]
     fn sorted_by_customer_then_date() {
         let s = sample();
-        let rows: Vec<(u64, Date)> = s
-            .receipts()
-            .map(|r| (r.customer.raw(), r.date))
-            .collect();
+        let rows: Vec<(u64, Date)> = s.receipts().map(|r| (r.customer.raw(), r.date)).collect();
         assert_eq!(
             rows,
             vec![

@@ -56,11 +56,7 @@ mod tests {
             .collect();
         assert_eq!(
             order,
-            vec![
-                (d(2012, 5, 1), 1),
-                (d(2012, 5, 1), 2),
-                (d(2012, 5, 3), 1),
-            ]
+            vec![(d(2012, 5, 1), 1), (d(2012, 5, 1), 2), (d(2012, 5, 3), 1),]
         );
     }
 

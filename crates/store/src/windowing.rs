@@ -243,6 +243,7 @@ impl WindowedDatabase {
         n_windows: u32,
         alignment: WindowAlignment,
     ) -> WindowedDatabase {
+        let _stage = attrition_obs::Stage::enter("windowing");
         let horizon_end = spec.window_end(n_windows.saturating_sub(1));
         let customers = store
             .customers()
@@ -271,7 +272,12 @@ impl WindowedDatabase {
                     }
                 }
             })
-            .collect();
+            .collect::<Vec<_>>();
+        if attrition_obs::enabled() {
+            attrition_obs::global()
+                .counter("store.customers_windowed")
+                .add(customers.len() as u64);
+        }
         WindowedDatabase {
             spec,
             num_windows: n_windows,

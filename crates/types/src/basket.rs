@@ -217,7 +217,7 @@ impl fmt::Display for Receipt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use attrition_util::check::{forall, gen_vec};
 
     fn b(raw: &[u32]) -> Basket {
         Basket::from_raw(raw)
@@ -298,43 +298,66 @@ mod tests {
         assert_eq!(r.to_string(), "c9 2012-05-03 4.99 {i1}");
     }
 
-    proptest! {
-        #[test]
-        fn union_is_commutative(a in proptest::collection::vec(0u32..50, 0..20),
-                                bb in proptest::collection::vec(0u32..50, 0..20)) {
-            let (x, y) = (b(&a), b(&bb));
-            prop_assert_eq!(x.union(&y), y.union(&x));
-        }
+    fn gen_items(rng: &mut attrition_util::Rng) -> Vec<u32> {
+        gen_vec(rng, 0, 19, |r| r.u64_below(50) as u32)
+    }
 
-        #[test]
-        fn intersection_subset_of_both(a in proptest::collection::vec(0u32..50, 0..20),
-                                       bb in proptest::collection::vec(0u32..50, 0..20)) {
-            let (x, y) = (b(&a), b(&bb));
-            let inter = x.intersection(&y);
-            for item in inter.iter() {
-                prop_assert!(x.contains(item) && y.contains(item));
-            }
-        }
+    #[test]
+    fn union_is_commutative() {
+        forall(
+            256,
+            |rng| (gen_items(rng), gen_items(rng)),
+            |(a, bb)| {
+                let (x, y) = (b(a), b(bb));
+                assert_eq!(x.union(&y), y.union(&x));
+            },
+        );
+    }
 
-        #[test]
-        fn difference_disjoint_from_rhs(a in proptest::collection::vec(0u32..50, 0..20),
-                                        bb in proptest::collection::vec(0u32..50, 0..20)) {
-            let (x, y) = (b(&a), b(&bb));
-            let diff = x.difference(&y);
-            for item in diff.iter() {
-                prop_assert!(x.contains(item) && !y.contains(item));
-            }
-            // difference ∪ intersection == self
-            prop_assert_eq!(diff.union(&x.intersection(&y)), x);
-        }
+    #[test]
+    fn intersection_subset_of_both() {
+        forall(
+            256,
+            |rng| (gen_items(rng), gen_items(rng)),
+            |(a, bb)| {
+                let (x, y) = (b(a), b(bb));
+                let inter = x.intersection(&y);
+                for item in inter.iter() {
+                    assert!(x.contains(item) && y.contains(item));
+                }
+            },
+        );
+    }
 
-        #[test]
-        fn items_always_sorted_unique(a in proptest::collection::vec(0u32..1000, 0..64)) {
-            let basket = b(&a);
-            let items = basket.items();
-            for w in items.windows(2) {
-                prop_assert!(w[0] < w[1]);
-            }
-        }
+    #[test]
+    fn difference_disjoint_from_rhs() {
+        forall(
+            256,
+            |rng| (gen_items(rng), gen_items(rng)),
+            |(a, bb)| {
+                let (x, y) = (b(a), b(bb));
+                let diff = x.difference(&y);
+                for item in diff.iter() {
+                    assert!(x.contains(item) && !y.contains(item));
+                }
+                // difference ∪ intersection == self
+                assert_eq!(diff.union(&x.intersection(&y)), x);
+            },
+        );
+    }
+
+    #[test]
+    fn items_always_sorted_unique() {
+        forall(
+            256,
+            |rng| gen_vec(rng, 0, 63, |r| r.u64_below(1000) as u32),
+            |a| {
+                let basket = b(a);
+                let items = basket.items();
+                for w in items.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+            },
+        );
     }
 }

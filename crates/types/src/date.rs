@@ -282,7 +282,7 @@ impl Sub for Date {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use attrition_util::check::forall;
 
     #[test]
     fn epoch_is_1970() {
@@ -376,28 +376,54 @@ mod tests {
         assert_eq!(d.first_of_month().ymd(), (2014, 8, 1));
     }
 
-    proptest! {
-        #[test]
-        fn civil_roundtrip(days in -1_000_000i32..1_000_000) {
-            let d = Date::from_days(days);
-            let (y, m, dd) = d.ymd();
-            prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
-        }
+    #[test]
+    fn civil_roundtrip() {
+        forall(
+            512,
+            |rng| rng.i64_in(-1_000_000, 999_999) as i32,
+            |&days| {
+                let d = Date::from_days(days);
+                let (y, m, dd) = d.ymd();
+                assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+            },
+        );
+    }
 
-        #[test]
-        fn ordering_matches_days(a in -100_000i32..100_000, b in -100_000i32..100_000) {
-            let da = Date::from_days(a);
-            let db = Date::from_days(b);
-            prop_assert_eq!(da < db, a < b);
-            prop_assert_eq!(da - db, a - b);
-        }
+    #[test]
+    fn ordering_matches_days() {
+        forall(
+            512,
+            |rng| {
+                (
+                    rng.i64_in(-100_000, 99_999) as i32,
+                    rng.i64_in(-100_000, 99_999) as i32,
+                )
+            },
+            |&(a, b)| {
+                let da = Date::from_days(a);
+                let db = Date::from_days(b);
+                assert_eq!(da < db, a < b);
+                assert_eq!(da - db, a - b);
+            },
+        );
+    }
 
-        #[test]
-        fn add_months_inverse(days in -100_000i32..100_000, n in -240i32..240) {
-            let d = Date::from_days(days).first_of_month();
-            // On the first of the month, add_months is exactly invertible.
-            prop_assert_eq!(d.add_months(n).add_months(-n), d);
-            prop_assert_eq!(d.add_months(n).months_since(d), n);
-        }
+    #[test]
+    fn add_months_inverse() {
+        forall(
+            512,
+            |rng| {
+                (
+                    rng.i64_in(-100_000, 99_999) as i32,
+                    rng.i64_in(-240, 239) as i32,
+                )
+            },
+            |&(days, n)| {
+                let d = Date::from_days(days).first_of_month();
+                // On the first of the month, add_months is exactly invertible.
+                assert_eq!(d.add_months(n).add_months(-n), d);
+                assert_eq!(d.add_months(n).months_since(d), n);
+            },
+        );
     }
 }

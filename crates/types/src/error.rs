@@ -33,7 +33,9 @@ impl fmt::Display for TypeError {
             TypeError::InvalidDay { year, month, day } => {
                 write!(f, "invalid day {day} for {year:04}-{month:02}")
             }
-            TypeError::InvalidDate(s) => write!(f, "invalid date string {s:?} (expected YYYY-MM-DD)"),
+            TypeError::InvalidDate(s) => {
+                write!(f, "invalid date string {s:?} (expected YYYY-MM-DD)")
+            }
             TypeError::UnknownItem(i) => write!(f, "unknown item id {i}"),
             TypeError::UnknownSegment(s) => write!(f, "unknown segment id {s}"),
             TypeError::DuplicateItem(i) => write!(f, "item id {i} registered twice"),

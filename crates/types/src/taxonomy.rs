@@ -228,9 +228,7 @@ mod tests {
     #[test]
     fn add_product_to_unknown_segment_fails() {
         let mut b = TaxonomyBuilder::new();
-        assert!(b
-            .add_product(SegmentId::new(0), "ghost", Cents(1))
-            .is_err());
+        assert!(b.add_product(SegmentId::new(0), "ghost", Cents(1)).is_err());
     }
 
     #[test]

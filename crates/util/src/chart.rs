@@ -64,7 +64,10 @@ impl Default for ChartConfig {
 ///
 /// Returns an empty string when no series has any point.
 pub fn render(series: &[Series], cfg: &ChartConfig) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::new();
     }
@@ -183,10 +186,7 @@ mod tests {
     #[test]
     fn empty_series_renders_empty() {
         assert_eq!(render(&[], &ChartConfig::default()), "");
-        assert_eq!(
-            render(&[line(vec![])], &ChartConfig::default()),
-            ""
-        );
+        assert_eq!(render(&[line(vec![])], &ChartConfig::default()), "");
     }
 
     #[test]
@@ -238,10 +238,7 @@ mod tests {
         let out = render(&[line(pts)], &cfg);
         // First plotted row (top) should contain the glyph near the right,
         // last near the left.
-        let body: Vec<&str> = out
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let body: Vec<&str> = out.lines().filter(|l| l.contains('|')).collect();
         let top = body.first().unwrap();
         let bottom = body.last().unwrap();
         assert!(top.rfind('*').unwrap() > bottom.rfind('*').unwrap());

@@ -14,8 +14,12 @@
 //!   store's import/export and by the experiment binaries.
 //! * [`chart`] — ASCII line charts so the paper's figures can be
 //!   regenerated directly in a terminal.
+//! * [`check`] — a deterministic property-based test runner (seeded via
+//!   [`rng`]) so the workspace's property tests run offline with zero
+//!   registry dependencies.
 
 pub mod chart;
+pub mod check;
 pub mod csv;
 pub mod rng;
 pub mod stats;

@@ -273,7 +273,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.f64();
         // partition_point returns the first index whose cdf value exceeds u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// Probability mass of a rank.

@@ -164,7 +164,7 @@ pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::check::{forall, gen_vec};
 
     #[test]
     fn mean_and_variance() {
@@ -231,7 +231,6 @@ mod tests {
 
     #[test]
     fn bootstrap_ci_brackets_mean() {
-        // `crate::` path: proptest's prelude also exports an `Rng` trait.
         let mut rng = crate::rng::Rng::seed_from_u64(1);
         let xs: Vec<f64> = (0..500).map(|_| rng.normal_with(10.0, 2.0)).collect();
         let (lo, hi) = bootstrap_ci(&xs, 500, 0.05, &mut rng, mean);
@@ -248,30 +247,51 @@ mod tests {
         assert_eq!(h, vec![3, 3]);
     }
 
-    proptest! {
-        #[test]
-        fn summary_bounds_are_consistent(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
-            let s = Summary::of(&xs);
-            prop_assert!(s.min <= s.median && s.median <= s.max);
-            prop_assert!(s.min <= s.mean && s.mean <= s.max);
-            prop_assert!(s.std_dev >= 0.0);
-        }
+    #[test]
+    fn summary_bounds_are_consistent() {
+        forall(
+            256,
+            |rng| gen_vec(rng, 1, 99, |r| r.f64_in(-1e6, 1e6)),
+            |xs| {
+                let s = Summary::of(xs);
+                assert!(s.min <= s.median && s.median <= s.max);
+                assert!(s.min <= s.mean && s.mean <= s.max);
+                assert!(s.std_dev >= 0.0);
+            },
+        );
+    }
 
-        #[test]
-        fn quantile_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
-                             a in 0.0f64..1.0, b in 0.0f64..1.0) {
-            let (qa, qb) = (quantile(&xs, a), quantile(&xs, b));
-            if a <= b {
-                prop_assert!(qa <= qb + 1e-9);
-            } else {
-                prop_assert!(qb <= qa + 1e-9);
-            }
-        }
+    #[test]
+    fn quantile_monotone() {
+        forall(
+            256,
+            |rng| {
+                (
+                    gen_vec(rng, 1, 99, |r| r.f64_in(-1e6, 1e6)),
+                    rng.f64(),
+                    rng.f64(),
+                )
+            },
+            |(xs, a, b)| {
+                let (qa, qb) = (quantile(xs, *a), quantile(xs, *b));
+                if a <= b {
+                    assert!(qa <= qb + 1e-9);
+                } else {
+                    assert!(qb <= qa + 1e-9);
+                }
+            },
+        );
+    }
 
-        #[test]
-        fn histogram_conserves_count(xs in proptest::collection::vec(-10f64..10.0, 0..200)) {
-            let h = histogram(&xs, -5.0, 5.0, 7);
-            prop_assert_eq!(h.iter().sum::<usize>(), xs.len());
-        }
+    #[test]
+    fn histogram_conserves_count() {
+        forall(
+            256,
+            |rng| gen_vec(rng, 0, 199, |r| r.f64_in(-10.0, 10.0)),
+            |xs| {
+                let h = histogram(xs, -5.0, 5.0, 7);
+                assert_eq!(h.iter().sum::<usize>(), xs.len());
+            },
+        );
     }
 }

@@ -137,8 +137,7 @@ mod tests {
 
     #[test]
     fn custom_alignment() {
-        let mut t =
-            Table::new(["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
+        let mut t = Table::new(["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
         t.row(["x", "yy"]);
         let s = t.to_string();
         assert!(s.lines().nth(2).unwrap().starts_with("x"));

@@ -93,7 +93,10 @@ fn main() {
         .collect();
     let mut explanations = Vec::new();
     for c in &flagged {
-        for k in [decision_window.raw().saturating_sub(1), decision_window.raw()] {
+        for k in [
+            decision_window.raw().saturating_sub(1),
+            decision_window.raw(),
+        ] {
             if let Some(e) = matrix.explanation(*c, WindowIndex::new(k)) {
                 explanations.push(e.clone());
             }

@@ -27,8 +27,7 @@ fn main() {
     let (results, best) = grid_search(&grid, |&(w, alpha)| {
         let spec = WindowSpec::months(cfg.start, w);
         let n_windows = cfg.n_months.div_ceil(w);
-        let db =
-            WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
+        let db = WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
         let params = StabilityParams::new(alpha).expect("valid alpha");
         let matrix = StabilityEngine::new(params).compute(&db);
         // Early-detection criterion: windows ending within 4 months after

@@ -78,7 +78,11 @@ fn main() {
             "  window {:>2}: stability {:.3}   lost: {}",
             point.window.raw(),
             point.value,
-            if lost.is_empty() { "-".into() } else { lost.join(", ") }
+            if lost.is_empty() {
+                "-".into()
+            } else {
+                lost.join(", ")
+            }
         );
     }
 }

@@ -34,8 +34,7 @@ fn main() {
         // identical results (the restart is invisible to the output).
         if n == midpoint {
             let checkpoint = monitor.snapshot();
-            monitor = StabilityMonitor::restore(&checkpoint)
-                .expect("own checkpoint restores");
+            monitor = StabilityMonitor::restore(&checkpoint).expect("own checkpoint restores");
             println!(
                 "[restarted from a {}-byte checkpoint at receipt {n}; {} customers restored]\n",
                 checkpoint.len(),

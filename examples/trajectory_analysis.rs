@@ -57,7 +57,11 @@ fn main() {
             .iter()
             .map(|&s| {
                 // log-scale sparkline: significance spans orders of magnitude.
-                let level = if s <= 0.0 { 0 } else { (s.log2() + 2.0).clamp(0.0, 7.0) as usize };
+                let level = if s <= 0.0 {
+                    0
+                } else {
+                    (s.log2() + 2.0).clamp(0.0, 7.0) as usize
+                };
                 [' ', '.', ':', '-', '=', '+', '*', '#'][level]
             })
             .collect();

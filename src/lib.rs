@@ -17,6 +17,7 @@
 //! | [`model`] | `attrition-core` | the stability model: significance, stability, explanation |
 //! | [`rfm`] | `attrition-rfm` | the RFM + logistic-regression baseline |
 //! | [`eval`] | `attrition-eval` | ROC/AUROC, cross-validation, grid search, calibration |
+//! | [`obs`] | `attrition-obs` | pipeline observability: metrics registry, stage timers |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 pub use attrition_core as model;
 pub use attrition_datagen as datagen;
 pub use attrition_eval as eval;
+pub use attrition_obs as obs;
 pub use attrition_rfm as rfm;
 pub use attrition_store as store;
 pub use attrition_types as types;

@@ -1,0 +1,66 @@
+//! Thread-count invariance of the batch scoring engine.
+//!
+//! Customers are scored independently and merged back in chunk order,
+//! so the number of worker threads must never change a single bit of
+//! the output. This is load-bearing for the observability work: stage
+//! timings and per-thread telemetry must stay strictly read-only with
+//! respect to the scored results.
+
+use attrition::prelude::*;
+
+/// A 500-customer scenario — large enough that the engine actually
+/// fans out (the serial fallback kicks in below 32 customers).
+fn scenario_db() -> (WindowedDatabase, ScenarioConfig) {
+    let mut cfg = ScenarioConfig::small();
+    cfg.n_loyal = 250;
+    cfg.n_defectors = 250;
+    let dataset = attrition::datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let spec = WindowSpec::months(cfg.start, 2);
+    let n_windows = cfg.n_months.div_ceil(2);
+    let db = WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
+    (db, cfg)
+}
+
+#[test]
+fn one_thread_and_eight_threads_agree_bit_for_bit() {
+    let (db, _) = scenario_db();
+    assert_eq!(db.num_customers(), 500);
+    let serial = StabilityEngine::new(StabilityParams::PAPER)
+        .with_threads(1)
+        .compute(&db);
+    let parallel = StabilityEngine::new(StabilityParams::PAPER)
+        .with_threads(8)
+        .compute(&db);
+
+    assert_eq!(serial.num_customers(), parallel.num_customers());
+    assert_eq!(serial.num_windows, parallel.num_windows);
+    for (a, b) in serial.analyses().iter().zip(parallel.analyses()) {
+        assert_eq!(a.customer, b.customer);
+        // Bit-identical stability points: every float must match under
+        // to_bits, not just approximately.
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.window, pb.window);
+            assert_eq!(
+                pa.value.to_bits(),
+                pb.value.to_bits(),
+                "customer {} window {:?}: {} vs {}",
+                a.customer,
+                pa.window,
+                pa.value,
+                pb.value
+            );
+        }
+        // Explanation rankings (lost products and their shares) too.
+        assert_eq!(a.explanations, b.explanations);
+    }
+
+    // The derived artifacts downstream consumers read must agree as well.
+    let last = WindowIndex::new(serial.num_windows - 1);
+    assert_eq!(
+        serial.attrition_scores_at(last),
+        parallel.attrition_scores_at(last)
+    );
+    assert_eq!(serial.rank_at(last, 50), parallel.rank_at(last, 50));
+}

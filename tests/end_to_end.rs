@@ -111,11 +111,17 @@ fn streaming_monitor_matches_batch_engine() {
         std::collections::HashMap::new();
     for (customer, date, basket) in stream {
         for closed in monitor.ingest(customer, date, &basket) {
-            online.insert((closed.customer, closed.point.window.raw()), closed.point.value);
+            online.insert(
+                (closed.customer, closed.point.window.raw()),
+                closed.point.value,
+            );
         }
     }
     for closed in monitor.flush_until(cfg.start.add_months(cfg.n_months as i32)) {
-        online.insert((closed.customer, closed.point.window.raw()), closed.point.value);
+        online.insert(
+            (closed.customer, closed.point.window.raw()),
+            closed.point.value,
+        );
     }
 
     let mut compared = 0usize;
@@ -172,8 +178,8 @@ fn classifier_flags_defectors_not_loyals_late() {
     let mut flagged_defectors = 0usize;
     let mut flagged_loyal = 0usize;
     for (customer, value) in matrix.stability_at(k) {
-        let flagged = classifier.classify_value(value)
-            == attrition::model::classifier::Verdict::Defecting;
+        let flagged =
+            classifier.classify_value(value) == attrition::model::classifier::Verdict::Defecting;
         if flagged {
             if dataset.labels.cohort_of(customer).unwrap().is_defector() {
                 flagged_defectors += 1;

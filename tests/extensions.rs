@@ -35,7 +35,10 @@ fn ranking_concentrates_on_defectors() {
         .iter()
         .filter(|(c, _)| dataset.labels.cohort_of(*c).unwrap().is_defector())
         .count();
-    assert!(defectors >= 17, "only {defectors}/20 top-ranked are defectors");
+    assert!(
+        defectors >= 17,
+        "only {defectors}/20 top-ranked are defectors"
+    );
 }
 
 #[test]
@@ -132,10 +135,6 @@ fn variants_agree_on_who_is_defecting_late() {
             scores.push(1.0 - series[last].value);
         }
         let auc = auroc(&labels, &scores);
-        assert!(
-            auc > 0.85,
-            "variant {} late AUROC {auc}",
-            variant.label()
-        );
+        assert!(auc > 0.85, "variant {} late AUROC {auc}", variant.label());
     }
 }

@@ -7,11 +7,7 @@ use attrition::datagen::{figure2_customer, Simulator};
 use attrition::prelude::*;
 use attrition::store::project_to_segments;
 
-fn auroc_at(
-    matrix: &StabilityMatrix,
-    labels: &LabelSet,
-    k: u32,
-) -> f64 {
+fn auroc_at(matrix: &StabilityMatrix, labels: &LabelSet, k: u32) -> f64 {
     let pairs = matrix.attrition_scores_at(WindowIndex::new(k));
     let lab: Vec<bool> = pairs
         .iter()
@@ -83,7 +79,12 @@ fn figure2_narrative_holds() {
     let dataset = attrition::datagen::generate(&cfg);
     let customer = CustomerId::new(1_000_000);
     let profile = figure2_customer(&dataset.taxonomy, customer, 20);
-    let sim = Simulator::new(cfg.start, cfg.n_months, cfg.seasonality.clone(), cfg.seed ^ 0xF16);
+    let sim = Simulator::new(
+        cfg.start,
+        cfg.n_months,
+        cfg.seasonality.clone(),
+        cfg.seed ^ 0xF16,
+    );
     let store = sim.run(&[profile], &dataset.taxonomy);
     let seg_store = project_to_segments(&store, &dataset.taxonomy).unwrap();
     let db = WindowedDatabase::from_store(
@@ -92,11 +93,7 @@ fn figure2_narrative_holds() {
         14,
         WindowAlignment::Global,
     );
-    let analysis = analyze_customer(
-        db.customer(customer).unwrap(),
-        StabilityParams::PAPER,
-        4,
-    );
+    let analysis = analyze_customer(db.customer(customer).unwrap(), StabilityParams::PAPER, 4);
 
     // Loyal through month 20 (windows 2..=9 after warm-up).
     for k in 2..=9usize {

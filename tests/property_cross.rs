@@ -2,8 +2,8 @@
 //! are checked against naive reference implementations on random inputs.
 
 use attrition::prelude::*;
+use attrition::util::check::{forall, gen_vec};
 use attrition::util::Rng;
-use proptest::prelude::*;
 
 /// Naive O(n²) AUROC: fraction of (positive, negative) pairs ranked
 /// correctly, ties counting half.
@@ -74,118 +74,149 @@ fn windows_of(history: &[Vec<u32>]) -> attrition::store::CustomerWindows {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn auroc_matches_naive_pair_counting(seed in 0u64..5000, n in 4usize..80) {
-        let mut rng = Rng::seed_from_u64(seed);
-        let labels: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
-        // Quantized scores to exercise tie handling.
-        let scores: Vec<f64> = (0..n).map(|_| (rng.f64() * 6.0).floor()).collect();
-        let fast = auroc(&labels, &scores);
-        let naive = naive_auroc(&labels, &scores);
-        if naive.is_nan() {
-            prop_assert!(fast.is_nan());
-        } else {
-            prop_assert!((fast - naive).abs() < 1e-12, "fast {fast} vs naive {naive}");
-        }
-    }
-
-    #[test]
-    fn stability_matches_naive_definition(
-        history in proptest::collection::vec(proptest::collection::vec(0u32..8, 0..5), 1..12)
-    ) {
-        let w = windows_of(&history);
-        let series = attrition::model::stability_series(&w, StabilityParams::PAPER);
-        for (k, point) in series.iter().enumerate() {
-            let naive = naive_stability(&history, k, 2.0);
-            prop_assert!(
-                (point.value - naive).abs() < 1e-9,
-                "window {k}: fast {} vs naive {naive}", point.value
-            );
-        }
-    }
-
-    #[test]
-    fn windowing_partitions_receipts(seed in 0u64..2000) {
-        // Every receipt inside the horizon lands in exactly one window and
-        // its items are all in that window's union.
-        let mut rng = Rng::seed_from_u64(seed);
-        let d0 = Date::from_ymd(2012, 5, 1).unwrap();
-        let mut builder = ReceiptStoreBuilder::new();
-        let n_receipts = 60;
-        for _ in 0..n_receipts {
-            let date = d0 + rng.u64_below(300) as i32;
-            let items: Vec<u32> = (0..rng.u64_below(4) + 1)
-                .map(|_| rng.u64_below(20) as u32)
-                .collect();
-            builder.push(Receipt::new(
-                CustomerId::new(rng.u64_below(3)),
-                date,
-                Basket::from_raw(&items),
-                Cents(100),
-            ));
-        }
-        let store = builder.build();
-        let spec = WindowSpec::months(d0, 2);
-        let n_windows = 5u32; // horizon: 10 months = 300+ days
-        let db = WindowedDatabase::from_store(&store, spec, n_windows, WindowAlignment::Global);
-        for r in store.receipts() {
-            let Some(k) = spec.window_of(r.date) else { continue };
-            if k.raw() >= n_windows {
-                continue;
+#[test]
+fn auroc_matches_naive_pair_counting() {
+    forall(
+        64,
+        |rng| {
+            let n = 4 + rng.usize_below(76);
+            let labels: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+            // Quantized scores to exercise tie handling.
+            let scores: Vec<f64> = (0..n).map(|_| (rng.f64() * 6.0).floor()).collect();
+            (labels, scores)
+        },
+        |(labels, scores)| {
+            let fast = auroc(labels, scores);
+            let naive = naive_auroc(labels, scores);
+            if naive.is_nan() {
+                assert!(fast.is_nan());
+            } else {
+                assert!((fast - naive).abs() < 1e-12, "fast {fast} vs naive {naive}");
             }
-            // The receipt's window contains all its items.
-            let cw = db.customer(r.customer).unwrap();
-            for &item in r.items {
-                prop_assert!(cw.baskets[k.index()].contains(item));
-            }
-            // And the receipt's date is within that window's bounds only.
-            prop_assert!(r.date >= spec.window_start(k.raw()));
-            prop_assert!(r.date < spec.window_end(k.raw()));
-        }
-        // Trip counts add up.
-        let total_trips: u32 = db.customers().iter().flat_map(|c| c.trips.iter()).sum();
-        let in_horizon = store
-            .receipts()
-            .filter(|r| {
-                spec.window_of(r.date)
-                    .map(|k| k.raw() < n_windows)
-                    .unwrap_or(false)
+        },
+    );
+}
+
+#[test]
+fn stability_matches_naive_definition() {
+    forall(
+        64,
+        |rng| {
+            gen_vec(rng, 1, 11, |r| {
+                gen_vec(r, 0, 4, |rr| rr.u64_below(8) as u32)
             })
-            .count();
-        prop_assert_eq!(total_trips as usize, in_horizon);
-    }
+        },
+        |history| {
+            let w = windows_of(history);
+            let series = attrition::model::stability_series(&w, StabilityParams::PAPER);
+            for (k, point) in series.iter().enumerate() {
+                let naive = naive_stability(history, k, 2.0);
+                assert!(
+                    (point.value - naive).abs() < 1e-9,
+                    "window {k}: fast {} vs naive {naive}",
+                    point.value
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn logistic_irls_reaches_stationary_point(seed in 0u64..500) {
-        // At convergence the penalized gradient must vanish.
-        use attrition::rfm::LogisticRegression;
-        let mut rng = Rng::seed_from_u64(seed);
-        let n = 300;
-        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.normal(), rng.normal()]).collect();
-        let y: Vec<bool> = x
-            .iter()
-            .map(|r| rng.bernoulli(1.0 / (1.0 + (-(r[0] - 0.5 * r[1])).exp())))
-            .collect();
-        prop_assume!(y.iter().any(|&l| l) && y.iter().any(|&l| !l));
-        let mut lr = LogisticRegression::new(2).with_l2(1e-3);
-        let report = lr.fit(&x, &y);
-        prop_assume!(report.converged);
-        // gradient_j = Σ (y − p)·x_j − λ w_j  (λ applied to non-intercept)
-        let mut grad = [0.0f64; 3];
-        for (row, &label) in x.iter().zip(&y) {
-            let p = lr.predict_proba(row);
-            let resid = (if label { 1.0 } else { 0.0 }) - p;
-            grad[0] += resid;
-            grad[1] += resid * row[0];
-            grad[2] += resid * row[1];
-        }
-        grad[1] -= 1e-3 * lr.weights[1];
-        grad[2] -= 1e-3 * lr.weights[2];
-        for (j, g) in grad.iter().enumerate() {
-            prop_assert!(g.abs() < 1e-4 * n as f64, "gradient[{j}] = {g}");
-        }
-    }
+#[test]
+fn windowing_partitions_receipts() {
+    // Every receipt inside the horizon lands in exactly one window and
+    // its items are all in that window's union.
+    forall(
+        64,
+        |rng| rng.next_u64(),
+        |&seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let d0 = Date::from_ymd(2012, 5, 1).unwrap();
+            let mut builder = ReceiptStoreBuilder::new();
+            let n_receipts = 60;
+            for _ in 0..n_receipts {
+                let date = d0 + rng.u64_below(300) as i32;
+                let items: Vec<u32> = (0..rng.u64_below(4) + 1)
+                    .map(|_| rng.u64_below(20) as u32)
+                    .collect();
+                builder.push(Receipt::new(
+                    CustomerId::new(rng.u64_below(3)),
+                    date,
+                    Basket::from_raw(&items),
+                    Cents(100),
+                ));
+            }
+            let store = builder.build();
+            let spec = WindowSpec::months(d0, 2);
+            let n_windows = 5u32; // horizon: 10 months = 300+ days
+            let db = WindowedDatabase::from_store(&store, spec, n_windows, WindowAlignment::Global);
+            for r in store.receipts() {
+                let Some(k) = spec.window_of(r.date) else {
+                    continue;
+                };
+                if k.raw() >= n_windows {
+                    continue;
+                }
+                // The receipt's window contains all its items.
+                let cw = db.customer(r.customer).unwrap();
+                for &item in r.items {
+                    assert!(cw.baskets[k.index()].contains(item));
+                }
+                // And the receipt's date is within that window's bounds only.
+                assert!(r.date >= spec.window_start(k.raw()));
+                assert!(r.date < spec.window_end(k.raw()));
+            }
+            // Trip counts add up.
+            let total_trips: u32 = db.customers().iter().flat_map(|c| c.trips.iter()).sum();
+            let in_horizon = store
+                .receipts()
+                .filter(|r| {
+                    spec.window_of(r.date)
+                        .map(|k| k.raw() < n_windows)
+                        .unwrap_or(false)
+                })
+                .count();
+            assert_eq!(total_trips as usize, in_horizon);
+        },
+    );
+}
+
+#[test]
+fn logistic_irls_reaches_stationary_point() {
+    // At convergence the penalized gradient must vanish.
+    use attrition::rfm::LogisticRegression;
+    forall(
+        64,
+        |rng| rng.next_u64(),
+        |&seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let n = 300;
+            let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.normal(), rng.normal()]).collect();
+            let y: Vec<bool> = x
+                .iter()
+                .map(|r| rng.bernoulli(1.0 / (1.0 + (-(r[0] - 0.5 * r[1])).exp())))
+                .collect();
+            if !(y.iter().any(|&l| l) && y.iter().any(|&l| !l)) {
+                return; // both classes needed; vanishingly rare at n=300
+            }
+            let mut lr = LogisticRegression::new(2).with_l2(1e-3);
+            let report = lr.fit(&x, &y);
+            if !report.converged {
+                return; // IRLS non-convergence is not this property's concern
+            }
+            // gradient_j = Σ (y − p)·x_j − λ w_j  (λ applied to non-intercept)
+            let mut grad = [0.0f64; 3];
+            for (row, &label) in x.iter().zip(&y) {
+                let p = lr.predict_proba(row);
+                let resid = (if label { 1.0 } else { 0.0 }) - p;
+                grad[0] += resid;
+                grad[1] += resid * row[0];
+                grad[2] += resid * row[1];
+            }
+            grad[1] -= 1e-3 * lr.weights[1];
+            grad[2] -= 1e-3 * lr.weights[2];
+            for (j, g) in grad.iter().enumerate() {
+                assert!(g.abs() < 1e-4 * n as f64, "gradient[{j}] = {g}");
+            }
+        },
+    );
 }

@@ -1,0 +1,229 @@
+//! LOADGEN — paced load generator for the online scoring server.
+//!
+//! Replays a datagen scenario's receipts chronologically over the TCP
+//! line protocol at a target request rate, spreading requests over
+//! several connections, then fills the remaining run time with `SCORE`
+//! reads. Reports per-request latency percentiles, the achieved rate
+//! and the protocol error count, both as a table and as
+//! `results/serve_latency.json` (machine-readable, consumed by CI).
+//!
+//! By default it spawns an in-process server on an ephemeral loopback
+//! port; point it at an externally started server with `--addr`
+//! (e.g. `attrition serve --origin 2012-05-01 --window 1`).
+//!
+//! Run: `cargo run -p attrition-bench --release --bin loadgen --
+//!       [--addr HOST:PORT] [--rps 500] [--duration-s 5]
+//!       [--connections 4] [--customers 200] [--seed 7] [--shutdown]`
+
+use attrition_bench::write_result;
+use attrition_core::StabilityParams;
+use attrition_datagen::ScenarioConfig;
+use attrition_serve::server::{self, ServerConfig};
+use attrition_serve::{Client, Reply};
+use attrition_store::{chronological, WindowSpec};
+use attrition_types::Date;
+use attrition_util::stats::quantile_sorted;
+use attrition_util::Table;
+use std::time::{Duration, Instant};
+
+struct Flags {
+    addr: Option<String>,
+    rps: f64,
+    duration: Duration,
+    connections: usize,
+    customers: usize,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        addr: None,
+        rps: 500.0,
+        duration: Duration::from_secs(5),
+        connections: 4,
+        customers: 200,
+        seed: 7,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("flag {name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => flags.addr = Some(value("--addr")),
+            "--rps" => flags.rps = value("--rps").parse().expect("--rps"),
+            "--duration-s" => {
+                flags.duration =
+                    Duration::from_secs_f64(value("--duration-s").parse().expect("--duration-s"))
+            }
+            "--connections" => {
+                flags.connections = value("--connections").parse().expect("--connections")
+            }
+            "--customers" => flags.customers = value("--customers").parse().expect("--customers"),
+            "--seed" => flags.seed = value("--seed").parse().expect("--seed"),
+            "--shutdown" => flags.shutdown = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    assert!(flags.rps > 0.0, "--rps must be positive");
+    assert!(flags.connections > 0, "--connections must be at least 1");
+    flags
+}
+
+/// One replayable request: an ingest line or a score read.
+enum Op {
+    Ingest {
+        customer: u64,
+        date: Date,
+        items: Vec<u32>,
+    },
+    Score {
+        customer: u64,
+    },
+}
+
+fn main() {
+    let flags = parse_flags();
+
+    // The replay workload: the scenario's receipts, globally
+    // date-sorted (per-customer order is what the server enforces).
+    let mut cfg = ScenarioConfig::small();
+    cfg.seed = flags.seed;
+    cfg.n_loyal = flags.customers / 2;
+    cfg.n_defectors = flags.customers - flags.customers / 2;
+    let dataset = attrition_datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let ops: Vec<Op> = chronological(&seg_store)
+        .map(|r| Op::Ingest {
+            customer: r.customer.raw(),
+            date: r.date,
+            items: r.items.iter().map(|i| i.raw()).collect(),
+        })
+        .collect();
+    let customer_ids: Vec<u64> = {
+        let mut ids: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Ingest { customer, .. } => Some(*customer),
+                Op::Score { .. } => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+
+    // Target: an external server, or an in-process one on loopback.
+    let (addr, _server) = match &flags.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let spec = WindowSpec::months(cfg.start, 1);
+            let handle = server::start(ServerConfig::new(
+                "127.0.0.1:0",
+                spec,
+                StabilityParams::PAPER,
+            ))
+            .expect("in-process server must start");
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+    eprintln!(
+        "loadgen: {} receipts from {} customers → {} at {} req/s over {} connections for {:?}",
+        ops.len(),
+        customer_ids.len(),
+        addr,
+        flags.rps,
+        flags.connections,
+        flags.duration
+    );
+
+    let mut clients: Vec<Client> = (0..flags.connections)
+        .map(|_| Client::connect(&addr, Duration::from_secs(10)).expect("connect to server"))
+        .collect();
+
+    // Paced closed-loop replay: request i is due at start + i/rps; once
+    // the receipt stream is exhausted, keep the rate up with SCORE reads.
+    let started = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    let mut sent = 0u64;
+    let mut ingests = 0u64;
+    let mut ops_iter = ops.into_iter();
+    loop {
+        let due = started + Duration::from_secs_f64(sent as f64 / flags.rps);
+        let now = Instant::now();
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        if started.elapsed() >= flags.duration {
+            break;
+        }
+        let op = ops_iter.next().unwrap_or_else(|| Op::Score {
+            customer: customer_ids[sent as usize % customer_ids.len()],
+        });
+        let client = &mut clients[sent as usize % flags.connections];
+        let t0 = Instant::now();
+        let reply = match &op {
+            Op::Ingest {
+                customer,
+                date,
+                items,
+            } => {
+                ingests += 1;
+                client.ingest(*customer, *date, items)
+            }
+            Op::Score { customer } => client.score(*customer),
+        };
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        sent += 1;
+        // An `ERR unknown customer` is only possible before that
+        // customer's first ingest reached the server — not with this
+        // workload, so every ERR is a real protocol failure.
+        if let Reply::Err(message) = reply.expect("transport error talking to server") {
+            errors += 1;
+            eprintln!("loadgen: ERR {message}");
+        }
+    }
+    let elapsed = started.elapsed();
+    let achieved_rps = sent as f64 / elapsed.as_secs_f64();
+
+    if flags.shutdown {
+        let reply = clients[0].send("SHUTDOWN").expect("shutdown rpc");
+        assert!(matches!(reply, Reply::Ok(_)), "unexpected {reply:?}");
+    }
+    drop(clients);
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| quantile_sorted(&latencies_ms, q);
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let max = latencies_ms.last().copied().unwrap_or(f64::NAN);
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["requests sent".into(), sent.to_string()]);
+    table.row(["ingest requests".into(), ingests.to_string()]);
+    table.row(["protocol errors".into(), errors.to_string()]);
+    table.row(["target req/s".into(), format!("{:.0}", flags.rps)]);
+    table.row(["achieved req/s".into(), format!("{achieved_rps:.1}")]);
+    table.row(["p50 latency (ms)".into(), format!("{p50:.3}")]);
+    table.row(["p95 latency (ms)".into(), format!("{p95:.3}")]);
+    table.row(["p99 latency (ms)".into(), format!("{p99:.3}")]);
+    table.row(["max latency (ms)".into(), format!("{max:.3}")]);
+    println!("\nLOADGEN: serve latency under paced replay\n\n{table}");
+
+    let json = format!(
+        "{{\"requests\": {sent}, \"ingests\": {ingests}, \"errors\": {errors}, \
+         \"target_rps\": {:.1}, \"achieved_rps\": {achieved_rps:.3}, \
+         \"p50_ms\": {p50:.6}, \"p95_ms\": {p95:.6}, \"p99_ms\": {p99:.6}, \
+         \"max_ms\": {max:.6}, \"connections\": {}, \"customers\": {}}}\n",
+        flags.rps,
+        flags.connections,
+        customer_ids.len(),
+    );
+    write_result("serve_latency.json", &json);
+    write_result("serve_latency.txt", &format!("{table}\n"));
+
+    assert_eq!(errors, 0, "protocol errors during replay");
+}

@@ -17,6 +17,7 @@
 //! | `detection_latency`    | earliness claim quantified: onset-to-alarm delay at fixed FPR |
 //! | `sensitivity`          | calibration sensitivity of the synthetic substitution |
 //! | `scalability`          | systems benchmark — end-to-end throughput sweep |
+//! | `loadgen`              | systems benchmark — paced latency measurement of the serving layer |
 //!
 //! This library holds the shared plumbing: scenario preparation, the
 //! per-window AUROC series for both models, and result-file output under

@@ -6,6 +6,7 @@ use attrition_core::{analyze_customer, StabilityEngine, StabilityMonitor, Stabil
 use attrition_datagen::{generate as generate_dataset, ScenarioConfig};
 use attrition_eval::auroc;
 use attrition_rfm::{out_of_fold_scores, RfmModel};
+use attrition_serve::{ServerConfig, ShardedMonitor};
 use attrition_store::{
     csv_io, project_to_segments, DatasetStats, ReceiptStore, WindowAlignment, WindowSpec,
     WindowedDatabase,
@@ -103,6 +104,28 @@ FLAGS:
     --alpha X           significance base α (default 2)
     --window N          window length in months (default 2)
     --warmup N          windows to skip before alerting (default 3)"
+            .into(),
+        "serve" => "\
+attrition serve — online scoring server (newline-delimited TCP protocol)
+
+FLAGS:
+    --addr HOST:PORT        bind address (default 127.0.0.1:7711; port 0 = ephemeral)
+    --origin YYYY-MM-DD     window grid origin (required unless --restore)
+    --window N              window length in months (default 2)
+    --alpha X               significance base α (default 2)
+    --shards N              monitor shards (default 8)
+    --workers N             connection worker threads (default 4)
+    --queue N               waiting connections before ERR busy (default 64)
+    --read-timeout-ms N     idle connection timeout (default 5000)
+    --snapshot PATH         checkpoint written by SNAPSHOT and at shutdown
+    --restore PATH          start from a checkpoint (grid, α and explanation
+                            depth come from its header; --origin/--window/
+                            --alpha/--max-explanations are rejected)
+    --max-explanations N    lost products per closed-window explanation (default 5)
+
+Serves INGEST/SCORE/FLUSH/SNAPSHOT/STATS/PING/SHUTDOWN until SHUTDOWN or
+ctrl-c, then drains connections, writes the snapshot (if configured) and
+prints a summary. See README's Serving section for the protocol."
             .into(),
         other => return format!("no detailed help for {other:?}; run `attrition help`"),
     };
@@ -444,5 +467,78 @@ pub fn monitor(args: &Args) -> CliResult {
         }
     }
     println!("\n{alerts} alerts (stability ≤ {beta}, warm-up {warmup} windows)");
+    Ok(())
+}
+
+/// `attrition serve`
+pub fn serve(args: &Args) -> CliResult {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7711").to_owned();
+    let shards: usize = args.get_parsed("shards", 8)?;
+    let workers: usize = args.get_parsed("workers", 4)?;
+    let queue: usize = args.get_parsed("queue", 64)?;
+    let read_timeout_ms: u64 = args.get_parsed("read-timeout-ms", 5000)?;
+    if shards == 0 || workers == 0 {
+        return Err("--shards and --workers must be at least 1".into());
+    }
+
+    // The window grid comes either from flags or — under `--restore` —
+    // from the checkpoint's own header; mixing the two is rejected.
+    let (spec, params, monitor) = match args.get("restore") {
+        Some(path) => {
+            for flag in ["origin", "window", "alpha", "max-explanations"] {
+                if args.get(flag).is_some() {
+                    return Err(format!(
+                        "--{flag} conflicts with --restore (the checkpoint header fixes it)"
+                    )
+                    .into());
+                }
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
+            let merged = StabilityMonitor::restore(&text)
+                .map_err(|e| format!("cannot restore checkpoint {path}: {e}"))?;
+            eprintln!("restored {} customers from {path}", merged.num_customers());
+            let (spec, params) = (merged.spec(), merged.params());
+            (spec, params, ShardedMonitor::from_monitor(merged, shards))
+        }
+        None => {
+            let origin = attrition_types::Date::parse_iso(args.require("origin")?)
+                .map_err(|e| format!("bad --origin: {e}"))?;
+            let w_months: u32 = args.get_parsed("window", 2)?;
+            let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+            let max_explanations: usize = args.get_parsed("max-explanations", 5)?;
+            let params = StabilityParams::new(alpha)?;
+            let spec = WindowSpec::months(origin, w_months);
+            (
+                spec,
+                params,
+                ShardedMonitor::new(shards, spec, params, max_explanations),
+            )
+        }
+    };
+
+    let mut config = ServerConfig::new(addr, spec, params);
+    config.n_shards = shards;
+    config.workers = workers;
+    config.queue_capacity = queue;
+    config.read_timeout = std::time::Duration::from_millis(read_timeout_ms);
+    config.snapshot_path = args.get("snapshot").map(std::path::PathBuf::from);
+
+    attrition_serve::install_sigint_handler();
+    let handle = attrition_serve::start_with(config, monitor)?;
+    println!("listening on {}", handle.local_addr());
+    let summary = handle.join();
+    println!(
+        "served {} requests ({} errors) over {} connections ({} rejected busy); \
+         {} customers tracked",
+        summary.requests,
+        summary.errors,
+        summary.connections,
+        summary.rejected_busy,
+        summary.customers
+    );
+    if let Some(path) = &summary.snapshot_path {
+        println!("snapshot written to {}", path.display());
+    }
     Ok(())
 }

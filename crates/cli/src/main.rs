@@ -14,6 +14,9 @@
 //!                    [--alpha 2] [--window 2] [--min-share 0.02]
 //! attrition monitor  --receipts FILE --taxonomy FILE [--beta 0.6]
 //!                    [--alpha 2] [--window 2] [--warmup 3]
+//! attrition serve    --origin DATE [--addr HOST:PORT] [--window 2] [--alpha 2]
+//!                    [--shards 8] [--workers 4] [--queue 64]
+//!                    [--snapshot PATH | --restore PATH]
 //! ```
 //!
 //! Receipt files are CSV (`attrition-store::csv_io`) or the binary
@@ -43,6 +46,7 @@ COMMANDS:
     rank       the most at-risk customers at a window, with lost products
     export     write stability scores and explanations as CSV files
     monitor    replay receipts through the streaming monitor, printing alerts
+    serve      run the online scoring server (TCP line protocol)
     help       show this message
 
 GLOBAL FLAGS:
@@ -92,6 +96,7 @@ fn main() -> ExitCode {
         "rank" => commands::rank(&parsed),
         "export" => commands::export(&parsed),
         "monitor" => commands::monitor(&parsed),
+        "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

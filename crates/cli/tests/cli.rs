@@ -65,7 +65,7 @@ fn unknown_command_fails() {
 #[test]
 fn help_flag_succeeds_per_command() {
     for cmd in [
-        "generate", "stats", "evaluate", "explain", "rank", "export", "monitor",
+        "generate", "stats", "evaluate", "explain", "rank", "export", "monitor", "serve",
     ] {
         let out = run(&[cmd, "--help"]);
         assert!(out.status.success(), "{cmd} --help failed");
@@ -257,6 +257,128 @@ fn generate_rejects_bad_preset_and_onset() {
     ]);
     assert!(!out2.status.success());
     assert!(stderr(&out2).contains("onset"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ── `serve` subcommand ──────────────────────────────────────────────
+
+#[test]
+fn serve_requires_origin_without_restore() {
+    let out = run(&["serve", "--addr", "127.0.0.1:0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--origin"));
+}
+
+#[test]
+fn serve_rejects_grid_flags_with_restore() {
+    let out = run(&[
+        "serve",
+        "--restore",
+        "whatever.csv",
+        "--origin",
+        "2012-05-01",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("conflicts with --restore"));
+}
+
+#[test]
+fn serve_corrupt_checkpoint_exits_nonzero_naming_line_and_field() {
+    let dir = temp_dir("badsnap");
+    let path = dir.join("corrupt.csv");
+    // Valid header, then a customer row whose window count is garbage.
+    std::fs::write(&path, "#monitor,15461,m1,2,5\nc,7,three,4\n").unwrap();
+    let out = run(&["serve", "--restore", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("line 2"), "no line number: {err}");
+    assert!(err.contains("current_window"), "no field name: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Full binary-level serve round trip: start on an ephemeral port, read
+/// the bound address from stdout, speak the protocol over TCP, shut
+/// down, and check the summary and the shutdown snapshot.
+#[test]
+fn serve_responds_over_tcp_and_writes_snapshot_on_shutdown() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = temp_dir("servetcp");
+    let snapshot = dir.join("state.csv");
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--origin",
+            "2012-05-01",
+            "--window",
+            "1",
+            "--snapshot",
+            snapshot.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve must start");
+
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_owned();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    fn rpc(
+        writer: &mut std::net::TcpStream,
+        reader: &mut BufReader<std::net::TcpStream>,
+        req: &str,
+    ) -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_owned()
+    }
+    assert_eq!(rpc(&mut writer, &mut reader, "PING"), "PONG");
+    assert_eq!(
+        rpc(&mut writer, &mut reader, "INGEST 5 2012-05-03 1 2"),
+        "OK 0"
+    );
+    // Month 5 → 7 closes two one-month windows.
+    assert_eq!(
+        rpc(&mut writer, &mut reader, "INGEST 5 2012-07-03 1"),
+        "OK 2"
+    );
+    let mut closed = String::new();
+    for _ in 0..2 {
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        closed.push_str(&l);
+    }
+    assert!(
+        closed.lines().all(|l| l.starts_with("CLOSED 5 ")),
+        "{closed}"
+    );
+    assert!(rpc(&mut writer, &mut reader, "SCORE 5").starts_with("SCORE 5 "));
+    assert_eq!(rpc(&mut writer, &mut reader, "SHUTDOWN"), "OK draining");
+
+    let status = child.wait().expect("serve must exit");
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut child_out, &mut rest).unwrap();
+    assert!(rest.contains("served 5 requests"), "{rest}");
+    assert!(rest.contains("snapshot written"), "{rest}");
+    // The checkpoint restores and still knows customer 5.
+    let text = std::fs::read_to_string(&snapshot).unwrap();
+    assert!(text.lines().any(|l| l.starts_with("c,5,")), "{text}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -18,6 +18,45 @@ use attrition_store::WindowSpec;
 use attrition_types::{Basket, CustomerId, Date, ItemId, WindowIndex};
 use std::collections::HashMap;
 
+/// A structured error from [`StabilityMonitor::restore`]: names the
+/// checkpoint line and, when attributable, the field that failed, so an
+/// operator restoring a server snapshot sees *where* the file is bad
+/// instead of a context-free message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError {
+    /// 1-based line of the checkpoint the error was detected at.
+    pub line: usize,
+    /// The field that failed to parse, when attributable.
+    pub field: Option<&'static str>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl RestoreError {
+    fn new(line: usize, field: Option<&'static str>, message: impl Into<String>) -> RestoreError {
+        RestoreError {
+            line,
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.field {
+            Some(field) => write!(
+                f,
+                "checkpoint line {}, field `{}`: {}",
+                self.line, field, self.message
+            ),
+            None => write!(f, "checkpoint line {}: {}", self.line, self.message),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// A closed-window event emitted by the monitor.
 #[derive(Debug, Clone)]
 pub struct WindowClosed {
@@ -68,6 +107,56 @@ impl StabilityMonitor {
     /// Number of customers currently tracked.
     pub fn num_customers(&self) -> usize {
         self.customers.len()
+    }
+
+    /// The window grid this monitor scores on.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The significance parameters this monitor scores with.
+    pub fn params(&self) -> StabilityParams {
+        self.params
+    }
+
+    /// How many lost products each emitted explanation retains.
+    pub fn max_explanations(&self) -> usize {
+        self.max_explanations
+    }
+
+    /// The tracked customers, in ascending id order.
+    pub fn customer_ids(&self) -> Vec<CustomerId> {
+        let mut ids: Vec<CustomerId> = self.customers.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Split the monitor into `n` monitors that together track exactly
+    /// the original customer set: customer `c` moves to the monitor at
+    /// `route(c)`. All fragments share the grid and parameters; scoring
+    /// a customer in its fragment is bit-identical to scoring it here
+    /// (per-customer state is independent). This is what a shard router
+    /// uses to fan one restored checkpoint out across shards.
+    ///
+    /// # Panics
+    /// If `n == 0` or `route` returns an index `>= n`.
+    pub fn partition(self, n: usize, route: impl Fn(CustomerId) -> usize) -> Vec<StabilityMonitor> {
+        assert!(n > 0, "cannot partition into zero monitors");
+        let mut parts: Vec<StabilityMonitor> = (0..n)
+            .map(|_| {
+                StabilityMonitor::new(self.spec, self.params)
+                    .with_max_explanations(self.max_explanations)
+            })
+            .collect();
+        for (customer, state) in self.customers {
+            let shard = route(customer);
+            assert!(
+                shard < n,
+                "route({customer}) returned shard {shard}, but only {n} exist"
+            );
+            parts[shard].customers.insert(customer, state);
+        }
+        parts
     }
 
     /// Ingest one receipt. Receipts of the same customer must arrive in
@@ -203,40 +292,75 @@ impl StabilityMonitor {
     }
 
     /// Restore a monitor from a [`snapshot`](StabilityMonitor::snapshot).
-    pub fn restore(text: &str) -> Result<StabilityMonitor, String> {
+    ///
+    /// Errors are [structured](RestoreError): they carry the 1-based
+    /// checkpoint line and the offending field.
+    pub fn restore(text: &str) -> Result<StabilityMonitor, RestoreError> {
         use attrition_util::csv::parse_document;
         let mut lines = parse_document(text);
         let header = lines
             .next()
-            .ok_or("empty checkpoint")?
-            .ok_or("malformed header")?;
+            .ok_or_else(|| RestoreError::new(1, None, "empty checkpoint"))?
+            .ok_or_else(|| RestoreError::new(1, None, "malformed header record"))?;
         if header.len() != 5 || header[0] != "#monitor" {
-            return Err("not a monitor checkpoint".into());
+            return Err(RestoreError::new(
+                1,
+                None,
+                "not a monitor checkpoint (expected a 5-field `#monitor` header)",
+            ));
         }
-        let origin = Date::from_days(header[1].parse().map_err(|_| "bad origin".to_string())?);
-        let spec = match header[2].split_at(1) {
-            ("d", days) => WindowSpec::days(origin, days.parse().map_err(|_| "bad length")?),
-            ("m", months) => WindowSpec::months(origin, months.parse().map_err(|_| "bad length")?),
-            _ => return Err("bad window length code".into()),
+        let origin = Date::from_days(header[1].parse().map_err(|_| {
+            RestoreError::new(
+                1,
+                Some("origin"),
+                format!("not a day count: {:?}", header[1]),
+            )
+        })?);
+        let length_err =
+            || RestoreError::new(1, Some("length"), format!("bad code {:?}", header[2]));
+        let spec = match header[2].split_at(1.min(header[2].len())) {
+            ("d", days) => WindowSpec::days(origin, days.parse().map_err(|_| length_err())?),
+            ("m", months) => WindowSpec::months(origin, months.parse().map_err(|_| length_err())?),
+            _ => return Err(length_err()),
         };
-        let alpha: f64 = header[3].parse().map_err(|_| "bad alpha".to_string())?;
-        let params = StabilityParams::new(alpha).map_err(|e| e.to_string())?;
-        let max_explanations: usize = header[4]
-            .parse()
-            .map_err(|_| "bad max_explanations".to_string())?;
+        let alpha: f64 = header[3].parse().map_err(|_| {
+            RestoreError::new(1, Some("alpha"), format!("not a number: {:?}", header[3]))
+        })?;
+        let params = StabilityParams::new(alpha)
+            .map_err(|e| RestoreError::new(1, Some("alpha"), e.to_string()))?;
+        let max_explanations: usize = header[4].parse().map_err(|_| {
+            RestoreError::new(
+                1,
+                Some("max_explanations"),
+                format!("not a count: {:?}", header[4]),
+            )
+        })?;
         let mut monitor =
             StabilityMonitor::new(spec, params).with_max_explanations(max_explanations);
         for (idx, record) in lines.enumerate() {
-            let row = record.ok_or_else(|| format!("malformed row {}", idx + 2))?;
-            let customer = CustomerId::new(
-                row.get(1)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| format!("bad customer at row {}", idx + 2))?,
-            );
+            let line = idx + 2;
+            let row = record.ok_or_else(|| RestoreError::new(line, None, "malformed record"))?;
+            let show = |pos: usize| match row.get(pos) {
+                Some(value) => format!("{value:?}"),
+                None => "missing".to_owned(),
+            };
+            let customer =
+                CustomerId::new(row.get(1).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    RestoreError::new(
+                        line,
+                        Some("customer"),
+                        format!("not a customer id: {}", show(1)),
+                    )
+                })?);
+            let field_u32 = |pos: usize, field: &'static str| -> Result<u32, RestoreError> {
+                row.get(pos).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    RestoreError::new(line, Some(field), format!("not a number: {}", show(pos)))
+                })
+            };
             match row.first().map(String::as_str) {
                 Some("c") => {
-                    let current_window: u32 = row[2].parse().map_err(|_| "bad current_window")?;
-                    let windows: u32 = row[3].parse().map_err(|_| "bad windows")?;
+                    let current_window = field_u32(2, "current_window")?;
+                    let windows = field_u32(3, "windows_observed")?;
                     let mut tracker = SignificanceTracker::new(params);
                     // Advance the window counter with empty observations;
                     // counters are replayed by the `i` rows below.
@@ -253,23 +377,35 @@ impl StabilityMonitor {
                     );
                 }
                 Some("i") => {
-                    let item = ItemId::new(row[2].parse().map_err(|_| "bad item")?);
-                    let count: u32 = row[3].parse().map_err(|_| "bad count")?;
-                    let state = monitor
-                        .customers
-                        .get_mut(&customer)
-                        .ok_or("item row before customer row")?;
+                    let item = ItemId::new(field_u32(2, "item")?);
+                    let count = field_u32(3, "count")?;
+                    let state = monitor.customers.get_mut(&customer).ok_or_else(|| {
+                        RestoreError::new(
+                            line,
+                            Some("customer"),
+                            format!("item row for {customer} precedes its customer row"),
+                        )
+                    })?;
                     state.tracker.set_occurrences(item, count);
                 }
                 Some("p") => {
-                    let item = ItemId::new(row[2].parse().map_err(|_| "bad item")?);
-                    let state = monitor
-                        .customers
-                        .get_mut(&customer)
-                        .ok_or("pending row before customer row")?;
+                    let item = ItemId::new(field_u32(2, "item")?);
+                    let state = monitor.customers.get_mut(&customer).ok_or_else(|| {
+                        RestoreError::new(
+                            line,
+                            Some("customer"),
+                            format!("pending row for {customer} precedes its customer row"),
+                        )
+                    })?;
                     state.pending.push(item);
                 }
-                other => return Err(format!("unknown row kind {other:?}")),
+                other => {
+                    return Err(RestoreError::new(
+                        line,
+                        Some("kind"),
+                        format!("unknown row kind {other:?} (expected c, i or p)"),
+                    ))
+                }
             }
         }
         Ok(monitor)
@@ -540,9 +676,97 @@ mod tests {
     }
 
     #[test]
+    fn restore_errors_name_line_and_field() {
+        let e = StabilityMonitor::restore("").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("line 1"));
+
+        let e = StabilityMonitor::restore("#monitor,0,x9,2,5\n").unwrap_err();
+        assert_eq!((e.line, e.field), (1, Some("length")));
+
+        let e = StabilityMonitor::restore("#monitor,0,m1,0.5,5\n").unwrap_err();
+        assert_eq!((e.line, e.field), (1, Some("alpha")));
+
+        // Bad count on the third line (header + customer row + item row).
+        let bad = "#monitor,15461,m1,2,5\nc,1,0,0\ni,1,3,oops\n";
+        let e = StabilityMonitor::restore(bad).unwrap_err();
+        assert_eq!((e.line, e.field), (3, Some("count")));
+        assert!(e.to_string().contains("field `count`"), "{e}");
+
+        let bad = "#monitor,15461,m1,2,5\nq,1,3,2\n";
+        let e = StabilityMonitor::restore(bad).unwrap_err();
+        assert_eq!((e.line, e.field), (2, Some("kind")));
+    }
+
+    #[test]
+    fn partition_routes_every_customer_and_preserves_state() {
+        let mut m = monitor();
+        for raw in 0..10u64 {
+            m.ingest(CustomerId::new(raw), d(2012, 5, 2), &b(&[1, 2]));
+            m.ingest(CustomerId::new(raw), d(2012, 6, 3), &b(&[1]));
+        }
+        let previews: Vec<_> = (0..10)
+            .map(|raw| m.preview(CustomerId::new(raw)).unwrap())
+            .collect();
+        let parts = m.partition(3, |c| (c.raw() % 3) as usize);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.num_customers()).sum::<usize>(), 10);
+        for raw in 0..10u64 {
+            let c = CustomerId::new(raw);
+            let shard = &parts[(raw % 3) as usize];
+            let p = shard.preview(c).unwrap();
+            assert_eq!(p.window, previews[raw as usize].window);
+            assert!((p.value - previews[raw as usize].value).abs() < 1e-15);
+        }
+    }
+
+    #[test]
     fn empty_monitor_snapshot_roundtrips() {
         let m = monitor();
         let restored = StabilityMonitor::restore(&m.snapshot()).unwrap();
         assert_eq!(restored.num_customers(), 0);
+    }
+
+    /// snapshot → restore → snapshot is textually lossless on random
+    /// ingest streams — the graceful-shutdown path of the serving layer
+    /// depends on this (a restored server must write the same
+    /// checkpoint it was started from if nothing else arrives).
+    #[test]
+    fn prop_snapshot_restore_snapshot_roundtrip() {
+        use attrition_util::check::forall;
+
+        forall(
+            48,
+            |rng| {
+                // A random interleaved receipt stream: per-customer
+                // chronological because it is globally date-sorted.
+                let n_customers = 1 + rng.usize_below(6);
+                let n_receipts = 1 + rng.usize_below(40);
+                let mut stream: Vec<(u64, Date, Vec<u32>)> = (0..n_receipts)
+                    .map(|_| {
+                        let customer = rng.u64_below(n_customers as u64);
+                        let date = d(2012, 5, 1).add_months(rng.i64_in(0, 11) as i32)
+                            + rng.i64_in(0, 27) as i32;
+                        let items: Vec<u32> = (0..rng.usize_below(6))
+                            .map(|_| 1 + rng.next_u64() as u32 % 20)
+                            .collect();
+                        (customer, date, items)
+                    })
+                    .collect();
+                stream.sort_by_key(|&(customer, date, _)| (date, customer));
+                stream
+            },
+            |stream| {
+                let mut m = monitor();
+                for (customer, date, items) in stream {
+                    m.ingest(CustomerId::new(*customer), *date, &b(items));
+                }
+                let snap1 = m.snapshot();
+                let restored = StabilityMonitor::restore(&snap1).expect("snapshot restores");
+                let snap2 = restored.snapshot();
+                assert_eq!(snap1, snap2, "roundtrip changed the checkpoint");
+                assert_eq!(restored.num_customers(), m.num_customers());
+            },
+        );
     }
 }

@@ -48,7 +48,7 @@ pub use cohort::{cohort_curves, flag_rate_per_window, CohortPoint};
 pub use engine::{StabilityEngine, StabilityMatrix};
 pub use explanation::{aggregate_explanations, LostProduct, SegmentDriver, WindowExplanation};
 pub use export::{explanations_to_csv, matrix_to_csv};
-pub use incremental::StabilityMonitor;
+pub use incremental::{RestoreError, StabilityMonitor, WindowClosed};
 pub use params::StabilityParams;
 pub use recovery::{detect_recoveries, RegainedProduct, WindowRecovery};
 pub use significance::SignificanceTracker;

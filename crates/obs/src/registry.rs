@@ -49,6 +49,14 @@ impl Gauge {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    /// Adjust the gauge by a (possibly negative) delta, atomically —
+    /// for up/down quantities tracked from several threads at once,
+    /// like a server's live connection count.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
@@ -265,6 +273,25 @@ mod tests {
         r.gauge("g").set(7);
         r.gauge("g").set(-2);
         assert_eq!(r.gauge("g").get(), -2);
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_updown() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("active");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let g = Arc::clone(&g);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1);
+                        g.add(-1);
+                    }
+                    g.add(1);
+                });
+            }
+        });
+        assert_eq!(g.get(), 8);
     }
 
     #[test]

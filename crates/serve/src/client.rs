@@ -1,0 +1,120 @@
+//! A small blocking client for the line protocol — what the load
+//! generator, the CI smoke test and the integration tests speak through.
+//! Any `nc`/telnet session works just as well; this only adds typed
+//! parsing of the replies.
+
+use crate::protocol::{parse_score_line, ParsedScore};
+use attrition_types::Date;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `PONG`.
+    Pong,
+    /// `OK <n>` plus its `CLOSED` lines (ingest/flush).
+    Closed(Vec<ParsedScore>),
+    /// `SCORE …`.
+    Score(ParsedScore),
+    /// `STATS <json>` — the raw JSON text.
+    Stats(String),
+    /// Any other `OK …` acknowledgement (snapshot, shutdown).
+    Ok(String),
+    /// `ERR …`.
+    Err(String),
+}
+
+/// One blocking connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect; requests will block at most `timeout` waiting for a
+    /// reply line.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one raw request line and parse the reply.
+    pub fn send(&mut self, line: &str) -> std::io::Result<Reply> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let first = self.read_line()?;
+        if let Some(rest) = first.strip_prefix("OK ") {
+            // `OK <n>` (a bare count) announces n CLOSED lines; any
+            // other OK payload is a plain acknowledgement.
+            if let Ok(n) = rest.trim().parse::<usize>() {
+                let mut closed = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let line = self.read_line()?;
+                    closed.push(parse_score_line(&line).map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })?);
+                }
+                return Ok(Reply::Closed(closed));
+            }
+            return Ok(Reply::Ok(rest.to_owned()));
+        }
+        if first == "PONG" {
+            return Ok(Reply::Pong);
+        }
+        if first.starts_with("SCORE ") {
+            let score = parse_score_line(&first)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            return Ok(Reply::Score(score));
+        }
+        if let Some(json) = first.strip_prefix("STATS ") {
+            return Ok(Reply::Stats(json.to_owned()));
+        }
+        if let Some(message) = first.strip_prefix("ERR ") {
+            return Ok(Reply::Err(message.to_owned()));
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unparseable reply: {first:?}"),
+        ))
+    }
+
+    /// `INGEST`: returns the windows this receipt closed.
+    pub fn ingest(&mut self, customer: u64, date: Date, items: &[u32]) -> std::io::Result<Reply> {
+        let mut line = format!("INGEST {customer} {date}");
+        for item in items {
+            line.push(' ');
+            line.push_str(&item.to_string());
+        }
+        self.send(&line)
+    }
+
+    /// `FLUSH`: closes all windows before the one containing `date`.
+    pub fn flush(&mut self, date: Date) -> std::io::Result<Reply> {
+        self.send(&format!("FLUSH {date}"))
+    }
+
+    /// `SCORE`: the live preview of one customer.
+    pub fn score(&mut self, customer: u64) -> std::io::Result<Reply> {
+        self.send(&format!("SCORE {customer}"))
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_owned())
+    }
+}

@@ -1,0 +1,53 @@
+//! # attrition-serve
+//!
+//! The online deployment mode of the stability model: a std-only TCP
+//! server that keeps per-customer [`StabilityMonitor`] state *live* and
+//! scores windows as receipts arrive — the paper's `Stability_i^k ≤ β`
+//! detector as a continuously-served signal instead of a batch job.
+//!
+//! Three layers, bottom up:
+//!
+//! - [`shard`] — customers hash-routed across N independent monitors,
+//!   each behind its own lock, so ingest never takes a global lock and
+//!   scoring stays bit-identical to a single monitor.
+//! - [`pool`] — a fixed worker pool with a *bounded* queue: saturation
+//!   answers `ERR busy` immediately (fail-fast backpressure) instead of
+//!   buffering unboundedly.
+//! - [`server`] — the accept loop, the newline-delimited [`protocol`],
+//!   per-connection read timeouts, `attrition-obs` wiring, and graceful
+//!   shutdown (`SHUTDOWN`/SIGINT drains in-flight requests and writes a
+//!   restorable checkpoint).
+//!
+//! [`client`] is the matching blocking client used by the load
+//! generator and the tests; the protocol itself is plain enough for an
+//! interactive `nc` session (see README's Serving section).
+//!
+//! ```no_run
+//! use attrition_serve::server::{self, ServerConfig};
+//! use attrition_core::StabilityParams;
+//! use attrition_store::WindowSpec;
+//! use attrition_types::Date;
+//!
+//! let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 2);
+//! let config = ServerConfig::new("127.0.0.1:7711", spec, StabilityParams::PAPER);
+//! let handle = server::start(config).unwrap();
+//! println!("serving on {}", handle.local_addr());
+//! let summary = handle.join(); // returns after SHUTDOWN / SIGINT
+//! println!("served {} requests", summary.requests);
+//! ```
+//!
+//! [`StabilityMonitor`]: attrition_core::StabilityMonitor
+
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use client::{Client, Reply};
+pub use pool::ThreadPool;
+pub use protocol::{ParsedScore, Request};
+pub use server::{
+    install_sigint_handler, start, start_with, ServerConfig, ServerHandle, ServerSummary,
+};
+pub use shard::{OutOfOrder, ShardedMonitor};

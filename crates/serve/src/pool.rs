@@ -1,0 +1,256 @@
+//! A fixed-size worker pool with a bounded job queue.
+//!
+//! The server's backpressure policy lives here: when every worker is
+//! busy and the queue is at capacity, [`ThreadPool::try_execute`]
+//! returns [`Busy`] *immediately* instead of buffering — the caller
+//! (the accept loop) turns that into an `ERR busy` response and drops
+//! the connection, so a traffic spike degrades into fast rejections
+//! rather than unbounded memory growth and collapse.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool is saturated: all workers busy and the queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy;
+
+impl std::fmt::Display for Busy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool saturated")
+    }
+}
+
+impl std::error::Error for Busy {}
+
+struct Shared {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+    /// Jobs currently executing (not queued).
+    running: AtomicUsize,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+/// Fixed worker threads draining a bounded queue.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    capacity: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// `workers` threads and a queue holding at most `capacity` waiting
+    /// jobs (jobs being executed do not count against the capacity).
+    pub fn new(workers: usize, capacity: usize) -> ThreadPool {
+        assert!(workers > 0, "need at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+            running: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker threads must spawn")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            capacity,
+            workers: handles,
+        }
+    }
+
+    /// Whether the next [`try_execute`](ThreadPool::try_execute) would
+    /// be rejected. With a single producer thread (the server's accept
+    /// loop) this is exact, not advisory: workers only ever *shrink*
+    /// the queue, so a non-saturated answer cannot be invalidated
+    /// before the producer enqueues.
+    pub fn is_saturated(&self) -> bool {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .jobs
+            .len()
+            >= self.capacity
+    }
+
+    /// Enqueue a job, or reject with [`Busy`] when the queue is full.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), Busy> {
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if queue.jobs.len() >= self.capacity {
+            return Err(Busy);
+        }
+        queue.jobs.push_back(Box::new(job));
+        let depth = queue.jobs.len();
+        drop(queue);
+        if attrition_obs::enabled() {
+            attrition_obs::gauge("serve.pool.queue_depth").set(depth as i64);
+        }
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.shared.running.load(Ordering::Relaxed)
+    }
+
+    /// Finish every queued and running job, then stop the workers.
+    pub fn shutdown(mut self) {
+        {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            queue.shutting_down = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // `shutdown` drains `workers`; a pool dropped without it still
+        // stops its threads instead of leaking them.
+        {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            queue.shutting_down = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutting_down {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        // A panicking job must not take the worker down with it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_jobs_on_workers() {
+        let pool = ThreadPool::new(4, 16);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            loop {
+                let counter = Arc::clone(&counter);
+                let queued = pool.try_execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                if queued.is_ok() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn rejects_when_saturated() {
+        let pool = ThreadPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.try_execute(move || {
+            let _ = block_rx.recv();
+        })
+        .unwrap();
+        // ...give it time to dequeue, then fill the queue slot.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.try_execute(|| {}).unwrap();
+        // The next job has nowhere to go.
+        assert_eq!(pool.try_execute(|| {}), Err(Busy));
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = ThreadPool::new(2, 64);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.try_execute(move || {
+                std::thread::sleep(Duration::from_micros(100));
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1, 8);
+        pool.try_execute(|| panic!("job blew up")).unwrap();
+        let done = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&done);
+        std::thread::sleep(Duration::from_millis(20));
+        pool.try_execute(move || {
+            flag.store(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+}

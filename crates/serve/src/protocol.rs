@@ -1,0 +1,329 @@
+//! The wire protocol: newline-delimited ASCII requests and responses.
+//!
+//! Every request is one line, `VERB [ARGS...]`, fields separated by
+//! single spaces; every response is one line, except responses that
+//! carry closed windows, which announce a count (`OK <n>`) followed by
+//! exactly `n` `CLOSED` lines — a client always knows how many lines to
+//! read before issuing its next request.
+//!
+//! ```text
+//! PING                                  → PONG
+//! INGEST <customer> <date> [<item>...]  → OK <n> then n × CLOSED lines
+//! SCORE <customer>                      → SCORE <customer> <window> <value> <present> <total>
+//! FLUSH <date>                          → OK <n> then n × CLOSED lines
+//! SNAPSHOT                              → OK <bytes> <path>
+//! STATS                                 → STATS <one-line JSON metrics report>
+//! SHUTDOWN                              → OK draining
+//! anything else                         → ERR <reason>
+//! ```
+//!
+//! `<date>` is ISO `YYYY-MM-DD`; `<customer>`/`<item>` are the raw
+//! integer ids. A `CLOSED` line is
+//!
+//! ```text
+//! CLOSED <customer> <window> <value> <present> <total> <lost>
+//! ```
+//!
+//! where `<lost>` is `-` or comma-joined `item:share` pairs. Stability
+//! values are printed with Rust's shortest-roundtrip `f64` formatting,
+//! so parsing them back yields the bit-identical score the offline
+//! batch pipeline computes.
+
+use attrition_core::incremental::WindowClosed;
+use attrition_core::StabilityPoint;
+use attrition_types::{CustomerId, Date, ItemId};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One receipt: customer, purchase date, basket items.
+    Ingest(CustomerId, Date, Vec<ItemId>),
+    /// Live (not yet closed) stability of a customer's current window.
+    Score(CustomerId),
+    /// Close every customer's windows before the one containing the date.
+    Flush(Date),
+    /// Write a checkpoint of the full sharded state to the server's
+    /// snapshot path.
+    Snapshot,
+    /// One-line JSON metrics report.
+    Stats,
+    /// Graceful shutdown: drain connections, checkpoint, exit.
+    Shutdown,
+}
+
+/// A request line that could not be parsed; the message is sent back
+/// verbatim after `ERR `.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Request {
+    /// Parse one request line (without its trailing newline).
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
+        let mut fields = line.split_ascii_whitespace();
+        let verb = fields
+            .next()
+            .ok_or_else(|| ParseError("empty request".into()))?;
+        let req = match verb {
+            "PING" => Request::Ping,
+            "INGEST" => {
+                let customer = parse_customer(fields.next())?;
+                let date = parse_date(fields.next())?;
+                let items = fields
+                    .by_ref()
+                    .map(|f| {
+                        f.parse::<u32>()
+                            .map(ItemId::new)
+                            .map_err(|_| ParseError(format!("bad item id {f:?}")))
+                    })
+                    .collect::<Result<Vec<ItemId>, ParseError>>()?;
+                Request::Ingest(customer, date, items)
+            }
+            "SCORE" => Request::Score(parse_customer(fields.next())?),
+            "FLUSH" => Request::Flush(parse_date(fields.next())?),
+            "SNAPSHOT" => Request::Snapshot,
+            "STATS" => Request::Stats,
+            "SHUTDOWN" => Request::Shutdown,
+            other => {
+                return Err(ParseError(format!(
+                    "unknown verb {other:?} (expected PING, INGEST, SCORE, FLUSH, SNAPSHOT, STATS or SHUTDOWN)"
+                )))
+            }
+        };
+        let trailing: Vec<&str> = match &req {
+            // INGEST consumes the tail as items; others must be exact.
+            Request::Ingest(..) => Vec::new(),
+            _ => fields.collect(),
+        };
+        if !trailing.is_empty() {
+            return Err(ParseError(format!(
+                "unexpected trailing fields {trailing:?} after {verb}"
+            )));
+        }
+        Ok(req)
+    }
+
+    /// The verb name, as used in per-verb metric names.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Ingest(..) => "ingest",
+            Request::Score(_) => "score",
+            Request::Flush(_) => "flush",
+            Request::Snapshot => "snapshot",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn parse_customer(field: Option<&str>) -> Result<CustomerId, ParseError> {
+    let f = field.ok_or_else(|| ParseError("missing customer id".into()))?;
+    f.parse::<u64>()
+        .map(CustomerId::new)
+        .map_err(|_| ParseError(format!("bad customer id {f:?}")))
+}
+
+fn parse_date(field: Option<&str>) -> Result<Date, ParseError> {
+    let f = field.ok_or_else(|| ParseError("missing date".into()))?;
+    Date::parse_iso(f).map_err(|e| ParseError(format!("bad date {f:?}: {e}")))
+}
+
+/// Render one `CLOSED` line (no trailing newline).
+pub fn format_closed(closed: &WindowClosed) -> String {
+    let lost = if closed.explanation.lost.is_empty() {
+        "-".to_owned()
+    } else {
+        closed
+            .explanation
+            .lost
+            .iter()
+            .map(|l| format!("{}:{}", l.item.raw(), l.share))
+            .collect::<Vec<String>>()
+            .join(",")
+    };
+    format!(
+        "CLOSED {} {} {} {} {} {}",
+        closed.customer.raw(),
+        closed.point.window.raw(),
+        closed.point.value,
+        closed.point.present_significance,
+        closed.point.total_significance,
+        lost
+    )
+}
+
+/// Render a `SCORE` response line (no trailing newline).
+pub fn format_score(customer: CustomerId, point: &StabilityPoint) -> String {
+    format!(
+        "SCORE {} {} {} {} {}",
+        customer.raw(),
+        point.window.raw(),
+        point.value,
+        point.present_significance,
+        point.total_significance
+    )
+}
+
+/// A score parsed back from a [`format_closed`]/[`format_score`] line —
+/// what the load generator and the tests consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParsedScore {
+    /// The customer.
+    pub customer: u64,
+    /// The window index.
+    pub window: u32,
+    /// The stability value, bit-identical to the server's `f64`.
+    pub value: f64,
+    /// Present significance of the window.
+    pub present: f64,
+    /// Total significance of the history.
+    pub total: f64,
+}
+
+/// Parse a `CLOSED` or `SCORE` line produced by this module.
+pub fn parse_score_line(line: &str) -> Result<ParsedScore, ParseError> {
+    let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+    if fields.len() < 6 || (fields[0] != "CLOSED" && fields[0] != "SCORE") {
+        return Err(ParseError(format!("not a score line: {line:?}")));
+    }
+    let num = |i: usize| -> Result<f64, ParseError> {
+        fields[i]
+            .parse()
+            .map_err(|_| ParseError(format!("bad number {:?} in {line:?}", fields[i])))
+    };
+    Ok(ParsedScore {
+        customer: fields[1]
+            .parse()
+            .map_err(|_| ParseError(format!("bad customer in {line:?}")))?,
+        window: fields[2]
+            .parse()
+            .map_err(|_| ParseError(format!("bad window in {line:?}")))?,
+        value: num(3)?,
+        present: num(4)?,
+        total: num(5)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_core::StabilityParams;
+    use attrition_store::WindowSpec;
+    use attrition_types::Basket;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert_eq!(
+            Request::parse("INGEST 7 2012-05-02 1 2 3").unwrap(),
+            Request::Ingest(
+                CustomerId::new(7),
+                Date::from_ymd(2012, 5, 2).unwrap(),
+                vec![ItemId::new(1), ItemId::new(2), ItemId::new(3)]
+            )
+        );
+        // Empty basket is legal (a visit with no tracked items).
+        assert_eq!(
+            Request::parse("INGEST 7 2012-05-02").unwrap(),
+            Request::Ingest(
+                CustomerId::new(7),
+                Date::from_ymd(2012, 5, 2).unwrap(),
+                vec![]
+            )
+        );
+        assert_eq!(
+            Request::parse("SCORE 9").unwrap(),
+            Request::Score(CustomerId::new(9))
+        );
+        assert_eq!(
+            Request::parse("FLUSH 2013-01-01").unwrap(),
+            Request::Flush(Date::from_ymd(2013, 1, 1).unwrap())
+        );
+        assert_eq!(Request::parse("SNAPSHOT").unwrap(), Request::Snapshot);
+        assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "NOPE",
+            "INGEST",
+            "INGEST x 2012-05-02 1",
+            "INGEST 7 yesterday 1",
+            "INGEST 7 2012-05-02 banana",
+            "SCORE",
+            "SCORE -3",
+            "FLUSH",
+            "FLUSH 2012-13-40",
+            "PING extra",
+            "SHUTDOWN now",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn verb_names_cover_all_requests() {
+        assert_eq!(Request::Ping.verb(), "ping");
+        assert_eq!(Request::Snapshot.verb(), "snapshot");
+        assert_eq!(Request::parse("FLUSH 2013-01-01").unwrap().verb(), "flush");
+    }
+
+    #[test]
+    fn score_lines_roundtrip_bit_identically() {
+        // Produce a real closed window and check the wire value parses
+        // back to the identical f64.
+        let origin = Date::from_ymd(2012, 5, 1).unwrap();
+        let mut m = attrition_core::StabilityMonitor::new(
+            WindowSpec::months(origin, 1),
+            StabilityParams::PAPER,
+        );
+        let c = CustomerId::new(3);
+        m.ingest(c, origin, &Basket::from_raw(&[1, 2, 5]));
+        m.ingest(c, origin.add_months(1), &Basket::from_raw(&[1]));
+        let closed = m.ingest(c, origin.add_months(2), &Basket::from_raw(&[2]));
+        assert!(!closed.is_empty());
+        for w in &closed {
+            let parsed = parse_score_line(&format_closed(w)).unwrap();
+            assert_eq!(parsed.customer, w.customer.raw());
+            assert_eq!(parsed.window, w.point.window.raw());
+            assert_eq!(parsed.value.to_bits(), w.point.value.to_bits());
+            assert_eq!(
+                parsed.present.to_bits(),
+                w.point.present_significance.to_bits()
+            );
+            assert_eq!(parsed.total.to_bits(), w.point.total_significance.to_bits());
+        }
+        let preview = m.preview(c).unwrap();
+        let parsed = parse_score_line(&format_score(c, &preview)).unwrap();
+        assert_eq!(parsed.value.to_bits(), preview.value.to_bits());
+    }
+
+    #[test]
+    fn closed_line_lists_lost_items() {
+        let origin = Date::from_ymd(2012, 5, 1).unwrap();
+        let mut m = attrition_core::StabilityMonitor::new(
+            WindowSpec::months(origin, 1),
+            StabilityParams::PAPER,
+        );
+        let c = CustomerId::new(1);
+        m.ingest(c, origin, &Basket::from_raw(&[4, 9]));
+        let closed = m.ingest(c, origin.add_months(2), &Basket::from_raw(&[4]));
+        // Second closed window (empty month) lost both items.
+        let line = format_closed(&closed[1]);
+        assert!(line.contains("4:"), "{line}");
+        assert!(line.contains("9:"), "{line}");
+    }
+}

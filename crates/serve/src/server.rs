@@ -1,0 +1,355 @@
+//! The TCP server: accept loop, connection handling, graceful shutdown.
+//!
+//! One acceptor thread owns the listener; each accepted connection
+//! becomes a job on the bounded [`ThreadPool`](crate::pool::ThreadPool).
+//! When the pool is saturated the connection is answered `ERR busy` and
+//! dropped immediately (see the pool's backpressure contract). A
+//! `SHUTDOWN` request — or SIGINT, via [`install_sigint_handler`] —
+//! stops the acceptor, drains every in-flight connection (each finishes
+//! its current request; idle connections close within the read
+//! timeout), writes a checkpoint to the configured snapshot path, and
+//! returns a [`ServerSummary`].
+
+use crate::pool::ThreadPool;
+use crate::protocol::{format_closed, format_score, ParseError, Request};
+use crate::shard::ShardedMonitor;
+use attrition_core::{StabilityParams, WindowClosed};
+use attrition_store::WindowSpec;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything the server needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7711` (`:0` for an ephemeral
+    /// port — read it back from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Number of monitor shards (each behind its own lock).
+    pub n_shards: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Connections waiting for a worker before `ERR busy` rejections
+    /// start.
+    pub queue_capacity: usize,
+    /// Idle time after which a connection is closed.
+    pub read_timeout: Duration,
+    /// Where `SNAPSHOT` and shutdown write the checkpoint; `None`
+    /// disables checkpointing (`SNAPSHOT` answers `ERR`).
+    pub snapshot_path: Option<PathBuf>,
+    /// The window grid every shard scores on.
+    pub spec: WindowSpec,
+    /// Significance parameters.
+    pub params: StabilityParams,
+    /// Lost products retained per closed-window explanation.
+    pub max_explanations: usize,
+}
+
+impl ServerConfig {
+    /// Defaults sized for a small deployment: 8 shards, 4 workers,
+    /// a 64-connection queue, 5 s read timeout, no snapshot path.
+    pub fn new(addr: impl Into<String>, spec: WindowSpec, params: StabilityParams) -> ServerConfig {
+        ServerConfig {
+            addr: addr.into(),
+            n_shards: 8,
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            snapshot_path: None,
+            spec,
+            params,
+            max_explanations: 5,
+        }
+    }
+}
+
+/// What a drained server reports back.
+#[derive(Debug, Clone)]
+pub struct ServerSummary {
+    /// Requests served (including ones answered `ERR`).
+    pub requests: u64,
+    /// Requests answered `ERR` (parse failures, out-of-order ingests, …).
+    pub errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections rejected with `ERR busy`.
+    pub rejected_busy: u64,
+    /// Customers tracked at shutdown.
+    pub customers: usize,
+    /// Where the final checkpoint was written, if anywhere.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+struct State {
+    monitor: ShardedMonitor,
+    snapshot_path: Option<PathBuf>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A running server; dropping the handle does **not** stop it — send
+/// `SHUTDOWN`, call [`request_shutdown`](ServerHandle::request_shutdown),
+/// or deliver SIGINT, then [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    acceptor: JoinHandle<ServerSummary>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to drain and exit, as `SHUTDOWN` would.
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the server to drain and return its summary.
+    pub fn join(self) -> ServerSummary {
+        self.acceptor
+            .join()
+            .expect("acceptor thread must not panic")
+    }
+}
+
+/// Set by the process SIGINT handler; polled by every running server.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Route SIGINT (ctrl-c) into the graceful-shutdown path instead of
+/// killing the process mid-request. Call once, before serving.
+#[cfg(unix)]
+pub fn install_sigint_handler() {
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    // SAFETY: `signal` is libc's (already linked by std); the handler
+    // only performs an atomic store, which is async-signal-safe.
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+/// No-op off unix: ctrl-c falls back to process termination.
+#[cfg(not(unix))]
+pub fn install_sigint_handler() {}
+
+/// Whether SIGINT was delivered since the handler was installed.
+pub fn sigint_received() -> bool {
+    SIGINT_RECEIVED.load(Ordering::SeqCst)
+}
+
+/// Bind and serve in background threads; returns once the listener is
+/// accepting. Metrics recording is enabled for the process — a scoring
+/// server's `STATS` verb is part of its contract.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let monitor = ShardedMonitor::new(
+        config.n_shards,
+        config.spec,
+        config.params,
+        config.max_explanations,
+    );
+    start_with(config, monitor)
+}
+
+/// [`start`] with a pre-populated (e.g. checkpoint-restored) monitor.
+pub fn start_with(config: ServerConfig, monitor: ShardedMonitor) -> std::io::Result<ServerHandle> {
+    attrition_obs::set_enabled(true);
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(State {
+        monitor,
+        snapshot_path: config.snapshot_path.clone(),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+    let accept_state = Arc::clone(&state);
+    let acceptor = std::thread::Builder::new()
+        .name("serve-acceptor".into())
+        .spawn(move || accept_loop(listener, accept_state, &config))
+        .expect("acceptor thread must spawn");
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor,
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<State>, config: &ServerConfig) -> ServerSummary {
+    let pool = ThreadPool::new(config.workers, config.queue_capacity);
+    let connections = attrition_obs::counter("serve.connections.accepted");
+    let rejected = attrition_obs::counter("serve.connections.rejected_busy");
+    while !state.shutdown.load(Ordering::SeqCst) && !sigint_received() {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_nodelay(true);
+                connections.inc();
+                // Backpressure: answer saturation with an immediate
+                // rejection instead of buffering the connection. The
+                // check is exact because this loop is the pool's only
+                // producer (see `ThreadPool::is_saturated`).
+                if pool.is_saturated() {
+                    rejected.inc();
+                    let _ = stream.write_all(b"ERR busy\n");
+                    continue;
+                }
+                let conn_state = Arc::clone(&state);
+                pool.try_execute(move || handle_connection(stream, &conn_state))
+                    .expect("non-saturated single-producer enqueue cannot fail");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Stop accepting; drain queued + in-flight connections.
+    drop(listener);
+    pool.shutdown();
+    let snapshot_path = write_snapshot(&state).ok().flatten();
+    ServerSummary {
+        requests: state.requests.load(Ordering::Relaxed),
+        errors: state.errors.load(Ordering::Relaxed),
+        connections: connections.get(),
+        rejected_busy: rejected.get(),
+        customers: state.monitor.num_customers(),
+        snapshot_path,
+    }
+}
+
+/// Checkpoint to the configured path. `Ok(None)` when no path is set.
+fn write_snapshot(state: &State) -> std::io::Result<Option<PathBuf>> {
+    let Some(path) = &state.snapshot_path else {
+        return Ok(None);
+    };
+    std::fs::write(path, state.monitor.snapshot())?;
+    Ok(Some(path.clone()))
+}
+
+fn handle_connection(stream: TcpStream, state: &State) {
+    let active = attrition_obs::gauge("serve.connections.active");
+    active.add(1);
+    let _ = serve_connection(stream, state);
+    active.add(-1);
+}
+
+fn serve_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let bytes_read = attrition_obs::counter("serve.bytes_read");
+    let bytes_written = attrition_obs::counter("serve.bytes_written");
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Ok(()); // draining: finish after the current request
+        }
+        line.clear();
+        let n = match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                attrition_obs::counter("serve.connections.timed_out").inc();
+                return Ok(()); // idle past the read timeout
+            }
+            Err(e) => return Err(e),
+        };
+        bytes_read.add(n as u64);
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue; // tolerate blank keep-alive lines
+        }
+        let started = Instant::now();
+        let (verb, response) = respond(state, trimmed);
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        attrition_obs::counter("serve.requests").inc();
+        if response.starts_with("ERR") {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            attrition_obs::counter("serve.errors").inc();
+        }
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        bytes_written.add(response.len() as u64 + 1);
+        attrition_obs::observe_ms(
+            &format!("serve.latency.{verb}"),
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// Execute one request; returns `(verb, response)` where the response
+/// may span multiple lines (`OK <n>` + `CLOSED` lines) but never ends
+/// with a newline (the caller appends the final one).
+fn respond(state: &State, line: &str) -> (&'static str, String) {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(ParseError(message)) => return ("parse", format!("ERR {message}")),
+    };
+    let verb = request.verb();
+    let response = match request {
+        Request::Ping => "PONG".to_owned(),
+        Request::Ingest(customer, date, items) => {
+            let basket = attrition_types::Basket::new(items);
+            match state.monitor.ingest(customer, date, &basket) {
+                Ok(closed) => closed_response(&closed),
+                Err(out_of_order) => format!("ERR {out_of_order}"),
+            }
+        }
+        Request::Score(customer) => match state.monitor.preview(customer) {
+            Some(point) => format_score(customer, &point),
+            None => format!("ERR unknown customer {}", customer.raw()),
+        },
+        Request::Flush(date) => closed_response(&state.monitor.flush_until(date)),
+        Request::Snapshot => match write_snapshot(state) {
+            Ok(Some(path)) => {
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                format!("OK {bytes} {}", path.display())
+            }
+            Ok(None) => "ERR no snapshot path configured".to_owned(),
+            Err(e) => format!("ERR snapshot failed: {e}"),
+        },
+        Request::Stats => {
+            for (shard, customers) in state.monitor.customers_per_shard().iter().enumerate() {
+                attrition_obs::gauge(&format!("serve.shard.{shard}.customers"))
+                    .set(*customers as i64);
+            }
+            format!("STATS {}", attrition_obs::global().snapshot().to_json())
+        }
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            "OK draining".to_owned()
+        }
+    };
+    (verb, response)
+}
+
+fn closed_response(closed: &[WindowClosed]) -> String {
+    let mut out = format!("OK {}", closed.len());
+    for window in closed {
+        out.push('\n');
+        out.push_str(&format_closed(window));
+    }
+    out
+}

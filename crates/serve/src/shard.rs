@@ -1,0 +1,352 @@
+//! Hash-sharded stability monitors.
+//!
+//! Customers are routed to one of `n` independent [`StabilityMonitor`]s
+//! by a multiplicative hash of their id, each shard behind its own
+//! mutex — two receipts for different shards never contend, so ingest
+//! throughput scales with the shard count while per-customer scoring
+//! stays bit-identical to a single monitor (customer states are
+//! independent by construction; asserted by the 1-vs-8-shard test).
+
+use attrition_core::incremental::WindowClosed;
+use attrition_core::{RestoreError, StabilityMonitor, StabilityParams, StabilityPoint};
+use attrition_store::WindowSpec;
+use attrition_types::{Basket, CustomerId, Date};
+use std::sync::{Mutex, MutexGuard};
+
+/// Fibonacci-hash multiplier (2^64 / φ), spreads sequential ids.
+const HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An ingest was rejected because the receipt predates the customer's
+/// current window. Reported to the client as `ERR`; the shard is left
+/// untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// The offending customer.
+    pub customer: CustomerId,
+    /// The rejected receipt's window.
+    pub got: u32,
+    /// The customer's current (minimum acceptable) window.
+    pub current: u32,
+}
+
+impl std::fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out-of-order receipt for customer {}: window {} after {}",
+            self.customer, self.got, self.current
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
+
+/// `n` independent monitors with deterministic customer routing.
+#[derive(Debug)]
+pub struct ShardedMonitor {
+    shards: Vec<Mutex<StabilityMonitor>>,
+}
+
+/// A mutex whose holder panicked mid-operation left the shard in an
+/// unknown intermediate state only for *that customer's* entry; every
+/// operation here either completes or returns early before mutating, so
+/// recovering the poisoned guard is sound.
+fn lock(shard: &Mutex<StabilityMonitor>) -> MutexGuard<'_, StabilityMonitor> {
+    shard.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl ShardedMonitor {
+    /// `n_shards` empty monitors on a shared grid.
+    pub fn new(
+        n_shards: usize,
+        spec: WindowSpec,
+        params: StabilityParams,
+        max_explanations: usize,
+    ) -> ShardedMonitor {
+        assert!(n_shards > 0, "need at least one shard");
+        ShardedMonitor {
+            shards: (0..n_shards)
+                .map(|_| {
+                    Mutex::new(
+                        StabilityMonitor::new(spec, params).with_max_explanations(max_explanations),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a customer routes to. Deterministic across restarts
+    /// (pure function of the id and the shard count).
+    pub fn shard_of(&self, customer: CustomerId) -> usize {
+        shard_of(customer, self.shards.len())
+    }
+
+    /// Ingest one receipt, locking only the owning shard. Out-of-order
+    /// receipts (per customer) are rejected instead of panicking the
+    /// worker, so one misbehaving client cannot poison a shard.
+    pub fn ingest(
+        &self,
+        customer: CustomerId,
+        date: Date,
+        basket: &Basket,
+    ) -> Result<Vec<WindowClosed>, OutOfOrder> {
+        let mut shard = lock(&self.shards[self.shard_of(customer)]);
+        if let (Some(window), Some(preview)) =
+            (shard.spec().window_of(date), shard.preview(customer))
+        {
+            if window.raw() < preview.window.raw() {
+                return Err(OutOfOrder {
+                    customer,
+                    got: window.raw(),
+                    current: preview.window.raw(),
+                });
+            }
+        }
+        Ok(shard.ingest(customer, date, basket))
+    }
+
+    /// Live stability of a customer's current window.
+    pub fn preview(&self, customer: CustomerId) -> Option<StabilityPoint> {
+        lock(&self.shards[self.shard_of(customer)]).preview(customer)
+    }
+
+    /// Close every customer's windows up to (excluding) the window
+    /// containing `now`, across all shards. The result is normalized to
+    /// ascending `(customer, window)` order — identical to what a
+    /// single-shard monitor emits from its own `flush_until`.
+    pub fn flush_until(&self, now: Date) -> Vec<WindowClosed> {
+        let mut closed: Vec<WindowClosed> = Vec::new();
+        for shard in &self.shards {
+            closed.extend(lock(shard).flush_until(now));
+        }
+        closed.sort_by_key(|c| (c.customer, c.point.window));
+        closed
+    }
+
+    /// Customers tracked across all shards.
+    pub fn num_customers(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).num_customers()).sum()
+    }
+
+    /// Customers tracked per shard (for gauges).
+    pub fn customers_per_shard(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| lock(s).num_customers())
+            .collect()
+    }
+
+    /// One checkpoint for the whole sharded state, in the single-monitor
+    /// [`StabilityMonitor::snapshot`] format: the shared header, then
+    /// every customer's block in ascending customer order — byte-for-byte
+    /// what one monitor holding all customers would write. Shards are
+    /// locked one at a time (the checkpoint is per-customer consistent,
+    /// not a global point-in-time cut; take it after a drain for that).
+    pub fn snapshot(&self) -> String {
+        let mut header: Option<String> = None;
+        let mut blocks: Vec<(u64, String)> = Vec::new();
+        for shard in &self.shards {
+            let doc = lock(shard).snapshot();
+            let mut lines = doc.lines();
+            let shard_header = lines.next().unwrap_or_default().to_owned();
+            let header = header.get_or_insert(shard_header.clone());
+            debug_assert_eq!(*header, shard_header, "shards disagree on the grid");
+            let mut current: Option<(u64, String)> = None;
+            for line in lines {
+                if line.starts_with("c,") {
+                    if let Some(done) = current.take() {
+                        blocks.push(done);
+                    }
+                    let id = line
+                        .split(',')
+                        .nth(1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("snapshot customer rows carry the id");
+                    current = Some((id, String::new()));
+                }
+                let (_, block) = current
+                    .as_mut()
+                    .expect("snapshot body rows follow a customer row");
+                block.push_str(line);
+                block.push('\n');
+            }
+            blocks.extend(current.take());
+        }
+        blocks.sort_by_key(|&(id, _)| id);
+        let mut out = header.unwrap_or_default();
+        out.push('\n');
+        for (_, block) in blocks {
+            out.push_str(&block);
+        }
+        out
+    }
+
+    /// Fan one monitor's customers out across `n_shards` shards using
+    /// the standard routing; the inverse of what [`snapshot`] merges.
+    ///
+    /// [`snapshot`]: ShardedMonitor::snapshot
+    pub fn from_monitor(monitor: StabilityMonitor, n_shards: usize) -> ShardedMonitor {
+        assert!(n_shards > 0, "need at least one shard");
+        let parts = monitor.partition(n_shards, |customer| shard_of(customer, n_shards));
+        ShardedMonitor {
+            shards: parts.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Restore a checkpoint (single-monitor format, e.g. written by
+    /// [`ShardedMonitor::snapshot`]) across `n_shards` shards. The shard
+    /// count is free to differ from the writing server's — routing is
+    /// recomputed per customer.
+    pub fn restore(text: &str, n_shards: usize) -> Result<ShardedMonitor, RestoreError> {
+        Ok(ShardedMonitor::from_monitor(
+            StabilityMonitor::restore(text)?,
+            n_shards,
+        ))
+    }
+}
+
+fn shard_of(customer: CustomerId, n_shards: usize) -> usize {
+    (customer.raw().wrapping_mul(HASH) >> 32) as usize % n_shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn sharded(n: usize) -> ShardedMonitor {
+        ShardedMonitor::new(
+            n,
+            WindowSpec::months(d(2012, 5, 1), 1),
+            StabilityParams::PAPER,
+            5,
+        )
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let s = sharded(8);
+        for raw in 0..1000u64 {
+            let c = CustomerId::new(raw);
+            let shard = s.shard_of(c);
+            assert!(shard < 8);
+            assert_eq!(shard, s.shard_of(c));
+        }
+    }
+
+    #[test]
+    fn routing_spreads_sequential_ids() {
+        let s = sharded(8);
+        let mut counts = [0usize; 8];
+        for raw in 0..8000u64 {
+            counts[s.shard_of(CustomerId::new(raw))] += 1;
+        }
+        // Every shard sees a reasonable share of dense sequential ids.
+        for (shard, &n) in counts.iter().enumerate() {
+            assert!(n > 500, "shard {shard} got only {n}/8000 customers");
+        }
+    }
+
+    #[test]
+    fn ingest_and_preview_route_to_the_same_shard() {
+        let s = sharded(4);
+        let c = CustomerId::new(42);
+        s.ingest(c, d(2012, 5, 2), &Basket::from_raw(&[1, 2]))
+            .unwrap();
+        let p = s.preview(c).expect("customer exists after ingest");
+        assert_eq!(p.window.raw(), 0);
+        assert_eq!(s.num_customers(), 1);
+        assert_eq!(s.customers_per_shard().iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn out_of_order_rejected_not_panicking() {
+        let s = sharded(4);
+        let c = CustomerId::new(7);
+        s.ingest(c, d(2012, 7, 2), &Basket::from_raw(&[1])).unwrap();
+        let err = s
+            .ingest(c, d(2012, 5, 2), &Basket::from_raw(&[1]))
+            .unwrap_err();
+        assert_eq!(err.customer, c);
+        assert!(err.got < err.current);
+        // The shard still works after the rejection.
+        assert!(s.ingest(c, d(2012, 8, 2), &Basket::from_raw(&[2])).is_ok());
+    }
+
+    #[test]
+    fn snapshot_merges_shards_in_customer_order() {
+        let s = sharded(4);
+        for raw in [9u64, 3, 17, 1] {
+            s.ingest(CustomerId::new(raw), d(2012, 5, 2), &Basket::from_raw(&[1]))
+                .unwrap();
+        }
+        let snap = s.snapshot();
+        let customer_rows: Vec<&str> = snap.lines().filter(|l| l.starts_with("c,")).collect();
+        assert_eq!(customer_rows.len(), 4);
+        let ids: Vec<u64> = customer_rows
+            .iter()
+            .map(|r| r.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 3, 9, 17]);
+    }
+
+    #[test]
+    fn snapshot_restore_across_different_shard_counts() {
+        let s = sharded(4);
+        for raw in 0..20u64 {
+            s.ingest(
+                CustomerId::new(raw),
+                d(2012, 5, 2),
+                &Basket::from_raw(&[1, 2]),
+            )
+            .unwrap();
+            s.ingest(CustomerId::new(raw), d(2012, 6, 2), &Basket::from_raw(&[1]))
+                .unwrap();
+        }
+        let snap = s.snapshot();
+        for n in [1usize, 3, 8] {
+            let restored = ShardedMonitor::restore(&snap, n).unwrap();
+            assert_eq!(restored.num_customers(), 20);
+            for raw in 0..20u64 {
+                let c = CustomerId::new(raw);
+                let a = s.preview(c).unwrap();
+                let b = restored.preview(c).unwrap();
+                assert_eq!(a.window, b.window);
+                assert_eq!(a.value.to_bits(), b.value.to_bits());
+            }
+            // The restored state writes the identical checkpoint.
+            assert_eq!(restored.snapshot(), snap);
+        }
+    }
+
+    #[test]
+    fn flush_order_matches_single_monitor() {
+        let receipts: Vec<(u64, Date, Vec<u32>)> = (0..30u64)
+            .map(|raw| (raw, d(2012, 5, 2), vec![1, (raw % 5) as u32 + 2]))
+            .collect();
+        let single = sharded(1);
+        let many = sharded(8);
+        for (raw, date, items) in &receipts {
+            for s in [&single, &many] {
+                s.ingest(CustomerId::new(*raw), *date, &Basket::from_raw(items))
+                    .unwrap();
+            }
+        }
+        let a = single.flush_until(d(2012, 8, 1));
+        let b = many.flush_until(d(2012, 8, 1));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.customer, y.customer);
+            assert_eq!(x.point.window, y.point.window);
+            assert_eq!(x.point.value.to_bits(), y.point.value.to_bits());
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`rfm`] | `attrition-rfm` | the RFM + logistic-regression baseline |
 //! | [`eval`] | `attrition-eval` | ROC/AUROC, cross-validation, grid search, calibration |
 //! | [`obs`] | `attrition-obs` | pipeline observability: metrics registry, stage timers |
+//! | [`serve`] | `attrition-serve` | online scoring server: sharded monitors behind a TCP line protocol |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use attrition_datagen as datagen;
 pub use attrition_eval as eval;
 pub use attrition_obs as obs;
 pub use attrition_rfm as rfm;
+pub use attrition_serve as serve;
 pub use attrition_store as store;
 pub use attrition_types as types;
 pub use attrition_util as util;

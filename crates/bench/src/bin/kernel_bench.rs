@@ -1,0 +1,158 @@
+//! KERNEL — significance-kernel microbenchmark, tracked across PRs.
+//!
+//! The stability score's inner loop is `total_significance()` (the
+//! denominator recomputed per customer per window in every workload:
+//! batch engine, streaming monitor, serve shards). This bench pins its
+//! cost at repertoire sizes 10/100/1k/10k and measures the
+//! count-histogram kernel against the pre-histogram per-item `powi`
+//! recomputation (`total_significance_naive`, kept in-tree precisely as
+//! this baseline), writing `results/kernel_bench.json` so the perf
+//! trajectory is tracked from the PR that introduced the histogram
+//! onward.
+//!
+//! Run: `cargo run -p attrition-bench --release --bin kernel_bench`
+//! (`ATTRITION_BENCH_QUICK=1` shrinks the time budget ~10× for CI smoke
+//! runs; the same sizes are still measured).
+
+use attrition_bench::micro::{black_box, Runner};
+use attrition_bench::write_result;
+use attrition_core::{SignificanceTracker, StabilityParams};
+use attrition_types::{Basket, ItemId};
+use attrition_util::Rng;
+
+/// Windows folded into each tracker before measuring — the paper's
+/// 2-year horizon at monthly windows.
+const WINDOWS: u32 = 24;
+
+/// A tracker over `repertoire` distinct items with a spread count
+/// histogram: every item appears in window 0 (so `num_tracked ==
+/// repertoire`), then recurs with a per-item persistent probability.
+/// Returns the tracker and a typical window's basket for numerator
+/// measurements.
+fn build_tracker(repertoire: u32, seed: u64) -> (SignificanceTracker, Basket) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let probs: Vec<f64> = (0..repertoire).map(|_| rng.f64_in(0.1, 1.0)).collect();
+    let mut tracker = SignificanceTracker::new(StabilityParams::PAPER);
+    let mut last = Basket::empty();
+    for window in 0..WINDOWS {
+        let items: Vec<ItemId> = (0..repertoire)
+            .filter(|&i| window == 0 || rng.f64() < probs[i as usize])
+            .map(ItemId::new)
+            .collect();
+        let basket = Basket::new(items);
+        tracker.observe_window(&basket);
+        last = basket;
+    }
+    (tracker, last)
+}
+
+struct SizeResult {
+    repertoire: u32,
+    tracked: usize,
+    hist_buckets: usize,
+    total_hist_ns: f64,
+    total_naive_ns: f64,
+    window_score_ns: f64,
+}
+
+fn main() {
+    let quick = std::env::var("ATTRITION_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nKERNEL: total_significance() — count-histogram vs per-item powi \
+         ({WINDOWS} windows, α = 2)\n"
+    );
+
+    let mut results: Vec<SizeResult> = Vec::new();
+    for &repertoire in &[10u32, 100, 1_000, 10_000] {
+        let (tracker, window) = build_tracker(repertoire, 0xBEEF + repertoire as u64);
+        // Histogram and naive totals must agree (ULP-level: the naive
+        // path sums in hash-map order) before timing means anything.
+        let (hist_total, naive_total) = (
+            tracker.total_significance(),
+            tracker.total_significance_naive(),
+        );
+        assert!(
+            (hist_total - naive_total).abs() <= 1e-9 * hist_total.max(1.0),
+            "kernel mismatch at repertoire {repertoire}: {hist_total} vs {naive_total}"
+        );
+
+        let mut runner = Runner::group(&format!("kernel/repertoire_{repertoire}"));
+        let total_hist_ns = runner
+            .bench("total_significance (histogram)", || {
+                black_box(tracker.total_significance())
+            })
+            .min_ns;
+        let total_naive_ns = runner
+            .bench("total_significance (naive per-item)", || {
+                black_box(tracker.total_significance_naive())
+            })
+            .min_ns;
+        // Full per-window scoring cost: numerator over a typical basket
+        // plus the denominator — what batch/monitor/serve pay per
+        // (customer, window).
+        let window_score_ns = runner
+            .bench("score_window (present + total)", || {
+                black_box(tracker.present_significance(&window) / tracker.total_significance())
+            })
+            .min_ns;
+        results.push(SizeResult {
+            repertoire,
+            tracked: tracker.num_tracked(),
+            hist_buckets: tracker.count_histogram().len(),
+            total_hist_ns,
+            total_naive_ns,
+            window_score_ns,
+        });
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"repertoire\": {}, \"tracked\": {}, \"hist_buckets\": {}, \
+                 \"total_hist_ns\": {:.1}, \"total_naive_ns\": {:.1}, \
+                 \"speedup_total\": {:.2}, \"window_score_ns\": {:.1}}}",
+                r.repertoire,
+                r.tracked,
+                r.hist_buckets,
+                r.total_hist_ns,
+                r.total_naive_ns,
+                r.total_naive_ns / r.total_hist_ns,
+                r.window_score_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_bench\",\n  \"windows\": {WINDOWS},\n  \
+         \"alpha\": 2.0,\n  \"available_parallelism\": {available_parallelism},\n  \
+         \"quick\": {quick},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    write_result("kernel_bench.json", &json);
+
+    for r in &results {
+        println!(
+            "repertoire {:>6}: histogram {:>9.1} ns  naive {:>11.1} ns  \
+             speedup {:>7.1}x  ({} buckets)",
+            r.repertoire,
+            r.total_hist_ns,
+            r.total_naive_ns,
+            r.total_naive_ns / r.total_hist_ns,
+            r.hist_buckets
+        );
+    }
+    let at_1k = results
+        .iter()
+        .find(|r| r.repertoire == 1_000)
+        .expect("1k size always measured");
+    let speedup = at_1k.total_naive_ns / at_1k.total_hist_ns;
+    assert!(
+        speedup >= 5.0,
+        "kernel regression: histogram total_significance is only {speedup:.1}x \
+         the naive per-item recomputation at repertoire 1k (contract: ≥5x)"
+    );
+    println!("\nspeedup at repertoire 1k: {speedup:.1}x (contract: ≥5x) — OK");
+}

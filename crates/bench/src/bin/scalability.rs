@@ -22,9 +22,12 @@ fn main() {
     // one JSON breakdown per population size lands in results/.
     attrition_obs::set_enabled(true);
     let mut stage_breakdowns: Vec<(usize, String)> = Vec::new();
+    let mut txt = String::new();
     let sizes = [250usize, 500, 1_000, 2_000, 4_000, 8_000];
     let w_months = 2u32;
-    println!("\nSCALE: pipeline wall time by population size (2-month windows, α = 2)\n");
+    let heading = "SCALE: pipeline wall time by population size (2-month windows, α = 2)";
+    println!("\n{heading}\n");
+    txt.push_str(&format!("\n{heading}\n\n"));
     let mut table = Table::new([
         "customers",
         "receipts",
@@ -97,8 +100,14 @@ fn main() {
         stage_breakdowns.push((n, attrition_obs::global().snapshot().to_json()));
     }
     println!("{table}");
+    txt.push_str(&format!("{table}\n"));
 
     // Thread-scaling of the stability engine on the largest population.
+    // The sweep is always 1/2/4/8 (via `with_threads`, which caps the
+    // worker count regardless of the hardware) and the output records
+    // `available_parallelism`, so thread-scaling rows are never silently
+    // missing on a small CI box — rows beyond the hardware width are
+    // oversubscribed and say so via the recorded parallelism.
     let mut cfg = ScenarioConfig::paper_default();
     cfg.n_loyal = 4_000;
     cfg.n_defectors = 4_000;
@@ -113,11 +122,15 @@ fn main() {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("stability engine thread scaling (8,000 customers, {hw} hardware threads):\n");
-    let mut scaling = Table::new(["threads", "time (ms)", "speedup"]);
+    let scaling_heading =
+        format!("stability engine thread scaling (8,000 customers, available_parallelism = {hw}):");
+    println!("{scaling_heading}\n");
+    txt.push_str(&format!("{scaling_heading}\n\n"));
+    let mut scaling = Table::new(["threads", "time (ms)", "speedup", "available_parallelism"]);
+    let mut threads_csv = CsvWriter::new();
+    threads_csv.record(&["threads", "time_ms", "speedup", "available_parallelism"]);
     let mut base_ms = 0.0f64;
-    let mut threads = 1usize;
-    while threads <= hw {
+    for &threads in &[1usize, 2, 4, 8] {
         let t = Instant::now();
         let _ = StabilityEngine::new(StabilityParams::PAPER)
             .with_threads(threads)
@@ -130,11 +143,20 @@ fn main() {
             threads.to_string(),
             format!("{ms:.0}"),
             format!("{:.2}x", base_ms / ms),
+            hw.to_string(),
         ]);
-        threads *= 2;
+        threads_csv.record(&[
+            &threads.to_string(),
+            &format!("{ms:.1}"),
+            &format!("{:.3}", base_ms / ms),
+            &hw.to_string(),
+        ]);
     }
     println!("{scaling}");
+    txt.push_str(&format!("{scaling}\n"));
     write_result("scalability.csv", &csv.finish());
+    write_result("scalability_threads.csv", &threads_csv.finish());
+    write_result("scalability.txt", &txt);
     // Machine-readable stage breakdown, keyed by population size.
     let entries: Vec<String> = stage_breakdowns
         .iter()

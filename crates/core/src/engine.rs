@@ -173,10 +173,22 @@ impl StabilityMatrix {
     /// The `limit` most at-risk customers at window `k` (highest
     /// attrition score first, ties broken by customer id). This is the
     /// retention campaign's call list.
+    ///
+    /// Selects the top `limit` in `O(n)` and sorts only that prefix
+    /// (`O(n + limit·log limit)`) — a call list is tiny next to the
+    /// population, so sorting everyone was pure waste.
     pub fn rank_at(&self, k: WindowIndex, limit: usize) -> Vec<(CustomerId, f64)> {
+        fn rank(a: &(CustomerId, f64), b: &(CustomerId, f64)) -> std::cmp::Ordering {
+            b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+        }
         let mut ranked = self.attrition_scores_at(k);
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(limit);
+        if limit == 0 {
+            ranked.clear();
+        } else if limit < ranked.len() {
+            ranked.select_nth_unstable_by(limit - 1, rank);
+            ranked.truncate(limit);
+        }
+        ranked.sort_unstable_by(rank);
         ranked
     }
 
@@ -331,6 +343,19 @@ mod tests {
         }
         // Limit larger than the population clamps.
         assert_eq!(matrix.rank_at(WindowIndex::new(5), 99).len(), 10);
+    }
+
+    #[test]
+    fn rank_at_matches_full_sort_at_every_limit() {
+        let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db(17));
+        let k = WindowIndex::new(5);
+        let mut reference = matrix.attrition_scores_at(k);
+        reference.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for limit in 0..=reference.len() + 2 {
+            let mut expected = reference.clone();
+            expected.truncate(limit);
+            assert_eq!(matrix.rank_at(k, limit), expected, "limit {limit}");
+        }
     }
 
     #[test]

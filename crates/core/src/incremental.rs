@@ -426,7 +426,7 @@ impl StabilityMonitor {
             present_significance: present,
             total_significance: total,
         };
-        let mut lost: Vec<crate::explanation::LostProduct> = state
+        let lost: Vec<crate::explanation::LostProduct> = state
             .tracker
             .tracked_items()
             .filter(|(item, c, _, _)| *c > 0 && !u.contains(*item))
@@ -436,12 +436,7 @@ impl StabilityMonitor {
                 share: if total > 0.0 { s / total } else { 0.0 },
             })
             .collect();
-        lost.sort_by(|a, b| {
-            b.significance
-                .total_cmp(&a.significance)
-                .then(a.item.cmp(&b.item))
-        });
-        lost.truncate(max_explanations);
+        let lost = crate::explanation::select_top_lost(lost, max_explanations);
         state.tracker.observe_window(&u);
         state.current_window += 1;
         WindowClosed {

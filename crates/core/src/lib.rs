@@ -19,8 +19,13 @@
 //! Implementation note: every window before `k` either contains `p` or
 //! not, so `l(k) = k − c(k)` and `S(p,k) = α^(2c(k)−k)` — the incremental
 //! [`significance::SignificanceTracker`] therefore stores one counter per
-//! item plus the global window count, and scores a window in O(|u_k| +
-//! |tracked items|).
+//! item plus the global window count. Because `S` depends on an item only
+//! through its count, the tracker additionally maintains a **count
+//! histogram** and a lazily-grown α-power table, scoring a window in
+//! O(|u_k| + k) — independent of repertoire size — with one canonical
+//! (ascending-count) summation order, so scores are bit-identical across
+//! the batch engine, the streaming monitor, snapshot restores, and the
+//! serve shards (DESIGN.md §9).
 //!
 //! Modules: [`params`] (α and the threshold β), [`significance`],
 //! [`stability`] (per-customer series), [`explanation`] (lost-product
@@ -46,7 +51,9 @@ pub mod variants;
 pub use classifier::StabilityClassifier;
 pub use cohort::{cohort_curves, flag_rate_per_window, CohortPoint};
 pub use engine::{StabilityEngine, StabilityMatrix};
-pub use explanation::{aggregate_explanations, LostProduct, SegmentDriver, WindowExplanation};
+pub use explanation::{
+    aggregate_explanations, select_top_lost, LostProduct, SegmentDriver, WindowExplanation,
+};
 pub use export::{explanations_to_csv, matrix_to_csv};
 pub use incremental::{RestoreError, StabilityMonitor, WindowClosed};
 pub use params::StabilityParams;

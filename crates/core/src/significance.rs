@@ -13,10 +13,90 @@
 //! so the tracker stores one occurrence counter per item it has ever seen
 //! plus the number of windows observed. Scoring is `O(1)` per item;
 //! folding in a new window is `O(|u_k|)`.
+//!
+//! # The count-histogram kernel
+//!
+//! `S(p,k)` depends on `p` only through its occurrence count `c`, so the
+//! stability denominator collapses to a sum over *counts* rather than
+//! items:
+//!
+//! ```text
+//! Σ_{p∈I} S(p,k) = Σ_{c≥1} hist[c] · α^(2c − k)
+//! ```
+//!
+//! where `hist[c]` is the number of tracked items with exactly `c`
+//! occurrences. The tracker maintains that histogram incrementally
+//! (`O(|u_k|)` per [`observe_window`](SignificanceTracker::observe_window))
+//! and [`total_significance`](SignificanceTracker::total_significance)
+//! sums it in **ascending-`c` order** — `O(k)` per window instead of
+//! `O(|I|)`, and one *canonical* summation order, so totals are
+//! bit-identical across tracker instances, snapshot restores, thread
+//! counts, and the batch/streaming/serving paths (a `HashMap`-order sum
+//! would differ per instance: Rust randomizes the hash seed).
+//!
+//! All `α^e` evaluations go through a lazily-grown power table whose
+//! entries are produced by `f64::powi`, so a lookup is bit-identical to
+//! computing the power directly while the hot loop does no
+//! transcendental work. See DESIGN.md §9 ("kernel complexity contract").
 
 use crate::params::StabilityParams;
 use attrition_types::{Basket, ItemId};
 use std::collections::HashMap;
+
+/// Exponent clamp for `α^(2c−k)`: beyond ±1000 the value has long
+/// under-/overflowed for any admissible α, and the clamp bounds the
+/// power table.
+const MAX_ABS_EXPONENT: u32 = 1_000;
+
+/// Lazily-grown table of `α^e` for `e ∈ [-limit, limit]`.
+///
+/// Entries are computed with `f64::powi`, so a table lookup returns the
+/// exact bits a direct `powi` call would — growing the table never
+/// changes any score, it only removes the per-evaluation cost.
+#[derive(Debug, Clone)]
+struct PowerTable {
+    alpha: f64,
+    /// `pos[i] = α^i`.
+    pos: Vec<f64>,
+    /// `neg[i] = α^(−i)`.
+    neg: Vec<f64>,
+}
+
+impl PowerTable {
+    fn new(alpha: f64) -> PowerTable {
+        PowerTable {
+            alpha,
+            pos: vec![1.0],
+            neg: vec![1.0],
+        }
+    }
+
+    /// Grow to cover every exponent of magnitude ≤ `magnitude` (clamped
+    /// to [`MAX_ABS_EXPONENT`]). Amortized O(1) per window: called once
+    /// per observed window with the window count.
+    fn ensure(&mut self, magnitude: u32) {
+        let m = magnitude.min(MAX_ABS_EXPONENT) as usize;
+        while self.pos.len() <= m {
+            self.pos.push(self.alpha.powi(self.pos.len() as i32));
+        }
+        while self.neg.len() <= m {
+            self.neg.push(self.alpha.powi(-(self.neg.len() as i32)));
+        }
+    }
+
+    /// `α^exponent`, clamped to the covered range. The caller guarantees
+    /// (by construction: `|2c − k| ≤ k` and `ensure(k)` ran) that any
+    /// in-range exponent is covered.
+    #[inline]
+    fn get(&self, exponent: i64) -> f64 {
+        let e = exponent.clamp(-(MAX_ABS_EXPONENT as i64), MAX_ABS_EXPONENT as i64);
+        if e >= 0 {
+            self.pos[e as usize]
+        } else {
+            self.neg[-e as usize]
+        }
+    }
+}
 
 /// Incremental significance state for one customer.
 ///
@@ -44,6 +124,12 @@ pub struct SignificanceTracker {
     counts: HashMap<ItemId, u32>,
     /// Number of windows folded in so far (`k`).
     windows: u32,
+    /// `hist[c]` = number of tracked items with exactly `c` occurrences
+    /// (`c ≥ 1`; index 0 is unused and stays 0). Trailing zero buckets
+    /// are trimmed, so `hist.len() − 1` is the largest live count.
+    hist: Vec<u32>,
+    /// `α^e` lookups for the hot loop; covers `±min(windows, 1000)`.
+    powers: PowerTable,
 }
 
 impl SignificanceTracker {
@@ -53,6 +139,8 @@ impl SignificanceTracker {
             params,
             counts: HashMap::new(),
             windows: 0,
+            hist: Vec::new(),
+            powers: PowerTable::new(params.alpha),
         }
     }
 
@@ -89,22 +177,65 @@ impl SignificanceTracker {
         }
     }
 
+    /// `S` of any item with occurrence count `c` at the current window
+    /// count: `α^(2c − k)` for `c > 0`, else 0. A power-table lookup —
+    /// bit-identical to `alpha.powi((2c − k).clamp(-1000, 1000))`.
     #[inline]
-    fn significance_of_count(&self, c: u32) -> f64 {
-        // exponent = c − l = 2c − k; |exponent| ≤ k ≤ u32::MAX, and f64
-        // powi degrades to 0/inf gracefully at the extremes.
-        let exponent = 2 * c as i64 - self.windows as i64;
-        self.params.alpha.powi(exponent.clamp(-1_000, 1_000) as i32)
+    pub fn significance_of_count(&self, c: u32) -> f64 {
+        if c == 0 {
+            return 0.0;
+        }
+        // exponent = c − l = 2c − k; |exponent| ≤ k, which the power
+        // table covers (grown once per observed window).
+        self.powers.get(2 * c as i64 - self.windows as i64)
     }
 
     /// `Σ_{p∈I} S(p,k)` — the stability denominator. Items never bought
     /// contribute zero, so the sum ranges over tracked items.
+    ///
+    /// Computed from the count histogram as `Σ_{c≥1} hist[c]·α^(2c−k)`
+    /// in ascending-`c` order: `O(k)` regardless of repertoire size, and
+    /// the summation order is canonical, so the result is bit-identical
+    /// across tracker instances holding the same state (independent
+    /// builds, snapshot restores, any thread count).
     pub fn total_significance(&self) -> f64 {
+        let k = self.windows as i64;
+        let mut total = 0.0;
+        for (c, &n) in self.hist.iter().enumerate().skip(1) {
+            if n > 0 {
+                total += n as f64 * self.powers.get(2 * c as i64 - k);
+            }
+        }
+        total
+    }
+
+    /// Reference implementation of
+    /// [`total_significance`](SignificanceTracker::total_significance):
+    /// per-item `powi` recomputation in hash-map iteration order — the
+    /// pre-histogram kernel, `O(|I|)` with a `powi` per item and a
+    /// summation order that varies per tracker instance. Kept only as
+    /// the baseline for the tracked kernel benchmark (`kernel_bench`)
+    /// and the equivalence property tests; no production path calls it.
+    pub fn total_significance_naive(&self) -> f64 {
         self.counts
             .values()
             .filter(|&&c| c > 0)
-            .map(|&c| self.significance_of_count(c))
+            .map(|&c| {
+                let exponent = 2 * c as i64 - self.windows as i64;
+                self.params.alpha.powi(
+                    exponent.clamp(-(MAX_ABS_EXPONENT as i64), MAX_ABS_EXPONENT as i64) as i32,
+                )
+            })
             .sum()
+    }
+
+    /// The count histogram: `hist[c]` = number of tracked items with
+    /// exactly `c` occurrences (index 0 unused). Invariants (asserted by
+    /// property tests): `Σ_{c≥1} hist[c] == num_tracked()`, the
+    /// histogram matches the per-item counts, and trailing buckets are
+    /// nonzero (the slice is trimmed).
+    pub fn count_histogram(&self) -> &[u32] {
+        &self.hist
     }
 
     /// `Σ_{p∈u} S(p,k)` — the stability numerator for a window whose item
@@ -140,20 +271,54 @@ impl SignificanceTracker {
             "occurrence count {c} exceeds observed windows {}",
             self.windows
         );
-        if c == 0 {
-            self.counts.remove(&item);
+        let old = if c == 0 {
+            self.counts.remove(&item).unwrap_or(0)
         } else {
-            self.counts.insert(item, c);
+            self.counts.insert(item, c).unwrap_or(0)
+        };
+        if old != c {
+            self.hist_remove(old);
+            self.hist_insert(c);
         }
     }
 
     /// Fold window `k`'s item set into the counters (advancing `k` to
-    /// `k + 1`). Call *after* scoring the window.
+    /// `k + 1`). Call *after* scoring the window. `O(|u_k|)` including
+    /// histogram maintenance; the power table grows to cover the new
+    /// window count (amortized O(1)).
     pub fn observe_window(&mut self, u: &Basket) {
         for item in u.iter() {
-            *self.counts.entry(item).or_insert(0) += 1;
+            let slot = self.counts.entry(item).or_insert(0);
+            let old = *slot;
+            *slot += 1;
+            self.hist_remove(old);
+            self.hist_insert(old + 1);
         }
         self.windows += 1;
+        self.powers.ensure(self.windows);
+    }
+
+    /// Drop one item from bucket `c` (no-op for `c == 0`).
+    #[inline]
+    fn hist_remove(&mut self, c: u32) {
+        if c > 0 {
+            self.hist[c as usize] -= 1;
+            while self.hist.last() == Some(&0) {
+                self.hist.pop();
+            }
+        }
+    }
+
+    /// Add one item to bucket `c` (no-op for `c == 0`).
+    #[inline]
+    fn hist_insert(&mut self, c: u32) {
+        if c > 0 {
+            let c = c as usize;
+            if self.hist.len() <= c {
+                self.hist.resize(c + 1, 0);
+            }
+            self.hist[c] += 1;
+        }
     }
 }
 
@@ -351,6 +516,172 @@ mod tests {
                 assert!(present >= 0.0);
             },
         );
+    }
+
+    /// Histogram invariants on arbitrary histories (including direct
+    /// `set_occurrences` edits, the restore path): `Σ_{c≥1} hist[c]`
+    /// equals the tracked-item count, the histogram matches the
+    /// per-item counts, and trailing buckets are trimmed.
+    #[test]
+    fn histogram_consistent_with_counts() {
+        forall(
+            256,
+            |rng| {
+                let history = gen_history(rng, 10, 5, 12);
+                // Optional post-hoc edits exercising set_occurrences.
+                let edits = gen_vec(rng, 0, 4, |r| {
+                    (r.u64_below(10) as u32, r.u64_below(4) as u32)
+                });
+                (history, edits)
+            },
+            |(history, edits)| {
+                let mut t = tracker();
+                for u in history {
+                    t.observe_window(&b(u));
+                }
+                for &(item, c) in edits {
+                    let c = c.min(t.windows_observed());
+                    t.set_occurrences(ItemId::new(item), c);
+                }
+                let hist = t.count_histogram();
+                // Rebuild the histogram from the per-item counts.
+                let mut expected = vec![0u32; hist.len()];
+                for (_, c, _, _) in t.tracked_items() {
+                    assert!(c >= 1, "tracked items always have c ≥ 1");
+                    assert!(
+                        (c as usize) < expected.len(),
+                        "count {c} outside histogram of length {}",
+                        hist.len()
+                    );
+                    expected[c as usize] += 1;
+                }
+                assert_eq!(hist, expected, "histogram diverged from counts");
+                assert_eq!(
+                    hist.iter().skip(1).map(|&n| n as u64).sum::<u64>(),
+                    t.num_tracked() as u64,
+                    "Σ hist[c] must equal num_tracked"
+                );
+                if let Some(last) = hist.last() {
+                    assert!(*last > 0, "trailing zero bucket not trimmed");
+                }
+            },
+        );
+    }
+
+    /// The histogram total is bit-identical (0 ULP) to the naive
+    /// per-item sum when both group items by count and sum in
+    /// ascending-`c` order, and agrees with the hash-map-order naive
+    /// sum within floating-point tolerance.
+    #[test]
+    fn histogram_total_matches_naive_ascending_sum() {
+        forall(
+            256,
+            |rng| gen_history(rng, 12, 6, 14),
+            |history| {
+                let mut t = tracker();
+                for u in history {
+                    t.observe_window(&b(u));
+
+                    // Naive ascending-c reference, rebuilt from the
+                    // per-item counts each window.
+                    let mut counts: Vec<u32> = t.tracked_items().map(|(_, c, _, _)| c).collect();
+                    counts.sort_unstable();
+                    let mut naive = 0.0f64;
+                    let mut i = 0;
+                    while i < counts.len() {
+                        let c = counts[i];
+                        let run = counts[i..].iter().take_while(|&&x| x == c).count();
+                        naive += run as f64 * t.significance_of_count(c);
+                        i += run;
+                    }
+                    assert_eq!(
+                        t.total_significance().to_bits(),
+                        naive.to_bits(),
+                        "ascending-c sums must be bit-identical: {} vs {naive}",
+                        t.total_significance()
+                    );
+                    // Hash-map order (the old kernel) agrees within ULPs.
+                    assert!(
+                        (t.total_significance() - t.total_significance_naive()).abs()
+                            <= 1e-9 * t.total_significance().max(1.0),
+                        "histogram {} vs naive {}",
+                        t.total_significance(),
+                        t.total_significance_naive()
+                    );
+                }
+            },
+        );
+    }
+
+    /// Two independently-built trackers (distinct hash seeds) fed the
+    /// same history produce bit-identical totals at every window — the
+    /// determinism the histogram's canonical order buys.
+    #[test]
+    fn independently_built_trackers_bit_identical() {
+        forall(
+            128,
+            |rng| gen_history(rng, 10, 5, 12),
+            |history| {
+                let mut a = tracker();
+                let mut b_ = tracker();
+                for u in history {
+                    assert_eq!(
+                        a.total_significance().to_bits(),
+                        b_.total_significance().to_bits()
+                    );
+                    a.observe_window(&b(u));
+                    b_.observe_window(&b(u));
+                }
+                assert_eq!(
+                    a.total_significance().to_bits(),
+                    b_.total_significance().to_bits()
+                );
+            },
+        );
+    }
+
+    /// Table-backed significance matches a direct `powi` computation
+    /// bit-for-bit, for arbitrary (valid) α.
+    #[test]
+    fn power_table_matches_powi() {
+        forall(
+            128,
+            |rng| (rng.f64_in(1.01, 8.0), gen_history(rng, 6, 3, 10)),
+            |(alpha, history)| {
+                let mut t = SignificanceTracker::new(StabilityParams::new(*alpha).unwrap());
+                for u in history {
+                    t.observe_window(&b(u));
+                }
+                let k = t.windows_observed() as i64;
+                for (_, c, _, s) in t.tracked_items() {
+                    let e = (2 * c as i64 - k).clamp(-1_000, 1_000) as i32;
+                    assert_eq!(
+                        s.to_bits(),
+                        alpha.powi(e).to_bits(),
+                        "α={alpha} c={c} k={k}"
+                    );
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn set_occurrences_maintains_histogram() {
+        let mut t = tracker();
+        t.observe_window(&b(&[1, 2, 3]));
+        t.observe_window(&b(&[1, 2]));
+        t.observe_window(&b(&[1]));
+        assert_eq!(t.count_histogram(), &[0, 1, 1, 1]);
+        // Restore-style overwrite: drop item 1 to two occurrences.
+        t.set_occurrences(ItemId::new(1), 2);
+        assert_eq!(t.count_histogram(), &[0, 1, 2]);
+        // Remove item 3 entirely; trailing buckets stay trimmed.
+        t.set_occurrences(ItemId::new(3), 0);
+        assert_eq!(t.count_histogram(), &[0, 0, 2]);
+        assert_eq!(t.num_tracked(), 2);
+        // Overwriting with the same value is a no-op.
+        t.set_occurrences(ItemId::new(2), 2);
+        assert_eq!(t.count_histogram(), &[0, 0, 2]);
     }
 
     /// The recurrence the paper's S(p,k) = α^(c−l) obeys, checked on

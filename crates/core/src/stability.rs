@@ -93,7 +93,8 @@ pub fn analyze_customer(
         let k = WindowIndex::new(k as u32);
         let point = point_from_tracker(&tracker, k, u);
         // Lost products: tracked, significant, and absent from u_k.
-        let mut lost: Vec<LostProduct> = tracker
+        // Top-K selection instead of sorting the full lost set.
+        let lost: Vec<LostProduct> = tracker
             .tracked_items()
             .filter(|(item, c, _, _)| *c > 0 && !u.contains(*item))
             .map(|(item, _, _, s)| LostProduct {
@@ -106,12 +107,7 @@ pub fn analyze_customer(
                 },
             })
             .collect();
-        lost.sort_by(|a, b| {
-            b.significance
-                .total_cmp(&a.significance)
-                .then(a.item.cmp(&b.item))
-        });
-        lost.truncate(max_products);
+        let lost = crate::explanation::select_top_lost(lost, max_products);
         explanations.push(WindowExplanation { window: k, lost });
         points.push(point);
         tracker.observe_window(u);

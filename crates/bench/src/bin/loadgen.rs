@@ -3,23 +3,29 @@
 //! Replays a datagen scenario's receipts chronologically over the TCP
 //! line protocol at a target request rate, spreading requests over
 //! several connections, then fills the remaining run time with `SCORE`
-//! reads. Reports per-request latency percentiles, the achieved rate
-//! and the protocol error count, both as a table and as
-//! `results/serve_latency.json` (machine-readable, consumed by CI).
+//! reads. Reports per-request latency percentiles, the achieved rate,
+//! the protocol error count, and the resilience counters (`ERR busy`
+//! rejections absorbed and retries spent), both as a table and as
+//! `results/<name>.json` (machine-readable, consumed by CI).
 //!
 //! By default it spawns an in-process server on an ephemeral loopback
 //! port; point it at an externally started server with `--addr`
-//! (e.g. `attrition serve --origin 2012-05-01 --window 1`).
+//! (e.g. `attrition serve --origin 2012-05-01 --window 1`). With
+//! `--wal-dir` the in-process server runs the full durability stack, so
+//! `--sync-policy never|interval:N|always` measures the latency cost of
+//! each ack guarantee (CI uploads the `always` run as the
+//! durability-overhead artifact).
 //!
 //! Run: `cargo run -p attrition-bench --release --bin loadgen --
 //!       [--addr HOST:PORT] [--rps 500] [--duration-s 5]
-//!       [--connections 4] [--customers 200] [--seed 7] [--shutdown]`
+//!       [--connections 4] [--customers 200] [--seed 7] [--shutdown]
+//!       [--wal-dir DIR] [--sync-policy always] [--results NAME]`
 
 use attrition_bench::write_result;
 use attrition_core::StabilityParams;
 use attrition_datagen::ScenarioConfig;
-use attrition_serve::server::{self, ServerConfig};
-use attrition_serve::{Client, Reply};
+use attrition_serve::server::{self, DurabilityConfig, ServerConfig};
+use attrition_serve::{Client, Reply, RetryPolicy, SyncPolicy};
 use attrition_store::{chronological, WindowSpec};
 use attrition_types::Date;
 use attrition_util::stats::quantile_sorted;
@@ -34,6 +40,9 @@ struct Flags {
     customers: usize,
     seed: u64,
     shutdown: bool,
+    wal_dir: Option<String>,
+    sync_policy: SyncPolicy,
+    results: String,
 }
 
 fn parse_flags() -> Flags {
@@ -45,6 +54,9 @@ fn parse_flags() -> Flags {
         customers: 200,
         seed: 7,
         shutdown: false,
+        wal_dir: None,
+        sync_policy: SyncPolicy::Always,
+        results: "serve_latency".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +77,12 @@ fn parse_flags() -> Flags {
             "--customers" => flags.customers = value("--customers").parse().expect("--customers"),
             "--seed" => flags.seed = value("--seed").parse().expect("--seed"),
             "--shutdown" => flags.shutdown = true,
+            "--wal-dir" => flags.wal_dir = Some(value("--wal-dir")),
+            "--sync-policy" => {
+                flags.sync_policy =
+                    SyncPolicy::parse(&value("--sync-policy")).expect("--sync-policy")
+            }
+            "--results" => flags.results = value("--results"),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -83,6 +101,26 @@ enum Op {
     Score {
         customer: u64,
     },
+}
+
+impl Op {
+    fn line(&self) -> String {
+        match self {
+            Op::Ingest {
+                customer,
+                date,
+                items,
+            } => {
+                let mut line = format!("INGEST {customer} {date}");
+                for item in items {
+                    line.push(' ');
+                    line.push_str(&item.to_string());
+                }
+                line
+            }
+            Op::Score { customer } => format!("SCORE {customer}"),
+        }
+    }
 }
 
 fn main() {
@@ -116,32 +154,51 @@ fn main() {
         ids
     };
 
-    // Target: an external server, or an in-process one on loopback.
+    // Target: an external server, or an in-process one on loopback
+    // (with the durability stack when --wal-dir is given).
+    let durable = flags.wal_dir.is_some();
     let (addr, _server) = match &flags.addr {
         Some(addr) => (addr.clone(), None),
         None => {
             let spec = WindowSpec::months(cfg.start, 1);
-            let handle = server::start(ServerConfig::new(
-                "127.0.0.1:0",
-                spec,
-                StabilityParams::PAPER,
-            ))
-            .expect("in-process server must start");
+            let mut config = ServerConfig::new("127.0.0.1:0", spec, StabilityParams::PAPER);
+            if let Some(dir) = &flags.wal_dir {
+                let mut dcfg = DurabilityConfig::new(dir);
+                dcfg.sync_policy = flags.sync_policy;
+                config.durability = Some(dcfg);
+            }
+            let handle = server::start(config).expect("in-process server must start");
             (handle.local_addr().to_string(), Some(handle))
         }
     };
     eprintln!(
-        "loadgen: {} receipts from {} customers → {} at {} req/s over {} connections for {:?}",
+        "loadgen: {} receipts from {} customers → {} at {} req/s over {} connections for {:?}{}",
         ops.len(),
         customer_ids.len(),
         addr,
         flags.rps,
         flags.connections,
-        flags.duration
+        flags.duration,
+        if durable {
+            format!(" (durable, sync-policy {})", flags.sync_policy)
+        } else {
+            String::new()
+        }
     );
 
+    // One retry policy per connection, seeds decorrelated so their
+    // backoff jitter does not re-stampede the server in lockstep.
+    let policies: Vec<RetryPolicy> = (0..flags.connections)
+        .map(|i| RetryPolicy {
+            seed: flags.seed ^ (0x9E37_79B9 + i as u64),
+            ..RetryPolicy::default()
+        })
+        .collect();
     let mut clients: Vec<Client> = (0..flags.connections)
-        .map(|_| Client::connect(&addr, Duration::from_secs(10)).expect("connect to server"))
+        .map(|i| {
+            Client::connect_retrying(&addr, Duration::from_secs(10), &policies[i])
+                .expect("connect to server")
+        })
         .collect();
 
     // Paced closed-loop replay: request i is due at start + i/rps; once
@@ -151,6 +208,8 @@ fn main() {
     let mut errors = 0u64;
     let mut sent = 0u64;
     let mut ingests = 0u64;
+    let mut busy_rejections = 0u64;
+    let mut retries = 0u64;
     let mut ops_iter = ops.into_iter();
     loop {
         let due = started + Duration::from_secs_f64(sent as f64 / flags.rps);
@@ -164,25 +223,25 @@ fn main() {
         let op = ops_iter.next().unwrap_or_else(|| Op::Score {
             customer: customer_ids[sent as usize % customer_ids.len()],
         });
-        let client = &mut clients[sent as usize % flags.connections];
+        if matches!(op, Op::Ingest { .. }) {
+            ingests += 1;
+        }
+        let slot = sent as usize % flags.connections;
+        let line = op.line();
         let t0 = Instant::now();
-        let reply = match &op {
-            Op::Ingest {
-                customer,
-                date,
-                items,
-            } => {
-                ingests += 1;
-                client.ingest(*customer, *date, items)
-            }
-            Op::Score { customer } => client.score(*customer),
-        };
+        let (reply, attempt_stats) = clients[slot]
+            .send_retrying(&line, &policies[slot])
+            .expect("transport error talking to server");
         latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         sent += 1;
+        busy_rejections += attempt_stats.busy_rejections as u64;
+        retries += attempt_stats.retries as u64;
         // An `ERR unknown customer` is only possible before that
         // customer's first ingest reached the server — not with this
-        // workload, so every ERR is a real protocol failure.
-        if let Reply::Err(message) = reply.expect("transport error talking to server") {
+        // workload, so any surviving ERR is a real protocol failure
+        // (`ERR busy` past the retry budget included: it means the
+        // server shed load faster than the budget could absorb).
+        if let Reply::Err(message) = reply {
             errors += 1;
             eprintln!("loadgen: ERR {message}");
         }
@@ -200,11 +259,19 @@ fn main() {
     let pct = |q: f64| quantile_sorted(&latencies_ms, q);
     let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
     let max = latencies_ms.last().copied().unwrap_or(f64::NAN);
+    let sync_policy_label = if durable {
+        flags.sync_policy.to_string()
+    } else {
+        "none".to_owned()
+    };
 
     let mut table = Table::new(["metric", "value"]);
     table.row(["requests sent".into(), sent.to_string()]);
     table.row(["ingest requests".into(), ingests.to_string()]);
     table.row(["protocol errors".into(), errors.to_string()]);
+    table.row(["busy rejections".into(), busy_rejections.to_string()]);
+    table.row(["retries".into(), retries.to_string()]);
+    table.row(["sync policy".into(), sync_policy_label.clone()]);
     table.row(["target req/s".into(), format!("{:.0}", flags.rps)]);
     table.row(["achieved req/s".into(), format!("{achieved_rps:.1}")]);
     table.row(["p50 latency (ms)".into(), format!("{p50:.3}")]);
@@ -215,6 +282,8 @@ fn main() {
 
     let json = format!(
         "{{\"requests\": {sent}, \"ingests\": {ingests}, \"errors\": {errors}, \
+         \"busy_rejections\": {busy_rejections}, \"retries\": {retries}, \
+         \"sync_policy\": \"{sync_policy_label}\", \
          \"target_rps\": {:.1}, \"achieved_rps\": {achieved_rps:.3}, \
          \"p50_ms\": {p50:.6}, \"p95_ms\": {p95:.6}, \"p99_ms\": {p99:.6}, \
          \"max_ms\": {max:.6}, \"connections\": {}, \"customers\": {}}}\n",
@@ -222,8 +291,8 @@ fn main() {
         flags.connections,
         customer_ids.len(),
     );
-    write_result("serve_latency.json", &json);
-    write_result("serve_latency.txt", &format!("{table}\n"));
+    write_result(&format!("{}.json", flags.results), &json);
+    write_result(&format!("{}.txt", flags.results), &format!("{table}\n"));
 
     assert_eq!(errors, 0, "protocol errors during replay");
 }

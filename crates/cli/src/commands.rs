@@ -6,7 +6,7 @@ use attrition_core::{analyze_customer, StabilityEngine, StabilityMonitor, Stabil
 use attrition_datagen::{generate as generate_dataset, ScenarioConfig};
 use attrition_eval::auroc;
 use attrition_rfm::{out_of_fold_scores, RfmModel};
-use attrition_serve::{ServerConfig, ShardedMonitor};
+use attrition_serve::{DurabilityConfig, Fallback, ServerConfig, ShardedMonitor, SyncPolicy};
 use attrition_store::{
     csv_io, project_to_segments, DatasetStats, ReceiptStore, WindowAlignment, WindowSpec,
     WindowedDatabase,
@@ -123,9 +123,22 @@ FLAGS:
                             --alpha/--max-explanations are rejected)
     --max-explanations N    lost products per closed-window explanation (default 5)
 
+DURABILITY (see README's Durability section):
+    --wal-dir DIR           write-ahead log + checkpoint directory; on start
+                            the newest valid checkpoint is recovered and the
+                            WAL replayed (--origin etc. only seed first boot;
+                            conflicts with --restore)
+    --sync-policy P         never | interval:N | always (default always)
+    --checkpoint-every N    checkpoint every N logged requests (default 1024;
+                            0 disables the count trigger)
+    --checkpoint-secs N     checkpoint every N seconds (default 30; 0 disables)
+    --keep-checkpoints N    checkpoints retained after rotation (default 2)
+
 Serves INGEST/SCORE/FLUSH/SNAPSHOT/STATS/PING/SHUTDOWN until SHUTDOWN or
 ctrl-c, then drains connections, writes the snapshot (if configured) and
-prints a summary. See README's Serving section for the protocol."
+prints a summary. With --wal-dir the exit code is nonzero when the final
+checkpoint or snapshot failed (the WAL is retained; recovery replays it).
+See README's Serving section for the protocol."
             .into(),
         other => return format!("no detailed help for {other:?}; run `attrition help`"),
     };
@@ -481,6 +494,21 @@ pub fn serve(args: &Args) -> CliResult {
         return Err("--shards and --workers must be at least 1".into());
     }
 
+    // Durable mode: `--wal-dir` recovers the newest valid checkpoint +
+    // WAL from the directory and keeps logging there; `--restore` is the
+    // legacy one-shot snapshot load and conflicts with it.
+    let wal_dir = args.get("wal-dir").map(std::path::PathBuf::from);
+    if wal_dir.is_some() && args.get("restore").is_some() {
+        return Err(
+            "--restore conflicts with --wal-dir (recovery already loads the newest \
+             checkpoint in the wal directory)"
+                .into(),
+        );
+    }
+    if let Some(dir) = wal_dir {
+        return serve_durable(args, dir, addr, shards, workers, queue, read_timeout_ms);
+    }
+
     // The window grid comes either from flags or — under `--restore` —
     // from the checkpoint's own header; mixing the two is rejected.
     let (spec, params, monitor) = match args.get("restore") {
@@ -539,6 +567,105 @@ pub fn serve(args: &Args) -> CliResult {
     );
     if let Some(path) = &summary.snapshot_path {
         println!("snapshot written to {}", path.display());
+    }
+    Ok(())
+}
+
+/// `attrition serve --wal-dir …`: recover, then serve with WAL +
+/// periodic checkpoints. Split out of [`serve`] because the grid comes
+/// from recovery (checkpoint header wins over flags) and the exit code
+/// must reflect shutdown durability.
+#[allow(clippy::too_many_arguments)]
+fn serve_durable(
+    args: &Args,
+    wal_dir: std::path::PathBuf,
+    addr: String,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+    read_timeout_ms: u64,
+) -> CliResult {
+    let sync_policy = SyncPolicy::parse(args.get("sync-policy").unwrap_or("always"))
+        .map_err(|e| format!("bad --sync-policy: {e}"))?;
+    let checkpoint_every: u64 = args.get_parsed("checkpoint-every", 1024)?;
+    let checkpoint_secs: u64 = args.get_parsed("checkpoint-secs", 30)?;
+    let keep_checkpoints: usize = args.get_parsed("keep-checkpoints", 2)?;
+    if keep_checkpoints == 0 {
+        return Err("--keep-checkpoints must be at least 1".into());
+    }
+
+    // First boot needs a grid from flags; on restart the recovered
+    // checkpoint's header wins and the flags are ignored.
+    let fallback = match args.get("origin") {
+        Some(raw) => {
+            let origin =
+                attrition_types::Date::parse_iso(raw).map_err(|e| format!("bad --origin: {e}"))?;
+            let w_months: u32 = args.get_parsed("window", 2)?;
+            let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+            let max_explanations: usize = args.get_parsed("max-explanations", 5)?;
+            Some(Fallback {
+                spec: WindowSpec::months(origin, w_months),
+                params: StabilityParams::new(alpha)?,
+                max_explanations,
+            })
+        }
+        None => None,
+    };
+    let (recovered, stats) = attrition_serve::recover(&wal_dir, fallback.as_ref())
+        .map_err(|e| format!("cannot recover from {}: {e}", wal_dir.display()))?;
+    eprintln!("recovery: {stats}");
+
+    let (spec, params) = (recovered.spec(), recovered.params());
+    let mut config = ServerConfig::new(addr, spec, params);
+    config.n_shards = shards;
+    config.workers = workers;
+    config.queue_capacity = queue;
+    config.read_timeout = std::time::Duration::from_millis(read_timeout_ms);
+    config.snapshot_path = args.get("snapshot").map(std::path::PathBuf::from);
+    config.durability = Some(DurabilityConfig {
+        wal_dir,
+        sync_policy,
+        checkpoint_every_requests: checkpoint_every,
+        checkpoint_every: (checkpoint_secs > 0)
+            .then(|| std::time::Duration::from_secs(checkpoint_secs)),
+        keep_checkpoints,
+        fault_plan: None,
+    });
+
+    attrition_serve::install_sigint_handler();
+    let handle = attrition_serve::start_resumed(
+        config,
+        ShardedMonitor::from_monitor(recovered, shards),
+        stats.next_seq,
+    )?;
+    println!("listening on {}", handle.local_addr());
+    let summary = handle.join();
+    println!(
+        "served {} requests ({} errors) over {} connections ({} rejected busy); \
+         {} customers tracked; {} wal appends, {} fsyncs, {} checkpoints",
+        summary.requests,
+        summary.errors,
+        summary.connections,
+        summary.rejected_busy,
+        summary.customers,
+        summary.wal_appends,
+        summary.wal_fsyncs,
+        summary.checkpoints,
+    );
+    if let Some(path) = &summary.snapshot_path {
+        println!("snapshot written to {}", path.display());
+    }
+    // A failed shutdown checkpoint/snapshot is a crash-equivalent exit:
+    // the WAL still holds the tail, so recovery is safe — but the
+    // operator must see a nonzero status, not a silent success.
+    if let Some(e) = &summary.checkpoint_error {
+        return Err(format!(
+            "shutdown checkpoint failed (wal retained, recovery will replay): {e}"
+        )
+        .into());
+    }
+    if let Some(e) = &summary.snapshot_error {
+        return Err(format!("shutdown snapshot failed: {e}").into());
     }
     Ok(())
 }

@@ -283,6 +283,36 @@ fn serve_rejects_grid_flags_with_restore() {
 }
 
 #[test]
+fn serve_rejects_restore_with_wal_dir() {
+    let out = run(&[
+        "serve",
+        "--wal-dir",
+        "whatever_wal",
+        "--restore",
+        "whatever.csv",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--restore conflicts with --wal-dir"));
+}
+
+#[test]
+fn serve_rejects_unknown_sync_policy() {
+    let dir = temp_dir("badpolicy");
+    let out = run(&[
+        "serve",
+        "--wal-dir",
+        dir.to_str().unwrap(),
+        "--origin",
+        "2012-05-01",
+        "--sync-policy",
+        "sometimes",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad --sync-policy"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_corrupt_checkpoint_exits_nonzero_naming_line_and_field() {
     let dir = temp_dir("badsnap");
     let path = dir.join("corrupt.csv");

@@ -37,25 +37,21 @@ fn gen_history(rng: &mut attrition_util::Rng) -> Vec<Vec<u32>> {
 /// random hash seed, so any iteration-order dependence shows up here.
 #[test]
 fn independent_trackers_bit_identical() {
-    forall(
-        128,
-        gen_history,
-        |history| {
-            let mut first = SignificanceTracker::new(StabilityParams::PAPER);
-            let mut second = SignificanceTracker::new(StabilityParams::PAPER);
-            for u in history {
-                let basket = b(u);
-                first.observe_window(&basket);
-                second.observe_window(&basket);
-                assert_eq!(
-                    first.total_significance().to_bits(),
-                    second.total_significance().to_bits(),
-                    "independently-built trackers diverged at window {}",
-                    first.windows_observed()
-                );
-            }
-        },
-    );
+    forall(128, gen_history, |history| {
+        let mut first = SignificanceTracker::new(StabilityParams::PAPER);
+        let mut second = SignificanceTracker::new(StabilityParams::PAPER);
+        for u in history {
+            let basket = b(u);
+            first.observe_window(&basket);
+            second.observe_window(&basket);
+            assert_eq!(
+                first.total_significance().to_bits(),
+                second.total_significance().to_bits(),
+                "independently-built trackers diverged at window {}",
+                first.windows_observed()
+            );
+        }
+    });
 }
 
 /// (b) A monitor restored from a snapshot produces bit-identical
@@ -140,51 +136,47 @@ fn snapshot_restore_bit_identical() {
 #[test]
 fn batch_and_streaming_bit_identical() {
     let spec = WindowSpec::months(d(2012, 5, 1), 1);
-    forall(
-        64,
-        gen_history,
-        |history| {
-            let customer = CustomerId::new(42);
-            let windows = CustomerWindows {
-                customer,
-                baskets: history.iter().map(|v| b(v)).collect(),
-                trips: vec![1; history.len()],
-                spend: vec![attrition_types::Cents(0); history.len()],
-                last_purchase: vec![None; history.len()],
-                spec,
-            };
-            let batch = stability_series(&windows, StabilityParams::PAPER);
+    forall(64, gen_history, |history| {
+        let customer = CustomerId::new(42);
+        let windows = CustomerWindows {
+            customer,
+            baskets: history.iter().map(|v| b(v)).collect(),
+            trips: vec![1; history.len()],
+            spend: vec![attrition_types::Cents(0); history.len()],
+            last_purchase: vec![None; history.len()],
+            spec,
+        };
+        let batch = stability_series(&windows, StabilityParams::PAPER);
 
-            let mut monitor = StabilityMonitor::new(spec, StabilityParams::PAPER);
-            let mut online = Vec::new();
-            for (month, items) in history.iter().enumerate() {
-                if !items.is_empty() {
-                    let date = d(2012, 5, 5).add_months(month as i32);
-                    online.extend(monitor.ingest(customer, date, &b(items)));
-                }
+        let mut monitor = StabilityMonitor::new(spec, StabilityParams::PAPER);
+        let mut online = Vec::new();
+        for (month, items) in history.iter().enumerate() {
+            if !items.is_empty() {
+                let date = d(2012, 5, 5).add_months(month as i32);
+                online.extend(monitor.ingest(customer, date, &b(items)));
             }
-            online.extend(monitor.flush_until(d(2012, 5, 1).add_months(history.len() as i32)));
+        }
+        online.extend(monitor.flush_until(d(2012, 5, 1).add_months(history.len() as i32)));
 
-            if history.iter().all(|items| items.is_empty()) {
-                // The monitor never saw the customer: nothing to compare.
-                assert!(online.is_empty());
-                return;
-            }
-            assert_eq!(online.len(), batch.len());
-            for (closed, point) in online.iter().zip(&batch) {
-                assert_eq!(closed.point.window, point.window);
-                assert_eq!(closed.point.value.to_bits(), point.value.to_bits());
-                assert_eq!(
-                    closed.point.present_significance.to_bits(),
-                    point.present_significance.to_bits()
-                );
-                assert_eq!(
-                    closed.point.total_significance.to_bits(),
-                    point.total_significance.to_bits()
-                );
-            }
-        },
-    );
+        if history.iter().all(|items| items.is_empty()) {
+            // The monitor never saw the customer: nothing to compare.
+            assert!(online.is_empty());
+            return;
+        }
+        assert_eq!(online.len(), batch.len());
+        for (closed, point) in online.iter().zip(&batch) {
+            assert_eq!(closed.point.window, point.window);
+            assert_eq!(closed.point.value.to_bits(), point.value.to_bits());
+            assert_eq!(
+                closed.point.present_significance.to_bits(),
+                point.present_significance.to_bits()
+            );
+            assert_eq!(
+                closed.point.total_significance.to_bits(),
+                point.total_significance.to_bits()
+            );
+        }
+    });
 }
 
 /// Spot-check of the tracker's histogram accessor across the public

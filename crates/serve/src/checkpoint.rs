@@ -1,0 +1,279 @@
+//! Atomic, versioned, checksummed checkpoints of the monitor state.
+//!
+//! A checkpoint file is a one-line header followed by the monitor
+//! snapshot body (the exact [`StabilityMonitor::snapshot`] text):
+//!
+//! ```text
+//! #checkpoint,v1,<lsn>,<body_len>,<body_crc32>
+//! #monitor,15461,m1,2,5
+//! c,1,3,4
+//! ...
+//! ```
+//!
+//! The header carries the WAL sequence number the snapshot covers (all
+//! records with `seq ≤ lsn` are folded in), the body length in bytes,
+//! and a CRC-32 over the body — a reader can prove the file is complete
+//! and uncorrupted before trusting a single row of it.
+//!
+//! Writes are crash-atomic: the file is written to `<path>.tmp`,
+//! `sync_all`ed, then renamed over `<path>` (and the directory synced),
+//! so a reader only ever observes the old complete checkpoint or the
+//! new complete checkpoint, never a torn mixture. Checkpoints are named
+//! `checkpoint-<lsn>.ckpt` inside the WAL directory and rotated;
+//! recovery walks them newest-first and falls back past corrupt ones.
+//!
+//! [`StabilityMonitor::snapshot`]: attrition_core::StabilityMonitor::snapshot
+
+use attrition_util::crc::crc32;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Format version written into (and required in) the header.
+pub const VERSION: &str = "v1";
+
+/// File extension of checkpoint files.
+pub const EXTENSION: &str = "ckpt";
+
+/// A successfully read and verified checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The WAL LSN this snapshot covers (replay records above it only).
+    pub lsn: u64,
+    /// The monitor snapshot text, ready for `StabilityMonitor::restore`.
+    pub body: String,
+}
+
+/// Why a checkpoint file was rejected.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// The file was read but failed verification; recovery skips it.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "cannot read checkpoint: {e}"),
+            CheckpointError::Corrupt(reason) => write!(f, "corrupt checkpoint: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Write `bytes` to `path` crash-atomically: `<path>.tmp` → `sync_all`
+/// → rename → directory sync. On any error the previous `path` content
+/// (if any) is still intact.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.tmp"),
+        None => "tmp".to_owned(),
+    });
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself: fsync the containing directory. Not
+    // all platforms allow opening a directory for sync; degrade quietly
+    // (the rename is still atomic, just not yet durable).
+    if let Some(dir) = path.parent() {
+        if let Ok(dir_file) = File::open(dir) {
+            let _ = dir_file.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The canonical path of the checkpoint covering `lsn` inside `dir`.
+/// Zero-padded so lexicographic and numeric order agree.
+pub fn path_for(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{lsn:020}.{EXTENSION}"))
+}
+
+/// Atomically write a checkpoint of `body` covering `lsn` into `dir`.
+pub fn write(dir: &Path, lsn: u64, body: &str) -> std::io::Result<PathBuf> {
+    let path = path_for(dir, lsn);
+    let header = format!(
+        "#checkpoint,{VERSION},{lsn},{},{}\n",
+        body.len(),
+        crc32(body.as_bytes())
+    );
+    let mut bytes = Vec::with_capacity(header.len() + body.len());
+    bytes.extend_from_slice(header.as_bytes());
+    bytes.extend_from_slice(body.as_bytes());
+    atomic_write(&path, &bytes)?;
+    Ok(path)
+}
+
+/// Read and verify the checkpoint at `path`.
+pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let bytes = fs::read(path)?;
+    // Corruption can flip bytes out of UTF-8 entirely; that is a
+    // verification failure (skip this checkpoint), not an I/O error.
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CheckpointError::Corrupt("body is not valid UTF-8".into()))?;
+    let text = text.as_str();
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Corrupt("no header line".into()))?;
+    let fields: Vec<&str> = header.split(',').collect();
+    if fields.len() != 5 || fields[0] != "#checkpoint" {
+        return Err(CheckpointError::Corrupt(format!(
+            "bad header {header:?} (expected 5 `#checkpoint` fields)"
+        )));
+    }
+    if fields[1] != VERSION {
+        return Err(CheckpointError::Corrupt(format!(
+            "unsupported version {:?} (expected {VERSION})",
+            fields[1]
+        )));
+    }
+    let lsn: u64 = fields[2]
+        .parse()
+        .map_err(|_| CheckpointError::Corrupt(format!("bad lsn {:?}", fields[2])))?;
+    let len: usize = fields[3]
+        .parse()
+        .map_err(|_| CheckpointError::Corrupt(format!("bad length {:?}", fields[3])))?;
+    let crc: u32 = fields[4]
+        .parse()
+        .map_err(|_| CheckpointError::Corrupt(format!("bad checksum {:?}", fields[4])))?;
+    if body.len() != len {
+        return Err(CheckpointError::Corrupt(format!(
+            "body is {} bytes, header promises {len} (truncated write?)",
+            body.len()
+        )));
+    }
+    if crc32(body.as_bytes()) != crc {
+        return Err(CheckpointError::Corrupt("body checksum mismatch".into()));
+    }
+    Ok(Checkpoint {
+        lsn,
+        body: body.to_owned(),
+    })
+}
+
+/// Checkpoint files in `dir`, newest (highest LSN) first. Files whose
+/// names do not parse are ignored. A missing directory lists as empty.
+pub fn list(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(lsn) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| rest.strip_suffix(&format!(".{EXTENSION}")))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((lsn, path));
+    }
+    found.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
+    Ok(found)
+}
+
+/// Delete all but the newest `keep` checkpoints; returns how many were
+/// removed. Deletion failures are ignored (an undeleted old checkpoint
+/// is harmless — recovery prefers newer ones).
+pub fn prune(dir: &Path, keep: usize) -> std::io::Result<usize> {
+    let mut removed = 0;
+    for (_, path) in list(dir)?.into_iter().skip(keep) {
+        if fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("attrition_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const BODY: &str = "#monitor,15461,m1,2,5\nc,1,3,4\ni,1,10,2\n";
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let path = write(&dir, 42, BODY).unwrap();
+        let ckpt = read(&path).unwrap();
+        assert_eq!(ckpt.lsn, 42);
+        assert_eq!(ckpt.body, BODY);
+        // No leftover temp file.
+        assert_eq!(list(&dir).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_loaded() {
+        let dir = temp_dir("corrupt");
+        let path = write(&dir, 7, BODY).unwrap();
+        let clean = fs::read(&path).unwrap();
+        // Flip one byte anywhere in the body → checksum mismatch.
+        for pos in [clean.len() - 1, clean.len() / 2] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x20;
+            fs::write(&path, &bad).unwrap();
+            assert!(matches!(read(&path), Err(CheckpointError::Corrupt(_))));
+        }
+        // Truncation → length mismatch.
+        fs::write(&path, &clean[..clean.len() - 3]).unwrap();
+        assert!(matches!(read(&path), Err(CheckpointError::Corrupt(_))));
+        // Garbage header.
+        fs::write(&path, b"not a checkpoint\nat all\n").unwrap();
+        assert!(matches!(read(&path), Err(CheckpointError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn list_orders_newest_first_and_prune_keeps_n() {
+        let dir = temp_dir("rotate");
+        for lsn in [5u64, 900, 17] {
+            write(&dir, lsn, BODY).unwrap();
+        }
+        // A stray non-checkpoint file is ignored.
+        fs::write(dir.join("wal.log"), b"").unwrap();
+        let listed = list(&dir).unwrap();
+        let lsns: Vec<u64> = listed.iter().map(|(lsn, _)| *lsn).collect();
+        assert_eq!(lsns, vec![900, 17, 5]);
+        assert_eq!(prune(&dir, 2).unwrap(), 1);
+        let lsns: Vec<u64> = list(&dir).unwrap().iter().map(|(lsn, _)| *lsn).collect();
+        assert_eq!(lsns, vec![900, 17]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("state.ckpt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer content");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

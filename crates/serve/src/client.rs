@@ -2,6 +2,27 @@
 //! generator, the CI smoke test and the integration tests speak through.
 //! Any `nc`/telnet session works just as well; this only adds typed
 //! parsing of the replies.
+//!
+//! ## Resilience
+//!
+//! [`Client::connect`] sets both read **and write** timeouts, so a
+//! stalled server cannot wedge a caller in `write_all`. On top of the
+//! plain one-shot calls, [`Client::connect_retrying`] and
+//! [`Client::send_retrying`] add jittered exponential backoff with a
+//! bounded retry budget ([`RetryPolicy`]) for the two transient
+//! failures a well-behaved caller should absorb:
+//!
+//! - `ERR busy` — the server rejected the *connection* before reading a
+//!   byte (see the pool's backpressure contract), so retrying on a
+//!   fresh connection can never double-apply a request;
+//! - transient I/O (refused / reset / aborted / broken pipe / timeout) —
+//!   for **connects** always safe; for **sends** the retry reconnects
+//!   and resends, which is safe for idempotent requests (`SCORE`,
+//!   `PING`, `STATS`, `FLUSH`) and for `INGEST` only when the failure
+//!   happened before the server logged the record. Callers that cannot
+//!   tolerate a rare duplicate ingest under ambiguity should use plain
+//!   [`Client::send`]; the WAL's per-record sequence numbers make
+//!   *recovery* replay exactly-once either way.
 
 use crate::protocol::{parse_score_line, ParsedScore};
 use attrition_types::Date;
@@ -26,23 +47,145 @@ pub enum Reply {
     Err(String),
 }
 
+/// How aggressively [`Client::connect_retrying`] / [`send_retrying`]
+/// retry transient failures: exponential backoff (doubling from
+/// [`base_delay`] up to [`max_delay`]) with deterministic jitter, at
+/// most [`budget`] retries.
+///
+/// [`send_retrying`]: Client::send_retrying
+/// [`base_delay`]: RetryPolicy::base_delay
+/// [`max_delay`]: RetryPolicy::max_delay
+/// [`budget`]: RetryPolicy::budget
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries attempted after the first failure (0 = no retries).
+    pub budget: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the jitter PRNG — fixed per client so load tests are
+    /// reproducible; vary it per worker to decorrelate their retries.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 5 retries, 10 ms → 1 s backoff: rides out a saturated pool or a
+    /// server restart measured in hundreds of milliseconds.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            budget: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The (jittered) sleep before retry number `attempt` (1-based).
+    /// Jitter draws uniformly from `[delay/2, delay]` so synchronized
+    /// clients spread out instead of re-stampeding the server.
+    fn backoff(&self, attempt: u32, state: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
+        let delay = exp.min(self.max_delay);
+        let half = delay / 2;
+        Duration::from_nanos(
+            half.as_nanos() as u64 + splitmix64(state) % (half.as_nanos() as u64 + 1),
+        )
+    }
+}
+
+/// How a [`Client::send_retrying`] call resolved — separate counters so
+/// a load generator can report backpressure (`busy_rejections`) apart
+/// from total retry work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retries performed (0 = the first attempt's reply was returned).
+    pub retries: u32,
+    /// `ERR busy` rejections received, including one returned as the
+    /// final reply when the budget ran out.
+    pub busy_rejections: u32,
+}
+
+/// The minimal statistically-decent PRNG: splitmix64 (public domain).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Is this I/O failure plausibly transient (worth a backoff + retry)?
+fn is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(
+        e.kind(),
+        ConnectionRefused
+            | ConnectionReset
+            | ConnectionAborted
+            | BrokenPipe
+            | TimedOut
+            | WouldBlock
+            | UnexpectedEof
+            | Interrupted
+    )
+}
+
 /// One blocking connection to a running server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Remembered so a retrying send can reconnect after a reset.
+    addr: std::net::SocketAddr,
+    timeout: Duration,
 }
 
 impl Client {
-    /// Connect; requests will block at most `timeout` waiting for a
-    /// reply line.
+    /// Connect; requests will block at most `timeout` waiting to write a
+    /// request or read a reply line (read *and* write timeouts are set —
+    /// a wedged server surfaces as `TimedOut`, never a hang).
     pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         Ok(Client {
+            addr: stream.peer_addr()?,
+            timeout,
             writer: stream.try_clone()?,
             reader: BufReader::new(stream),
         })
+    }
+
+    /// [`connect`](Client::connect) with retries on transient failures
+    /// (refused while the server finishes binding, resets, timeouts).
+    pub fn connect_retrying(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Client> {
+        let mut jitter = policy.seed;
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect(&addr, timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt < policy.budget && is_transient(&e) => {
+                    attempt += 1;
+                    std::thread::sleep(policy.backoff(attempt, &mut jitter));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Tear down the current stream and dial the same server again.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        *self = Client::connect(self.addr, self.timeout)?;
+        Ok(())
     }
 
     /// Send one raw request line and parse the reply.
@@ -86,6 +229,42 @@ impl Client {
         ))
     }
 
+    /// [`send`](Client::send), absorbing `ERR busy` and transient I/O
+    /// failures with jittered backoff + reconnect. Returns the final
+    /// reply and the [`RetryStats`] it took; when the budget runs out
+    /// the last reply/error is returned as-is, so a persistent
+    /// `ERR busy` is still visible to the caller.
+    pub fn send_retrying(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<(Reply, RetryStats)> {
+        let mut jitter = policy.seed;
+        let mut stats = RetryStats::default();
+        loop {
+            let outcome = self.send(line);
+            let busy = matches!(&outcome, Ok(Reply::Err(message)) if message == "busy");
+            if busy {
+                stats.busy_rejections += 1;
+            }
+            let retryable = busy || matches!(&outcome, Err(e) if is_transient(e));
+            if !retryable || stats.retries >= policy.budget {
+                return outcome.map(|reply| (reply, stats));
+            }
+            stats.retries += 1;
+            std::thread::sleep(policy.backoff(stats.retries, &mut jitter));
+            // Both retry causes leave the connection useless: `ERR busy`
+            // is followed by a server-side close, transient I/O means
+            // the stream died. Dial again (itself retried via connect's
+            // transient handling being wrapped in this loop).
+            if let Err(e) = self.reconnect() {
+                if stats.retries >= policy.budget || !is_transient(&e) {
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// `INGEST`: returns the windows this receipt closed.
     pub fn ingest(&mut self, customer: u64, date: Date, items: &[u32]) -> std::io::Result<Reply> {
         let mut line = format!("INGEST {customer} {date}");
@@ -116,5 +295,53 @@ impl Client {
             ));
         }
         Ok(line.trim_end_matches(['\r', '\n']).to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_half() {
+        let policy = RetryPolicy::default();
+        let mut jitter = policy.seed;
+        let mut previous_cap = Duration::ZERO;
+        for attempt in 1..=8 {
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32 << (attempt - 1))
+                .min(policy.max_delay);
+            let d = policy.backoff(attempt, &mut jitter);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: {d:?} not in [{:?}, {exp:?}]",
+                exp / 2
+            );
+            assert!(exp >= previous_cap);
+            previous_cap = exp;
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let (mut a, mut b) = (policy.seed, policy.seed);
+        for attempt in 1..=5 {
+            assert_eq!(
+                policy.backoff(attempt, &mut a),
+                policy.backoff(attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn transient_kinds_are_classified() {
+        use std::io::{Error, ErrorKind};
+        assert!(is_transient(&Error::from(ErrorKind::ConnectionRefused)));
+        assert!(is_transient(&Error::from(ErrorKind::TimedOut)));
+        assert!(is_transient(&Error::from(ErrorKind::BrokenPipe)));
+        assert!(!is_transient(&Error::from(ErrorKind::InvalidData)));
+        assert!(!is_transient(&Error::from(ErrorKind::PermissionDenied)));
     }
 }

@@ -1,0 +1,74 @@
+//! In-process fault injection for the durability layer.
+//!
+//! A [`FaultPlan`] is handed to the [`Wal`](crate::wal::Wal) (directly,
+//! or through
+//! [`DurabilityConfig::fault_plan`](crate::server::DurabilityConfig))
+//! and deterministically breaks it at a chosen point:
+//!
+//! - **fail the Nth append** — the write returns an injected I/O error
+//!   and nothing reaches the file, exercising the server's
+//!   "no ack without a logged record" path;
+//! - **crash after the Nth append** — the log freezes exactly as a
+//!   `SIGKILL` would leave it (every later append, sync and checkpoint
+//!   fails), so a test can drop the server and recover from the files;
+//! - **tear the tail at the crash** — additionally chops `torn_tail_bytes`
+//!   off the end of the file, simulating a torn final write that the
+//!   CRC framing must detect and truncate during recovery.
+//!
+//! The plan lives in the production types rather than behind a `cfg`
+//! gate so integration tests (and future chaos tooling) can drive it
+//! against a real listening server; a default plan injects nothing.
+
+/// Deterministic failure schedule for one WAL instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail this append (1-based count of append *attempts*) with an
+    /// injected error, writing nothing. Later appends succeed again.
+    pub fail_append: Option<u64>,
+    /// After this many *successful* appends, simulate process death:
+    /// the WAL enters a crashed state where every subsequent append,
+    /// sync and checkpoint returns an error.
+    pub crash_after_appends: Option<u64>,
+    /// At the simulated crash, truncate this many bytes off the end of
+    /// the log file — a torn final write for recovery to detect.
+    pub torn_tail_bytes: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (what production runs use implicitly).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Fail the `n`th append attempt (1-based) with an injected error.
+    pub fn fail_append(n: u64) -> FaultPlan {
+        FaultPlan {
+            fail_append: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crash (freeze the log) after `n` successful appends.
+    pub fn crash_after(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_appends: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crash after `n` successful appends, tearing the final `bytes`
+    /// bytes off the file.
+    pub fn crash_after_torn(n: u64, bytes: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_appends: Some(n),
+            torn_tail_bytes: bytes,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// The error kind used for every injected failure, so tests (and error
+/// messages) can tell scheduled faults from real I/O problems.
+pub fn injected_error(what: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {what}"))
+}

@@ -18,6 +18,21 @@
 //!   shutdown (`SHUTDOWN`/SIGINT drains in-flight requests and writes a
 //!   restorable checkpoint).
 //!
+//! The durability layer sits beside them (see DESIGN §10 for the
+//! contract):
+//!
+//! - [`wal`] — a length+CRC-framed write-ahead log of mutating requests;
+//!   with a [`DurabilityConfig`] set, `INGEST`/`FLUSH` are acked only
+//!   after their record is appended (and, under `--sync-policy always`,
+//!   fsynced).
+//! - [`checkpoint`] — crash-atomic, checksummed state snapshots
+//!   (tmp + fsync + rename), rotated inside the WAL directory; a
+//!   successful checkpoint truncates the WAL.
+//! - [`recovery`] — startup restore: newest valid checkpoint (falling
+//!   back past corrupt ones) + WAL replay, with torn-tail detection.
+//! - [`faults`] — a deterministic [`FaultPlan`] the tests use to fail or
+//!   "crash" the WAL mid-stream and prove recovery is bit-identical.
+//!
 //! [`client`] is the matching blocking client used by the load
 //! generator and the tests; the protocol itself is plain enough for an
 //! interactive `nc` session (see README's Serving section).
@@ -38,16 +53,24 @@
 //!
 //! [`StabilityMonitor`]: attrition_core::StabilityMonitor
 
+pub mod checkpoint;
 pub mod client;
+pub mod faults;
 pub mod pool;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod shard;
+pub mod wal;
 
-pub use client::{Client, Reply};
+pub use client::{Client, Reply, RetryPolicy, RetryStats};
+pub use faults::FaultPlan;
 pub use pool::ThreadPool;
 pub use protocol::{ParsedScore, Request};
+pub use recovery::{recover, Fallback, RecoveryError, RecoveryStats};
 pub use server::{
-    install_sigint_handler, start, start_with, ServerConfig, ServerHandle, ServerSummary,
+    install_sigint_handler, start, start_resumed, start_with, DurabilityConfig, ServerConfig,
+    ServerHandle, ServerSummary,
 };
 pub use shard::{OutOfOrder, ShardedMonitor};
+pub use wal::SyncPolicy;

@@ -1,0 +1,420 @@
+//! Crash recovery: newest valid checkpoint + WAL replay.
+//!
+//! [`recover`] rebuilds the monitor state a crashed (or cleanly
+//! stopped) server had acknowledged, from its WAL directory:
+//!
+//! 1. **Checkpoint.** Walk `checkpoint-*.ckpt` newest-first; the first
+//!    one that passes its length+CRC header is restored. Corrupt or
+//!    torn checkpoints are *skipped*, not fatal — an older checkpoint
+//!    plus a longer replay reaches the same state, because the WAL is
+//!    only truncated after a checkpoint is durably renamed in.
+//! 2. **Replay.** Decode `wal.log` and re-apply every record with
+//!    `seq > checkpoint LSN` in log order. Records at or below the LSN
+//!    are already folded into the checkpoint and are skipped by their
+//!    sequence number — replay is idempotent, so a crash between
+//!    checkpoint rename and WAL truncation double-writes nothing.
+//! 3. **Torn tail.** A partial or corrupt final frame (the write the
+//!    crash interrupted) is detected by the CRC framing, truncated off
+//!    the file, and reported. Everything before it was acked and is
+//!    kept; the torn record was never acked, so dropping it is correct.
+//!
+//! The result is bit-identical to the state of an uncrashed server that
+//! processed exactly the acknowledged requests (proven by the crash
+//! tests in `tests/crash_recovery.rs` and the CLI's SIGKILL e2e test).
+
+use crate::checkpoint::{self, CheckpointError};
+use crate::protocol::Request;
+use crate::wal::{self, WAL_FILE};
+use attrition_core::{StabilityMonitor, StabilityParams};
+use attrition_store::WindowSpec;
+use attrition_types::Basket;
+use std::path::Path;
+
+/// Grid configuration used when no checkpoint exists yet (first boot):
+/// the WAL alone cannot define the window grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Fallback {
+    /// The window grid.
+    pub spec: WindowSpec,
+    /// Significance parameters.
+    pub params: StabilityParams,
+    /// Lost products retained per closed-window explanation.
+    pub max_explanations: usize,
+}
+
+/// What [`recover`] did, for the startup log line and the tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// LSN of the checkpoint that was loaded (`None`: fresh/WAL-only).
+    pub checkpoint_lsn: Option<u64>,
+    /// Checkpoints that failed verification and were skipped.
+    pub corrupt_checkpoints: u64,
+    /// WAL records re-applied (seq above the checkpoint LSN).
+    pub replayed: u64,
+    /// WAL records skipped because the checkpoint already covers them.
+    pub already_applied: u64,
+    /// Replayed ingests rejected as out-of-order — exactly the requests
+    /// the live server answered `ERR` to, so skipping them reproduces
+    /// the served state.
+    pub out_of_order: u64,
+    /// Torn bytes truncated off the end of the WAL.
+    pub torn_bytes: u64,
+    /// The sequence number the reopened WAL continues from.
+    pub next_seq: u64,
+    /// Customers tracked after recovery.
+    pub customers: usize,
+}
+
+impl std::fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.checkpoint_lsn {
+            Some(lsn) => write!(f, "checkpoint lsn {lsn}")?,
+            None => write!(f, "no checkpoint")?,
+        }
+        write!(
+            f,
+            ", replayed {} wal records ({} already applied, {} out-of-order)",
+            self.replayed, self.already_applied, self.out_of_order
+        )?;
+        if self.corrupt_checkpoints > 0 {
+            write!(
+                f,
+                ", skipped {} corrupt checkpoints",
+                self.corrupt_checkpoints
+            )?;
+        }
+        if self.torn_bytes > 0 {
+            write!(f, ", truncated {} torn tail bytes", self.torn_bytes)?;
+        }
+        write!(f, "; {} customers live", self.customers)
+    }
+}
+
+/// Why recovery could not produce a monitor.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Filesystem trouble reading the WAL directory or log.
+    Io(std::io::Error),
+    /// No valid checkpoint exists and no [`Fallback`] grid was given.
+    NoGrid,
+    /// A CRC-valid WAL record does not parse as a protocol request —
+    /// a version skew or foreign file, never something to guess around.
+    BadRecord {
+        /// The record's sequence number.
+        seq: u64,
+        /// The parse failure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery i/o error: {e}"),
+            RecoveryError::NoGrid => write!(
+                f,
+                "no valid checkpoint in the wal directory and no window grid \
+                 configured — pass the grid (e.g. --origin) for first boot"
+            ),
+            RecoveryError::BadRecord { seq, reason } => {
+                write!(f, "wal record {seq} is valid but unparseable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> RecoveryError {
+        RecoveryError::Io(e)
+    }
+}
+
+/// Recover the acknowledged state from `dir` (see the module docs).
+/// `fallback` supplies the grid when no checkpoint exists yet.
+///
+/// Side effects: a torn WAL tail is truncated off `wal.log`. Nothing
+/// else is modified — checkpoint rotation stays the running server's
+/// job.
+pub fn recover(
+    dir: &Path,
+    fallback: Option<&Fallback>,
+) -> Result<(StabilityMonitor, RecoveryStats), RecoveryError> {
+    // Newest valid checkpoint, falling back past corrupt ones.
+    let mut corrupt_checkpoints = 0u64;
+    let mut restored: Option<(u64, StabilityMonitor)> = None;
+    for (lsn, path) in checkpoint::list(dir)? {
+        match checkpoint::read(&path) {
+            Ok(ckpt) => match StabilityMonitor::restore(&ckpt.body) {
+                Ok(monitor) => {
+                    restored = Some((ckpt.lsn, monitor));
+                    break;
+                }
+                Err(e) => {
+                    // Header passed but the body does not restore:
+                    // treat like corruption and keep walking back.
+                    corrupt_checkpoints += 1;
+                    attrition_obs::counter("serve.recovery.corrupt_checkpoints").inc();
+                    eprintln!(
+                        "recovery: skipping checkpoint {} (lsn {lsn}): {e}",
+                        path.display()
+                    );
+                }
+            },
+            Err(CheckpointError::Corrupt(reason)) => {
+                corrupt_checkpoints += 1;
+                attrition_obs::counter("serve.recovery.corrupt_checkpoints").inc();
+                eprintln!(
+                    "recovery: skipping checkpoint {} (lsn {lsn}): {reason}",
+                    path.display()
+                );
+            }
+            Err(CheckpointError::Io(e)) => return Err(RecoveryError::Io(e)),
+        }
+    }
+
+    let (checkpoint_lsn, mut monitor) = match restored {
+        Some((lsn, monitor)) => (Some(lsn), monitor),
+        None => match fallback {
+            Some(fb) => (
+                None,
+                StabilityMonitor::new(fb.spec, fb.params)
+                    .with_max_explanations(fb.max_explanations),
+            ),
+            None => return Err(RecoveryError::NoGrid),
+        },
+    };
+    let floor = checkpoint_lsn.unwrap_or(0);
+
+    // Replay the log above the checkpoint, truncating a torn tail.
+    let wal_path = dir.join(WAL_FILE);
+    let scan = wal::read_records(&wal_path)?;
+    if scan.torn_bytes > 0 {
+        wal::truncate_to_valid(&wal_path, scan.valid_len)?;
+        attrition_obs::counter("serve.recovery.torn_bytes").add(scan.torn_bytes);
+    }
+    let mut stats = RecoveryStats {
+        checkpoint_lsn,
+        corrupt_checkpoints,
+        replayed: 0,
+        already_applied: 0,
+        out_of_order: 0,
+        torn_bytes: scan.torn_bytes,
+        next_seq: floor + 1,
+        customers: 0,
+    };
+    for record in scan.records {
+        stats.next_seq = stats.next_seq.max(record.seq + 1);
+        if record.seq <= floor {
+            stats.already_applied += 1;
+            continue;
+        }
+        match Request::parse(&record.op) {
+            Ok(Request::Ingest(customer, date, items)) => {
+                // Mirror the live server's out-of-order rejection
+                // (`ShardedMonitor::ingest`): a record the server
+                // answered `ERR` to must not mutate state on replay.
+                let rejected = match (monitor.spec().window_of(date), monitor.preview(customer)) {
+                    (Some(window), Some(preview)) => window.raw() < preview.window.raw(),
+                    _ => false,
+                };
+                if rejected {
+                    stats.out_of_order += 1;
+                    continue;
+                }
+                monitor.ingest(customer, date, &Basket::new(items));
+                stats.replayed += 1;
+            }
+            Ok(Request::Flush(date)) => {
+                monitor.flush_until(date);
+                stats.replayed += 1;
+            }
+            Ok(other) => {
+                return Err(RecoveryError::BadRecord {
+                    seq: record.seq,
+                    reason: format!("non-mutating verb {:?} in the log", other.verb()),
+                })
+            }
+            Err(e) => {
+                return Err(RecoveryError::BadRecord {
+                    seq: record.seq,
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+    attrition_obs::counter("serve.recovery.replayed_records").add(stats.replayed);
+    stats.customers = monitor.num_customers();
+    Ok((monitor, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{SyncPolicy, Wal};
+    use attrition_types::{CustomerId, Date};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("attrition_recovery_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fallback() -> Fallback {
+        Fallback {
+            spec: WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1),
+            params: StabilityParams::PAPER,
+            max_explanations: 5,
+        }
+    }
+
+    #[test]
+    fn fresh_directory_needs_a_grid() {
+        let dir = temp_dir("fresh");
+        assert!(matches!(recover(&dir, None), Err(RecoveryError::NoGrid)));
+        let (monitor, stats) = recover(&dir, Some(&fallback())).unwrap();
+        assert_eq!(monitor.num_customers(), 0);
+        assert_eq!(stats.next_seq, 1);
+        assert_eq!(stats.checkpoint_lsn, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_only_replay_rebuilds_state() {
+        let dir = temp_dir("walonly");
+        let mut wal = Wal::open(&dir.join(WAL_FILE), SyncPolicy::Never, 1).unwrap();
+        wal.append("INGEST 7 2012-05-02 1 2").unwrap();
+        wal.append("INGEST 7 2012-06-03 1").unwrap();
+        wal.append("FLUSH 2012-07-01").unwrap();
+        drop(wal);
+        let (monitor, stats) = recover(&dir, Some(&fallback())).unwrap();
+        assert_eq!(stats.replayed, 3);
+        assert_eq!(stats.next_seq, 4);
+        assert_eq!(monitor.num_customers(), 1);
+        let preview = monitor.preview(CustomerId::new(7)).unwrap();
+        assert_eq!(preview.window.raw(), 2, "flush advanced past two windows");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_plus_overlapping_wal_is_idempotent() {
+        let dir = temp_dir("idempotent");
+        // Build reference state, checkpoint at lsn 2, but leave all 3
+        // records in the WAL — as if the crash hit between checkpoint
+        // rename and WAL truncation.
+        let fb = fallback();
+        let mut reference = StabilityMonitor::new(fb.spec, fb.params).with_max_explanations(5);
+        let ops = [
+            "INGEST 1 2012-05-02 10 11",
+            "INGEST 1 2012-06-02 10",
+            "INGEST 1 2012-07-02 11",
+        ];
+        let mut wal = Wal::open(&dir.join(WAL_FILE), SyncPolicy::Never, 1).unwrap();
+        for op in ops {
+            wal.append(op).unwrap();
+        }
+        drop(wal);
+        for op in &ops[..2] {
+            let Request::Ingest(c, d, items) = Request::parse(op).unwrap() else {
+                unreachable!()
+            };
+            reference.ingest(c, d, &Basket::new(items));
+        }
+        checkpoint::write(&dir, 2, &reference.snapshot()).unwrap();
+        {
+            let Request::Ingest(c, d, items) = Request::parse(ops[2]).unwrap() else {
+                unreachable!()
+            };
+            reference.ingest(c, d, &Basket::new(items));
+        }
+
+        let (monitor, stats) = recover(&dir, None).unwrap();
+        assert_eq!(stats.checkpoint_lsn, Some(2));
+        assert_eq!(stats.already_applied, 2, "covered records must be skipped");
+        assert_eq!(stats.replayed, 1);
+        assert_eq!(stats.next_seq, 4);
+        assert_eq!(
+            monitor.snapshot(),
+            reference.snapshot(),
+            "double-apply detected"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_older() {
+        let dir = temp_dir("fallback");
+        let fb = fallback();
+        let mut monitor = StabilityMonitor::new(fb.spec, fb.params).with_max_explanations(5);
+        monitor.ingest(
+            CustomerId::new(3),
+            Date::from_ymd(2012, 5, 2).unwrap(),
+            &Basket::from_raw(&[1]),
+        );
+        let old_snapshot = monitor.snapshot();
+        checkpoint::write(&dir, 1, &old_snapshot).unwrap();
+        // Newer checkpoint, then corrupt it on disk.
+        monitor.ingest(
+            CustomerId::new(4),
+            Date::from_ymd(2012, 5, 3).unwrap(),
+            &Basket::from_raw(&[2]),
+        );
+        let newer = checkpoint::write(&dir, 2, &monitor.snapshot()).unwrap();
+        let mut bytes = std::fs::read(&newer).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newer, &bytes).unwrap();
+
+        let (recovered, stats) = recover(&dir, None).unwrap();
+        assert_eq!(stats.checkpoint_lsn, Some(1));
+        assert_eq!(stats.corrupt_checkpoints, 1);
+        assert_eq!(recovered.snapshot(), old_snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = temp_dir("torn");
+        let wal_path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&wal_path, SyncPolicy::Never, 1).unwrap();
+        wal.append("INGEST 1 2012-05-02 1").unwrap();
+        wal.append("INGEST 2 2012-05-02 2").unwrap();
+        drop(wal);
+        // Tear 3 bytes off the final frame.
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let (monitor, stats) = recover(&dir, Some(&fallback())).unwrap();
+        assert_eq!(stats.replayed, 1, "only the intact record replays");
+        assert!(stats.torn_bytes > 0);
+        assert_eq!(monitor.num_customers(), 1);
+        // The file is clean now: recovering again reports no tear and
+        // appending continues from the right sequence number.
+        let (_, again) = recover(&dir, Some(&fallback())).unwrap();
+        assert_eq!(again.torn_bytes, 0);
+        assert_eq!(again.next_seq, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_records_are_an_error_not_a_guess() {
+        let dir = temp_dir("foreign");
+        let mut wal = Wal::open(&dir.join(WAL_FILE), SyncPolicy::Never, 1).unwrap();
+        wal.append("SCORE 1").unwrap();
+        drop(wal);
+        assert!(matches!(
+            recover(&dir, Some(&fallback())),
+            Err(RecoveryError::BadRecord { seq: 1, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

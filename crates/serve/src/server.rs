@@ -7,19 +7,34 @@
 //! `SHUTDOWN` request — or SIGINT, via [`install_sigint_handler`] —
 //! stops the acceptor, drains every in-flight connection (each finishes
 //! its current request; idle connections close within the read
-//! timeout), writes a checkpoint to the configured snapshot path, and
-//! returns a [`ServerSummary`].
+//! timeout), writes a final checkpoint, and returns a [`ServerSummary`].
+//!
+//! ## Durability
+//!
+//! With a [`DurabilityConfig`] set, every mutating request (`INGEST`,
+//! `FLUSH`) is appended to the [write-ahead log](crate::wal) *before*
+//! it is applied and acknowledged, and the full state is periodically
+//! [checkpointed](crate::checkpoint) crash-atomically, after which the
+//! WAL is truncated. The durability lock is held across append + apply,
+//! so the log order equals the apply order and a checkpoint always cuts
+//! at an exact LSN — mutating requests serialize on that lock (reads
+//! do not), which is the honest cost of a single log file: under
+//! `--sync-policy always` the fsync, not the lock, dominates. Group
+//! commit across workers is future work (DESIGN §10).
 
+use crate::checkpoint;
+use crate::faults::FaultPlan;
 use crate::pool::ThreadPool;
 use crate::protocol::{format_closed, format_score, ParseError, Request};
 use crate::shard::ShardedMonitor;
+use crate::wal::{SyncPolicy, Wal, WAL_FILE};
 use attrition_core::{StabilityParams, WindowClosed};
 use attrition_store::WindowSpec;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -38,15 +53,57 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Idle time after which a connection is closed.
     pub read_timeout: Duration,
-    /// Where `SNAPSHOT` and shutdown write the checkpoint; `None`
-    /// disables checkpointing (`SNAPSHOT` answers `ERR`).
+    /// Where `SNAPSHOT` and shutdown write the legacy single-file
+    /// snapshot; `None` disables it (`SNAPSHOT` answers `ERR`). The
+    /// write is atomic (tmp + fsync + rename) but carries no WAL — for
+    /// real durability configure [`durability`](ServerConfig::durability).
     pub snapshot_path: Option<PathBuf>,
+    /// WAL + periodic checkpointing; `None` runs the server in-memory
+    /// (the pre-durability behavior).
+    pub durability: Option<DurabilityConfig>,
     /// The window grid every shard scores on.
     pub spec: WindowSpec,
     /// Significance parameters.
     pub params: StabilityParams,
     /// Lost products retained per closed-window explanation.
     pub max_explanations: usize,
+}
+
+/// Configuration of the durability subsystem (WAL + checkpoints).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `checkpoint-*.ckpt` (created if
+    /// missing).
+    pub wal_dir: PathBuf,
+    /// When appended WAL records are fsynced (see [`SyncPolicy`] for
+    /// the per-policy ack guarantee).
+    pub sync_policy: SyncPolicy,
+    /// Checkpoint after this many logged requests (0 disables the
+    /// count trigger).
+    pub checkpoint_every_requests: u64,
+    /// Checkpoint when this much time passed since the last one and at
+    /// least one request was logged (`None` disables the time trigger).
+    pub checkpoint_every: Option<Duration>,
+    /// Checkpoints retained after rotation (older ones are pruned; ≥ 1).
+    pub keep_checkpoints: usize,
+    /// Fault-injection schedule for the WAL (tests only; `None` in
+    /// production).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl DurabilityConfig {
+    /// Defaults: fsync every append, checkpoint every 1024 logged
+    /// requests or 30 s (whichever comes first), keep 2 checkpoints.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            wal_dir: wal_dir.into(),
+            sync_policy: SyncPolicy::Always,
+            checkpoint_every_requests: 1024,
+            checkpoint_every: Some(Duration::from_secs(30)),
+            keep_checkpoints: 2,
+            fault_plan: None,
+        }
+    }
 }
 
 impl ServerConfig {
@@ -60,6 +117,7 @@ impl ServerConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             snapshot_path: None,
+            durability: None,
             spec,
             params,
             max_explanations: 5,
@@ -80,16 +138,97 @@ pub struct ServerSummary {
     pub rejected_busy: u64,
     /// Customers tracked at shutdown.
     pub customers: usize,
-    /// Where the final checkpoint was written, if anywhere.
+    /// Where the final legacy snapshot was written, if anywhere.
     pub snapshot_path: Option<PathBuf>,
+    /// Why the final snapshot write failed, if it did (also counted on
+    /// `serve.snapshot.errors`).
+    pub snapshot_error: Option<String>,
+    /// Why the shutdown checkpoint failed, if it did. A durable server
+    /// exiting with this set must be treated as a crash: the WAL still
+    /// holds the tail and recovery will replay it.
+    pub checkpoint_error: Option<String>,
+    /// WAL records appended over this server's lifetime.
+    pub wal_appends: u64,
+    /// WAL fsyncs issued over this server's lifetime.
+    pub wal_fsyncs: u64,
+    /// Checkpoints written (periodic + shutdown).
+    pub checkpoints: u64,
+}
+
+/// The durability state behind one lock: holding it across WAL append
+/// *and* monitor apply keeps log order identical to apply order, and
+/// makes every checkpoint an exact cut at `wal.last_seq()`.
+struct Durable {
+    wal: Wal,
+    dir: PathBuf,
+    checkpoint_every_requests: u64,
+    checkpoint_every: Option<Duration>,
+    keep_checkpoints: usize,
+    since_checkpoint: u64,
+    last_checkpoint: Instant,
+    checkpoints_written: u64,
+}
+
+impl Durable {
+    /// Bookkeeping after a logged+applied request: fire a periodic
+    /// checkpoint when a trigger is due. Checkpoint failures degrade to
+    /// a counter + log line — the WAL still holds everything, so
+    /// serving beats dying; the next trigger retries.
+    fn after_logged(&mut self, monitor: &ShardedMonitor) {
+        self.since_checkpoint += 1;
+        let due_count = self.checkpoint_every_requests > 0
+            && self.since_checkpoint >= self.checkpoint_every_requests;
+        let due_time = self
+            .checkpoint_every
+            .is_some_and(|every| self.last_checkpoint.elapsed() >= every);
+        if !(due_count || due_time) {
+            return;
+        }
+        if let Err(e) = self.checkpoint_now(monitor) {
+            attrition_obs::counter("serve.checkpoint.errors").inc();
+            eprintln!("serve: periodic checkpoint failed (wal retained): {e}");
+            // Reset the triggers so a persistent failure retries once
+            // per period instead of once per request.
+            self.since_checkpoint = 0;
+            self.last_checkpoint = Instant::now();
+        }
+    }
+
+    /// Snapshot → atomic checkpoint write → prune → WAL truncation.
+    fn checkpoint_now(&mut self, monitor: &ShardedMonitor) -> std::io::Result<()> {
+        let started = Instant::now();
+        // Everything the checkpoint covers must be durable first, or a
+        // crash right after truncation could lose acked-but-buffered
+        // records under `interval`/`never` policies.
+        self.wal.sync()?;
+        let lsn = self.wal.last_seq();
+        checkpoint::write(&self.dir, lsn, &monitor.snapshot())?;
+        let _ = checkpoint::prune(&self.dir, self.keep_checkpoints);
+        self.wal.truncate()?;
+        self.since_checkpoint = 0;
+        self.last_checkpoint = Instant::now();
+        self.checkpoints_written += 1;
+        attrition_obs::counter("serve.checkpoint.writes").inc();
+        attrition_obs::observe_ms(
+            "serve.checkpoint.duration_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        attrition_obs::gauge("serve.checkpoint.lsn").set(lsn as i64);
+        Ok(())
+    }
 }
 
 struct State {
     monitor: ShardedMonitor,
     snapshot_path: Option<PathBuf>,
+    durable: Option<Mutex<Durable>>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
+}
+
+fn lock_durable(durable: &Mutex<Durable>) -> MutexGuard<'_, Durable> {
+    durable.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
 /// A running server; dropping the handle does **not** stop it — send
@@ -165,14 +304,51 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
 }
 
 /// [`start`] with a pre-populated (e.g. checkpoint-restored) monitor.
+/// When durability is configured, the WAL starts at sequence number 1 —
+/// for resuming an existing WAL directory use
+/// [`recovery::recover`](crate::recovery::recover) + [`start_resumed`].
 pub fn start_with(config: ServerConfig, monitor: ShardedMonitor) -> std::io::Result<ServerHandle> {
+    start_resumed(config, monitor, 1)
+}
+
+/// [`start_with`] continuing an existing WAL: `next_seq` is the LSN the
+/// next logged request gets (from
+/// [`RecoveryStats::next_seq`](crate::recovery::RecoveryStats)).
+pub fn start_resumed(
+    config: ServerConfig,
+    monitor: ShardedMonitor,
+    next_seq: u64,
+) -> std::io::Result<ServerHandle> {
     attrition_obs::set_enabled(true);
+    let durable = match &config.durability {
+        Some(dcfg) => {
+            std::fs::create_dir_all(&dcfg.wal_dir)?;
+            let wal = Wal::open_with_faults(
+                &dcfg.wal_dir.join(WAL_FILE),
+                dcfg.sync_policy,
+                next_seq,
+                dcfg.fault_plan.clone().unwrap_or_default(),
+            )?;
+            Some(Mutex::new(Durable {
+                wal,
+                dir: dcfg.wal_dir.clone(),
+                checkpoint_every_requests: dcfg.checkpoint_every_requests,
+                checkpoint_every: dcfg.checkpoint_every,
+                keep_checkpoints: dcfg.keep_checkpoints.max(1),
+                since_checkpoint: 0,
+                last_checkpoint: Instant::now(),
+                checkpoints_written: 0,
+            }))
+        }
+        None => None,
+    };
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(State {
         monitor,
         snapshot_path: config.snapshot_path.clone(),
+        durable,
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
@@ -222,7 +398,29 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, config: &ServerConfig) 
     // Stop accepting; drain queued + in-flight connections.
     drop(listener);
     pool.shutdown();
-    let snapshot_path = write_snapshot(&state).ok().flatten();
+    // Shutdown checkpoint: the drained state, durably. A failure is
+    // surfaced (summary + counter), not swallowed — the caller must
+    // treat it as a crash and rely on WAL recovery.
+    let mut checkpoint_error = None;
+    let (mut wal_appends, mut wal_fsyncs, mut checkpoints) = (0, 0, 0);
+    if let Some(durable) = &state.durable {
+        let mut d = lock_durable(durable);
+        if let Err(e) = d.checkpoint_now(&state.monitor) {
+            attrition_obs::counter("serve.checkpoint.errors").inc();
+            eprintln!("serve: shutdown checkpoint failed (wal retained): {e}");
+            checkpoint_error = Some(e.to_string());
+        }
+        wal_appends = d.wal.appends();
+        wal_fsyncs = d.wal.fsyncs();
+        checkpoints = d.checkpoints_written;
+    }
+    let (snapshot_path, snapshot_error) = match write_snapshot(&state) {
+        Ok(path) => (path, None),
+        Err(e) => {
+            eprintln!("serve: shutdown snapshot failed: {e}");
+            (None, Some(e.to_string()))
+        }
+    };
     ServerSummary {
         requests: state.requests.load(Ordering::Relaxed),
         errors: state.errors.load(Ordering::Relaxed),
@@ -230,16 +428,44 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, config: &ServerConfig) 
         rejected_busy: rejected.get(),
         customers: state.monitor.num_customers(),
         snapshot_path,
+        snapshot_error,
+        checkpoint_error,
+        wal_appends,
+        wal_fsyncs,
+        checkpoints,
     }
 }
 
-/// Checkpoint to the configured path. `Ok(None)` when no path is set.
+/// Write the legacy single-file snapshot to the configured path,
+/// atomically (tmp + fsync + rename). `Ok(None)` when no path is set;
+/// errors are counted on `serve.snapshot.errors` and propagated, never
+/// swallowed.
 fn write_snapshot(state: &State) -> std::io::Result<Option<PathBuf>> {
     let Some(path) = &state.snapshot_path else {
         return Ok(None);
     };
-    std::fs::write(path, state.monitor.snapshot())?;
+    if let Err(e) = checkpoint::atomic_write(path, state.monitor.snapshot().as_bytes()) {
+        attrition_obs::counter("serve.snapshot.errors").inc();
+        return Err(e);
+    }
     Ok(Some(path.clone()))
+}
+
+/// Run a mutating request through the WAL (when durability is on) and
+/// apply it, under one lock — append first, apply second, ack last. An
+/// append failure means nothing was applied and the client gets `ERR`.
+fn logged<R>(state: &State, op: &str, apply: impl FnOnce() -> R) -> Result<R, String> {
+    let Some(durable) = &state.durable else {
+        return Ok(apply());
+    };
+    let mut d = lock_durable(durable);
+    if let Err(e) = d.wal.append(op) {
+        attrition_obs::counter("serve.wal.errors").inc();
+        return Err(format!("wal append failed: {e}"));
+    }
+    let result = apply();
+    d.after_logged(&state.monitor);
+    Ok(result)
 }
 
 fn handle_connection(stream: TcpStream, state: &State) {
@@ -311,17 +537,32 @@ fn respond(state: &State, line: &str) -> (&'static str, String) {
     let response = match request {
         Request::Ping => "PONG".to_owned(),
         Request::Ingest(customer, date, items) => {
+            // Canonical op line, rebuilt (not echoed) so the WAL holds
+            // exactly what `Request::parse` will re-read at recovery.
+            let mut op = format!("INGEST {} {date}", customer.raw());
+            for item in &items {
+                op.push(' ');
+                op.push_str(&item.raw().to_string());
+            }
             let basket = attrition_types::Basket::new(items);
-            match state.monitor.ingest(customer, date, &basket) {
-                Ok(closed) => closed_response(&closed),
-                Err(out_of_order) => format!("ERR {out_of_order}"),
+            match logged(state, &op, || state.monitor.ingest(customer, date, &basket)) {
+                Ok(Ok(closed)) => closed_response(&closed),
+                Ok(Err(out_of_order)) => format!("ERR {out_of_order}"),
+                Err(wal_error) => format!("ERR {wal_error}"),
             }
         }
         Request::Score(customer) => match state.monitor.preview(customer) {
             Some(point) => format_score(customer, &point),
             None => format!("ERR unknown customer {}", customer.raw()),
         },
-        Request::Flush(date) => closed_response(&state.monitor.flush_until(date)),
+        Request::Flush(date) => {
+            match logged(state, &format!("FLUSH {date}"), || {
+                state.monitor.flush_until(date)
+            }) {
+                Ok(closed) => closed_response(&closed),
+                Err(wal_error) => format!("ERR {wal_error}"),
+            }
+        }
         Request::Snapshot => match write_snapshot(state) {
             Ok(Some(path)) => {
                 let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);

@@ -1,0 +1,351 @@
+//! Fault-injected crash-recovery tests: a real durable server is
+//! "killed" mid-stream by a [`FaultPlan`], then rebuilt from its WAL
+//! directory — and the recovered state must be **bit-identical** to an
+//! offline monitor that processed exactly the acknowledged requests.
+//! Snapshot text compares floats in shortest-roundtrip form, so string
+//! equality here is `to_bits` equality on every score.
+
+use attrition_core::{StabilityMonitor, StabilityParams};
+use attrition_datagen::ScenarioConfig;
+use attrition_serve::client::{Client, Reply};
+use attrition_serve::server::{self, DurabilityConfig, ServerConfig};
+use attrition_serve::{recover, Fallback, FaultPlan, ShardedMonitor, SyncPolicy};
+use attrition_store::{chronological, ReceiptStore, WindowSpec};
+use attrition_types::{Basket, CustomerId, Date};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("attrition_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scenario(n_loyal: usize, n_defectors: usize, n_months: u32) -> (ScenarioConfig, ReceiptStore) {
+    let mut cfg = ScenarioConfig::small();
+    cfg.n_loyal = n_loyal;
+    cfg.n_defectors = n_defectors;
+    cfg.n_months = n_months;
+    cfg.onset_month = n_months / 2;
+    let dataset = attrition_datagen::generate(&cfg);
+    (cfg, dataset.segment_store())
+}
+
+fn durable_config(spec: WindowSpec, dir: &Path, plan: FaultPlan) -> ServerConfig {
+    let mut config = ServerConfig::new("127.0.0.1:0", spec, StabilityParams::PAPER);
+    config.read_timeout = Duration::from_secs(2);
+    let mut dcfg = DurabilityConfig::new(dir.to_path_buf());
+    // `Never` keeps the tests fast; recovery correctness is the same
+    // code path for every policy (only the ack guarantee differs).
+    dcfg.sync_policy = SyncPolicy::Never;
+    dcfg.fault_plan = Some(plan);
+    config.durability = Some(dcfg);
+    config
+}
+
+fn fallback(spec: WindowSpec) -> Fallback {
+    Fallback {
+        spec,
+        params: StabilityParams::PAPER,
+        max_explanations: 5,
+    }
+}
+
+/// Replay the scenario through a durable server that "dies" after
+/// `crash_after` WAL appends; returns the offline reference monitor fed
+/// exactly the acknowledged ingests, plus how many were acked.
+fn run_until_crash(
+    seg_store: &ReceiptStore,
+    spec: WindowSpec,
+    dir: &Path,
+    plan: FaultPlan,
+) -> (StabilityMonitor, u64) {
+    let handle = server::start(durable_config(spec, dir, plan)).expect("server starts");
+    let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+    let mut reference = StabilityMonitor::new(spec, StabilityParams::PAPER);
+    let mut acked = 0u64;
+    for receipt in chronological(seg_store) {
+        let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+        match client.ingest(receipt.customer.raw(), receipt.date, &items) {
+            Ok(Reply::Closed(_)) => {
+                acked += 1;
+                reference.ingest(
+                    receipt.customer,
+                    receipt.date,
+                    &Basket::new(receipt.items.to_vec()),
+                );
+            }
+            Ok(Reply::Err(message)) => {
+                assert!(
+                    message.contains("wal append failed"),
+                    "only wal failures may reject this stream: {message}"
+                );
+            }
+            Ok(other) => panic!("unexpected ingest reply: {other:?}"),
+            // The crashed server may also drop the connection mid-reply.
+            Err(_) => break,
+        }
+    }
+    // The "process" dies: no graceful SHUTDOWN. The shutdown checkpoint
+    // runs anyway when the handle drains — and must FAIL (the WAL is
+    // frozen), leaving recovery to the WAL files, like a real crash.
+    handle.request_shutdown();
+    let summary = handle.join();
+    assert!(
+        summary.checkpoint_error.is_some(),
+        "a crashed WAL must fail the shutdown checkpoint, not fake one"
+    );
+    (reference, acked)
+}
+
+#[test]
+fn crash_mid_stream_recovers_bit_identical_to_acked_requests() {
+    let dir = temp_dir("midstream");
+    let (cfg, seg_store) = scenario(10, 10, 8);
+    let spec = WindowSpec::months(cfg.start, 1);
+
+    let (reference, acked) = run_until_crash(&seg_store, spec, &dir, FaultPlan::crash_after(120));
+    assert_eq!(acked, 120, "exactly the appended records were acked");
+
+    let (recovered, stats) = recover(&dir, Some(&fallback(spec))).expect("recovery succeeds");
+    assert_eq!(stats.replayed, 120);
+    assert_eq!(stats.next_seq, 121);
+    assert_eq!(
+        recovered.snapshot(),
+        reference.snapshot(),
+        "recovered state diverged from the acknowledged requests"
+    );
+
+    // The recovered monitor scores the future identically too.
+    let mut recovered = recovered;
+    let mut reference = reference;
+    let end = cfg.start.add_months(cfg.n_months as i32 + 1);
+    let (a, b) = (recovered.flush_until(end), reference.flush_until(end));
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.customer, y.customer);
+        assert_eq!(x.point.value.to_bits(), y.point.value.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_loses_only_the_torn_record() {
+    let dir = temp_dir("torn");
+    let (cfg, seg_store) = scenario(8, 8, 6);
+    let spec = WindowSpec::months(cfg.start, 1);
+
+    // Tear 1 byte off the file at the crash: the final record's frame
+    // fails its CRC, so exactly that record is lost — the contract of
+    // `SyncPolicy::Never`, where an ack only survives a *process* crash
+    // once the OS has the bytes, not a torn write.
+    let (reference, acked) =
+        run_until_crash(&seg_store, spec, &dir, FaultPlan::crash_after_torn(80, 1));
+    assert_eq!(acked, 80);
+
+    let (recovered, stats) = recover(&dir, Some(&fallback(spec))).expect("recovery succeeds");
+    assert_eq!(stats.torn_bytes, 8 + 8 + stats_last_op_len(&seg_store, 80));
+    assert_eq!(
+        stats.replayed, 79,
+        "all but the torn record replay: {stats:?}"
+    );
+
+    // Bit-identity with the acked stream *minus* the torn record.
+    let mut expected = StabilityMonitor::new(spec, StabilityParams::PAPER);
+    for receipt in chronological(&seg_store).take(79) {
+        expected.ingest(
+            receipt.customer,
+            receipt.date,
+            &Basket::new(receipt.items.to_vec()),
+        );
+    }
+    assert_eq!(recovered.snapshot(), expected.snapshot());
+    assert_ne!(
+        recovered.snapshot(),
+        reference.snapshot(),
+        "the torn record must actually be missing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Length of the op line of the `n`th (1-based) chronological ingest —
+/// the tear removes 1 byte, so the whole final frame (8-byte header +
+/// 8-byte seq + op) is dropped by the CRC check.
+fn stats_last_op_len(seg_store: &ReceiptStore, n: usize) -> u64 {
+    let receipt = chronological(seg_store).nth(n - 1).expect("record exists");
+    let mut op = format!("INGEST {} {}", receipt.customer.raw(), receipt.date);
+    for item in receipt.items.iter() {
+        op.push(' ');
+        op.push_str(&item.raw().to_string());
+    }
+    op.len() as u64 - 1 // the torn byte itself is already off the file
+}
+
+#[test]
+fn failed_append_rejects_the_request_without_applying_it() {
+    let dir = temp_dir("failedappend");
+    let (cfg, seg_store) = scenario(5, 5, 6);
+    let spec = WindowSpec::months(cfg.start, 1);
+
+    let handle = server::start(durable_config(spec, &dir, FaultPlan::fail_append(10)))
+        .expect("server starts");
+    let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+    let mut reference = StabilityMonitor::new(spec, StabilityParams::PAPER);
+    let mut rejected = 0u64;
+    for receipt in chronological(&seg_store) {
+        let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+        match client
+            .ingest(receipt.customer.raw(), receipt.date, &items)
+            .expect("connection stays up — only the one append fails")
+        {
+            Reply::Closed(_) => {
+                reference.ingest(
+                    receipt.customer,
+                    receipt.date,
+                    &Basket::new(receipt.items.to_vec()),
+                );
+            }
+            Reply::Err(message) => {
+                assert!(message.contains("wal append failed"), "{message}");
+                assert!(message.contains("injected fault"), "{message}");
+                rejected += 1;
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert_eq!(rejected, 1, "exactly the 10th append fails");
+
+    // The live server already excludes the rejected request…
+    let probe: Vec<CustomerId> = reference.customer_ids();
+    for customer in probe.iter().take(3) {
+        let expected = reference.preview(*customer).expect("tracked");
+        match client.score(customer.raw()).expect("score rpc") {
+            Reply::Score(s) => assert_eq!(s.value.to_bits(), expected.value.to_bits()),
+            other => panic!("unexpected score reply: {other:?}"),
+        }
+    }
+    client.send("SHUTDOWN").expect("shutdown rpc");
+    let summary = handle.join();
+    assert!(summary.checkpoint_error.is_none(), "clean shutdown");
+    assert!(summary.checkpoints >= 1);
+
+    // …and so does recovery (from the shutdown checkpoint).
+    let (recovered, _) = recover(&dir, None).expect("recovery succeeds");
+    assert_eq!(recovered.snapshot(), reference.snapshot());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_continues_the_log_and_periodic_checkpoints_cut_exactly() {
+    let dir = temp_dir("restart");
+    let (cfg, seg_store) = scenario(6, 6, 8);
+    let spec = WindowSpec::months(cfg.start, 1);
+    let receipts: Vec<_> = chronological(&seg_store).collect();
+    let half = receipts.len() / 2;
+
+    let mut reference = StabilityMonitor::new(spec, StabilityParams::PAPER);
+    let serve_slice = |slice: &[attrition_store::ReceiptRef<'_>],
+                       monitor: ShardedMonitor,
+                       next_seq: u64,
+                       reference: &mut StabilityMonitor| {
+        let mut config = durable_config(spec, &dir, FaultPlan::none());
+        // Aggressive periodic checkpointing: every 16 requests, so the
+        // run exercises write→prune→truncate many times mid-stream.
+        config
+            .durability
+            .as_mut()
+            .unwrap()
+            .checkpoint_every_requests = 16;
+        let handle = server::start_resumed(config, monitor, next_seq).expect("server starts");
+        let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+        for receipt in slice {
+            let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+            match client
+                .ingest(receipt.customer.raw(), receipt.date, &items)
+                .expect("ingest rpc")
+            {
+                Reply::Closed(_) => {
+                    reference.ingest(
+                        receipt.customer,
+                        receipt.date,
+                        &Basket::new(receipt.items.to_vec()),
+                    );
+                }
+                other => panic!("unexpected ingest reply: {other:?}"),
+            }
+        }
+        client.send("SHUTDOWN").expect("shutdown rpc");
+        let summary = handle.join();
+        assert!(summary.checkpoint_error.is_none());
+        assert!(summary.checkpoints >= 1);
+        summary
+    };
+
+    // First run: fresh directory.
+    let monitor = ShardedMonitor::new(4, spec, StabilityParams::PAPER, 5);
+    serve_slice(&receipts[..half], monitor, 1, &mut reference);
+
+    // Restart: recover, serve the rest, recover again.
+    let (recovered, stats) = recover(&dir, None).expect("recovery after first run");
+    assert_eq!(recovered.snapshot(), reference.snapshot(), "first half");
+    let monitor = ShardedMonitor::from_monitor(recovered, 4);
+    serve_slice(&receipts[half..], monitor, stats.next_seq, &mut reference);
+
+    let (final_state, final_stats) = recover(&dir, None).expect("recovery after second run");
+    assert_eq!(
+        final_state.snapshot(),
+        reference.snapshot(),
+        "full stream after a restart"
+    );
+    // Clean shutdowns truncate the WAL: nothing to replay.
+    assert_eq!(final_stats.replayed, 0);
+    assert!(final_stats.checkpoint_lsn.is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flush_is_logged_and_replayed() {
+    let dir = temp_dir("flush");
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let handle = server::start(durable_config(spec, &dir, FaultPlan::crash_after(3)))
+        .expect("server starts");
+    let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+    client
+        .ingest(1, Date::from_ymd(2012, 5, 2).unwrap(), &[1, 2])
+        .expect("ingest rpc");
+    client
+        .ingest(2, Date::from_ymd(2012, 5, 3).unwrap(), &[3])
+        .expect("ingest rpc");
+    // The flush closes 3 monthly windows (May–July) for each of the two
+    // customers — and is the 3rd logged record, after which the WAL
+    // freezes.
+    match client
+        .flush(Date::from_ymd(2012, 8, 1).unwrap())
+        .expect("flush rpc")
+    {
+        Reply::Closed(closed) => assert_eq!(closed.len(), 6),
+        other => panic!("unexpected flush reply: {other:?}"),
+    }
+    handle.request_shutdown();
+    let summary = handle.join();
+    assert!(summary.checkpoint_error.is_some(), "wal is frozen");
+
+    let (recovered, stats) = recover(&dir, Some(&fallback(spec))).expect("recovery succeeds");
+    assert_eq!(stats.replayed, 3);
+    let mut reference = StabilityMonitor::new(spec, StabilityParams::PAPER);
+    reference.ingest(
+        CustomerId::new(1),
+        Date::from_ymd(2012, 5, 2).unwrap(),
+        &Basket::from_raw(&[1, 2]),
+    );
+    reference.ingest(
+        CustomerId::new(2),
+        Date::from_ymd(2012, 5, 3).unwrap(),
+        &Basket::from_raw(&[3]),
+    );
+    reference.flush_until(Date::from_ymd(2012, 8, 1).unwrap());
+    assert_eq!(recovered.snapshot(), reference.snapshot());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,118 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+//!
+//! Built in-repo — like [`rng`](crate::rng) — so the serving layer's
+//! write-ahead log and checkpoint files carry checksums without pulling
+//! an external crate. The reflected polynomial `0xEDB8_8320` with init
+//! and final XOR of `0xFFFF_FFFF` matches every standard `crc32`
+//! implementation, so the files stay verifiable with external tooling
+//! (`python3 -c 'import zlib; ...'`).
+
+/// 256-entry lookup table for the reflected polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+/// Incremental CRC-32 over multiple byte slices.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh hasher (initial state `0xFFFF_FFFF`).
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feed more bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &byte in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far (the hasher stays usable).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from zlib's crc32().
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"write-ahead logs need checksums";
+        for split in 0..data.len() {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), crc32(data));
+        }
+    }
+
+    #[test]
+    fn detects_every_single_byte_flip() {
+        let data: Vec<u8> = (0u16..256).map(|b| b as u8).collect();
+        let reference = crc32(&data);
+        let mut corrupted = data.clone();
+        for pos in 0..data.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                corrupted[pos] ^= flip;
+                assert_ne!(
+                    crc32(&corrupted),
+                    reference,
+                    "flip {flip:#x} at byte {pos} went undetected"
+                );
+                corrupted[pos] ^= flip;
+            }
+        }
+    }
+}

@@ -17,9 +17,12 @@
 //! * [`check`] — a deterministic property-based test runner (seeded via
 //!   [`rng`]) so the workspace's property tests run offline with zero
 //!   registry dependencies.
+//! * [`crc`] — CRC-32 (IEEE) for the serving layer's write-ahead log and
+//!   checkpoint integrity checks.
 
 pub mod chart;
 pub mod check;
+pub mod crc;
 pub mod csv;
 pub mod rng;
 pub mod stats;

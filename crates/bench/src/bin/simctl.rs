@@ -1,0 +1,129 @@
+//! SIMCTL — seed-sweep driver for the deterministic simulation harness.
+//!
+//! Runs `attrition-sim` worlds for a contiguous range of seeds (the
+//! real serve/WAL/checkpoint/recovery stack under simulated time, disk,
+//! and faults — see `crates/sim`), aggregates what every world injected
+//! and checked, and writes `results/sim_sweep.json` (machine-readable,
+//! consumed by CI: 64 seeds on every push, 4096 weekly).
+//!
+//! Any failing seed is printed with the one-command repro line and the
+//! process exits non-zero, so the CI log carries everything needed to
+//! replay the exact interleaving locally.
+//!
+//! Run: `cargo run -p attrition-bench --release --bin simctl --
+//!       [--seeds 64] [--start 0] [--results sim_sweep]`
+
+use attrition_bench::write_result;
+use attrition_sim::{repro_command, run, SimConfig};
+use attrition_util::Table;
+use std::time::Instant;
+
+struct Flags {
+    seeds: u64,
+    start: u64,
+    results: String,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        seeds: 64,
+        start: 0,
+        results: "sim_sweep".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("flag {name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => flags.seeds = value("--seeds").parse().expect("--seeds"),
+            "--start" => flags.start = value("--start").parse().expect("--start"),
+            "--results" => flags.results = value("--results"),
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    flags
+}
+
+fn main() {
+    let flags = parse_flags();
+    let started = Instant::now();
+
+    let mut ops = 0u64;
+    let mut acked = 0u64;
+    let mut crashes = 0u64;
+    let mut clean_restarts = 0u64;
+    let mut faults_injected = 0u64;
+    let mut score_checks = 0u64;
+    let mut invariant_checks = 0u64;
+    let mut wal_records = 0u64;
+    let mut failures: Vec<(u64, String)> = Vec::new();
+
+    for seed in flags.start..flags.start + flags.seeds {
+        let report = run(&SimConfig::for_seed(seed));
+        ops += report.ops;
+        acked += report.acked;
+        crashes += report.crashes;
+        clean_restarts += report.clean_restarts;
+        faults_injected += report.faults_injected;
+        score_checks += report.score_checks;
+        invariant_checks += report.invariant_checks;
+        wal_records += report.wal_records;
+        if let Some(first) = report.violations.first() {
+            eprintln!("SIMCTL: seed {seed} FAILED: {first}");
+            eprintln!("SIMCTL:   reproduce with: {}", repro_command(seed));
+            failures.push((seed, first.clone()));
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["seeds run".into(), flags.seeds.to_string()]);
+    table.row(["first seed".into(), flags.start.to_string()]);
+    table.row(["requests executed".into(), ops.to_string()]);
+    table.row(["responses acked".into(), acked.to_string()]);
+    table.row(["crash-restarts".into(), crashes.to_string()]);
+    table.row(["clean restarts".into(), clean_restarts.to_string()]);
+    table.row(["faults injected".into(), faults_injected.to_string()]);
+    table.row(["wal records".into(), wal_records.to_string()]);
+    table.row(["score checks".into(), score_checks.to_string()]);
+    table.row(["invariant checks".into(), invariant_checks.to_string()]);
+    table.row(["failing seeds".into(), failures.len().to_string()]);
+    table.row([
+        "wall time (s)".into(),
+        format!("{:.2}", elapsed.as_secs_f64()),
+    ]);
+    println!("\nSIMCTL: deterministic simulation sweep\n\n{table}");
+
+    let failing_seeds = failures
+        .iter()
+        .map(|(seed, _)| seed.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\"seeds\": {}, \"start\": {}, \"ops\": {ops}, \"acked\": {acked}, \
+         \"crashes\": {crashes}, \"clean_restarts\": {clean_restarts}, \
+         \"faults_injected\": {faults_injected}, \"wal_records\": {wal_records}, \
+         \"score_checks\": {score_checks}, \"invariant_checks\": {invariant_checks}, \
+         \"failing_seeds\": [{failing_seeds}], \"wall_s\": {:.3}}}\n",
+        flags.seeds,
+        flags.start,
+        elapsed.as_secs_f64(),
+    );
+    write_result(&format!("{}.json", flags.results), &json);
+
+    if let Some((seed, violation)) = failures.first() {
+        eprintln!(
+            "SIMCTL: {} of {} seeds failed; first: seed {seed}: {violation}",
+            failures.len(),
+            flags.seeds
+        );
+        eprintln!("SIMCTL: reproduce with: {}", repro_command(*seed));
+        std::process::exit(1);
+    }
+    println!(
+        "SIMCTL: all {} seeds passed both invariants ({} checks, {} faults injected)",
+        flags.seeds, invariant_checks, faults_injected
+    );
+}

@@ -24,9 +24,8 @@
 //!
 //! [`StabilityMonitor::snapshot`]: attrition_core::StabilityMonitor::snapshot
 
+use crate::env::{RealStorage, Storage};
 use attrition_util::crc::crc32;
-use std::fs::{self, File};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Format version written into (and required in) the header.
@@ -70,27 +69,38 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// Write `bytes` to `path` crash-atomically: `<path>.tmp` → `sync_all`
-/// → rename → directory sync. On any error the previous `path` content
+/// The staging name [`atomic_write`] uses: `<file>.tmp` next to `path`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write `bytes` to `path` crash-atomically: `<path>.tmp` → fsync →
+/// rename → directory sync. On any error the previous `path` content
 /// (if any) is still intact.
+///
+/// The directory sync failure is *propagated*, not swallowed: callers
+/// (the server's checkpoint trigger) truncate the WAL right after a
+/// checkpoint lands, and truncating against a rename that is not yet
+/// durable would lose acknowledged data if power failed. `Storage`
+/// implementations that genuinely cannot sync a directory report
+/// success instead (see [`RealStorage`]).
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
-        Some(ext) => format!("{ext}.tmp"),
-        None => "tmp".to_owned(),
-    });
-    {
-        let mut file = File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    // Persist the rename itself: fsync the containing directory. Not
-    // all platforms allow opening a directory for sync; degrade quietly
-    // (the rename is still atomic, just not yet durable).
+    atomic_write_in(&*RealStorage::shared(), path, bytes)
+}
+
+/// [`atomic_write`] against an explicit [`Storage`].
+pub fn atomic_write_in(storage: &dyn Storage, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    storage.write(&tmp, bytes)?;
+    storage.sync(&tmp)?;
+    storage.rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
-        if let Ok(dir_file) = File::open(dir) {
-            let _ = dir_file.sync_all();
-        }
+        storage.sync_dir(dir)?;
     }
     Ok(())
 }
@@ -103,6 +113,16 @@ pub fn path_for(dir: &Path, lsn: u64) -> PathBuf {
 
 /// Atomically write a checkpoint of `body` covering `lsn` into `dir`.
 pub fn write(dir: &Path, lsn: u64, body: &str) -> std::io::Result<PathBuf> {
+    write_in(&*RealStorage::shared(), dir, lsn, body)
+}
+
+/// [`write`] against an explicit [`Storage`].
+pub fn write_in(
+    storage: &dyn Storage,
+    dir: &Path,
+    lsn: u64,
+    body: &str,
+) -> std::io::Result<PathBuf> {
     let path = path_for(dir, lsn);
     let header = format!(
         "#checkpoint,{VERSION},{lsn},{},{}\n",
@@ -112,13 +132,18 @@ pub fn write(dir: &Path, lsn: u64, body: &str) -> std::io::Result<PathBuf> {
     let mut bytes = Vec::with_capacity(header.len() + body.len());
     bytes.extend_from_slice(header.as_bytes());
     bytes.extend_from_slice(body.as_bytes());
-    atomic_write(&path, &bytes)?;
+    atomic_write_in(storage, &path, &bytes)?;
     Ok(path)
 }
 
 /// Read and verify the checkpoint at `path`.
 pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
-    let bytes = fs::read(path)?;
+    read_in(&*RealStorage::shared(), path)
+}
+
+/// [`read`] against an explicit [`Storage`].
+pub fn read_in(storage: &dyn Storage, path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let bytes = storage.read(path)?;
     // Corruption can flip bytes out of UTF-8 entirely; that is a
     // verification failure (skip this checkpoint), not an I/O error.
     let text = String::from_utf8(bytes)
@@ -163,41 +188,81 @@ pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
     })
 }
 
+/// Parse a checkpoint file name (`checkpoint-<lsn>.ckpt`, or the
+/// `.tmp`-suffixed staging form when `staging`) into its LSN.
+fn parse_name(name: &str, staging: bool) -> Option<u64> {
+    let rest = name.strip_prefix("checkpoint-")?;
+    let digits = if staging {
+        rest.strip_suffix(&format!(".{EXTENSION}.tmp"))?
+    } else {
+        rest.strip_suffix(&format!(".{EXTENSION}"))?
+    };
+    digits.parse::<u64>().ok()
+}
+
 /// Checkpoint files in `dir`, newest (highest LSN) first. Files whose
 /// names do not parse are ignored. A missing directory lists as empty.
 pub fn list(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
-    let entries = match fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
+    list_in(&*RealStorage::shared(), dir)
+}
+
+/// [`list`] against an explicit [`Storage`].
+pub fn list_in(storage: &dyn Storage, dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut found = Vec::new();
-    for entry in entries {
-        let path = entry?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        let Some(lsn) = name
-            .strip_prefix("checkpoint-")
-            .and_then(|rest| rest.strip_suffix(&format!(".{EXTENSION}")))
-            .and_then(|digits| digits.parse::<u64>().ok())
-        else {
-            continue;
-        };
-        found.push((lsn, path));
+    for name in storage.list(dir)? {
+        if let Some(lsn) = parse_name(&name, false) {
+            found.push((lsn, dir.join(name)));
+        }
+    }
+    found.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
+    Ok(found)
+}
+
+/// Leftover `checkpoint-*.ckpt.tmp` staging files in `dir`, newest
+/// first. A crash between the staging write and the rename (or a
+/// power-lost rename the directory never made durable) strands one of
+/// these; recovery salvages a fully verified tmp as a last-resort
+/// candidate after every final checkpoint has been tried.
+pub fn list_tmp(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    list_tmp_in(&*RealStorage::shared(), dir)
+}
+
+/// [`list_tmp`] against an explicit [`Storage`].
+pub fn list_tmp_in(storage: &dyn Storage, dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for name in storage.list(dir)? {
+        if let Some(lsn) = parse_name(&name, true) {
+            found.push((lsn, dir.join(name)));
+        }
     }
     found.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
     Ok(found)
 }
 
 /// Delete all but the newest `keep` checkpoints; returns how many were
-/// removed. Deletion failures are ignored (an undeleted old checkpoint
-/// is harmless — recovery prefers newer ones).
+/// removed. Stale staging files (tmp LSN ≤ the newest final checkpoint)
+/// are swept too — they are fully superseded and never worth salvaging.
+/// Deletion failures are ignored (an undeleted old checkpoint is
+/// harmless — recovery prefers newer ones).
 pub fn prune(dir: &Path, keep: usize) -> std::io::Result<usize> {
+    prune_in(&*RealStorage::shared(), dir, keep)
+}
+
+/// [`prune`] against an explicit [`Storage`].
+pub fn prune_in(storage: &dyn Storage, dir: &Path, keep: usize) -> std::io::Result<usize> {
     let mut removed = 0;
-    for (_, path) in list(dir)?.into_iter().skip(keep) {
-        if fs::remove_file(&path).is_ok() {
+    let finals = list_in(storage, dir)?;
+    let newest = finals.first().map(|&(lsn, _)| lsn);
+    for (_, path) in finals.into_iter().skip(keep) {
+        if storage.remove(&path).is_ok() {
             removed += 1;
+        }
+    }
+    if let Some(newest) = newest {
+        for (lsn, path) in list_tmp_in(storage, dir)? {
+            if lsn <= newest && storage.remove(&path).is_ok() {
+                removed += 1;
+            }
         }
     }
     Ok(removed)
@@ -206,6 +271,7 @@ pub fn prune(dir: &Path, keep: usize) -> std::io::Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("attrition_ckpt_{tag}_{}", std::process::id()));
@@ -263,6 +329,24 @@ mod tests {
         assert_eq!(prune(&dir, 2).unwrap(), 1);
         let lsns: Vec<u64> = list(&dir).unwrap().iter().map(|(lsn, _)| *lsn).collect();
         assert_eq!(lsns, vec![900, 17]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stranded_tmp_is_listed_and_pruned_when_superseded() {
+        let dir = temp_dir("tmp");
+        write(&dir, 5, BODY).unwrap();
+        // Strand staging files as a crash between write and rename would.
+        fs::write(dir.join("checkpoint-00000000000000000003.ckpt.tmp"), b"x").unwrap();
+        fs::write(dir.join("checkpoint-00000000000000000009.ckpt.tmp"), b"y").unwrap();
+        let tmps: Vec<u64> = list_tmp(&dir).unwrap().iter().map(|t| t.0).collect();
+        assert_eq!(tmps, vec![9, 3]);
+        // Tmps never appear in the final listing.
+        assert_eq!(list(&dir).unwrap().len(), 1);
+        // Prune sweeps the superseded tmp (3 ≤ 5) but keeps the newer one.
+        assert_eq!(prune(&dir, 4).unwrap(), 1);
+        let tmps: Vec<u64> = list_tmp(&dir).unwrap().iter().map(|t| t.0).collect();
+        assert_eq!(tmps, vec![9]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -24,6 +24,7 @@
 //!   [`Client::send`]; the WAL's per-record sequence numbers make
 //!   *recovery* replay exactly-once either way.
 
+use crate::env::{Clock, RealClock, RngCore, SplitMix64, Transport};
 use crate::protocol::{parse_score_line, ParsedScore};
 use attrition_types::Date;
 use std::io::{BufRead, BufReader, Write};
@@ -86,15 +87,13 @@ impl RetryPolicy {
     /// The (jittered) sleep before retry number `attempt` (1-based).
     /// Jitter draws uniformly from `[delay/2, delay]` so synchronized
     /// clients spread out instead of re-stampeding the server.
-    fn backoff(&self, attempt: u32, state: &mut u64) -> Duration {
+    fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
         let exp = self
             .base_delay
             .saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
         let delay = exp.min(self.max_delay);
         let half = delay / 2;
-        Duration::from_nanos(
-            half.as_nanos() as u64 + splitmix64(state) % (half.as_nanos() as u64 + 1),
-        )
+        Duration::from_nanos(half.as_nanos() as u64 + rng.next_u64() % (half.as_nanos() as u64 + 1))
     }
 }
 
@@ -108,15 +107,6 @@ pub struct RetryStats {
     /// `ERR busy` rejections received, including one returned as the
     /// final reply when the budget ran out.
     pub busy_rejections: u32,
-}
-
-/// The minimal statistically-decent PRNG: splitmix64 (public domain).
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Is this I/O failure plausibly transient (worth a backoff + retry)?
@@ -168,14 +158,25 @@ impl Client {
         timeout: Duration,
         policy: &RetryPolicy,
     ) -> std::io::Result<Client> {
-        let mut jitter = policy.seed;
+        Client::connect_retrying_with(addr, timeout, policy, &RealClock)
+    }
+
+    /// [`connect_retrying`](Client::connect_retrying) sleeping through an
+    /// explicit [`Clock`] (logical under simulation, real otherwise).
+    pub fn connect_retrying_with(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> std::io::Result<Client> {
+        let mut jitter = SplitMix64::new(policy.seed);
         let mut attempt = 0u32;
         loop {
             match Client::connect(&addr, timeout) {
                 Ok(client) => return Ok(client),
                 Err(e) if attempt < policy.budget && is_transient(&e) => {
                     attempt += 1;
-                    std::thread::sleep(policy.backoff(attempt, &mut jitter));
+                    clock.sleep(policy.backoff(attempt, &mut jitter));
                 }
                 Err(e) => return Err(e),
             }
@@ -239,7 +240,18 @@ impl Client {
         line: &str,
         policy: &RetryPolicy,
     ) -> std::io::Result<(Reply, RetryStats)> {
-        let mut jitter = policy.seed;
+        self.send_retrying_with(line, policy, &RealClock)
+    }
+
+    /// [`send_retrying`](Client::send_retrying) sleeping through an
+    /// explicit [`Clock`].
+    pub fn send_retrying_with(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> std::io::Result<(Reply, RetryStats)> {
+        let mut jitter = SplitMix64::new(policy.seed);
         let mut stats = RetryStats::default();
         loop {
             let outcome = self.send(line);
@@ -252,7 +264,7 @@ impl Client {
                 return outcome.map(|reply| (reply, stats));
             }
             stats.retries += 1;
-            std::thread::sleep(policy.backoff(stats.retries, &mut jitter));
+            clock.sleep(policy.backoff(stats.retries, &mut jitter));
             // Both retry causes leave the connection useless: `ERR busy`
             // is followed by a server-side close, transient I/O means
             // the stream died. Dial again (itself retried via connect's
@@ -285,6 +297,26 @@ impl Client {
         self.send(&format!("SCORE {customer}"))
     }
 
+    /// Send one raw request line and return the raw response text
+    /// (multi-line `OK <n>` responses joined with `\n`) without parsing
+    /// it into a [`Reply`] — the [`Transport`] implementation.
+    pub fn exchange_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let first = self.read_line()?;
+        let mut response = first.clone();
+        if let Some(rest) = first.strip_prefix("OK ") {
+            if let Ok(n) = rest.trim().parse::<usize>() {
+                for _ in 0..n {
+                    response.push('\n');
+                    response.push_str(&self.read_line()?);
+                }
+            }
+        }
+        Ok(response)
+    }
+
     fn read_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
@@ -298,6 +330,12 @@ impl Client {
     }
 }
 
+impl Transport for Client {
+    fn exchange(&mut self, line: &str) -> std::io::Result<String> {
+        self.exchange_raw(line)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,7 +343,7 @@ mod tests {
     #[test]
     fn backoff_doubles_caps_and_jitters_within_half() {
         let policy = RetryPolicy::default();
-        let mut jitter = policy.seed;
+        let mut jitter = SplitMix64::new(policy.seed);
         let mut previous_cap = Duration::ZERO;
         for attempt in 1..=8 {
             let exp = policy
@@ -326,7 +364,7 @@ mod tests {
     #[test]
     fn backoff_is_deterministic_per_seed() {
         let policy = RetryPolicy::default();
-        let (mut a, mut b) = (policy.seed, policy.seed);
+        let (mut a, mut b) = (SplitMix64::new(policy.seed), SplitMix64::new(policy.seed));
         for attempt in 1..=5 {
             assert_eq!(
                 policy.backoff(attempt, &mut a),

@@ -1,0 +1,421 @@
+//! The request-execution engine: everything the server *means*,
+//! separated from how requests arrive.
+//!
+//! [`Engine`] owns the sharded monitor, the durability state (WAL +
+//! checkpoint triggers) and the shutdown/request counters, and executes
+//! one request line at a time through [`Engine::respond`]. The TCP
+//! layer ([`server`](crate::server)) wraps it in an accept loop and a
+//! worker pool; the deterministic simulator (`attrition-sim`) drives it
+//! directly through an in-memory transport — same code, same WAL, same
+//! checkpoints, no sockets or threads required.
+//!
+//! All environment access goes through the [`env`](crate::env) seams:
+//! the engine is constructed over an `Arc<dyn Storage>` and an
+//! `Arc<dyn Clock>`, so "30 seconds since the last checkpoint" and
+//! "fsync the log" mean real time and a real fsync in production, and
+//! logical time and an in-memory buffer under simulation.
+
+use crate::checkpoint;
+use crate::env::{Clock, RealClock, RealStorage, Storage};
+use crate::faults::FaultPlan;
+use crate::protocol::{format_closed, format_score, ParseError, Request};
+use crate::shard::ShardedMonitor;
+use crate::wal::{SyncPolicy, Wal, WAL_FILE};
+use attrition_core::WindowClosed;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Configuration of the durability subsystem (WAL + checkpoints).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `checkpoint-*.ckpt` (created if
+    /// missing).
+    pub wal_dir: PathBuf,
+    /// When appended WAL records are fsynced (see [`SyncPolicy`] for
+    /// the per-policy ack guarantee).
+    pub sync_policy: SyncPolicy,
+    /// Checkpoint after this many logged requests (0 disables the
+    /// count trigger).
+    pub checkpoint_every_requests: u64,
+    /// Checkpoint when this much time passed since the last one and at
+    /// least one request was logged (`None` disables the time trigger).
+    pub checkpoint_every: Option<Duration>,
+    /// Checkpoints retained after rotation (older ones are pruned; ≥ 1).
+    pub keep_checkpoints: usize,
+    /// Fault-injection schedule for the WAL (tests only; `None` in
+    /// production).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl DurabilityConfig {
+    /// Defaults: fsync every append, checkpoint every 1024 logged
+    /// requests or 30 s (whichever comes first), keep 2 checkpoints.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            wal_dir: wal_dir.into(),
+            sync_policy: SyncPolicy::Always,
+            checkpoint_every_requests: 1024,
+            checkpoint_every: Some(Duration::from_secs(30)),
+            keep_checkpoints: 2,
+            fault_plan: None,
+        }
+    }
+}
+
+/// The durability state behind one lock: holding it across WAL append
+/// *and* monitor apply keeps log order identical to apply order, and
+/// makes every checkpoint an exact cut at `wal.last_seq()`.
+struct Durable {
+    wal: Wal,
+    dir: PathBuf,
+    storage: Arc<dyn Storage>,
+    clock: Arc<dyn Clock>,
+    checkpoint_every_requests: u64,
+    checkpoint_every: Option<Duration>,
+    keep_checkpoints: usize,
+    since_checkpoint: u64,
+    last_checkpoint: Duration,
+    checkpoints_written: u64,
+}
+
+impl Durable {
+    /// Bookkeeping after a logged+applied request: fire a periodic
+    /// checkpoint when a trigger is due. Checkpoint failures degrade to
+    /// a counter + log line — the WAL still holds everything, so
+    /// serving beats dying; the next trigger retries.
+    fn after_logged(&mut self, monitor: &ShardedMonitor) {
+        self.since_checkpoint += 1;
+        let due_count = self.checkpoint_every_requests > 0
+            && self.since_checkpoint >= self.checkpoint_every_requests;
+        let due_time = self
+            .checkpoint_every
+            .is_some_and(|every| self.clock.now().saturating_sub(self.last_checkpoint) >= every);
+        if !(due_count || due_time) {
+            return;
+        }
+        if let Err(e) = self.checkpoint_now(monitor) {
+            attrition_obs::counter("serve.checkpoint.errors").inc();
+            eprintln!("serve: periodic checkpoint failed (wal retained): {e}");
+            // Reset the triggers so a persistent failure retries once
+            // per period instead of once per request.
+            self.since_checkpoint = 0;
+            self.last_checkpoint = self.clock.now();
+        }
+    }
+
+    /// Snapshot → atomic checkpoint write → prune → WAL truncation.
+    fn checkpoint_now(&mut self, monitor: &ShardedMonitor) -> std::io::Result<()> {
+        let started = self.clock.now();
+        // Everything the checkpoint covers must be durable first, or a
+        // crash right after truncation could lose acked-but-buffered
+        // records under `interval`/`never` policies.
+        self.wal.sync()?;
+        let lsn = self.wal.last_seq();
+        checkpoint::write_in(&*self.storage, &self.dir, lsn, &monitor.snapshot())?;
+        let _ = checkpoint::prune_in(&*self.storage, &self.dir, self.keep_checkpoints);
+        self.wal.truncate()?;
+        self.since_checkpoint = 0;
+        self.last_checkpoint = self.clock.now();
+        self.checkpoints_written += 1;
+        attrition_obs::counter("serve.checkpoint.writes").inc();
+        attrition_obs::observe_ms(
+            "serve.checkpoint.duration_ms",
+            self.clock.now().saturating_sub(started).as_secs_f64() * 1e3,
+        );
+        attrition_obs::gauge("serve.checkpoint.lsn").set(lsn as i64);
+        Ok(())
+    }
+}
+
+fn lock_durable(durable: &Mutex<Durable>) -> MutexGuard<'_, Durable> {
+    durable.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// What [`Engine::shutdown_flush`] reports back for the summary.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownReport {
+    /// Why the shutdown checkpoint failed, if it did. A durable server
+    /// exiting with this set must be treated as a crash: the WAL still
+    /// holds the tail and recovery will replay it.
+    pub checkpoint_error: Option<String>,
+    /// Where the final legacy snapshot was written, if anywhere.
+    pub snapshot_path: Option<PathBuf>,
+    /// Why the final snapshot write failed, if it did.
+    pub snapshot_error: Option<String>,
+    /// WAL records appended over the engine's lifetime.
+    pub wal_appends: u64,
+    /// WAL fsyncs issued over the engine's lifetime.
+    pub wal_fsyncs: u64,
+    /// Checkpoints written (periodic + shutdown).
+    pub checkpoints: u64,
+}
+
+/// The transport-independent scoring server core. See the module docs.
+pub struct Engine {
+    monitor: ShardedMonitor,
+    snapshot_path: Option<PathBuf>,
+    durable: Option<Mutex<Durable>>,
+    storage: Arc<dyn Storage>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Engine {
+    /// Open an engine over the real filesystem and clock.
+    pub fn open(
+        monitor: ShardedMonitor,
+        snapshot_path: Option<PathBuf>,
+        durability: Option<&DurabilityConfig>,
+        next_seq: u64,
+    ) -> std::io::Result<Engine> {
+        Engine::open_in(
+            monitor,
+            snapshot_path,
+            durability,
+            next_seq,
+            RealStorage::shared(),
+            Arc::new(RealClock),
+        )
+    }
+
+    /// [`open`](Engine::open) against explicit environment seams — what
+    /// the simulator calls with its in-memory storage and logical clock.
+    pub fn open_in(
+        monitor: ShardedMonitor,
+        snapshot_path: Option<PathBuf>,
+        durability: Option<&DurabilityConfig>,
+        next_seq: u64,
+        storage: Arc<dyn Storage>,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<Engine> {
+        let durable = match durability {
+            Some(dcfg) => {
+                storage.create_dir_all(&dcfg.wal_dir)?;
+                let wal = Wal::open_in(
+                    Arc::clone(&storage),
+                    &dcfg.wal_dir.join(WAL_FILE),
+                    dcfg.sync_policy,
+                    next_seq,
+                    dcfg.fault_plan.clone().unwrap_or_default(),
+                )?;
+                Some(Mutex::new(Durable {
+                    wal,
+                    dir: dcfg.wal_dir.clone(),
+                    storage: Arc::clone(&storage),
+                    clock: Arc::clone(&clock),
+                    checkpoint_every_requests: dcfg.checkpoint_every_requests,
+                    checkpoint_every: dcfg.checkpoint_every,
+                    keep_checkpoints: dcfg.keep_checkpoints.max(1),
+                    since_checkpoint: 0,
+                    last_checkpoint: clock.now(),
+                    checkpoints_written: 0,
+                }))
+            }
+            None => None,
+        };
+        Ok(Engine {
+            monitor,
+            snapshot_path,
+            durable,
+            storage,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The sharded monitor (read access for summaries and tests).
+    pub fn monitor(&self) -> &ShardedMonitor {
+        &self.monitor
+    }
+
+    /// Customers tracked right now.
+    pub fn num_customers(&self) -> usize {
+        self.monitor.num_customers()
+    }
+
+    /// Requests executed (including ones answered `ERR`).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered `ERR`.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Ask the engine to drain: connection loops (and the simulator)
+    /// poll this and stop issuing requests.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested (via `SHUTDOWN` or
+    /// [`request_shutdown`](Engine::request_shutdown)).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The sequence number of the last WAL-logged request (0 when
+    /// nothing was logged or durability is off). The simulator reads
+    /// this around [`respond`](Engine::respond) to learn which LSN an
+    /// acknowledged mutation was logged at.
+    pub fn wal_last_seq(&self) -> u64 {
+        match &self.durable {
+            Some(durable) => lock_durable(durable).wal.last_seq(),
+            None => 0,
+        }
+    }
+
+    /// The WAL's durability floor (see [`Wal::synced_seq`]): the highest
+    /// sequence number recovery is *guaranteed* to reach after a crash
+    /// at this instant. 0 when durability is off.
+    ///
+    /// [`Wal::synced_seq`]: crate::wal::Wal::synced_seq
+    pub fn wal_synced_seq(&self) -> u64 {
+        match &self.durable {
+            Some(durable) => lock_durable(durable).wal.synced_seq(),
+            None => 0,
+        }
+    }
+
+    /// Run a mutating request through the WAL (when durability is on)
+    /// and apply it, under one lock — append first, apply second, ack
+    /// last. An append failure means nothing was applied and the client
+    /// gets `ERR`.
+    fn logged<R>(&self, op: &str, apply: impl FnOnce() -> R) -> Result<R, String> {
+        let Some(durable) = &self.durable else {
+            return Ok(apply());
+        };
+        let mut d = lock_durable(durable);
+        if let Err(e) = d.wal.append(op) {
+            attrition_obs::counter("serve.wal.errors").inc();
+            return Err(format!("wal append failed: {e}"));
+        }
+        let result = apply();
+        d.after_logged(&self.monitor);
+        Ok(result)
+    }
+
+    /// Write the legacy single-file snapshot to the configured path,
+    /// atomically (tmp + fsync + rename). `Ok(None)` when no path is
+    /// set; errors are counted on `serve.snapshot.errors` and
+    /// propagated, never swallowed.
+    pub fn write_snapshot(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = &self.snapshot_path else {
+            return Ok(None);
+        };
+        if let Err(e) =
+            checkpoint::atomic_write_in(&*self.storage, path, self.monitor.snapshot().as_bytes())
+        {
+            attrition_obs::counter("serve.snapshot.errors").inc();
+            return Err(e);
+        }
+        Ok(Some(path.clone()))
+    }
+
+    /// The shutdown epilogue: final checkpoint (durably, or the error is
+    /// surfaced — never swallowed) and legacy snapshot, plus the WAL
+    /// lifetime counters for the summary.
+    pub fn shutdown_flush(&self) -> ShutdownReport {
+        let mut report = ShutdownReport::default();
+        if let Some(durable) = &self.durable {
+            let mut d = lock_durable(durable);
+            if let Err(e) = d.checkpoint_now(&self.monitor) {
+                attrition_obs::counter("serve.checkpoint.errors").inc();
+                eprintln!("serve: shutdown checkpoint failed (wal retained): {e}");
+                report.checkpoint_error = Some(e.to_string());
+            }
+            report.wal_appends = d.wal.appends();
+            report.wal_fsyncs = d.wal.fsyncs();
+            report.checkpoints = d.checkpoints_written;
+        }
+        match self.write_snapshot() {
+            Ok(path) => report.snapshot_path = path,
+            Err(e) => {
+                eprintln!("serve: shutdown snapshot failed: {e}");
+                report.snapshot_error = Some(e.to_string());
+            }
+        }
+        report
+    }
+
+    /// Execute one request; returns `(verb, response)` where the
+    /// response may span multiple lines (`OK <n>` + `CLOSED` lines) but
+    /// never ends with a newline (the caller appends the final one).
+    pub fn respond(&self, line: &str) -> (&'static str, String) {
+        let (verb, response) = self.respond_inner(line);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        attrition_obs::counter("serve.requests").inc();
+        if response.starts_with("ERR") {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            attrition_obs::counter("serve.errors").inc();
+        }
+        (verb, response)
+    }
+
+    fn respond_inner(&self, line: &str) -> (&'static str, String) {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(ParseError(message)) => return ("parse", format!("ERR {message}")),
+        };
+        let verb = request.verb();
+        let response = match request {
+            Request::Ping => "PONG".to_owned(),
+            Request::Ingest(customer, date, items) => {
+                // Canonical op line, rebuilt (not echoed) so the WAL
+                // holds exactly what `Request::parse` will re-read at
+                // recovery.
+                let op = Request::Ingest(customer, date, items.clone()).to_line();
+                let basket = attrition_types::Basket::new(items);
+                match self.logged(&op, || self.monitor.ingest(customer, date, &basket)) {
+                    Ok(Ok(closed)) => closed_response(&closed),
+                    Ok(Err(out_of_order)) => format!("ERR {out_of_order}"),
+                    Err(wal_error) => format!("ERR {wal_error}"),
+                }
+            }
+            Request::Score(customer) => match self.monitor.preview(customer) {
+                Some(point) => format_score(customer, &point),
+                None => format!("ERR unknown customer {}", customer.raw()),
+            },
+            Request::Flush(date) => {
+                match self.logged(&format!("FLUSH {date}"), || self.monitor.flush_until(date)) {
+                    Ok(closed) => closed_response(&closed),
+                    Err(wal_error) => format!("ERR {wal_error}"),
+                }
+            }
+            Request::Snapshot => match self.write_snapshot() {
+                Ok(Some(path)) => {
+                    let bytes = self.storage.len(&path).unwrap_or(0);
+                    format!("OK {bytes} {}", path.display())
+                }
+                Ok(None) => "ERR no snapshot path configured".to_owned(),
+                Err(e) => format!("ERR snapshot failed: {e}"),
+            },
+            Request::Stats => {
+                for (shard, customers) in self.monitor.customers_per_shard().iter().enumerate() {
+                    attrition_obs::gauge(&format!("serve.shard.{shard}.customers"))
+                        .set(*customers as i64);
+                }
+                format!("STATS {}", attrition_obs::global().snapshot().to_json())
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                "OK draining".to_owned()
+            }
+        };
+        (verb, response)
+    }
+}
+
+fn closed_response(closed: &[WindowClosed]) -> String {
+    let mut out = format!("OK {}", closed.len());
+    for window in closed {
+        out.push('\n');
+        out.push_str(&format_closed(window));
+    }
+    out
+}

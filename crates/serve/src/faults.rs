@@ -18,8 +18,27 @@
 //! The plan lives in the production types rather than behind a `cfg`
 //! gate so integration tests (and future chaos tooling) can drive it
 //! against a real listening server; a default plan injects nothing.
+//!
+//! ## Seed-driven schedules
+//!
+//! Beyond the three deterministic one-shots above, a plan carries a
+//! `seed` and a set of per-mille *rates* that turn it into a stochastic
+//! schedule: every consumer (the WAL for disk faults, the simulator's
+//! transport for network faults, the simulator's driver for
+//! crash-restarts) derives its own [`SplitMix64`] stream from the seed,
+//! so one `u64` reproduces the entire fault interleaving bit-for-bit.
+//! The rates cover the failure modes the deterministic crash tests
+//! cannot enumerate: clean append failures, torn (partial) appends,
+//! message drop/duplicate/delay (reordering falls out of random
+//! delays), and crash-restart at arbitrary event boundaries.
+//!
+//! [`SplitMix64`]: crate::env::SplitMix64
 
-/// Deterministic failure schedule for one WAL instance.
+use crate::env::SplitMix64;
+
+/// Deterministic failure schedule for one WAL instance (the `fail_*` /
+/// `crash_*` one-shots) plus a seed-driven stochastic schedule shared
+/// with the simulator (the `*_per_mille` rates).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Fail this append (1-based count of append *attempts*) with an
@@ -32,6 +51,28 @@ pub struct FaultPlan {
     /// At the simulated crash, truncate this many bytes off the end of
     /// the log file — a torn final write for recovery to detect.
     pub torn_tail_bytes: u64,
+    /// Seed of the stochastic schedule below (ignored when every rate
+    /// is zero).
+    pub seed: u64,
+    /// Rate (per 1000 appends) of clean injected append failures:
+    /// nothing reaches the file, the caller sees an error.
+    pub fail_append_per_mille: u32,
+    /// Rate (per 1000 appends) of *torn* appends: a random prefix of
+    /// the frame reaches the file before the error — the WAL must roll
+    /// it back or poison itself.
+    pub torn_append_per_mille: u32,
+    /// Rate (per 1000 messages) of message drops on the simulated
+    /// transport, either direction.
+    pub drop_per_mille: u32,
+    /// Rate (per 1000 messages) of message duplication on the simulated
+    /// transport.
+    pub dup_per_mille: u32,
+    /// Rate (per 1000 messages) of extra delivery delay (which is also
+    /// what reorders messages relative to each other).
+    pub delay_per_mille: u32,
+    /// Rate (per 1000 client operations) of a crash-restart of the
+    /// whole server at that event boundary (simulator only).
+    pub crash_per_mille: u32,
 }
 
 impl FaultPlan {
@@ -64,6 +105,63 @@ impl FaultPlan {
             torn_tail_bytes: bytes,
             ..FaultPlan::default()
         }
+    }
+
+    /// A stochastic schedule from a single seed with moderate default
+    /// rates for every fault class — the simulator's bread and butter.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fail_append_per_mille: 20,
+            torn_append_per_mille: 20,
+            drop_per_mille: 30,
+            dup_per_mille: 20,
+            delay_per_mille: 100,
+            crash_per_mille: 15,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when any stochastic rate is set (consumers can skip rng
+    /// draws entirely for all-zero plans, keeping the deterministic
+    /// one-shot paths byte-for-byte identical to before).
+    pub fn is_stochastic(&self) -> bool {
+        self.fail_append_per_mille != 0
+            || self.torn_append_per_mille != 0
+            || self.drop_per_mille != 0
+            || self.dup_per_mille != 0
+            || self.delay_per_mille != 0
+            || self.crash_per_mille != 0
+    }
+
+    /// Draw: should this append fail cleanly (nothing written)?
+    pub fn failed_append(&self, rng: &mut SplitMix64) -> bool {
+        self.fail_append_per_mille != 0 && rng.per_mille(self.fail_append_per_mille)
+    }
+
+    /// Draw: should this append tear (partial frame written, then error)?
+    pub fn torn_append(&self, rng: &mut SplitMix64) -> bool {
+        self.torn_append_per_mille != 0 && rng.per_mille(self.torn_append_per_mille)
+    }
+
+    /// Draw: should the transport drop this message?
+    pub fn drop_message(&self, rng: &mut SplitMix64) -> bool {
+        self.drop_per_mille != 0 && rng.per_mille(self.drop_per_mille)
+    }
+
+    /// Draw: should the transport duplicate this message?
+    pub fn duplicate_message(&self, rng: &mut SplitMix64) -> bool {
+        self.dup_per_mille != 0 && rng.per_mille(self.dup_per_mille)
+    }
+
+    /// Draw: should the transport add extra delay to this message?
+    pub fn delay_message(&self, rng: &mut SplitMix64) -> bool {
+        self.delay_per_mille != 0 && rng.per_mille(self.delay_per_mille)
+    }
+
+    /// Draw: should the server crash-restart at this event boundary?
+    pub fn crash_now(&self, rng: &mut SplitMix64) -> bool {
+        self.crash_per_mille != 0 && rng.per_mille(self.crash_per_mille)
     }
 }
 

@@ -55,6 +55,8 @@
 
 pub mod checkpoint;
 pub mod client;
+pub mod engine;
+pub mod env;
 pub mod faults;
 pub mod pool;
 pub mod protocol;
@@ -64,6 +66,8 @@ pub mod shard;
 pub mod wal;
 
 pub use client::{Client, Reply, RetryPolicy, RetryStats};
+pub use engine::Engine;
+pub use env::{Clock, RealClock, RealStorage, RngCore, SplitMix64, Storage, Transport};
 pub use faults::FaultPlan;
 pub use pool::ThreadPool;
 pub use protocol::{ParsedScore, Request};

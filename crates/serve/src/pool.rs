@@ -239,6 +239,164 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 50);
     }
 
+    /// Deterministic saturation: with every worker gated and the queue
+    /// full, *every* further submission is answered `Busy` — the
+    /// rejection count exactly matches the rejected submissions, and
+    /// the accepted ones all execute once the gate opens.
+    #[test]
+    fn saturated_pool_rejects_every_submission_exactly() {
+        let pool = ThreadPool::new(2, 4);
+        let executed = Arc::new(AtomicU64::new(0));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+
+        // Gate both workers...
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate_rx);
+            let started = started_tx.clone();
+            let executed = Arc::clone(&executed);
+            pool.try_execute(move || {
+                started.send(()).unwrap();
+                let _ = gate.lock().unwrap_or_else(|p| p.into_inner()).recv();
+                executed.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        started_rx.recv().unwrap();
+        started_rx.recv().unwrap();
+        // ...fill the queue to capacity...
+        for _ in 0..4 {
+            let executed = Arc::clone(&executed);
+            pool.try_execute(move || {
+                executed.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        // ...and every one of the next 100 submissions must bounce.
+        let mut rejected = 0u64;
+        for _ in 0..100 {
+            let executed = Arc::clone(&executed);
+            if pool
+                .try_execute(move || {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                })
+                .is_err()
+            {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 100, "a saturated pool must reject fail-fast");
+
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+        // Exactly the 6 accepted jobs ran; none of the 100 rejected did.
+        assert_eq!(executed.load(Ordering::Relaxed), 6);
+    }
+
+    /// Under producer contention nothing is lost or double-run: every
+    /// submission is either accepted (and executes exactly once) or
+    /// rejected with `Busy`, so accepted == executed after shutdown.
+    #[test]
+    fn accepted_submissions_all_execute_under_contention() {
+        let pool = ThreadPool::new(1, 1);
+        let executed = Arc::new(AtomicU64::new(0));
+        let (accepted, rejected) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = &pool;
+                    let executed = Arc::clone(&executed);
+                    s.spawn(move || {
+                        let (mut accepted, mut rejected) = (0u64, 0u64);
+                        for _ in 0..200 {
+                            let executed = Arc::clone(&executed);
+                            match pool.try_execute(move || {
+                                std::thread::sleep(Duration::from_micros(500));
+                                executed.fetch_add(1, Ordering::Relaxed);
+                            }) {
+                                Ok(()) => accepted += 1,
+                                Err(Busy) => rejected += 1,
+                            }
+                        }
+                        (accepted, rejected)
+                    })
+                })
+                .collect();
+            handles.into_iter().fold((0, 0), |(a, r), h| {
+                let (ha, hr) = h.join().expect("producer thread");
+                (a + ha, r + hr)
+            })
+        });
+        pool.shutdown();
+        assert_eq!(
+            accepted + rejected,
+            800,
+            "every submission is accounted for"
+        );
+        assert!(rejected > 0, "a 1-worker/1-slot pool must saturate");
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            accepted,
+            "accepted jobs must execute exactly once, rejected ones never"
+        );
+    }
+
+    /// `shutdown` must block until the job a worker is *currently
+    /// executing* finishes — in-flight work is drained, not abandoned.
+    #[test]
+    fn shutdown_waits_for_the_in_flight_job() {
+        let pool = ThreadPool::new(1, 8);
+        let (started_tx, started_rx) = mpsc::channel();
+        let done = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&done);
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+            flag.store(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        // The job is in flight (not queued) when shutdown starts.
+        started_rx.recv().unwrap();
+        pool.shutdown();
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            1,
+            "shutdown returned before the in-flight job completed"
+        );
+    }
+
+    /// The saturation probe is exact for the server's single-producer
+    /// accept loop: a `false` answer guarantees the next submission is
+    /// accepted, a `true` answer that it would bounce.
+    #[test]
+    fn saturation_probe_is_exact_for_a_single_producer() {
+        let pool = ThreadPool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel();
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            let _ = gate_rx.recv();
+        })
+        .unwrap();
+        // Worker occupied, queue empty: not saturated, and the promise
+        // holds — the next submission is accepted.
+        started_rx.recv().unwrap();
+        assert!(!pool.is_saturated());
+        pool.try_execute(|| {}).unwrap();
+        // Queue full: saturated, and the next submission bounces.
+        assert!(pool.is_saturated());
+        assert_eq!(pool.try_execute(|| {}), Err(Busy));
+        // Once the worker drains the queue the probe flips back, and a
+        // `false` answer again guarantees acceptance.
+        gate_tx.send(()).unwrap();
+        while pool.is_saturated() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.try_execute(|| {}).unwrap();
+        pool.shutdown();
+    }
+
     #[test]
     fn panicking_job_does_not_kill_the_worker() {
         let pool = ThreadPool::new(1, 8);

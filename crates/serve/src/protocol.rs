@@ -112,6 +112,29 @@ impl Request {
         Ok(req)
     }
 
+    /// Render the request back to its canonical wire line — the exact
+    /// string [`parse`](Request::parse) accepts, and the form the WAL
+    /// stores for mutating verbs (rebuilt, never echoed, so recovery
+    /// re-reads exactly what the server executed).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping => "PING".to_owned(),
+            Request::Ingest(customer, date, items) => {
+                let mut line = format!("INGEST {} {date}", customer.raw());
+                for item in items {
+                    line.push(' ');
+                    line.push_str(&item.raw().to_string());
+                }
+                line
+            }
+            Request::Score(customer) => format!("SCORE {}", customer.raw()),
+            Request::Flush(date) => format!("FLUSH {date}"),
+            Request::Snapshot => "SNAPSHOT".to_owned(),
+            Request::Stats => "STATS".to_owned(),
+            Request::Shutdown => "SHUTDOWN".to_owned(),
+        }
+    }
+
     /// The verb name, as used in per-verb metric names.
     pub fn verb(&self) -> &'static str {
         match self {

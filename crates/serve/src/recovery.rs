@@ -23,6 +23,7 @@
 //! tests in `tests/crash_recovery.rs` and the CLI's SIGKILL e2e test).
 
 use crate::checkpoint::{self, CheckpointError};
+use crate::env::{RealStorage, Storage};
 use crate::protocol::Request;
 use crate::wal::{self, WAL_FILE};
 use attrition_core::{StabilityMonitor, StabilityParams};
@@ -49,6 +50,10 @@ pub struct RecoveryStats {
     pub checkpoint_lsn: Option<u64>,
     /// Checkpoints that failed verification and were skipped.
     pub corrupt_checkpoints: u64,
+    /// The loaded checkpoint was salvaged from a stranded `*.ckpt.tmp`
+    /// staging file (a crash hit between the staging write and a
+    /// durable rename).
+    pub salvaged_tmp: bool,
     /// WAL records re-applied (seq above the checkpoint LSN).
     pub replayed: u64,
     /// WAL records skipped because the checkpoint already covers them.
@@ -68,6 +73,7 @@ pub struct RecoveryStats {
 impl std::fmt::Display for RecoveryStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.checkpoint_lsn {
+            Some(lsn) if self.salvaged_tmp => write!(f, "checkpoint lsn {lsn} (salvaged tmp)")?,
             Some(lsn) => write!(f, "checkpoint lsn {lsn}")?,
             None => write!(f, "no checkpoint")?,
         }
@@ -141,36 +147,77 @@ pub fn recover(
     dir: &Path,
     fallback: Option<&Fallback>,
 ) -> Result<(StabilityMonitor, RecoveryStats), RecoveryError> {
-    // Newest valid checkpoint, falling back past corrupt ones.
-    let mut corrupt_checkpoints = 0u64;
-    let mut restored: Option<(u64, StabilityMonitor)> = None;
-    for (lsn, path) in checkpoint::list(dir)? {
-        match checkpoint::read(&path) {
-            Ok(ckpt) => match StabilityMonitor::restore(&ckpt.body) {
-                Ok(monitor) => {
-                    restored = Some((ckpt.lsn, monitor));
-                    break;
-                }
-                Err(e) => {
-                    // Header passed but the body does not restore:
-                    // treat like corruption and keep walking back.
-                    corrupt_checkpoints += 1;
-                    attrition_obs::counter("serve.recovery.corrupt_checkpoints").inc();
-                    eprintln!(
-                        "recovery: skipping checkpoint {} (lsn {lsn}): {e}",
-                        path.display()
-                    );
-                }
-            },
-            Err(CheckpointError::Corrupt(reason)) => {
-                corrupt_checkpoints += 1;
+    recover_in(&*RealStorage::shared(), dir, fallback)
+}
+
+/// One verified restore attempt during the checkpoint walk.
+fn try_restore(
+    storage: &dyn Storage,
+    lsn: u64,
+    path: &Path,
+    corrupt_checkpoints: &mut u64,
+) -> Result<Option<(u64, StabilityMonitor)>, RecoveryError> {
+    match checkpoint::read_in(storage, path) {
+        Ok(ckpt) => match StabilityMonitor::restore(&ckpt.body) {
+            Ok(monitor) => return Ok(Some((ckpt.lsn, monitor))),
+            Err(e) => {
+                // Header passed but the body does not restore: treat
+                // like corruption and keep walking back.
+                *corrupt_checkpoints += 1;
                 attrition_obs::counter("serve.recovery.corrupt_checkpoints").inc();
                 eprintln!(
-                    "recovery: skipping checkpoint {} (lsn {lsn}): {reason}",
+                    "recovery: skipping checkpoint {} (lsn {lsn}): {e}",
                     path.display()
                 );
             }
-            Err(CheckpointError::Io(e)) => return Err(RecoveryError::Io(e)),
+        },
+        Err(CheckpointError::Corrupt(reason)) => {
+            *corrupt_checkpoints += 1;
+            attrition_obs::counter("serve.recovery.corrupt_checkpoints").inc();
+            eprintln!(
+                "recovery: skipping checkpoint {} (lsn {lsn}): {reason}",
+                path.display()
+            );
+        }
+        Err(CheckpointError::Io(e)) => return Err(RecoveryError::Io(e)),
+    }
+    Ok(None)
+}
+
+/// [`recover`] against an explicit [`Storage`] — what the deterministic
+/// simulator calls with its in-memory filesystem.
+pub fn recover_in(
+    storage: &dyn Storage,
+    dir: &Path,
+    fallback: Option<&Fallback>,
+) -> Result<(StabilityMonitor, RecoveryStats), RecoveryError> {
+    // Newest valid checkpoint, falling back past corrupt ones.
+    let mut corrupt_checkpoints = 0u64;
+    let mut salvaged_tmp = false;
+    let mut restored: Option<(u64, StabilityMonitor)> = None;
+    for (lsn, path) in checkpoint::list_in(storage, dir)? {
+        if let Some(found) = try_restore(storage, lsn, &path, &mut corrupt_checkpoints)? {
+            restored = Some(found);
+            break;
+        }
+    }
+    if restored.is_none() {
+        // Last resort: a stranded `*.ckpt.tmp` staging file. A crash
+        // between the staging write and a durable rename leaves a fully
+        // written, fully verifiable checkpoint under the tmp name while
+        // the WAL may already have been truncated against it — salvaging
+        // it (header + CRC must still verify) recovers that state
+        // instead of erroring out or silently rewinding.
+        for (lsn, path) in checkpoint::list_tmp_in(storage, dir)? {
+            if let Some(found) = try_restore(storage, lsn, &path, &mut corrupt_checkpoints)? {
+                eprintln!(
+                    "recovery: adopting stranded staging checkpoint {} (lsn {lsn})",
+                    path.display()
+                );
+                salvaged_tmp = true;
+                restored = Some(found);
+                break;
+            }
         }
     }
 
@@ -189,14 +236,15 @@ pub fn recover(
 
     // Replay the log above the checkpoint, truncating a torn tail.
     let wal_path = dir.join(WAL_FILE);
-    let scan = wal::read_records(&wal_path)?;
+    let scan = wal::read_records_in(storage, &wal_path)?;
     if scan.torn_bytes > 0 {
-        wal::truncate_to_valid(&wal_path, scan.valid_len)?;
+        wal::truncate_to_valid_in(storage, &wal_path, scan.valid_len)?;
         attrition_obs::counter("serve.recovery.torn_bytes").add(scan.torn_bytes);
     }
     let mut stats = RecoveryStats {
         checkpoint_lsn,
         corrupt_checkpoints,
+        salvaged_tmp,
         replayed: 0,
         already_applied: 0,
         out_of_order: 0,

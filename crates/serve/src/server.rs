@@ -9,6 +9,11 @@
 //! its current request; idle connections close within the read
 //! timeout), writes a final checkpoint, and returns a [`ServerSummary`].
 //!
+//! The request semantics themselves — protocol execution, WAL,
+//! checkpoint triggers — live in the transport-independent
+//! [`Engine`](crate::engine::Engine); this module is only the real
+//! network front-end for it (the deterministic simulator is another).
+//!
 //! ## Durability
 //!
 //! With a [`DurabilityConfig`] set, every mutating request (`INGEST`,
@@ -22,21 +27,26 @@
 //! `--sync-policy always` the fsync, not the lock, dominates. Group
 //! commit across workers is future work (DESIGN §10).
 
-use crate::checkpoint;
-use crate::faults::FaultPlan;
+use crate::engine::Engine;
 use crate::pool::ThreadPool;
-use crate::protocol::{format_closed, format_score, ParseError, Request};
 use crate::shard::ShardedMonitor;
-use crate::wal::{SyncPolicy, Wal, WAL_FILE};
-use attrition_core::{StabilityParams, WindowClosed};
+use attrition_core::StabilityParams;
 use attrition_store::WindowSpec;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+pub use crate::engine::DurabilityConfig;
+
+/// Longest accepted request line (bytes, excluding the newline). A
+/// frame that grows past this is answered `ERR line too long` and
+/// discarded up to its newline — the connection stays usable, and the
+/// server never buffers an attacker-sized line.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Everything the server needs to start.
 #[derive(Debug, Clone)]
@@ -67,43 +77,6 @@ pub struct ServerConfig {
     pub params: StabilityParams,
     /// Lost products retained per closed-window explanation.
     pub max_explanations: usize,
-}
-
-/// Configuration of the durability subsystem (WAL + checkpoints).
-#[derive(Debug, Clone)]
-pub struct DurabilityConfig {
-    /// Directory holding `wal.log` and `checkpoint-*.ckpt` (created if
-    /// missing).
-    pub wal_dir: PathBuf,
-    /// When appended WAL records are fsynced (see [`SyncPolicy`] for
-    /// the per-policy ack guarantee).
-    pub sync_policy: SyncPolicy,
-    /// Checkpoint after this many logged requests (0 disables the
-    /// count trigger).
-    pub checkpoint_every_requests: u64,
-    /// Checkpoint when this much time passed since the last one and at
-    /// least one request was logged (`None` disables the time trigger).
-    pub checkpoint_every: Option<Duration>,
-    /// Checkpoints retained after rotation (older ones are pruned; ≥ 1).
-    pub keep_checkpoints: usize,
-    /// Fault-injection schedule for the WAL (tests only; `None` in
-    /// production).
-    pub fault_plan: Option<FaultPlan>,
-}
-
-impl DurabilityConfig {
-    /// Defaults: fsync every append, checkpoint every 1024 logged
-    /// requests or 30 s (whichever comes first), keep 2 checkpoints.
-    pub fn new(wal_dir: impl Into<PathBuf>) -> DurabilityConfig {
-        DurabilityConfig {
-            wal_dir: wal_dir.into(),
-            sync_policy: SyncPolicy::Always,
-            checkpoint_every_requests: 1024,
-            checkpoint_every: Some(Duration::from_secs(30)),
-            keep_checkpoints: 2,
-            fault_plan: None,
-        }
-    }
 }
 
 impl ServerConfig {
@@ -155,88 +128,12 @@ pub struct ServerSummary {
     pub checkpoints: u64,
 }
 
-/// The durability state behind one lock: holding it across WAL append
-/// *and* monitor apply keeps log order identical to apply order, and
-/// makes every checkpoint an exact cut at `wal.last_seq()`.
-struct Durable {
-    wal: Wal,
-    dir: PathBuf,
-    checkpoint_every_requests: u64,
-    checkpoint_every: Option<Duration>,
-    keep_checkpoints: usize,
-    since_checkpoint: u64,
-    last_checkpoint: Instant,
-    checkpoints_written: u64,
-}
-
-impl Durable {
-    /// Bookkeeping after a logged+applied request: fire a periodic
-    /// checkpoint when a trigger is due. Checkpoint failures degrade to
-    /// a counter + log line — the WAL still holds everything, so
-    /// serving beats dying; the next trigger retries.
-    fn after_logged(&mut self, monitor: &ShardedMonitor) {
-        self.since_checkpoint += 1;
-        let due_count = self.checkpoint_every_requests > 0
-            && self.since_checkpoint >= self.checkpoint_every_requests;
-        let due_time = self
-            .checkpoint_every
-            .is_some_and(|every| self.last_checkpoint.elapsed() >= every);
-        if !(due_count || due_time) {
-            return;
-        }
-        if let Err(e) = self.checkpoint_now(monitor) {
-            attrition_obs::counter("serve.checkpoint.errors").inc();
-            eprintln!("serve: periodic checkpoint failed (wal retained): {e}");
-            // Reset the triggers so a persistent failure retries once
-            // per period instead of once per request.
-            self.since_checkpoint = 0;
-            self.last_checkpoint = Instant::now();
-        }
-    }
-
-    /// Snapshot → atomic checkpoint write → prune → WAL truncation.
-    fn checkpoint_now(&mut self, monitor: &ShardedMonitor) -> std::io::Result<()> {
-        let started = Instant::now();
-        // Everything the checkpoint covers must be durable first, or a
-        // crash right after truncation could lose acked-but-buffered
-        // records under `interval`/`never` policies.
-        self.wal.sync()?;
-        let lsn = self.wal.last_seq();
-        checkpoint::write(&self.dir, lsn, &monitor.snapshot())?;
-        let _ = checkpoint::prune(&self.dir, self.keep_checkpoints);
-        self.wal.truncate()?;
-        self.since_checkpoint = 0;
-        self.last_checkpoint = Instant::now();
-        self.checkpoints_written += 1;
-        attrition_obs::counter("serve.checkpoint.writes").inc();
-        attrition_obs::observe_ms(
-            "serve.checkpoint.duration_ms",
-            started.elapsed().as_secs_f64() * 1e3,
-        );
-        attrition_obs::gauge("serve.checkpoint.lsn").set(lsn as i64);
-        Ok(())
-    }
-}
-
-struct State {
-    monitor: ShardedMonitor,
-    snapshot_path: Option<PathBuf>,
-    durable: Option<Mutex<Durable>>,
-    shutdown: AtomicBool,
-    requests: AtomicU64,
-    errors: AtomicU64,
-}
-
-fn lock_durable(durable: &Mutex<Durable>) -> MutexGuard<'_, Durable> {
-    durable.lock().unwrap_or_else(|poison| poison.into_inner())
-}
-
 /// A running server; dropping the handle does **not** stop it — send
 /// `SHUTDOWN`, call [`request_shutdown`](ServerHandle::request_shutdown),
 /// or deliver SIGINT, then [`join`](ServerHandle::join).
 pub struct ServerHandle {
     addr: SocketAddr,
-    state: Arc<State>,
+    engine: Arc<Engine>,
     acceptor: JoinHandle<ServerSummary>,
 }
 
@@ -248,7 +145,7 @@ impl ServerHandle {
 
     /// Ask the server to drain and exit, as `SHUTDOWN` would.
     pub fn request_shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.engine.request_shutdown();
     }
 
     /// Wait for the server to drain and return its summary.
@@ -320,56 +217,32 @@ pub fn start_resumed(
     next_seq: u64,
 ) -> std::io::Result<ServerHandle> {
     attrition_obs::set_enabled(true);
-    let durable = match &config.durability {
-        Some(dcfg) => {
-            std::fs::create_dir_all(&dcfg.wal_dir)?;
-            let wal = Wal::open_with_faults(
-                &dcfg.wal_dir.join(WAL_FILE),
-                dcfg.sync_policy,
-                next_seq,
-                dcfg.fault_plan.clone().unwrap_or_default(),
-            )?;
-            Some(Mutex::new(Durable {
-                wal,
-                dir: dcfg.wal_dir.clone(),
-                checkpoint_every_requests: dcfg.checkpoint_every_requests,
-                checkpoint_every: dcfg.checkpoint_every,
-                keep_checkpoints: dcfg.keep_checkpoints.max(1),
-                since_checkpoint: 0,
-                last_checkpoint: Instant::now(),
-                checkpoints_written: 0,
-            }))
-        }
-        None => None,
-    };
+    let engine = Arc::new(Engine::open(
+        monitor,
+        config.snapshot_path.clone(),
+        config.durability.as_ref(),
+        next_seq,
+    )?);
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(State {
-        monitor,
-        snapshot_path: config.snapshot_path.clone(),
-        durable,
-        shutdown: AtomicBool::new(false),
-        requests: AtomicU64::new(0),
-        errors: AtomicU64::new(0),
-    });
-    let accept_state = Arc::clone(&state);
+    let accept_engine = Arc::clone(&engine);
     let acceptor = std::thread::Builder::new()
         .name("serve-acceptor".into())
-        .spawn(move || accept_loop(listener, accept_state, &config))
+        .spawn(move || accept_loop(listener, accept_engine, &config))
         .expect("acceptor thread must spawn");
     Ok(ServerHandle {
         addr,
-        state,
+        engine,
         acceptor,
     })
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<State>, config: &ServerConfig) -> ServerSummary {
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>, config: &ServerConfig) -> ServerSummary {
     let pool = ThreadPool::new(config.workers, config.queue_capacity);
     let connections = attrition_obs::counter("serve.connections.accepted");
     let rejected = attrition_obs::counter("serve.connections.rejected_busy");
-    while !state.shutdown.load(Ordering::SeqCst) && !sigint_received() {
+    while !engine.shutdown_requested() && !sigint_received() {
         match listener.accept() {
             Ok((mut stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
@@ -385,8 +258,8 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, config: &ServerConfig) 
                     let _ = stream.write_all(b"ERR busy\n");
                     continue;
                 }
-                let conn_state = Arc::clone(&state);
-                pool.try_execute(move || handle_connection(stream, &conn_state))
+                let conn_engine = Arc::clone(&engine);
+                pool.try_execute(move || handle_connection(stream, &conn_engine))
                     .expect("non-saturated single-producer enqueue cannot fail");
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -398,199 +271,131 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, config: &ServerConfig) 
     // Stop accepting; drain queued + in-flight connections.
     drop(listener);
     pool.shutdown();
-    // Shutdown checkpoint: the drained state, durably. A failure is
-    // surfaced (summary + counter), not swallowed — the caller must
-    // treat it as a crash and rely on WAL recovery.
-    let mut checkpoint_error = None;
-    let (mut wal_appends, mut wal_fsyncs, mut checkpoints) = (0, 0, 0);
-    if let Some(durable) = &state.durable {
-        let mut d = lock_durable(durable);
-        if let Err(e) = d.checkpoint_now(&state.monitor) {
-            attrition_obs::counter("serve.checkpoint.errors").inc();
-            eprintln!("serve: shutdown checkpoint failed (wal retained): {e}");
-            checkpoint_error = Some(e.to_string());
-        }
-        wal_appends = d.wal.appends();
-        wal_fsyncs = d.wal.fsyncs();
-        checkpoints = d.checkpoints_written;
-    }
-    let (snapshot_path, snapshot_error) = match write_snapshot(&state) {
-        Ok(path) => (path, None),
-        Err(e) => {
-            eprintln!("serve: shutdown snapshot failed: {e}");
-            (None, Some(e.to_string()))
-        }
-    };
+    // Shutdown checkpoint + legacy snapshot: failures are surfaced in
+    // the summary, not swallowed — the caller must treat a checkpoint
+    // failure as a crash and rely on WAL recovery.
+    let report = engine.shutdown_flush();
     ServerSummary {
-        requests: state.requests.load(Ordering::Relaxed),
-        errors: state.errors.load(Ordering::Relaxed),
+        requests: engine.requests(),
+        errors: engine.errors(),
         connections: connections.get(),
         rejected_busy: rejected.get(),
-        customers: state.monitor.num_customers(),
-        snapshot_path,
-        snapshot_error,
-        checkpoint_error,
-        wal_appends,
-        wal_fsyncs,
-        checkpoints,
+        customers: engine.num_customers(),
+        snapshot_path: report.snapshot_path,
+        snapshot_error: report.snapshot_error,
+        checkpoint_error: report.checkpoint_error,
+        wal_appends: report.wal_appends,
+        wal_fsyncs: report.wal_fsyncs,
+        checkpoints: report.checkpoints,
     }
 }
 
-/// Write the legacy single-file snapshot to the configured path,
-/// atomically (tmp + fsync + rename). `Ok(None)` when no path is set;
-/// errors are counted on `serve.snapshot.errors` and propagated, never
-/// swallowed.
-fn write_snapshot(state: &State) -> std::io::Result<Option<PathBuf>> {
-    let Some(path) = &state.snapshot_path else {
-        return Ok(None);
-    };
-    if let Err(e) = checkpoint::atomic_write(path, state.monitor.snapshot().as_bytes()) {
-        attrition_obs::counter("serve.snapshot.errors").inc();
-        return Err(e);
-    }
-    Ok(Some(path.clone()))
-}
-
-/// Run a mutating request through the WAL (when durability is on) and
-/// apply it, under one lock — append first, apply second, ack last. An
-/// append failure means nothing was applied and the client gets `ERR`.
-fn logged<R>(state: &State, op: &str, apply: impl FnOnce() -> R) -> Result<R, String> {
-    let Some(durable) = &state.durable else {
-        return Ok(apply());
-    };
-    let mut d = lock_durable(durable);
-    if let Err(e) = d.wal.append(op) {
-        attrition_obs::counter("serve.wal.errors").inc();
-        return Err(format!("wal append failed: {e}"));
-    }
-    let result = apply();
-    d.after_logged(&state.monitor);
-    Ok(result)
-}
-
-fn handle_connection(stream: TcpStream, state: &State) {
+fn handle_connection(stream: TcpStream, engine: &Engine) {
     let active = attrition_obs::gauge("serve.connections.active");
     active.add(1);
-    let _ = serve_connection(stream, state);
+    let _ = serve_connection(stream, engine);
     active.add(-1);
 }
 
-fn serve_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let bytes_read = attrition_obs::counter("serve.bytes_read");
-    let bytes_written = attrition_obs::counter("serve.bytes_written");
+/// One framing attempt from the connection's buffered reader.
+enum Frame {
+    /// A complete line (newline stripped), possibly empty.
+    Line(String),
+    /// Client closed the connection.
+    Eof,
+    /// Idle past the read timeout.
+    TimedOut,
+    /// The line exceeded [`MAX_LINE_BYTES`]; the rest of it (up to the
+    /// next newline) has been discarded.
+    TooLong,
+    /// The line was complete but not valid UTF-8.
+    NotUtf8,
+}
+
+/// Read one newline-delimited frame with a hard size bound. Unlike
+/// `BufRead::read_line`, an oversized or non-UTF-8 frame is consumed
+/// and reported as a recoverable variant instead of poisoning the
+/// connection — the caller answers `ERR` and keeps serving.
+fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<Frame> {
+    buf.clear();
+    let mut overflowed = false;
     loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            return Ok(()); // draining: finish after the current request
-        }
-        line.clear();
-        let n = match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(n) => n,
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                return Ok(Frame::TimedOut)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(Frame::Eof);
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |pos| pos);
+        if !overflowed {
+            if buf.len() + take > MAX_LINE_BYTES {
+                overflowed = true;
+            } else {
+                buf.extend_from_slice(&chunk[..take]);
+            }
+        }
+        let consumed = newline.map_or(take, |pos| pos + 1);
+        reader.consume(consumed);
+        if newline.is_some() {
+            if overflowed {
+                return Ok(Frame::TooLong);
+            }
+            return match String::from_utf8(std::mem::take(buf)) {
+                Ok(line) => Ok(Frame::Line(line)),
+                Err(_) => Ok(Frame::NotUtf8),
+            };
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    let bytes_read = attrition_obs::counter("serve.bytes_read");
+    let bytes_written = attrition_obs::counter("serve.bytes_written");
+    loop {
+        if engine.shutdown_requested() {
+            return Ok(()); // draining: finish after the current request
+        }
+        let response: String = match read_frame(&mut reader, &mut buf)? {
+            Frame::Eof => return Ok(()), // client closed
+            Frame::TimedOut => {
                 attrition_obs::counter("serve.connections.timed_out").inc();
                 return Ok(()); // idle past the read timeout
             }
-            Err(e) => return Err(e),
+            Frame::TooLong => format!("ERR line too long (max {MAX_LINE_BYTES} bytes)"),
+            Frame::NotUtf8 => "ERR request is not valid UTF-8".to_owned(),
+            Frame::Line(line) => {
+                bytes_read.add(line.len() as u64 + 1);
+                let trimmed = line.trim_end_matches('\r');
+                if trimmed.is_empty() {
+                    continue; // tolerate blank keep-alive lines
+                }
+                let started = Instant::now();
+                let (verb, response) = engine.respond(trimmed);
+                attrition_obs::observe_ms(
+                    &format!("serve.latency.{verb}"),
+                    started.elapsed().as_secs_f64() * 1e3,
+                );
+                response
+            }
         };
-        bytes_read.add(n as u64);
-        let trimmed = line.trim_end_matches(['\r', '\n']);
-        if trimmed.is_empty() {
-            continue; // tolerate blank keep-alive lines
-        }
-        let started = Instant::now();
-        let (verb, response) = respond(state, trimmed);
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        attrition_obs::counter("serve.requests").inc();
-        if response.starts_with("ERR") {
-            state.errors.fetch_add(1, Ordering::Relaxed);
-            attrition_obs::counter("serve.errors").inc();
-        }
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
         bytes_written.add(response.len() as u64 + 1);
-        attrition_obs::observe_ms(
-            &format!("serve.latency.{verb}"),
-            started.elapsed().as_secs_f64() * 1e3,
-        );
-        if state.shutdown.load(Ordering::SeqCst) {
+        if engine.shutdown_requested() {
             return Ok(());
         }
     }
-}
-
-/// Execute one request; returns `(verb, response)` where the response
-/// may span multiple lines (`OK <n>` + `CLOSED` lines) but never ends
-/// with a newline (the caller appends the final one).
-fn respond(state: &State, line: &str) -> (&'static str, String) {
-    let request = match Request::parse(line) {
-        Ok(request) => request,
-        Err(ParseError(message)) => return ("parse", format!("ERR {message}")),
-    };
-    let verb = request.verb();
-    let response = match request {
-        Request::Ping => "PONG".to_owned(),
-        Request::Ingest(customer, date, items) => {
-            // Canonical op line, rebuilt (not echoed) so the WAL holds
-            // exactly what `Request::parse` will re-read at recovery.
-            let mut op = format!("INGEST {} {date}", customer.raw());
-            for item in &items {
-                op.push(' ');
-                op.push_str(&item.raw().to_string());
-            }
-            let basket = attrition_types::Basket::new(items);
-            match logged(state, &op, || state.monitor.ingest(customer, date, &basket)) {
-                Ok(Ok(closed)) => closed_response(&closed),
-                Ok(Err(out_of_order)) => format!("ERR {out_of_order}"),
-                Err(wal_error) => format!("ERR {wal_error}"),
-            }
-        }
-        Request::Score(customer) => match state.monitor.preview(customer) {
-            Some(point) => format_score(customer, &point),
-            None => format!("ERR unknown customer {}", customer.raw()),
-        },
-        Request::Flush(date) => {
-            match logged(state, &format!("FLUSH {date}"), || {
-                state.monitor.flush_until(date)
-            }) {
-                Ok(closed) => closed_response(&closed),
-                Err(wal_error) => format!("ERR {wal_error}"),
-            }
-        }
-        Request::Snapshot => match write_snapshot(state) {
-            Ok(Some(path)) => {
-                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                format!("OK {bytes} {}", path.display())
-            }
-            Ok(None) => "ERR no snapshot path configured".to_owned(),
-            Err(e) => format!("ERR snapshot failed: {e}"),
-        },
-        Request::Stats => {
-            for (shard, customers) in state.monitor.customers_per_shard().iter().enumerate() {
-                attrition_obs::gauge(&format!("serve.shard.{shard}.customers"))
-                    .set(*customers as i64);
-            }
-            format!("STATS {}", attrition_obs::global().snapshot().to_json())
-        }
-        Request::Shutdown => {
-            state.shutdown.store(true, Ordering::SeqCst);
-            "OK draining".to_owned()
-        }
-    };
-    (verb, response)
-}
-
-fn closed_response(closed: &[WindowClosed]) -> String {
-    let mut out = format!("OK {}", closed.len());
-    for window in closed {
-        out.push('\n');
-        out.push_str(&format_closed(window));
-    }
-    out
 }

@@ -35,11 +35,11 @@
 //! frame is unreachable by construction — frames carry no resync
 //! marker — which is exactly the prefix-durability a WAL promises.
 
+use crate::env::{RealStorage, SplitMix64, Storage};
 use crate::faults::{injected_error, FaultPlan};
 use attrition_util::crc::crc32;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the log inside a WAL directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -127,14 +127,17 @@ pub struct WalScan {
 /// header, impossible length, CRC mismatch, or payload too short to
 /// carry a sequence number) and reports the remainder as torn.
 pub fn read_records(path: &Path) -> std::io::Result<WalScan> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut file) => {
-            file.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+    read_records_in(RealStorage::shared().as_ref(), path)
+}
+
+/// [`read_records`] against any [`Storage`] (the simulator's entry
+/// point; the real code path is identical).
+pub fn read_records_in(storage: &dyn Storage, path: &Path) -> std::io::Result<WalScan> {
+    let bytes = match storage.read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(e),
-    }
+    };
     let mut records = Vec::new();
     let mut offset = 0usize;
     while bytes.len() - offset >= HEADER {
@@ -165,24 +168,46 @@ pub fn read_records(path: &Path) -> std::io::Result<WalScan> {
 
 /// Truncate `path` to its valid prefix, discarding a torn tail.
 pub fn truncate_to_valid(path: &Path, valid_len: u64) -> std::io::Result<()> {
-    let file = OpenOptions::new().write(true).open(path)?;
-    file.set_len(valid_len)?;
-    file.sync_all()
+    truncate_to_valid_in(RealStorage::shared().as_ref(), path, valid_len)
+}
+
+/// [`truncate_to_valid`] against any [`Storage`].
+pub fn truncate_to_valid_in(
+    storage: &dyn Storage,
+    path: &Path,
+    valid_len: u64,
+) -> std::io::Result<()> {
+    storage.set_len(path, valid_len)?;
+    storage.sync(path)
 }
 
 /// The append handle the server writes through.
-#[derive(Debug)]
 pub struct Wal {
-    file: File,
+    storage: Arc<dyn Storage>,
     path: PathBuf,
     policy: SyncPolicy,
     next_seq: u64,
+    /// Mirror of the file length, so a torn append can roll back.
+    len: u64,
     appends: u64,
     fsyncs: u64,
     unsynced: u64,
     attempts: u64,
     faults: FaultPlan,
+    fault_rng: SplitMix64,
     crashed: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("policy", &self.policy)
+            .field("next_seq", &self.next_seq)
+            .field("len", &self.len)
+            .field("crashed", &self.crashed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Wal {
@@ -200,25 +225,50 @@ impl Wal {
         next_seq: u64,
         faults: FaultPlan,
     ) -> std::io::Result<Wal> {
+        Wal::open_in(RealStorage::shared(), path, policy, next_seq, faults)
+    }
+
+    /// [`open_with_faults`](Wal::open_with_faults) against any
+    /// [`Storage`] — the constructor the simulator uses.
+    pub fn open_in(
+        storage: Arc<dyn Storage>,
+        path: &Path,
+        policy: SyncPolicy,
+        next_seq: u64,
+        faults: FaultPlan,
+    ) -> std::io::Result<Wal> {
         assert!(next_seq >= 1, "sequence numbers are 1-based");
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        // Touch the file so an empty log exists on disk from the start
+        // (recovery treats a missing file and an empty file the same,
+        // but a visible empty log is easier to operate on).
+        storage.append(path, b"")?;
+        let len = storage.len(path)?;
+        // Decorrelate the stochastic fault stream per incarnation so a
+        // restarted WAL does not replay its predecessor's faults.
+        let fault_rng = SplitMix64::new(faults.seed ^ next_seq.wrapping_mul(0x9E37_79B9));
         Ok(Wal {
-            file,
+            storage,
             path: path.to_owned(),
             policy,
             next_seq,
+            len,
             appends: 0,
             fsyncs: 0,
             unsynced: 0,
             attempts: 0,
             faults,
+            fault_rng,
             crashed: false,
         })
     }
 
     /// Append one operation; returns its sequence number. The record is
     /// on disk (per the sync policy) when this returns — the caller may
-    /// ack. An error means nothing was acked and nothing must be applied.
+    /// ack. An error means nothing was acked and nothing must be applied:
+    /// a partially-written frame (torn write) is rolled back by
+    /// truncating to the pre-append length, and a log that cannot even
+    /// roll back poisons itself rather than appending unreachable
+    /// records after garbage.
     pub fn append(&mut self, op: &str) -> std::io::Result<u64> {
         if self.crashed {
             return Err(injected_error("wal crashed"));
@@ -229,8 +279,29 @@ impl Wal {
         }
         let seq = self.next_seq;
         let frame = encode_record(seq, op);
-        // One write_all per frame: a crash tears at most this frame.
-        self.file.write_all(&frame)?;
+        // One append call per frame: a crash tears at most this frame.
+        let outcome = if self.faults.torn_append(&mut self.fault_rng) {
+            // Injected torn write: a prefix of the frame reaches the
+            // file, then the write "fails" — what a full disk or a
+            // yanked cable leaves behind.
+            let cut = 1 + self.fault_rng.below(frame.len() as u64 - 1) as usize;
+            let _ = self.storage.append(&self.path, &frame[..cut]);
+            Err(injected_error("torn append"))
+        } else if self.faults.failed_append(&mut self.fault_rng) {
+            Err(injected_error("scheduled append failure"))
+        } else {
+            self.storage.append(&self.path, &frame)
+        };
+        if let Err(e) = outcome {
+            // Roll back whatever prefix may have landed. If even that
+            // fails the tail is garbage and every later append would be
+            // unreachable at recovery — poison the log instead.
+            if self.storage.set_len(&self.path, self.len).is_err() {
+                self.crashed = true;
+            }
+            return Err(e);
+        }
+        self.len += frame.len() as u64;
         self.next_seq += 1;
         self.appends += 1;
         self.unsynced += 1;
@@ -258,7 +329,7 @@ impl Wal {
         if self.unsynced == 0 {
             return Ok(());
         }
-        self.file.sync_data()?;
+        self.storage.sync(&self.path)?;
         self.unsynced = 0;
         self.fsyncs += 1;
         attrition_obs::counter("serve.wal.fsyncs").inc();
@@ -271,8 +342,9 @@ impl Wal {
         if self.crashed {
             return Err(injected_error("wal crashed"));
         }
-        self.file.set_len(0)?;
-        self.file.sync_all()?;
+        self.storage.set_len(&self.path, 0)?;
+        self.storage.sync(&self.path)?;
+        self.len = 0;
         self.unsynced = 0;
         Ok(())
     }
@@ -280,6 +352,16 @@ impl Wal {
     /// The last sequence number appended (0 before the first append).
     pub fn last_seq(&self) -> u64 {
         self.next_seq - 1
+    }
+
+    /// The highest sequence number known durable: every record at or
+    /// below it is either fsynced in the file or folded into a
+    /// checkpoint (truncation implies a prior sync). Records above it
+    /// are exposed to an OS crash — exactly the window the
+    /// [`SyncPolicy`] contract permits. The simulator asserts recovery
+    /// never lands below this floor.
+    pub fn synced_seq(&self) -> u64 {
+        self.next_seq - 1 - self.unsynced
     }
 
     /// Successful appends through this handle.
@@ -306,11 +388,9 @@ impl Wal {
     /// every further operation. Fault-injection only.
     fn crash(&mut self) {
         if self.faults.torn_tail_bytes > 0 {
-            if let Ok(meta) = std::fs::metadata(&self.path) {
-                let keep = meta.len().saturating_sub(self.faults.torn_tail_bytes);
-                if let Ok(file) = OpenOptions::new().write(true).open(&self.path) {
-                    let _ = file.set_len(keep);
-                }
+            if let Ok(len) = self.storage.len(&self.path) {
+                let keep = len.saturating_sub(self.faults.torn_tail_bytes);
+                let _ = self.storage.set_len(&self.path, keep);
             }
         }
         self.crashed = true;

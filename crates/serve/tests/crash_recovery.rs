@@ -349,3 +349,112 @@ fn flush_is_logged_and_replayed() {
     assert_eq!(recovered.snapshot(), reference.snapshot());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Regression: a durability directory holding only a stranded
+/// `checkpoint-*.ckpt.tmp` (the crash hit between the staging write and
+/// a durable rename) plus an empty (0-byte) WAL used to fail recovery
+/// with `NoGrid` even though a fully verified checkpoint was sitting
+/// right there under the staging name. Recovery must salvage it — here
+/// the checkpoint of an *empty* server, so the recovered state is the
+/// empty state.
+#[test]
+fn stranded_tmp_checkpoint_with_empty_wal_recovers() {
+    use attrition_serve::checkpoint;
+
+    let dir = temp_dir("tmponly");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let empty = StabilityMonitor::new(spec, StabilityParams::PAPER).with_max_explanations(5);
+
+    // A first-boot shutdown checkpoint of an empty server, stranded
+    // under its staging name, next to a 0-byte log.
+    let final_path = checkpoint::write(&dir, 0, &empty.snapshot()).expect("checkpoint written");
+    let tmp_path = checkpoint::tmp_path(&final_path);
+    std::fs::rename(&final_path, &tmp_path).unwrap();
+    std::fs::write(dir.join("wal.log"), b"").unwrap();
+
+    // No fallback grid: before the fix this was RecoveryError::NoGrid.
+    let (recovered, stats) = recover(&dir, None).expect("tmp checkpoint must be salvaged");
+    assert!(stats.salvaged_tmp, "{stats:?}");
+    assert_eq!(stats.checkpoint_lsn, Some(0));
+    assert_eq!(stats.next_seq, 1);
+    assert_eq!(recovered.num_customers(), 0, "empty state, not an error");
+    assert_eq!(recovered.snapshot(), empty.snapshot());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The salvage is a last resort: with any valid *final* checkpoint
+/// present, a stranded tmp — even one with a higher LSN — must be
+/// ignored, because the WAL can only have been truncated against a
+/// durably renamed checkpoint (final + replay reaches at least the
+/// tmp's state).
+#[test]
+fn stranded_tmp_is_ignored_when_a_final_checkpoint_exists() {
+    use attrition_serve::checkpoint;
+
+    let dir = temp_dir("tmpvsfinal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let mut monitor = StabilityMonitor::new(spec, StabilityParams::PAPER).with_max_explanations(5);
+    monitor.ingest(
+        CustomerId::new(1),
+        Date::from_ymd(2012, 5, 2).unwrap(),
+        &Basket::from_raw(&[1]),
+    );
+    checkpoint::write(&dir, 1, &monitor.snapshot()).expect("final checkpoint");
+    let final_snapshot = monitor.snapshot();
+
+    // A newer, *different* state stranded under a staging name.
+    monitor.ingest(
+        CustomerId::new(2),
+        Date::from_ymd(2012, 5, 3).unwrap(),
+        &Basket::from_raw(&[2]),
+    );
+    let newer = checkpoint::write(&dir, 2, &monitor.snapshot()).expect("newer checkpoint");
+    std::fs::rename(&newer, checkpoint::tmp_path(&newer)).unwrap();
+    std::fs::write(dir.join("wal.log"), b"").unwrap();
+
+    let (recovered, stats) = recover(&dir, None).expect("recovery succeeds");
+    assert!(!stats.salvaged_tmp, "finals are preferred: {stats:?}");
+    assert_eq!(stats.checkpoint_lsn, Some(1));
+    assert_eq!(recovered.snapshot(), final_snapshot);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same edge case end to end: a server resumed from a tmp-only
+/// directory starts serving the salvaged state instead of dying.
+#[test]
+fn server_resumes_from_a_tmp_only_directory() {
+    use attrition_serve::checkpoint;
+
+    let dir = temp_dir("tmpresume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let mut monitor = StabilityMonitor::new(spec, StabilityParams::PAPER).with_max_explanations(5);
+    monitor.ingest(
+        CustomerId::new(7),
+        Date::from_ymd(2012, 5, 2).unwrap(),
+        &Basket::from_raw(&[1, 2]),
+    );
+    let path = checkpoint::write(&dir, 3, &monitor.snapshot()).expect("checkpoint");
+    std::fs::rename(&path, checkpoint::tmp_path(&path)).unwrap();
+    std::fs::write(dir.join("wal.log"), b"").unwrap();
+
+    let (recovered, stats) = recover(&dir, None).expect("salvage");
+    assert!(stats.salvaged_tmp);
+    let config = durable_config(spec, &dir, FaultPlan::none());
+    let handle = server::start_resumed(
+        config,
+        ShardedMonitor::from_monitor(recovered, 4),
+        stats.next_seq,
+    )
+    .expect("server resumes");
+    let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+    match client.score(7).expect("score rpc") {
+        Reply::Score(parsed) => assert_eq!(parsed.customer, 7),
+        other => panic!("salvaged customer must be servable: {other:?}"),
+    }
+    handle.request_shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -284,6 +284,50 @@ fn saturated_pool_answers_err_busy() {
     assert!(summary.rejected_busy >= 1, "rejection must be counted");
 }
 
+/// Every `ERR busy` line a client actually reads is one tick of the
+/// server's `rejected_busy` counter — the two must agree *exactly*, so
+/// capacity planning off the metric never under-counts shed load.
+#[test]
+fn err_busy_replies_match_the_rejected_counter_exactly() {
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let mut server_config = config(spec);
+    server_config.workers = 1;
+    server_config.queue_capacity = 1;
+    let handle = server::start(server_config).expect("server starts");
+    let addr = handle.local_addr();
+
+    // Hold the single worker with a live connection and park a second
+    // one in the only queue slot.
+    let mut occupant = Client::connect(addr, TIMEOUT).expect("connects");
+    assert_eq!(occupant.send("PING").expect("ping rpc"), Reply::Pong);
+    let waiting = TcpStream::connect(addr).expect("connects");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Every further connection must bounce; count the ERR busy replies
+    // we are actually served.
+    let mut seen_busy = 0u64;
+    for i in 0..8 {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(TIMEOUT))
+            .expect("sets timeout");
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .expect("reads rejection");
+        assert_eq!(line.trim_end(), "ERR busy", "connection {i}");
+        seen_busy += 1;
+    }
+
+    drop(waiting);
+    occupant.send("SHUTDOWN").expect("shutdown rpc");
+    let summary = handle.join();
+    assert_eq!(
+        summary.rejected_busy, seen_busy,
+        "rejected_busy diverged from the ERR busy replies clients saw"
+    );
+}
+
 #[test]
 fn stats_returns_json_metrics_and_errors_are_reported() {
     let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);

@@ -1,0 +1,225 @@
+//! Property tests for the wire protocol, plus a malformed-frame corpus
+//! against a live server.
+//!
+//! The encode side (`Request::to_line`, `format_score`) and the decode
+//! side (`Request::parse`, `parse_score_line`) must be exact inverses on
+//! the canonical wire forms — the WAL stores `to_line` output and
+//! recovery replays it through `parse`, so any asymmetry silently
+//! corrupts recovered state. The corpus half checks the server's frame
+//! reader: oversize lines, embedded newlines, and invalid UTF-8 must be
+//! answered with a graceful `ERR` on a connection that stays alive, not
+//! a panic or a disconnect loop.
+
+use attrition_core::{StabilityParams, StabilityPoint};
+use attrition_serve::protocol::{format_score, parse_score_line, Request};
+use attrition_serve::server::{self, ServerConfig, MAX_LINE_BYTES};
+use attrition_store::WindowSpec;
+use attrition_types::{CustomerId, Date, ItemId, WindowIndex};
+use attrition_util::check::{forall, gen_ascii_string, gen_vec};
+use attrition_util::Rng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A random valid calendar date (day capped at 28 so every month works).
+fn gen_date(rng: &mut Rng) -> Date {
+    let year = rng.i64_in(1990, 2100) as i32;
+    let month = 1 + rng.u64_below(12) as u32;
+    let day = 1 + rng.u64_below(28) as u32;
+    Date::from_ymd(year, month, day).expect("generated date is valid")
+}
+
+/// A random request covering every variant, with boundary-heavy ids
+/// (0 and the type maxima show up often enough to matter).
+fn gen_request(rng: &mut Rng) -> Request {
+    let customer = |rng: &mut Rng| {
+        CustomerId::new(match rng.u64_below(8) {
+            0 => 0,
+            1 => u64::MAX,
+            _ => rng.next_u64() >> rng.u64_below(64),
+        })
+    };
+    match rng.u64_below(7) {
+        0 => Request::Ping,
+        1 => {
+            let items = gen_vec(rng, 0, 6, |rng| {
+                ItemId::new(match rng.u64_below(8) {
+                    0 => 0,
+                    1 => u32::MAX,
+                    _ => rng.next_u64() as u32,
+                })
+            });
+            Request::Ingest(customer(rng), gen_date(rng), items)
+        }
+        2 => Request::Score(customer(rng)),
+        3 => Request::Flush(gen_date(rng)),
+        4 => Request::Snapshot,
+        5 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+/// A finite f64 drawn from raw bits — covers subnormals, negative zero,
+/// and infinities; NaN is mapped away because its Display form loses the
+/// payload bits.
+fn gen_f64(rng: &mut Rng) -> f64 {
+    let x = f64::from_bits(rng.next_u64());
+    if x.is_nan() {
+        0.0
+    } else {
+        x
+    }
+}
+
+#[test]
+fn requests_roundtrip_their_canonical_wire_line() {
+    forall(512, gen_request, |request| {
+        let line = request.to_line();
+        let parsed = Request::parse(&line).expect("canonical line parses");
+        assert_eq!(&parsed, request, "roundtrip changed the request: {line:?}");
+        // to_line is a fixed point: re-encoding the parsed request gives
+        // the identical wire bytes (what the WAL stores).
+        assert_eq!(parsed.to_line(), line);
+    });
+}
+
+#[test]
+fn score_lines_roundtrip_random_points_bit_identically() {
+    forall(
+        512,
+        |rng| {
+            let customer = CustomerId::new(rng.next_u64());
+            let point = StabilityPoint {
+                window: WindowIndex::new(rng.next_u64() as u32),
+                value: gen_f64(rng),
+                present_significance: gen_f64(rng),
+                total_significance: gen_f64(rng),
+            };
+            (customer, point)
+        },
+        |(customer, point)| {
+            let parsed = parse_score_line(&format_score(*customer, point)).expect("parses");
+            assert_eq!(parsed.customer, customer.raw());
+            assert_eq!(parsed.window, point.window.raw());
+            assert_eq!(parsed.value.to_bits(), point.value.to_bits());
+            assert_eq!(
+                parsed.present.to_bits(),
+                point.present_significance.to_bits()
+            );
+            assert_eq!(parsed.total.to_bits(), point.total_significance.to_bits());
+        },
+    );
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_lines() {
+    // Random printable-ASCII junk, plus lines that start with a real
+    // verb but carry a corrupted tail: parse must return, never panic,
+    // and anything it accepts must re-encode to a parseable line.
+    forall(
+        2048,
+        |rng| {
+            let mut line = gen_ascii_string(rng, 0, 100);
+            if rng.bernoulli(0.5) {
+                let verb =
+                    ["PING", "INGEST", "SCORE", "FLUSH", "SNAPSHOT", "STATS"][rng.usize_below(6)];
+                line = format!("{verb} {line}");
+            }
+            line
+        },
+        |line| {
+            if let Ok(request) = Request::parse(line) {
+                let canonical = request.to_line();
+                assert_eq!(Request::parse(&canonical).as_ref(), Ok(&request));
+            }
+        },
+    );
+}
+
+fn start_test_server() -> (server::ServerHandle, TcpStream, BufReader<TcpStream>) {
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let mut config = ServerConfig::new("127.0.0.1:0", spec, StabilityParams::PAPER);
+    config.read_timeout = Duration::from_secs(2);
+    let handle = server::start(config).expect("server starts");
+    let stream = TcpStream::connect(handle.local_addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("sets timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clones stream"));
+    (handle, stream, reader)
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reads reply");
+    line.trim_end().to_owned()
+}
+
+#[test]
+fn oversize_line_answers_err_and_keeps_the_connection() {
+    let (handle, mut stream, mut reader) = start_test_server();
+
+    let mut oversize = vec![b'A'; MAX_LINE_BYTES + 1024];
+    oversize.push(b'\n');
+    stream.write_all(&oversize).expect("writes oversize line");
+    assert_eq!(
+        read_reply(&mut reader),
+        format!("ERR line too long (max {MAX_LINE_BYTES} bytes)")
+    );
+
+    // The connection survives and the next request is served normally.
+    stream.write_all(b"PING\n").expect("writes ping");
+    assert_eq!(read_reply(&mut reader), "PONG");
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn invalid_utf8_answers_err_and_keeps_the_connection() {
+    let (handle, mut stream, mut reader) = start_test_server();
+
+    // A corpus of non-UTF-8 frames: stray continuation bytes, an
+    // overlong-truncated sequence, and a multi-byte char cut short.
+    let corpus: [&[u8]; 3] = [
+        b"SCORE \xff\xfe\n",
+        b"\x80\x80\x80\n",
+        b"PING \xe2\x82\n", // first two bytes of U+20AC, then EOL
+    ];
+    for frame in corpus {
+        stream.write_all(frame).expect("writes frame");
+        assert_eq!(
+            read_reply(&mut reader),
+            "ERR request is not valid UTF-8",
+            "frame {frame:?}"
+        );
+        // Still alive after every bad frame.
+        stream.write_all(b"PING\n").expect("writes ping");
+        assert_eq!(read_reply(&mut reader), "PONG", "frame {frame:?}");
+    }
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn embedded_newlines_split_into_separate_requests() {
+    let (handle, mut stream, mut reader) = start_test_server();
+
+    // One write, three frames: each newline terminates its own request
+    // and each gets its own one-line reply, in order.
+    stream
+        .write_all(b"PING\nSCORE 999\nPING\n")
+        .expect("writes batch");
+    assert_eq!(read_reply(&mut reader), "PONG");
+    assert!(
+        read_reply(&mut reader).starts_with("ERR unknown customer"),
+        "unknown customer must ERR"
+    );
+    assert_eq!(read_reply(&mut reader), "PONG");
+
+    handle.request_shutdown();
+    handle.join();
+}

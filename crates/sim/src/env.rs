@@ -1,0 +1,435 @@
+//! The simulated environment: a logical clock and an in-memory
+//! filesystem with crash semantics.
+//!
+//! [`SimStorage`] implements the serve stack's
+//! [`Storage`](attrition_serve::Storage) seam over `BTreeMap`s (sorted,
+//! so every iteration order is deterministic) and models exactly the
+//! crash behaviors POSIX permits:
+//!
+//! - **unsynced data may tear**: at a crash, a file reverts to its last
+//!   fsynced content plus a *seeded prefix* of whatever was appended
+//!   since — the torn tails the WAL's CRC framing must detect;
+//! - **namespace operations need a directory sync**: renames and
+//!   removes sit in a pending journal until
+//!   [`sync_dir`](attrition_serve::Storage::sync_dir); at a crash a
+//!   seeded cut of the journal is rolled back *in order* (metadata
+//!   journaling preserves ordering), which is how a crash strands a
+//!   written-and-fsynced `checkpoint-*.ckpt.tmp` whose rename never
+//!   became durable;
+//! - **file creation settles with the file's own fsync** (the common
+//!   journaled-filesystem behavior), so a synced WAL cannot vanish
+//!   wholesale.
+//!
+//! [`SimClock`] is a logical clock: `now()` reads a counter,
+//! `sleep(d)`/[`advance`](SimClock::advance) move it forward. Nothing
+//! in a simulation ever reads wall time, so a "30 s" checkpoint
+//! interval elapses purely because the event loop says so.
+
+use attrition_serve::{Clock, SplitMix64, Storage};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Logical time behind a mutex; shared by the event loop and the engine.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: Mutex<Duration>,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Advance logical time by `d` (what the event loop does between
+    /// events).
+    pub fn advance(&self, d: Duration) {
+        let mut now = self.now.lock().unwrap_or_else(|p| p.into_inner());
+        *now += d;
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Duration {
+        *self.now.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn sleep(&self, duration: Duration) {
+        // A sleeping simulated thread just moves the world forward.
+        self.advance(duration);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The live view (what reads observe).
+    data: Vec<u8>,
+    /// The on-disk view a crash reverts to; `None` until the first
+    /// fsync of this file.
+    durable: Option<Vec<u8>>,
+}
+
+/// A namespace operation not yet made durable by a directory sync.
+#[derive(Debug, Clone)]
+enum Pending {
+    Create(PathBuf),
+    Rename {
+        from: PathBuf,
+        to: PathBuf,
+        displaced: Option<Entry>,
+    },
+    Remove {
+        path: PathBuf,
+        entry: Entry,
+    },
+}
+
+#[derive(Debug, Default)]
+struct SimFs {
+    files: BTreeMap<PathBuf, Entry>,
+    dirs: BTreeSet<PathBuf>,
+    pending: Vec<Pending>,
+}
+
+/// Counters a simulation report can read back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Files torn (lost an unsynced suffix) across all crashes.
+    pub torn_files: u64,
+    /// Namespace operations rolled back across all crashes.
+    pub rolled_back_ops: u64,
+    /// Crashes simulated.
+    pub crashes: u64,
+}
+
+/// The in-memory crash-faithful filesystem. See the module docs.
+#[derive(Debug, Default)]
+pub struct SimStorage {
+    fs: Mutex<SimFs>,
+    stats: Mutex<StorageStats>,
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no such file: {}", path.display()),
+    )
+}
+
+impl SimStorage {
+    /// An empty filesystem.
+    pub fn new() -> SimStorage {
+        SimStorage::default()
+    }
+
+    /// Crash counters so far.
+    pub fn stats(&self) -> StorageStats {
+        *self.stats.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Simulate power loss: roll back a seeded suffix of the pending
+    /// namespace journal (in reverse order — ordering is preserved, a
+    /// later op never survives an earlier one's loss), then revert every
+    /// file to its durable content plus a seeded prefix of its unsynced
+    /// suffix (a torn tail). Afterwards the surviving state *is* the
+    /// durable state, as a remounted disk would present it.
+    pub fn crash(&self, rng: &mut SplitMix64) {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        let mut stats = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        stats.crashes += 1;
+        let cut = rng.below(fs.pending.len() as u64 + 1) as usize;
+        let rolled_back: Vec<Pending> = fs.pending.drain(cut..).collect();
+        stats.rolled_back_ops += rolled_back.len() as u64;
+        for op in rolled_back.into_iter().rev() {
+            match op {
+                Pending::Create(path) => {
+                    fs.files.remove(&path);
+                }
+                Pending::Rename {
+                    from,
+                    to,
+                    displaced,
+                } => {
+                    if let Some(entry) = fs.files.remove(&to) {
+                        fs.files.insert(from, entry);
+                    }
+                    if let Some(entry) = displaced {
+                        fs.files.insert(to, entry);
+                    }
+                }
+                Pending::Remove { path, entry } => {
+                    fs.files.insert(path, entry);
+                }
+            }
+        }
+        // Ops that survived the cut are now settled on disk.
+        fs.pending.clear();
+        for entry in fs.files.values_mut() {
+            let durable = entry.durable.clone().unwrap_or_default();
+            if entry.data.len() > durable.len() && entry.data.starts_with(&durable) {
+                // A seeded prefix of the unsynced suffix made it out of
+                // the page cache; the rest is torn off.
+                let suffix = (entry.data.len() - durable.len()) as u64;
+                let kept = rng.below(suffix + 1) as usize;
+                if kept < suffix as usize {
+                    stats.torn_files += 1;
+                }
+                entry.data.truncate(durable.len() + kept);
+            } else if entry.durable.is_some() {
+                entry.data = durable;
+            } else {
+                // Never synced and not an append extension (e.g. an
+                // unsynced overwrite): nothing of it is guaranteed.
+                let kept = rng.below(entry.data.len() as u64 + 1) as usize;
+                if kept < entry.data.len() {
+                    stats.torn_files += 1;
+                }
+                entry.data.truncate(kept);
+            }
+            entry.durable = Some(entry.data.clone());
+        }
+    }
+
+    /// Raw file content (test/debug access without the `Storage` vtable).
+    pub fn content(&self, path: &Path) -> Option<Vec<u8>> {
+        let fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        fs.files.get(path).map(|e| e.data.clone())
+    }
+}
+
+impl Storage for SimStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        fs.files
+            .get(path)
+            .map(|e| e.data.clone())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        if !fs.files.contains_key(path) {
+            fs.pending.push(Pending::Create(path.to_owned()));
+            fs.files.insert(
+                path.to_owned(),
+                Entry {
+                    data: bytes.to_owned(),
+                    durable: None,
+                },
+            );
+        } else {
+            let entry = fs.files.get_mut(path).expect("checked above");
+            entry.data = bytes.to_owned();
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        if !fs.files.contains_key(path) {
+            fs.pending.push(Pending::Create(path.to_owned()));
+            fs.files.insert(
+                path.to_owned(),
+                Entry {
+                    data: bytes.to_owned(),
+                    durable: None,
+                },
+            );
+        } else {
+            let entry = fs.files.get_mut(path).expect("checked above");
+            entry.data.extend_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = fs.files.get_mut(path).ok_or_else(|| not_found(path))?;
+        entry.durable = Some(entry.data.clone());
+        // A journaled filesystem commits the new file's directory entry
+        // with its first data sync; pending renames/removes still need
+        // the explicit directory sync.
+        fs.pending
+            .retain(|op| !matches!(op, Pending::Create(p) if p == path));
+        Ok(())
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<u64> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = fs.files.get_mut(path).ok_or_else(|| not_found(path))?;
+        entry.data.resize(len as usize, 0);
+        // Mirrors RealStorage::set_len, which syncs the truncation.
+        entry.durable = Some(entry.data.clone());
+        Ok(len)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        let fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        fs.files
+            .get(path)
+            .map(|e| e.data.len() as u64)
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = fs.files.remove(from).ok_or_else(|| not_found(from))?;
+        let displaced = fs.files.insert(to.to_owned(), entry);
+        fs.pending.push(Pending::Rename {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            displaced,
+        });
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = fs.files.remove(path).ok_or_else(|| not_found(path))?;
+        fs.pending.push(Pending::Remove {
+            path: path.to_owned(),
+            entry,
+        });
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        fs.pending.clear();
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        let mut names = Vec::new();
+        for path in fs.files.keys() {
+            if path.parent() == Some(dir) {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap_or_else(|p| p.into_inner());
+        fs.dirs.insert(dir.to_owned());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn clock_advances_on_sleep() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.sleep(Duration::from_millis(250));
+        clock.advance(Duration::from_millis(750));
+        assert_eq!(clock.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn synced_content_survives_a_crash_unsynced_tail_tears() {
+        let storage = SimStorage::new();
+        storage.append(&p("/d/wal.log"), b"durable-part").unwrap();
+        storage.sync(&p("/d/wal.log")).unwrap();
+        storage.append(&p("/d/wal.log"), b"-unsynced-tail").unwrap();
+        let mut rng = SplitMix64::new(7);
+        storage.crash(&mut rng);
+        let content = storage.content(&p("/d/wal.log")).unwrap();
+        assert!(content.starts_with(b"durable-part"), "{content:?}");
+        assert!(content.len() <= b"durable-part-unsynced-tail".len());
+        // Determinism: same seed, same outcome.
+        let storage2 = SimStorage::new();
+        storage2.append(&p("/d/wal.log"), b"durable-part").unwrap();
+        storage2.sync(&p("/d/wal.log")).unwrap();
+        storage2
+            .append(&p("/d/wal.log"), b"-unsynced-tail")
+            .unwrap();
+        storage2.crash(&mut SplitMix64::new(7));
+        assert_eq!(storage2.content(&p("/d/wal.log")).unwrap(), content);
+    }
+
+    #[test]
+    fn never_synced_file_may_vanish_entirely() {
+        // With the right seed, an unsynced file loses everything.
+        for seed in 0..64 {
+            let storage = SimStorage::new();
+            storage.append(&p("/d/f"), b"abc").unwrap();
+            storage.crash(&mut SplitMix64::new(seed));
+            if storage.content(&p("/d/f")).unwrap().is_empty() {
+                return;
+            }
+        }
+        panic!("no seed in 0..64 emptied the unsynced file");
+    }
+
+    #[test]
+    fn undurable_rename_rolls_back_stranding_the_tmp() {
+        // atomic_write without the final sync_dir: write tmp, sync it,
+        // rename — then crash with the rename still pending.
+        for seed in 0..64 {
+            let storage = SimStorage::new();
+            storage
+                .write(&p("/d/c.ckpt.tmp"), b"checkpoint-bytes")
+                .unwrap();
+            storage.sync(&p("/d/c.ckpt.tmp")).unwrap();
+            storage
+                .rename(&p("/d/c.ckpt.tmp"), &p("/d/c.ckpt"))
+                .unwrap();
+            storage.crash(&mut SplitMix64::new(seed));
+            if storage.content(&p("/d/c.ckpt")).is_none() {
+                // Rolled back: the tmp must be intact (it was synced).
+                assert_eq!(
+                    storage.content(&p("/d/c.ckpt.tmp")).unwrap(),
+                    b"checkpoint-bytes"
+                );
+                return;
+            }
+            // Survived: the final name holds the full content.
+            assert_eq!(
+                storage.content(&p("/d/c.ckpt")).unwrap(),
+                b"checkpoint-bytes"
+            );
+        }
+        panic!("no seed in 0..64 rolled the rename back");
+    }
+
+    #[test]
+    fn dir_sync_settles_renames() {
+        let storage = SimStorage::new();
+        storage.write(&p("/d/c.ckpt.tmp"), b"x").unwrap();
+        storage.sync(&p("/d/c.ckpt.tmp")).unwrap();
+        storage
+            .rename(&p("/d/c.ckpt.tmp"), &p("/d/c.ckpt"))
+            .unwrap();
+        storage.sync_dir(&p("/d")).unwrap();
+        for seed in 0..32 {
+            // No pending ops: every crash preserves the rename.
+            storage.crash(&mut SplitMix64::new(seed));
+            assert_eq!(storage.content(&p("/d/c.ckpt")).unwrap(), b"x");
+            assert!(storage.content(&p("/d/c.ckpt.tmp")).is_none());
+        }
+    }
+
+    #[test]
+    fn list_is_sorted_and_scoped_to_the_dir() {
+        let storage = SimStorage::new();
+        storage.write(&p("/d/b"), b"").unwrap();
+        storage.write(&p("/d/a"), b"").unwrap();
+        storage.write(&p("/other/c"), b"").unwrap();
+        assert_eq!(storage.list(&p("/d")).unwrap(), vec!["a", "b"]);
+        assert_eq!(storage.list(&p("/nope")).unwrap(), Vec::<String>::new());
+    }
+}

@@ -132,6 +132,8 @@ DURABILITY (see README's Durability section):
     --checkpoint-every N    checkpoint every N logged requests (default 1024;
                             0 disables the count trigger)
     --checkpoint-secs N     checkpoint every N seconds (default 30; 0 disables)
+    --checkpoint-format F   text | binary (default binary); recovery reads
+                            either format regardless of this setting
     --keep-checkpoints N    checkpoints retained after rotation (default 2)
 
 Serves INGEST/SCORE/FLUSH/SNAPSHOT/STATS/PING/SHUTDOWN until SHUTDOWN or
@@ -593,6 +595,11 @@ fn serve_durable(
     if keep_checkpoints == 0 {
         return Err("--keep-checkpoints must be at least 1".into());
     }
+    let checkpoint_format: attrition_serve::CheckpointFormat = args
+        .get("checkpoint-format")
+        .unwrap_or("binary")
+        .parse()
+        .map_err(|e| format!("bad --checkpoint-format: {e}"))?;
 
     // First boot needs a grid from flags; on restart the recovered
     // checkpoint's header wins and the flags are ignored.
@@ -629,6 +636,7 @@ fn serve_durable(
         checkpoint_every: (checkpoint_secs > 0)
             .then(|| std::time::Duration::from_secs(checkpoint_secs)),
         keep_checkpoints,
+        checkpoint_format,
         fault_plan: None,
     });
 

@@ -14,17 +14,23 @@ use crate::explanation::WindowExplanation;
 use crate::params::StabilityParams;
 use crate::significance::SignificanceTracker;
 use crate::stability::StabilityPoint;
-use attrition_store::WindowSpec;
+use attrition_store::{ByteReader, ByteWriter, WindowSpec};
 use attrition_types::{Basket, CustomerId, Date, ItemId, WindowIndex};
 use std::collections::HashMap;
 
-/// A structured error from [`StabilityMonitor::restore`]: names the
-/// checkpoint line and, when attributable, the field that failed, so an
-/// operator restoring a server snapshot sees *where* the file is bad
-/// instead of a context-free message.
+/// Binary monitor-snapshot magic: "ATTRMON" + format version 1.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ATTRMON1";
+
+/// A structured error from [`StabilityMonitor::restore`] /
+/// [`restore_bytes`](StabilityMonitor::restore_bytes): names where in
+/// the checkpoint the error was detected and, when attributable, the
+/// field that failed, so an operator restoring a server snapshot sees
+/// *where* the file is bad instead of a context-free message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RestoreError {
-    /// 1-based line of the checkpoint the error was detected at.
+    /// 1-based line of the checkpoint the error was detected at. `0`
+    /// means the checkpoint was binary (no lines); the byte offset is
+    /// carried in the message instead.
     pub line: usize,
     /// The field that failed to parse, when attributable.
     pub field: Option<&'static str>,
@@ -40,17 +46,23 @@ impl RestoreError {
             message: message.into(),
         }
     }
+
+    /// An error from the binary format (`line = 0`).
+    fn binary(field: Option<&'static str>, message: impl Into<String>) -> RestoreError {
+        RestoreError::new(0, field, message)
+    }
 }
 
 impl std::fmt::Display for RestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "binary checkpoint")?;
+        } else {
+            write!(f, "checkpoint line {}", self.line)?;
+        }
         match self.field {
-            Some(field) => write!(
-                f,
-                "checkpoint line {}, field `{}`: {}",
-                self.line, field, self.message
-            ),
-            None => write!(f, "checkpoint line {}: {}", self.line, self.message),
+            Some(field) => write!(f, ", field `{}`: {}", field, self.message),
+            None => write!(f, ": {}", self.message),
         }
     }
 }
@@ -79,12 +91,21 @@ struct CustomerState {
 }
 
 /// Online, multi-customer stability monitor.
+///
+/// Customer state lives in an arena (`Vec<CustomerState>`, each state
+/// two flat sorted columns) with a side index from id to arena slot —
+/// the only hash map left in the hot path. At a million residents this
+/// keeps per-customer overhead to the two column vectors plus one
+/// 12-byte index entry, instead of a map of individually-boxed states.
 #[derive(Debug)]
 pub struct StabilityMonitor {
     spec: WindowSpec,
     params: StabilityParams,
     max_explanations: usize,
-    customers: HashMap<CustomerId, CustomerState>,
+    /// Arena of per-customer state, in first-seen order.
+    states: Vec<CustomerState>,
+    /// Customer id → arena slot.
+    index: HashMap<CustomerId, u32>,
 }
 
 impl StabilityMonitor {
@@ -94,8 +115,49 @@ impl StabilityMonitor {
             spec,
             params,
             max_explanations: 5,
-            customers: HashMap::new(),
+            states: Vec::new(),
+            index: HashMap::new(),
         }
+    }
+
+    /// Arena slot of a customer, if tracked.
+    #[inline]
+    fn slot(&self, customer: CustomerId) -> Option<usize> {
+        self.index.get(&customer).map(|&i| i as usize)
+    }
+
+    /// Append a customer's state to the arena. The caller guarantees the
+    /// customer is not yet tracked.
+    fn push_state(&mut self, customer: CustomerId, state: CustomerState) -> usize {
+        debug_assert!(!self.index.contains_key(&customer));
+        let slot = self.states.len();
+        self.states.push(state);
+        self.index.insert(customer, slot as u32);
+        slot
+    }
+
+    /// Tracked customers with their arena slots, ascending by id.
+    fn ordered_slots(&self) -> Vec<(CustomerId, usize)> {
+        let mut ids: Vec<(CustomerId, usize)> =
+            self.index.iter().map(|(&c, &i)| (c, i as usize)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Heap bytes held by the monitor (capacities, not lengths): the
+    /// arena, the id index, and every tracker's columns. Used by the
+    /// capacity bench to report bytes-per-resident-customer.
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = self.states.capacity() * std::mem::size_of::<CustomerState>()
+            // id + slot per entry plus hashbrown's control byte and
+            // 87.5% max load factor, approximately.
+            + self.index.capacity()
+                * (std::mem::size_of::<(CustomerId, u32)>() + std::mem::size_of::<u32>());
+        for state in &self.states {
+            total += state.tracker.heap_bytes()
+                + state.pending.capacity() * std::mem::size_of::<ItemId>();
+        }
+        total
     }
 
     /// Override how many lost products each emitted explanation retains.
@@ -106,7 +168,7 @@ impl StabilityMonitor {
 
     /// Number of customers currently tracked.
     pub fn num_customers(&self) -> usize {
-        self.customers.len()
+        self.states.len()
     }
 
     /// The window grid this monitor scores on.
@@ -126,7 +188,7 @@ impl StabilityMonitor {
 
     /// The tracked customers, in ascending id order.
     pub fn customer_ids(&self) -> Vec<CustomerId> {
-        let mut ids: Vec<CustomerId> = self.customers.keys().copied().collect();
+        let mut ids: Vec<CustomerId> = self.index.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -148,13 +210,19 @@ impl StabilityMonitor {
                     .with_max_explanations(self.max_explanations)
             })
             .collect();
-        for (customer, state) in self.customers {
+        // Recover each slot's id before consuming the arena.
+        let mut ids = vec![CustomerId::new(0); self.states.len()];
+        for (&customer, &slot) in &self.index {
+            ids[slot as usize] = customer;
+        }
+        for (slot, state) in self.states.into_iter().enumerate() {
+            let customer = ids[slot];
             let shard = route(customer);
             assert!(
                 shard < n,
                 "route({customer}) returned shard {shard}, but only {n} exist"
             );
-            parts[shard].customers.insert(customer, state);
+            parts[shard].push_state(customer, state);
         }
         parts
     }
@@ -173,14 +241,18 @@ impl StabilityMonitor {
         let Some(window) = self.spec.window_of(date) else {
             return Vec::new();
         };
-        let state = self
-            .customers
-            .entry(customer)
-            .or_insert_with(|| CustomerState {
-                tracker: SignificanceTracker::new(self.params),
-                current_window: 0,
-                pending: Vec::new(),
-            });
+        let slot = match self.slot(customer) {
+            Some(slot) => slot,
+            None => self.push_state(
+                customer,
+                CustomerState {
+                    tracker: SignificanceTracker::new(self.params),
+                    current_window: 0,
+                    pending: Vec::new(),
+                },
+            ),
+        };
+        let state = &mut self.states[slot];
         assert!(
             window.raw() >= state.current_window,
             "receipts of customer {customer} arrived out of order \
@@ -210,10 +282,8 @@ impl StabilityMonitor {
             return Vec::new();
         };
         let mut closed = Vec::new();
-        let mut ids: Vec<CustomerId> = self.customers.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let state = self.customers.get_mut(&id).expect("key just listed");
+        for (id, slot) in self.ordered_slots() {
+            let state = &mut self.states[slot];
             while state.current_window < window.raw() {
                 closed.push(Self::close_one(id, state, self.max_explanations));
             }
@@ -224,7 +294,7 @@ impl StabilityMonitor {
     /// The live (not yet closed) stability of a customer's current
     /// window, scored against their history so far.
     pub fn preview(&self, customer: CustomerId) -> Option<StabilityPoint> {
-        let state = self.customers.get(&customer)?;
+        let state = &self.states[self.slot(customer)?];
         let u = Basket::new(state.pending.clone());
         let total = state.tracker.total_significance();
         let present = state.tracker.present_significance(&u);
@@ -260,23 +330,16 @@ impl StabilityMonitor {
             &self.params.alpha.to_string(),
             &self.max_explanations.to_string(),
         ]);
-        let mut ids: Vec<CustomerId> = self.customers.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let state = &self.customers[&id];
+        for (id, slot) in self.ordered_slots() {
+            let state = &self.states[slot];
             w.record(&[
                 "c",
                 &id.raw().to_string(),
                 &state.current_window.to_string(),
                 &state.tracker.windows_observed().to_string(),
             ]);
-            let mut items: Vec<(ItemId, u32)> = state
-                .tracker
-                .tracked_items()
-                .map(|(item, c, _, _)| (item, c))
-                .collect();
-            items.sort_unstable_by_key(|(item, _)| *item);
-            for (item, count) in items {
+            // tracked_items() iterates in ascending item order.
+            for (item, count, _, _) in state.tracker.tracked_items() {
                 w.record(&[
                     "i",
                     &id.raw().to_string(),
@@ -289,6 +352,241 @@ impl StabilityMonitor {
             }
         }
         w.finish()
+    }
+
+    /// Serialize the monitor's state to the compact binary snapshot.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// [0..8)  magic  b"ATTRMON1"
+    /// i32     window grid origin, days since epoch
+    /// u8      window length kind: 0 = days, 1 = months
+    /// u32     window length value
+    /// u64     alpha, IEEE-754 bits
+    /// u64     max_explanations
+    /// u64     n  (customers)
+    /// ```
+    ///
+    /// then one self-delimiting block per customer, ascending by id:
+    ///
+    /// ```text
+    /// u64     customer id
+    /// u32     current_window
+    /// u32     windows_observed
+    /// u32     t  (tracked items)
+    /// u32     p  (pending items)
+    /// (u32 item, u32 count) × t   ascending by item
+    /// u32 × p                      pending items, arrival order
+    /// ```
+    ///
+    /// Because blocks are self-delimiting and globally sorted, shard
+    /// snapshots merge by interleaving blocks
+    /// ([`merge_snapshot_bytes`](StabilityMonitor::merge_snapshot_bytes))
+    /// without re-encoding. Restoring with
+    /// [`restore_bytes`](StabilityMonitor::restore_bytes) is equivalent
+    /// to restoring the text [`snapshot`](StabilityMonitor::snapshot)
+    /// of the same state: the monitors produce bit-identical scores and
+    /// snapshots from then on.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        StabilityMonitor::merge_snapshot_bytes([self])
+    }
+
+    /// Binary snapshot of several disjoint monitors (shards of one
+    /// logical monitor) as if they were a single monitor: one header,
+    /// customer blocks interleaved into ascending id order. All parts
+    /// must share grid, parameters, and `max_explanations`, and no
+    /// customer may appear in two parts.
+    ///
+    /// # Panics
+    /// If `parts` is empty or the parts disagree on grid/parameters.
+    pub fn merge_snapshot_bytes<'a>(
+        parts: impl IntoIterator<Item = &'a StabilityMonitor>,
+    ) -> Vec<u8> {
+        let parts: Vec<&StabilityMonitor> = parts.into_iter().collect();
+        let first = *parts.first().expect("at least one monitor to snapshot");
+        let mut order: Vec<(CustomerId, usize, usize)> = Vec::new();
+        for (p, part) in parts.iter().enumerate() {
+            assert!(
+                part.spec == first.spec
+                    && part.params.alpha.to_bits() == first.params.alpha.to_bits()
+                    && part.max_explanations == first.max_explanations,
+                "snapshot parts disagree on grid or parameters"
+            );
+            order.extend(
+                part.index
+                    .iter()
+                    .map(|(&customer, &slot)| (customer, p, slot as usize)),
+            );
+        }
+        order.sort_unstable_by_key(|&(customer, _, _)| customer);
+
+        let mut w = ByteWriter::with_capacity(64 + order.len() * 64);
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.i32(first.spec.origin.days_since_epoch());
+        let (kind, value) = match first.spec.length {
+            attrition_store::WindowLength::Days(d) => (0u8, d),
+            attrition_store::WindowLength::Months(m) => (1u8, m),
+        };
+        w.u8(kind);
+        w.u32(value);
+        w.f64(first.params.alpha);
+        w.u64(first.max_explanations as u64);
+        w.u64(order.len() as u64);
+        for window in order.windows(2) {
+            assert!(
+                window[0].0 != window[1].0,
+                "customer {} appears in two snapshot parts",
+                window[0].0
+            );
+        }
+        for (customer, p, slot) in order {
+            let state = &parts[p].states[slot];
+            w.u64(customer.raw());
+            w.u32(state.current_window);
+            w.u32(state.tracker.windows_observed());
+            w.u32(state.tracker.num_tracked() as u32);
+            w.u32(state.pending.len() as u32);
+            for (item, count, _, _) in state.tracker.tracked_items() {
+                w.u32(item.raw());
+                w.u32(count);
+            }
+            for item in &state.pending {
+                w.u32(item.raw());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Restore a monitor from a binary snapshot
+    /// ([`snapshot_bytes`](StabilityMonitor::snapshot_bytes)).
+    ///
+    /// Every read is bounds-checked and every invariant the encoder
+    /// maintains (ascending customer ids, ascending item ids, counts
+    /// within `1..=windows_observed`) is validated, so truncated,
+    /// bit-flipped, or simply wrong input fails with a structured
+    /// [`RestoreError`] — never a panic and never a monitor with
+    /// corrupt internal state.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<StabilityMonitor, RestoreError> {
+        let be = |field: Option<&'static str>| {
+            move |e: attrition_store::ByteError| RestoreError::binary(field, e.to_string())
+        };
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(8).map_err(be(Some("magic")))?;
+        if magic[..7] != SNAPSHOT_MAGIC[..7] {
+            return Err(RestoreError::binary(
+                Some("magic"),
+                "not a binary monitor snapshot",
+            ));
+        }
+        if magic != SNAPSHOT_MAGIC {
+            return Err(RestoreError::binary(
+                Some("magic"),
+                format!(
+                    "unsupported snapshot version {:?} (expected {:?})",
+                    magic[7] as char, SNAPSHOT_MAGIC[7] as char
+                ),
+            ));
+        }
+        let origin = Date::from_days(r.i32().map_err(be(Some("origin")))?);
+        let kind = r.u8().map_err(be(Some("length")))?;
+        let value = r.u32().map_err(be(Some("length")))?;
+        let spec = match kind {
+            0 => WindowSpec::days(origin, value),
+            1 => WindowSpec::months(origin, value),
+            other => {
+                return Err(RestoreError::binary(
+                    Some("length"),
+                    format!("unknown window length kind {other}"),
+                ))
+            }
+        };
+        let alpha = r.f64().map_err(be(Some("alpha")))?;
+        let params = StabilityParams::new(alpha)
+            .map_err(|e| RestoreError::binary(Some("alpha"), e.to_string()))?;
+        let max_explanations = r.u64().map_err(be(Some("max_explanations")))? as usize;
+        let n_customers = r.u64().map_err(be(Some("customers")))?;
+        // A customer block is at least 24 bytes; reject impossible
+        // counts before reserving anything.
+        if n_customers > (r.remaining() / 24) as u64 {
+            return Err(RestoreError::binary(
+                Some("customers"),
+                format!(
+                    "customer count {n_customers} cannot fit in {} remaining bytes",
+                    r.remaining()
+                ),
+            ));
+        }
+        let mut monitor =
+            StabilityMonitor::new(spec, params).with_max_explanations(max_explanations);
+        monitor.states.reserve(n_customers as usize);
+        monitor.index.reserve(n_customers as usize);
+        let mut prev: Option<CustomerId> = None;
+        for _ in 0..n_customers {
+            let customer = CustomerId::new(r.u64().map_err(be(Some("customer")))?);
+            if prev.is_some_and(|p| p >= customer) {
+                return Err(RestoreError::binary(
+                    Some("customer"),
+                    format!("customer ids not strictly ascending at {customer}"),
+                ));
+            }
+            prev = Some(customer);
+            let current_window = r.u32().map_err(be(Some("current_window")))?;
+            let windows = r.u32().map_err(be(Some("windows_observed")))?;
+            let n_items = r.u32().map_err(be(Some("items")))? as usize;
+            let n_pending = r.u32().map_err(be(Some("pending")))? as usize;
+            if n_items > r.remaining() / 8 || n_pending > (r.remaining() - n_items * 8) / 4 {
+                return Err(RestoreError::binary(
+                    Some("items"),
+                    format!(
+                        "{customer}: {n_items} items + {n_pending} pending cannot fit in {} \
+                         remaining bytes",
+                        r.remaining()
+                    ),
+                ));
+            }
+            let mut items = Vec::with_capacity(n_items);
+            let mut counts = Vec::with_capacity(n_items);
+            for _ in 0..n_items {
+                items.push(ItemId::new(r.u32().map_err(be(Some("item")))?));
+                counts.push(r.u32().map_err(be(Some("count")))?);
+            }
+            let tracker = SignificanceTracker::from_parts(params, windows, items, counts)
+                .map_err(|m| RestoreError::binary(Some("count"), format!("{customer}: {m}")))?;
+            let mut pending = Vec::with_capacity(n_pending);
+            for _ in 0..n_pending {
+                pending.push(ItemId::new(r.u32().map_err(be(Some("pending")))?));
+            }
+            monitor.push_state(
+                customer,
+                CustomerState {
+                    tracker,
+                    current_window,
+                    pending,
+                },
+            );
+        }
+        r.finish().map_err(be(None))?;
+        Ok(monitor)
+    }
+
+    /// Restore from either snapshot format, detected by leading bytes:
+    /// `b"ATTRMON"` selects the binary decoder, `b"#monitor"` the text
+    /// parser. The two decoders produce interchangeable monitors — the
+    /// format round-trip property tests assert their snapshots and
+    /// scores are bit-identical.
+    pub fn restore_any(bytes: &[u8]) -> Result<StabilityMonitor, RestoreError> {
+        if bytes.starts_with(b"ATTRMON") {
+            return StabilityMonitor::restore_bytes(bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|e| {
+            RestoreError::new(
+                1,
+                None,
+                format!("checkpoint is neither binary nor UTF-8: {e}"),
+            )
+        })?;
+        StabilityMonitor::restore(text)
     }
 
     /// Restore a monitor from a [`snapshot`](StabilityMonitor::snapshot).
@@ -361,13 +659,20 @@ impl StabilityMonitor {
                 Some("c") => {
                     let current_window = field_u32(2, "current_window")?;
                     let windows = field_u32(3, "windows_observed")?;
+                    if monitor.index.contains_key(&customer) {
+                        return Err(RestoreError::new(
+                            line,
+                            Some("customer"),
+                            format!("duplicate customer row for {customer}"),
+                        ));
+                    }
                     let mut tracker = SignificanceTracker::new(params);
                     // Advance the window counter with empty observations;
                     // counters are replayed by the `i` rows below.
                     for _ in 0..windows {
                         tracker.observe_window(&Basket::empty());
                     }
-                    monitor.customers.insert(
+                    monitor.push_state(
                         customer,
                         CustomerState {
                             tracker,
@@ -379,25 +684,38 @@ impl StabilityMonitor {
                 Some("i") => {
                     let item = ItemId::new(field_u32(2, "item")?);
                     let count = field_u32(3, "count")?;
-                    let state = monitor.customers.get_mut(&customer).ok_or_else(|| {
+                    let slot = monitor.slot(customer).ok_or_else(|| {
                         RestoreError::new(
                             line,
                             Some("customer"),
                             format!("item row for {customer} precedes its customer row"),
                         )
                     })?;
+                    let state = &mut monitor.states[slot];
+                    // Validate rather than let set_occurrences assert: a
+                    // corrupt checkpoint must fail, not panic.
+                    if count > state.tracker.windows_observed() {
+                        return Err(RestoreError::new(
+                            line,
+                            Some("count"),
+                            format!(
+                                "occurrence count {count} exceeds {} observed windows",
+                                state.tracker.windows_observed()
+                            ),
+                        ));
+                    }
                     state.tracker.set_occurrences(item, count);
                 }
                 Some("p") => {
                     let item = ItemId::new(field_u32(2, "item")?);
-                    let state = monitor.customers.get_mut(&customer).ok_or_else(|| {
+                    let slot = monitor.slot(customer).ok_or_else(|| {
                         RestoreError::new(
                             line,
                             Some("customer"),
                             format!("pending row for {customer} precedes its customer row"),
                         )
                     })?;
-                    state.pending.push(item);
+                    monitor.states[slot].pending.push(item);
                 }
                 other => {
                     return Err(RestoreError::new(

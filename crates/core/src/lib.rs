@@ -55,7 +55,7 @@ pub use explanation::{
     aggregate_explanations, select_top_lost, LostProduct, SegmentDriver, WindowExplanation,
 };
 pub use export::{explanations_to_csv, matrix_to_csv};
-pub use incremental::{RestoreError, StabilityMonitor, WindowClosed};
+pub use incremental::{RestoreError, StabilityMonitor, WindowClosed, SNAPSHOT_MAGIC};
 pub use params::StabilityParams;
 pub use recovery::{detect_recoveries, RegainedProduct, WindowRecovery};
 pub use significance::SignificanceTracker;

@@ -41,7 +41,6 @@
 
 use crate::params::StabilityParams;
 use attrition_types::{Basket, ItemId};
-use std::collections::HashMap;
 
 /// Exponent clamp for `α^(2c−k)`: beyond ±1000 the value has long
 /// under-/overflowed for any admissible α, and the clamp bounds the
@@ -120,8 +119,15 @@ impl PowerTable {
 #[derive(Debug, Clone)]
 pub struct SignificanceTracker {
     params: StabilityParams,
-    /// `c` per item ever seen (items never seen have `c = 0` implicitly).
-    counts: HashMap<ItemId, u32>,
+    /// Tracked item ids, strictly ascending. Parallel to `counts`: the
+    /// tracker is two flat sorted columns rather than a hash map, so a
+    /// million resident customers cost two tight `Vec`s each (~12 bytes
+    /// per tracked item) instead of a `HashMap`'s control bytes, padded
+    /// buckets, and load-factor slack. Lookups are binary searches;
+    /// folding a window is a two-pointer merge (baskets are sorted).
+    items: Vec<ItemId>,
+    /// `c` per tracked item (always ≥ 1), parallel to `items`.
+    counts: Vec<u32>,
     /// Number of windows folded in so far (`k`).
     windows: u32,
     /// `hist[c]` = number of tracked items with exactly `c` occurrences
@@ -137,11 +143,69 @@ impl SignificanceTracker {
     pub fn new(params: StabilityParams) -> SignificanceTracker {
         SignificanceTracker {
             params,
-            counts: HashMap::new(),
+            items: Vec::new(),
+            counts: Vec::new(),
             windows: 0,
             hist: Vec::new(),
             powers: PowerTable::new(params.alpha),
         }
+    }
+
+    /// Rebuild a tracker directly from its sufficient statistics: the
+    /// window count plus sorted `(item, count)` columns. This is the
+    /// checkpoint-restore fast path — it validates the invariants the
+    /// incremental path maintains by construction and builds the count
+    /// histogram in one pass, instead of replaying windows.
+    ///
+    /// Errors (by message) when `items` is not strictly ascending, the
+    /// columns differ in length, or any count is outside `1..=windows`.
+    pub(crate) fn from_parts(
+        params: StabilityParams,
+        windows: u32,
+        items: Vec<ItemId>,
+        counts: Vec<u32>,
+    ) -> Result<SignificanceTracker, String> {
+        if items.len() != counts.len() {
+            return Err(format!(
+                "item column has {} entries but count column has {}",
+                items.len(),
+                counts.len()
+            ));
+        }
+        let mut hist: Vec<u32> = Vec::new();
+        for (i, (&item, &c)) in items.iter().zip(&counts).enumerate() {
+            if i > 0 && items[i - 1] >= item {
+                return Err(format!("item ids not strictly ascending at {item}"));
+            }
+            if c == 0 || c > windows {
+                return Err(format!(
+                    "occurrence count {c} for {item} outside 1..={windows}"
+                ));
+            }
+            if hist.len() <= c as usize {
+                hist.resize(c as usize + 1, 0);
+            }
+            hist[c as usize] += 1;
+        }
+        let mut powers = PowerTable::new(params.alpha);
+        powers.ensure(windows);
+        Ok(SignificanceTracker {
+            params,
+            items,
+            counts,
+            windows,
+            hist,
+            powers,
+        })
+    }
+
+    /// Heap bytes held by this tracker (capacity, not length — what the
+    /// allocator actually charges). Used by the capacity bench.
+    pub fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<ItemId>()
+            + self.counts.capacity() * std::mem::size_of::<u32>()
+            + self.hist.capacity() * std::mem::size_of::<u32>()
+            + (self.powers.pos.capacity() + self.powers.neg.capacity()) * std::mem::size_of::<f64>()
     }
 
     /// The α parameter in use.
@@ -156,12 +220,15 @@ impl SignificanceTracker {
 
     /// Number of distinct items ever observed.
     pub fn num_tracked(&self) -> usize {
-        self.counts.len()
+        self.items.len()
     }
 
     /// `c(k)` for an item.
     pub fn occurrences(&self, item: ItemId) -> u32 {
-        self.counts.get(&item).copied().unwrap_or(0)
+        match self.items.binary_search(&item) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
     }
 
     /// `l(k)` for an item.
@@ -171,10 +238,7 @@ impl SignificanceTracker {
 
     /// `S(p, k)` where `k` is the current window count.
     pub fn significance(&self, item: ItemId) -> f64 {
-        match self.counts.get(&item) {
-            None | Some(0) => 0.0,
-            Some(&c) => self.significance_of_count(c),
-        }
+        self.significance_of_count(self.occurrences(item))
     }
 
     /// `S` of any item with occurrence count `c` at the current window
@@ -211,15 +275,13 @@ impl SignificanceTracker {
 
     /// Reference implementation of
     /// [`total_significance`](SignificanceTracker::total_significance):
-    /// per-item `powi` recomputation in hash-map iteration order — the
-    /// pre-histogram kernel, `O(|I|)` with a `powi` per item and a
-    /// summation order that varies per tracker instance. Kept only as
-    /// the baseline for the tracked kernel benchmark (`kernel_bench`)
-    /// and the equivalence property tests; no production path calls it.
+    /// per-item `powi` recomputation in item order — the pre-histogram
+    /// kernel, `O(|I|)` with a `powi` per item. Kept only as the
+    /// baseline for the tracked kernel benchmark (`kernel_bench`) and
+    /// the equivalence property tests; no production path calls it.
     pub fn total_significance_naive(&self) -> f64 {
         self.counts
-            .values()
-            .filter(|&&c| c > 0)
+            .iter()
             .map(|&c| {
                 let exponent = 2 * c as i64 - self.windows as i64;
                 self.params.alpha.powi(
@@ -245,20 +307,12 @@ impl SignificanceTracker {
     }
 
     /// Iterate over `(item, c, l, S(p,k))` of every tracked item, in
-    /// unspecified order.
+    /// ascending item-id order.
     pub fn tracked_items(&self) -> impl Iterator<Item = (ItemId, u32, u32, f64)> + '_ {
-        self.counts.iter().map(move |(&item, &c)| {
-            (
-                item,
-                c,
-                self.windows - c,
-                if c > 0 {
-                    self.significance_of_count(c)
-                } else {
-                    0.0
-                },
-            )
-        })
+        self.items
+            .iter()
+            .zip(&self.counts)
+            .map(move |(&item, &c)| (item, c, self.windows - c, self.significance_of_count(c)))
     }
 
     /// Overwrite `c` for an item directly. Exists for checkpoint
@@ -271,10 +325,24 @@ impl SignificanceTracker {
             "occurrence count {c} exceeds observed windows {}",
             self.windows
         );
-        let old = if c == 0 {
-            self.counts.remove(&item).unwrap_or(0)
-        } else {
-            self.counts.insert(item, c).unwrap_or(0)
+        let old = match self.items.binary_search(&item) {
+            Ok(i) => {
+                let old = self.counts[i];
+                if c == 0 {
+                    self.items.remove(i);
+                    self.counts.remove(i);
+                } else {
+                    self.counts[i] = c;
+                }
+                old
+            }
+            Err(i) => {
+                if c > 0 {
+                    self.items.insert(i, item);
+                    self.counts.insert(i, c);
+                }
+                0
+            }
         };
         if old != c {
             self.hist_remove(old);
@@ -283,16 +351,75 @@ impl SignificanceTracker {
     }
 
     /// Fold window `k`'s item set into the counters (advancing `k` to
-    /// `k + 1`). Call *after* scoring the window. `O(|u_k|)` including
-    /// histogram maintenance; the power table grows to cover the new
-    /// window count (amortized O(1)).
+    /// `k + 1`). Call *after* scoring the window. `O(|u_k| + |I|)` worst
+    /// case, but a window that introduces no new items — the steady
+    /// state of a repeat shopper — is a pure in-place two-pointer sweep
+    /// with no allocation or element movement. Baskets are sorted and
+    /// deduplicated by construction, which is what makes the merge
+    /// linear. The power table grows to cover the new window count
+    /// (amortized O(1)).
     pub fn observe_window(&mut self, u: &Basket) {
-        for item in u.iter() {
-            let slot = self.counts.entry(item).or_insert(0);
-            let old = *slot;
-            *slot += 1;
-            self.hist_remove(old);
-            self.hist_insert(old + 1);
+        let incoming = u.items();
+        // Count basket items not yet tracked with one forward sweep.
+        let mut missing = 0usize;
+        {
+            let mut i = 0;
+            for &item in incoming {
+                while i < self.items.len() && self.items[i] < item {
+                    i += 1;
+                }
+                if i < self.items.len() && self.items[i] == item {
+                    i += 1;
+                } else {
+                    missing += 1;
+                }
+            }
+        }
+        if missing == 0 {
+            // Every basket item is already tracked: bump counts in place.
+            let mut i = 0;
+            for &item in incoming {
+                while self.items[i] < item {
+                    i += 1;
+                }
+                let old = self.counts[i];
+                self.counts[i] = old + 1;
+                self.hist_remove(old);
+                self.hist_insert(old + 1);
+                i += 1;
+            }
+        } else {
+            // Merge from the back so existing entries shift at most once.
+            let old_len = self.items.len();
+            self.items.resize(old_len + missing, ItemId::new(0));
+            self.counts.resize(old_len + missing, 0);
+            let mut w = old_len + missing;
+            let mut r = old_len;
+            let mut b = incoming.len();
+            while b > 0 {
+                let item = incoming[b - 1];
+                while r > 0 && self.items[r - 1] > item {
+                    w -= 1;
+                    self.items[w] = self.items[r - 1];
+                    self.counts[w] = self.counts[r - 1];
+                    r -= 1;
+                }
+                w -= 1;
+                if r > 0 && self.items[r - 1] == item {
+                    let old = self.counts[r - 1];
+                    self.items[w] = item;
+                    self.counts[w] = old + 1;
+                    self.hist_remove(old);
+                    self.hist_insert(old + 1);
+                    r -= 1;
+                } else {
+                    self.items[w] = item;
+                    self.counts[w] = 1;
+                    self.hist_insert(1);
+                }
+                b -= 1;
+            }
+            debug_assert_eq!(w, r, "merge must consume exactly the gap");
         }
         self.windows += 1;
         self.powers.ensure(self.windows);

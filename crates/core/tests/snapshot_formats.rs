@@ -1,0 +1,296 @@
+//! Interoperability suite for the two monitor snapshot formats.
+//!
+//! The text checkpoint (`#monitor,v1`) and the binary snapshot
+//! (`ATTRMON1`) encode the same state, so the suite pins three
+//! contracts with property tests over random ingest streams:
+//!
+//! 1. **Byte stability.** `restore(snapshot(m))` re-emits the identical
+//!    text, and `restore_bytes(snapshot_bytes(m))` the identical bytes —
+//!    each format is a fixed point of its own round-trip.
+//! 2. **Cross-format identity.** A monitor restored from the *text*
+//!    snapshot emits the same binary snapshot as the original (and vice
+//!    versa), and both restores score every customer bit-identically,
+//!    now and for all future closed windows.
+//! 3. **No panics on garbage.** `restore_bytes`/`restore_any` return a
+//!    named [`RestoreError`] — never panic — on truncated, bit-flipped,
+//!    wrong-version, and arbitrary random input.
+
+use attrition_core::{StabilityMonitor, StabilityParams, WindowClosed, SNAPSHOT_MAGIC};
+use attrition_store::WindowSpec;
+use attrition_types::{Basket, CustomerId, Date};
+use attrition_util::check::{forall, gen_vec};
+use attrition_util::Rng;
+
+fn d(y: i32, m: u32, day: u32) -> Date {
+    Date::from_ymd(y, m, day).unwrap()
+}
+
+fn spec() -> WindowSpec {
+    WindowSpec::months(d(2012, 5, 1), 1)
+}
+
+/// A date-sorted receipt stream: (customer, month offset, day, items).
+fn gen_stream(rng: &mut Rng) -> Vec<(u64, i32, i32, Vec<u32>)> {
+    let n_receipts = rng.usize_below(50);
+    let mut stream: Vec<(u64, i32, i32, Vec<u32>)> = (0..n_receipts)
+        .map(|_| {
+            (
+                rng.u64_below(8),
+                rng.i64_in(0, 6) as i32,
+                rng.i64_in(0, 27) as i32,
+                gen_vec(rng, 0, 6, |rr| 1 + rr.u64_below(40) as u32),
+            )
+        })
+        .collect();
+    stream.sort_by_key(|&(customer, month, day, _)| (month, day, customer));
+    stream
+}
+
+fn build(stream: &[(u64, i32, i32, Vec<u32>)]) -> StabilityMonitor {
+    let mut monitor = StabilityMonitor::new(spec(), StabilityParams::PAPER);
+    for (customer, month, day, items) in stream {
+        let date = d(2012, 5, 1).add_months(*month) + *day;
+        monitor.ingest(CustomerId::new(*customer), date, &Basket::from_raw(items));
+    }
+    monitor
+}
+
+/// Close every open window and collect the scores, bit-exactly.
+fn drain(m: &mut StabilityMonitor) -> Vec<WindowClosed> {
+    let mut out = Vec::new();
+    for customer in m.customer_ids() {
+        out.extend(m.ingest(customer, d(2013, 2, 10), &Basket::from_raw(&[3, 9])));
+    }
+    out.extend(m.flush_until(d(2013, 8, 1)));
+    out
+}
+
+fn assert_same_scores(a: &[WindowClosed], b: &[WindowClosed]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.customer, y.customer);
+        assert_eq!(x.point.window, y.point.window);
+        assert_eq!(x.point.value.to_bits(), y.point.value.to_bits());
+        assert_eq!(
+            x.point.present_significance.to_bits(),
+            y.point.present_significance.to_bits()
+        );
+        assert_eq!(
+            x.point.total_significance.to_bits(),
+            y.point.total_significance.to_bits()
+        );
+        assert_eq!(x.explanation.lost.len(), y.explanation.lost.len());
+        for (la, lb) in x.explanation.lost.iter().zip(&y.explanation.lost) {
+            assert_eq!(la.item, lb.item);
+            assert_eq!(la.significance.to_bits(), lb.significance.to_bits());
+        }
+    }
+}
+
+/// Contract 1 + 2: both formats are fixed points of their round-trips,
+/// and each restore re-emits the *other* format identically too.
+#[test]
+fn round_trips_are_byte_stable_in_both_formats() {
+    forall(64, gen_stream, |stream| {
+        let monitor = build(stream);
+        let text = monitor.snapshot();
+        let bytes = monitor.snapshot_bytes();
+
+        let from_text = StabilityMonitor::restore(&text).expect("text restores");
+        let from_bytes = StabilityMonitor::restore_bytes(&bytes).expect("binary restores");
+
+        assert_eq!(
+            from_text.snapshot(),
+            text,
+            "text round-trip not byte-stable"
+        );
+        assert_eq!(
+            from_bytes.snapshot_bytes(),
+            bytes,
+            "binary round-trip not byte-stable"
+        );
+        // Cross-format: restoring one format re-emits the other exactly.
+        assert_eq!(from_text.snapshot_bytes(), bytes);
+        assert_eq!(from_bytes.snapshot(), text);
+
+        // restore_any sniffs the header and accepts both.
+        assert_eq!(
+            StabilityMonitor::restore_any(text.as_bytes())
+                .expect("restore_any(text)")
+                .snapshot(),
+            text
+        );
+        assert_eq!(
+            StabilityMonitor::restore_any(&bytes)
+                .expect("restore_any(binary)")
+                .snapshot_bytes(),
+            bytes
+        );
+    });
+}
+
+/// Contract 2, dynamically: the text-restored and binary-restored
+/// monitors produce bit-identical closed-window scores forever after.
+#[test]
+fn cross_format_restores_score_bit_identically() {
+    forall(48, gen_stream, |stream| {
+        let mut original = build(stream);
+        let mut from_text = StabilityMonitor::restore(&original.snapshot()).unwrap();
+        let mut from_bytes = StabilityMonitor::restore_bytes(&original.snapshot_bytes()).unwrap();
+
+        let live = drain(&mut original);
+        let text_scores = drain(&mut from_text);
+        let byte_scores = drain(&mut from_bytes);
+        assert_same_scores(&live, &text_scores);
+        assert_same_scores(&live, &byte_scores);
+    });
+}
+
+/// Sharding commutes with the binary encoding: partitioning a monitor
+/// and merging the shards' blocks reproduces the whole-monitor snapshot
+/// byte-for-byte.
+#[test]
+fn sharded_merge_equals_whole_snapshot() {
+    forall(32, gen_stream, |stream| {
+        let monitor = build(stream);
+        let whole = monitor.snapshot_bytes();
+        for n_shards in [1usize, 2, 3, 5] {
+            let parts = build(stream).partition(n_shards, |customer| {
+                (customer.raw() % n_shards as u64) as usize
+            });
+            assert_eq!(
+                StabilityMonitor::merge_snapshot_bytes(parts.iter()),
+                whole,
+                "merge of {n_shards} shards diverged"
+            );
+        }
+    });
+}
+
+/// Contract 3: every truncation of a valid binary snapshot fails with a
+/// named error instead of panicking — and an 8-byte-aligned prefix must
+/// not silently restore as a shorter-but-valid snapshot.
+#[test]
+fn truncated_binary_snapshots_fail_cleanly() {
+    let stream = vec![
+        (1u64, 0i32, 3i32, vec![4u32, 7, 9]),
+        (2, 0, 9, vec![4]),
+        (1, 1, 2, vec![7, 12]),
+        (2, 1, 20, vec![4, 5]),
+    ];
+    let bytes = build(&stream).snapshot_bytes();
+    assert!(bytes.len() > SNAPSHOT_MAGIC.len());
+    for len in 0..bytes.len() {
+        let err = StabilityMonitor::restore_bytes(&bytes[..len])
+            .expect_err("every proper prefix must be rejected");
+        assert_eq!(err.line, 0, "binary errors carry line 0");
+        let shown = err.to_string();
+        assert!(
+            shown.contains("binary checkpoint"),
+            "unhelpful error at len {len}: {shown}"
+        );
+    }
+}
+
+/// Contract 3: single-bit flips anywhere in the payload either restore
+/// to the identical state (flips confined to ignored padding do not
+/// exist in this format — every byte is load-bearing) or fail cleanly.
+/// No flip may panic, and no flip in the header/ids/counts may restore
+/// to a *different* state that re-emits the original bytes.
+#[test]
+fn bit_flipped_binary_snapshots_never_panic() {
+    let stream = vec![
+        (1u64, 0i32, 3i32, vec![4u32, 7, 9]),
+        (9, 0, 9, vec![4]),
+        (1, 1, 2, vec![7, 12]),
+        (9, 2, 20, vec![4, 5, 31]),
+    ];
+    let bytes = build(&stream).snapshot_bytes();
+    forall(
+        256,
+        |rng| {
+            let pos = rng.usize_below(bytes.len());
+            let bit = rng.u64_below(8) as u32;
+            (pos, bit)
+        },
+        |&(pos, bit)| {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            if let Ok(restored) = StabilityMonitor::restore_bytes(&corrupt) {
+                // A flip that happens to decode must round-trip to the
+                // *corrupted* bytes, never silently to the originals.
+                assert_eq!(restored.snapshot_bytes(), corrupt);
+            }
+        },
+    );
+}
+
+/// Contract 3: wrong version byte and foreign magic are named errors.
+#[test]
+fn wrong_version_and_magic_are_named_errors() {
+    let bytes = build(&[(1, 0, 3, vec![4, 7])]).snapshot_bytes();
+
+    let mut wrong_version = bytes.clone();
+    wrong_version[7] = b'9'; // ATTRMON9
+    let err = StabilityMonitor::restore_bytes(&wrong_version).unwrap_err();
+    assert!(
+        err.to_string().contains("unsupported snapshot version"),
+        "{err}"
+    );
+
+    let mut wrong_magic = bytes;
+    wrong_magic[0] = b'X';
+    let err = StabilityMonitor::restore_bytes(&wrong_magic).unwrap_err();
+    assert!(
+        err.to_string().contains("not a binary monitor snapshot"),
+        "{err}"
+    );
+
+    // restore_any on non-UTF-8 garbage that is not a snapshot either.
+    let err = StabilityMonitor::restore_any(&[0xFF, 0xFE, 0x00, 0x01]).unwrap_err();
+    assert!(
+        err.to_string().contains("neither binary nor UTF-8"),
+        "{err}"
+    );
+}
+
+/// Contract 3, fuzzed: arbitrary byte soup — raw, and grafted behind a
+/// valid magic so the header/body parsers (not just the magic check)
+/// absorb it — never panics.
+#[test]
+fn restore_never_panics_on_arbitrary_bytes() {
+    forall(
+        512,
+        |rng| {
+            let mut bytes = gen_vec(rng, 0, 200, |r| r.u64_below(256) as u8);
+            if rng.u64_below(2) == 0 {
+                // Half the cases: valid magic, garbage payload.
+                let mut prefixed = SNAPSHOT_MAGIC.to_vec();
+                prefixed.append(&mut bytes);
+                bytes = prefixed;
+            }
+            bytes
+        },
+        |bytes| {
+            let _ = StabilityMonitor::restore_bytes(bytes);
+            let _ = StabilityMonitor::restore_any(bytes);
+        },
+    );
+}
+
+/// The degenerate monitor — no customers at all — round-trips in both
+/// formats and across them.
+#[test]
+fn empty_monitor_round_trips() {
+    let monitor = StabilityMonitor::new(spec(), StabilityParams::PAPER);
+    let text = monitor.snapshot();
+    let bytes = monitor.snapshot_bytes();
+    assert_eq!(
+        StabilityMonitor::restore(&text).unwrap().snapshot_bytes(),
+        bytes
+    );
+    assert_eq!(
+        StabilityMonitor::restore_bytes(&bytes).unwrap().snapshot(),
+        text
+    );
+}

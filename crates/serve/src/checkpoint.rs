@@ -1,7 +1,10 @@
 //! Atomic, versioned, checksummed checkpoints of the monitor state.
 //!
-//! A checkpoint file is a one-line header followed by the monitor
-//! snapshot body (the exact [`StabilityMonitor::snapshot`] text):
+//! Two on-disk framings share the `checkpoint-<lsn>.ckpt` naming and
+//! are told apart by their leading bytes.
+//!
+//! **Text** (`v1`): a one-line header followed by the monitor snapshot
+//! body (the exact [`StabilityMonitor::snapshot`] text):
 //!
 //! ```text
 //! #checkpoint,v1,<lsn>,<body_len>,<body_crc32>
@@ -10,10 +13,26 @@
 //! ...
 //! ```
 //!
-//! The header carries the WAL sequence number the snapshot covers (all
-//! records with `seq ≤ lsn` are folded in), the body length in bytes,
-//! and a CRC-32 over the body — a reader can prove the file is complete
-//! and uncorrupted before trusting a single row of it.
+//! **Binary** (`ATTRCKP2`): a fixed little-endian header followed by
+//! the binary monitor snapshot
+//! ([`StabilityMonitor::snapshot_bytes`]):
+//!
+//! ```text
+//! [0..8)   magic b"ATTRCKP2"
+//! u64      lsn
+//! u64      body_len
+//! u32      body_crc32
+//! [..]     body
+//! ```
+//!
+//! Either header carries the WAL sequence number the snapshot covers
+//! (all records with `seq ≤ lsn` are folded in), the body length in
+//! bytes, and a CRC-32 over the body — a reader can prove the file is
+//! complete and uncorrupted before trusting a single row of it.
+//! [`read_in`] accepts both framings; which one [`write_in`] /
+//! [`write_binary_in`] produces is the server's
+//! [`CheckpointFormat`] choice, and the two are fully interoperable
+//! (a server can restart from either regardless of its own setting).
 //!
 //! Writes are crash-atomic: the file is written to `<path>.tmp`,
 //! `sync_all`ed, then renamed over `<path>` (and the directory synced),
@@ -23,24 +42,67 @@
 //! recovery walks them newest-first and falls back past corrupt ones.
 //!
 //! [`StabilityMonitor::snapshot`]: attrition_core::StabilityMonitor::snapshot
+//! [`StabilityMonitor::snapshot_bytes`]: attrition_core::StabilityMonitor::snapshot_bytes
 
 use crate::env::{RealStorage, Storage};
+use attrition_store::{ByteReader, ByteWriter};
 use attrition_util::crc::crc32;
 use std::path::{Path, PathBuf};
 
-/// Format version written into (and required in) the header.
+/// Text format version written into (and required in) the text header.
 pub const VERSION: &str = "v1";
+
+/// Binary checkpoint magic: "ATTRCKP" + format version 2 (the text
+/// format is version 1).
+pub const BINARY_MAGIC: [u8; 8] = *b"ATTRCKP2";
 
 /// File extension of checkpoint files.
 pub const EXTENSION: &str = "ckpt";
+
+/// Which on-disk framing (and snapshot encoding) a server writes its
+/// checkpoints in. Reading auto-detects; this only selects the writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFormat {
+    /// CSV snapshot behind the `#checkpoint,v1` header. Grep-able and
+    /// diff-able; several times larger and slower to restore.
+    Text,
+    /// Binary snapshot behind the `ATTRCKP2` header. The default: at a
+    /// million customers the checkpoint is a fraction of the text size
+    /// and restores without any per-row parsing.
+    Binary,
+}
+
+impl std::fmt::Display for CheckpointFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CheckpointFormat::Text => "text",
+            CheckpointFormat::Binary => "binary",
+        })
+    }
+}
+
+impl std::str::FromStr for CheckpointFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CheckpointFormat, String> {
+        match s {
+            "text" => Ok(CheckpointFormat::Text),
+            "binary" => Ok(CheckpointFormat::Binary),
+            other => Err(format!("unknown checkpoint format {other:?} (text|binary)")),
+        }
+    }
+}
 
 /// A successfully read and verified checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     /// The WAL LSN this snapshot covers (replay records above it only).
     pub lsn: u64,
-    /// The monitor snapshot text, ready for `StabilityMonitor::restore`.
-    pub body: String,
+    /// The framing the file was written in.
+    pub format: CheckpointFormat,
+    /// The monitor snapshot (text or binary per `format`), ready for
+    /// `StabilityMonitor::restore_any`.
+    pub body: Vec<u8>,
 }
 
 /// Why a checkpoint file was rejected.
@@ -111,7 +173,8 @@ pub fn path_for(dir: &Path, lsn: u64) -> PathBuf {
     dir.join(format!("checkpoint-{lsn:020}.{EXTENSION}"))
 }
 
-/// Atomically write a checkpoint of `body` covering `lsn` into `dir`.
+/// Atomically write a text checkpoint of `body` covering `lsn` into
+/// `dir`.
 pub fn write(dir: &Path, lsn: u64, body: &str) -> std::io::Result<PathBuf> {
     write_in(&*RealStorage::shared(), dir, lsn, body)
 }
@@ -136,7 +199,31 @@ pub fn write_in(
     Ok(path)
 }
 
-/// Read and verify the checkpoint at `path`.
+/// Atomically write a binary checkpoint of `body` (a binary monitor
+/// snapshot) covering `lsn` into `dir`.
+pub fn write_binary(dir: &Path, lsn: u64, body: &[u8]) -> std::io::Result<PathBuf> {
+    write_binary_in(&*RealStorage::shared(), dir, lsn, body)
+}
+
+/// [`write_binary`] against an explicit [`Storage`].
+pub fn write_binary_in(
+    storage: &dyn Storage,
+    dir: &Path,
+    lsn: u64,
+    body: &[u8],
+) -> std::io::Result<PathBuf> {
+    let path = path_for(dir, lsn);
+    let mut w = ByteWriter::with_capacity(28 + body.len());
+    w.bytes(&BINARY_MAGIC);
+    w.u64(lsn);
+    w.u64(body.len() as u64);
+    w.u32(crc32(body));
+    w.bytes(body);
+    atomic_write_in(storage, &path, &w.into_bytes())?;
+    Ok(path)
+}
+
+/// Read and verify the checkpoint at `path` (either framing).
 pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
     read_in(&*RealStorage::shared(), path)
 }
@@ -144,6 +231,9 @@ pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
 /// [`read`] against an explicit [`Storage`].
 pub fn read_in(storage: &dyn Storage, path: &Path) -> Result<Checkpoint, CheckpointError> {
     let bytes = storage.read(path)?;
+    if bytes.starts_with(b"ATTRCKP") {
+        return read_binary(&bytes);
+    }
     // Corruption can flip bytes out of UTF-8 entirely; that is a
     // verification failure (skip this checkpoint), not an I/O error.
     let text = String::from_utf8(bytes)
@@ -184,7 +274,40 @@ pub fn read_in(storage: &dyn Storage, path: &Path) -> Result<Checkpoint, Checkpo
     }
     Ok(Checkpoint {
         lsn,
-        body: body.to_owned(),
+        format: CheckpointFormat::Text,
+        body: body.as_bytes().to_vec(),
+    })
+}
+
+/// Verify the `ATTRCKP2` framing. The caller established the
+/// `b"ATTRCKP"` prefix.
+fn read_binary(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    let bad = |e: attrition_store::ByteError| CheckpointError::Corrupt(e.to_string());
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(8).map_err(bad)?;
+    if magic != BINARY_MAGIC {
+        return Err(CheckpointError::Corrupt(format!(
+            "unsupported binary checkpoint version {:?} (expected {:?})",
+            magic[7] as char, BINARY_MAGIC[7] as char
+        )));
+    }
+    let lsn = r.u64().map_err(bad)?;
+    let len = r.u64().map_err(bad)?;
+    let crc = r.u32().map_err(bad)?;
+    if len != r.remaining() as u64 {
+        return Err(CheckpointError::Corrupt(format!(
+            "body is {} bytes, header promises {len} (truncated write?)",
+            r.remaining()
+        )));
+    }
+    let body = r.take(len as usize).map_err(bad)?;
+    if crc32(body) != crc {
+        return Err(CheckpointError::Corrupt("body checksum mismatch".into()));
+    }
+    Ok(Checkpoint {
+        lsn,
+        format: CheckpointFormat::Binary,
+        body: body.to_vec(),
     })
 }
 
@@ -288,10 +411,70 @@ mod tests {
         let path = write(&dir, 42, BODY).unwrap();
         let ckpt = read(&path).unwrap();
         assert_eq!(ckpt.lsn, 42);
-        assert_eq!(ckpt.body, BODY);
+        assert_eq!(ckpt.format, CheckpointFormat::Text);
+        assert_eq!(ckpt.body, BODY.as_bytes());
         // No leftover temp file.
         assert_eq!(list(&dir).unwrap().len(), 1);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binary_write_read_roundtrip() {
+        let dir = temp_dir("bin_roundtrip");
+        let body = [0u8, 1, 2, 0xFF, 0x7E, 42];
+        let path = write_binary(&dir, 99, &body).unwrap();
+        let ckpt = read(&path).unwrap();
+        assert_eq!(ckpt.lsn, 99);
+        assert_eq!(ckpt.format, CheckpointFormat::Binary);
+        assert_eq!(ckpt.body, body);
+        // Same naming as text checkpoints, so listing sees it.
+        assert_eq!(list(&dir).unwrap(), vec![(99, path)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binary_corruption_is_detected_not_loaded() {
+        let dir = temp_dir("bin_corrupt");
+        let body = vec![7u8; 100];
+        let path = write_binary(&dir, 7, &body).unwrap();
+        let clean = fs::read(&path).unwrap();
+        // Flip one byte in the body → checksum mismatch.
+        for pos in [28usize, clean.len() - 1] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x01;
+            fs::write(&path, &bad).unwrap();
+            assert!(matches!(read(&path), Err(CheckpointError::Corrupt(_))));
+        }
+        // Truncation anywhere → header or length failure.
+        for cut in [3usize, 8, 20, clean.len() - 1] {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert!(
+                matches!(read(&path), Err(CheckpointError::Corrupt(_))),
+                "cut {cut}"
+            );
+        }
+        // Wrong version byte → named unsupported-version error.
+        let mut bad = clean.clone();
+        bad[7] = b'3';
+        fs::write(&path, &bad).unwrap();
+        match read(&path) {
+            Err(CheckpointError::Corrupt(reason)) => {
+                assert!(reason.contains("unsupported"), "{reason}")
+            }
+            other => panic!("wrong version must be Corrupt, got {other:?}"),
+        }
+        // The intact file still reads.
+        fs::write(&path, &clean).unwrap();
+        assert_eq!(read(&path).unwrap().body, body);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format_parse_display_roundtrip() {
+        for format in [CheckpointFormat::Text, CheckpointFormat::Binary] {
+            assert_eq!(format.to_string().parse::<CheckpointFormat>(), Ok(format));
+        }
+        assert!("csv".parse::<CheckpointFormat>().is_err());
     }
 
     #[test]

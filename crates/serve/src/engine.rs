@@ -15,7 +15,7 @@
 //! "fsync the log" mean real time and a real fsync in production, and
 //! logical time and an in-memory buffer under simulation.
 
-use crate::checkpoint;
+use crate::checkpoint::{self, CheckpointFormat};
 use crate::env::{Clock, RealClock, RealStorage, Storage};
 use crate::faults::FaultPlan;
 use crate::protocol::{format_closed, format_score, ParseError, Request};
@@ -44,6 +44,8 @@ pub struct DurabilityConfig {
     pub checkpoint_every: Option<Duration>,
     /// Checkpoints retained after rotation (older ones are pruned; ≥ 1).
     pub keep_checkpoints: usize,
+    /// On-disk framing of written checkpoints (recovery reads either).
+    pub checkpoint_format: CheckpointFormat,
     /// Fault-injection schedule for the WAL (tests only; `None` in
     /// production).
     pub fault_plan: Option<FaultPlan>,
@@ -51,7 +53,8 @@ pub struct DurabilityConfig {
 
 impl DurabilityConfig {
     /// Defaults: fsync every append, checkpoint every 1024 logged
-    /// requests or 30 s (whichever comes first), keep 2 checkpoints.
+    /// requests or 30 s (whichever comes first), keep 2 binary-format
+    /// checkpoints.
     pub fn new(wal_dir: impl Into<PathBuf>) -> DurabilityConfig {
         DurabilityConfig {
             wal_dir: wal_dir.into(),
@@ -59,6 +62,7 @@ impl DurabilityConfig {
             checkpoint_every_requests: 1024,
             checkpoint_every: Some(Duration::from_secs(30)),
             keep_checkpoints: 2,
+            checkpoint_format: CheckpointFormat::Binary,
             fault_plan: None,
         }
     }
@@ -75,6 +79,7 @@ struct Durable {
     checkpoint_every_requests: u64,
     checkpoint_every: Option<Duration>,
     keep_checkpoints: usize,
+    checkpoint_format: CheckpointFormat,
     since_checkpoint: u64,
     last_checkpoint: Duration,
     checkpoints_written: u64,
@@ -113,7 +118,17 @@ impl Durable {
         // records under `interval`/`never` policies.
         self.wal.sync()?;
         let lsn = self.wal.last_seq();
-        checkpoint::write_in(&*self.storage, &self.dir, lsn, &monitor.snapshot())?;
+        match self.checkpoint_format {
+            CheckpointFormat::Text => {
+                checkpoint::write_in(&*self.storage, &self.dir, lsn, &monitor.snapshot())?
+            }
+            CheckpointFormat::Binary => checkpoint::write_binary_in(
+                &*self.storage,
+                &self.dir,
+                lsn,
+                &monitor.snapshot_bytes(),
+            )?,
+        };
         let _ = checkpoint::prune_in(&*self.storage, &self.dir, self.keep_checkpoints);
         self.wal.truncate()?;
         self.since_checkpoint = 0;
@@ -209,6 +224,7 @@ impl Engine {
                     checkpoint_every_requests: dcfg.checkpoint_every_requests,
                     checkpoint_every: dcfg.checkpoint_every,
                     keep_checkpoints: dcfg.keep_checkpoints.max(1),
+                    checkpoint_format: dcfg.checkpoint_format,
                     since_checkpoint: 0,
                     last_checkpoint: clock.now(),
                     checkpoints_written: 0,

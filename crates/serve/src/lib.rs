@@ -65,6 +65,7 @@ pub mod server;
 pub mod shard;
 pub mod wal;
 
+pub use checkpoint::CheckpointFormat;
 pub use client::{Client, Reply, RetryPolicy, RetryStats};
 pub use engine::Engine;
 pub use env::{Clock, RealClock, RealStorage, RngCore, SplitMix64, Storage, Transport};

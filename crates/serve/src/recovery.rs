@@ -158,7 +158,7 @@ fn try_restore(
     corrupt_checkpoints: &mut u64,
 ) -> Result<Option<(u64, StabilityMonitor)>, RecoveryError> {
     match checkpoint::read_in(storage, path) {
-        Ok(ckpt) => match StabilityMonitor::restore(&ckpt.body) {
+        Ok(ckpt) => match StabilityMonitor::restore_any(&ckpt.body) {
             Ok(monitor) => return Ok(Some((ckpt.lsn, monitor))),
             Err(e) => {
                 // Header passed but the body does not restore: treat

@@ -186,6 +186,19 @@ impl ShardedMonitor {
         out
     }
 
+    /// One *binary* checkpoint for the whole sharded state, in the
+    /// single-monitor [`StabilityMonitor::snapshot_bytes`] format —
+    /// byte-for-byte what one monitor holding all customers would
+    /// write. Unlike the text [`snapshot`](ShardedMonitor::snapshot),
+    /// all shards are locked simultaneously (in index order, so
+    /// concurrent callers cannot deadlock), making the cut a global
+    /// point in time; customer blocks merge across shards without
+    /// re-encoding because they are self-delimiting and sorted.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let guards: Vec<MutexGuard<'_, StabilityMonitor>> = self.shards.iter().map(lock).collect();
+        StabilityMonitor::merge_snapshot_bytes(guards.iter().map(|g| &**g))
+    }
+
     /// Fan one monitor's customers out across `n_shards` shards using
     /// the standard routing; the inverse of what [`snapshot`] merges.
     ///
@@ -205,6 +218,16 @@ impl ShardedMonitor {
     pub fn restore(text: &str, n_shards: usize) -> Result<ShardedMonitor, RestoreError> {
         Ok(ShardedMonitor::from_monitor(
             StabilityMonitor::restore(text)?,
+            n_shards,
+        ))
+    }
+
+    /// [`restore`](ShardedMonitor::restore) from either snapshot
+    /// format, detected by leading bytes (see
+    /// [`StabilityMonitor::restore_any`]).
+    pub fn restore_any(bytes: &[u8], n_shards: usize) -> Result<ShardedMonitor, RestoreError> {
+        Ok(ShardedMonitor::from_monitor(
+            StabilityMonitor::restore_any(bytes)?,
             n_shards,
         ))
     }

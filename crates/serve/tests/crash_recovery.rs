@@ -458,3 +458,178 @@ fn server_resumes_from_a_tmp_only_directory() {
     handle.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Both checkpoint formats, end to end: two servers fed the identical
+/// stream — one checkpointing in text, one in binary — recover to
+/// bit-identical state, and every `SCORE` protocol line matches.
+#[test]
+fn text_and_binary_checkpoints_recover_identically() {
+    use attrition_serve::protocol::format_score;
+    use attrition_serve::CheckpointFormat;
+
+    let (cfg, seg_store) = scenario(6, 6, 6);
+    let spec = WindowSpec::months(cfg.start, 1);
+
+    let run = |format: CheckpointFormat, tag: &str| {
+        let dir = temp_dir(tag);
+        let mut config = durable_config(spec, &dir, FaultPlan::none());
+        let dcfg = config.durability.as_mut().unwrap();
+        dcfg.checkpoint_format = format;
+        // Checkpoint aggressively so recovery actually reads the format
+        // under test instead of replaying the whole WAL.
+        dcfg.checkpoint_every_requests = 16;
+        let handle = server::start(config).expect("server starts");
+        let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+        for receipt in chronological(&seg_store) {
+            let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+            match client.ingest(receipt.customer.raw(), receipt.date, &items) {
+                Ok(Reply::Closed(_)) => {}
+                other => panic!("unexpected ingest reply: {other:?}"),
+            }
+        }
+        client.send("SHUTDOWN").expect("shutdown rpc");
+        let summary = handle.join();
+        assert!(summary.checkpoint_error.is_none(), "clean shutdown");
+        assert!(summary.checkpoints >= 1);
+        let (recovered, stats) = recover(&dir, None).expect("recovery succeeds");
+        assert_eq!(stats.replayed, 0, "clean shutdown truncates the WAL");
+        let _ = std::fs::remove_dir_all(&dir);
+        recovered
+    };
+
+    let from_text = run(CheckpointFormat::Text, "fmt_text");
+    let from_binary = run(CheckpointFormat::Binary, "fmt_binary");
+    assert_eq!(
+        from_text.snapshot(),
+        from_binary.snapshot(),
+        "the two formats must restore the same state"
+    );
+    for customer in from_text.customer_ids() {
+        let a = from_text.preview(customer).expect("tracked");
+        let b = from_binary.preview(customer).expect("tracked");
+        assert_eq!(
+            format_score(customer, &a),
+            format_score(customer, &b),
+            "SCORE lines must be bit-identical across formats"
+        );
+    }
+}
+
+/// Recovery must fall back past a corrupt *binary* checkpoint to an
+/// older valid one — same contract the text format already has.
+#[test]
+fn corrupt_binary_checkpoint_falls_back_to_older() {
+    use attrition_serve::checkpoint;
+
+    let dir = temp_dir("binfallback");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let mut monitor = StabilityMonitor::new(spec, StabilityParams::PAPER).with_max_explanations(5);
+    monitor.ingest(
+        CustomerId::new(1),
+        Date::from_ymd(2012, 5, 2).unwrap(),
+        &Basket::from_raw(&[1, 4]),
+    );
+    let older_snapshot = monitor.snapshot();
+    checkpoint::write_binary(&dir, 1, &monitor.snapshot_bytes()).expect("older checkpoint");
+
+    monitor.ingest(
+        CustomerId::new(2),
+        Date::from_ymd(2012, 5, 3).unwrap(),
+        &Basket::from_raw(&[2]),
+    );
+    let newer = checkpoint::write_binary(&dir, 2, &monitor.snapshot_bytes()).expect("newer");
+    // Flip one bit in the newest checkpoint's body: its CRC must fail.
+    let mut bytes = std::fs::read(&newer).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&newer, &bytes).unwrap();
+    std::fs::write(dir.join("wal.log"), b"").unwrap();
+
+    let (recovered, stats) = recover(&dir, None).expect("fallback succeeds");
+    assert_eq!(stats.corrupt_checkpoints, 1, "{stats:?}");
+    assert_eq!(stats.checkpoint_lsn, Some(1));
+    assert_eq!(recovered.snapshot(), older_snapshot);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fallback crosses formats: a corrupt binary checkpoint falls back to
+/// an older *text* one, and vice versa — the walk is format-blind.
+#[test]
+fn fallback_crosses_checkpoint_formats() {
+    use attrition_serve::checkpoint;
+
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let mut monitor = StabilityMonitor::new(spec, StabilityParams::PAPER).with_max_explanations(5);
+    monitor.ingest(
+        CustomerId::new(9),
+        Date::from_ymd(2012, 5, 2).unwrap(),
+        &Basket::from_raw(&[3, 5]),
+    );
+    let good_text = monitor.snapshot();
+    let good_bytes = monitor.snapshot_bytes();
+    monitor.ingest(
+        CustomerId::new(10),
+        Date::from_ymd(2012, 5, 4).unwrap(),
+        &Basket::from_raw(&[6]),
+    );
+
+    // Case A: corrupt binary on top, valid text underneath.
+    let dir = temp_dir("crossfmt_a");
+    std::fs::create_dir_all(&dir).unwrap();
+    checkpoint::write(&dir, 1, &good_text).expect("text checkpoint");
+    let newer = checkpoint::write_binary(&dir, 2, &monitor.snapshot_bytes()).expect("binary");
+    let mut bytes = std::fs::read(&newer).unwrap();
+    bytes.truncate(bytes.len() / 2);
+    std::fs::write(&newer, &bytes).unwrap();
+    std::fs::write(dir.join("wal.log"), b"").unwrap();
+    let (recovered, stats) = recover(&dir, None).expect("falls back to text");
+    assert_eq!(stats.checkpoint_lsn, Some(1), "{stats:?}");
+    assert_eq!(recovered.snapshot(), good_text);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Case B: corrupt text on top, valid binary underneath.
+    let dir = temp_dir("crossfmt_b");
+    std::fs::create_dir_all(&dir).unwrap();
+    checkpoint::write_binary(&dir, 1, &good_bytes).expect("binary checkpoint");
+    let newer = checkpoint::write(&dir, 2, &monitor.snapshot()).expect("text");
+    let mut text = std::fs::read(&newer).unwrap();
+    text.truncate(text.len() - 4);
+    std::fs::write(&newer, &text).unwrap();
+    std::fs::write(dir.join("wal.log"), b"").unwrap();
+    let (recovered, stats) = recover(&dir, None).expect("falls back to binary");
+    assert_eq!(stats.checkpoint_lsn, Some(1), "{stats:?}");
+    assert_eq!(recovered.snapshot(), good_text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A binary checkpoint from a future format version is a corrupt
+/// checkpoint (skipped with fallback), not a panic and not a load.
+#[test]
+fn future_version_binary_checkpoint_is_skipped() {
+    use attrition_serve::checkpoint;
+
+    let dir = temp_dir("binversion");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1);
+    let mut monitor = StabilityMonitor::new(spec, StabilityParams::PAPER).with_max_explanations(5);
+    monitor.ingest(
+        CustomerId::new(3),
+        Date::from_ymd(2012, 5, 2).unwrap(),
+        &Basket::from_raw(&[8]),
+    );
+    checkpoint::write_binary(&dir, 1, &monitor.snapshot_bytes()).expect("older checkpoint");
+    let older_snapshot = monitor.snapshot();
+
+    let newer = checkpoint::write_binary(&dir, 2, &monitor.snapshot_bytes()).expect("newer");
+    let mut bytes = std::fs::read(&newer).unwrap();
+    bytes[7] = b'9'; // ATTRCKP9: framing from the future
+    std::fs::write(&newer, &bytes).unwrap();
+    std::fs::write(dir.join("wal.log"), b"").unwrap();
+
+    let (recovered, stats) = recover(&dir, None).expect("version skip succeeds");
+    assert_eq!(stats.corrupt_checkpoints, 1, "{stats:?}");
+    assert_eq!(stats.checkpoint_lsn, Some(1));
+    assert_eq!(recovered.snapshot(), older_snapshot);
+    let _ = std::fs::remove_dir_all(&dir);
+}

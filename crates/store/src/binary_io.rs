@@ -37,6 +37,192 @@ fn corrupt(message: impl Into<String>) -> StoreError {
     }
 }
 
+/// A structured failure while decoding a little-endian binary buffer:
+/// the byte offset the reader stood at and what it expected there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteError {
+    /// Offset (from the start of the buffer) the failed read began at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ByteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ByteError {}
+
+/// Little-endian byte sink shared by every binary format in the
+/// workspace (the receipt-store columns here, the monitor snapshot in
+/// `attrition-core`, the checkpoint framing in `attrition-serve`).
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// An empty writer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> ByteWriter {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes verbatim.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (lossless; restoring
+    /// via [`ByteReader::f64`] returns the identical bits).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// The accumulated buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian cursor over a byte buffer; every read is bounds-checked
+/// and failures carry the offset ([`ByteError`]), so a truncated or
+/// bit-flipped file surfaces as a structured error instead of a panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Current offset from the start of the buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Consume exactly `len` bytes.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], ByteError> {
+        let end = self.pos.checked_add(len).ok_or_else(|| ByteError {
+            offset: self.pos,
+            message: "length overflow".into(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(ByteError {
+                offset: self.pos,
+                message: format!(
+                    "truncated: need {len} more bytes, have {}",
+                    self.bytes.len() - self.pos
+                ),
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, ByteError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ByteError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ByteError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, ByteError> {
+        Ok(i32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, ByteError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an `f64` written by [`ByteWriter::f64`] (bit-exact).
+    pub fn f64(&mut self) -> Result<f64, ByteError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Require that the buffer is fully consumed.
+    pub fn finish(&self) -> Result<(), ByteError> {
+        if self.pos != self.bytes.len() {
+            return Err(ByteError {
+                offset: self.pos,
+                message: format!("{} trailing bytes", self.bytes.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Serialize a store to the binary columnar format.
 pub fn store_to_bytes(store: &ReceiptStore) -> Vec<u8> {
     let n = store.num_receipts();
@@ -69,52 +255,25 @@ pub fn store_to_bytes(store: &ReceiptStore) -> Vec<u8> {
     out
 }
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, len: usize) -> Result<&'a [u8], StoreError> {
-        let end = self
-            .pos
-            .checked_add(len)
-            .ok_or_else(|| corrupt("length overflow"))?;
-        if end > self.bytes.len() {
-            return Err(corrupt(format!(
-                "truncated: need {end} bytes, have {}",
-                self.bytes.len()
-            )));
-        }
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
+fn byte_err(e: ByteError) -> StoreError {
+    corrupt(e.to_string())
 }
 
 /// Deserialize a store from the binary columnar format.
 pub fn store_from_bytes(bytes: &[u8]) -> Result<ReceiptStore, StoreError> {
-    let mut cur = Cursor { bytes, pos: 0 };
-    if cur.take(8)? != MAGIC {
+    let mut cur = ByteReader::new(bytes);
+    if cur.take(8).map_err(byte_err)? != MAGIC {
         return Err(corrupt("bad magic (not an attrition store file?)"));
     }
-    let n = cur.u64()? as usize;
-    let m = cur.u64()? as usize;
+    let n = cur.u64().map_err(byte_err)? as usize;
+    let m = cur.u64().map_err(byte_err)? as usize;
 
-    let customers = cur.take(n * 8)?;
-    let dates = cur.take(n * 4)?;
-    let totals = cur.take(n * 8)?;
-    let offsets = cur.take((n + 1) * 4)?;
-    let items = cur.take(m * 4)?;
-    if cur.pos != bytes.len() {
-        return Err(corrupt(format!("{} trailing bytes", bytes.len() - cur.pos)));
-    }
+    let customers = cur.take(n * 8).map_err(byte_err)?;
+    let dates = cur.take(n * 4).map_err(byte_err)?;
+    let totals = cur.take(n * 8).map_err(byte_err)?;
+    let offsets = cur.take((n + 1) * 4).map_err(byte_err)?;
+    let items = cur.take(m * 4).map_err(byte_err)?;
+    cur.finish().map_err(byte_err)?;
 
     let read_u32 = |buf: &[u8], i: usize| -> u32 {
         u32::from_le_bytes(buf[i * 4..i * 4 + 4].try_into().expect("4 bytes"))

@@ -27,7 +27,10 @@ pub mod segment_view;
 pub mod stats;
 pub mod windowing;
 
-pub use binary_io::{read_store_file, store_from_bytes, store_to_bytes, write_store_file};
+pub use binary_io::{
+    read_store_file, store_from_bytes, store_to_bytes, write_store_file, ByteError, ByteReader,
+    ByteWriter,
+};
 pub use error::StoreError;
 pub use query::Query;
 pub use receipt_store::{ReceiptRef, ReceiptStore, ReceiptStoreBuilder};

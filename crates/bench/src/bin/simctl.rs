@@ -3,32 +3,42 @@
 //! Runs `attrition-sim` worlds for a contiguous range of seeds (the
 //! real serve/WAL/checkpoint/recovery stack under simulated time, disk,
 //! and faults — see `crates/sim`), aggregates what every world injected
-//! and checked, and writes `results/sim_sweep.json` (machine-readable,
-//! consumed by CI: 64 seeds on every push, 4096 weekly).
+//! and checked, and writes a machine-readable results file consumed by
+//! CI (64 seeds on every push, 4096 weekly).
+//!
+//! Two sweep modes:
+//!
+//! - `--mode serve` (default): single-node crash/recovery worlds
+//!   (`results/sim_sweep.json`).
+//! - `--mode repl`: replicated primary+replica worlds with a lossy
+//!   network, epoch-fenced failover and the R1/R2 invariants
+//!   (`results/repl_sweep.json`).
 //!
 //! Any failing seed is printed with the one-command repro line and the
 //! process exits non-zero, so the CI log carries everything needed to
 //! replay the exact interleaving locally.
 //!
 //! Run: `cargo run -p attrition-bench --release --bin simctl --
-//!       [--seeds 64] [--start 0] [--results sim_sweep]`
+//!       [--mode serve|repl] [--seeds 64] [--start 0] [--results NAME]`
 
 use attrition_bench::write_result;
-use attrition_sim::{repro_command, run, SimConfig};
+use attrition_sim::{repro_command, repro_repl_command, run, run_repl, ReplSimConfig, SimConfig};
 use attrition_util::Table;
 use std::time::Instant;
 
 struct Flags {
+    mode: String,
     seeds: u64,
     start: u64,
-    results: String,
+    results: Option<String>,
 }
 
 fn parse_flags() -> Flags {
     let mut flags = Flags {
+        mode: "serve".to_owned(),
         seeds: 64,
         start: 0,
-        results: "sim_sweep".to_owned(),
+        results: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,9 +47,10 @@ fn parse_flags() -> Flags {
                 .unwrap_or_else(|| panic!("flag {name} needs a value"))
         };
         match arg.as_str() {
+            "--mode" => flags.mode = value("--mode"),
             "--seeds" => flags.seeds = value("--seeds").parse().expect("--seeds"),
             "--start" => flags.start = value("--start").parse().expect("--start"),
-            "--results" => flags.results = value("--results"),
+            "--results" => flags.results = Some(value("--results")),
             other => panic!("unknown flag {other} (see the module docs)"),
         }
     }
@@ -48,6 +59,14 @@ fn parse_flags() -> Flags {
 
 fn main() {
     let flags = parse_flags();
+    match flags.mode.as_str() {
+        "serve" => serve_sweep(&flags),
+        "repl" => repl_sweep(&flags),
+        other => panic!("unknown --mode {other} (serve | repl)"),
+    }
+}
+
+fn serve_sweep(flags: &Flags) {
     let started = Instant::now();
 
     let mut ops = 0u64;
@@ -111,7 +130,8 @@ fn main() {
         flags.start,
         elapsed.as_secs_f64(),
     );
-    write_result(&format!("{}.json", flags.results), &json);
+    let results = flags.results.as_deref().unwrap_or("sim_sweep");
+    write_result(&format!("{results}.json"), &json);
 
     if let Some((seed, violation)) = failures.first() {
         eprintln!(
@@ -125,5 +145,111 @@ fn main() {
     println!(
         "SIMCTL: all {} seeds passed both invariants ({} checks, {} faults injected)",
         flags.seeds, invariant_checks, faults_injected
+    );
+}
+
+fn repl_sweep(flags: &Flags) {
+    let started = Instant::now();
+
+    let mut ops = 0u64;
+    let mut wal_records = 0u64;
+    let mut records_replicated = 0u64;
+    let mut records_skipped = 0u64;
+    let mut snapshots_installed = 0u64;
+    let mut fenced = 0u64;
+    let mut repl_errors = 0u64;
+    let mut primary_crashes = 0u64;
+    let mut replica_crashes = 0u64;
+    let mut failovers = 0u64;
+    let mut partitions = 0u64;
+    let mut transport_faults = 0u64;
+    let mut score_checks = 0u64;
+    let mut invariant_checks = 0u64;
+    let mut failures: Vec<(u64, String)> = Vec::new();
+
+    for seed in flags.start..flags.start + flags.seeds {
+        let report = run_repl(&ReplSimConfig::for_seed(seed));
+        ops += report.ops;
+        wal_records += report.wal_records;
+        records_replicated += report.records_replicated;
+        records_skipped += report.records_skipped;
+        snapshots_installed += report.snapshots_installed;
+        fenced += report.fenced;
+        repl_errors += report.repl_errors;
+        primary_crashes += report.primary_crashes;
+        replica_crashes += report.replica_crashes;
+        failovers += report.failovers;
+        partitions += report.partitions;
+        transport_faults += report.transport_faults;
+        score_checks += report.score_checks;
+        invariant_checks += report.invariant_checks;
+        if let Some(first) = report.violations.first() {
+            eprintln!("SIMCTL: seed {seed} FAILED: {first}");
+            eprintln!("SIMCTL:   reproduce with: {}", repro_repl_command(seed));
+            failures.push((seed, first.clone()));
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["seeds run".into(), flags.seeds.to_string()]);
+    table.row(["first seed".into(), flags.start.to_string()]);
+    table.row(["requests executed".into(), ops.to_string()]);
+    table.row(["wal records".into(), wal_records.to_string()]);
+    table.row(["records replicated".into(), records_replicated.to_string()]);
+    table.row(["records skipped".into(), records_skipped.to_string()]);
+    table.row([
+        "snapshot bootstraps".into(),
+        snapshots_installed.to_string(),
+    ]);
+    table.row(["stale shipments fenced".into(), fenced.to_string()]);
+    table.row(["repl errors retried".into(), repl_errors.to_string()]);
+    table.row(["primary crashes".into(), primary_crashes.to_string()]);
+    table.row(["replica crashes".into(), replica_crashes.to_string()]);
+    table.row(["failovers".into(), failovers.to_string()]);
+    table.row(["partition windows".into(), partitions.to_string()]);
+    table.row(["transport faults".into(), transport_faults.to_string()]);
+    table.row(["score checks".into(), score_checks.to_string()]);
+    table.row(["invariant checks".into(), invariant_checks.to_string()]);
+    table.row(["failing seeds".into(), failures.len().to_string()]);
+    table.row([
+        "wall time (s)".into(),
+        format!("{:.2}", elapsed.as_secs_f64()),
+    ]);
+    println!("\nSIMCTL: deterministic replication sweep\n\n{table}");
+
+    let failing_seeds = failures
+        .iter()
+        .map(|(seed, _)| seed.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\"seeds\": {}, \"start\": {}, \"ops\": {ops}, \"wal_records\": {wal_records}, \
+         \"records_replicated\": {records_replicated}, \"records_skipped\": {records_skipped}, \
+         \"snapshots_installed\": {snapshots_installed}, \"fenced\": {fenced}, \
+         \"repl_errors\": {repl_errors}, \"primary_crashes\": {primary_crashes}, \
+         \"replica_crashes\": {replica_crashes}, \"failovers\": {failovers}, \
+         \"partitions\": {partitions}, \"transport_faults\": {transport_faults}, \
+         \"score_checks\": {score_checks}, \"invariant_checks\": {invariant_checks}, \
+         \"failing_seeds\": [{failing_seeds}], \"wall_s\": {:.3}}}\n",
+        flags.seeds,
+        flags.start,
+        elapsed.as_secs_f64(),
+    );
+    let results = flags.results.as_deref().unwrap_or("repl_sweep");
+    write_result(&format!("{results}.json"), &json);
+
+    if let Some((seed, violation)) = failures.first() {
+        eprintln!(
+            "SIMCTL: {} of {} seeds failed; first: seed {seed}: {violation}",
+            failures.len(),
+            flags.seeds
+        );
+        eprintln!("SIMCTL: reproduce with: {}", repro_repl_command(*seed));
+        std::process::exit(1);
+    }
+    println!(
+        "SIMCTL: all {} seeds passed R1 and R2 ({} checks, {} transport faults, {} failovers)",
+        flags.seeds, invariant_checks, transport_faults, failovers
     );
 }

@@ -5,8 +5,11 @@ use crate::labels_csv;
 use attrition_core::{analyze_customer, StabilityEngine, StabilityMonitor, StabilityParams};
 use attrition_datagen::{generate as generate_dataset, ScenarioConfig};
 use attrition_eval::auroc;
+use attrition_replica::{FetchLoopConfig, PrimaryService, ReplicaConfig, ReplicaEngine};
 use attrition_rfm::{out_of_fold_scores, RfmModel};
-use attrition_serve::{DurabilityConfig, Fallback, ServerConfig, ShardedMonitor, SyncPolicy};
+use attrition_serve::{
+    DurabilityConfig, Fallback, ServerConfig, Service, ShardedMonitor, SyncPolicy,
+};
 use attrition_store::{
     csv_io, project_to_segments, DatasetStats, ReceiptStore, WindowAlignment, WindowSpec,
     WindowedDatabase,
@@ -16,6 +19,7 @@ use attrition_util::table::fmt_f64;
 use attrition_util::Table;
 use std::error::Error;
 use std::path::Path;
+use std::sync::Arc;
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -139,8 +143,40 @@ DURABILITY (see README's Durability section):
 Serves INGEST/SCORE/FLUSH/SNAPSHOT/STATS/PING/SHUTDOWN until SHUTDOWN or
 ctrl-c, then drains connections, writes the snapshot (if configured) and
 prints a summary. With --wal-dir the exit code is nonzero when the final
-checkpoint or snapshot failed (the WAL is retained; recovery replays it).
-See README's Serving section for the protocol."
+checkpoint or snapshot failed (the WAL is retained; recovery replays it),
+and the server also acts as a replication primary: `attrition replicate`
+followers pull its WAL over the REPL verb (see README's Replication
+section). See README's Serving section for the protocol."
+            .into(),
+        "replicate" => "\
+attrition replicate — read-only replica of a `serve --wal-dir` primary
+
+FLAGS:
+    --primary HOST:PORT     the primary to pull the WAL from (required)
+    --addr HOST:PORT        bind address (default 127.0.0.1:7712; port 0 = ephemeral)
+    --wal-dir DIR           the replica's OWN wal directory (required; never
+                            the primary's)
+    --origin YYYY-MM-DD     window grid origin (required; only seeds first
+                            boot — recovered or shipped state wins)
+    --window N              window length in months (default 2)
+    --alpha X               significance base α (default 2)
+    --max-explanations N    lost products per explanation (default 5)
+    --shards N              monitor shards (default 8)
+    --workers N             connection worker threads (default 4)
+    --queue N               waiting connections before ERR busy (default 64)
+    --read-timeout-ms N     idle/replication connection timeout (default 5000)
+    --fetch-interval-ms N   pause between fetches once caught up (default 100)
+    --batch-max N           records requested per replication batch (default 1024)
+    --sync-policy P         never | interval:N | always (default always)
+    --checkpoint-every N    checkpoint every N applied records (default 1024)
+    --checkpoint-secs N     checkpoint every N seconds (default 30; 0 disables)
+    --checkpoint-format F   text | binary (default binary)
+    --keep-checkpoints N    checkpoints retained after rotation (default 2)
+
+Answers SCORE/STATS/PING locally while rejecting INGEST/FLUSH (read-only);
+`PROMOTE` fsyncs the local WAL, durably bumps the epoch and starts
+accepting writes — the promoted node then serves REPL to the next replica.
+See README's Replication section for the failover walkthrough."
             .into(),
         other => return format!("no detailed help for {other:?}; run `attrition help`"),
     };
@@ -630,7 +666,7 @@ fn serve_durable(
     config.read_timeout = std::time::Duration::from_millis(read_timeout_ms);
     config.snapshot_path = args.get("snapshot").map(std::path::PathBuf::from);
     config.durability = Some(DurabilityConfig {
-        wal_dir,
+        wal_dir: wal_dir.clone(),
         sync_policy,
         checkpoint_every_requests: checkpoint_every,
         checkpoint_every: (checkpoint_secs > 0)
@@ -641,11 +677,16 @@ fn serve_durable(
     });
 
     attrition_serve::install_sigint_handler();
-    let handle = attrition_serve::start_resumed(
-        config,
+    // A durable server is also a replication primary: wrap the engine
+    // so `REPL` fetches are answered from its own WAL directory.
+    let engine = Arc::new(attrition_serve::Engine::open(
         ShardedMonitor::from_monitor(recovered, shards),
+        config.snapshot_path.clone(),
+        config.durability.as_ref(),
         stats.next_seq,
-    )?;
+    )?);
+    let primary = Arc::new(PrimaryService::open(engine, &wal_dir)?);
+    let handle = attrition_serve::start_service(config, primary)?;
     println!("listening on {}", handle.local_addr());
     let summary = handle.join();
     println!(
@@ -666,6 +707,134 @@ fn serve_durable(
     // A failed shutdown checkpoint/snapshot is a crash-equivalent exit:
     // the WAL still holds the tail, so recovery is safe — but the
     // operator must see a nonzero status, not a silent success.
+    if let Some(e) = &summary.checkpoint_error {
+        return Err(format!(
+            "shutdown checkpoint failed (wal retained, recovery will replay): {e}"
+        )
+        .into());
+    }
+    if let Some(e) = &summary.snapshot_error {
+        return Err(format!("shutdown snapshot failed: {e}").into());
+    }
+    Ok(())
+}
+
+/// `attrition replicate`: a read-only follower of a `serve --wal-dir`
+/// primary. Pulls `REPL` batches over TCP, applies them through its own
+/// durable engine, answers `SCORE`/`STATS` locally, and takes over as
+/// the primary on `PROMOTE` (see DESIGN §13).
+pub fn replicate(args: &Args) -> CliResult {
+    let primary_addr = args.require("primary")?.to_owned();
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7712").to_owned();
+    let wal_dir = std::path::PathBuf::from(args.require("wal-dir")?);
+    let shards: usize = args.get_parsed("shards", 8)?;
+    let workers: usize = args.get_parsed("workers", 4)?;
+    let queue: usize = args.get_parsed("queue", 64)?;
+    let read_timeout_ms: u64 = args.get_parsed("read-timeout-ms", 5000)?;
+    if shards == 0 || workers == 0 {
+        return Err("--shards and --workers must be at least 1".into());
+    }
+    let fetch_interval_ms: u64 = args.get_parsed("fetch-interval-ms", 100)?;
+    let batch_max: u64 = args.get_parsed("batch-max", 1024)?;
+    if batch_max == 0 {
+        return Err("--batch-max must be at least 1".into());
+    }
+    let sync_policy = SyncPolicy::parse(args.get("sync-policy").unwrap_or("always"))
+        .map_err(|e| format!("bad --sync-policy: {e}"))?;
+    let checkpoint_every: u64 = args.get_parsed("checkpoint-every", 1024)?;
+    let checkpoint_secs: u64 = args.get_parsed("checkpoint-secs", 30)?;
+    let keep_checkpoints: usize = args.get_parsed("keep-checkpoints", 2)?;
+    if keep_checkpoints == 0 {
+        return Err("--keep-checkpoints must be at least 1".into());
+    }
+    let checkpoint_format: attrition_serve::CheckpointFormat = args
+        .get("checkpoint-format")
+        .unwrap_or("binary")
+        .parse()
+        .map_err(|e| format!("bad --checkpoint-format: {e}"))?;
+
+    // The grid only seeds a replica with no local state yet; a recovered
+    // checkpoint (or the first shipped bootstrap snapshot) wins.
+    let origin = attrition_types::Date::parse_iso(args.require("origin")?)
+        .map_err(|e| format!("bad --origin: {e}"))?;
+    let w_months: u32 = args.get_parsed("window", 2)?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let max_explanations: usize = args.get_parsed("max-explanations", 5)?;
+    let fallback = Fallback {
+        spec: WindowSpec::months(origin, w_months),
+        params: StabilityParams::new(alpha)?,
+        max_explanations,
+    };
+
+    let rcfg = ReplicaConfig {
+        durability: DurabilityConfig {
+            wal_dir: wal_dir.clone(),
+            sync_policy,
+            checkpoint_every_requests: checkpoint_every,
+            checkpoint_every: (checkpoint_secs > 0)
+                .then(|| std::time::Duration::from_secs(checkpoint_secs)),
+            keep_checkpoints,
+            checkpoint_format,
+            fault_plan: None,
+        },
+        wal_dir,
+        n_shards: shards,
+        fallback,
+        accept_stale_epoch: false,
+    };
+    let (replica, stats) =
+        ReplicaEngine::open(rcfg).map_err(|e| format!("cannot recover replica state: {e}"))?;
+    eprintln!("recovery: {stats}");
+    let replica = Arc::new(replica);
+
+    let mut config = ServerConfig::new(addr, fallback.spec, fallback.params);
+    config.n_shards = shards;
+    config.workers = workers;
+    config.queue_capacity = queue;
+    config.read_timeout = std::time::Duration::from_millis(read_timeout_ms);
+    config.max_explanations = fallback.max_explanations;
+
+    attrition_serve::install_sigint_handler();
+    let handle = attrition_serve::start_service(config, Arc::clone(&replica) as Arc<dyn Service>)?;
+    println!("listening on {}", handle.local_addr());
+
+    let fetch_cfg = FetchLoopConfig {
+        primary: primary_addr.clone(),
+        interval: std::time::Duration::from_millis(fetch_interval_ms),
+        batch_max,
+        read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+    };
+    let fetch_replica = Arc::clone(&replica);
+    let fetcher = std::thread::Builder::new()
+        .name("repl-fetcher".into())
+        .spawn(move || attrition_replica::run_fetch_loop(&fetch_replica, &fetch_cfg))
+        .map_err(|e| format!("cannot spawn the fetch loop: {e}"))?;
+
+    let summary = handle.join();
+    // SIGINT stops the server without tripping the replica's own flag;
+    // set it so the fetch loop exits within one interval.
+    replica.request_shutdown();
+    let rounds = fetcher.join().unwrap_or(0);
+    println!(
+        "served {} requests ({} errors) over {} connections ({} rejected busy); \
+         {} customers tracked; {} wal appends, {} fsyncs, {} checkpoints; \
+         {rounds} replication fetch rounds from {primary_addr}",
+        summary.requests,
+        summary.errors,
+        summary.connections,
+        summary.rejected_busy,
+        summary.customers,
+        summary.wal_appends,
+        summary.wal_fsyncs,
+        summary.checkpoints,
+    );
+    if replica.promoted() {
+        println!(
+            "promoted: epoch {}, applied LSN {}",
+            replica.epoch(),
+            replica.applied_seq()
+        );
+    }
     if let Some(e) = &summary.checkpoint_error {
         return Err(format!(
             "shutdown checkpoint failed (wal retained, recovery will replay): {e}"

@@ -17,6 +17,8 @@
 //! attrition serve    --origin DATE [--addr HOST:PORT] [--window 2] [--alpha 2]
 //!                    [--shards 8] [--workers 4] [--queue 64]
 //!                    [--snapshot PATH | --restore PATH]
+//! attrition replicate --primary HOST:PORT --wal-dir DIR --origin DATE
+//!                    [--addr HOST:PORT] [--fetch-interval-ms 100]
 //! ```
 //!
 //! Receipt files are CSV (`attrition-store::csv_io`) or the binary
@@ -47,6 +49,7 @@ COMMANDS:
     export     write stability scores and explanations as CSV files
     monitor    replay receipts through the streaming monitor, printing alerts
     serve      run the online scoring server (TCP line protocol)
+    replicate  follow a durable server as a read-only, promotable replica
     help       show this message
 
 GLOBAL FLAGS:
@@ -97,6 +100,7 @@ fn main() -> ExitCode {
         "export" => commands::export(&parsed),
         "monitor" => commands::monitor(&parsed),
         "serve" => commands::serve(&parsed),
+        "replicate" => commands::replicate(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,242 @@
+//! The failover proof at the binary level: a real `attrition serve
+//! --wal-dir` primary and a real `attrition replicate` follower, two
+//! processes over real TCP. The primary is SIGKILLed, the replica is
+//! promoted with one `PROMOTE` line, and every SCORE the promoted node
+//! serves must be **bit-identical** (`f64::to_bits`) to what the
+//! primary acknowledged before dying — then the new primary accepts
+//! writes of its own.
+
+#![cfg(unix)]
+
+use attrition_datagen::ScenarioConfig;
+use attrition_serve::{Client, Reply};
+use attrition_store::chronological;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("attrition_cli_repl_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+    #[allow(dead_code)]
+    stderr: BufReader<std::process::ChildStderr>,
+    /// Held open so the process's shutdown summary has somewhere to go.
+    #[allow(dead_code)]
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+/// Spawn one `attrition` subcommand and wait for its two-line start
+/// handshake: `recovery: …` on stderr, then `listening on …` on stdout.
+fn spawn_node(args: &[&str]) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_attrition"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("node must start");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut recovery_line = String::new();
+    stderr.read_line(&mut recovery_line).unwrap();
+    assert!(
+        recovery_line.starts_with("recovery: "),
+        "expected the recovery log line first, got {recovery_line:?}"
+    );
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_owned();
+    Server {
+        child,
+        addr,
+        stderr,
+        stdout,
+    }
+}
+
+fn spawn_primary(wal_dir: &Path, origin: &str) -> Server {
+    spawn_node(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--origin",
+        origin,
+        "--window",
+        "1",
+        "--wal-dir",
+        wal_dir.to_str().unwrap(),
+        "--sync-policy",
+        "always",
+        "--checkpoint-every",
+        "64",
+    ])
+}
+
+fn spawn_replica(wal_dir: &Path, origin: &str, primary_addr: &str) -> Server {
+    spawn_node(&[
+        "replicate",
+        "--primary",
+        primary_addr,
+        "--addr",
+        "127.0.0.1:0",
+        "--origin",
+        origin,
+        "--window",
+        "1",
+        "--wal-dir",
+        wal_dir.to_str().unwrap(),
+        "--sync-policy",
+        "always",
+        "--fetch-interval-ms",
+        "10",
+        "--batch-max",
+        "256",
+    ])
+}
+
+/// Pull `serve.repl.applied_seq` out of a raw `STATS` JSON payload.
+fn applied_seq(stats_json: &str) -> Option<u64> {
+    let key = "\"serve.repl.applied_seq\":";
+    let at = stats_json.find(key)? + key.len();
+    let digits: String = stats_json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn two_process_failover_promotes_with_bit_identical_scores() {
+    let primary_dir = temp_dir("primary");
+    let replica_dir = temp_dir("replica");
+    let mut cfg = ScenarioConfig::small();
+    cfg.n_loyal = 60;
+    cfg.n_defectors = 60;
+    cfg.n_months = 6;
+    cfg.onset_month = 3;
+    let dataset = attrition_datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let receipts: Vec<_> = chronological(&seg_store).collect();
+    let origin = cfg.start.to_string();
+
+    let mut primary = spawn_primary(&primary_dir, &origin);
+    let mut replica = spawn_replica(&replica_dir, &origin, &primary.addr);
+
+    // Stream the whole dataset through the primary. Under
+    // `--sync-policy always` every `OK` is durable — and therefore
+    // shippable: the replication floor is the durable LSN.
+    let mut client = Client::connect(&primary.addr, TIMEOUT).expect("primary connects");
+    let mut acked = 0u64;
+    for receipt in &receipts {
+        let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+        match client
+            .ingest(receipt.customer.raw(), receipt.date, &items)
+            .expect("ingest rpc")
+        {
+            Reply::Closed(_) => acked += 1,
+            other => panic!("unexpected ingest reply: {other:?}"),
+        }
+    }
+
+    // Wait for the replica to apply every acknowledged record.
+    let mut rclient = Client::connect(&replica.addr, TIMEOUT).expect("replica connects");
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        match rclient.send("STATS").expect("stats rpc") {
+            Reply::Stats(json) => {
+                if applied_seq(&json) == Some(acked) {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "replica never caught up to LSN {acked}: {json}"
+                );
+            }
+            other => panic!("unexpected stats reply: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A replica is read-only until promoted.
+    match rclient.send("INGEST 1 2012-05-02 10").expect("ingest rpc") {
+        Reply::Err(message) => assert!(message.contains("read-only"), "{message}"),
+        other => panic!("a replica must reject writes, got {other:?}"),
+    }
+
+    // Record the primary's answers for every customer, then kill it —
+    // SIGKILL, no drain, no final checkpoint.
+    let customers: Vec<u64> = {
+        let mut ids: Vec<u64> = receipts.iter().map(|r| r.customer.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let mut expected = Vec::with_capacity(customers.len());
+    for &customer in &customers {
+        match client.score(customer).expect("score rpc") {
+            Reply::Score(s) => expected.push((customer, s.window, s.value.to_bits())),
+            other => panic!("unexpected score reply: {other:?}"),
+        }
+    }
+    primary.child.kill().expect("SIGKILL");
+    primary.child.wait().expect("reaped");
+    drop(client);
+
+    // One line of failover: the replica fsyncs, bumps its epoch
+    // durably, and starts accepting writes.
+    match rclient.send("PROMOTE").expect("promote rpc") {
+        Reply::Ok(rest) => assert!(rest.starts_with("promoted 2 "), "{rest}"),
+        other => panic!("unexpected promote reply: {other:?}"),
+    }
+
+    // Every score the dead primary acknowledged is served bit-identically.
+    for (customer, window, bits) in &expected {
+        match rclient.score(*customer).expect("score rpc") {
+            Reply::Score(s) => {
+                assert_eq!(s.window, *window, "customer {customer}");
+                assert_eq!(
+                    s.value.to_bits(),
+                    *bits,
+                    "customer {customer} diverged across failover"
+                );
+            }
+            other => panic!("unexpected score reply: {other:?}"),
+        }
+    }
+
+    // And the promoted node is a real primary: writes are accepted.
+    let last = receipts.last().unwrap();
+    let items: Vec<u32> = last.items.iter().map(|i| i.raw()).collect();
+    match rclient
+        .ingest(last.customer.raw(), last.date, &items)
+        .expect("ingest rpc")
+    {
+        Reply::Closed(_) => {}
+        other => panic!("a promoted replica must accept writes, got {other:?}"),
+    }
+
+    rclient.send("SHUTDOWN").expect("shutdown rpc");
+    drop(rclient);
+    let status = replica.child.wait().expect("replica must exit");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut replica.stderr, &mut rest).unwrap();
+    assert!(
+        status.success(),
+        "graceful promoted shutdown exits zero: {rest}"
+    );
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}

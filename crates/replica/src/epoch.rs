@@ -1,0 +1,69 @@
+//! Epoch persistence: one small file beside the WAL.
+//!
+//! An epoch numbers a primary *generation*. Every node starts at 1;
+//! promotion writes `own + 1` durably **before** the node starts
+//! acting as a primary, and every shipped batch/snapshot carries its
+//! sender's epoch. A receiver rejects anything stamped below its own
+//! epoch — that is the whole fencing rule, and it is what makes a
+//! resurrected old primary harmless: its stale shipments identify
+//! themselves by their dead epoch.
+//!
+//! The file is plain ASCII decimal + newline, written with the same
+//! crash-atomic tmp → fsync → rename dance as a checkpoint. A missing
+//! file reads as epoch 1, so existing WAL directories upgrade in place.
+
+use attrition_serve::checkpoint::atomic_write_in;
+use attrition_serve::Storage;
+use std::path::Path;
+
+/// File name inside a WAL directory.
+pub const EPOCH_FILE: &str = "epoch";
+
+/// Read the directory's epoch; a missing file is epoch 1.
+pub fn read_epoch_in(storage: &dyn Storage, dir: &Path) -> std::io::Result<u64> {
+    let bytes = match storage.read(&dir.join(EPOCH_FILE)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(1),
+        Err(e) => return Err(e),
+    };
+    std::str::from_utf8(&bytes)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&epoch| epoch >= 1)
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt epoch file in {}", dir.display()),
+            )
+        })
+}
+
+/// Durably write the directory's epoch (crash-atomic).
+pub fn write_epoch_in(storage: &dyn Storage, dir: &Path, epoch: u64) -> std::io::Result<()> {
+    assert!(epoch >= 1, "epochs are 1-based");
+    atomic_write_in(
+        storage,
+        &dir.join(EPOCH_FILE),
+        format!("{epoch}\n").as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_serve::RealStorage;
+
+    #[test]
+    fn missing_file_is_epoch_one_and_writes_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("attrition_epoch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let storage = RealStorage::shared();
+        assert_eq!(read_epoch_in(&*storage, &dir).unwrap(), 1);
+        write_epoch_in(&*storage, &dir, 7).unwrap();
+        assert_eq!(read_epoch_in(&*storage, &dir).unwrap(), 7);
+        std::fs::write(dir.join(EPOCH_FILE), "not a number").unwrap();
+        assert!(read_epoch_in(&*storage, &dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

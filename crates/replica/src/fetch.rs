@@ -1,0 +1,147 @@
+//! The replica's real-TCP fetch side: a tiny blocking client for the
+//! `REPL` round trip, and the pull loop the `attrition replicate`
+//! command runs on a background thread.
+//!
+//! The stock [`Client`](attrition_serve::Client) only knows how to read
+//! `OK <n>` continuations; `RBATCH`/`RSNAP` responses announce their
+//! own continuation counts (see [`FetchResponse::extra_lines`]), so the
+//! fetcher reads frames itself. Any transport or protocol error drops
+//! the connection and the next round reconnects — the pull loop is the
+//! retry policy.
+
+use crate::replica::ReplicaEngine;
+use crate::wire::{FetchRequest, FetchResponse};
+use attrition_serve::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A blocking replication fetch client (one request in flight).
+pub struct ReplClient {
+    addr: String,
+    read_timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl ReplClient {
+    /// A client for the primary at `addr`; connects lazily on the
+    /// first fetch and reconnects after any error.
+    pub fn new(addr: impl Into<String>, read_timeout: Duration) -> ReplClient {
+        ReplClient {
+            addr: addr.into(),
+            read_timeout,
+            stream: None,
+        }
+    }
+
+    fn connected(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// One fetch round trip. `ERR` answers and malformed responses are
+    /// returned as errors; the connection is dropped on any failure so
+    /// the next call starts clean.
+    pub fn fetch(&mut self, req: &FetchRequest) -> std::io::Result<FetchResponse> {
+        let result = self.fetch_inner(req);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn fetch_inner(&mut self, req: &FetchRequest) -> std::io::Result<FetchResponse> {
+        let reader = self.connected()?;
+        reader
+            .get_mut()
+            .write_all(format!("{}\n", req.to_line()).as_bytes())?;
+        let header = read_line(reader)?;
+        let extra = FetchResponse::extra_lines(&header)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut text = header;
+        for _ in 0..extra {
+            let line = read_line(reader)?;
+            text.push('\n');
+            text.push_str(&line);
+        }
+        if text.starts_with("ERR") {
+            return Err(std::io::Error::other(text));
+        }
+        FetchResponse::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "primary closed the connection",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// How the pull loop paces itself.
+#[derive(Debug, Clone)]
+pub struct FetchLoopConfig {
+    /// The primary's address.
+    pub primary: String,
+    /// Pause between fetches once caught up (a fetch that applied
+    /// fresh records loops again immediately).
+    pub interval: Duration,
+    /// Records requested per batch.
+    pub batch_max: u64,
+    /// Read timeout on the replication connection.
+    pub read_timeout: Duration,
+}
+
+/// Pull from the primary until the replica shuts down or is promoted.
+/// Transport errors (primary down, mid-failover) are logged sparsely
+/// and retried forever — a replica outliving its primary is the whole
+/// point. Returns the number of successful fetch rounds.
+pub fn run_fetch_loop(replica: &ReplicaEngine, config: &FetchLoopConfig) -> u64 {
+    let mut client = ReplClient::new(config.primary.clone(), config.read_timeout);
+    let mut rounds = 0u64;
+    let mut consecutive_errors = 0u64;
+    while !replica.shutdown_requested() && !replica.promoted() {
+        let req = replica.fetch_request(config.batch_max);
+        let outcome = client
+            .fetch(&req)
+            .map_err(|e| e.to_string())
+            .and_then(|resp| replica.apply_response(&resp));
+        match outcome {
+            Ok(applied) => {
+                rounds += 1;
+                consecutive_errors = 0;
+                if applied.fresh > 0 || applied.snapshot_installed {
+                    continue; // behind: catch up without pausing
+                }
+            }
+            Err(e) => {
+                attrition_obs::counter("serve.repl.fetch_errors").inc();
+                consecutive_errors += 1;
+                // First error and every ~32nd after: enough to see an
+                // outage in the log without flooding it.
+                if consecutive_errors == 1 || consecutive_errors.is_multiple_of(32) {
+                    eprintln!(
+                        "replicate: fetch from {} failed ({consecutive_errors}x): {e}",
+                        config.primary
+                    );
+                }
+            }
+        }
+        std::thread::sleep(config.interval);
+    }
+    rounds
+}

@@ -1,0 +1,52 @@
+//! # attrition-replica
+//!
+//! Primary→replica replication for the scoring server: the WAL that
+//! already makes a single node durable *is* the replication stream, so
+//! a replica is an ordinary durable [`Engine`] whose writes arrive as
+//! shipped log records instead of client requests.
+//!
+//! The pieces, in data-flow order:
+//!
+//! - [`log`] — [`ReplicationLog`], a read-only tailer over the
+//!   primary's WAL directory. Ships CRC-framed record batches capped at
+//!   the engine's *durable* floor (never an unsynced record: a crashed
+//!   primary could reassign those LSNs), and falls back to the newest
+//!   checkpoint when the log has been truncated past the replica.
+//! - [`wire`] — the `REPL`/`RBATCH`/`RSNAP`/`PROMOTE` line formats on
+//!   top of the existing newline protocol, with per-record CRCs that
+//!   are bit-identical to the WAL frame checksums.
+//! - [`primary`] — [`PrimaryService`]: an [`Engine`] plus the
+//!   replication verbs behind one [`Service`], pluggable into
+//!   [`start_service`](attrition_serve::start_service).
+//! - [`replica`] — [`ReplicaEngine`]: idempotent in-order apply
+//!   (skip ≤ applied LSN, hard-error on gaps), epoch fencing,
+//!   snapshot bootstrap through the ordinary recovery path, and the
+//!   `PROMOTE` state machine (fsync, durably bump epoch, accept
+//!   writes).
+//! - [`epoch`] — the durable generation counter behind the fence.
+//! - [`fetch`] — the real-TCP pull loop (`attrition replicate`).
+//!
+//! The protocol is verified *sim-first*: `attrition-sim` drives a
+//! primary and a replica over an in-memory network with seeded drops,
+//! dups, reorders, partitions and crashes, asserting after every fault
+//! that (R1) a promoted replica never lands below the primary's
+//! acked-durable LSN and (R2) primary and replica snapshots are
+//! byte-equal at the same LSN. The TCP transport here ships the same
+//! bytes the simulator ships. See DESIGN §13.
+//!
+//! [`Engine`]: attrition_serve::Engine
+//! [`Service`]: attrition_serve::Service
+
+pub mod epoch;
+pub mod fetch;
+pub mod log;
+pub mod primary;
+pub mod replica;
+pub mod wire;
+
+pub use epoch::{read_epoch_in, write_epoch_in, EPOCH_FILE};
+pub use fetch::{run_fetch_loop, FetchLoopConfig, ReplClient};
+pub use log::{ReplicationLog, Shipment};
+pub use primary::{PrimaryService, MAX_BATCH_RECORDS};
+pub use replica::{Applied, ReplicaConfig, ReplicaEngine};
+pub use wire::{FetchRequest, FetchResponse, WireError};

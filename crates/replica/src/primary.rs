@@ -1,0 +1,166 @@
+//! The primary's front-end: the full serving [`Engine`] plus the
+//! replication verbs, behind one [`Service`].
+//!
+//! [`PrimaryService`] intercepts `REPL` (answered from the
+//! [`ReplicationLog`] capped at the engine's durable floor) and
+//! `PROMOTE` (a primary is not promotable — `ERR`), and delegates every
+//! ordinary protocol verb to the engine untouched. Plugging it into
+//! [`start_service`](attrition_serve::start_service) turns an ordinary
+//! durable server into a replication primary with no change to its
+//! client-facing behavior.
+
+use crate::epoch;
+use crate::log::{ReplicationLog, Shipment};
+use crate::wire::{FetchRequest, FetchResponse};
+use attrition_serve::engine::ShutdownReport;
+use attrition_serve::{Engine, Service, Storage};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hard cap on records per shipped batch, whatever the replica asks
+/// for — bounds the response size and the time the fetch handler
+/// spends re-reading the log.
+pub const MAX_BATCH_RECORDS: usize = 4096;
+
+/// Answer one `REPL` line from `log`, stamped with `epoch`, capped at
+/// `engine`'s durable floor. Shared by the primary and by a promoted
+/// replica (which serves its own log the same way).
+pub(crate) fn answer_repl(line: &str, epoch: u64, engine: &Engine, log: &ReplicationLog) -> String {
+    let req = match FetchRequest::parse(line) {
+        Ok(req) => req,
+        Err(e) => return format!("ERR {e}"),
+    };
+    if req.epoch > epoch {
+        // The requester has seen a newer primary generation than us —
+        // we are the stale side. Never ship; the operator decides what
+        // to do with this node.
+        return format!(
+            "ERR fenced: requester epoch {} is ahead of ours ({epoch})",
+            req.epoch
+        );
+    }
+    let floor = engine.wal_synced_seq();
+    let max = (req.max as usize).min(MAX_BATCH_RECORDS);
+    match log.fetch(req.after, max, floor) {
+        Ok(Shipment::Records(records)) => {
+            let shipped = records
+                .last()
+                .map_or_else(|| req.after.min(floor), |r| r.seq);
+            attrition_obs::gauge("serve.repl.shipped_seq").set(shipped as i64);
+            attrition_obs::gauge("serve.repl.epoch").set(epoch as i64);
+            FetchResponse::Batch {
+                epoch,
+                durable: floor,
+                records,
+            }
+            .to_wire()
+        }
+        Ok(Shipment::Snapshot { lsn, format, body }) => {
+            attrition_obs::gauge("serve.repl.shipped_seq").set(lsn as i64);
+            attrition_obs::gauge("serve.repl.epoch").set(epoch as i64);
+            FetchResponse::Snapshot {
+                epoch,
+                lsn,
+                format,
+                body,
+            }
+            .to_wire()
+        }
+        Err(e) => format!("ERR replication fetch failed: {e}"),
+    }
+}
+
+/// A replication-serving wrapper around a primary [`Engine`].
+pub struct PrimaryService {
+    engine: Arc<Engine>,
+    log: ReplicationLog,
+    epoch: u64,
+    repl_requests: AtomicU64,
+    repl_errors: AtomicU64,
+}
+
+impl PrimaryService {
+    /// Wrap `engine`, serving replication from `wal_dir` (the engine's
+    /// own WAL directory) over the real filesystem.
+    pub fn open(engine: Arc<Engine>, wal_dir: &Path) -> std::io::Result<PrimaryService> {
+        PrimaryService::open_in(engine, attrition_serve::RealStorage::shared(), wal_dir)
+    }
+
+    /// [`open`](PrimaryService::open) against any [`Storage`] (the
+    /// simulator's entry point).
+    pub fn open_in(
+        engine: Arc<Engine>,
+        storage: Arc<dyn Storage>,
+        wal_dir: &Path,
+    ) -> std::io::Result<PrimaryService> {
+        let epoch = epoch::read_epoch_in(&*storage, wal_dir)?;
+        // Persist the default on first boot so a later promotion
+        // elsewhere always finds something to compare against.
+        epoch::write_epoch_in(&*storage, wal_dir, epoch)?;
+        attrition_obs::gauge("serve.repl.epoch").set(epoch as i64);
+        let log = ReplicationLog::new(storage, wal_dir);
+        Ok(PrimaryService {
+            engine,
+            log,
+            epoch,
+            repl_requests: AtomicU64::new(0),
+            repl_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// This primary's generation number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    fn intercepted(&self, verb: &'static str, response: String) -> (&'static str, String) {
+        self.repl_requests.fetch_add(1, Ordering::Relaxed);
+        if response.starts_with("ERR") {
+            self.repl_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        (verb, response)
+    }
+}
+
+impl Service for PrimaryService {
+    fn respond(&self, line: &str) -> (&'static str, String) {
+        match line.split_ascii_whitespace().next() {
+            Some("REPL") => self.intercepted(
+                "repl",
+                answer_repl(line, self.epoch, &self.engine, &self.log),
+            ),
+            Some("PROMOTE") => self.intercepted("promote", "ERR not a replica".to_owned()),
+            _ => self.engine.respond(line),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.engine.request_shutdown();
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.engine.shutdown_requested()
+    }
+
+    fn requests(&self) -> u64 {
+        self.engine.requests() + self.repl_requests.load(Ordering::Relaxed)
+    }
+
+    fn errors(&self) -> u64 {
+        self.engine.errors() + self.repl_errors.load(Ordering::Relaxed)
+    }
+
+    fn num_customers(&self) -> usize {
+        self.engine.num_customers()
+    }
+
+    fn shutdown_flush(&self) -> ShutdownReport {
+        self.engine.shutdown_flush()
+    }
+}

@@ -1,0 +1,431 @@
+//! The replica: an ordinary durable [`Engine`] fed by shipped records
+//! instead of client writes, plus the promotion state machine.
+//!
+//! ## How replay stays bit-identical
+//!
+//! A shipped record is applied by running its op line through the
+//! *same* `Engine::respond` path the primary ran — the replica's own
+//! WAL assigns the same sequence number (batches are contiguous and
+//! applied in order), the same out-of-order ingests are rejected, and
+//! the same checkpoints fire. After every record the replica asserts
+//! its log landed exactly at the record's sequence number; a mismatch
+//! is a hard error, never papered over.
+//!
+//! ## Idempotency and fencing
+//!
+//! Records at or below the applied LSN are skipped (dup and reordered
+//! deliveries are harmless), and a batch that does not continue at
+//! `applied + 1` is rejected (the replica re-fetches). Every shipment
+//! carries its sender's epoch: anything stamped below the replica's own
+//! epoch is *fenced* — after a promotion bumps the epoch, a resurrected
+//! old primary's in-flight shipments reject themselves.
+//!
+//! ## Promotion
+//!
+//! `PROMOTE` fsyncs the replica's WAL, durably writes `epoch + 1`, and
+//! only then starts accepting writes. The takeover LSN is the replica's
+//! durable last sequence number — the simulator asserts it is never
+//! below the primary's acked-durable LSN (invariant R1).
+
+use crate::epoch;
+use crate::log::ReplicationLog;
+use crate::primary::answer_repl;
+use crate::wire::FetchRequest;
+use crate::wire::FetchResponse;
+use attrition_serve::checkpoint::{self, CheckpointFormat};
+use attrition_serve::engine::ShutdownReport;
+use attrition_serve::recovery::{recover_in, Fallback, RecoveryError, RecoveryStats};
+use attrition_serve::wal::WAL_FILE;
+use attrition_serve::{
+    Clock, DurabilityConfig, Engine, RealClock, RealStorage, Service, ShardedMonitor, Storage,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Everything a replica needs to open.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// The replica's *own* WAL directory (never the primary's).
+    pub wal_dir: PathBuf,
+    /// Monitor shards, as on a primary.
+    pub n_shards: usize,
+    /// The replica's own WAL + checkpoint cadence (`wal_dir` here must
+    /// match the field above).
+    pub durability: DurabilityConfig,
+    /// Grid used when the replica boots with no local state yet.
+    pub fallback: Fallback,
+    /// **Fault-injection only** (the simulator's planted bug): skip the
+    /// epoch fence and apply stale-generation shipments. Never set in
+    /// production — the replication sweep exists to prove this exact
+    /// flag breaks the byte-equality invariant.
+    pub accept_stale_epoch: bool,
+}
+
+impl ReplicaConfig {
+    /// Defaults: 8 shards, the [`DurabilityConfig`] defaults, fencing on.
+    pub fn new(wal_dir: impl Into<PathBuf>, fallback: Fallback) -> ReplicaConfig {
+        let wal_dir = wal_dir.into();
+        ReplicaConfig {
+            durability: DurabilityConfig::new(&wal_dir),
+            wal_dir,
+            n_shards: 8,
+            fallback,
+            accept_stale_epoch: false,
+        }
+    }
+}
+
+/// What applying one [`FetchResponse`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Applied {
+    /// The replica's applied LSN after this shipment.
+    pub applied_seq: u64,
+    /// Records newly applied.
+    pub fresh: u64,
+    /// Records skipped as already applied (dups/reorders).
+    pub skipped: u64,
+    /// Whether a bootstrap snapshot was installed.
+    pub snapshot_installed: bool,
+    /// Primary durable floor minus applied LSN, per the batch header.
+    pub lag: u64,
+}
+
+/// The replica engine; implements [`Service`] so
+/// [`start_service`](attrition_serve::start_service) can serve it.
+pub struct ReplicaEngine {
+    inner: RwLock<Arc<Engine>>,
+    log: ReplicationLog,
+    storage: Arc<dyn Storage>,
+    clock: Arc<dyn Clock>,
+    config: ReplicaConfig,
+    epoch: AtomicU64,
+    promoted: AtomicBool,
+    shutdown: AtomicBool,
+    // Counters for intercepted verbs plus requests accumulated in
+    // engines swapped out by a snapshot install.
+    base_requests: AtomicU64,
+    base_errors: AtomicU64,
+}
+
+impl ReplicaEngine {
+    /// Open (recovering local state) over the real filesystem and clock.
+    pub fn open(config: ReplicaConfig) -> Result<(ReplicaEngine, RecoveryStats), RecoveryError> {
+        ReplicaEngine::open_in(config, RealStorage::shared(), Arc::new(RealClock))
+    }
+
+    /// [`open`](ReplicaEngine::open) against explicit environment seams
+    /// — the simulator's entry point.
+    pub fn open_in(
+        config: ReplicaConfig,
+        storage: Arc<dyn Storage>,
+        clock: Arc<dyn Clock>,
+    ) -> Result<(ReplicaEngine, RecoveryStats), RecoveryError> {
+        storage.create_dir_all(&config.wal_dir)?;
+        let own_epoch = epoch::read_epoch_in(&*storage, &config.wal_dir)?;
+        let (engine, stats) = recovered_engine(&config, &storage, &clock)?;
+        let log = ReplicationLog::new(Arc::clone(&storage), &config.wal_dir);
+        attrition_obs::gauge("serve.repl.epoch").set(own_epoch as i64);
+        Ok((
+            ReplicaEngine {
+                inner: RwLock::new(engine),
+                log,
+                storage,
+                clock,
+                config,
+                epoch: AtomicU64::new(own_epoch),
+                promoted: AtomicBool::new(false),
+                shutdown: AtomicBool::new(false),
+                base_requests: AtomicU64::new(0),
+                base_errors: AtomicU64::new(0),
+            },
+            stats,
+        ))
+    }
+
+    /// The current inner engine (swapped atomically by a snapshot
+    /// install; callers hold a consistent engine for their operation).
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(
+            &self
+                .inner
+                .read()
+                .unwrap_or_else(|poison| poison.into_inner()),
+        )
+    }
+
+    /// Highest sequence number applied locally.
+    pub fn applied_seq(&self) -> u64 {
+        self.engine().wal_last_seq()
+    }
+
+    /// Highest locally *durable* sequence number — what promotion takes
+    /// over at, and what acks report back to the primary.
+    pub fn durable_seq(&self) -> u64 {
+        self.engine().wal_synced_seq()
+    }
+
+    /// The replica's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether this node has been promoted (accepts writes).
+    pub fn promoted(&self) -> bool {
+        self.promoted.load(Ordering::SeqCst)
+    }
+
+    /// The next fetch to send upstream.
+    pub fn fetch_request(&self, max: u64) -> FetchRequest {
+        FetchRequest {
+            epoch: self.epoch(),
+            after: self.applied_seq(),
+            max,
+        }
+    }
+
+    /// Apply one shipment. `Err` means nothing further was applied
+    /// (fenced epoch, batch gap, log misalignment, failed install) —
+    /// the fetch loop logs it and retries from the current state.
+    pub fn apply_response(&self, resp: &FetchResponse) -> Result<Applied, String> {
+        match resp {
+            FetchResponse::Batch {
+                epoch,
+                durable,
+                records,
+            } => {
+                self.fence(*epoch)?;
+                let inner = self.engine();
+                let mut applied = inner.wal_last_seq();
+                let (mut fresh, mut skipped) = (0u64, 0u64);
+                for r in records {
+                    if r.seq <= applied {
+                        skipped += 1; // dup/reordered delivery: idempotent skip
+                        continue;
+                    }
+                    if r.seq != applied + 1 {
+                        return Err(format!(
+                            "batch gap: record {} cannot follow applied LSN {applied}",
+                            r.seq
+                        ));
+                    }
+                    let (_verb, _response) = inner.respond(&r.op);
+                    let now = inner.wal_last_seq();
+                    if now != r.seq {
+                        // The op did not log exactly one record — a
+                        // non-mutating verb in the stream or a local WAL
+                        // failure. Divergence, not something to skip.
+                        return Err(format!(
+                            "replica log misaligned: record {} left the log at {now}",
+                            r.seq
+                        ));
+                    }
+                    applied = now;
+                    fresh += 1;
+                }
+                let lag = durable.saturating_sub(applied);
+                attrition_obs::gauge("serve.repl.applied_seq").set(applied as i64);
+                attrition_obs::gauge("serve.repl.lag_records").set(lag as i64);
+                Ok(Applied {
+                    applied_seq: applied,
+                    fresh,
+                    skipped,
+                    snapshot_installed: false,
+                    lag,
+                })
+            }
+            FetchResponse::Snapshot {
+                epoch,
+                lsn,
+                format,
+                body,
+            } => {
+                self.fence(*epoch)?;
+                let applied = self.applied_seq();
+                if *lsn <= applied {
+                    // A duplicate or reordered bootstrap we already
+                    // passed: ignore, never move backwards.
+                    return Ok(Applied {
+                        applied_seq: applied,
+                        ..Applied::default()
+                    });
+                }
+                self.install_snapshot(*lsn, *format, body)
+                    .map_err(|e| format!("snapshot install failed: {e}"))?;
+                let applied = self.applied_seq();
+                attrition_obs::gauge("serve.repl.applied_seq").set(applied as i64);
+                Ok(Applied {
+                    applied_seq: applied,
+                    snapshot_installed: true,
+                    ..Applied::default()
+                })
+            }
+        }
+    }
+
+    /// The epoch fence: reject stale generations, adopt newer ones
+    /// (durably) before applying anything they shipped.
+    fn fence(&self, sender_epoch: u64) -> Result<(), String> {
+        let own = self.epoch();
+        if sender_epoch < own {
+            if self.config.accept_stale_epoch {
+                // Planted bug (fault injection): apply it anyway. The
+                // replication sweep proves this diverges.
+                attrition_obs::counter("serve.repl.stale_epoch_accepted").inc();
+                return Ok(());
+            }
+            attrition_obs::counter("serve.repl.fenced").inc();
+            return Err(format!(
+                "fenced: shipment epoch {sender_epoch} below replica epoch {own}"
+            ));
+        }
+        if sender_epoch > own {
+            epoch::write_epoch_in(&*self.storage, &self.config.wal_dir, sender_epoch)
+                .map_err(|e| format!("cannot adopt epoch {sender_epoch}: {e}"))?;
+            self.epoch.store(sender_epoch, Ordering::SeqCst);
+            attrition_obs::gauge("serve.repl.epoch").set(sender_epoch as i64);
+        }
+        Ok(())
+    }
+
+    /// Install a bootstrap checkpoint: truncate the local WAL (its
+    /// records are all below the snapshot), write the checkpoint file,
+    /// and rebuild the inner engine through the ordinary recovery path.
+    fn install_snapshot(
+        &self,
+        lsn: u64,
+        format: CheckpointFormat,
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let mut guard = self
+            .inner
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let wal_path = self.config.wal_dir.join(WAL_FILE);
+        self.storage.set_len(&wal_path, 0)?;
+        self.storage.sync(&wal_path)?;
+        match format {
+            CheckpointFormat::Text => {
+                let text = std::str::from_utf8(body).map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "text checkpoint body is not UTF-8",
+                    )
+                })?;
+                checkpoint::write_in(&*self.storage, &self.config.wal_dir, lsn, text)?;
+            }
+            CheckpointFormat::Binary => {
+                checkpoint::write_binary_in(&*self.storage, &self.config.wal_dir, lsn, body)?;
+            }
+        }
+        let (engine, _stats) = recovered_engine(&self.config, &self.storage, &self.clock)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        self.base_requests
+            .fetch_add(guard.requests(), Ordering::Relaxed);
+        self.base_errors
+            .fetch_add(guard.errors(), Ordering::Relaxed);
+        *guard = engine;
+        Ok(())
+    }
+
+    /// Take over as primary: fsync the local WAL, durably bump the
+    /// epoch, start accepting writes. Returns `(epoch, takeover_lsn)`;
+    /// idempotent — a second call reports the existing promotion.
+    pub fn promote(&self) -> std::io::Result<(u64, u64)> {
+        if self.promoted() {
+            return Ok((self.epoch(), self.engine().wal_last_seq()));
+        }
+        let inner = self.engine();
+        inner.sync_wal()?;
+        let lsn = inner.wal_last_seq();
+        let new_epoch = self.epoch() + 1;
+        // Epoch first, durably: once we accept a write, any shipment
+        // from the old generation must already be fenceable.
+        epoch::write_epoch_in(&*self.storage, &self.config.wal_dir, new_epoch)?;
+        self.epoch.store(new_epoch, Ordering::SeqCst);
+        self.promoted.store(true, Ordering::SeqCst);
+        attrition_obs::gauge("serve.repl.epoch").set(new_epoch as i64);
+        Ok((new_epoch, lsn))
+    }
+
+    fn intercepted(&self, verb: &'static str, response: String) -> (&'static str, String) {
+        self.base_requests.fetch_add(1, Ordering::Relaxed);
+        if response.starts_with("ERR") {
+            self.base_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        (verb, response)
+    }
+}
+
+fn recovered_engine(
+    config: &ReplicaConfig,
+    storage: &Arc<dyn Storage>,
+    clock: &Arc<dyn Clock>,
+) -> Result<(Arc<Engine>, RecoveryStats), RecoveryError> {
+    let (monitor, stats) = recover_in(&**storage, &config.wal_dir, Some(&config.fallback))?;
+    let sharded = ShardedMonitor::from_monitor(monitor, config.n_shards);
+    let engine = Engine::open_in(
+        sharded,
+        None,
+        Some(&config.durability),
+        stats.next_seq,
+        Arc::clone(storage),
+        Arc::clone(clock),
+    )?;
+    Ok((Arc::new(engine), stats))
+}
+
+impl Service for ReplicaEngine {
+    fn respond(&self, line: &str) -> (&'static str, String) {
+        match line.split_ascii_whitespace().next() {
+            // A replica serves its own log too — that is what lets a
+            // promoted node immediately act as the next primary (and
+            // supports chained replicas).
+            Some("REPL") => self.intercepted(
+                "repl",
+                answer_repl(line, self.epoch(), &self.engine(), &self.log),
+            ),
+            Some("PROMOTE") => {
+                let response = match self.promote() {
+                    Ok((epoch, lsn)) => format!("OK promoted {epoch} {lsn}"),
+                    Err(e) => format!("ERR promote failed: {e}"),
+                };
+                self.intercepted("promote", response)
+            }
+            Some("INGEST" | "FLUSH") if !self.promoted() => self.intercepted(
+                "readonly",
+                "ERR read-only replica (PROMOTE to accept writes)".to_owned(),
+            ),
+            Some("SHUTDOWN") => {
+                self.request_shutdown();
+                self.intercepted("shutdown", "OK draining".to_owned())
+            }
+            _ => self.engine().respond(line),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.engine().request_shutdown();
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || self.engine().shutdown_requested()
+    }
+
+    fn requests(&self) -> u64 {
+        self.base_requests.load(Ordering::Relaxed) + self.engine().requests()
+    }
+
+    fn errors(&self) -> u64 {
+        self.base_errors.load(Ordering::Relaxed) + self.engine().errors()
+    }
+
+    fn num_customers(&self) -> usize {
+        self.engine().num_customers()
+    }
+
+    fn shutdown_flush(&self) -> ShutdownReport {
+        self.engine().shutdown_flush()
+    }
+}

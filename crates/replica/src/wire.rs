@@ -1,0 +1,407 @@
+//! The replication wire format: three line shapes on top of the
+//! existing newline protocol.
+//!
+//! A replica pulls; the primary never initiates. One fetch round trip:
+//!
+//! ```text
+//! → REPL <epoch> <after> <max>
+//! ← RBATCH <epoch> <durable> <n>        (records available)
+//!   R <seq> <crc> <op...>               (× n)
+//! ← RSNAP <epoch> <lsn> <format> <len> <crc>   (log truncated past
+//!   <hex body>                           `after`: bootstrap snapshot)
+//! ← ERR <reason>
+//! ```
+//!
+//! and the failover verb:
+//!
+//! ```text
+//! → PROMOTE
+//! ← OK promoted <epoch> <lsn>
+//! ```
+//!
+//! `<crc>` on an `R` line is CRC-32 over `seq: u64 LE ++ op` — the
+//! *identical* bytes the WAL frame checksums, so a record's integrity
+//! check is the same computation on both sides of the wire. The `RSNAP`
+//! `<crc>`/`<len>` cover the raw checkpoint body (hex-decoded); the
+//! body itself re-verifies once more when the checkpoint file is read
+//! back after installation.
+//!
+//! Everything here is pure encode/decode — no sockets, no engines — so
+//! the deterministic simulator and the real TCP transport ship
+//! byte-identical lines.
+
+use attrition_serve::checkpoint::CheckpointFormat;
+use attrition_serve::wal::WalRecord;
+use attrition_util::crc::crc32;
+
+/// A malformed replication line (answered/reported as `ERR`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// CRC-32 over `seq LE ++ op` — the WAL frame's payload checksum,
+/// recomputed for the wire.
+pub fn record_crc(seq: u64, op: &str) -> u32 {
+    let mut payload = Vec::with_capacity(8 + op.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(op.as_bytes());
+    crc32(&payload)
+}
+
+/// One replication fetch: "send me records after `after`, at most
+/// `max`, and here is my epoch so you can fence me if I am stale-dated".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchRequest {
+    /// The requesting replica's current epoch.
+    pub epoch: u64,
+    /// Highest sequence number the replica has applied.
+    pub after: u64,
+    /// Most records the replica will accept in one batch.
+    pub max: u64,
+}
+
+impl FetchRequest {
+    /// Render the `REPL` request line.
+    pub fn to_line(&self) -> String {
+        format!("REPL {} {} {}", self.epoch, self.after, self.max)
+    }
+
+    /// Parse a `REPL` request line.
+    pub fn parse(line: &str) -> Result<FetchRequest, WireError> {
+        let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+        if fields.len() != 4 || fields[0] != "REPL" {
+            return Err(WireError(format!(
+                "bad REPL request {line:?} (expected REPL <epoch> <after> <max>)"
+            )));
+        }
+        let num = |i: usize| -> Result<u64, WireError> {
+            fields[i]
+                .parse()
+                .map_err(|_| WireError(format!("bad number {:?} in {line:?}", fields[i])))
+        };
+        Ok(FetchRequest {
+            epoch: num(1)?,
+            after: num(2)?,
+            max: num(3)?,
+        })
+    }
+}
+
+/// What a fetch brought back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchResponse {
+    /// Records `after+1 ..` (possibly empty: the replica is caught up).
+    Batch {
+        /// The sender's epoch.
+        epoch: u64,
+        /// The sender's durable floor at response time — what the
+        /// replica's lag gauge measures against.
+        durable: u64,
+        /// Contiguous records, ascending sequence numbers.
+        records: Vec<WalRecord>,
+    },
+    /// The log no longer holds `after+1` (a checkpoint truncated it):
+    /// bootstrap from this snapshot, then fetch the tail.
+    Snapshot {
+        /// The sender's epoch.
+        epoch: u64,
+        /// The LSN the snapshot covers.
+        lsn: u64,
+        /// On-disk framing of the shipped checkpoint body.
+        format: CheckpointFormat,
+        /// The raw checkpoint body (text or binary per `format`).
+        body: Vec<u8>,
+    },
+}
+
+impl FetchResponse {
+    /// The sender's epoch, whatever the variant.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            FetchResponse::Batch { epoch, .. } => *epoch,
+            FetchResponse::Snapshot { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Render the full (multi-line, no trailing newline) response.
+    pub fn to_wire(&self) -> String {
+        match self {
+            FetchResponse::Batch {
+                epoch,
+                durable,
+                records,
+            } => {
+                let mut out = format!("RBATCH {epoch} {durable} {}", records.len());
+                for r in records {
+                    out.push('\n');
+                    out.push_str(&format!(
+                        "R {} {} {}",
+                        r.seq,
+                        record_crc(r.seq, &r.op),
+                        r.op
+                    ));
+                }
+                out
+            }
+            FetchResponse::Snapshot {
+                epoch,
+                lsn,
+                format,
+                body,
+            } => {
+                format!(
+                    "RSNAP {epoch} {lsn} {format} {} {}\n{}",
+                    body.len(),
+                    crc32(body),
+                    hex_encode(body)
+                )
+            }
+        }
+    }
+
+    /// How many lines follow a response header line (`RBATCH` → its
+    /// record count, `RSNAP` → the body line, anything else → 0). The
+    /// TCP fetcher uses this to know when a response is complete.
+    pub fn extra_lines(header: &str) -> Result<usize, WireError> {
+        let fields: Vec<&str> = header.split_ascii_whitespace().collect();
+        match fields.first() {
+            Some(&"RBATCH") if fields.len() == 4 => fields[3]
+                .parse()
+                .map_err(|_| WireError(format!("bad record count in {header:?}"))),
+            Some(&"RSNAP") => Ok(1),
+            _ => Ok(0),
+        }
+    }
+
+    /// Parse a full response (header + continuation lines), verifying
+    /// every per-record and body checksum.
+    pub fn parse(text: &str) -> Result<FetchResponse, WireError> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| WireError("empty replication response".into()))?;
+        let fields: Vec<&str> = header.split_ascii_whitespace().collect();
+        let num = |f: &str| -> Result<u64, WireError> {
+            f.parse()
+                .map_err(|_| WireError(format!("bad number {f:?} in {header:?}")))
+        };
+        match fields.first() {
+            Some(&"RBATCH") if fields.len() == 4 => {
+                let epoch = num(fields[1])?;
+                let durable = num(fields[2])?;
+                let n = num(fields[3])? as usize;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let line = lines.next().ok_or_else(|| {
+                        WireError(format!(
+                            "RBATCH promised {n} records, got {}",
+                            records.len()
+                        ))
+                    })?;
+                    records.push(parse_record_line(line)?);
+                }
+                Ok(FetchResponse::Batch {
+                    epoch,
+                    durable,
+                    records,
+                })
+            }
+            Some(&"RSNAP") if fields.len() == 6 => {
+                let epoch = num(fields[1])?;
+                let lsn = num(fields[2])?;
+                let format: CheckpointFormat = fields[3].parse().map_err(WireError)?;
+                let len = num(fields[4])? as usize;
+                let crc = num(fields[5])? as u32;
+                let body_hex = lines
+                    .next()
+                    .ok_or_else(|| WireError("RSNAP missing its body line".into()))?;
+                let body = hex_decode(body_hex)?;
+                if body.len() != len {
+                    return Err(WireError(format!(
+                        "RSNAP body length {} ≠ announced {len}",
+                        body.len()
+                    )));
+                }
+                if crc32(&body) != crc {
+                    return Err(WireError("RSNAP body failed its checksum".into()));
+                }
+                Ok(FetchResponse::Snapshot {
+                    epoch,
+                    lsn,
+                    format,
+                    body,
+                })
+            }
+            _ => Err(WireError(format!("bad replication response {header:?}"))),
+        }
+    }
+}
+
+fn parse_record_line(line: &str) -> Result<WalRecord, WireError> {
+    let mut fields = line.splitn(4, ' ');
+    let tag = fields.next().unwrap_or("");
+    let (Some(seq), Some(crc)) = (fields.next(), fields.next()) else {
+        return Err(WireError(format!("bad record line {line:?}")));
+    };
+    if tag != "R" {
+        return Err(WireError(format!("bad record line {line:?}")));
+    }
+    let seq: u64 = seq
+        .parse()
+        .map_err(|_| WireError(format!("bad seq in {line:?}")))?;
+    let crc: u32 = crc
+        .parse()
+        .map_err(|_| WireError(format!("bad crc in {line:?}")))?;
+    let op = fields.next().unwrap_or("").to_owned();
+    if record_crc(seq, &op) != crc {
+        return Err(WireError(format!("record {seq} failed its checksum")));
+    }
+    Ok(WalRecord { seq, op })
+}
+
+/// Lowercase hex, two digits per byte (the snapshot body's line-safe
+/// encoding — checkpoint bodies may contain newlines and arbitrary
+/// bytes).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`].
+pub fn hex_decode(text: &str) -> Result<Vec<u8>, WireError> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(WireError("odd-length hex body".into()));
+    }
+    let nibble = |c: u8| -> Result<u8, WireError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(WireError(format!("bad hex digit {:?}", c as char))),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                seq: 4,
+                op: "INGEST 7 2012-05-02 1 2 3".into(),
+            },
+            WalRecord {
+                seq: 5,
+                op: "FLUSH 2012-06-01".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn fetch_request_roundtrips() {
+        let req = FetchRequest {
+            epoch: 3,
+            after: 41,
+            max: 256,
+        };
+        assert_eq!(req.to_line(), "REPL 3 41 256");
+        assert_eq!(FetchRequest::parse(&req.to_line()).unwrap(), req);
+        for bad in [
+            "REPL",
+            "REPL 1 2",
+            "REPL 1 2 3 4 5",
+            "REPL x 2 3",
+            "NOPE 1 2 3",
+        ] {
+            assert!(FetchRequest::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn batch_roundtrips_and_counts_extra_lines() {
+        let resp = FetchResponse::Batch {
+            epoch: 2,
+            durable: 9,
+            records: records(),
+        };
+        let wire = resp.to_wire();
+        let header = wire.lines().next().unwrap();
+        assert_eq!(FetchResponse::extra_lines(header).unwrap(), 2);
+        assert_eq!(FetchResponse::parse(&wire).unwrap(), resp);
+
+        let empty = FetchResponse::Batch {
+            epoch: 1,
+            durable: 0,
+            records: vec![],
+        };
+        assert_eq!(empty.to_wire(), "RBATCH 1 0 0");
+        assert_eq!(FetchResponse::parse(&empty.to_wire()).unwrap(), empty);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_including_binary_bodies() {
+        let body: Vec<u8> = (0u16..512).map(|b| (b % 256) as u8).collect();
+        let resp = FetchResponse::Snapshot {
+            epoch: 5,
+            lsn: 100,
+            format: CheckpointFormat::Binary,
+            body,
+        };
+        let wire = resp.to_wire();
+        assert_eq!(
+            FetchResponse::extra_lines(wire.lines().next().unwrap()).unwrap(),
+            1
+        );
+        assert_eq!(FetchResponse::parse(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn corrupted_record_or_body_is_rejected() {
+        let wire = FetchResponse::Batch {
+            epoch: 2,
+            durable: 9,
+            records: records(),
+        }
+        .to_wire();
+        // Flip one character of an op: the per-record CRC catches it.
+        let corrupted = wire.replace("2012-05-02", "2012-05-03");
+        assert!(FetchResponse::parse(&corrupted).is_err());
+
+        let snap = FetchResponse::Snapshot {
+            epoch: 1,
+            lsn: 7,
+            format: CheckpointFormat::Text,
+            body: b"hello,world".to_vec(),
+        }
+        .to_wire();
+        let corrupted = snap.replacen("68", "69", 1); // first body byte
+        assert!(FetchResponse::parse(&corrupted).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        for body in [&b""[..], &b"\x00\xff\n\r arbitrary"[..]] {
+            assert_eq!(hex_decode(&hex_encode(body)).unwrap(), body);
+        }
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! The TCP transport ships the same bytes the simulator ships: every
+//! `REPL` response read off a real socket must equal, byte for byte,
+//! the string `PrimaryService::respond` returns in memory — which is
+//! exactly what `attrition-sim` puts on its in-memory network. The
+//! replication sweep's guarantees transfer to the wire only because of
+//! this equality.
+
+use attrition_core::StabilityParams;
+use attrition_replica::{FetchRequest, FetchResponse, PrimaryService};
+use attrition_serve::checkpoint::CheckpointFormat;
+use attrition_serve::{
+    DurabilityConfig, Engine, ServerConfig, Service, ShardedMonitor, SyncPolicy,
+};
+use attrition_store::WindowSpec;
+use attrition_types::Date;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "attrition_repl_transport_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Send one line and read the full framed response (header plus its
+/// self-announced continuation lines), newline-joined, as the raw text.
+fn roundtrip(reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    reader
+        .get_mut()
+        .write_all(format!("{line}\n").as_bytes())
+        .unwrap();
+    let mut header = String::new();
+    reader.read_line(&mut header).unwrap();
+    let header = header.trim_end_matches(['\n', '\r']).to_owned();
+    let extra = FetchResponse::extra_lines(&header).unwrap_or(0);
+    let mut text = header;
+    for _ in 0..extra {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        text.push('\n');
+        text.push_str(line.trim_end_matches(['\n', '\r']));
+    }
+    text
+}
+
+#[test]
+fn tcp_responses_are_bit_identical_to_in_memory_responses() {
+    let dir = temp_dir("bitident");
+    let origin = Date::from_ymd(2012, 5, 1).unwrap();
+    let spec = WindowSpec::months(origin, 1);
+    let params = StabilityParams::PAPER;
+    let dcfg = DurabilityConfig {
+        wal_dir: dir.clone(),
+        sync_policy: SyncPolicy::Always,
+        // A tight count trigger so checkpoints truncate the WAL and a
+        // from-zero fetch must answer with a bootstrap snapshot.
+        checkpoint_every_requests: 8,
+        checkpoint_every: None,
+        keep_checkpoints: 2,
+        checkpoint_format: CheckpointFormat::Binary,
+        fault_plan: None,
+    };
+    let monitor = ShardedMonitor::new(4, spec, params, 5);
+    let engine = Arc::new(Engine::open(monitor, None, Some(&dcfg), 1).unwrap());
+    let primary = Arc::new(PrimaryService::open(Arc::clone(&engine), &dir).unwrap());
+    for day in 1..=20 {
+        let (_verb, resp) = primary.respond(&format!(
+            "INGEST {} 2012-05-{:02} 10 {}",
+            1 + day % 3,
+            1 + day % 28,
+            100 + day
+        ));
+        assert!(resp.starts_with("OK"), "{resp}");
+    }
+
+    let mut config = ServerConfig::new("127.0.0.1:0", spec, params);
+    config.workers = 2;
+    let handle =
+        attrition_serve::start_service(config, Arc::clone(&primary) as Arc<dyn Service>).unwrap();
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // From-zero (snapshot bootstrap), mid-log (record batch), caught-up
+    // (empty batch), and a fenced request — each answered over TCP with
+    // exactly the bytes the in-memory transport carries.
+    let floor = engine.wal_synced_seq();
+    assert!(floor > 16, "the log must have a durable tail: {floor}");
+    let requests = [
+        FetchRequest {
+            epoch: 1,
+            after: 0,
+            max: 4,
+        },
+        FetchRequest {
+            epoch: 1,
+            after: floor - 3,
+            max: 2,
+        },
+        FetchRequest {
+            epoch: 1,
+            after: floor,
+            max: 8,
+        },
+        FetchRequest {
+            epoch: 99,
+            after: 0,
+            max: 1,
+        },
+    ];
+    let mut saw_snapshot = false;
+    let mut saw_records = false;
+    for req in &requests {
+        let line = req.to_line();
+        let (_verb, in_memory) = primary.respond(&line);
+        let over_tcp = roundtrip(&mut reader, &line);
+        assert_eq!(
+            in_memory, over_tcp,
+            "transport changed the bytes for {line:?}"
+        );
+        match FetchResponse::parse(&in_memory) {
+            Ok(FetchResponse::Snapshot { .. }) => saw_snapshot = true,
+            Ok(FetchResponse::Batch { records, .. }) if !records.is_empty() => saw_records = true,
+            Ok(FetchResponse::Batch { .. }) => {}
+            Err(_) => assert!(in_memory.starts_with("ERR fenced"), "{in_memory}"),
+        }
+    }
+    assert!(saw_snapshot, "the from-zero fetch must ship a snapshot");
+    assert!(saw_records, "the mid-log fetch must ship records");
+
+    handle.request_shutdown();
+    drop(reader);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

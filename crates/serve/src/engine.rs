@@ -298,6 +298,18 @@ impl Engine {
         }
     }
 
+    /// Fsync the WAL now, regardless of sync policy (no-op when nothing
+    /// is pending or durability is off). After this returns `Ok`, every
+    /// appended record is durable — [`wal_synced_seq`](Engine::wal_synced_seq)
+    /// equals [`wal_last_seq`](Engine::wal_last_seq). Replica promotion
+    /// calls this so the takeover LSN is a durable one.
+    pub fn sync_wal(&self) -> std::io::Result<()> {
+        match &self.durable {
+            Some(durable) => lock_durable(durable).wal.sync(),
+            None => Ok(()),
+        }
+    }
+
     /// Run a mutating request through the WAL (when durability is on)
     /// and apply it, under one lock — append first, apply second, ack
     /// last. An append failure means nothing was applied and the client

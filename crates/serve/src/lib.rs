@@ -67,15 +67,15 @@ pub mod wal;
 
 pub use checkpoint::CheckpointFormat;
 pub use client::{Client, Reply, RetryPolicy, RetryStats};
-pub use engine::Engine;
+pub use engine::{Engine, ShutdownReport};
 pub use env::{Clock, RealClock, RealStorage, RngCore, SplitMix64, Storage, Transport};
 pub use faults::FaultPlan;
 pub use pool::ThreadPool;
 pub use protocol::{ParsedScore, Request};
 pub use recovery::{recover, Fallback, RecoveryError, RecoveryStats};
 pub use server::{
-    install_sigint_handler, start, start_resumed, start_with, DurabilityConfig, ServerConfig,
-    ServerHandle, ServerSummary,
+    install_sigint_handler, start, start_resumed, start_service, start_with, DurabilityConfig,
+    ServerConfig, ServerHandle, ServerSummary, Service,
 };
 pub use shard::{OutOfOrder, ShardedMonitor};
 pub use wal::SyncPolicy;

@@ -27,7 +27,7 @@
 //! `--sync-policy always` the fsync, not the lock, dominates. Group
 //! commit across workers is future work (DESIGN §10).
 
-use crate::engine::Engine;
+use crate::engine::{Engine, ShutdownReport};
 use crate::pool::ThreadPool;
 use crate::shard::ShardedMonitor;
 use attrition_core::StabilityParams;
@@ -41,6 +41,55 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 pub use crate::engine::DurabilityConfig;
+
+/// What the accept loop needs from a request executor. [`Engine`] is
+/// the canonical implementation; a replica front-end (or any other
+/// request core that speaks the newline protocol) plugs into the same
+/// TCP machinery through [`start_service`] by implementing this.
+pub trait Service: Send + Sync {
+    /// Execute one request line; returns `(verb, response)` — the
+    /// response may span multiple lines but never ends with a newline.
+    fn respond(&self, line: &str) -> (&'static str, String);
+    /// Ask the service to drain: connection loops poll
+    /// [`shutdown_requested`](Service::shutdown_requested) and stop.
+    fn request_shutdown(&self);
+    /// Whether shutdown was requested (via `SHUTDOWN` or
+    /// [`request_shutdown`](Service::request_shutdown)).
+    fn shutdown_requested(&self) -> bool;
+    /// Requests executed (including ones answered `ERR`).
+    fn requests(&self) -> u64;
+    /// Requests answered `ERR`.
+    fn errors(&self) -> u64;
+    /// Customers tracked right now.
+    fn num_customers(&self) -> usize;
+    /// The shutdown epilogue: final checkpoint + snapshot, error
+    /// surfacing, and lifetime counters for the summary.
+    fn shutdown_flush(&self) -> ShutdownReport;
+}
+
+impl Service for Engine {
+    fn respond(&self, line: &str) -> (&'static str, String) {
+        Engine::respond(self, line)
+    }
+    fn request_shutdown(&self) {
+        Engine::request_shutdown(self)
+    }
+    fn shutdown_requested(&self) -> bool {
+        Engine::shutdown_requested(self)
+    }
+    fn requests(&self) -> u64 {
+        Engine::requests(self)
+    }
+    fn errors(&self) -> u64 {
+        Engine::errors(self)
+    }
+    fn num_customers(&self) -> usize {
+        Engine::num_customers(self)
+    }
+    fn shutdown_flush(&self) -> ShutdownReport {
+        Engine::shutdown_flush(self)
+    }
+}
 
 /// Longest accepted request line (bytes, excluding the newline). A
 /// frame that grows past this is answered `ERR line too long` and
@@ -133,7 +182,7 @@ pub struct ServerSummary {
 /// or deliver SIGINT, then [`join`](ServerHandle::join).
 pub struct ServerHandle {
     addr: SocketAddr,
-    engine: Arc<Engine>,
+    service: Arc<dyn Service>,
     acceptor: JoinHandle<ServerSummary>,
 }
 
@@ -145,7 +194,7 @@ impl ServerHandle {
 
     /// Ask the server to drain and exit, as `SHUTDOWN` would.
     pub fn request_shutdown(&self) {
-        self.engine.request_shutdown();
+        self.service.request_shutdown();
     }
 
     /// Wait for the server to drain and return its summary.
@@ -216,33 +265,47 @@ pub fn start_resumed(
     monitor: ShardedMonitor,
     next_seq: u64,
 ) -> std::io::Result<ServerHandle> {
-    attrition_obs::set_enabled(true);
     let engine = Arc::new(Engine::open(
         monitor,
         config.snapshot_path.clone(),
         config.durability.as_ref(),
         next_seq,
     )?);
+    start_service(config, engine)
+}
+
+/// Serve an arbitrary [`Service`] — the entry point a replica (or any
+/// other request core) uses to get the accept loop, worker pool,
+/// backpressure and graceful shutdown without owning an [`Engine`].
+pub fn start_service(
+    config: ServerConfig,
+    service: Arc<dyn Service>,
+) -> std::io::Result<ServerHandle> {
+    attrition_obs::set_enabled(true);
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let accept_engine = Arc::clone(&engine);
+    let accept_service = Arc::clone(&service);
     let acceptor = std::thread::Builder::new()
         .name("serve-acceptor".into())
-        .spawn(move || accept_loop(listener, accept_engine, &config))
+        .spawn(move || accept_loop(listener, accept_service, &config))
         .expect("acceptor thread must spawn");
     Ok(ServerHandle {
         addr,
-        engine,
+        service,
         acceptor,
     })
 }
 
-fn accept_loop(listener: TcpListener, engine: Arc<Engine>, config: &ServerConfig) -> ServerSummary {
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<dyn Service>,
+    config: &ServerConfig,
+) -> ServerSummary {
     let pool = ThreadPool::new(config.workers, config.queue_capacity);
     let connections = attrition_obs::counter("serve.connections.accepted");
     let rejected = attrition_obs::counter("serve.connections.rejected_busy");
-    while !engine.shutdown_requested() && !sigint_received() {
+    while !service.shutdown_requested() && !sigint_received() {
         match listener.accept() {
             Ok((mut stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
@@ -258,8 +321,8 @@ fn accept_loop(listener: TcpListener, engine: Arc<Engine>, config: &ServerConfig
                     let _ = stream.write_all(b"ERR busy\n");
                     continue;
                 }
-                let conn_engine = Arc::clone(&engine);
-                pool.try_execute(move || handle_connection(stream, &conn_engine))
+                let conn_service = Arc::clone(&service);
+                pool.try_execute(move || handle_connection(stream, &*conn_service))
                     .expect("non-saturated single-producer enqueue cannot fail");
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -274,13 +337,13 @@ fn accept_loop(listener: TcpListener, engine: Arc<Engine>, config: &ServerConfig
     // Shutdown checkpoint + legacy snapshot: failures are surfaced in
     // the summary, not swallowed — the caller must treat a checkpoint
     // failure as a crash and rely on WAL recovery.
-    let report = engine.shutdown_flush();
+    let report = service.shutdown_flush();
     ServerSummary {
-        requests: engine.requests(),
-        errors: engine.errors(),
+        requests: service.requests(),
+        errors: service.errors(),
         connections: connections.get(),
         rejected_busy: rejected.get(),
-        customers: engine.num_customers(),
+        customers: service.num_customers(),
         snapshot_path: report.snapshot_path,
         snapshot_error: report.snapshot_error,
         checkpoint_error: report.checkpoint_error,
@@ -290,10 +353,10 @@ fn accept_loop(listener: TcpListener, engine: Arc<Engine>, config: &ServerConfig
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &Engine) {
+fn handle_connection(stream: TcpStream, service: &dyn Service) {
     let active = attrition_obs::gauge("serve.connections.active");
     active.add(1);
-    let _ = serve_connection(stream, engine);
+    let _ = serve_connection(stream, service);
     active.add(-1);
 }
 
@@ -357,14 +420,14 @@ fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<F
     }
 }
 
-fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+fn serve_connection(stream: TcpStream, service: &dyn Service) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
     let bytes_read = attrition_obs::counter("serve.bytes_read");
     let bytes_written = attrition_obs::counter("serve.bytes_written");
     loop {
-        if engine.shutdown_requested() {
+        if service.shutdown_requested() {
             return Ok(()); // draining: finish after the current request
         }
         let response: String = match read_frame(&mut reader, &mut buf)? {
@@ -382,7 +445,7 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
                     continue; // tolerate blank keep-alive lines
                 }
                 let started = Instant::now();
-                let (verb, response) = engine.respond(trimmed);
+                let (verb, response) = service.respond(trimmed);
                 attrition_obs::observe_ms(
                     &format!("serve.latency.{verb}"),
                     started.elapsed().as_secs_f64() * 1e3,
@@ -394,7 +457,7 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
         writer.write_all(b"\n")?;
         writer.flush()?;
         bytes_written.add(response.len() as u64 + 1);
-        if engine.shutdown_requested() {
+        if service.shutdown_requested() {
             return Ok(());
         }
     }

@@ -200,15 +200,15 @@ pub fn repro_command(seed: u64) -> String {
 }
 
 const ORIGIN: (i32, u32, u32) = (2012, 5, 1);
-const MAX_EXPLANATIONS: usize = 5;
+pub(crate) const MAX_EXPLANATIONS: usize = 5;
 /// Ops per simulated month of workload time.
-const OPS_PER_MONTH: u64 = 25;
+pub(crate) const OPS_PER_MONTH: u64 = 25;
 
-fn origin() -> Date {
+pub(crate) fn origin() -> Date {
     Date::from_ymd(ORIGIN.0, ORIGIN.1, ORIGIN.2).expect("valid origin")
 }
 
-fn spec() -> WindowSpec {
+pub(crate) fn spec() -> WindowSpec {
     WindowSpec::months(origin(), 1)
 }
 
@@ -247,14 +247,14 @@ struct Sim {
     violations: Vec<String>,
 }
 
-fn fresh_monitor() -> StabilityMonitor {
+pub(crate) fn fresh_monitor() -> StabilityMonitor {
     StabilityMonitor::new(spec(), StabilityParams::PAPER).with_max_explanations(MAX_EXPLANATIONS)
 }
 
 /// Apply one logged op the way `recovery.rs` replays it: mirror the
 /// live out-of-order rejection, so a record the server answered `ERR`
 /// to mutates nothing here either.
-fn apply_replayed(monitor: &mut StabilityMonitor, line: &str) {
+pub(crate) fn apply_replayed(monitor: &mut StabilityMonitor, line: &str) {
     match Request::parse(line).expect("the harness only logs valid mutations") {
         Request::Ingest(customer, date, items) => {
             let rejected = match (monitor.spec().window_of(date), monitor.preview(customer)) {
@@ -274,7 +274,7 @@ fn apply_replayed(monitor: &mut StabilityMonitor, line: &str) {
 
 /// Apply an op the engine *accepted* (answered `OK`) to the live mirror
 /// — no rejection logic needed, the engine already decided.
-fn apply_accepted(monitor: &mut StabilityMonitor, line: &str) {
+pub(crate) fn apply_accepted(monitor: &mut StabilityMonitor, line: &str) {
     match Request::parse(line).expect("the harness only logs valid mutations") {
         Request::Ingest(customer, date, items) => {
             monitor.ingest(customer, date, &Basket::new(items));

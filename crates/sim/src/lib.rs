@@ -31,6 +31,10 @@
 
 pub mod env;
 pub mod harness;
+pub mod net;
+pub mod repl;
 
 pub use env::{SimClock, SimStorage, StorageStats};
 pub use harness::{repro_command, run, SimBug, SimConfig, SimReport};
+pub use net::{Flight, NetStats, SimNet};
+pub use repl::{repro_repl_command, run_repl, ReplReport, ReplSimBug, ReplSimConfig};

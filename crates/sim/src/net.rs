@@ -1,0 +1,237 @@
+//! A deterministic lossy network link for the replication simulator.
+//!
+//! [`SimNet`] models one direction of a connection (requests go over
+//! one instance, responses over another) as a queue of in-flight
+//! messages with seeded faults drawn from the same [`FaultPlan`] rates
+//! the single-node simulator uses: drops, duplicates, and delays (which
+//! reorder messages relative to later sends). On top of those it adds
+//! **partitions**: seeded windows of a few rounds during which the link
+//! is severed — everything sent *or* due for delivery is lost, exactly
+//! as a broken TCP connection loses whatever was buffered.
+//!
+//! Time is round-based, driven by the simulator's event loop calling
+//! [`tick`](SimNet::tick) once per round: a message sent in round `r`
+//! is deliverable in round `r + 1` (or later, when delayed), so there
+//! is always at least one round of flight time — which is what leaves
+//! shipments in flight when a primary dies, the exact window epoch
+//! fencing exists for.
+
+use attrition_serve::{FaultPlan, SplitMix64};
+use std::collections::VecDeque;
+
+/// One in-flight message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flight {
+    /// The wire payload (a request line or a multi-line response).
+    pub payload: String,
+    /// Side-channel metadata the simulator tracks per message (the
+    /// replication harness carries the sender's durable LSN here).
+    pub meta: u64,
+    /// Round at which the message becomes deliverable.
+    due: u64,
+}
+
+/// Fault and traffic counters for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to [`SimNet::send`].
+    pub sent: u64,
+    /// Messages delivered to the receiving side.
+    pub delivered: u64,
+    /// Messages dropped by the seeded drop fault.
+    pub dropped: u64,
+    /// Extra copies enqueued by the seeded duplication fault.
+    pub duplicated: u64,
+    /// Messages given extra flight time (reordering them past later
+    /// sends).
+    pub delayed: u64,
+    /// Partition windows opened.
+    pub partitions: u64,
+    /// Messages lost to a partition (sent into it, or due during it).
+    pub partition_drops: u64,
+}
+
+impl NetStats {
+    /// Every fault this link injected.
+    pub fn faults(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.partition_drops
+    }
+}
+
+/// One direction of a seeded lossy link. See the module docs.
+#[derive(Debug)]
+pub struct SimNet {
+    rng: SplitMix64,
+    plan: FaultPlan,
+    partition_per_mille: u32,
+    queue: VecDeque<Flight>,
+    round: u64,
+    partition_left: u64,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// A link drawing drop/dup/delay rates from `plan` and partition
+    /// windows at `partition_per_mille` per round, all from `seed`.
+    pub fn new(seed: u64, plan: FaultPlan, partition_per_mille: u32) -> SimNet {
+        SimNet {
+            rng: SplitMix64::new(seed),
+            plan,
+            partition_per_mille,
+            queue: VecDeque::new(),
+            round: 0,
+            partition_left: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Advance one round: heal a partition by one round, or open a new
+    /// seeded one.
+    pub fn tick(&mut self) {
+        self.round += 1;
+        if self.partition_left > 0 {
+            self.partition_left -= 1;
+        } else if self.partition_per_mille != 0 && self.rng.per_mille(self.partition_per_mille) {
+            self.partition_left = 1 + self.rng.below(5);
+            self.stats.partitions += 1;
+        }
+    }
+
+    /// Whether the link is currently severed.
+    pub fn partitioned(&self) -> bool {
+        self.partition_left > 0
+    }
+
+    /// Send a message; the seeded faults decide its fate.
+    pub fn send(&mut self, payload: String, meta: u64) {
+        self.stats.sent += 1;
+        if self.partitioned() {
+            self.stats.partition_drops += 1;
+            return;
+        }
+        if self.plan.drop_message(&mut self.rng) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let mut due = self.round + 1;
+        if self.plan.delay_message(&mut self.rng) {
+            self.stats.delayed += 1;
+            due += 1 + self.rng.below(3);
+        }
+        let flight = Flight { payload, meta, due };
+        if self.plan.duplicate_message(&mut self.rng) {
+            self.stats.duplicated += 1;
+            self.queue.push_back(flight.clone());
+        }
+        self.queue.push_back(flight);
+    }
+
+    /// Everything due this round, in send order (delayed messages
+    /// surface later — that is the reorder). During a partition the due
+    /// messages are lost instead, as a severed connection loses its
+    /// buffers.
+    pub fn deliver_due(&mut self) -> Vec<Flight> {
+        let round = self.round;
+        let mut due = Vec::new();
+        self.queue.retain(|f| {
+            if f.due <= round {
+                due.push(f.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if self.partitioned() {
+            self.stats.partition_drops += due.len() as u64;
+            return Vec::new();
+        }
+        self.stats.delivered += due.len() as u64;
+        due
+    }
+
+    /// Surface *everything* still in flight, due or not (what the
+    /// failover path uses: shipments from a dead primary can still land
+    /// after its death — the window epoch fencing must cover).
+    pub fn drain_all(&mut self) -> Vec<Flight> {
+        let all: Vec<Flight> = self.queue.drain(..).collect();
+        self.stats.delivered += all.len() as u64;
+        all
+    }
+
+    /// Discard everything in flight without delivering (messages toward
+    /// a node that no longer exists).
+    pub fn clear(&mut self) {
+        self.stats.dropped += self.queue.len() as u64;
+        self.queue.clear();
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chatty(seed: u64) -> SimNet {
+        SimNet::new(seed, FaultPlan::seeded(seed), 12)
+    }
+
+    #[test]
+    fn a_faultless_link_delivers_in_order_one_round_later() {
+        let mut net = SimNet::new(0, FaultPlan::none(), 0);
+        net.tick();
+        net.send("a".into(), 1);
+        net.send("b".into(), 2);
+        assert!(net.deliver_due().is_empty(), "not due until the next round");
+        net.tick();
+        let got = net.deliver_due();
+        assert_eq!(
+            got.iter().map(|f| f.payload.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert_eq!(got[0].meta, 1);
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn seeded_links_are_deterministic_and_actually_fault() {
+        let run = |seed: u64| {
+            let mut net = chatty(seed);
+            let mut log = Vec::new();
+            for i in 0..400u64 {
+                net.tick();
+                net.send(format!("m{i}"), i);
+                for f in net.deliver_due() {
+                    log.push(f.payload);
+                }
+            }
+            (log, net.stats())
+        };
+        let (log_a, stats_a) = run(7);
+        let (log_b, stats_b) = run(7);
+        assert_eq!(log_a, log_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.faults() > 0, "{stats_a:?}");
+        assert!(stats_a.partitions > 0, "{stats_a:?}");
+        let (log_c, _) = run(8);
+        assert_ne!(log_a, log_c, "the seed must matter");
+    }
+
+    #[test]
+    fn partitions_lose_in_flight_messages() {
+        let mut net = SimNet::new(3, FaultPlan::none(), 1000); // partition every round
+        net.tick();
+        assert!(net.partitioned());
+        net.send("lost".into(), 0);
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.stats().partition_drops >= 1);
+    }
+}

@@ -1,0 +1,1019 @@
+//! The replication simulator: a real primary ([`PrimaryService`]) and a
+//! real replica ([`ReplicaEngine`]) on separate crash-faithful disks,
+//! sharing one logical clock, exchanging the *production wire bytes*
+//! over a seeded lossy [`SimNet`] — drops, duplicates, delay-reorders,
+//! partitions — while the primary's disk, the replica's disk, and both
+//! processes crash on seeded schedules, and every run ends in a
+//! mandatory failover.
+//!
+//! One [`ReplSimConfig::seed`] fixes the whole world; a failing seed
+//! replays with:
+//!
+//! ```text
+//! ATTRITION_REPL_SEED=<seed> cargo test -p attrition-sim --test repl repro_repl_seed -- --nocapture
+//! ```
+//!
+//! ## The replication invariants (DESIGN §13)
+//!
+//! - **R1 — no acked-durable loss on failover.** The harness tracks the
+//!   highest replica-durable LSN whose acknowledgement was actually
+//!   *delivered* to the primary (the only LSNs anything external may
+//!   rely on). A promotion must take over at or above it, and a
+//!   recovered replica must never land below it.
+//! - **R2 — byte-equal state at equal LSN.** After every applied
+//!   shipment, every recovery, and at the promotion point, the
+//!   replica's merged monitor snapshot must be byte-identical to a
+//!   reference monitor folded over exactly the primary's logged ops up
+//!   to the replica's applied LSN (text at every check; the binary
+//!   framing too at promotion and at the final crash).
+//!
+//! Alongside those, the single-node invariants keep running on both
+//! nodes (durability floor on every recovery, acked-survival under
+//! `sync=always`, `SCORE` bit-identity against the reference), plus one
+//! replication-specific safety check: a recovered primary must never be
+//! *behind* its replica (the durable-floor shipping cap at work).
+//!
+//! [`ReplSimBug::AcceptStaleEpoch`] re-introduces the classic failover
+//! bug — applying a dead primary's in-flight shipment after promotion —
+//! and the sweep proves R2 catches it with a replayable seed.
+
+use crate::env::{SimClock, SimStorage};
+use crate::harness::{
+    apply_accepted, apply_replayed, fresh_monitor, origin, spec, MAX_EXPLANATIONS, OPS_PER_MONTH,
+};
+use crate::net::SimNet;
+use attrition_core::{StabilityMonitor, StabilityParams};
+use attrition_replica::{FetchResponse, PrimaryService, ReplicaConfig, ReplicaEngine};
+use attrition_serve::checkpoint::CheckpointFormat;
+use attrition_serve::engine::{DurabilityConfig, Engine};
+use attrition_serve::protocol::{format_score, Request};
+use attrition_serve::recovery::{recover_in, Fallback};
+use attrition_serve::shard::ShardedMonitor;
+use attrition_serve::{FaultPlan, Service, SplitMix64, Storage, SyncPolicy};
+use attrition_types::{CustomerId, Date, ItemId};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PRIMARY_DIR: &str = "/sim/primary";
+const REPLICA_DIR: &str = "/sim/replica";
+
+/// A deliberately re-introduced replication bug, for proving the sweep
+/// fails loudly when the protocol is actually broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplSimBug {
+    /// Skip the epoch fence on the replica: a dead primary's in-flight
+    /// shipment, surfacing after promotion, gets *applied* — records
+    /// the new timeline disowned sneak into the promoted state, and the
+    /// R2 byte-equality check must catch the divergence.
+    AcceptStaleEpoch,
+}
+
+/// One simulated replicated world. Construct via
+/// [`ReplSimConfig::for_seed`] or [`ReplSimConfig::with_bug`].
+#[derive(Debug, Clone)]
+pub struct ReplSimConfig {
+    /// Master seed: fixes workload, transport faults, partitions, disk
+    /// faults, crash points, and the failover point.
+    pub seed: u64,
+    /// Client operations scripted against the active node.
+    pub n_ops: u64,
+    /// Customers the workload spreads over.
+    pub n_customers: u64,
+    /// Monitor shards on both nodes.
+    pub n_shards: usize,
+    /// The primary's WAL sync policy.
+    pub primary_sync: SyncPolicy,
+    /// The replica's WAL sync policy (its durable floor is what acks —
+    /// and therefore R1 — are made of).
+    pub replica_sync: SyncPolicy,
+    /// Fault schedule: disk faults inside both WALs, message faults on
+    /// both link directions, crash points in the driver.
+    pub faults: FaultPlan,
+    /// Checkpoint count trigger on both nodes (primary checkpoints
+    /// truncate its WAL, forcing the replica's snapshot-bootstrap path
+    /// whenever it lags past one).
+    pub checkpoint_every_requests: u64,
+    /// Checkpoint framing both nodes write and ship.
+    pub checkpoint_format: CheckpointFormat,
+    /// Per-round rate of partition windows on each link direction.
+    pub partition_per_mille: u32,
+    /// Records the replica requests per fetch.
+    pub batch_max: u64,
+    /// Re-introduced bug, if self-testing the harness.
+    pub bug: Option<ReplSimBug>,
+}
+
+impl ReplSimConfig {
+    /// The sweep configuration for one seed: every fault class on, sync
+    /// policies and checkpoint format alternating across seed bits so
+    /// the sweep covers each combination, and a small batch size on
+    /// some seeds to force multi-round catch-ups.
+    pub fn for_seed(seed: u64) -> ReplSimConfig {
+        ReplSimConfig {
+            seed,
+            n_ops: 280,
+            n_customers: 12,
+            n_shards: 4,
+            primary_sync: if seed.is_multiple_of(2) {
+                SyncPolicy::Always
+            } else {
+                SyncPolicy::Interval(3)
+            },
+            replica_sync: if (seed >> 2).is_multiple_of(2) {
+                SyncPolicy::Always
+            } else {
+                SyncPolicy::Interval(2)
+            },
+            faults: FaultPlan::seeded(seed),
+            checkpoint_every_requests: 24,
+            checkpoint_format: if (seed >> 1).is_multiple_of(2) {
+                CheckpointFormat::Binary
+            } else {
+                CheckpointFormat::Text
+            },
+            partition_per_mille: 12,
+            batch_max: if (seed >> 3).is_multiple_of(2) { 64 } else { 5 },
+            bug: None,
+        }
+    }
+
+    /// [`for_seed`](ReplSimConfig::for_seed) with a bug re-introduced
+    /// and extra delivery delay, so dead-primary shipments are reliably
+    /// in flight when the failover happens.
+    pub fn with_bug(seed: u64, bug: ReplSimBug) -> ReplSimConfig {
+        ReplSimConfig {
+            faults: FaultPlan {
+                delay_per_mille: 250,
+                ..FaultPlan::seeded(seed)
+            },
+            bug: Some(bug),
+            ..ReplSimConfig::for_seed(seed)
+        }
+    }
+}
+
+/// What one replicated run did and found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplReport {
+    /// The seed that reproduces everything below.
+    pub seed: u64,
+    /// Client requests executed against the active node.
+    pub ops: u64,
+    /// Mutations the active node's WAL logged.
+    pub wal_records: u64,
+    /// Shipments the replica applied (batches and snapshots).
+    pub batches_applied: u64,
+    /// Records newly applied on the replica.
+    pub records_replicated: u64,
+    /// Shipped records skipped as duplicates/reorders.
+    pub records_skipped: u64,
+    /// Snapshot bootstraps installed (the replica lagged past a primary
+    /// checkpoint truncation).
+    pub snapshots_installed: u64,
+    /// Stale-epoch shipments the fence rejected.
+    pub fenced: u64,
+    /// Liveness-only replication errors retried (`ERR` answers, batch
+    /// gaps after a replica crash, mid-crash misalignments).
+    pub repl_errors: u64,
+    /// Primary crash-recoveries.
+    pub primary_crashes: u64,
+    /// Replica crash-recoveries (including post-promotion ones).
+    pub replica_crashes: u64,
+    /// Failovers executed (exactly 1 in a passing run).
+    pub failovers: u64,
+    /// Epoch after the last promotion.
+    pub promoted_epoch: u64,
+    /// The LSN the promotion took over at.
+    pub promotion_lsn: u64,
+    /// Partition windows opened across both link directions.
+    pub partitions: u64,
+    /// Transport faults injected across both link directions.
+    pub transport_faults: u64,
+    /// `SCORE` responses compared bit-for-bit against a reference.
+    pub score_checks: u64,
+    /// Individual invariant assertions evaluated.
+    pub invariant_checks: u64,
+    /// Invariant violations (empty = the run passed); the run stops at
+    /// the first one.
+    pub violations: Vec<String>,
+}
+
+impl ReplReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with the violation, the seed, and the one-command repro if
+    /// the run failed.
+    pub fn assert_ok(&self) {
+        if let Some(first) = self.violations.first() {
+            panic!(
+                "replication sim seed {} violated an invariant: {first}\n  reproduce with: {}",
+                self.seed,
+                repro_repl_command(self.seed)
+            );
+        }
+    }
+}
+
+/// The exact command that replays a failing replication seed.
+pub fn repro_repl_command(seed: u64) -> String {
+    format!(
+        "ATTRITION_REPL_SEED={seed} cargo test -p attrition-sim --test repl repro_repl_seed -- --nocapture"
+    )
+}
+
+fn fallback() -> Fallback {
+    Fallback {
+        spec: spec(),
+        params: StabilityParams::PAPER,
+        max_explanations: MAX_EXPLANATIONS,
+    }
+}
+
+/// A mutation the active node logged, by WAL sequence number.
+#[derive(Debug)]
+struct OpEntry {
+    seq: u64,
+    line: String,
+    /// The response was `OK …`, i.e. the op mutated live state.
+    applied: bool,
+}
+
+struct ReplSim {
+    config: ReplSimConfig,
+    clock: Arc<SimClock>,
+    storage_p: Arc<SimStorage>,
+    storage_r: Arc<SimStorage>,
+    pcfg: DurabilityConfig,
+    rcfg: ReplicaConfig,
+    primary: Option<PrimaryService>,
+    replica: ReplicaEngine,
+    net_req: SimNet,
+    net_resp: SimNet,
+    /// Mutations logged on the current write timeline, ascending seq.
+    oplog: Vec<OpEntry>,
+    /// Live reference for the *active* node's state.
+    mirror: StabilityMonitor,
+    /// Reference fold of the oplog up to `repl_mirror_seq` — what the
+    /// replica must byte-equal at its applied LSN (invariant R2).
+    repl_mirror: StabilityMonitor,
+    repl_mirror_seq: u64,
+    /// Highest replica-durable LSN whose ack was delivered upstream —
+    /// the R1 floor.
+    repl_acked: u64,
+    promoted: bool,
+    transport_rng: SplitMix64,
+    crash_rng: SplitMix64,
+    ops: u64,
+    wal_records: u64,
+    batches_applied: u64,
+    records_replicated: u64,
+    records_skipped: u64,
+    snapshots_installed: u64,
+    fenced: u64,
+    repl_errors: u64,
+    primary_crashes: u64,
+    replica_crashes: u64,
+    failovers: u64,
+    promoted_epoch: u64,
+    promotion_lsn: u64,
+    score_checks: u64,
+    invariant_checks: u64,
+    violations: Vec<String>,
+}
+
+impl ReplSim {
+    fn new(config: ReplSimConfig) -> ReplSim {
+        let storage_p: Arc<SimStorage> = Arc::new(SimStorage::new());
+        let storage_r: Arc<SimStorage> = Arc::new(SimStorage::new());
+        let clock = Arc::new(SimClock::new());
+        let pcfg = DurabilityConfig {
+            wal_dir: PathBuf::from(PRIMARY_DIR),
+            sync_policy: config.primary_sync,
+            checkpoint_every_requests: config.checkpoint_every_requests,
+            checkpoint_every: None,
+            keep_checkpoints: 2,
+            checkpoint_format: config.checkpoint_format,
+            fault_plan: Some(config.faults.clone()),
+        };
+        let rcfg = ReplicaConfig {
+            wal_dir: PathBuf::from(REPLICA_DIR),
+            n_shards: config.n_shards,
+            durability: DurabilityConfig {
+                wal_dir: PathBuf::from(REPLICA_DIR),
+                sync_policy: config.replica_sync,
+                checkpoint_every_requests: 16,
+                checkpoint_every: None,
+                keep_checkpoints: 2,
+                checkpoint_format: config.checkpoint_format,
+                fault_plan: Some(FaultPlan {
+                    seed: config.seed ^ 0x0E70_0000_0000_0016,
+                    ..config.faults.clone()
+                }),
+            },
+            fallback: fallback(),
+            accept_stale_epoch: config.bug == Some(ReplSimBug::AcceptStaleEpoch),
+        };
+        let monitor = ShardedMonitor::new(
+            config.n_shards,
+            spec(),
+            StabilityParams::PAPER,
+            MAX_EXPLANATIONS,
+        );
+        let engine = Engine::open_in(
+            monitor,
+            None,
+            Some(&pcfg),
+            1,
+            Arc::clone(&storage_p) as Arc<dyn Storage>,
+            Arc::clone(&clock) as Arc<dyn attrition_serve::Clock>,
+        )
+        .expect("in-memory engine open cannot fail");
+        let primary = PrimaryService::open_in(
+            Arc::new(engine),
+            Arc::clone(&storage_p) as Arc<dyn Storage>,
+            Path::new(PRIMARY_DIR),
+        )
+        .expect("in-memory primary open cannot fail");
+        let (replica, _stats) = ReplicaEngine::open_in(
+            rcfg.clone(),
+            Arc::clone(&storage_r) as Arc<dyn Storage>,
+            Arc::clone(&clock) as Arc<dyn attrition_serve::Clock>,
+        )
+        .expect("in-memory replica open cannot fail");
+        ReplSim {
+            net_req: SimNet::new(
+                config.seed ^ 0x0E70_0000_0000_0014,
+                config.faults.clone(),
+                config.partition_per_mille,
+            ),
+            net_resp: SimNet::new(
+                config.seed ^ 0x0E70_0000_0000_0015,
+                config.faults.clone(),
+                config.partition_per_mille,
+            ),
+            transport_rng: SplitMix64::new(config.seed ^ 0x7AA9_5EED_0000_0011),
+            crash_rng: SplitMix64::new(config.seed ^ 0xC4A5_85EE_D000_0012),
+            config,
+            clock,
+            storage_p,
+            storage_r,
+            pcfg,
+            rcfg,
+            primary: Some(primary),
+            replica,
+            oplog: Vec::new(),
+            mirror: fresh_monitor(),
+            repl_mirror: fresh_monitor(),
+            repl_mirror_seq: 0,
+            repl_acked: 0,
+            promoted: false,
+            ops: 0,
+            wal_records: 0,
+            batches_applied: 0,
+            records_replicated: 0,
+            records_skipped: 0,
+            snapshots_installed: 0,
+            fenced: 0,
+            repl_errors: 0,
+            primary_crashes: 0,
+            replica_crashes: 0,
+            failovers: 0,
+            promoted_epoch: 0,
+            promotion_lsn: 0,
+            score_checks: 0,
+            invariant_checks: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// The scripted client workload — same mix as the single-node sim.
+    fn script(&self) -> VecDeque<String> {
+        let mut rng = SplitMix64::new(self.config.seed ^ 0x3077_0AD5_0000_0013);
+        let mut lines = VecDeque::with_capacity(self.config.n_ops as usize);
+        for i in 0..self.config.n_ops {
+            let month = (i / OPS_PER_MONTH) as i32;
+            lines.push_back(scripted_op(&mut rng, month, self.config.n_customers));
+        }
+        lines
+    }
+
+    /// A short deterministic coda of writes for the promoted node: every
+    /// run must prove the new primary actually accepts and serves them.
+    fn coda(&self) -> Vec<String> {
+        let mut rng = SplitMix64::new(self.config.seed ^ 0x3077_0AD5_0000_0017);
+        let month = (self.config.n_ops / OPS_PER_MONTH) as i32 + 1;
+        (0..12)
+            .map(|_| scripted_op(&mut rng, month, self.config.n_customers))
+            .collect()
+    }
+
+    fn violation(&mut self, message: String) {
+        self.violations.push(message);
+    }
+
+    fn active_last_seq(&self) -> u64 {
+        if self.promoted {
+            self.replica.applied_seq()
+        } else {
+            match &self.primary {
+                Some(p) => p.engine().wal_last_seq(),
+                None => 0,
+            }
+        }
+    }
+
+    /// Execute one client request against the active node and account
+    /// for it (op log, live mirror, `SCORE` bit-identity).
+    fn deliver(&mut self, line: &str) {
+        let before = self.active_last_seq();
+        let (_verb, response) = if self.promoted {
+            self.replica.respond(line)
+        } else {
+            match &self.primary {
+                Some(p) => p.respond(line),
+                None => return,
+            }
+        };
+        let after = self.active_last_seq();
+        self.ops += 1;
+        match Request::parse(line) {
+            Ok(Request::Ingest(..)) | Ok(Request::Flush(_)) => {
+                let applied = response.starts_with("OK");
+                if after > before {
+                    self.wal_records += after - before;
+                    self.oplog.push(OpEntry {
+                        seq: after,
+                        line: line.to_owned(),
+                        applied,
+                    });
+                } else if applied {
+                    self.violation(format!(
+                        "mutation applied without a wal record: {line:?} -> {response:?}"
+                    ));
+                }
+                if applied {
+                    apply_accepted(&mut self.mirror, line);
+                }
+            }
+            Ok(Request::Score(customer)) => {
+                self.score_checks += 1;
+                self.invariant_checks += 1;
+                let expected = match self.mirror.preview(customer) {
+                    Some(point) => format_score(customer, &point),
+                    None => format!("ERR unknown customer {}", customer.raw()),
+                };
+                if response != expected {
+                    self.violation(format!(
+                        "active-node SCORE diverged from the reference: got {response:?}, \
+                         expected {expected:?}"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Fold the oplog prefix `seq <= floor` into a fresh monitor.
+    fn fold_reference(&self, floor: u64) -> StabilityMonitor {
+        let mut monitor = fresh_monitor();
+        for entry in &self.oplog {
+            if entry.seq <= floor {
+                apply_replayed(&mut monitor, &entry.line);
+            }
+        }
+        monitor
+    }
+
+    /// One replication round: the replica fetches, the link misbehaves,
+    /// the primary answers from its durable log, the replica applies
+    /// whatever lands.
+    fn repl_round(&mut self) {
+        self.net_req.tick();
+        self.net_resp.tick();
+        let req = self.replica.fetch_request(self.config.batch_max);
+        self.net_req.send(req.to_line(), self.replica.durable_seq());
+        for flight in self.net_req.deliver_due() {
+            // The request's arrival is the ack: the primary now knows
+            // the replica holds `meta` durably. Only *delivered* acks
+            // count toward the R1 floor.
+            self.repl_acked = self.repl_acked.max(flight.meta);
+            let Some(primary) = self.primary.as_ref() else {
+                break;
+            };
+            let (_verb, response) = primary.respond(&flight.payload);
+            self.net_resp.send(response, 0);
+        }
+        for flight in self.net_resp.deliver_due() {
+            self.apply_wire(&flight.payload);
+            if !self.violations.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Hand one wire response to the replica — exactly the bytes a TCP
+    /// fetch would have read.
+    fn apply_wire(&mut self, text: &str) {
+        if text.starts_with("ERR") {
+            self.repl_errors += 1;
+            return;
+        }
+        let resp = match FetchResponse::parse(text) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.violation(format!("unparseable shipment: {e} (payload {text:?})"));
+                return;
+            }
+        };
+        match self.replica.apply_response(&resp) {
+            Ok(applied) => {
+                self.batches_applied += 1;
+                self.records_replicated += applied.fresh;
+                self.records_skipped += applied.skipped;
+                if applied.snapshot_installed {
+                    self.snapshots_installed += 1;
+                }
+                if applied.fresh > 0 || applied.snapshot_installed {
+                    self.check_replica_state("after an applied shipment");
+                }
+            }
+            Err(e) if e.contains("fenced") => self.fenced += 1,
+            // Batch gaps (a delayed response landing after a replica
+            // crash regressed its LSN) and mid-crash apply errors are
+            // liveness events: the replica re-fetches from its real
+            // state. Safety stays with R1/R2.
+            Err(_) => self.repl_errors += 1,
+        }
+    }
+
+    /// Invariant R2 at the replica's current applied LSN, plus a
+    /// replica-side `SCORE` bit-identity probe.
+    fn check_replica_state(&mut self, context: &str) {
+        let applied = self.replica.applied_seq();
+        if applied < self.repl_mirror_seq {
+            // The replica regressed (crash recovery): re-fold.
+            self.repl_mirror = fresh_monitor();
+            self.repl_mirror_seq = 0;
+        }
+        for entry in &self.oplog {
+            if entry.seq > self.repl_mirror_seq && entry.seq <= applied {
+                apply_replayed(&mut self.repl_mirror, &entry.line);
+            }
+        }
+        self.repl_mirror_seq = applied;
+        self.invariant_checks += 1;
+        let engine = self.replica.engine();
+        if engine.monitor().snapshot() != self.repl_mirror.snapshot() {
+            self.violation(format!(
+                "R2 violated {context}: replica state at LSN {applied} is not byte-equal \
+                 to the primary's log prefix"
+            ));
+            return;
+        }
+        // A replica answers reads: its SCOREs must be bit-identical to
+        // the reference at its LSN.
+        self.score_checks += 1;
+        self.invariant_checks += 1;
+        let customer = CustomerId::new(1 + self.transport_rng.below(self.config.n_customers));
+        let (_verb, response) = self.replica.respond(&Request::Score(customer).to_line());
+        let expected = match self.repl_mirror.preview(customer) {
+            Some(point) => format_score(customer, &point),
+            None => format!("ERR unknown customer {}", customer.raw()),
+        };
+        if response != expected {
+            self.violation(format!(
+                "replica SCORE diverged at LSN {applied}: got {response:?}, expected {expected:?}"
+            ));
+        }
+    }
+
+    /// Crash the primary's disk and process, recover it, and check the
+    /// single-node invariants plus the never-behind-the-replica cap.
+    fn restart_primary(&mut self) {
+        let Some(service) = self.primary.take() else {
+            return;
+        };
+        self.primary_crashes += 1;
+        let synced_floor = service.engine().wal_synced_seq();
+        drop(service);
+        self.storage_p.crash(&mut self.crash_rng);
+        let (monitor, stats) =
+            match recover_in(&*self.storage_p, Path::new(PRIMARY_DIR), Some(&fallback())) {
+                Ok(recovered) => recovered,
+                Err(e) => {
+                    self.violation(format!("primary recovery failed: {e}"));
+                    return;
+                }
+            };
+        let floor = stats.next_seq - 1;
+        self.invariant_checks += 1;
+        if floor < synced_floor {
+            self.violation(format!(
+                "primary recovery lost durable records: reached seq {floor}, \
+                 but seq {synced_floor} was fsynced"
+            ));
+            return;
+        }
+        if self.config.primary_sync == SyncPolicy::Always {
+            self.invariant_checks += 1;
+            if let Some(lost) = self.oplog.iter().find(|e| e.applied && e.seq > floor) {
+                self.violation(format!(
+                    "acked mutation lost under sync=always: seq {} {:?}",
+                    lost.seq, lost.line
+                ));
+                return;
+            }
+        }
+        // The durable-floor shipping cap: nothing the replica holds may
+        // exceed what the primary recovered to — otherwise the two have
+        // diverged histories.
+        self.invariant_checks += 1;
+        if self.replica.applied_seq() > floor {
+            self.violation(format!(
+                "replica is ahead of the recovered primary: applied {} > recovered {floor} \
+                 (an unsynced record was shipped)",
+                self.replica.applied_seq()
+            ));
+            return;
+        }
+        self.oplog.retain(|e| e.seq <= floor);
+        self.invariant_checks += 1;
+        let reference = self.fold_reference(floor);
+        if reference.snapshot() != monitor.snapshot() {
+            self.violation(format!(
+                "recovered primary diverges from its acknowledged prefix at seq {floor}"
+            ));
+            return;
+        }
+        self.mirror = reference;
+        let sharded = ShardedMonitor::from_monitor(monitor, self.config.n_shards);
+        let engine = match Engine::open_in(
+            sharded,
+            None,
+            Some(&self.pcfg),
+            stats.next_seq,
+            Arc::clone(&self.storage_p) as Arc<dyn Storage>,
+            Arc::clone(&self.clock) as Arc<dyn attrition_serve::Clock>,
+        ) {
+            Ok(engine) => engine,
+            Err(e) => {
+                self.violation(format!("primary reopen failed: {e}"));
+                return;
+            }
+        };
+        match PrimaryService::open_in(
+            Arc::new(engine),
+            Arc::clone(&self.storage_p) as Arc<dyn Storage>,
+            Path::new(PRIMARY_DIR),
+        ) {
+            Ok(primary) => self.primary = Some(primary),
+            Err(e) => self.violation(format!("primary service reopen failed: {e}")),
+        }
+    }
+
+    /// Crash and recover the replica (pre-promotion): its recovered LSN
+    /// must hold its own durability floor *and* the R1 ack floor.
+    fn restart_replica(&mut self) {
+        self.replica_crashes += 1;
+        let synced_floor = self.replica.durable_seq();
+        self.storage_r.crash(&mut self.crash_rng);
+        let (replica, stats) = match ReplicaEngine::open_in(
+            self.rcfg.clone(),
+            Arc::clone(&self.storage_r) as Arc<dyn Storage>,
+            Arc::clone(&self.clock) as Arc<dyn attrition_serve::Clock>,
+        ) {
+            Ok(opened) => opened,
+            Err(e) => {
+                self.violation(format!("replica recovery failed: {e}"));
+                return;
+            }
+        };
+        self.replica = replica;
+        let floor = stats.next_seq - 1;
+        self.invariant_checks += 1;
+        if floor < synced_floor {
+            self.violation(format!(
+                "replica recovery lost durable records: reached seq {floor}, \
+                 but seq {synced_floor} was fsynced"
+            ));
+            return;
+        }
+        self.invariant_checks += 1;
+        if floor < self.repl_acked {
+            self.violation(format!(
+                "R1 violated on replica recovery: recovered to {floor}, but LSN {} \
+                 was acked durable upstream",
+                self.repl_acked
+            ));
+            return;
+        }
+        self.check_replica_state("after replica recovery");
+    }
+
+    /// Crash and recover the *promoted* node, then re-promote it (a
+    /// restarted primary-by-takeover bumps the epoch again).
+    fn restart_active(&mut self) {
+        self.replica_crashes += 1;
+        let synced_floor = self.replica.durable_seq();
+        self.storage_r.crash(&mut self.crash_rng);
+        let (replica, stats) = match ReplicaEngine::open_in(
+            self.rcfg.clone(),
+            Arc::clone(&self.storage_r) as Arc<dyn Storage>,
+            Arc::clone(&self.clock) as Arc<dyn attrition_serve::Clock>,
+        ) {
+            Ok(opened) => opened,
+            Err(e) => {
+                self.violation(format!("promoted-node recovery failed: {e}"));
+                return;
+            }
+        };
+        self.replica = replica;
+        let floor = stats.next_seq - 1;
+        self.invariant_checks += 1;
+        if floor < synced_floor {
+            self.violation(format!(
+                "promoted-node recovery lost durable records: reached seq {floor}, \
+                 but seq {synced_floor} was fsynced"
+            ));
+            return;
+        }
+        if self.config.replica_sync == SyncPolicy::Always {
+            self.invariant_checks += 1;
+            if let Some(lost) = self.oplog.iter().find(|e| e.applied && e.seq > floor) {
+                self.violation(format!(
+                    "acked mutation lost on the promoted node under sync=always: seq {} {:?}",
+                    lost.seq, lost.line
+                ));
+                return;
+            }
+        }
+        self.oplog.retain(|e| e.seq <= floor);
+        self.invariant_checks += 1;
+        let reference = self.fold_reference(floor);
+        if reference.snapshot() != self.replica.engine().monitor().snapshot() {
+            self.violation(format!(
+                "recovered promoted node diverges from its acknowledged prefix at seq {floor}"
+            ));
+            return;
+        }
+        self.mirror = reference;
+        self.repl_mirror = self.fold_reference(floor);
+        self.repl_mirror_seq = floor;
+        match self.replica.promote() {
+            Ok((epoch, lsn)) => {
+                self.promoted_epoch = epoch;
+                self.invariant_checks += 1;
+                if lsn != floor {
+                    self.violation(format!(
+                        "re-promotion LSN {lsn} does not match the recovered floor {floor}"
+                    ));
+                }
+            }
+            Err(e) => self.violation(format!("re-promotion failed: {e}")),
+        }
+    }
+
+    /// The failover: the primary dies, the replica is promoted at its
+    /// durable LSN (R1), the new timeline disowns everything above it,
+    /// and the dead primary's in-flight shipments surface against the
+    /// fence.
+    fn failover(&mut self) {
+        self.failovers += 1;
+        if self.primary.take().is_some() {
+            self.storage_p.crash(&mut self.crash_rng);
+        }
+        let (_verb, response) = self.replica.respond("PROMOTE");
+        let mut parts = response.split_ascii_whitespace();
+        let (epoch, lsn) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("OK"), Some("promoted"), Some(e), Some(l)) => {
+                match (e.parse::<u64>(), l.parse::<u64>()) {
+                    (Ok(e), Ok(l)) => (e, l),
+                    _ => {
+                        self.violation(format!("unparseable PROMOTE response: {response:?}"));
+                        return;
+                    }
+                }
+            }
+            _ => {
+                self.violation(format!("PROMOTE failed: {response:?}"));
+                return;
+            }
+        };
+        self.promoted_epoch = epoch;
+        self.promotion_lsn = lsn;
+        // Invariant R1: the takeover point covers every LSN whose
+        // durability was acknowledged to the old primary.
+        self.invariant_checks += 1;
+        if lsn < self.repl_acked {
+            self.violation(format!(
+                "R1 violated: promoted at LSN {lsn}, below the acked-durable LSN {}",
+                self.repl_acked
+            ));
+            return;
+        }
+        // The new timeline: records above the takeover LSN died with
+        // the old primary.
+        self.oplog.retain(|e| e.seq <= lsn);
+        self.mirror = self.fold_reference(lsn);
+        self.repl_mirror = self.fold_reference(lsn);
+        self.repl_mirror_seq = lsn;
+        // Invariant R2 at the promotion point, text and binary framing.
+        let engine = self.replica.engine();
+        self.invariant_checks += 1;
+        if engine.monitor().snapshot() != self.mirror.snapshot() {
+            self.violation(format!(
+                "R2 violated at promotion: state at LSN {lsn} is not byte-equal to the \
+                 surviving log prefix"
+            ));
+            return;
+        }
+        self.invariant_checks += 1;
+        if engine.monitor().snapshot_bytes() != self.mirror.snapshot_bytes() {
+            self.violation(format!(
+                "R2 (binary) violated at promotion: snapshot bytes differ at LSN {lsn}"
+            ));
+            return;
+        }
+        self.promoted = true;
+        // Requests toward the dead primary evaporate; its already-sent
+        // responses can still land — *after* the epoch bump, so the
+        // fence must reject every one of them.
+        self.net_req.clear();
+        for flight in self.net_resp.drain_all() {
+            self.apply_wire(&flight.payload);
+            if !self.violations.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn run(mut self) -> ReplReport {
+        let mut pending = self.script();
+        while let Some(line) = pending.pop_front() {
+            if !self.violations.is_empty() {
+                break;
+            }
+            self.clock
+                .advance(Duration::from_millis(1 + self.transport_rng.below(40)));
+            self.deliver(&line);
+            if !self.promoted {
+                self.repl_round();
+            }
+            if !self.violations.is_empty() {
+                break;
+            }
+            if !self.promoted && self.config.faults.crash_now(&mut self.crash_rng) {
+                self.restart_primary();
+            } else if self.crash_rng.per_mille(8) {
+                if self.promoted {
+                    self.restart_active();
+                } else {
+                    self.restart_replica();
+                }
+            } else if !self.promoted && self.crash_rng.per_mille(6) {
+                self.failover();
+            }
+        }
+        // Every run ends in a failover: losing the primary forever is
+        // the scenario the subsystem exists for.
+        if self.violations.is_empty() && !self.promoted {
+            self.failover();
+        }
+        // The promoted node must actually serve: a deterministic coda
+        // of writes and reads against it.
+        if self.violations.is_empty() {
+            for line in self.coda() {
+                self.deliver(&line);
+                if !self.violations.is_empty() {
+                    break;
+                }
+            }
+        }
+        // And the takeover state must itself survive power loss.
+        if self.violations.is_empty() {
+            self.restart_active();
+        }
+        let req_stats = self.net_req.stats();
+        let resp_stats = self.net_resp.stats();
+        ReplReport {
+            seed: self.config.seed,
+            ops: self.ops,
+            wal_records: self.wal_records,
+            batches_applied: self.batches_applied,
+            records_replicated: self.records_replicated,
+            records_skipped: self.records_skipped,
+            snapshots_installed: self.snapshots_installed,
+            fenced: self.fenced,
+            repl_errors: self.repl_errors,
+            primary_crashes: self.primary_crashes,
+            replica_crashes: self.replica_crashes,
+            failovers: self.failovers,
+            promoted_epoch: self.promoted_epoch,
+            promotion_lsn: self.promotion_lsn,
+            partitions: req_stats.partitions + resp_stats.partitions,
+            transport_faults: req_stats.faults() + resp_stats.faults(),
+            score_checks: self.score_checks,
+            invariant_checks: self.invariant_checks,
+            violations: self.violations,
+        }
+    }
+}
+
+/// One scripted client op (same mix as the single-node simulator).
+fn scripted_op(rng: &mut SplitMix64, month: i32, n_customers: u64) -> String {
+    let draw = rng.below(100);
+    if draw < 60 {
+        let customer = CustomerId::new(1 + rng.below(n_customers));
+        let m = if rng.per_mille(80) {
+            (month - 2).max(0) // backdated: may be out-of-order
+        } else {
+            month + rng.below(2) as i32
+        };
+        let (y, mo, _) = origin().add_months(m).ymd();
+        let day = 1 + rng.below(28) as u32;
+        let date = Date::from_ymd(y, mo, day).expect("clamped day is valid");
+        let items: Vec<ItemId> = (0..1 + rng.below(4))
+            .map(|_| ItemId::new(1 + rng.below(40) as u32))
+            .collect();
+        Request::Ingest(customer, date, items).to_line()
+    } else if draw < 80 {
+        let customer = CustomerId::new(1 + rng.below(n_customers + 4));
+        Request::Score(customer).to_line()
+    } else if draw < 88 {
+        let (y, mo, _) = origin().add_months(month).ymd();
+        Request::Flush(Date::from_ymd(y, mo, 1).expect("month start is valid")).to_line()
+    } else if draw < 96 {
+        "PING".to_owned()
+    } else {
+        format!("BOGUS {}", rng.below(100))
+    }
+}
+
+/// Run one replicated world to completion. [`ReplReport::assert_ok`]
+/// turns a failure into a panic carrying the seed and repro command.
+pub fn run_repl(config: &ReplSimConfig) -> ReplReport {
+    ReplSim::new(config.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quiet_world_replicates_fails_over_and_serves() {
+        let config = ReplSimConfig {
+            faults: FaultPlan::none(),
+            partition_per_mille: 0,
+            ..ReplSimConfig::for_seed(0)
+        };
+        let report = run_repl(&config);
+        report.assert_ok();
+        assert_eq!(report.failovers, 1, "{report:?}");
+        assert!(report.records_replicated > 0, "{report:?}");
+        assert!(report.promoted_epoch >= 2, "{report:?}");
+        assert!(
+            report.ops > config.n_ops,
+            "the coda must run against the promoted node: {report:?}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = run_repl(&ReplSimConfig::for_seed(9));
+        let b = run_repl(&ReplSimConfig::for_seed(9));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = run_repl(&ReplSimConfig::for_seed(10));
+        assert_ne!(format!("{a:?}"), format!("{c:?}"), "seed must matter");
+    }
+
+    #[test]
+    fn the_sweep_shape_is_a_pure_function_of_the_seed() {
+        // The repro command carries only the seed, so every knob must
+        // re-derive from it, and nearby seeds must cover both sync
+        // policies, both checkpoint formats, and both batch sizes.
+        let configs: Vec<ReplSimConfig> = (0..16).map(ReplSimConfig::for_seed).collect();
+        assert!(configs.iter().any(|c| c.primary_sync == SyncPolicy::Always));
+        assert!(configs.iter().any(|c| c.primary_sync != SyncPolicy::Always));
+        assert!(configs
+            .iter()
+            .any(|c| c.checkpoint_format == CheckpointFormat::Text));
+        assert!(configs
+            .iter()
+            .any(|c| c.checkpoint_format == CheckpointFormat::Binary));
+        assert!(configs.iter().any(|c| c.batch_max == 5));
+        assert!(configs.iter().any(|c| c.batch_max == 64));
+    }
+
+    #[test]
+    fn repro_command_names_the_public_test() {
+        assert_eq!(
+            repro_repl_command(7),
+            "ATTRITION_REPL_SEED=7 cargo test -p attrition-sim --test repl repro_repl_seed -- --nocapture"
+        );
+    }
+}

@@ -142,6 +142,7 @@ fn main() {
         "oversubscribed",
     ]);
     let mut base_ms = 0.0f64;
+    let mut best_claim: Option<(usize, f64)> = None;
     for &threads in &[1usize, 2, 4, 8] {
         let t = Instant::now();
         let _ = StabilityEngine::new(StabilityParams::PAPER)
@@ -155,23 +156,43 @@ fn main() {
         // still works) but flagged: their speedup is not a scaling
         // measurement, just scheduler overhead on contended cores.
         let oversubscribed = threads > hw;
+        let speedup = base_ms / ms;
+        if !oversubscribed && best_claim.is_none_or(|(_, s)| speedup > s) {
+            best_claim = Some((threads, speedup));
+        }
         scaling.row([
             threads.to_string(),
             format!("{ms:.0}"),
-            format!("{:.2}x", base_ms / ms),
+            format!("{speedup:.2}x"),
             hw.to_string(),
             oversubscribed.to_string(),
         ]);
         threads_csv.record(&[
             &threads.to_string(),
             &format!("{ms:.1}"),
-            &format!("{:.3}", base_ms / ms),
+            &format!("{speedup:.3}"),
             &hw.to_string(),
             &oversubscribed.to_string(),
         ]);
     }
     println!("{scaling}");
     txt.push_str(&format!("{scaling}\n"));
+    // The headline scaling claim is gated on the `oversubscribed` flag:
+    // only rows that had real cores behind them count, so a 1-core
+    // runner records "no claim" instead of a misleading speedup.
+    let claim = match best_claim {
+        Some((threads, speedup)) if hw > 1 => format!(
+            "scaling claim: {speedup:.2}x at {threads} threads \
+             (rows beyond {hw} hardware threads excluded as oversubscribed)"
+        ),
+        _ => format!(
+            "scaling claim: none — every multi-thread row is oversubscribed \
+             (available_parallelism = {hw}); speedups above are scheduler noise, \
+             not scaling measurements"
+        ),
+    };
+    println!("{claim}");
+    txt.push_str(&format!("{claim}\n"));
     write_result("scalability.csv", &csv.finish());
     write_result("scalability_threads.csv", &threads_csv.finish());
     write_result("scalability.txt", &txt);

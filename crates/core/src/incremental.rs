@@ -238,6 +238,30 @@ impl StabilityMonitor {
         date: Date,
         basket: &Basket,
     ) -> Vec<WindowClosed> {
+        // A basket is sorted + deduplicated by construction, so the
+        // slice path applies identically.
+        self.ingest_sorted(customer, date, basket.items())
+    }
+
+    /// [`ingest`](StabilityMonitor::ingest) over a plain sorted,
+    /// deduplicated item slice — the zero-allocation entry point of the
+    /// batched wire path, which sorts into a reusable scratch buffer
+    /// instead of building a [`Basket`] per receipt. Behavior (and every
+    /// emitted score) is bit-identical to `ingest` with
+    /// `Basket::new(items.to_vec())`.
+    ///
+    /// # Panics
+    /// Debug builds assert the slice is strictly ascending.
+    pub fn ingest_sorted(
+        &mut self,
+        customer: CustomerId,
+        date: Date,
+        items: &[ItemId],
+    ) -> Vec<WindowClosed> {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "ingest_sorted requires sorted, deduplicated items"
+        );
         let Some(window) = self.spec.window_of(date) else {
             return Vec::new();
         };
@@ -264,7 +288,7 @@ impl StabilityMonitor {
         while state.current_window < window.raw() {
             closed.push(Self::close_one(customer, state, self.max_explanations));
         }
-        state.pending.extend(basket.iter());
+        state.pending.extend_from_slice(items);
         if attrition_obs::enabled() {
             let registry = attrition_obs::global();
             registry.counter("core.monitor.receipts_ingested").add(1);
@@ -289,6 +313,15 @@ impl StabilityMonitor {
             }
         }
         closed
+    }
+
+    /// The window a customer is currently accumulating, without
+    /// computing significance or cloning pending items — the cheap
+    /// accessor the ingest path uses for its out-of-order check (a full
+    /// [`preview`](StabilityMonitor::preview) allocates and scores).
+    pub fn current_window(&self, customer: CustomerId) -> Option<u32> {
+        self.slot(customer)
+            .map(|slot| self.states[slot].current_window)
     }
 
     /// The live (not yet closed) stability of a customer's current

@@ -27,6 +27,8 @@
 use crate::env::{Clock, RealClock, RngCore, SplitMix64, Transport};
 use crate::protocol::{parse_score_line, ParsedScore};
 use attrition_types::Date;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -195,6 +197,12 @@ impl Client {
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let first = self.read_line()?;
+        self.read_reply(first)
+    }
+
+    /// Parse one member/request reply whose first line is `first`,
+    /// reading any follow-up `CLOSED` lines it announces.
+    fn read_reply(&mut self, first: String) -> std::io::Result<Reply> {
         if let Some(rest) = first.strip_prefix("OK ") {
             // `OK <n>` (a bare count) announces n CLOSED lines; any
             // other OK payload is a plain acknowledgement.
@@ -277,6 +285,64 @@ impl Client {
         }
     }
 
+    /// Write one `BATCH` frame — header plus every member line — as a
+    /// single buffered write (one syscall for small batches), without
+    /// waiting for the reply. Pair with
+    /// [`read_batch_replies`](Client::read_batch_replies), or use
+    /// [`send_batch`](Client::send_batch) for the blocking round trip.
+    pub fn write_batch(&mut self, members: &[String]) -> std::io::Result<()> {
+        let mut frame =
+            String::with_capacity(16 + members.iter().map(|m| m.len() + 1).sum::<usize>());
+        let _ = writeln!(frame, "BATCH {}", members.len());
+        for member in members {
+            frame.push_str(member);
+            frame.push('\n');
+        }
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Read the reply to one previously written batch of `n` members:
+    /// the `OKBATCH <n>` header plus one parsed [`Reply`] per member. A
+    /// frame-level rejection (`ERR …` instead of `OKBATCH`) or a member
+    /// count mismatch surfaces as `InvalidData` — the server rejected
+    /// or misframed the batch, so no member can be attributed an ack.
+    pub fn read_batch_replies(&mut self, n: usize) -> std::io::Result<Vec<Reply>> {
+        let first = self.read_line()?;
+        let invalid =
+            |message: String| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
+        let Some(rest) = first.strip_prefix("OKBATCH ") else {
+            if let Some(message) = first.strip_prefix("ERR ") {
+                return Err(invalid(format!("batch rejected: {message}")));
+            }
+            return Err(invalid(format!("unparseable batch reply: {first:?}")));
+        };
+        let count: usize = rest
+            .trim()
+            .parse()
+            .map_err(|_| invalid(format!("unparseable batch reply: {first:?}")))?;
+        if count != n {
+            return Err(invalid(format!(
+                "batch reply count mismatch: sent {n} members, server answered {count}"
+            )));
+        }
+        let mut replies = Vec::with_capacity(n);
+        for _ in 0..n {
+            let first = self.read_line()?;
+            replies.push(self.read_reply(first)?);
+        }
+        Ok(replies)
+    }
+
+    /// Send one `BATCH` frame and block for its replies, one per member
+    /// in order. The server acks the whole frame only after every
+    /// mutating member shares a single group-commit fsync, so this is
+    /// the cheapest way to make many ingests durable.
+    pub fn send_batch(&mut self, members: &[String]) -> std::io::Result<Vec<Reply>> {
+        self.write_batch(members)?;
+        self.read_batch_replies(members.len())
+    }
+
     /// `INGEST`: returns the windows this receipt closed.
     pub fn ingest(&mut self, customer: u64, date: Date, items: &[u32]) -> std::io::Result<Reply> {
         let mut line = format!("INGEST {customer} {date}");
@@ -333,6 +399,78 @@ impl Client {
 impl Transport for Client {
     fn exchange(&mut self, line: &str) -> std::io::Result<String> {
         self.exchange_raw(line)
+    }
+}
+
+/// Bounded-window pipelining over one [`Client`] connection: keep up to
+/// `window` batch frames in flight before blocking on the oldest ack,
+/// overlapping the client's send path with the server's fsync + apply.
+/// Each submitted batch carries a caller tag `T` (typically the send
+/// timestamp) handed back with its replies, so a load generator can
+/// attribute latency without a map.
+///
+/// The window is what keeps pipelining honest: an unbounded pipe would
+/// let the client declare ops "sent" unboundedly far ahead of what the
+/// server has made durable.
+pub struct Pipeline<'a, T> {
+    client: &'a mut Client,
+    window: usize,
+    /// Member count + tag per in-flight frame, oldest first.
+    in_flight: VecDeque<(usize, T)>,
+}
+
+impl<'a, T> Pipeline<'a, T> {
+    /// Pipeline over `client` with at most `window` (≥ 1) frames in
+    /// flight.
+    pub fn new(client: &'a mut Client, window: usize) -> Pipeline<'a, T> {
+        Pipeline {
+            client,
+            window: window.max(1),
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// Frames currently awaiting their ack.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Write one batch frame. When the window is already full this
+    /// first blocks for the *oldest* outstanding frame's replies and
+    /// returns them (with their tag); otherwise it returns `None` and
+    /// never blocks on the read side.
+    pub fn submit(
+        &mut self,
+        members: &[String],
+        tag: T,
+    ) -> std::io::Result<Option<(Vec<Reply>, T)>> {
+        let completed = if self.in_flight.len() >= self.window {
+            Some(self.complete_oldest()?)
+        } else {
+            None
+        };
+        self.client.write_batch(members)?;
+        self.in_flight.push_back((members.len(), tag));
+        Ok(completed)
+    }
+
+    /// Block until every in-flight frame is acked; returns their
+    /// replies and tags, oldest first.
+    pub fn drain(&mut self) -> std::io::Result<Vec<(Vec<Reply>, T)>> {
+        let mut done = Vec::with_capacity(self.in_flight.len());
+        while !self.in_flight.is_empty() {
+            done.push(self.complete_oldest()?);
+        }
+        Ok(done)
+    }
+
+    fn complete_oldest(&mut self) -> std::io::Result<(Vec<Reply>, T)> {
+        let (n, tag) = self
+            .in_flight
+            .pop_front()
+            .expect("complete_oldest requires an in-flight frame");
+        let replies = self.client.read_batch_replies(n)?;
+        Ok((replies, tag))
     }
 }
 

@@ -18,10 +18,15 @@
 use crate::checkpoint::{self, CheckpointFormat};
 use crate::env::{Clock, RealClock, RealStorage, Storage};
 use crate::faults::FaultPlan;
-use crate::protocol::{format_closed, format_score, ParseError, Request};
+use crate::protocol::{
+    format_closed, format_closed_into, format_score, format_score_into, write_flush_line,
+    write_ingest_line, BatchLines, ParseError, ParsedRequest, Request,
+};
 use crate::shard::ShardedMonitor;
 use crate::wal::{SyncPolicy, Wal, WAL_FILE};
 use attrition_core::WindowClosed;
+use attrition_types::ItemId;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -91,7 +96,19 @@ impl Durable {
     /// a counter + log line — the WAL still holds everything, so
     /// serving beats dying; the next trigger retries.
     fn after_logged(&mut self, monitor: &ShardedMonitor) {
-        self.since_checkpoint += 1;
+        self.after_logged_n(monitor, 1);
+    }
+
+    /// [`after_logged`](Durable::after_logged) for a whole batch of `n`
+    /// logged requests at once. Called only **after** the batch's apply
+    /// loop — checkpointing between log and apply would cut at an LSN
+    /// covering records the monitor has not absorbed yet, and the
+    /// truncation would lose them.
+    fn after_logged_n(&mut self, monitor: &ShardedMonitor, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.since_checkpoint += n;
         let due_count = self.checkpoint_every_requests > 0
             && self.since_checkpoint >= self.checkpoint_every_requests;
         let due_time = self
@@ -165,6 +182,60 @@ pub struct ShutdownReport {
     pub wal_fsyncs: u64,
     /// Checkpoints written (periodic + shutdown).
     pub checkpoints: u64,
+}
+
+/// What happened to one member of a batch frame — the attribution the
+/// deterministic simulator needs to mirror a batched run op-by-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemberOutcome {
+    /// The WAL sequence number the member's record got (0 when the
+    /// member was not logged: read-only, parse error, or append failed).
+    pub seq: u64,
+    /// Whether a WAL record for this member is in the log file. A
+    /// logged member whose group commit failed keeps `logged = true`
+    /// (recovery may replay it) but is answered `ERR` and not applied.
+    pub logged: bool,
+    /// Whether the member mutated the live monitor.
+    pub applied: bool,
+}
+
+/// Reusable per-connection scratch for executing batch frames: the item
+/// arena the members parse into, their parsed forms, per-member
+/// outcomes, the WAL op-line buffer, and the sorted-items buffer the
+/// apply phase uses instead of building a `Basket` per receipt. After a
+/// few warmup frames every buffer has reached its steady-state capacity
+/// and executing an `INGEST`-only batch allocates nothing.
+#[derive(Default)]
+pub struct BatchScratch {
+    /// Shared item arena; `ParsedRequest::Ingest` ranges index into it.
+    items: Vec<ItemId>,
+    /// Parse result per member (`Err` carries the `ERR` message).
+    parsed: Vec<Result<ParsedRequest, String>>,
+    /// Outcome per member, parallel to `parsed`.
+    outcomes: Vec<MemberOutcome>,
+    /// Reusable canonical op line for WAL appends.
+    op_line: String,
+    /// Reusable sorted+deduplicated items for one apply.
+    apply_items: Vec<ItemId>,
+}
+
+impl BatchScratch {
+    /// Fresh scratch (buffers grow to steady-state over the first frames).
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    /// Reset for a new frame, keeping capacities.
+    fn begin(&mut self) {
+        self.items.clear();
+        self.parsed.clear();
+        self.outcomes.clear();
+    }
+
+    /// Per-member outcomes of the last executed batch, in member order.
+    pub fn outcomes(&self) -> &[MemberOutcome] {
+        &self.outcomes
+    }
 }
 
 /// The transport-independent scoring server core. See the module docs.
@@ -295,6 +366,18 @@ impl Engine {
         match &self.durable {
             Some(durable) => lock_durable(durable).wal.synced_seq(),
             None => 0,
+        }
+    }
+
+    /// Whether the WAL has entered its fault-injected crashed state
+    /// (every further append, sync and checkpoint fails). The
+    /// deterministic simulator polls this after a batch to detect a
+    /// mid-commit crash fault and restart the world; `false` when
+    /// durability is off.
+    pub fn wal_crashed(&self) -> bool {
+        match &self.durable {
+            Some(durable) => lock_durable(durable).wal.crashed(),
+            None => false,
         }
     }
 
@@ -436,6 +519,201 @@ impl Engine {
             }
         };
         (verb, response)
+    }
+
+    /// Execute one batch frame. Parses every member into `scratch`'s
+    /// shared arena, appends all mutating members to the WAL and
+    /// group-commits them with **one** fsync (policy permitting), then
+    /// applies and answers each member in order — so no member is acked
+    /// before the whole group is as durable as the sync policy promises.
+    ///
+    /// Writes the full frame body into `out`: `OKBATCH <n>` plus one
+    /// (possibly multi-line) member response per member, `'\n'`-joined,
+    /// no trailing newline (the transport appends it). Member responses
+    /// are byte-identical to what [`respond`](Engine::respond) would
+    /// have produced for the same lines sent unbatched.
+    pub fn respond_batch(
+        &self,
+        batch: &dyn BatchLines,
+        scratch: &mut BatchScratch,
+        out: &mut String,
+    ) {
+        let n = batch.len();
+        if attrition_obs::enabled() {
+            attrition_obs::global()
+                .histogram("serve.batch.size")
+                .observe(n as f64);
+        }
+        scratch.begin();
+        let BatchScratch {
+            items,
+            parsed,
+            outcomes,
+            op_line,
+            apply_items,
+        } = scratch;
+        for i in 0..n {
+            parsed.push(Request::parse_into(batch.line(i), items).map_err(|ParseError(m)| m));
+            outcomes.push(MemberOutcome::default());
+        }
+        let _ = write!(out, "OKBATCH {n}");
+        let mut errors = 0u64;
+        match &self.durable {
+            Some(durable) => {
+                let mut d = lock_durable(durable);
+                // Log phase: append every mutating member, defer the sync.
+                let mut logged = 0u64;
+                for (parse, outcome) in parsed.iter_mut().zip(outcomes.iter_mut()) {
+                    let Ok(request) = parse else { continue };
+                    op_line.clear();
+                    match request {
+                        ParsedRequest::Ingest(customer, date, range) => {
+                            write_ingest_line(op_line, *customer, *date, &items[range.clone()]);
+                        }
+                        ParsedRequest::Flush(date) => write_flush_line(op_line, *date),
+                        _ => continue, // read-only: nothing to log
+                    }
+                    match d.wal.append_deferred(op_line) {
+                        Ok(seq) => {
+                            outcome.seq = seq;
+                            outcome.logged = true;
+                            logged += 1;
+                        }
+                        Err(e) => {
+                            attrition_obs::counter("serve.wal.errors").inc();
+                            *parse = Err(format!("wal append failed: {e}"));
+                        }
+                    }
+                }
+                // One group commit covering every append above.
+                if let Err(e) = d.wal.commit() {
+                    attrition_obs::counter("serve.wal.errors").inc();
+                    for (parse, outcome) in parsed.iter_mut().zip(outcomes.iter()) {
+                        if outcome.logged {
+                            // In the file but not durable: recovery may
+                            // replay the record, but the client sees ERR
+                            // and the live monitor must not apply it —
+                            // the single-op sync-failure semantics.
+                            *parse = Err(format!("wal commit failed: {e}"));
+                        }
+                    }
+                }
+                // Apply phase, still under the lock so log order equals
+                // apply order and a checkpoint cannot cut mid-batch.
+                for (parse, outcome) in parsed.iter().zip(outcomes.iter_mut()) {
+                    out.push('\n');
+                    let at = out.len();
+                    self.member_response(parse, outcome, items, apply_items, out);
+                    if out[at..].starts_with("ERR") {
+                        errors += 1;
+                    }
+                }
+                d.after_logged_n(&self.monitor, logged);
+            }
+            None => {
+                for (parse, outcome) in parsed.iter().zip(outcomes.iter_mut()) {
+                    out.push('\n');
+                    let at = out.len();
+                    self.member_response(parse, outcome, items, apply_items, out);
+                    if out[at..].starts_with("ERR") {
+                        errors += 1;
+                    }
+                }
+            }
+        }
+        self.requests.fetch_add(n as u64, Ordering::Relaxed);
+        attrition_obs::counter("serve.requests").add(n as u64);
+        if errors > 0 {
+            self.errors.fetch_add(errors, Ordering::Relaxed);
+            attrition_obs::counter("serve.errors").add(errors);
+        }
+    }
+
+    /// Apply (when applicable) and answer one batch member, appending
+    /// the response to `out`. Mutating members reaching this point were
+    /// either logged *and* group-committed, or durability is off; a
+    /// member whose append or commit failed arrives as `Err` and is
+    /// answered without touching the monitor.
+    fn member_response(
+        &self,
+        parse: &Result<ParsedRequest, String>,
+        outcome: &mut MemberOutcome,
+        items: &[ItemId],
+        apply_items: &mut Vec<ItemId>,
+        out: &mut String,
+    ) {
+        let request = match parse {
+            Ok(request) => request,
+            Err(message) => {
+                let _ = write!(out, "ERR {message}");
+                return;
+            }
+        };
+        match request {
+            ParsedRequest::Ping => out.push_str("PONG"),
+            ParsedRequest::Ingest(customer, date, range) => {
+                // Same canonicalization `Basket::new` performs, without
+                // the allocation: the arena slice is wire-order.
+                apply_items.clear();
+                apply_items.extend_from_slice(&items[range.clone()]);
+                apply_items.sort_unstable();
+                apply_items.dedup();
+                match self.monitor.ingest_sorted(*customer, *date, apply_items) {
+                    Ok(closed) => {
+                        outcome.applied = true;
+                        write_closed_response(out, &closed);
+                    }
+                    Err(out_of_order) => {
+                        let _ = write!(out, "ERR {out_of_order}");
+                    }
+                }
+            }
+            ParsedRequest::Score(customer) => match self.monitor.preview(*customer) {
+                Some(point) => format_score_into(out, *customer, &point),
+                None => {
+                    let _ = write!(out, "ERR unknown customer {}", customer.raw());
+                }
+            },
+            ParsedRequest::Flush(date) => {
+                let closed = self.monitor.flush_until(*date);
+                outcome.applied = true;
+                write_closed_response(out, &closed);
+            }
+            ParsedRequest::Snapshot => match self.write_snapshot() {
+                Ok(Some(path)) => {
+                    let bytes = self.storage.len(&path).unwrap_or(0);
+                    let _ = write!(out, "OK {bytes} {}", path.display());
+                }
+                Ok(None) => out.push_str("ERR no snapshot path configured"),
+                Err(e) => {
+                    let _ = write!(out, "ERR snapshot failed: {e}");
+                }
+            },
+            ParsedRequest::Stats => {
+                for (shard, customers) in self.monitor.customers_per_shard().iter().enumerate() {
+                    attrition_obs::gauge(&format!("serve.shard.{shard}.customers"))
+                        .set(*customers as i64);
+                }
+                let _ = write!(
+                    out,
+                    "STATS {}",
+                    attrition_obs::global().snapshot().to_json()
+                );
+            }
+            ParsedRequest::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                out.push_str("OK draining");
+            }
+        }
+    }
+}
+
+/// [`closed_response`] writing into an existing buffer (the batch path).
+fn write_closed_response(out: &mut String, closed: &[WindowClosed]) {
+    let _ = write!(out, "OK {}", closed.len());
+    for window in closed {
+        out.push('\n');
+        format_closed_into(out, window);
     }
 }
 

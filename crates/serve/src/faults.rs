@@ -73,6 +73,11 @@ pub struct FaultPlan {
     /// Rate (per 1000 client operations) of a crash-restart of the
     /// whole server at that event boundary (simulator only).
     pub crash_per_mille: u32,
+    /// Rate (per 1000 group commits with records pending) of process
+    /// death *between* a batch's appends and its group-commit fsync —
+    /// the window where a whole batch is in the file but none of it is
+    /// durable and none of it was acked.
+    pub crash_commit_per_mille: u32,
 }
 
 impl FaultPlan {
@@ -118,6 +123,7 @@ impl FaultPlan {
             dup_per_mille: 20,
             delay_per_mille: 100,
             crash_per_mille: 15,
+            crash_commit_per_mille: 12,
             ..FaultPlan::default()
         }
     }
@@ -132,6 +138,7 @@ impl FaultPlan {
             || self.dup_per_mille != 0
             || self.delay_per_mille != 0
             || self.crash_per_mille != 0
+            || self.crash_commit_per_mille != 0
     }
 
     /// Draw: should this append fail cleanly (nothing written)?
@@ -162,6 +169,12 @@ impl FaultPlan {
     /// Draw: should the server crash-restart at this event boundary?
     pub fn crash_now(&self, rng: &mut SplitMix64) -> bool {
         self.crash_per_mille != 0 && rng.per_mille(self.crash_per_mille)
+    }
+
+    /// Draw: should the process die between a group's appends and its
+    /// group-commit fsync?
+    pub fn crash_mid_commit(&self, rng: &mut SplitMix64) -> bool {
+        self.crash_commit_per_mille != 0 && rng.per_mille(self.crash_commit_per_mille)
     }
 }
 

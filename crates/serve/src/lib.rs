@@ -66,12 +66,14 @@ pub mod shard;
 pub mod wal;
 
 pub use checkpoint::CheckpointFormat;
-pub use client::{Client, Reply, RetryPolicy, RetryStats};
-pub use engine::{Engine, ShutdownReport};
+pub use client::{Client, Pipeline, Reply, RetryPolicy, RetryStats};
+pub use engine::{BatchScratch, Engine, MemberOutcome, ShutdownReport};
 pub use env::{Clock, RealClock, RealStorage, RngCore, SplitMix64, Storage, Transport};
 pub use faults::FaultPlan;
 pub use pool::ThreadPool;
-pub use protocol::{ParsedScore, Request};
+pub use protocol::{
+    parse_batch_header, BatchLines, PackedLines, ParsedRequest, ParsedScore, Request, MAX_BATCH,
+};
 pub use recovery::{recover, Fallback, RecoveryError, RecoveryStats};
 pub use server::{
     install_sigint_handler, start, start_resumed, start_service, start_with, DurabilityConfig,

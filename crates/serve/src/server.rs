@@ -24,15 +24,19 @@
 //! so the log order equals the apply order and a checkpoint always cuts
 //! at an exact LSN — mutating requests serialize on that lock (reads
 //! do not), which is the honest cost of a single log file: under
-//! `--sync-policy always` the fsync, not the lock, dominates. Group
-//! commit across workers is future work (DESIGN §10).
+//! `--sync-policy always` the fsync, not the lock, dominates. A client
+//! amortizes that fsync with `BATCH` frames (DESIGN §14): all mutating
+//! members of one frame share one group-commit fsync.
 
-use crate::engine::{Engine, ShutdownReport};
+use crate::engine::{BatchScratch, Engine, ShutdownReport};
 use crate::pool::ThreadPool;
+use crate::protocol::{parse_batch_header, BatchLines, PackedLines, ParseError};
 use crate::shard::ShardedMonitor;
 use attrition_core::StabilityParams;
+use attrition_obs::Counter;
 use attrition_store::WindowSpec;
-use std::io::{BufRead, BufReader, Write};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +54,19 @@ pub trait Service: Send + Sync {
     /// Execute one request line; returns `(verb, response)` — the
     /// response may span multiple lines but never ends with a newline.
     fn respond(&self, line: &str) -> (&'static str, String);
+    /// Execute one batch frame, appending `OKBATCH <n>` plus every
+    /// member response (`'\n'`-joined, no trailing newline) to `out`.
+    /// The default runs each member through [`respond`](Service::respond)
+    /// — correct for any service, without fsync amortization; the
+    /// [`Engine`] overrides it with the group-commit WAL path.
+    fn respond_batch(&self, batch: &dyn BatchLines, _scratch: &mut BatchScratch, out: &mut String) {
+        let _ = write!(out, "OKBATCH {}", batch.len());
+        for i in 0..batch.len() {
+            let (_verb, response) = self.respond(batch.line(i));
+            out.push('\n');
+            out.push_str(&response);
+        }
+    }
     /// Ask the service to drain: connection loops poll
     /// [`shutdown_requested`](Service::shutdown_requested) and stop.
     fn request_shutdown(&self);
@@ -70,6 +87,9 @@ pub trait Service: Send + Sync {
 impl Service for Engine {
     fn respond(&self, line: &str) -> (&'static str, String) {
         Engine::respond(self, line)
+    }
+    fn respond_batch(&self, batch: &dyn BatchLines, scratch: &mut BatchScratch, out: &mut String) {
+        Engine::respond_batch(self, batch, scratch, out)
     }
     fn request_shutdown(&self) {
         Engine::request_shutdown(self)
@@ -362,8 +382,10 @@ fn handle_connection(stream: TcpStream, service: &dyn Service) {
 
 /// One framing attempt from the connection's buffered reader.
 enum Frame {
-    /// A complete line (newline stripped), possibly empty.
-    Line(String),
+    /// A complete line (newline stripped, possibly empty) is in the
+    /// caller's buffer — still raw bytes; the caller validates UTF-8 so
+    /// the buffer can be reused frame after frame without reallocating.
+    Line,
     /// Client closed the connection.
     Eof,
     /// Idle past the read timeout.
@@ -371,14 +393,12 @@ enum Frame {
     /// The line exceeded [`MAX_LINE_BYTES`]; the rest of it (up to the
     /// next newline) has been discarded.
     TooLong,
-    /// The line was complete but not valid UTF-8.
-    NotUtf8,
 }
 
 /// Read one newline-delimited frame with a hard size bound. Unlike
-/// `BufRead::read_line`, an oversized or non-UTF-8 frame is consumed
-/// and reported as a recoverable variant instead of poisoning the
-/// connection — the caller answers `ERR` and keeps serving.
+/// `BufRead::read_line`, an oversized frame is consumed and reported as
+/// a recoverable variant instead of poisoning the connection — the
+/// caller answers `ERR` and keeps serving.
 fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<Frame> {
     buf.clear();
     let mut overflowed = false;
@@ -412,51 +432,205 @@ fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<F
             if overflowed {
                 return Ok(Frame::TooLong);
             }
-            return match String::from_utf8(std::mem::take(buf)) {
-                Ok(line) => Ok(Frame::Line(line)),
-                Err(_) => Ok(Frame::NotUtf8),
-            };
+            return Ok(Frame::Line);
         }
     }
+}
+
+/// The per-verb latency histogram name, without a per-request
+/// `format!`: the verb set is closed, so the mapping is static.
+fn latency_metric(verb: &str) -> &'static str {
+    match verb {
+        "ping" => "serve.latency.ping",
+        "ingest" => "serve.latency.ingest",
+        "score" => "serve.latency.score",
+        "flush" => "serve.latency.flush",
+        "snapshot" => "serve.latency.snapshot",
+        "stats" => "serve.latency.stats",
+        "shutdown" => "serve.latency.shutdown",
+        "parse" => "serve.latency.parse",
+        _ => "serve.latency.other",
+    }
+}
+
+/// Write one response frame — `body` plus the terminating newline —
+/// directly to the socket with a vectored write (normally one syscall,
+/// no userspace copy into a combined buffer).
+fn write_frame(writer: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    let total = body.len() + 1;
+    let mut written = 0usize;
+    while written < total {
+        let result = if written < body.len() {
+            writer.write_vectored(&[IoSlice::new(&body[written..]), IoSlice::new(b"\n")])
+        } else {
+            writer.write(b"\n")
+        };
+        match result {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole response frame",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// How reading a batch frame's member lines ended.
+enum BatchRead {
+    /// All `n` members read into the pack, ready to execute.
+    Complete,
+    /// All `n` member lines were consumed (framing preserved) but at
+    /// least one was unusable; the message describes the first one.
+    /// Nothing may execute — the whole frame is answered with one `ERR`.
+    Invalid(String),
+    /// EOF or timeout mid-frame: the batch never fully arrived, so
+    /// nothing executes and the connection closes.
+    Disconnected,
+}
+
+/// Read the `n` member lines of a `BATCH n` frame into `batch_buf` +
+/// `bounds` (a [`PackedLines`] pack). Invalid members do not abort the
+/// read: all `n` lines are consumed either way, so the stream stays
+/// framed and the connection survives a rejected batch.
+fn read_batch_members(
+    reader: &mut impl BufRead,
+    n: usize,
+    member: &mut Vec<u8>,
+    batch_buf: &mut String,
+    bounds: &mut Vec<(usize, usize)>,
+    bytes_read: &Counter,
+) -> std::io::Result<BatchRead> {
+    batch_buf.clear();
+    bounds.clear();
+    let mut invalid: Option<String> = None;
+    for i in 0..n {
+        match read_frame(reader, member)? {
+            Frame::Eof | Frame::TimedOut => return Ok(BatchRead::Disconnected),
+            Frame::TooLong => {
+                if invalid.is_none() {
+                    invalid = Some(format!(
+                        "batch member {i}: line too long (max {MAX_LINE_BYTES} bytes)"
+                    ));
+                }
+            }
+            Frame::Line => {
+                bytes_read.add(member.len() as u64 + 1);
+                match std::str::from_utf8(member) {
+                    Err(_) => {
+                        if invalid.is_none() {
+                            invalid = Some(format!("batch member {i}: request is not valid UTF-8"));
+                        }
+                    }
+                    Ok(line) => {
+                        let line = line.trim_end_matches('\r');
+                        if parse_batch_header(line).is_some() {
+                            if invalid.is_none() {
+                                invalid =
+                                    Some(format!("batch member {i}: nested BATCH not allowed"));
+                            }
+                        } else {
+                            let start = batch_buf.len();
+                            batch_buf.push_str(line);
+                            bounds.push((start, batch_buf.len()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(match invalid {
+        Some(message) => BatchRead::Invalid(message),
+        None => BatchRead::Complete,
+    })
 }
 
 fn serve_connection(stream: TcpStream, service: &dyn Service) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Reusable per-connection buffers: the frame line, batch member
+    // lines, the packed batch, the response being corked, and the
+    // engine's parse/apply scratch. After a few frames these reach
+    // steady-state capacity and the INGEST path allocates nothing.
     let mut buf = Vec::new();
+    let mut member = Vec::new();
+    let mut batch_buf = String::new();
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
+    let mut scratch = BatchScratch::new();
+    let mut out = String::new();
     let bytes_read = attrition_obs::counter("serve.bytes_read");
     let bytes_written = attrition_obs::counter("serve.bytes_written");
     loop {
         if service.shutdown_requested() {
             return Ok(()); // draining: finish after the current request
         }
-        let response: String = match read_frame(&mut reader, &mut buf)? {
+        out.clear();
+        match read_frame(&mut reader, &mut buf)? {
             Frame::Eof => return Ok(()), // client closed
             Frame::TimedOut => {
                 attrition_obs::counter("serve.connections.timed_out").inc();
                 return Ok(()); // idle past the read timeout
             }
-            Frame::TooLong => format!("ERR line too long (max {MAX_LINE_BYTES} bytes)"),
-            Frame::NotUtf8 => "ERR request is not valid UTF-8".to_owned(),
-            Frame::Line(line) => {
-                bytes_read.add(line.len() as u64 + 1);
-                let trimmed = line.trim_end_matches('\r');
-                if trimmed.is_empty() {
-                    continue; // tolerate blank keep-alive lines
-                }
-                let started = Instant::now();
-                let (verb, response) = service.respond(trimmed);
-                attrition_obs::observe_ms(
-                    &format!("serve.latency.{verb}"),
-                    started.elapsed().as_secs_f64() * 1e3,
-                );
-                response
+            Frame::TooLong => {
+                let _ = write!(out, "ERR line too long (max {MAX_LINE_BYTES} bytes)");
             }
-        };
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        bytes_written.add(response.len() as u64 + 1);
+            Frame::Line => {
+                bytes_read.add(buf.len() as u64 + 1);
+                match std::str::from_utf8(&buf) {
+                    Err(_) => out.push_str("ERR request is not valid UTF-8"),
+                    Ok(line) => {
+                        let line = line.trim_end_matches('\r');
+                        if line.is_empty() {
+                            continue; // tolerate blank keep-alive lines
+                        }
+                        match parse_batch_header(line) {
+                            Some(Err(ParseError(message))) => {
+                                let _ = write!(out, "ERR {message}");
+                            }
+                            Some(Ok(n)) => {
+                                match read_batch_members(
+                                    &mut reader,
+                                    n,
+                                    &mut member,
+                                    &mut batch_buf,
+                                    &mut bounds,
+                                    &bytes_read,
+                                )? {
+                                    BatchRead::Disconnected => return Ok(()),
+                                    BatchRead::Invalid(message) => {
+                                        let _ = write!(out, "ERR {message}");
+                                    }
+                                    BatchRead::Complete => {
+                                        let started = Instant::now();
+                                        let packed = PackedLines::new(&batch_buf, &bounds);
+                                        service.respond_batch(&packed, &mut scratch, &mut out);
+                                        attrition_obs::observe_ms(
+                                            "serve.latency.batch",
+                                            started.elapsed().as_secs_f64() * 1e3,
+                                        );
+                                    }
+                                }
+                            }
+                            None => {
+                                let started = Instant::now();
+                                let (verb, response) = service.respond(line);
+                                attrition_obs::observe_ms(
+                                    latency_metric(verb),
+                                    started.elapsed().as_secs_f64() * 1e3,
+                                );
+                                out.push_str(&response);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        write_frame(&mut writer, out.as_bytes())?;
+        bytes_written.add(out.len() as u64 + 1);
         if service.shutdown_requested() {
             return Ok(());
         }

@@ -96,18 +96,46 @@ impl ShardedMonitor {
         basket: &Basket,
     ) -> Result<Vec<WindowClosed>, OutOfOrder> {
         let mut shard = lock(&self.shards[self.shard_of(customer)]);
-        if let (Some(window), Some(preview)) =
-            (shard.spec().window_of(date), shard.preview(customer))
+        Self::check_order(&shard, customer, date)?;
+        Ok(shard.ingest(customer, date, basket))
+    }
+
+    /// [`ingest`](ShardedMonitor::ingest) over a pre-sorted,
+    /// deduplicated item slice — the batch path's entry point, which
+    /// reuses one scratch buffer instead of building a [`Basket`] per
+    /// receipt. Scores are bit-identical to `ingest`.
+    pub fn ingest_sorted(
+        &self,
+        customer: CustomerId,
+        date: Date,
+        items: &[attrition_types::ItemId],
+    ) -> Result<Vec<WindowClosed>, OutOfOrder> {
+        let mut shard = lock(&self.shards[self.shard_of(customer)]);
+        Self::check_order(&shard, customer, date)?;
+        Ok(shard.ingest_sorted(customer, date, items))
+    }
+
+    /// The out-of-order guard shared by both ingest paths. Uses the
+    /// cheap [`StabilityMonitor::current_window`] accessor — a full
+    /// `preview()` clones pending items and computes significance,
+    /// which is pure waste on every in-order receipt.
+    fn check_order(
+        shard: &StabilityMonitor,
+        customer: CustomerId,
+        date: Date,
+    ) -> Result<(), OutOfOrder> {
+        if let (Some(window), Some(current)) =
+            (shard.spec().window_of(date), shard.current_window(customer))
         {
-            if window.raw() < preview.window.raw() {
+            if window.raw() < current {
                 return Err(OutOfOrder {
                     customer,
                     got: window.raw(),
-                    current: preview.window.raw(),
+                    current,
                 });
             }
         }
-        Ok(shard.ingest(customer, date, basket))
+        Ok(())
     }
 
     /// Live stability of a customer's current window.

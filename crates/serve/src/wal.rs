@@ -100,15 +100,23 @@ pub struct WalRecord {
 
 /// Encode one frame (header + payload) ready to append.
 pub fn encode_record(seq: u64, op: &str) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER + SEQ_BYTES + op.len());
+    encode_record_into(&mut frame, seq, op);
+    frame
+}
+
+/// [`encode_record`] into a reusable buffer (cleared first) — the WAL's
+/// steady-state encoder, so appending does not allocate a frame per
+/// record.
+pub fn encode_record_into(frame: &mut Vec<u8>, seq: u64, op: &str) {
+    frame.clear();
     let payload_len = SEQ_BYTES + op.len();
-    let mut frame = Vec::with_capacity(HEADER + payload_len);
     frame.extend_from_slice(&(payload_len as u32).to_le_bytes());
     frame.extend_from_slice(&[0u8; 4]); // crc patched below
     frame.extend_from_slice(&seq.to_le_bytes());
     frame.extend_from_slice(op.as_bytes());
     let crc = crc32(&frame[HEADER..]);
     frame[4..8].copy_from_slice(&crc.to_le_bytes());
-    frame
 }
 
 /// Everything [`read_records`] learned about a log file.
@@ -196,6 +204,8 @@ pub struct Wal {
     faults: FaultPlan,
     fault_rng: SplitMix64,
     crashed: bool,
+    /// Reusable frame encode buffer (see [`encode_record_into`]).
+    frame: Vec<u8>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -259,6 +269,7 @@ impl Wal {
             faults,
             fault_rng,
             crashed: false,
+            frame: Vec::new(),
         })
     }
 
@@ -270,42 +281,7 @@ impl Wal {
     /// roll back poisons itself rather than appending unreachable
     /// records after garbage.
     pub fn append(&mut self, op: &str) -> std::io::Result<u64> {
-        if self.crashed {
-            return Err(injected_error("wal crashed"));
-        }
-        self.attempts += 1;
-        if self.faults.fail_append == Some(self.attempts) {
-            return Err(injected_error("scheduled append failure"));
-        }
-        let seq = self.next_seq;
-        let frame = encode_record(seq, op);
-        // One append call per frame: a crash tears at most this frame.
-        let outcome = if self.faults.torn_append(&mut self.fault_rng) {
-            // Injected torn write: a prefix of the frame reaches the
-            // file, then the write "fails" — what a full disk or a
-            // yanked cable leaves behind.
-            let cut = 1 + self.fault_rng.below(frame.len() as u64 - 1) as usize;
-            let _ = self.storage.append(&self.path, &frame[..cut]);
-            Err(injected_error("torn append"))
-        } else if self.faults.failed_append(&mut self.fault_rng) {
-            Err(injected_error("scheduled append failure"))
-        } else {
-            self.storage.append(&self.path, &frame)
-        };
-        if let Err(e) = outcome {
-            // Roll back whatever prefix may have landed. If even that
-            // fails the tail is garbage and every later append would be
-            // unreachable at recovery — poison the log instead.
-            if self.storage.set_len(&self.path, self.len).is_err() {
-                self.crashed = true;
-            }
-            return Err(e);
-        }
-        self.len += frame.len() as u64;
-        self.next_seq += 1;
-        self.appends += 1;
-        self.unsynced += 1;
-        attrition_obs::counter("serve.wal.appends").inc();
+        let seq = self.append_raw(op)?;
         match self.policy {
             SyncPolicy::Never => {}
             SyncPolicy::Always => self.sync()?,
@@ -319,6 +295,92 @@ impl Wal {
             self.crash();
         }
         Ok(seq)
+    }
+
+    /// [`append`](Wal::append) without the per-record policy sync — one
+    /// member of a group commit. The record is in the file (or the call
+    /// errored and nothing is), but it is **not** durable until the
+    /// group's [`commit`](Wal::commit) returns `Ok`; the caller must not
+    /// ack before then. Deterministic crash-after-N faults still fire,
+    /// at the append boundary, same as the plain path.
+    pub fn append_deferred(&mut self, op: &str) -> std::io::Result<u64> {
+        let seq = self.append_raw(op)?;
+        if self.faults.crash_after_appends == Some(self.appends) {
+            self.crash();
+        }
+        Ok(seq)
+    }
+
+    /// Append one frame with fault injection and rollback, no syncing.
+    fn append_raw(&mut self, op: &str) -> std::io::Result<u64> {
+        if self.crashed {
+            return Err(injected_error("wal crashed"));
+        }
+        self.attempts += 1;
+        if self.faults.fail_append == Some(self.attempts) {
+            return Err(injected_error("scheduled append failure"));
+        }
+        let seq = self.next_seq;
+        encode_record_into(&mut self.frame, seq, op);
+        // One append call per frame: a crash tears at most this frame.
+        let outcome = if self.faults.torn_append(&mut self.fault_rng) {
+            // Injected torn write: a prefix of the frame reaches the
+            // file, then the write "fails" — what a full disk or a
+            // yanked cable leaves behind.
+            let cut = 1 + self.fault_rng.below(self.frame.len() as u64 - 1) as usize;
+            let _ = self.storage.append(&self.path, &self.frame[..cut]);
+            Err(injected_error("torn append"))
+        } else if self.faults.failed_append(&mut self.fault_rng) {
+            Err(injected_error("scheduled append failure"))
+        } else {
+            self.storage.append(&self.path, &self.frame)
+        };
+        if let Err(e) = outcome {
+            // Roll back whatever prefix may have landed. If even that
+            // fails the tail is garbage and every later append would be
+            // unreachable at recovery — poison the log instead.
+            if self.storage.set_len(&self.path, self.len).is_err() {
+                self.crashed = true;
+            }
+            return Err(e);
+        }
+        self.len += self.frame.len() as u64;
+        self.next_seq += 1;
+        self.appends += 1;
+        self.unsynced += 1;
+        attrition_obs::counter("serve.wal.appends").inc();
+        Ok(seq)
+    }
+
+    /// Finish a group of [`append_deferred`](Wal::append_deferred)s:
+    /// apply the sync policy **once** across the whole group. Under
+    /// `always` this is the single group-commit fsync a batch pays
+    /// instead of one per record; under `interval:n` it syncs only when
+    /// `n` or more records are pending, so the at-most-`n−1`-unsynced
+    /// ack contract holds at every batch boundary (no acks are written
+    /// mid-group); under `never` it is a no-op. An error means none of
+    /// the group's records may be acked — they stay in the file and
+    /// recovery will replay them, but the clients must see `ERR`.
+    pub fn commit(&mut self) -> std::io::Result<()> {
+        if self.crashed {
+            return Err(injected_error("wal crashed"));
+        }
+        if self.unsynced > 0 && self.faults.crash_mid_commit(&mut self.fault_rng) {
+            // Process death between the group's appends and its fsync —
+            // exactly the window where acked-nothing but appended-all.
+            self.crash();
+            return Err(injected_error("crash mid-commit"));
+        }
+        let due = match self.policy {
+            SyncPolicy::Never => false,
+            SyncPolicy::Always => self.unsynced > 0,
+            SyncPolicy::Interval(n) => self.unsynced >= n,
+        };
+        if due {
+            self.sync()?;
+            attrition_obs::counter("serve.wal.group_commits").inc();
+        }
+        Ok(())
     }
 
     /// Fsync the log (no-op when nothing is pending).
@@ -491,6 +553,79 @@ mod tests {
         assert_eq!(wal.fsyncs(), 3);
         wal.sync().unwrap();
         assert_eq!(wal.fsyncs(), 3, "nothing pending: sync is a no-op");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_syncs_once_under_always() {
+        let path = temp_path("group_always");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, SyncPolicy::Always, 1).unwrap();
+        for i in 0..8 {
+            wal.append_deferred(&format!("INGEST {i} 2012-05-02"))
+                .unwrap();
+        }
+        assert_eq!(wal.fsyncs(), 0, "deferred appends never sync");
+        assert_eq!(wal.synced_seq(), 0);
+        wal.commit().unwrap();
+        assert_eq!(wal.fsyncs(), 1, "one fsync for the whole group");
+        assert_eq!(wal.synced_seq(), 8);
+        wal.commit().unwrap();
+        assert_eq!(wal.fsyncs(), 1, "an empty commit is a no-op");
+        drop(wal);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_preserves_interval_contract() {
+        // interval:4 with groups of 3: a commit syncs only when ≥ 4
+        // records are pending, and since no acks happen mid-group, at
+        // most n−1 = 3 acked records are ever exposed.
+        let path = temp_path("group_interval");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, SyncPolicy::Interval(4), 1).unwrap();
+        let group = |wal: &mut Wal| {
+            for _ in 0..3 {
+                wal.append_deferred("INGEST 1 2012-05-02").unwrap();
+            }
+            wal.commit().unwrap();
+        };
+        group(&mut wal);
+        assert_eq!(wal.fsyncs(), 0, "3 pending < interval 4: no sync yet");
+        group(&mut wal);
+        assert_eq!(wal.fsyncs(), 1, "6 pending ≥ 4: the commit synced");
+        assert_eq!(wal.synced_seq(), 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_mid_commit_freezes_before_the_sync() {
+        // A certain mid-commit crash: the group's records are appended
+        // (in the file) but the commit errors and the floor stays put.
+        let plan = FaultPlan {
+            crash_commit_per_mille: 1000,
+            ..FaultPlan::default()
+        };
+        let path = temp_path("crash_commit");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open_with_faults(&path, SyncPolicy::Always, 1, plan).unwrap();
+        for i in 0..4 {
+            wal.append_deferred(&format!("INGEST {i} 2012-05-02"))
+                .unwrap();
+        }
+        let err = wal.commit().unwrap_err();
+        assert!(err.to_string().contains("mid-commit"), "{err}");
+        assert!(wal.crashed());
+        assert_eq!(wal.synced_seq(), 0, "nothing became durable");
+        assert_eq!(wal.fsyncs(), 0);
+        assert!(wal.append("INGEST 9 2012-05-02").is_err());
+        drop(wal);
+        // The records are still physically in the file (an OS crash may
+        // or may not keep them — that part is the simulator's job).
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 4);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,322 @@
+//! End-to-end batched-protocol tests: bit-identity against unbatched
+//! runs, group-commit fsync amortization, pipelined clients, and
+//! recovery after a truncated batch frame.
+//!
+//! The load-bearing property is **bit-identity**: a workload sent as
+//! `BATCH` frames must produce byte-equal member responses, byte-equal
+//! `SCORE` output, and a byte-equal recovered snapshot compared to the
+//! same workload sent one line at a time — at any shard count. Snapshot
+//! text compares floats in shortest-roundtrip form, so string equality
+//! is `to_bits` equality on every score.
+
+use attrition_core::StabilityParams;
+use attrition_serve::client::{Client, Pipeline, Reply};
+use attrition_serve::server::{self, DurabilityConfig, ServerConfig, ServerSummary};
+use attrition_serve::{recover, Fallback, SyncPolicy};
+use attrition_store::WindowSpec;
+use attrition_types::Date;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("attrition_batch_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> WindowSpec {
+    WindowSpec::months(Date::from_ymd(2012, 5, 1).unwrap(), 1)
+}
+
+fn durable_config(dir: &Path, n_shards: usize) -> ServerConfig {
+    let mut config = ServerConfig::new("127.0.0.1:0", spec(), StabilityParams::PAPER);
+    config.read_timeout = Duration::from_secs(2);
+    config.n_shards = n_shards;
+    let mut dcfg = DurabilityConfig::new(dir.to_path_buf());
+    dcfg.sync_policy = SyncPolicy::Always;
+    config.durability = Some(dcfg);
+    config
+}
+
+fn fallback() -> Fallback {
+    Fallback {
+        spec: spec(),
+        params: StabilityParams::PAPER,
+        max_explanations: 5,
+    }
+}
+
+/// A deterministic mixed workload: interleaved in-order and backdated
+/// ingests across `n_customers`, periodic flushes and scores — every
+/// response class (multi-line `OK`, `SCORE`, out-of-order `ERR`).
+fn workload(n_customers: u64, n_ops: u64) -> Vec<String> {
+    let mut lines = Vec::with_capacity(n_ops as usize);
+    for i in 0..n_ops {
+        let customer = 1 + i % n_customers;
+        match i % 11 {
+            10 => lines.push(format!("SCORE {}", 1 + i % (n_customers + 2))),
+            7 => {
+                let (y, m, _) = Date::from_ymd(2012, 5, 1)
+                    .unwrap()
+                    .add_months((i / 40) as i32)
+                    .ymd();
+                lines.push(format!("FLUSH {}", Date::from_ymd(y, m, 1).unwrap()));
+            }
+            _ => {
+                // Mostly advancing dates with an occasional backdated
+                // receipt that the monitor answers `ERR out of order`.
+                let month = if i % 13 == 5 { 0 } else { (i / 25) as i32 };
+                let (y, m, _) = Date::from_ymd(2012, 5, 1).unwrap().add_months(month).ymd();
+                let day = 1 + (i % 28) as u32;
+                let date = Date::from_ymd(y, m, day).unwrap();
+                let a = 1 + (i * 7 + customer) % 50;
+                let b = 1 + (i * 13 + customer) % 50;
+                lines.push(format!("INGEST {customer} {date} {a} {b} {a}"));
+            }
+        }
+    }
+    lines
+}
+
+/// Read one self-describing member/request response (multi-line `OK <n>`
+/// responses joined with `\n`).
+fn read_response(reader: &mut BufReader<TcpStream>) -> String {
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("reads response");
+    let mut response = first.trim_end().to_owned();
+    if let Some(extra) = response
+        .strip_prefix("OK ")
+        .and_then(|rest| rest.trim().parse::<usize>().ok())
+    {
+        for _ in 0..extra {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reads CLOSED line");
+            response.push('\n');
+            response.push_str(line.trim_end());
+        }
+    }
+    response
+}
+
+/// Run `lines` against a fresh durable server, either one frame per
+/// line or in `BATCH` frames of `batch` members, over a raw socket (so
+/// the comparison is at the byte level). Returns the per-op responses,
+/// the final `SCORE` lines for every customer, and the server summary.
+fn run_workload(
+    dir: &Path,
+    n_shards: usize,
+    lines: &[String],
+    batch: usize,
+    n_customers: u64,
+) -> (Vec<String>, Vec<String>, ServerSummary) {
+    let handle = server::start(durable_config(dir, n_shards)).expect("server starts");
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("sets timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clones stream"));
+
+    let mut responses = Vec::with_capacity(lines.len());
+    if batch <= 1 {
+        for line in lines {
+            stream.write_all(line.as_bytes()).expect("writes line");
+            stream.write_all(b"\n").expect("writes newline");
+            responses.push(read_response(&mut reader));
+        }
+    } else {
+        for chunk in lines.chunks(batch) {
+            let mut frame = format!("BATCH {}\n", chunk.len());
+            for line in chunk {
+                frame.push_str(line);
+                frame.push('\n');
+            }
+            stream.write_all(frame.as_bytes()).expect("writes frame");
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("reads batch header");
+            assert_eq!(header.trim_end(), format!("OKBATCH {}", chunk.len()));
+            for _ in 0..chunk.len() {
+                responses.push(read_response(&mut reader));
+            }
+        }
+    }
+
+    let mut scores = Vec::with_capacity(n_customers as usize);
+    for customer in 1..=n_customers {
+        let line = format!("SCORE {customer}");
+        stream.write_all(line.as_bytes()).expect("writes score");
+        stream.write_all(b"\n").expect("writes newline");
+        scores.push(read_response(&mut reader));
+    }
+
+    handle.request_shutdown();
+    drop(stream);
+    let summary = handle.join();
+    (responses, scores, summary)
+}
+
+#[test]
+fn batched_runs_are_bit_identical_to_unbatched_at_any_shard_count() {
+    let n_customers = 6;
+    let lines = workload(n_customers, 220);
+    let mut snapshots = Vec::new();
+    for n_shards in [1usize, 4] {
+        let single_dir = temp_dir(&format!("single_{n_shards}"));
+        let batched_dir = temp_dir(&format!("batched_{n_shards}"));
+        let (single_responses, single_scores, single_summary) =
+            run_workload(&single_dir, n_shards, &lines, 1, n_customers);
+        let (batched_responses, batched_scores, batched_summary) =
+            run_workload(&batched_dir, n_shards, &lines, 16, n_customers);
+
+        // Byte-equal member responses, op by op, and byte-equal SCOREs.
+        assert_eq!(single_responses, batched_responses, "shards={n_shards}");
+        assert_eq!(single_scores, batched_scores, "shards={n_shards}");
+
+        // Group commit amortizes fsyncs without losing records: same
+        // appends, strictly fewer fsyncs under sync=always.
+        assert_eq!(single_summary.wal_appends, batched_summary.wal_appends);
+        assert!(
+            batched_summary.wal_fsyncs < single_summary.wal_fsyncs,
+            "batched fsyncs {} must be below unbatched {} (shards={n_shards})",
+            batched_summary.wal_fsyncs,
+            single_summary.wal_fsyncs
+        );
+
+        // Byte-equal recovered snapshots from both WAL directories.
+        let (single_rec, _) = recover(&single_dir, Some(&fallback())).expect("recovers single");
+        let (batched_rec, _) = recover(&batched_dir, Some(&fallback())).expect("recovers batched");
+        assert_eq!(
+            single_rec.snapshot(),
+            batched_rec.snapshot(),
+            "recovered snapshots diverge at shards={n_shards}"
+        );
+        snapshots.push(single_rec.snapshot());
+
+        let _ = std::fs::remove_dir_all(&single_dir);
+        let _ = std::fs::remove_dir_all(&batched_dir);
+    }
+    // And the shard count itself never changes the state.
+    assert_eq!(snapshots[0], snapshots[1], "shard count changed the state");
+}
+
+#[test]
+fn group_commit_fsyncs_once_per_batch_of_mutations() {
+    let dir = temp_dir("fsync_count");
+    let handle = server::start(durable_config(&dir, 2)).expect("server starts");
+    let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+
+    // 8 batches x 16 ingests at sync=always: 16 appends but ONE fsync
+    // per frame (plus the shutdown checkpoint's).
+    for round in 0..8u64 {
+        let members: Vec<String> = (0..16u64)
+            .map(|i| {
+                format!(
+                    "INGEST {} 2012-05-{:02} {}",
+                    1 + i % 4,
+                    1 + round * 3 % 28,
+                    1 + i
+                )
+            })
+            .collect();
+        let replies = client.send_batch(&members).expect("batch round-trips");
+        assert_eq!(replies.len(), 16);
+        assert!(
+            replies.iter().all(|r| matches!(r, Reply::Closed(_))),
+            "all ingests acked: {replies:?}"
+        );
+    }
+    handle.request_shutdown();
+    drop(client);
+    let summary = handle.join();
+    assert_eq!(summary.requests, 8 * 16);
+    assert_eq!(summary.wal_appends, 8 * 16);
+    assert!(
+        summary.wal_fsyncs <= 8 + 1,
+        "expected ~one fsync per batch (+ shutdown checkpoint), got {}",
+        summary.wal_fsyncs
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_batches_overlap_and_drain_in_order() {
+    let dir = temp_dir("pipeline");
+    let handle = server::start(durable_config(&dir, 2)).expect("server starts");
+    let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+
+    let mut pipeline: Pipeline<'_, u64> = Pipeline::new(&mut client, 4);
+    let mut completed = Vec::new();
+    for round in 0..12u64 {
+        let members: Vec<String> = (0..8u64)
+            .map(|i| format!("INGEST {} 2012-05-02 {}", 1 + i, 1 + round))
+            .collect();
+        if let Some((replies, tag)) = pipeline.submit(&members, round).expect("submits") {
+            assert_eq!(replies.len(), 8);
+            completed.push(tag);
+        }
+        assert!(pipeline.in_flight() <= 4, "window must bound in-flight");
+    }
+    for (replies, tag) in pipeline.drain().expect("drains") {
+        assert_eq!(replies.len(), 8);
+        completed.push(tag);
+    }
+    // Every batch acked, oldest first.
+    assert_eq!(completed, (0..12).collect::<Vec<u64>>());
+
+    handle.request_shutdown();
+    drop(client);
+    let summary = handle.join();
+    assert_eq!(summary.requests, 12 * 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_batch_leaves_no_partial_suffix_after_recovery() {
+    let dir = temp_dir("truncated");
+    let handle = server::start(durable_config(&dir, 2)).expect("server starts");
+
+    // One complete batch, acked after its group commit.
+    let mut client = Client::connect(handle.local_addr(), TIMEOUT).expect("connects");
+    client
+        .send_batch(&[
+            "INGEST 1 2012-05-02 10".to_owned(),
+            "INGEST 2 2012-05-03 11".to_owned(),
+        ])
+        .expect("complete batch acks");
+
+    // Then a torn frame: 3 members announced, 1 delivered, connection
+    // dropped. The server must execute and log NONE of it.
+    {
+        let mut torn = TcpStream::connect(handle.local_addr()).expect("connects");
+        torn.write_all(b"BATCH 3\nINGEST 3 2012-05-04 12\n")
+            .expect("writes partial frame");
+    }
+    // Give the worker time to observe the EOF before shutdown.
+    std::thread::sleep(Duration::from_millis(100));
+
+    handle.request_shutdown();
+    drop(client);
+    let summary = handle.join();
+    assert_eq!(
+        summary.wal_appends, 2,
+        "partial batch must not reach the WAL"
+    );
+
+    let (recovered, _) = recover(&dir, Some(&fallback())).expect("recovers");
+    let snapshot = recovered.snapshot();
+    let has_customer = |id: &str| {
+        snapshot
+            .lines()
+            .any(|l| l.starts_with("c,") && l[2..].starts_with(id))
+    };
+    assert!(has_customer("1,"), "acked member 1 survives:\n{snapshot}");
+    assert!(has_customer("2,"), "acked member 2 survives:\n{snapshot}");
+    assert!(
+        !has_customer("3,"),
+        "the truncated batch's member leaked into recovered state:\n{snapshot}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

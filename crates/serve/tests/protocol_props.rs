@@ -223,3 +223,142 @@ fn embedded_newlines_split_into_separate_requests() {
     handle.request_shutdown();
     handle.join();
 }
+
+#[test]
+fn batch_headers_never_panic_the_parser() {
+    forall(
+        1024,
+        |rng| format!("BATCH {}", gen_ascii_string(rng, 0, 12)),
+        |line| {
+            let _ = attrition_serve::parse_batch_header(line);
+        },
+    );
+}
+
+#[test]
+fn malformed_batch_headers_answer_one_err_and_keep_the_connection() {
+    let (handle, mut stream, mut reader) = start_test_server();
+
+    // Each bad header is rejected at the header line itself — nothing
+    // after it is consumed, so the PING that follows each one is an
+    // ordinary frame, not a swallowed "member".
+    let corpus: [(&[u8], &str); 4] = [
+        (b"BATCH 0\n", "ERR batch size must be at least 1"),
+        (
+            b"BATCH 1000000\n",
+            "ERR batch size 1000000 exceeds the maximum of 4096",
+        ),
+        (b"BATCH\n", "ERR missing batch size after BATCH"),
+        (
+            b"BATCH 2 3\n",
+            "ERR unexpected trailing field \"3\" after BATCH",
+        ),
+    ];
+    for (frame, expected) in corpus {
+        stream.write_all(frame).expect("writes frame");
+        assert_eq!(read_reply(&mut reader), expected, "frame {frame:?}");
+        stream.write_all(b"PING\n").expect("writes ping");
+        assert_eq!(read_reply(&mut reader), "PONG", "frame {frame:?}");
+    }
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn invalid_batch_members_reject_the_whole_frame_but_consume_it() {
+    let (handle, mut stream, mut reader) = start_test_server();
+
+    // A nested BATCH member invalidates the frame; all three announced
+    // member lines are still consumed, so the connection stays framed
+    // and the INGEST member is NOT applied (the SCORE after proves it).
+    stream
+        .write_all(b"BATCH 3\nINGEST 7 2012-05-04 1 2\nBATCH 2\nPING\n")
+        .expect("writes frame");
+    assert_eq!(
+        read_reply(&mut reader),
+        "ERR batch member 1: nested BATCH not allowed"
+    );
+    stream.write_all(b"SCORE 7\n").expect("writes score");
+    assert_eq!(read_reply(&mut reader), "ERR unknown customer 7");
+
+    // Invalid UTF-8 in a member: same whole-frame rejection.
+    stream
+        .write_all(b"BATCH 2\n\xff\xfe\nPING\n")
+        .expect("writes frame");
+    assert_eq!(
+        read_reply(&mut reader),
+        "ERR batch member 0: request is not valid UTF-8"
+    );
+    stream.write_all(b"PING\n").expect("writes ping");
+    assert_eq!(read_reply(&mut reader), "PONG");
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn mixed_batches_answer_every_member_in_order() {
+    let (handle, mut stream, mut reader) = start_test_server();
+
+    // INGEST + SCORE + FLUSH + PING + a member parse error, one frame:
+    // OKBATCH then one self-describing response per member, in order.
+    stream
+        .write_all(b"BATCH 5\nINGEST 9 2012-05-04 1 2\nSCORE 9\nFLUSH 2012-08-01\nPING\nBOGUS x\n")
+        .expect("writes frame");
+    assert_eq!(read_reply(&mut reader), "OKBATCH 5");
+    assert_eq!(read_reply(&mut reader), "OK 0", "ingest closes nothing yet");
+    assert!(
+        read_reply(&mut reader).starts_with("SCORE 9 "),
+        "score member answers inline"
+    );
+    // FLUSH past the ingested window closes every window before the
+    // flush date: OK <n> + n CLOSED lines, all for customer 9.
+    let flush_ack = read_reply(&mut reader);
+    let closed: usize = flush_ack
+        .strip_prefix("OK ")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("flush member must ack OK <n>: {flush_ack:?}"));
+    assert!(closed >= 1, "the ingested window must close: {flush_ack:?}");
+    for _ in 0..closed {
+        assert!(read_reply(&mut reader).starts_with("CLOSED 9 "));
+    }
+    assert_eq!(read_reply(&mut reader), "PONG");
+    assert!(read_reply(&mut reader).starts_with("ERR unknown verb"));
+
+    // The connection is reusable for the next (single) frame.
+    stream.write_all(b"PING\n").expect("writes ping");
+    assert_eq!(read_reply(&mut reader), "PONG");
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn truncated_batch_frames_execute_nothing() {
+    let (handle, stream, mut reader) = start_test_server();
+
+    // Announce 3 members, deliver 1, then drop the connection: the
+    // frame never completed, so nothing in it may execute.
+    {
+        let mut half_open = stream;
+        half_open
+            .write_all(b"BATCH 3\nINGEST 5 2012-05-04 1\n")
+            .expect("writes partial frame");
+        // Dropping closes the socket mid-frame.
+    }
+    // No reply may arrive for the aborted frame.
+    let mut line = String::new();
+    let got = reader.read_line(&mut line).expect("reads EOF");
+    assert_eq!(got, 0, "aborted batch must not be answered: {line:?}");
+
+    // A fresh connection sees none of the partial batch's effects.
+    let mut probe = TcpStream::connect(handle.local_addr()).expect("connects");
+    probe.set_read_timeout(Some(TIMEOUT)).expect("sets timeout");
+    let mut probe_reader = BufReader::new(probe.try_clone().expect("clones stream"));
+    probe.write_all(b"SCORE 5\n").expect("writes score");
+    assert_eq!(read_reply(&mut probe_reader), "ERR unknown customer 5");
+
+    handle.request_shutdown();
+    handle.join();
+}

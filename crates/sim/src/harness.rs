@@ -45,7 +45,7 @@
 use crate::env::{SimClock, SimStorage};
 use attrition_core::{StabilityMonitor, StabilityParams};
 use attrition_serve::checkpoint::CheckpointFormat;
-use attrition_serve::engine::{DurabilityConfig, Engine};
+use attrition_serve::engine::{BatchScratch, DurabilityConfig, Engine};
 use attrition_serve::protocol::{format_score, Request};
 use attrition_serve::recovery::{recover_in, Fallback};
 use attrition_serve::shard::ShardedMonitor;
@@ -156,6 +156,9 @@ pub struct SimReport {
     pub acked: u64,
     /// Crash-restarts (faulted and the final mandatory one).
     pub crashes: u64,
+    /// Crash-restarts caused by a WAL death between a batch's appends
+    /// and its group-commit fsync (a subset of `crashes`).
+    pub mid_commit_crashes: u64,
     /// Clean shutdown-and-recover cycles.
     pub clean_restarts: u64,
     /// Faults injected across transport, disk, and crash layers.
@@ -212,6 +215,15 @@ pub(crate) fn spec() -> WindowSpec {
     WindowSpec::months(origin(), 1)
 }
 
+/// One scripted client frame: a single request line, or a `BATCH`
+/// frame's member lines. Transport faults (drop / duplicate / delay)
+/// act on whole frames, exactly as they would on the wire.
+#[derive(Debug, Clone)]
+enum ScriptItem {
+    Single(String),
+    Batch(Vec<String>),
+}
+
 /// A mutating request the engine logged: what the invariant checks fold
 /// over after each recovery.
 #[derive(Debug)]
@@ -239,6 +251,7 @@ struct Sim {
     ops: u64,
     acked: u64,
     crashes: u64,
+    mid_commit_crashes: u64,
     clean_restarts: u64,
     transport_faults: u64,
     score_checks: u64,
@@ -327,6 +340,7 @@ impl Sim {
             ops: 0,
             acked: 0,
             crashes: 0,
+            mid_commit_crashes: 0,
             clean_restarts: 0,
             transport_faults: 0,
             score_checks: 0,
@@ -336,44 +350,65 @@ impl Sim {
         }
     }
 
-    /// The scripted client workload, pre-generated from the seed: a mix
-    /// of `INGEST` (dates advancing month by month, with occasional
+    /// One scripted request line for logical op index `i`: a mix of
+    /// `INGEST` (dates advancing month by month, with occasional
     /// backdated receipts to exercise the out-of-order `ERR` path),
     /// `SCORE` (some on unknown customers), `FLUSH`, `PING`, and
     /// malformed lines.
-    fn script(&self) -> VecDeque<String> {
-        let mut rng = SplitMix64::new(self.config.seed ^ 0x3077_0AD5_0000_0003);
-        let mut lines = VecDeque::with_capacity(self.config.n_ops as usize);
-        for i in 0..self.config.n_ops {
-            let month = (i / OPS_PER_MONTH) as i32;
-            let draw = rng.below(100);
-            if draw < 60 {
-                let customer = CustomerId::new(1 + rng.below(self.config.n_customers));
-                let m = if rng.per_mille(80) {
-                    (month - 2).max(0) // backdated: may be out-of-order
-                } else {
-                    month + rng.below(2) as i32
-                };
-                let (y, mo, _) = origin().add_months(m).ymd();
-                let day = 1 + rng.below(28) as u32;
-                let date = Date::from_ymd(y, mo, day).expect("clamped day is valid");
-                let items: Vec<ItemId> = (0..1 + rng.below(4))
-                    .map(|_| ItemId::new(1 + rng.below(40) as u32))
-                    .collect();
-                lines.push_back(Request::Ingest(customer, date, items).to_line());
-            } else if draw < 80 {
-                let customer = CustomerId::new(1 + rng.below(self.config.n_customers + 4));
-                lines.push_back(Request::Score(customer).to_line());
-            } else if draw < 88 {
-                let (y, mo, _) = origin().add_months(month).ymd();
-                lines.push_back(Request::Flush(Date::from_ymd(y, mo, 1).unwrap()).to_line());
-            } else if draw < 96 {
-                lines.push_back("PING".to_owned());
+    fn script_line(&self, rng: &mut SplitMix64, i: u64) -> String {
+        let month = (i / OPS_PER_MONTH) as i32;
+        let draw = rng.below(100);
+        if draw < 60 {
+            let customer = CustomerId::new(1 + rng.below(self.config.n_customers));
+            let m = if rng.per_mille(80) {
+                (month - 2).max(0) // backdated: may be out-of-order
             } else {
-                lines.push_back(format!("BOGUS {}", rng.below(100)));
+                month + rng.below(2) as i32
+            };
+            let (y, mo, _) = origin().add_months(m).ymd();
+            let day = 1 + rng.below(28) as u32;
+            let date = Date::from_ymd(y, mo, day).expect("clamped day is valid");
+            let items: Vec<ItemId> = (0..1 + rng.below(4))
+                .map(|_| ItemId::new(1 + rng.below(40) as u32))
+                .collect();
+            Request::Ingest(customer, date, items).to_line()
+        } else if draw < 80 {
+            let customer = CustomerId::new(1 + rng.below(self.config.n_customers + 4));
+            Request::Score(customer).to_line()
+        } else if draw < 88 {
+            let (y, mo, _) = origin().add_months(month).ymd();
+            Request::Flush(Date::from_ymd(y, mo, 1).unwrap()).to_line()
+        } else if draw < 96 {
+            "PING".to_owned()
+        } else {
+            format!("BOGUS {}", rng.below(100))
+        }
+    }
+
+    /// The scripted client workload, pre-generated from the seed:
+    /// `n_ops` request lines framed as a mix of single frames and
+    /// `BATCH` frames of 2–6 members (~a quarter of the ops arrive
+    /// batched, so both the single-op and group-commit WAL paths face
+    /// every fault schedule).
+    fn script(&self) -> VecDeque<ScriptItem> {
+        let mut rng = SplitMix64::new(self.config.seed ^ 0x3077_0AD5_0000_0003);
+        let mut frames = VecDeque::with_capacity(self.config.n_ops as usize);
+        let mut i = 0u64;
+        while i < self.config.n_ops {
+            if rng.per_mille(120) {
+                let k = 2 + rng.below(5);
+                let mut members = Vec::with_capacity(k as usize);
+                while (members.len() as u64) < k && i < self.config.n_ops {
+                    members.push(self.script_line(&mut rng, i));
+                    i += 1;
+                }
+                frames.push_back(ScriptItem::Batch(members));
+            } else {
+                frames.push_back(ScriptItem::Single(self.script_line(&mut rng, i)));
+                i += 1;
             }
         }
-        lines
+        frames
     }
 
     fn violation(&mut self, message: String) {
@@ -426,6 +461,81 @@ impl Sim {
                 }
             }
             _ => {}
+        }
+    }
+
+    /// One frame, either shape.
+    fn deliver_item(&mut self, item: &ScriptItem, acked: bool) {
+        match item {
+            ScriptItem::Single(line) => self.deliver(line, acked),
+            ScriptItem::Batch(members) => self.deliver_batch(members, acked),
+        }
+    }
+
+    /// Execute one `BATCH` frame through the real group-commit path
+    /// ([`Engine::respond_batch`]) and account for every member using
+    /// the engine's own [`MemberOutcome`] attribution — plus a
+    /// cross-check that the attribution agrees with the response text.
+    ///
+    /// [`MemberOutcome`]: attrition_serve::MemberOutcome
+    fn deliver_batch(&mut self, members: &[String], acked: bool) {
+        let batch: Vec<String> = members.to_vec();
+        let mut scratch = BatchScratch::new();
+        let mut out = String::new();
+        self.engine.respond_batch(&batch, &mut scratch, &mut out);
+        let responses = split_member_responses(&out, members.len());
+        let outcomes = scratch.outcomes().to_vec();
+        for ((line, response), outcome) in members.iter().zip(&responses).zip(&outcomes) {
+            self.ops += 1;
+            if acked {
+                self.acked += 1;
+            }
+            match Request::parse(line) {
+                Ok(Request::Ingest(..)) | Ok(Request::Flush(_)) => {
+                    self.invariant_checks += 1;
+                    if outcome.applied != response.starts_with("OK") {
+                        self.violation(format!(
+                            "batch outcome disagrees with the member response: \
+                             applied={} but response {response:?} for {line:?}",
+                            outcome.applied
+                        ));
+                        return;
+                    }
+                    if outcome.logged {
+                        self.wal_records += 1;
+                        self.oplog.push(OpEntry {
+                            seq: outcome.seq,
+                            line: line.clone(),
+                            acked,
+                            applied: outcome.applied,
+                        });
+                    } else if outcome.applied {
+                        self.violation(format!(
+                            "batch mutation applied without a wal record: {line:?} -> {response:?}"
+                        ));
+                        return;
+                    }
+                    if outcome.applied {
+                        apply_accepted(&mut self.mirror, line);
+                    }
+                }
+                Ok(Request::Score(customer)) => {
+                    self.score_checks += 1;
+                    self.invariant_checks += 1;
+                    let expected = match self.mirror.preview(customer) {
+                        Some(point) => format_score(customer, &point),
+                        None => format!("ERR unknown customer {}", customer.raw()),
+                    };
+                    if *response != expected {
+                        self.violation(format!(
+                            "batched SCORE diverged from the reference monitor: \
+                             got {response:?}, expected {expected:?}"
+                        ));
+                        return;
+                    }
+                }
+                _ => {}
+            }
         }
     }
 
@@ -583,39 +693,49 @@ impl Sim {
     fn run(mut self) -> SimReport {
         let plan = self.config.faults.clone();
         let mut pending = self.script();
-        while let Some(line) = pending.pop_front() {
+        while let Some(item) = pending.pop_front() {
             if !self.violations.is_empty() {
                 break;
             }
             self.clock
                 .advance(Duration::from_millis(1 + self.transport_rng.below(40)));
-            // Delay: the message is delivered later — which reorders it
-            // past the requests behind it.
+            // Delay: the frame is delivered later — which reorders it
+            // past the frames behind it.
             if plan.delay_message(&mut self.transport_rng) && !pending.is_empty() {
                 self.transport_faults += 1;
                 let slot = (1 + self.transport_rng.below(4) as usize).min(pending.len());
-                pending.insert(slot, line);
+                pending.insert(slot, item);
                 continue;
             }
             if plan.drop_message(&mut self.transport_rng) {
                 self.transport_faults += 1;
                 if self.transport_rng.below(2) == 0 {
-                    // Request lost in flight: the server never saw it.
+                    // Frame lost in flight: the server never saw it.
                 } else {
                     // Response lost: executed server-side, never acked.
-                    self.deliver(&line, false);
+                    self.deliver_item(&item, false);
                 }
             } else {
-                self.deliver(&line, true);
+                self.deliver_item(&item, true);
                 if plan.duplicate_message(&mut self.transport_rng) {
                     // A duplicated frame: the server executes it twice;
                     // the client sees (one of) the responses.
                     self.transport_faults += 1;
-                    self.deliver(&line, true);
+                    self.deliver_item(&item, true);
                 }
             }
             if self.violations.is_empty() {
-                if plan.crash_now(&mut self.crash_rng) {
+                if self.engine.wal_crashed() {
+                    // A fault froze the WAL — for batches, the
+                    // mid-group-commit window where a whole frame sits
+                    // in the file with none of it durable or acked.
+                    // The process is as good as dead: crash-restart and
+                    // prove the floor held.
+                    if matches!(item, ScriptItem::Batch(_)) {
+                        self.mid_commit_crashes += 1;
+                    }
+                    self.restart(false);
+                } else if plan.crash_now(&mut self.crash_rng) {
                     self.restart(false);
                 } else if self.config.bug.is_none() && self.crash_rng.per_mille(4) {
                     self.restart(true);
@@ -633,6 +753,7 @@ impl Sim {
             ops: self.ops,
             acked: self.acked,
             crashes: self.crashes,
+            mid_commit_crashes: self.mid_commit_crashes,
             clean_restarts: self.clean_restarts,
             faults_injected: self.transport_faults
                 + storage.torn_files
@@ -652,6 +773,33 @@ impl Sim {
 /// carrying the seed and the repro command.
 pub fn run(config: &SimConfig) -> SimReport {
     Sim::new(config.clone()).run()
+}
+
+/// Split an `OKBATCH` frame body back into its per-member responses.
+/// Member responses are self-describing — `OK <n>` announces `n`
+/// follow-up `CLOSED` lines — so the split needs no other framing.
+fn split_member_responses(body: &str, n: usize) -> Vec<String> {
+    let mut lines = body.lines();
+    let header = lines.next().unwrap_or("");
+    debug_assert!(
+        header.starts_with("OKBATCH "),
+        "not a batch body: {header:?}"
+    );
+    let mut members = Vec::with_capacity(n);
+    for _ in 0..n {
+        let first = lines.next().unwrap_or("");
+        let extra = first
+            .strip_prefix("OK ")
+            .and_then(|rest| rest.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut response = first.to_owned();
+        for _ in 0..extra {
+            response.push('\n');
+            response.push_str(lines.next().unwrap_or(""));
+        }
+        members.push(response);
+    }
+    members
 }
 
 #[cfg(test)]
@@ -730,6 +878,54 @@ mod tests {
             let report = run(&config);
             report.assert_ok();
         }
+    }
+
+    #[test]
+    fn batched_frames_are_scripted_and_survive_quiet_worlds() {
+        let config = SimConfig {
+            faults: FaultPlan::none(),
+            ..SimConfig::for_seed(3)
+        };
+        let report = run(&config);
+        report.assert_ok();
+        assert_eq!(report.acked, report.ops, "no faults: every op acked");
+        assert_eq!(report.mid_commit_crashes, 0);
+    }
+
+    #[test]
+    fn mid_commit_crashes_keep_the_durability_floor() {
+        // Only the group-commit fault class: every crash the sweep sees
+        // here is the window where a whole batch is in the file but none
+        // of it is durable or acked. The floor invariants must hold
+        // through each one.
+        let mut observed = 0u64;
+        for seed in 0..12 {
+            let config = SimConfig {
+                faults: FaultPlan {
+                    seed,
+                    crash_commit_per_mille: 700,
+                    ..FaultPlan::none()
+                },
+                ..SimConfig::for_seed(seed)
+            };
+            let report = run(&config);
+            report.assert_ok();
+            observed += report.mid_commit_crashes;
+        }
+        assert!(observed > 0, "no mid-group-commit crash was ever injected");
+    }
+
+    #[test]
+    fn split_member_responses_handles_multi_line_members() {
+        let body = "OKBATCH 3\nPONG\nOK 2\nCLOSED a\nCLOSED b\nERR nope";
+        assert_eq!(
+            split_member_responses(body, 3),
+            vec![
+                "PONG".to_owned(),
+                "OK 2\nCLOSED a\nCLOSED b".to_owned(),
+                "ERR nope".to_owned()
+            ]
+        );
     }
 
     #[test]

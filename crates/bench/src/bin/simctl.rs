@@ -13,16 +13,23 @@
 //! - `--mode repl`: replicated primary+replica worlds with a lossy
 //!   network, epoch-fenced failover and the R1/R2 invariants
 //!   (`results/repl_sweep.json`).
+//! - `--mode rejoin`: the same worlds extended with the deposed-primary
+//!   rejoin phase — the old primary reopens as a replica, discards its
+//!   divergent suffix via the `REJOIN` handshake, and invariant R3
+//!   holds throughout (`results/rejoin_sweep.json`).
 //!
 //! Any failing seed is printed with the one-command repro line and the
 //! process exits non-zero, so the CI log carries everything needed to
 //! replay the exact interleaving locally.
 //!
 //! Run: `cargo run -p attrition-bench --release --bin simctl --
-//!       [--mode serve|repl] [--seeds 64] [--start 0] [--results NAME]`
+//!       [--mode serve|repl|rejoin] [--seeds 64] [--start 0] [--results NAME]`
 
 use attrition_bench::write_result;
-use attrition_sim::{repro_command, repro_repl_command, run, run_repl, ReplSimConfig, SimConfig};
+use attrition_sim::{
+    repro_command, repro_rejoin_command, repro_repl_command, run, run_repl, ReplSimConfig,
+    SimConfig,
+};
 use attrition_util::Table;
 use std::time::Instant;
 
@@ -61,8 +68,9 @@ fn main() {
     let flags = parse_flags();
     match flags.mode.as_str() {
         "serve" => serve_sweep(&flags),
-        "repl" => repl_sweep(&flags),
-        other => panic!("unknown --mode {other} (serve | repl)"),
+        "repl" => repl_sweep(&flags, false),
+        "rejoin" => repl_sweep(&flags, true),
+        other => panic!("unknown --mode {other} (serve | repl | rejoin)"),
     }
 }
 
@@ -148,7 +156,7 @@ fn serve_sweep(flags: &Flags) {
     );
 }
 
-fn repl_sweep(flags: &Flags) {
+fn repl_sweep(flags: &Flags, rejoin: bool) {
     let started = Instant::now();
 
     let mut ops = 0u64;
@@ -165,10 +173,24 @@ fn repl_sweep(flags: &Flags) {
     let mut transport_faults = 0u64;
     let mut score_checks = 0u64;
     let mut invariant_checks = 0u64;
+    let mut rejoins = 0u64;
+    let mut divergent_discarded = 0u64;
+    let mut rejoin_records = 0u64;
+    let mut rejoined_crashes = 0u64;
     let mut failures: Vec<(u64, String)> = Vec::new();
 
+    let repro = if rejoin {
+        repro_rejoin_command
+    } else {
+        repro_repl_command
+    };
     for seed in flags.start..flags.start + flags.seeds {
-        let report = run_repl(&ReplSimConfig::for_seed(seed));
+        let config = if rejoin {
+            ReplSimConfig::for_rejoin_seed(seed)
+        } else {
+            ReplSimConfig::for_seed(seed)
+        };
+        let report = run_repl(&config);
         ops += report.ops;
         wal_records += report.wal_records;
         records_replicated += report.records_replicated;
@@ -183,9 +205,13 @@ fn repl_sweep(flags: &Flags) {
         transport_faults += report.transport_faults;
         score_checks += report.score_checks;
         invariant_checks += report.invariant_checks;
+        rejoins += report.rejoins;
+        divergent_discarded += report.divergent_records_discarded;
+        rejoin_records += report.rejoin_records_applied;
+        rejoined_crashes += report.rejoined_crashes;
         if let Some(first) = report.violations.first() {
             eprintln!("SIMCTL: seed {seed} FAILED: {first}");
-            eprintln!("SIMCTL:   reproduce with: {}", repro_repl_command(seed));
+            eprintln!("SIMCTL:   reproduce with: {}", repro(seed));
             failures.push((seed, first.clone()));
         }
     }
@@ -211,12 +237,22 @@ fn repl_sweep(flags: &Flags) {
     table.row(["transport faults".into(), transport_faults.to_string()]);
     table.row(["score checks".into(), score_checks.to_string()]);
     table.row(["invariant checks".into(), invariant_checks.to_string()]);
+    if rejoin {
+        table.row(["rejoin adoptions".into(), rejoins.to_string()]);
+        table.row([
+            "divergent records discarded".into(),
+            divergent_discarded.to_string(),
+        ]);
+        table.row(["rejoin records applied".into(), rejoin_records.to_string()]);
+        table.row(["rejoined-node crashes".into(), rejoined_crashes.to_string()]);
+    }
     table.row(["failing seeds".into(), failures.len().to_string()]);
     table.row([
         "wall time (s)".into(),
         format!("{:.2}", elapsed.as_secs_f64()),
     ]);
-    println!("\nSIMCTL: deterministic replication sweep\n\n{table}");
+    let label = if rejoin { "rejoin" } else { "replication" };
+    println!("\nSIMCTL: deterministic {label} sweep\n\n{table}");
 
     let failing_seeds = failures
         .iter()
@@ -231,12 +267,19 @@ fn repl_sweep(flags: &Flags) {
          \"replica_crashes\": {replica_crashes}, \"failovers\": {failovers}, \
          \"partitions\": {partitions}, \"transport_faults\": {transport_faults}, \
          \"score_checks\": {score_checks}, \"invariant_checks\": {invariant_checks}, \
+         \"rejoins\": {rejoins}, \"divergent_records_discarded\": {divergent_discarded}, \
+         \"rejoin_records_applied\": {rejoin_records}, \
+         \"rejoined_crashes\": {rejoined_crashes}, \
          \"failing_seeds\": [{failing_seeds}], \"wall_s\": {:.3}}}\n",
         flags.seeds,
         flags.start,
         elapsed.as_secs_f64(),
     );
-    let results = flags.results.as_deref().unwrap_or("repl_sweep");
+    let results =
+        flags
+            .results
+            .as_deref()
+            .unwrap_or(if rejoin { "rejoin_sweep" } else { "repl_sweep" });
     write_result(&format!("{results}.json"), &json);
 
     if let Some((seed, violation)) = failures.first() {
@@ -245,11 +288,12 @@ fn repl_sweep(flags: &Flags) {
             failures.len(),
             flags.seeds
         );
-        eprintln!("SIMCTL: reproduce with: {}", repro_repl_command(*seed));
+        eprintln!("SIMCTL: reproduce with: {}", repro(*seed));
         std::process::exit(1);
     }
+    let held = if rejoin { "R1, R2 and R3" } else { "R1 and R2" };
     println!(
-        "SIMCTL: all {} seeds passed R1 and R2 ({} checks, {} transport faults, {} failovers)",
+        "SIMCTL: all {} seeds passed {held} ({} checks, {} transport faults, {} failovers)",
         flags.seeds, invariant_checks, transport_faults, failovers
     );
 }

@@ -5,7 +5,9 @@ use crate::labels_csv;
 use attrition_core::{analyze_customer, StabilityEngine, StabilityMonitor, StabilityParams};
 use attrition_datagen::{generate as generate_dataset, ScenarioConfig};
 use attrition_eval::auroc;
-use attrition_replica::{FetchLoopConfig, PrimaryService, ReplicaConfig, ReplicaEngine};
+use attrition_replica::{
+    rejoin_via, FetchLoopConfig, PrimaryService, ReplClient, ReplicaConfig, ReplicaEngine,
+};
 use attrition_rfm::{out_of_fold_scores, RfmModel};
 use attrition_serve::{
     DurabilityConfig, Fallback, ServerConfig, Service, ShardedMonitor, SyncPolicy,
@@ -172,11 +174,17 @@ FLAGS:
     --checkpoint-secs N     checkpoint every N seconds (default 30; 0 disables)
     --checkpoint-format F   text | binary (default binary)
     --keep-checkpoints N    checkpoints retained after rotation (default 2)
+    --rejoin                run the divergence handshake against the primary
+                            before serving: a deposed primary discards any
+                            WAL suffix the new timeline disowned and heals
+                            back in as a replica of the new epoch
 
 Answers SCORE/STATS/PING locally while rejecting INGEST/FLUSH (read-only);
 `PROMOTE` fsyncs the local WAL, durably bumps the epoch and starts
 accepting writes — the promoted node then serves REPL to the next replica.
-See README's Replication section for the failover walkthrough."
+A fenced fetch triggers the rejoin handshake automatically; `--rejoin`
+just runs it eagerly at startup. See README's Replication section for the
+failover and rejoin walkthroughs."
             .into(),
         other => return format!("no detailed help for {other:?}; run `attrition help`"),
     };
@@ -781,11 +789,57 @@ pub fn replicate(args: &Args) -> CliResult {
         n_shards: shards,
         fallback,
         accept_stale_epoch: false,
+        keep_divergent_suffix: false,
     };
     let (replica, stats) =
         ReplicaEngine::open(rcfg).map_err(|e| format!("cannot recover replica state: {e}"))?;
     eprintln!("recovery: {stats}");
     let replica = Arc::new(replica);
+
+    // `--rejoin`: a deposed primary healing back in runs the divergence
+    // handshake eagerly, before serving reads — otherwise clients could
+    // briefly read the divergent suffix the new timeline disowned. The
+    // fetch loop would also catch it on the first fenced fetch; this
+    // just moves the discard ahead of the listener.
+    if args.get_bool("rejoin") {
+        let policy = attrition_serve::RetryPolicy {
+            budget: 10,
+            ..attrition_serve::RetryPolicy::default()
+        };
+        let mut jitter = attrition_serve::SplitMix64::new(policy.seed);
+        let mut client = ReplClient::new(
+            primary_addr.clone(),
+            std::time::Duration::from_millis(read_timeout_ms),
+        );
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            match rejoin_via(&mut client, &replica) {
+                Ok(outcome) => break outcome,
+                Err(e) if attempt + 1 < policy.budget => {
+                    attempt += 1;
+                    eprintln!(
+                        "rejoin: handshake with {primary_addr} failed (attempt {attempt}): {e}"
+                    );
+                    std::thread::sleep(policy.backoff(attempt, &mut jitter));
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "rejoin handshake with {primary_addr} failed after {} attempts: {e}",
+                        attempt + 1
+                    )
+                    .into());
+                }
+            }
+        };
+        if outcome.adopted {
+            eprintln!(
+                "rejoin: adopted epoch {} ({} divergent records discarded)",
+                outcome.epoch, outcome.divergent_records
+            );
+        } else {
+            eprintln!("rejoin: already current at epoch {}", outcome.epoch);
+        }
+    }
 
     let mut config = ServerConfig::new(addr, fallback.spec, fallback.params);
     config.n_shards = shards;
@@ -803,6 +857,7 @@ pub fn replicate(args: &Args) -> CliResult {
         interval: std::time::Duration::from_millis(fetch_interval_ms),
         batch_max,
         read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+        backoff: attrition_serve::RetryPolicy::default(),
     };
     let fetch_replica = Arc::clone(&replica);
     let fetcher = std::thread::Builder::new()

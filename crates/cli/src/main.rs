@@ -18,7 +18,7 @@
 //!                    [--shards 8] [--workers 4] [--queue 64]
 //!                    [--snapshot PATH | --restore PATH]
 //! attrition replicate --primary HOST:PORT --wal-dir DIR --origin DATE
-//!                    [--addr HOST:PORT] [--fetch-interval-ms 100]
+//!                    [--addr HOST:PORT] [--fetch-interval-ms 100] [--rejoin]
 //! ```
 //!
 //! Receipt files are CSV (`attrition-store::csv_io`) or the binary

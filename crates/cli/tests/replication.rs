@@ -85,8 +85,10 @@ fn spawn_primary(wal_dir: &Path, origin: &str) -> Server {
     ])
 }
 
-fn spawn_replica(wal_dir: &Path, origin: &str, primary_addr: &str) -> Server {
-    spawn_node(&[
+/// Spawn `attrition replicate`; `extra` appends/overrides flags (the
+/// rejoin test needs a long fetch interval and the `--rejoin` flag).
+fn spawn_replica(wal_dir: &Path, origin: &str, primary_addr: &str, extra: &[&str]) -> Server {
+    let mut args = vec![
         "replicate",
         "--primary",
         primary_addr,
@@ -100,22 +102,27 @@ fn spawn_replica(wal_dir: &Path, origin: &str, primary_addr: &str) -> Server {
         wal_dir.to_str().unwrap(),
         "--sync-policy",
         "always",
-        "--fetch-interval-ms",
-        "10",
         "--batch-max",
         "256",
-    ])
+    ];
+    args.extend_from_slice(extra);
+    spawn_node(&args)
 }
 
-/// Pull `serve.repl.applied_seq` out of a raw `STATS` JSON payload.
-fn applied_seq(stats_json: &str) -> Option<u64> {
-    let key = "\"serve.repl.applied_seq\":";
-    let at = stats_json.find(key)? + key.len();
+/// Pull one numeric metric out of a raw `STATS` JSON payload.
+fn stat(stats_json: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let at = stats_json.find(&key)? + key.len();
     let digits: String = stats_json[at..]
         .chars()
         .take_while(|c| c.is_ascii_digit())
         .collect();
     digits.parse().ok()
+}
+
+/// Pull `serve.repl.applied_seq` out of a raw `STATS` JSON payload.
+fn applied_seq(stats_json: &str) -> Option<u64> {
+    stat(stats_json, "serve.repl.applied_seq")
 }
 
 #[test]
@@ -133,7 +140,12 @@ fn two_process_failover_promotes_with_bit_identical_scores() {
     let origin = cfg.start.to_string();
 
     let mut primary = spawn_primary(&primary_dir, &origin);
-    let mut replica = spawn_replica(&replica_dir, &origin, &primary.addr);
+    let mut replica = spawn_replica(
+        &replica_dir,
+        &origin,
+        &primary.addr,
+        &["--fetch-interval-ms", "10"],
+    );
 
     // Stream the whole dataset through the primary. Under
     // `--sync-policy always` every `OK` is durable — and therefore
@@ -237,6 +249,207 @@ fn two_process_failover_promotes_with_bit_identical_scores() {
         status.success(),
         "graceful promoted shutdown exits zero: {rest}"
     );
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+/// The self-healing proof at the binary level: the SIGKILLed primary
+/// comes back with `attrition replicate --rejoin` against the node that
+/// replaced it. Its WAL holds acknowledged records the replica never
+/// fetched — a real divergent suffix — and the handshake must discard
+/// exactly those, re-bootstrap from the new primary, and serve SCOREs
+/// bit-identical (`f64::to_bits`) to the new timeline's.
+#[test]
+fn sigkilled_primary_rejoins_and_serves_the_new_timeline_bit_identically() {
+    let primary_dir = temp_dir("rejoin_primary");
+    let replica_dir = temp_dir("rejoin_replica");
+    let mut cfg = ScenarioConfig::small();
+    cfg.n_loyal = 40;
+    cfg.n_defectors = 40;
+    cfg.n_months = 6;
+    cfg.onset_month = 3;
+    let dataset = attrition_datagen::generate(&cfg);
+    let seg_store = dataset.segment_store();
+    let receipts: Vec<_> = chronological(&seg_store).collect();
+    let origin = cfg.start.to_string();
+    // Three chronological slices: A replicates everywhere, B is acked
+    // by the primary but never fetched (the divergent suffix), C is the
+    // new timeline written after the failover.
+    let split_a = receipts.len() * 6 / 10;
+    let split_b = receipts.len() * 8 / 10;
+
+    let mut primary = spawn_primary(&primary_dir, &origin);
+    let mut client = Client::connect(&primary.addr, TIMEOUT).expect("primary connects");
+    let mut acked_a = 0u64;
+    for receipt in &receipts[..split_a] {
+        let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+        match client
+            .ingest(receipt.customer.raw(), receipt.date, &items)
+            .expect("ingest rpc")
+        {
+            Reply::Closed(_) => acked_a += 1,
+            other => panic!("unexpected ingest reply: {other:?}"),
+        }
+    }
+
+    // All of slice A is durable before the replica exists, so its
+    // startup burst drains the whole slice (a fetch that applied
+    // records loops immediately) and then — with a huge fetch interval
+    // — sleeps far past the end of the test, so nothing of slice B is
+    // ever shipped. Spawning the replica mid-slice would race: a fetch
+    // landing between two ingests drains early and parks for the full
+    // interval.
+    let mut replica = spawn_replica(
+        &replica_dir,
+        &origin,
+        &primary.addr,
+        &["--fetch-interval-ms", "60000"],
+    );
+
+    // The replica holds all of slice A...
+    let mut rclient = Client::connect(&replica.addr, TIMEOUT).expect("replica connects");
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        match rclient.send("STATS").expect("stats rpc") {
+            Reply::Stats(json) => {
+                if applied_seq(&json) == Some(acked_a) {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "replica never caught up to LSN {acked_a}: {json}"
+                );
+            }
+            other => panic!("unexpected stats reply: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // ...and slice B lands only on the primary: acknowledged durable
+    // (sync=always), never shipped — then SIGKILL.
+    let mut acked_b = 0u64;
+    for receipt in &receipts[split_a..split_b] {
+        let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+        match client
+            .ingest(receipt.customer.raw(), receipt.date, &items)
+            .expect("ingest rpc")
+        {
+            Reply::Closed(_) => acked_b += 1,
+            other => panic!("unexpected ingest reply: {other:?}"),
+        }
+    }
+    assert!(acked_b > 0, "the divergent suffix must be non-empty");
+    primary.child.kill().expect("SIGKILL");
+    primary.child.wait().expect("reaped");
+    drop(client);
+
+    // Failover at exactly LSN `acked_a`, then the new timeline: slice C
+    // goes through the promoted node only.
+    match rclient.send("PROMOTE").expect("promote rpc") {
+        Reply::Ok(rest) => assert_eq!(rest, format!("promoted 2 {acked_a}")),
+        other => panic!("unexpected promote reply: {other:?}"),
+    }
+    let mut acked_c = 0u64;
+    for receipt in &receipts[split_b..] {
+        let items: Vec<u32> = receipt.items.iter().map(|i| i.raw()).collect();
+        match rclient
+            .ingest(receipt.customer.raw(), receipt.date, &items)
+            .expect("ingest rpc")
+        {
+            Reply::Closed(_) => acked_c += 1,
+            other => panic!("unexpected ingest reply: {other:?}"),
+        }
+    }
+    assert!(acked_c > 0, "the new timeline must move on");
+
+    // The truth the rejoined node must reproduce, bit for bit.
+    let customers: Vec<u64> = {
+        let mut ids: Vec<u64> = receipts.iter().map(|r| r.customer.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let mut expected = Vec::with_capacity(customers.len());
+    for &customer in &customers {
+        match rclient.score(customer).expect("score rpc") {
+            Reply::Score(s) => expected.push((customer, s.window, s.value.to_bits())),
+            other => panic!("unexpected score reply: {other:?}"),
+        }
+    }
+
+    // The deposed primary returns over its own WAL directory, pointed
+    // at the node that replaced it. `--rejoin` runs the divergence
+    // handshake before serving; the startup log names the discard.
+    let mut rejoined = spawn_replica(
+        &primary_dir,
+        &origin,
+        &replica.addr,
+        &["--fetch-interval-ms", "10", "--rejoin"],
+    );
+    let mut rejoin_line = String::new();
+    rejoined.stderr.read_line(&mut rejoin_line).unwrap();
+    assert_eq!(
+        rejoin_line.trim_end(),
+        format!("rejoin: adopted epoch 2 ({acked_b} divergent records discarded)"),
+        "the startup handshake must discard exactly the divergent suffix"
+    );
+
+    // It catches up to the full new timeline, and STATS exposes the
+    // heal: the rejoin counter, the discarded-record count, the epoch.
+    let mut jclient = Client::connect(&rejoined.addr, TIMEOUT).expect("rejoined node connects");
+    let target = acked_a + acked_c;
+    let deadline = Instant::now() + TIMEOUT;
+    let stats_json = loop {
+        match jclient.send("STATS").expect("stats rpc") {
+            Reply::Stats(json) => {
+                if applied_seq(&json) == Some(target) {
+                    break json;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "rejoined node never caught up to LSN {target}: {json}"
+                );
+            }
+            other => panic!("unexpected stats reply: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(stat(&stats_json, "serve.repl.rejoins"), Some(1));
+    assert_eq!(
+        stat(&stats_json, "serve.repl.divergent_records_discarded"),
+        Some(acked_b)
+    );
+    assert_eq!(stat(&stats_json, "serve.repl.epoch"), Some(2));
+
+    // Every SCORE the new primary serves, the rejoined node serves
+    // bit-identically — no trace of slice B anywhere.
+    for (customer, window, bits) in &expected {
+        match jclient.score(*customer).expect("score rpc") {
+            Reply::Score(s) => {
+                assert_eq!(s.window, *window, "customer {customer}");
+                assert_eq!(
+                    s.value.to_bits(),
+                    *bits,
+                    "customer {customer} diverged after the rejoin"
+                );
+            }
+            other => panic!("unexpected score reply: {other:?}"),
+        }
+    }
+
+    // And it is an ordinary replica again: read-only until promoted.
+    match jclient.send("INGEST 1 2012-05-02 10").expect("ingest rpc") {
+        Reply::Err(message) => assert!(message.contains("read-only"), "{message}"),
+        other => panic!("a rejoined replica must reject writes, got {other:?}"),
+    }
+
+    drop(jclient);
+    rejoined.child.kill().expect("kill rejoined node");
+    rejoined.child.wait().expect("reaped");
+    rclient.send("SHUTDOWN").expect("shutdown rpc");
+    drop(rclient);
+    let status = replica.child.wait().expect("promoted node must exit");
+    assert!(status.success(), "graceful promoted shutdown exits zero");
     let _ = std::fs::remove_dir_all(&primary_dir);
     let _ = std::fs::remove_dir_all(&replica_dir);
 }

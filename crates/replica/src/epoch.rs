@@ -8,9 +8,13 @@
 //! resurrected old primary harmless: its stale shipments identify
 //! themselves by their dead epoch.
 //!
-//! The file is plain ASCII decimal + newline, written with the same
-//! crash-atomic tmp → fsync → rename dance as a checkpoint. A missing
-//! file reads as epoch 1, so existing WAL directories upgrade in place.
+//! The file is plain ASCII `"<epoch> <start_lsn>"` + newline, written
+//! with the same crash-atomic tmp → fsync → rename dance as a
+//! checkpoint. `start_lsn` is the LSN at which this epoch began — the
+//! promotion takeover point — which is what a rejoining deposed primary
+//! needs to locate its divergent suffix. A missing file reads as epoch
+//! 1 starting at LSN 0, and a legacy single-field file reads with
+//! `start_lsn` 0, so existing WAL directories upgrade in place.
 
 use attrition_serve::checkpoint::atomic_write_in;
 use attrition_serve::Storage;
@@ -19,33 +23,74 @@ use std::path::Path;
 /// File name inside a WAL directory.
 pub const EPOCH_FILE: &str = "epoch";
 
-/// Read the directory's epoch; a missing file is epoch 1.
-pub fn read_epoch_in(storage: &dyn Storage, dir: &Path) -> std::io::Result<u64> {
-    let bytes = match storage.read(&dir.join(EPOCH_FILE)) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(1),
-        Err(e) => return Err(e),
-    };
-    std::str::from_utf8(&bytes)
-        .ok()
-        .and_then(|s| s.trim().parse::<u64>().ok())
-        .filter(|&epoch| epoch >= 1)
-        .ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("corrupt epoch file in {}", dir.display()),
-            )
-        })
+/// The durable epoch record: which generation this node belongs to and
+/// the LSN at which that generation began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMeta {
+    /// The 1-based primary generation.
+    pub epoch: u64,
+    /// The LSN at which `epoch` started (the promotion takeover LSN;
+    /// 0 for the original generation and for legacy files).
+    pub start_lsn: u64,
 }
 
-/// Durably write the directory's epoch (crash-atomic).
-pub fn write_epoch_in(storage: &dyn Storage, dir: &Path, epoch: u64) -> std::io::Result<()> {
+/// Read the directory's epoch metadata; a missing file is epoch 1
+/// starting at LSN 0.
+pub fn read_epoch_meta_in(storage: &dyn Storage, dir: &Path) -> std::io::Result<EpochMeta> {
+    let bytes = match storage.read(&dir.join(EPOCH_FILE)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(EpochMeta {
+                epoch: 1,
+                start_lsn: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let corrupt = || {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("corrupt epoch file in {}", dir.display()),
+        )
+    };
+    let text = std::str::from_utf8(&bytes).map_err(|_| corrupt())?;
+    let fields: Vec<&str> = text.split_ascii_whitespace().collect();
+    let (epoch_field, lsn_field) = match fields.as_slice() {
+        [epoch] => (*epoch, "0"),
+        [epoch, lsn] => (*epoch, *lsn),
+        _ => return Err(corrupt()),
+    };
+    let epoch: u64 = epoch_field.parse().map_err(|_| corrupt())?;
+    let start_lsn: u64 = lsn_field.parse().map_err(|_| corrupt())?;
+    if epoch < 1 {
+        return Err(corrupt());
+    }
+    Ok(EpochMeta { epoch, start_lsn })
+}
+
+/// Read the directory's epoch; a missing file is epoch 1.
+pub fn read_epoch_in(storage: &dyn Storage, dir: &Path) -> std::io::Result<u64> {
+    read_epoch_meta_in(storage, dir).map(|meta| meta.epoch)
+}
+
+/// Durably write the directory's epoch metadata (crash-atomic).
+pub fn write_epoch_meta_in(
+    storage: &dyn Storage,
+    dir: &Path,
+    epoch: u64,
+    start_lsn: u64,
+) -> std::io::Result<()> {
     assert!(epoch >= 1, "epochs are 1-based");
     atomic_write_in(
         storage,
         &dir.join(EPOCH_FILE),
-        format!("{epoch}\n").as_bytes(),
+        format!("{epoch} {start_lsn}\n").as_bytes(),
     )
+}
+
+/// Durably write the directory's epoch with a start LSN of 0.
+pub fn write_epoch_in(storage: &dyn Storage, dir: &Path, epoch: u64) -> std::io::Result<()> {
+    write_epoch_meta_in(storage, dir, epoch, 0)
 }
 
 #[cfg(test)]
@@ -60,10 +105,49 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let storage = RealStorage::shared();
         assert_eq!(read_epoch_in(&*storage, &dir).unwrap(), 1);
+        assert_eq!(
+            read_epoch_meta_in(&*storage, &dir).unwrap(),
+            EpochMeta {
+                epoch: 1,
+                start_lsn: 0
+            }
+        );
         write_epoch_in(&*storage, &dir, 7).unwrap();
         assert_eq!(read_epoch_in(&*storage, &dir).unwrap(), 7);
+        write_epoch_meta_in(&*storage, &dir, 9, 4123).unwrap();
+        assert_eq!(
+            read_epoch_meta_in(&*storage, &dir).unwrap(),
+            EpochMeta {
+                epoch: 9,
+                start_lsn: 4123
+            }
+        );
         std::fs::write(dir.join(EPOCH_FILE), "not a number").unwrap();
         assert!(read_epoch_in(&*storage, &dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_field_files_read_with_start_lsn_zero() {
+        let dir = std::env::temp_dir().join(format!("attrition_epoch_v1_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let storage = RealStorage::shared();
+        std::fs::write(dir.join(EPOCH_FILE), "5\n").unwrap();
+        assert_eq!(
+            read_epoch_meta_in(&*storage, &dir).unwrap(),
+            EpochMeta {
+                epoch: 5,
+                start_lsn: 0
+            }
+        );
+        for bad in ["0\n", "1 2 3\n", "1 x\n", ""] {
+            std::fs::write(dir.join(EPOCH_FILE), bad).unwrap();
+            assert!(
+                read_epoch_meta_in(&*storage, &dir).is_err(),
+                "accepted {bad:?}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,17 +1,25 @@
 //! The replica's real-TCP fetch side: a tiny blocking client for the
-//! `REPL` round trip, and the pull loop the `attrition replicate`
-//! command runs on a background thread.
+//! `REPL` and `REJOIN` round trips, and the pull loop the
+//! `attrition replicate` command runs on a background thread.
 //!
 //! The stock [`Client`](attrition_serve::Client) only knows how to read
 //! `OK <n>` continuations; `RBATCH`/`RSNAP` responses announce their
 //! own continuation counts (see [`FetchResponse::extra_lines`]), so the
 //! fetcher reads frames itself. Any transport or protocol error drops
 //! the connection and the next round reconnects — the pull loop is the
-//! retry policy.
+//! retry policy: capped jittered exponential backoff on consecutive
+//! errors (the serve client's [`RetryPolicy`] shape), the configured
+//! interval once healthy.
+//!
+//! When a fetch comes back `ERR fenced` or `rejoin required`, the loop
+//! runs the divergence handshake inline ([`rejoin_via`]) and, if the
+//! upstream really is a newer generation, discards the divergent
+//! suffix and resumes fetching under the new epoch — a deposed primary
+//! heals itself without operator intervention.
 
-use crate::replica::ReplicaEngine;
-use crate::wire::{FetchRequest, FetchResponse};
-use attrition_serve::Service;
+use crate::replica::{RejoinOutcome, ReplicaEngine};
+use crate::wire::{FetchRequest, FetchResponse, RejoinRequest, RejoinResponse};
+use attrition_serve::{RetryPolicy, Service, SplitMix64};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -75,6 +83,28 @@ impl ReplClient {
         FetchResponse::parse(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
+
+    /// One `REJOIN` handshake round trip (a single-line answer).
+    pub fn rejoin(&mut self, req: &RejoinRequest) -> std::io::Result<RejoinResponse> {
+        let result = self.rejoin_inner(req);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn rejoin_inner(&mut self, req: &RejoinRequest) -> std::io::Result<RejoinResponse> {
+        let reader = self.connected()?;
+        reader
+            .get_mut()
+            .write_all(format!("{}\n", req.to_line()).as_bytes())?;
+        let line = read_line(reader)?;
+        if line.starts_with("ERR") {
+            return Err(std::io::Error::other(line));
+        }
+        RejoinResponse::parse(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
 }
 
 fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
@@ -92,6 +122,21 @@ fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
     Ok(line)
 }
 
+/// Run the divergence handshake against `client`'s upstream and apply
+/// the discard rule locally. Shared by the fetch loop's auto-trigger
+/// and the `attrition replicate --rejoin` startup path.
+pub fn rejoin_via(
+    client: &mut ReplClient,
+    replica: &ReplicaEngine,
+) -> std::io::Result<RejoinOutcome> {
+    let req = RejoinRequest {
+        epoch: replica.epoch(),
+        durable: replica.durable_seq(),
+    };
+    let resp = client.rejoin(&req)?;
+    replica.rejoin_to(resp.epoch, resp.promotion_lsn)
+}
+
 /// How the pull loop paces itself.
 #[derive(Debug, Clone)]
 pub struct FetchLoopConfig {
@@ -104,14 +149,21 @@ pub struct FetchLoopConfig {
     pub batch_max: u64,
     /// Read timeout on the replication connection.
     pub read_timeout: Duration,
+    /// Sleep shape on consecutive errors: exponential from
+    /// `base_delay` up to `max_delay`, jittered (the `budget` field is
+    /// ignored — the loop retries forever).
+    pub backoff: RetryPolicy,
 }
 
 /// Pull from the primary until the replica shuts down or is promoted.
 /// Transport errors (primary down, mid-failover) are logged sparsely
-/// and retried forever — a replica outliving its primary is the whole
-/// point. Returns the number of successful fetch rounds.
+/// and retried forever under capped jittered exponential backoff — a
+/// replica outliving its primary is the whole point. A fenced fetch
+/// triggers the rejoin handshake inline. Returns the number of
+/// successful fetch rounds.
 pub fn run_fetch_loop(replica: &ReplicaEngine, config: &FetchLoopConfig) -> u64 {
     let mut client = ReplClient::new(config.primary.clone(), config.read_timeout);
+    let mut jitter = SplitMix64::new(config.backoff.seed);
     let mut rounds = 0u64;
     let mut consecutive_errors = 0u64;
     while !replica.shutdown_requested() && !replica.promoted() {
@@ -127,10 +179,44 @@ pub fn run_fetch_loop(replica: &ReplicaEngine, config: &FetchLoopConfig) -> u64 
                 if applied.fresh > 0 || applied.snapshot_installed {
                     continue; // behind: catch up without pausing
                 }
+                interruptible_sleep(replica, config.interval);
             }
             Err(e) => {
                 attrition_obs::counter("serve.repl.fetch_errors").inc();
                 consecutive_errors += 1;
+                // A fence in either direction means epochs moved: ask
+                // the upstream where its generation started and apply
+                // the discard rule. Harmless if the upstream turns out
+                // not to be ahead (the handshake no-ops).
+                if e.contains("fenced") || e.contains("rejoin required") {
+                    match rejoin_via(&mut client, replica) {
+                        Ok(outcome) if outcome.adopted => {
+                            eprintln!(
+                                "replicate: rejoined epoch {} ({})",
+                                outcome.epoch,
+                                if outcome.discarded {
+                                    format!(
+                                        "discarded {} divergent records, re-bootstrapping",
+                                        outcome.divergent_records
+                                    )
+                                } else {
+                                    "no divergent suffix".to_owned()
+                                }
+                            );
+                            consecutive_errors = 0;
+                            continue; // fetch again at once under the new epoch
+                        }
+                        Ok(_) => {} // upstream not ahead: plain backoff
+                        Err(re) => {
+                            if consecutive_errors == 1 || consecutive_errors.is_multiple_of(32) {
+                                eprintln!(
+                                    "replicate: rejoin handshake with {} failed: {re}",
+                                    config.primary
+                                );
+                            }
+                        }
+                    }
+                }
                 // First error and every ~32nd after: enough to see an
                 // outage in the log without flooding it.
                 if consecutive_errors == 1 || consecutive_errors.is_multiple_of(32) {
@@ -139,9 +225,27 @@ pub fn run_fetch_loop(replica: &ReplicaEngine, config: &FetchLoopConfig) -> u64 
                         config.primary
                     );
                 }
+                let attempt = consecutive_errors.min(u32::MAX as u64) as u32;
+                interruptible_sleep(replica, config.backoff.backoff(attempt, &mut jitter));
             }
         }
-        std::thread::sleep(config.interval);
     }
     rounds
+}
+
+/// Sleep in short slices so shutdown or promotion interrupts a long
+/// pause — a just-promoted node must not keep its fetcher (and any
+/// joiner waiting on it) parked for the rest of a multi-second
+/// interval or backoff.
+fn interruptible_sleep(replica: &ReplicaEngine, total: Duration) {
+    let slice = Duration::from_millis(50);
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if replica.shutdown_requested() || replica.promoted() {
+            return;
+        }
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
 }

@@ -12,27 +12,35 @@
 //!   the engine's *durable* floor (never an unsynced record: a crashed
 //!   primary could reassign those LSNs), and falls back to the newest
 //!   checkpoint when the log has been truncated past the replica.
-//! - [`wire`] — the `REPL`/`RBATCH`/`RSNAP`/`PROMOTE` line formats on
-//!   top of the existing newline protocol, with per-record CRCs that
-//!   are bit-identical to the WAL frame checksums.
+//! - [`wire`] — the `REPL`/`RBATCH`/`RSNAP`/`PROMOTE` and
+//!   `REJOIN`/`RJOIN` line formats on top of the existing newline
+//!   protocol, with per-record CRCs that are bit-identical to the WAL
+//!   frame checksums.
 //! - [`primary`] — [`PrimaryService`]: an [`Engine`] plus the
 //!   replication verbs behind one [`Service`], pluggable into
 //!   [`start_service`](attrition_serve::start_service).
 //! - [`replica`] — [`ReplicaEngine`]: idempotent in-order apply
 //!   (skip ≤ applied LSN, hard-error on gaps), epoch fencing,
-//!   snapshot bootstrap through the ordinary recovery path, and the
+//!   snapshot bootstrap through the ordinary recovery path, the
 //!   `PROMOTE` state machine (fsync, durably bump epoch, accept
-//!   writes).
-//! - [`epoch`] — the durable generation counter behind the fence.
-//! - [`fetch`] — the real-TCP pull loop (`attrition replicate`).
+//!   writes), and [`ReplicaEngine::rejoin_to`] — the divergent-suffix
+//!   discard rule a deposed primary runs to heal back into the
+//!   cluster as a replica of the new generation.
+//! - [`epoch`] — the durable generation counter behind the fence,
+//!   now carrying each generation's start LSN.
+//! - [`fetch`] — the real-TCP pull loop (`attrition replicate`), with
+//!   jittered exponential backoff on transport errors and the
+//!   auto-triggered rejoin handshake on `ERR fenced`.
 //!
 //! The protocol is verified *sim-first*: `attrition-sim` drives a
 //! primary and a replica over an in-memory network with seeded drops,
 //! dups, reorders, partitions and crashes, asserting after every fault
 //! that (R1) a promoted replica never lands below the primary's
-//! acked-durable LSN and (R2) primary and replica snapshots are
-//! byte-equal at the same LSN. The TCP transport here ships the same
-//! bytes the simulator ships. See DESIGN §13.
+//! acked-durable LSN, (R2) primary and replica snapshots are
+//! byte-equal at the same LSN, and (R3) a rejoined deposed primary is
+//! byte-equal to the new primary at the same LSN with no divergent
+//! record surviving anywhere. The TCP transport here ships the same
+//! bytes the simulator ships. See DESIGN §13 and §15.
 //!
 //! [`Engine`]: attrition_serve::Engine
 //! [`Service`]: attrition_serve::Service
@@ -44,9 +52,11 @@ pub mod primary;
 pub mod replica;
 pub mod wire;
 
-pub use epoch::{read_epoch_in, write_epoch_in, EPOCH_FILE};
-pub use fetch::{run_fetch_loop, FetchLoopConfig, ReplClient};
+pub use epoch::{
+    read_epoch_in, read_epoch_meta_in, write_epoch_in, write_epoch_meta_in, EpochMeta, EPOCH_FILE,
+};
+pub use fetch::{rejoin_via, run_fetch_loop, FetchLoopConfig, ReplClient};
 pub use log::{ReplicationLog, Shipment};
 pub use primary::{PrimaryService, MAX_BATCH_RECORDS};
-pub use replica::{Applied, ReplicaConfig, ReplicaEngine};
-pub use wire::{FetchRequest, FetchResponse, WireError};
+pub use replica::{Applied, RejoinOutcome, ReplicaConfig, ReplicaEngine};
+pub use wire::{FetchRequest, FetchResponse, RejoinRequest, RejoinResponse, WireError};

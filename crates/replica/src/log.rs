@@ -91,18 +91,41 @@ impl ReplicationLog {
         }
     }
 
+    /// Ship the newest readable checkpoint.
+    ///
+    /// Keep-N pruning runs concurrently with shipping: between listing
+    /// the directory and reading a file, a fresh checkpoint can land
+    /// and demote the one we picked past the keep window, so the read
+    /// comes back `NotFound`. That is not a failure — by the pruning
+    /// invariant the re-listed directory always holds a *newer*
+    /// checkpoint that still covers `after` — so the listing is
+    /// re-resolved (bounded, to turn a livelock into an error) instead
+    /// of failing the bootstrap. Corrupt files are skipped within a
+    /// pass, exactly as recovery skips them.
     fn newest_checkpoint(&self, after: u64) -> std::io::Result<Shipment> {
-        for (_lsn, path) in checkpoint::list_in(&*self.storage, &self.dir)? {
-            match checkpoint::read_in(&*self.storage, &path) {
-                Ok(ckpt) => {
-                    return Ok(Shipment::Snapshot {
-                        lsn: ckpt.lsn,
-                        format: ckpt.format,
-                        body: ckpt.body,
-                    })
+        for _pass in 0..4 {
+            let mut pruned_mid_ship = false;
+            for (_lsn, path) in checkpoint::list_in(&*self.storage, &self.dir)? {
+                match checkpoint::read_in(&*self.storage, &path) {
+                    Ok(ckpt) => {
+                        return Ok(Shipment::Snapshot {
+                            lsn: ckpt.lsn,
+                            format: ckpt.format,
+                            body: ckpt.body,
+                        })
+                    }
+                    Err(checkpoint::CheckpointError::Io(e))
+                        if e.kind() == std::io::ErrorKind::NotFound =>
+                    {
+                        pruned_mid_ship = true;
+                    }
+                    Err(_) => continue, // corrupt: fall back, as recovery does
                 }
-                Err(_) => continue, // corrupt: fall back, as recovery does
             }
+            if !pruned_mid_ship {
+                break;
+            }
+            attrition_obs::counter("serve.repl.ship_reresolves").inc();
         }
         Err(std::io::Error::new(
             std::io::ErrorKind::NotFound,
@@ -201,6 +224,96 @@ mod tests {
         wal.append("INGEST 1 2012-05-02").unwrap();
         let log = ReplicationLog::new(RealStorage::shared(), &dir);
         assert!(log.fetch(3, 100, 10).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Storage that simulates keep-N pruning racing a snapshot ship:
+    /// the first read of the staged checkpoint path removes the file
+    /// (as a concurrent prune would), drops a newer checkpoint in its
+    /// place, and reports `NotFound`.
+    struct PruneRace {
+        inner: Arc<dyn Storage>,
+        victim: PathBuf,
+        replacement_lsn: u64,
+        fired: std::sync::Mutex<bool>,
+    }
+
+    impl Storage for PruneRace {
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            if path == self.victim {
+                let mut fired = self.fired.lock().unwrap();
+                if !*fired {
+                    *fired = true;
+                    self.inner.remove(&self.victim)?;
+                    checkpoint::write_binary_in(
+                        &*self.inner,
+                        self.victim.parent().unwrap(),
+                        self.replacement_lsn,
+                        b"ATTRMON1-newer-body",
+                    )?;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        "pruned mid-ship",
+                    ));
+                }
+            }
+            self.inner.read(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            self.inner.write(path, bytes)
+        }
+        fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            self.inner.append(path, bytes)
+        }
+        fn sync(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.sync(path)
+        }
+        fn set_len(&self, path: &Path, len: u64) -> std::io::Result<u64> {
+            self.inner.set_len(path, len)
+        }
+        fn len(&self, path: &Path) -> std::io::Result<u64> {
+            self.inner.len(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn remove(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.remove(path)
+        }
+        fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+            self.inner.sync_dir(dir)
+        }
+        fn list(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+            self.inner.list(dir)
+        }
+        fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+            self.inner.create_dir_all(dir)
+        }
+    }
+
+    #[test]
+    fn checkpoint_pruned_mid_ship_re_resolves_to_the_newer_one() {
+        let dir = temp_dir("prunerace");
+        let victim = checkpoint::write_binary(&dir, 5, b"ATTRMON1-placeholder-body").unwrap();
+        // Log starts past the checkpoint, so a replica at 2 needs it.
+        let mut wal = Wal::open(&dir.join(WAL_FILE), SyncPolicy::Always, 12).unwrap();
+        wal.append("INGEST 9 2012-07-02").unwrap();
+        let storage: Arc<dyn Storage> = Arc::new(PruneRace {
+            inner: RealStorage::shared(),
+            victim,
+            replacement_lsn: 11,
+            fired: std::sync::Mutex::new(false),
+        });
+        let log = ReplicationLog::new(storage, &dir);
+        // The first read vaporizes checkpoint 5 and lands checkpoint 11
+        // — the ship must re-list and serve the newer one, not error.
+        match log.fetch(2, 100, 12).unwrap() {
+            Shipment::Snapshot { lsn, body, .. } => {
+                assert_eq!(lsn, 11);
+                assert_eq!(body, b"ATTRMON1-newer-body");
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

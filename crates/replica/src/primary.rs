@@ -11,7 +11,7 @@
 
 use crate::epoch;
 use crate::log::{ReplicationLog, Shipment};
-use crate::wire::{FetchRequest, FetchResponse};
+use crate::wire::{FetchRequest, FetchResponse, RejoinRequest, RejoinResponse};
 use attrition_serve::engine::ShutdownReport;
 use attrition_serve::{Engine, Service, Storage};
 use std::path::Path;
@@ -21,7 +21,7 @@ use std::sync::Arc;
 /// Hard cap on records per shipped batch, whatever the replica asks
 /// for — bounds the response size and the time the fetch handler
 /// spends re-reading the log.
-pub const MAX_BATCH_RECORDS: usize = 4096;
+pub use crate::wire::MAX_BATCH_RECORDS;
 
 /// Answer one `REPL` line from `log`, stamped with `epoch`, capped at
 /// `engine`'s durable floor. Shared by the primary and by a promoted
@@ -41,6 +41,9 @@ pub(crate) fn answer_repl(line: &str, epoch: u64, engine: &Engine, log: &Replica
         );
     }
     let floor = engine.wal_synced_seq();
+    // How far the fetcher trails our durable log, as of this request —
+    // the primary-side view of replication lag.
+    attrition_obs::gauge("serve.repl.lag_records").set(floor.saturating_sub(req.after) as i64);
     let max = (req.max as usize).min(MAX_BATCH_RECORDS);
     match log.fetch(req.after, max, floor) {
         Ok(Shipment::Records(records)) => {
@@ -71,11 +74,35 @@ pub(crate) fn answer_repl(line: &str, epoch: u64, engine: &Engine, log: &Replica
     }
 }
 
+/// Answer one `REJOIN` divergence handshake, reporting `epoch` and the
+/// LSN it started at. Shared by the primary and by a promoted replica.
+pub(crate) fn answer_rejoin(line: &str, epoch: u64, epoch_start: u64) -> String {
+    let req = match RejoinRequest::parse(line) {
+        Ok(req) => req,
+        Err(e) => return format!("ERR {e}"),
+    };
+    if req.epoch > epoch {
+        // Same fencing rule as REPL: if the requester has seen a newer
+        // generation, we are the one who should be rejoining.
+        return format!(
+            "ERR fenced: requester epoch {} is ahead of ours ({epoch})",
+            req.epoch
+        );
+    }
+    attrition_obs::counter("serve.repl.rejoin_handshakes").inc();
+    RejoinResponse {
+        epoch,
+        promotion_lsn: epoch_start,
+    }
+    .to_line()
+}
+
 /// A replication-serving wrapper around a primary [`Engine`].
 pub struct PrimaryService {
     engine: Arc<Engine>,
     log: ReplicationLog,
     epoch: u64,
+    epoch_start: u64,
     repl_requests: AtomicU64,
     repl_errors: AtomicU64,
 }
@@ -94,16 +121,17 @@ impl PrimaryService {
         storage: Arc<dyn Storage>,
         wal_dir: &Path,
     ) -> std::io::Result<PrimaryService> {
-        let epoch = epoch::read_epoch_in(&*storage, wal_dir)?;
+        let meta = epoch::read_epoch_meta_in(&*storage, wal_dir)?;
         // Persist the default on first boot so a later promotion
         // elsewhere always finds something to compare against.
-        epoch::write_epoch_in(&*storage, wal_dir, epoch)?;
-        attrition_obs::gauge("serve.repl.epoch").set(epoch as i64);
+        epoch::write_epoch_meta_in(&*storage, wal_dir, meta.epoch, meta.start_lsn)?;
+        attrition_obs::gauge("serve.repl.epoch").set(meta.epoch as i64);
         let log = ReplicationLog::new(storage, wal_dir);
         Ok(PrimaryService {
             engine,
             log,
-            epoch,
+            epoch: meta.epoch,
+            epoch_start: meta.start_lsn,
             repl_requests: AtomicU64::new(0),
             repl_errors: AtomicU64::new(0),
         })
@@ -112,6 +140,11 @@ impl PrimaryService {
     /// This primary's generation number.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The LSN at which this primary's generation started.
+    pub fn epoch_start_lsn(&self) -> u64 {
+        self.epoch_start
     }
 
     /// The wrapped engine.
@@ -135,6 +168,9 @@ impl Service for PrimaryService {
                 "repl",
                 answer_repl(line, self.epoch, &self.engine, &self.log),
             ),
+            Some("REJOIN") => {
+                self.intercepted("rejoin", answer_rejoin(line, self.epoch, self.epoch_start))
+            }
             Some("PROMOTE") => self.intercepted("promote", "ERR not a replica".to_owned()),
             _ => self.engine.respond(line),
         }

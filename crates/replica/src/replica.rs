@@ -22,14 +22,32 @@
 //!
 //! ## Promotion
 //!
-//! `PROMOTE` fsyncs the replica's WAL, durably writes `epoch + 1`, and
-//! only then starts accepting writes. The takeover LSN is the replica's
-//! durable last sequence number — the simulator asserts it is never
-//! below the primary's acked-durable LSN (invariant R1).
+//! `PROMOTE` fsyncs the replica's WAL, durably writes `epoch + 1` and
+//! its takeover LSN, and only then starts accepting writes. The
+//! takeover LSN is the replica's durable last sequence number — the
+//! simulator asserts it is never below the primary's acked-durable LSN
+//! (invariant R1).
+//!
+//! ## Rejoin
+//!
+//! A deposed primary's durable log may hold a *divergent suffix*:
+//! records it logged above the promotion LSN that never shipped, and
+//! that the new generation's timeline replaced with different records
+//! at the same sequence numbers. Adopting a newer epoch in place would
+//! silently graft the new timeline onto that suffix, so [`fence`] only
+//! auto-adopts on an *empty* node; everyone else gets a "rejoin
+//! required" error, and [`ReplicaEngine::rejoin_to`] applies the
+//! discard rule from the `REJOIN`/`RJOIN` handshake: keep local state
+//! only when it provably contains no divergent record (the responder
+//! is exactly one epoch ahead and our applied LSN is at or below its
+//! promotion LSN); otherwise discard WAL + checkpoints durably and
+//! re-bootstrap through the ordinary snapshot/recovery path. The epoch
+//! adoption is written *last* — a crash mid-discard leaves the node at
+//! its old epoch, and the next handshake simply re-runs.
 
 use crate::epoch;
 use crate::log::ReplicationLog;
-use crate::primary::answer_repl;
+use crate::primary::{answer_rejoin, answer_repl};
 use crate::wire::FetchRequest;
 use crate::wire::FetchResponse;
 use attrition_serve::checkpoint::{self, CheckpointFormat};
@@ -60,6 +78,11 @@ pub struct ReplicaConfig {
     /// production — the replication sweep exists to prove this exact
     /// flag breaks the byte-equality invariant.
     pub accept_stale_epoch: bool,
+    /// **Fault-injection only** (the simulator's planted bug): adopt
+    /// the new epoch on rejoin but keep the divergent local suffix
+    /// instead of discarding it. Never set in production — the rejoin
+    /// sweep exists to prove this exact flag breaks invariant R3.
+    pub keep_divergent_suffix: bool,
 }
 
 impl ReplicaConfig {
@@ -72,8 +95,23 @@ impl ReplicaConfig {
             n_shards: 8,
             fallback,
             accept_stale_epoch: false,
+            keep_divergent_suffix: false,
         }
     }
+}
+
+/// What [`ReplicaEngine::rejoin_to`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RejoinOutcome {
+    /// The node's epoch after the call.
+    pub epoch: u64,
+    /// Whether the epoch moved forward (a rejoin actually happened).
+    pub adopted: bool,
+    /// Whether local state was discarded and rebuilt from scratch.
+    pub discarded: bool,
+    /// Local records above the divergence floor (discarded, unless the
+    /// planted `keep_divergent_suffix` bug kept them).
+    pub divergent_records: u64,
 }
 
 /// What applying one [`FetchResponse`] did.
@@ -100,6 +138,7 @@ pub struct ReplicaEngine {
     clock: Arc<dyn Clock>,
     config: ReplicaConfig,
     epoch: AtomicU64,
+    epoch_start: AtomicU64,
     promoted: AtomicBool,
     shutdown: AtomicBool,
     // Counters for intercepted verbs plus requests accumulated in
@@ -122,10 +161,10 @@ impl ReplicaEngine {
         clock: Arc<dyn Clock>,
     ) -> Result<(ReplicaEngine, RecoveryStats), RecoveryError> {
         storage.create_dir_all(&config.wal_dir)?;
-        let own_epoch = epoch::read_epoch_in(&*storage, &config.wal_dir)?;
+        let meta = epoch::read_epoch_meta_in(&*storage, &config.wal_dir)?;
         let (engine, stats) = recovered_engine(&config, &storage, &clock)?;
         let log = ReplicationLog::new(Arc::clone(&storage), &config.wal_dir);
-        attrition_obs::gauge("serve.repl.epoch").set(own_epoch as i64);
+        attrition_obs::gauge("serve.repl.epoch").set(meta.epoch as i64);
         Ok((
             ReplicaEngine {
                 inner: RwLock::new(engine),
@@ -133,7 +172,8 @@ impl ReplicaEngine {
                 storage,
                 clock,
                 config,
-                epoch: AtomicU64::new(own_epoch),
+                epoch: AtomicU64::new(meta.epoch),
+                epoch_start: AtomicU64::new(meta.start_lsn),
                 promoted: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
                 base_requests: AtomicU64::new(0),
@@ -168,6 +208,11 @@ impl ReplicaEngine {
     /// The replica's current epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The LSN at which this node's current epoch started.
+    pub fn epoch_start_lsn(&self) -> u64 {
+        self.epoch_start.load(Ordering::SeqCst)
     }
 
     /// Whether this node has been promoted (accepts writes).
@@ -280,12 +325,125 @@ impl ReplicaEngine {
             ));
         }
         if sender_epoch > own {
-            epoch::write_epoch_in(&*self.storage, &self.config.wal_dir, sender_epoch)
+            // A newer generation exists. Only an *empty* node may adopt
+            // it in place: anything with local history may hold a
+            // divergent suffix above the promotion LSN, and grafting
+            // the new timeline onto it would be silent divergence. The
+            // caller must run the REJOIN handshake (`rejoin_to`), which
+            // knows where the new generation started.
+            if self.applied_seq() > 0 {
+                attrition_obs::counter("serve.repl.rejoin_required").inc();
+                return Err(format!(
+                    "rejoin required: shipment epoch {sender_epoch} is ahead of epoch {own} \
+                     and this node has local history (possible divergent suffix)"
+                ));
+            }
+            epoch::write_epoch_meta_in(&*self.storage, &self.config.wal_dir, sender_epoch, 0)
                 .map_err(|e| format!("cannot adopt epoch {sender_epoch}: {e}"))?;
             self.epoch.store(sender_epoch, Ordering::SeqCst);
+            self.epoch_start.store(0, Ordering::SeqCst);
             attrition_obs::gauge("serve.repl.epoch").set(sender_epoch as i64);
         }
         Ok(())
+    }
+
+    /// Rejoin the generation a `RJOIN <new_epoch> <promotion_lsn>`
+    /// handshake reported, discarding any divergent local suffix.
+    ///
+    /// The discard rule: local state survives only when it provably
+    /// contains no record off the surviving timeline — the responder is
+    /// exactly one epoch ahead (so `promotion_lsn` *is* the boundary
+    /// where our timeline ended) and our applied LSN is at or below it.
+    /// Across more than one promotion the responder only knows its
+    /// latest takeover point, which may lie above older divergence, so
+    /// the floor drops to 0 and everything local is rebuilt.
+    ///
+    /// A no-op when `new_epoch` is not ahead of ours. Errors if this
+    /// node was promoted (a primary does not rejoin anything).
+    pub fn rejoin_to(&self, new_epoch: u64, promotion_lsn: u64) -> std::io::Result<RejoinOutcome> {
+        if self.promoted() {
+            return Err(std::io::Error::other("a promoted node cannot rejoin"));
+        }
+        let mut guard = self
+            .inner
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let own = self.epoch();
+        if new_epoch <= own {
+            return Ok(RejoinOutcome {
+                epoch: own,
+                ..RejoinOutcome::default()
+            });
+        }
+        let applied = guard.wal_last_seq();
+        let divergence_floor = if new_epoch == own + 1 {
+            promotion_lsn
+        } else {
+            0
+        };
+        let divergent = applied.saturating_sub(divergence_floor);
+        let mut discarded = false;
+        if divergent > 0 {
+            if self.config.keep_divergent_suffix {
+                // Planted bug (fault injection): adopt the epoch but
+                // keep the suffix. The rejoin sweep proves this breaks
+                // the R3 byte-equality invariant.
+                attrition_obs::counter("serve.repl.divergent_suffix_kept").inc();
+            } else {
+                self.discard_local_state()?;
+                let (engine, _stats) = recovered_engine(&self.config, &self.storage, &self.clock)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                self.base_requests
+                    .fetch_add(guard.requests(), Ordering::Relaxed);
+                self.base_errors
+                    .fetch_add(guard.errors(), Ordering::Relaxed);
+                *guard = engine;
+                discarded = true;
+                attrition_obs::counter("serve.repl.divergent_records_discarded").add(divergent);
+                attrition_obs::gauge("serve.repl.applied_seq").set(0);
+            }
+        }
+        // The epoch adoption lands last, after every discard above is
+        // durable: a crash anywhere earlier leaves the node at its old
+        // epoch and the handshake re-runs; adopting first could leave a
+        // new-epoch node still holding its divergent log.
+        epoch::write_epoch_meta_in(
+            &*self.storage,
+            &self.config.wal_dir,
+            new_epoch,
+            promotion_lsn,
+        )?;
+        self.epoch.store(new_epoch, Ordering::SeqCst);
+        self.epoch_start.store(promotion_lsn, Ordering::SeqCst);
+        attrition_obs::counter("serve.repl.rejoins").inc();
+        attrition_obs::gauge("serve.repl.epoch").set(new_epoch as i64);
+        Ok(RejoinOutcome {
+            epoch: new_epoch,
+            adopted: true,
+            discarded,
+            divergent_records: divergent,
+        })
+    }
+
+    /// Durably erase WAL and checkpoints (the divergent timeline) so
+    /// recovery sees a pristine directory.
+    fn discard_local_state(&self) -> std::io::Result<()> {
+        let wal_path = self.config.wal_dir.join(WAL_FILE);
+        match self.storage.set_len(&wal_path, 0) {
+            Ok(_) => self.storage.sync(&wal_path)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        for (_lsn, path) in checkpoint::list_in(&*self.storage, &self.config.wal_dir)? {
+            self.storage.remove(&path)?;
+        }
+        for (_lsn, path) in checkpoint::list_tmp_in(&*self.storage, &self.config.wal_dir)? {
+            self.storage.remove(&path)?;
+        }
+        // Removals must survive a crash before the epoch write lands,
+        // or a half-discarded node could recover divergent state under
+        // the new epoch.
+        self.storage.sync_dir(&self.config.wal_dir)
     }
 
     /// Install a bootstrap checkpoint: truncate the local WAL (its
@@ -339,10 +497,13 @@ impl ReplicaEngine {
         inner.sync_wal()?;
         let lsn = inner.wal_last_seq();
         let new_epoch = self.epoch() + 1;
-        // Epoch first, durably: once we accept a write, any shipment
-        // from the old generation must already be fenceable.
-        epoch::write_epoch_in(&*self.storage, &self.config.wal_dir, new_epoch)?;
+        // Epoch first, durably, with its takeover LSN: once we accept a
+        // write, any shipment from the old generation must already be
+        // fenceable, and a rejoining deposed primary will ask where
+        // this generation started.
+        epoch::write_epoch_meta_in(&*self.storage, &self.config.wal_dir, new_epoch, lsn)?;
         self.epoch.store(new_epoch, Ordering::SeqCst);
+        self.epoch_start.store(lsn, Ordering::SeqCst);
         self.promoted.store(true, Ordering::SeqCst);
         attrition_obs::gauge("serve.repl.epoch").set(new_epoch as i64);
         Ok((new_epoch, lsn))
@@ -384,6 +545,13 @@ impl Service for ReplicaEngine {
             Some("REPL") => self.intercepted(
                 "repl",
                 answer_repl(line, self.epoch(), &self.engine(), &self.log),
+            ),
+            // A promoted node is the new primary: it answers the
+            // divergence handshake with its takeover point so deposed
+            // nodes can find and discard their divergent suffixes.
+            Some("REJOIN") => self.intercepted(
+                "rejoin",
+                answer_rejoin(line, self.epoch(), self.epoch_start_lsn()),
             ),
             Some("PROMOTE") => {
                 let response = match self.promote() {

@@ -12,12 +12,22 @@
 //! ← ERR <reason>
 //! ```
 //!
-//! and the failover verb:
+//! and the failover verbs:
 //!
 //! ```text
 //! → PROMOTE
 //! ← OK promoted <epoch> <lsn>
+//!
+//! → REJOIN <epoch> <durable>             (deposed node asking where
+//! ← RJOIN <epoch> <promotion_lsn>         the new generation started)
 //! ```
+//!
+//! `REJOIN`/`RJOIN` is the divergence handshake: a node that discovers
+//! a newer generation reports its own epoch and durable LSN, and the
+//! current primary answers with its epoch and that epoch's start LSN.
+//! The requester then knows exactly which suffix of its local log never
+//! made it onto the surviving timeline and must be discarded before it
+//! can fetch again (see `ReplicaEngine::rejoin_to`).
 //!
 //! `<crc>` on an `R` line is CRC-32 over `seq: u64 LE ++ op` — the
 //! *identical* bytes the WAL frame checksums, so a record's integrity
@@ -33,6 +43,11 @@
 use attrition_serve::checkpoint::CheckpointFormat;
 use attrition_serve::wal::WalRecord;
 use attrition_util::crc::crc32;
+
+/// Most records the primary will ship in one batch; also the wire
+/// parser's sanity bound on the record count an `RBATCH` header may
+/// promise (anything larger is rejected before buffers are sized).
+pub const MAX_BATCH_RECORDS: usize = 4096;
 
 /// A malformed replication line (answered/reported as `ERR`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,11 +101,100 @@ impl FetchRequest {
                 .parse()
                 .map_err(|_| WireError(format!("bad number {:?} in {line:?}", fields[i])))
         };
-        Ok(FetchRequest {
+        let req = FetchRequest {
             epoch: num(1)?,
             after: num(2)?,
             max: num(3)?,
+        };
+        if req.max == 0 {
+            // A zero-record fetch is never what a replica means, and
+            // letting it through would turn a caught-up request into a
+            // pointless full-snapshot shipment once the log truncates.
+            return Err(WireError(format!(
+                "bad REPL request {line:?} (max must be >= 1)"
+            )));
+        }
+        Ok(req)
+    }
+}
+
+/// The divergence handshake request: "here is my epoch and my durable
+/// LSN — tell me where your generation started so I can find my
+/// divergent suffix".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinRequest {
+    /// The requesting node's current epoch.
+    pub epoch: u64,
+    /// The requesting node's durable LSN.
+    pub durable: u64,
+}
+
+impl RejoinRequest {
+    /// Render the `REJOIN` request line.
+    pub fn to_line(&self) -> String {
+        format!("REJOIN {} {}", self.epoch, self.durable)
+    }
+
+    /// Parse a `REJOIN` request line.
+    pub fn parse(line: &str) -> Result<RejoinRequest, WireError> {
+        let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+        if fields.len() != 3 || fields[0] != "REJOIN" {
+            return Err(WireError(format!(
+                "bad REJOIN request {line:?} (expected REJOIN <epoch> <durable>)"
+            )));
+        }
+        let num = |i: usize| -> Result<u64, WireError> {
+            fields[i]
+                .parse()
+                .map_err(|_| WireError(format!("bad number {:?} in {line:?}", fields[i])))
+        };
+        Ok(RejoinRequest {
+            epoch: num(1)?,
+            durable: num(2)?,
         })
+    }
+}
+
+/// The divergence handshake answer: the responder's epoch and the LSN
+/// at which that epoch began (the promotion takeover point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinResponse {
+    /// The responding primary's epoch.
+    pub epoch: u64,
+    /// The LSN at which the responder's epoch started. Records above
+    /// this LSN on an older epoch's timeline are divergent.
+    pub promotion_lsn: u64,
+}
+
+impl RejoinResponse {
+    /// Render the `RJOIN` response line.
+    pub fn to_line(&self) -> String {
+        format!("RJOIN {} {}", self.epoch, self.promotion_lsn)
+    }
+
+    /// Parse an `RJOIN` response line.
+    pub fn parse(line: &str) -> Result<RejoinResponse, WireError> {
+        let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+        if fields.len() != 3 || fields[0] != "RJOIN" {
+            return Err(WireError(format!(
+                "bad RJOIN response {line:?} (expected RJOIN <epoch> <promotion_lsn>)"
+            )));
+        }
+        let num = |i: usize| -> Result<u64, WireError> {
+            fields[i]
+                .parse()
+                .map_err(|_| WireError(format!("bad number {:?} in {line:?}", fields[i])))
+        };
+        let resp = RejoinResponse {
+            epoch: num(1)?,
+            promotion_lsn: num(2)?,
+        };
+        if resp.epoch == 0 {
+            return Err(WireError(format!(
+                "bad RJOIN response {line:?} (epochs are 1-based)"
+            )));
+        }
+        Ok(resp)
     }
 }
 
@@ -174,7 +278,9 @@ impl FetchResponse {
         match fields.first() {
             Some(&"RBATCH") if fields.len() == 4 => fields[3]
                 .parse()
-                .map_err(|_| WireError(format!("bad record count in {header:?}"))),
+                .ok()
+                .filter(|&n: &usize| n <= MAX_BATCH_RECORDS)
+                .ok_or_else(|| WireError(format!("bad record count in {header:?}"))),
             Some(&"RSNAP") => Ok(1),
             _ => Ok(0),
         }
@@ -197,6 +303,11 @@ impl FetchResponse {
                 let epoch = num(fields[1])?;
                 let durable = num(fields[2])?;
                 let n = num(fields[3])? as usize;
+                if n > MAX_BATCH_RECORDS {
+                    return Err(WireError(format!(
+                        "RBATCH promises {n} records (cap is {MAX_BATCH_RECORDS})"
+                    )));
+                }
                 let mut records = Vec::with_capacity(n);
                 for _ in 0..n {
                     let line = lines.next().ok_or_else(|| {
@@ -330,9 +441,97 @@ mod tests {
             "REPL 1 2 3 4 5",
             "REPL x 2 3",
             "NOPE 1 2 3",
+            // the malformed-frame corpus: non-numeric, overflowing,
+            // negative, and zero-max requests all ERR at parse time
+            "REPL 1 2 0",
+            "REPL 18446744073709551616 2 3",
+            "REPL 1 18446744073709551616 3",
+            "REPL 1 2 18446744073709551616",
+            "REPL -1 2 3",
+            "REPL 1.5 2 3",
+            "REPL \u{221e} 2 3",
         ] {
             assert!(FetchRequest::parse(bad).is_err(), "accepted {bad:?}");
         }
+        // max above the batch cap parses — the primary clamps it.
+        assert!(FetchRequest::parse("REPL 1 2 999999").is_ok());
+    }
+
+    #[test]
+    fn rejoin_handshake_roundtrips_and_rejects_malformed_lines() {
+        let req = RejoinRequest {
+            epoch: 1,
+            durable: 93,
+        };
+        assert_eq!(req.to_line(), "REJOIN 1 93");
+        assert_eq!(RejoinRequest::parse(&req.to_line()).unwrap(), req);
+        for bad in [
+            "REJOIN",
+            "REJOIN 1",
+            "REJOIN 1 2 3",
+            "REJOIN x 2",
+            "REJOIN 1 18446744073709551616",
+            "RJOIN 1 2",
+        ] {
+            assert!(RejoinRequest::parse(bad).is_err(), "accepted {bad:?}");
+        }
+
+        let resp = RejoinResponse {
+            epoch: 2,
+            promotion_lsn: 87,
+        };
+        assert_eq!(resp.to_line(), "RJOIN 2 87");
+        assert_eq!(RejoinResponse::parse(&resp.to_line()).unwrap(), resp);
+        // RJOIN is header-only: the fetcher reads no continuation lines.
+        assert_eq!(FetchResponse::extra_lines(&resp.to_line()).unwrap(), 0);
+        for bad in [
+            "RJOIN",
+            "RJOIN 2",
+            "RJOIN 2 3 4",
+            "RJOIN 0 3",
+            "RJOIN x 3",
+            "REJOIN 2 3",
+        ] {
+            assert!(RejoinResponse::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_or_oversized_responses_are_rejected() {
+        // RBATCH promising more records than it carries.
+        let wire = FetchResponse::Batch {
+            epoch: 2,
+            durable: 9,
+            records: records(),
+        }
+        .to_wire();
+        let truncated: String = wire.lines().take(2).collect::<Vec<_>>().join("\n");
+        let err = FetchResponse::parse(&truncated).unwrap_err();
+        assert!(err.0.contains("promised"), "unexpected error: {err}");
+
+        // A record count above the batch cap is rejected before any
+        // buffer is sized to it, in both the line counter and the parser.
+        let oversize = format!("RBATCH 1 1 {}", MAX_BATCH_RECORDS + 1);
+        assert!(FetchResponse::extra_lines(&oversize).is_err());
+        assert!(FetchResponse::parse(&oversize).is_err());
+        let absurd = "RBATCH 1 1 99999999999999999999";
+        assert!(FetchResponse::extra_lines(absurd).is_err());
+        assert!(FetchResponse::parse(absurd).is_err());
+
+        // RSNAP with no body line, and with a short body.
+        assert!(FetchResponse::parse("RSNAP 1 5 text 11 123").is_err());
+        let snap = FetchResponse::Snapshot {
+            epoch: 1,
+            lsn: 7,
+            format: CheckpointFormat::Text,
+            body: b"hello,world".to_vec(),
+        }
+        .to_wire();
+        let mut lines = snap.lines();
+        let header = lines.next().unwrap();
+        let body = lines.next().unwrap();
+        let short = format!("{header}\n{}", &body[..body.len() - 2]);
+        assert!(FetchResponse::parse(&short).is_err());
     }
 
     #[test]

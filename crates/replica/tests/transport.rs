@@ -142,3 +142,91 @@ fn tcp_responses_are_bit_identical_to_in_memory_responses() {
     handle.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn malformed_replication_frames_err_gracefully_on_a_surviving_connection() {
+    let dir = temp_dir("corpus");
+    let origin = Date::from_ymd(2012, 5, 1).unwrap();
+    let spec = WindowSpec::months(origin, 1);
+    let params = StabilityParams::PAPER;
+    let dcfg = DurabilityConfig {
+        wal_dir: dir.clone(),
+        sync_policy: SyncPolicy::Always,
+        checkpoint_every_requests: 1024,
+        checkpoint_every: None,
+        keep_checkpoints: 2,
+        checkpoint_format: CheckpointFormat::Binary,
+        fault_plan: None,
+    };
+    let monitor = ShardedMonitor::new(2, spec, params, 5);
+    let engine = Arc::new(Engine::open(monitor, None, Some(&dcfg), 1).unwrap());
+    let primary = Arc::new(PrimaryService::open(Arc::clone(&engine), &dir).unwrap());
+    let (_verb, resp) = primary.respond("INGEST 1 2012-05-02 10 11");
+    assert!(resp.starts_with("OK"), "{resp}");
+
+    let mut config = ServerConfig::new("127.0.0.1:0", spec, params);
+    config.workers = 2;
+    let handle =
+        attrition_serve::start_service(config, Arc::clone(&primary) as Arc<dyn Service>).unwrap();
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Every malformed or fenced frame must answer `ERR` — and the very
+    // same connection must keep serving afterwards (checked by a PING
+    // after each case). A parse error is a client bug, never a reason
+    // to burn the replication channel.
+    let corpus = [
+        // REPL: non-numeric, overflowing, wrong-arity, zero-max.
+        "REPL",
+        "REPL 1 2",
+        "REPL 1 2 3 4",
+        "REPL x 0 64",
+        "REPL 1 y 64",
+        "REPL 1 0 z",
+        "REPL 18446744073709551616 0 64",
+        "REPL 1 18446744073709551616 64",
+        "REPL 1 0 18446744073709551616",
+        "REPL 1 0 0",
+        // Stale-epoch fetch: the requester claims a future generation.
+        "REPL 99 0 64",
+        // REJOIN: same classes of malformation, plus a future epoch.
+        "REJOIN",
+        "REJOIN 1",
+        "REJOIN 1 2 3",
+        "REJOIN x 2",
+        "REJOIN 1 18446744073709551616",
+        "REJOIN 99 0",
+    ];
+    for line in corpus {
+        let response = roundtrip(&mut reader, line);
+        assert!(
+            response.starts_with("ERR"),
+            "expected ERR for {line:?}, got {response:?}"
+        );
+        let pong = roundtrip(&mut reader, "PING");
+        assert_eq!(pong, "PONG", "connection died after {line:?}");
+    }
+
+    // `max` above the batch cap is clamped, not rejected: the fetch
+    // succeeds and ships at most the cap.
+    let response = roundtrip(&mut reader, "REPL 1 0 999999");
+    match FetchResponse::parse(&response).unwrap() {
+        FetchResponse::Batch { records, .. } => {
+            assert!(records.len() <= attrition_replica::MAX_BATCH_RECORDS);
+            assert!(!records.is_empty());
+        }
+        other => panic!("expected a batch, got {other:?}"),
+    }
+
+    // A well-formed handshake on the same connection still works.
+    let response = roundtrip(&mut reader, "REJOIN 1 0");
+    assert_eq!(response, "RJOIN 1 0");
+
+    handle.request_shutdown();
+    drop(reader);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -88,8 +88,9 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// The (jittered) sleep before retry number `attempt` (1-based).
     /// Jitter draws uniformly from `[delay/2, delay]` so synchronized
-    /// clients spread out instead of re-stampeding the server.
-    fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+    /// clients spread out instead of re-stampeding the server. Public
+    /// so other retry loops (the replication fetcher) reuse the shape.
+    pub fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
         let exp = self
             .base_delay
             .saturating_mul(1u32 << attempt.saturating_sub(1).min(20));

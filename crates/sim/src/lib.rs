@@ -37,4 +37,6 @@ pub mod repl;
 pub use env::{SimClock, SimStorage, StorageStats};
 pub use harness::{repro_command, run, SimBug, SimConfig, SimReport};
 pub use net::{Flight, NetStats, SimNet};
-pub use repl::{repro_repl_command, run_repl, ReplReport, ReplSimBug, ReplSimConfig};
+pub use repl::{
+    repro_rejoin_command, repro_repl_command, run_repl, ReplReport, ReplSimBug, ReplSimConfig,
+};

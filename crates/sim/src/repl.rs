@@ -33,9 +33,25 @@
 //! replication-specific safety check: a recovered primary must never be
 //! *behind* its replica (the durable-floor shipping cap at work).
 //!
+//! - **R3 — a rejoined deposed primary carries no divergent record.**
+//!   When [`ReplSimConfig::rejoin_phase`] is on, the old primary's disk
+//!   is reopened as a replica after the failover and healed back in via
+//!   the `REJOIN` handshake. From the moment it adopts the new epoch,
+//!   its snapshot must be byte-equal to a reference folded over exactly
+//!   the *new* timeline's log prefix at its applied LSN — any record
+//!   from the divergent suffix surviving the rejoin breaks the
+//!   equality. A rejoin world replays with:
+//!
+//! ```text
+//! ATTRITION_REPL_SEED=<seed> cargo test -p attrition-sim --test rejoin repro_rejoin_seed -- --nocapture
+//! ```
+//!
 //! [`ReplSimBug::AcceptStaleEpoch`] re-introduces the classic failover
 //! bug — applying a dead primary's in-flight shipment after promotion —
 //! and the sweep proves R2 catches it with a replayable seed.
+//! [`ReplSimBug::KeepDivergentSuffix`] does the same for the rejoin
+//! path: the deposed primary adopts the new epoch but keeps its
+//! divergent records, and R3 must catch the ghost state.
 
 use crate::env::{SimClock, SimStorage};
 use crate::harness::{
@@ -43,7 +59,9 @@ use crate::harness::{
 };
 use crate::net::SimNet;
 use attrition_core::{StabilityMonitor, StabilityParams};
-use attrition_replica::{FetchResponse, PrimaryService, ReplicaConfig, ReplicaEngine};
+use attrition_replica::{
+    FetchResponse, PrimaryService, RejoinRequest, RejoinResponse, ReplicaConfig, ReplicaEngine,
+};
 use attrition_serve::checkpoint::CheckpointFormat;
 use attrition_serve::engine::{DurabilityConfig, Engine};
 use attrition_serve::protocol::{format_score, Request};
@@ -68,6 +86,11 @@ pub enum ReplSimBug {
     /// the new timeline disowned sneak into the promoted state, and the
     /// R2 byte-equality check must catch the divergence.
     AcceptStaleEpoch,
+    /// Skip the divergent-suffix discard on rejoin: the deposed primary
+    /// adopts the new epoch but keeps every record it wrote past the
+    /// promotion LSN — ghost state the new timeline disowned — and the
+    /// R3 byte-equality check must catch it.
+    KeepDivergentSuffix,
 }
 
 /// One simulated replicated world. Construct via
@@ -101,6 +124,13 @@ pub struct ReplSimConfig {
     pub partition_per_mille: u32,
     /// Records the replica requests per fetch.
     pub batch_max: u64,
+    /// After the failover and coda, reopen the deposed primary's disk
+    /// as a replica and heal it back in via the `REJOIN` handshake,
+    /// checking invariant R3 under the same transport and crash faults.
+    pub rejoin_phase: bool,
+    /// Client operations scripted against the promoted node while the
+    /// deposed primary rejoins and catches up.
+    pub rejoin_ops: u64,
     /// Re-introduced bug, if self-testing the harness.
     pub bug: Option<ReplSimBug>,
 }
@@ -135,21 +165,38 @@ impl ReplSimConfig {
             },
             partition_per_mille: 12,
             batch_max: if (seed >> 3).is_multiple_of(2) { 64 } else { 5 },
+            rejoin_phase: false,
+            rejoin_ops: 0,
             bug: None,
         }
     }
 
-    /// [`for_seed`](ReplSimConfig::for_seed) with a bug re-introduced
-    /// and extra delivery delay, so dead-primary shipments are reliably
-    /// in flight when the failover happens.
+    /// [`for_seed`](ReplSimConfig::for_seed) with the rejoin phase on:
+    /// the world ends with the deposed primary healed back in as a
+    /// replica of the new generation, under invariant R3.
+    pub fn for_rejoin_seed(seed: u64) -> ReplSimConfig {
+        ReplSimConfig {
+            rejoin_phase: true,
+            rejoin_ops: 90,
+            ..ReplSimConfig::for_seed(seed)
+        }
+    }
+
+    /// The base world for a bug with extra delivery delay, so
+    /// dead-primary shipments are reliably in flight at the failover
+    /// and the deposed node reliably holds a divergent suffix.
     pub fn with_bug(seed: u64, bug: ReplSimBug) -> ReplSimConfig {
+        let base = match bug {
+            ReplSimBug::AcceptStaleEpoch => ReplSimConfig::for_seed(seed),
+            ReplSimBug::KeepDivergentSuffix => ReplSimConfig::for_rejoin_seed(seed),
+        };
         ReplSimConfig {
             faults: FaultPlan {
                 delay_per_mille: 250,
                 ..FaultPlan::seeded(seed)
             },
             bug: Some(bug),
-            ..ReplSimConfig::for_seed(seed)
+            ..base
         }
     }
 }
@@ -193,6 +240,18 @@ pub struct ReplReport {
     pub transport_faults: u64,
     /// `SCORE` responses compared bit-for-bit against a reference.
     pub score_checks: u64,
+    /// Whether the world ran the deposed-primary rejoin phase (decides
+    /// which repro command a failure prints).
+    pub rejoin_phase: bool,
+    /// Successful `REJOIN` adoptions by the deposed primary (re-runs
+    /// after its crashes or after re-promotions included).
+    pub rejoins: u64,
+    /// Divergent-suffix records the rejoin discard rule destroyed.
+    pub divergent_records_discarded: u64,
+    /// New-timeline records the rejoined node applied after healing.
+    pub rejoin_records_applied: u64,
+    /// Crash-recoveries of the rejoined node during the rejoin phase.
+    pub rejoined_crashes: u64,
     /// Individual invariant assertions evaluated.
     pub invariant_checks: u64,
     /// Invariant violations (empty = the run passed); the run stops at
@@ -210,10 +269,14 @@ impl ReplReport {
     /// the run failed.
     pub fn assert_ok(&self) {
         if let Some(first) = self.violations.first() {
-            panic!(
-                "replication sim seed {} violated an invariant: {first}\n  reproduce with: {}",
-                self.seed,
+            let repro = if self.rejoin_phase {
+                repro_rejoin_command(self.seed)
+            } else {
                 repro_repl_command(self.seed)
+            };
+            panic!(
+                "replication sim seed {} violated an invariant: {first}\n  reproduce with: {repro}",
+                self.seed,
             );
         }
     }
@@ -223,6 +286,13 @@ impl ReplReport {
 pub fn repro_repl_command(seed: u64) -> String {
     format!(
         "ATTRITION_REPL_SEED={seed} cargo test -p attrition-sim --test repl repro_repl_seed -- --nocapture"
+    )
+}
+
+/// The exact command that replays a failing rejoin-phase seed.
+pub fn repro_rejoin_command(seed: u64) -> String {
+    format!(
+        "ATTRITION_REPL_SEED={seed} cargo test -p attrition-sim --test rejoin repro_rejoin_seed -- --nocapture"
     )
 }
 
@@ -250,10 +320,20 @@ struct ReplSim {
     storage_r: Arc<SimStorage>,
     pcfg: DurabilityConfig,
     rcfg: ReplicaConfig,
+    /// The deposed primary's configuration as a *replica* over its own
+    /// (old-primary) directory, for the rejoin phase.
+    rjcfg: ReplicaConfig,
     primary: Option<PrimaryService>,
     replica: ReplicaEngine,
+    /// The deposed primary reopened as a replica (rejoin phase only).
+    /// `Arc` so a round can hold the node while the harness mutates its
+    /// own counters.
+    rejoined: Option<Arc<ReplicaEngine>>,
     net_req: SimNet,
     net_resp: SimNet,
+    /// The rejoiner's own lossy link directions toward the new primary.
+    net_req2: SimNet,
+    net_resp2: SimNet,
     /// Mutations logged on the current write timeline, ascending seq.
     oplog: Vec<OpEntry>,
     /// Live reference for the *active* node's state.
@@ -262,6 +342,19 @@ struct ReplSim {
     /// replica must byte-equal at its applied LSN (invariant R2).
     repl_mirror: StabilityMonitor,
     repl_mirror_seq: u64,
+    /// Reference fold for the *rejoined* node — what it must byte-equal
+    /// at its applied LSN once it is current (invariant R3).
+    rj_mirror: StabilityMonitor,
+    rj_mirror_seq: u64,
+    /// The rejoined node has durably adopted an epoch newer than the
+    /// one it was deposed at — only then is its state a pure prefix of
+    /// the new timeline and the R3 fold comparison meaningful.
+    rj_current: bool,
+    /// The rejoiner's next round must run the `REJOIN` handshake
+    /// instead of an ordinary fetch.
+    rj_handshake: bool,
+    /// The epoch the dead primary was at when it lost the cluster.
+    deposed_epoch: u64,
     /// Highest replica-durable LSN whose ack was delivered upstream —
     /// the R1 floor.
     repl_acked: u64,
@@ -282,6 +375,10 @@ struct ReplSim {
     promoted_epoch: u64,
     promotion_lsn: u64,
     score_checks: u64,
+    rejoins: u64,
+    divergent_discarded: u64,
+    rejoin_records: u64,
+    rejoined_crashes: u64,
     invariant_checks: u64,
     violations: Vec<String>,
 }
@@ -317,6 +414,28 @@ impl ReplSim {
             },
             fallback: fallback(),
             accept_stale_epoch: config.bug == Some(ReplSimBug::AcceptStaleEpoch),
+            keep_divergent_suffix: false,
+        };
+        // The deposed primary's second life: a replica over the *old
+        // primary's* directory, healing in via the rejoin handshake.
+        let rjcfg = ReplicaConfig {
+            wal_dir: PathBuf::from(PRIMARY_DIR),
+            n_shards: config.n_shards,
+            durability: DurabilityConfig {
+                wal_dir: PathBuf::from(PRIMARY_DIR),
+                sync_policy: config.replica_sync,
+                checkpoint_every_requests: 16,
+                checkpoint_every: None,
+                keep_checkpoints: 2,
+                checkpoint_format: config.checkpoint_format,
+                fault_plan: Some(FaultPlan {
+                    seed: config.seed ^ 0x0E70_0000_0000_0019,
+                    ..config.faults.clone()
+                }),
+            },
+            fallback: fallback(),
+            accept_stale_epoch: false,
+            keep_divergent_suffix: config.bug == Some(ReplSimBug::KeepDivergentSuffix),
         };
         let monitor = ShardedMonitor::new(
             config.n_shards,
@@ -356,6 +475,16 @@ impl ReplSim {
                 config.faults.clone(),
                 config.partition_per_mille,
             ),
+            net_req2: SimNet::new(
+                config.seed ^ 0x0E70_0000_0000_001A,
+                config.faults.clone(),
+                config.partition_per_mille,
+            ),
+            net_resp2: SimNet::new(
+                config.seed ^ 0x0E70_0000_0000_001B,
+                config.faults.clone(),
+                config.partition_per_mille,
+            ),
             transport_rng: SplitMix64::new(config.seed ^ 0x7AA9_5EED_0000_0011),
             crash_rng: SplitMix64::new(config.seed ^ 0xC4A5_85EE_D000_0012),
             config,
@@ -364,12 +493,19 @@ impl ReplSim {
             storage_r,
             pcfg,
             rcfg,
+            rjcfg,
             primary: Some(primary),
             replica,
+            rejoined: None,
             oplog: Vec::new(),
             mirror: fresh_monitor(),
             repl_mirror: fresh_monitor(),
             repl_mirror_seq: 0,
+            rj_mirror: fresh_monitor(),
+            rj_mirror_seq: 0,
+            rj_current: false,
+            rj_handshake: false,
+            deposed_epoch: 0,
             repl_acked: 0,
             promoted: false,
             ops: 0,
@@ -386,6 +522,10 @@ impl ReplSim {
             promoted_epoch: 0,
             promotion_lsn: 0,
             score_checks: 0,
+            rejoins: 0,
+            divergent_discarded: 0,
+            rejoin_records: 0,
+            rejoined_crashes: 0,
             invariant_checks: 0,
             violations: Vec::new(),
         }
@@ -806,6 +946,10 @@ impl ReplSim {
         };
         self.promoted_epoch = epoch;
         self.promotion_lsn = lsn;
+        // The generation the dead primary lived in: a promotion bumps
+        // its epoch by one, so this is what its disk still says. The
+        // rejoin phase is "current" only once it has adopted past it.
+        self.deposed_epoch = epoch - 1;
         // Invariant R1: the takeover point covers every LSN whose
         // durability was acknowledged to the old primary.
         self.invariant_checks += 1;
@@ -852,6 +996,306 @@ impl ReplSim {
         }
     }
 
+    /// Reopen the deposed primary's crashed disk as a replica. Its WAL
+    /// still holds everything it wrote — including the suffix the new
+    /// timeline disowned — and its epoch file still says the old
+    /// generation: the handshake has to find and fix both.
+    fn start_rejoin(&mut self) {
+        match ReplicaEngine::open_in(
+            self.rjcfg.clone(),
+            Arc::clone(&self.storage_p) as Arc<dyn Storage>,
+            Arc::clone(&self.clock) as Arc<dyn attrition_serve::Clock>,
+        ) {
+            Ok((engine, _stats)) => {
+                self.rejoined = Some(Arc::new(engine));
+                self.rj_current = false;
+                self.rj_handshake = true;
+                self.rj_mirror = fresh_monitor();
+                self.rj_mirror_seq = 0;
+            }
+            Err(e) => self.violation(format!("deposed-primary reopen as a replica failed: {e}")),
+        }
+    }
+
+    /// One rejoiner round: handshake or fetch toward the new primary
+    /// over its own lossy link directions, then apply whatever lands.
+    fn rejoin_round(&mut self) {
+        let Some(rj) = self.rejoined.as_ref().map(Arc::clone) else {
+            return;
+        };
+        self.net_req2.tick();
+        self.net_resp2.tick();
+        let line = if self.rj_handshake {
+            RejoinRequest {
+                epoch: rj.epoch(),
+                durable: rj.durable_seq(),
+            }
+            .to_line()
+        } else {
+            rj.fetch_request(self.config.batch_max).to_line()
+        };
+        self.net_req2.send(line, 0);
+        for flight in self.net_req2.deliver_due() {
+            let (_verb, response) = self.replica.respond(&flight.payload);
+            self.net_resp2.send(response, 0);
+        }
+        for flight in self.net_resp2.deliver_due() {
+            self.apply_rejoin_wire(&rj, &flight.payload);
+            if !self.violations.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Hand one wire response to the rejoining node — `RJOIN` runs the
+    /// discard rule, shipments apply, fences and rejoin-required errors
+    /// re-arm the handshake (exactly what the production fetch loop
+    /// does on those errors).
+    fn apply_rejoin_wire(&mut self, rj: &Arc<ReplicaEngine>, text: &str) {
+        if text.starts_with("ERR") {
+            if text.contains("fenced") {
+                self.fenced += 1;
+                self.rj_handshake = true;
+            } else {
+                self.repl_errors += 1;
+            }
+            return;
+        }
+        // A handshake answer — possibly a delayed duplicate, which the
+        // discard rule no-ops (epoch not newer than our own).
+        if let Ok(resp) = RejoinResponse::parse(text) {
+            match rj.rejoin_to(resp.epoch, resp.promotion_lsn) {
+                Ok(outcome) => {
+                    if outcome.adopted {
+                        self.rejoins += 1;
+                        if outcome.discarded {
+                            self.divergent_discarded += outcome.divergent_records;
+                        }
+                        self.rj_current = rj.epoch() > self.deposed_epoch;
+                        self.check_rejoined_state(rj, "after a rejoin adoption");
+                    }
+                    self.rj_handshake = false;
+                }
+                Err(e) => self.violation(format!("rejoin_to failed: {e}")),
+            }
+            return;
+        }
+        let resp = match FetchResponse::parse(text) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.violation(format!(
+                    "unparseable rejoin shipment: {e} (payload {text:?})"
+                ));
+                return;
+            }
+        };
+        match rj.apply_response(&resp) {
+            Ok(applied) => {
+                self.batches_applied += 1;
+                self.rejoin_records += applied.fresh;
+                self.records_skipped += applied.skipped;
+                if applied.snapshot_installed {
+                    self.snapshots_installed += 1;
+                }
+                if applied.fresh > 0 || applied.snapshot_installed {
+                    self.check_rejoined_state(rj, "after a rejoin shipment");
+                }
+            }
+            Err(e) if e.contains("rejoin required") => {
+                self.repl_errors += 1;
+                self.rj_handshake = true;
+            }
+            Err(e) if e.contains("fenced") => self.fenced += 1,
+            Err(_) => self.repl_errors += 1,
+        }
+    }
+
+    /// Invariant R3 at the rejoined node's applied LSN: once current,
+    /// its snapshot must byte-equal a reference folded over exactly the
+    /// new timeline's log prefix — a surviving divergent record breaks
+    /// this — plus a `SCORE` bit-identity probe.
+    fn check_rejoined_state(&mut self, rj: &Arc<ReplicaEngine>, context: &str) {
+        if !self.rj_current {
+            // Still on the deposed timeline (or mid-discard after a
+            // crash): its state legitimately contains divergent
+            // records, so the fold comparison would be meaningless.
+            return;
+        }
+        let applied = rj.applied_seq();
+        if applied < self.rj_mirror_seq {
+            self.rj_mirror = fresh_monitor();
+            self.rj_mirror_seq = 0;
+        }
+        for entry in &self.oplog {
+            if entry.seq > self.rj_mirror_seq && entry.seq <= applied {
+                apply_replayed(&mut self.rj_mirror, &entry.line);
+            }
+        }
+        self.rj_mirror_seq = applied;
+        self.invariant_checks += 1;
+        if rj.engine().monitor().snapshot() != self.rj_mirror.snapshot() {
+            self.violation(format!(
+                "R3 violated {context}: rejoined-node state at LSN {applied} is not \
+                 byte-equal to the new primary's log prefix (a divergent record survived?)"
+            ));
+            return;
+        }
+        self.score_checks += 1;
+        self.invariant_checks += 1;
+        let customer = CustomerId::new(1 + self.transport_rng.below(self.config.n_customers));
+        let (_verb, response) = rj.respond(&Request::Score(customer).to_line());
+        let expected = match self.rj_mirror.preview(customer) {
+            Some(point) => format_score(customer, &point),
+            None => format!("ERR unknown customer {}", customer.raw()),
+        };
+        if response != expected {
+            self.violation(format!(
+                "rejoined-node SCORE diverged at LSN {applied}: got {response:?}, \
+                 expected {expected:?}"
+            ));
+        }
+    }
+
+    /// Crash and recover the rejoining node. A crash can land after the
+    /// discard but before the epoch adoption reached disk — recovery
+    /// then resurfaces the *old* epoch and the handshake simply re-runs.
+    fn restart_rejoined(&mut self) {
+        let Some(rj) = self.rejoined.take() else {
+            return;
+        };
+        self.rejoined_crashes += 1;
+        let synced_floor = rj.durable_seq();
+        drop(rj);
+        self.storage_p.crash(&mut self.crash_rng);
+        let (engine, stats) = match ReplicaEngine::open_in(
+            self.rjcfg.clone(),
+            Arc::clone(&self.storage_p) as Arc<dyn Storage>,
+            Arc::clone(&self.clock) as Arc<dyn attrition_serve::Clock>,
+        ) {
+            Ok(opened) => opened,
+            Err(e) => {
+                self.violation(format!("rejoined-node recovery failed: {e}"));
+                return;
+            }
+        };
+        let engine = Arc::new(engine);
+        let floor = stats.next_seq - 1;
+        self.invariant_checks += 1;
+        if floor < synced_floor {
+            self.violation(format!(
+                "rejoined-node recovery lost durable records: reached seq {floor}, \
+                 but seq {synced_floor} was fsynced"
+            ));
+            self.rejoined = Some(engine);
+            return;
+        }
+        // Whether the adopted epoch survived the crash decides whether
+        // R3 applies and whether a handshake is needed again.
+        self.rj_current = engine.epoch() > self.deposed_epoch;
+        self.rj_handshake = !self.rj_current;
+        self.rejoined = Some(Arc::clone(&engine));
+        if self.rj_current {
+            self.check_rejoined_state(&engine, "after rejoined-node recovery");
+        }
+    }
+
+    /// The scripted rejoin phase: the promoted node keeps serving real
+    /// traffic while the deposed primary heals in beside it, with both
+    /// nodes still crashing and the link still lying.
+    fn run_rejoin_phase(&mut self) {
+        self.start_rejoin();
+        let mut rng = SplitMix64::new(self.config.seed ^ 0x3077_0AD5_0000_0018);
+        let month = (self.config.n_ops / OPS_PER_MONTH) as i32 + 1;
+        for _ in 0..self.config.rejoin_ops {
+            if !self.violations.is_empty() {
+                return;
+            }
+            self.clock
+                .advance(Duration::from_millis(1 + self.transport_rng.below(40)));
+            let line = scripted_op(&mut rng, month, self.config.n_customers);
+            self.deliver(&line);
+            self.rejoin_round();
+            if !self.violations.is_empty() {
+                return;
+            }
+            if self.config.faults.crash_now(&mut self.crash_rng) {
+                self.restart_rejoined();
+            } else if self.crash_rng.per_mille(8) {
+                self.restart_active();
+            }
+        }
+        if self.violations.is_empty() {
+            self.drain_rejoin();
+        }
+    }
+
+    /// End of the rejoin phase: the network heals (direct respond/apply,
+    /// no SimNet) and the rejoined node must fully converge — caught up
+    /// to the new primary's durable floor and byte-equal to it at the
+    /// same LSN, text and binary framing both.
+    fn drain_rejoin(&mut self) {
+        let Some(rj) = self.rejoined.as_ref().map(Arc::clone) else {
+            self.violation("the rejoin phase ended without a rejoined node".to_owned());
+            return;
+        };
+        if let Err(e) = self.replica.engine().sync_wal() {
+            self.violation(format!("final sync on the promoted node failed: {e}"));
+            return;
+        }
+        let target = self.replica.engine().wal_synced_seq();
+        for _ in 0..200 {
+            if self.rj_current && rj.applied_seq() >= target {
+                break;
+            }
+            let line = if self.rj_handshake {
+                RejoinRequest {
+                    epoch: rj.epoch(),
+                    durable: rj.durable_seq(),
+                }
+                .to_line()
+            } else {
+                rj.fetch_request(self.config.batch_max).to_line()
+            };
+            let (_verb, response) = self.replica.respond(&line);
+            self.apply_rejoin_wire(&rj, &response);
+            if !self.violations.is_empty() {
+                return;
+            }
+        }
+        self.invariant_checks += 1;
+        if !self.rj_current || rj.applied_seq() < target {
+            self.violation(format!(
+                "the rejoined node failed to converge on a healed network: applied {} \
+                 of {target}, current={}",
+                rj.applied_seq(),
+                self.rj_current
+            ));
+            return;
+        }
+        self.check_rejoined_state(&rj, "at the end of the rejoin phase");
+        if !self.violations.is_empty() {
+            return;
+        }
+        // R3 head-to-head: both nodes stand at the same LSN now, so
+        // their snapshots must match byte for byte — no reference fold
+        // in between — in both framings.
+        self.invariant_checks += 1;
+        if rj.engine().monitor().snapshot() != self.replica.engine().monitor().snapshot() {
+            self.violation(format!(
+                "R3 violated at drain: rejoined node and new primary differ at LSN {target}"
+            ));
+            return;
+        }
+        self.invariant_checks += 1;
+        if rj.engine().monitor().snapshot_bytes()
+            != self.replica.engine().monitor().snapshot_bytes()
+        {
+            self.violation(format!(
+                "R3 (binary) violated at drain: snapshot bytes differ at LSN {target}"
+            ));
+        }
+    }
+
     fn run(mut self) -> ReplReport {
         let mut pending = self.script();
         while let Some(line) = pending.pop_front() {
@@ -894,12 +1338,19 @@ impl ReplSim {
                 }
             }
         }
+        // The deposed primary comes back from the dead and must heal in
+        // as a replica of the new generation (invariant R3).
+        if self.violations.is_empty() && self.config.rejoin_phase {
+            self.run_rejoin_phase();
+        }
         // And the takeover state must itself survive power loss.
         if self.violations.is_empty() {
             self.restart_active();
         }
         let req_stats = self.net_req.stats();
         let resp_stats = self.net_resp.stats();
+        let rj_req_stats = self.net_req2.stats();
+        let rj_resp_stats = self.net_resp2.stats();
         ReplReport {
             seed: self.config.seed,
             ops: self.ops,
@@ -915,9 +1366,20 @@ impl ReplSim {
             failovers: self.failovers,
             promoted_epoch: self.promoted_epoch,
             promotion_lsn: self.promotion_lsn,
-            partitions: req_stats.partitions + resp_stats.partitions,
-            transport_faults: req_stats.faults() + resp_stats.faults(),
+            partitions: req_stats.partitions
+                + resp_stats.partitions
+                + rj_req_stats.partitions
+                + rj_resp_stats.partitions,
+            transport_faults: req_stats.faults()
+                + resp_stats.faults()
+                + rj_req_stats.faults()
+                + rj_resp_stats.faults(),
             score_checks: self.score_checks,
+            rejoin_phase: self.config.rejoin_phase,
+            rejoins: self.rejoins,
+            divergent_records_discarded: self.divergent_discarded,
+            rejoin_records_applied: self.rejoin_records,
+            rejoined_crashes: self.rejoined_crashes,
             invariant_checks: self.invariant_checks,
             violations: self.violations,
         }

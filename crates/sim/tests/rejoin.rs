@@ -1,0 +1,158 @@
+//! The rejoin sweep: seeded replicated worlds that end the way real
+//! outages end — the dead primary comes back. After the failover and
+//! coda, each world reopens the deposed primary's disk as a replica,
+//! runs the `REJOIN` divergence handshake against the promoted node
+//! under the full fault schedule (drops, dups, reorders, partitions,
+//! crashes of either node, re-promotions), and holds invariant R3: from
+//! the moment the old primary adopts the new epoch, its state is
+//! byte-equal to the new timeline's log prefix at its applied LSN — no
+//! record from the divergent suffix survives anywhere.
+//!
+//! `ATTRITION_SIM_SEEDS=N` resizes the local sweep. Reproduce any
+//! failing seed with:
+//!
+//! ```text
+//! ATTRITION_REPL_SEED=<seed> cargo test -p attrition-sim --test rejoin repro_rejoin_seed -- --nocapture
+//! ```
+
+use attrition_sim::{repro_rejoin_command, run_repl, ReplSimBug, ReplSimConfig};
+
+fn sweep_seeds() -> u64 {
+    std::env::var("ATTRITION_SIM_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Seeded crash→promote→rejoin worlds with every fault class enabled;
+/// R1, R2, and R3 must hold throughout, and every world must end with
+/// the deposed primary fully converged on the new timeline. This is the
+/// tier the CI `rejoin-sweep` job runs on every push.
+#[test]
+fn rejoin_sweep_under_full_fault_schedules() {
+    let seeds = sweep_seeds();
+    let mut rejoins = 0u64;
+    let mut divergent_discarded = 0u64;
+    let mut rejoin_records = 0u64;
+    let mut rejoined_crashes = 0u64;
+    let mut invariant_checks = 0u64;
+    for seed in 0..seeds {
+        let report = run_repl(&ReplSimConfig::for_rejoin_seed(seed));
+        report.assert_ok();
+        assert!(
+            report.rejoins >= 1,
+            "seed {seed} never completed a rejoin adoption: {report:?}"
+        );
+        rejoins += report.rejoins;
+        divergent_discarded += report.divergent_records_discarded;
+        rejoin_records += report.rejoin_records_applied;
+        rejoined_crashes += report.rejoined_crashes;
+        invariant_checks += report.invariant_checks;
+    }
+    // The sweep must exercise the machinery, not vacuously pass.
+    assert!(rejoins >= seeds, "every world rejoins at least once");
+    assert!(
+        rejoin_records > seeds,
+        "too few new-timeline records applied by rejoined nodes: {rejoin_records}"
+    );
+    assert!(
+        invariant_checks > seeds * 50,
+        "too few invariant checks: {invariant_checks}"
+    );
+    if seeds >= 64 {
+        assert!(
+            divergent_discarded > 0,
+            "no world ever had a divergent suffix to discard — the rejoin \
+             path's hard case went untested"
+        );
+        assert!(
+            rejoined_crashes > 0,
+            "no rejoining node ever crashed mid-heal"
+        );
+    }
+}
+
+/// The sweep must *fail* when the discard rule is broken: keep the
+/// divergent suffix on adoption and demand an R3 violation with a
+/// reproducible seed within a small sweep.
+#[test]
+fn kept_divergent_suffix_is_caught_with_a_printed_seed() {
+    let mut caught = None;
+    for seed in 0..32 {
+        let report = run_repl(&ReplSimConfig::with_bug(
+            seed,
+            ReplSimBug::KeepDivergentSuffix,
+        ));
+        if !report.passed() {
+            println!(
+                "seed {seed} caught the bug: {}\n  repro: {}",
+                report.violations[0],
+                repro_rejoin_command(seed)
+            );
+            caught = Some((seed, report));
+            break;
+        }
+    }
+    let (seed, report) = caught.expect(
+        "KeepDivergentSuffix survived 32 seeds — the sweep cannot catch a \
+         rejoin that smuggles divergent records onto the new timeline",
+    );
+    assert!(
+        report.violations[0].contains("R3") || report.violations[0].contains("diverged"),
+        "the violation should be a rejoin divergence: {:?}",
+        report.violations
+    );
+    // The seed is a faithful repro: the same world replays the same
+    // violation, bit for bit.
+    let again = run_repl(&ReplSimConfig::with_bug(
+        seed,
+        ReplSimBug::KeepDivergentSuffix,
+    ));
+    assert_eq!(report.violations, again.violations);
+}
+
+/// A quiet rejoin world (no faults, no partitions): the deposed primary
+/// must heal in, discard nothing it doesn't have to, and converge —
+/// with the counters proving the phase actually ran.
+#[test]
+fn a_quiet_world_heals_the_deposed_primary_back_in() {
+    let config = ReplSimConfig {
+        faults: attrition_serve::FaultPlan::none(),
+        partition_per_mille: 0,
+        ..ReplSimConfig::for_rejoin_seed(0)
+    };
+    let report = run_repl(&config);
+    report.assert_ok();
+    assert_eq!(report.failovers, 1, "{report:?}");
+    assert!(report.rejoins >= 1, "{report:?}");
+    assert!(report.rejoin_records_applied > 0, "{report:?}");
+    assert!(report.rejoin_phase, "{report:?}");
+}
+
+/// The replay hook the repro command targets: runs the rejoin sweep
+/// configuration for `ATTRITION_REPL_SEED`, printing the full report.
+/// Without the variable set it is a no-op (so plain `cargo test`
+/// passes).
+#[test]
+fn repro_rejoin_seed() {
+    let Ok(seed) = std::env::var("ATTRITION_REPL_SEED") else {
+        return;
+    };
+    let seed: u64 = seed
+        .parse()
+        .expect("ATTRITION_REPL_SEED must be an unsigned 64-bit integer");
+    let report = run_repl(&ReplSimConfig::for_rejoin_seed(seed));
+    println!("{report:#?}");
+    report.assert_ok();
+}
+
+/// Rejoin worlds must still be a pure function of the seed — the repro
+/// command carries nothing else.
+#[test]
+fn rejoin_runs_are_deterministic_per_seed() {
+    let a = run_repl(&ReplSimConfig::for_rejoin_seed(3));
+    let b = run_repl(&ReplSimConfig::for_rejoin_seed(3));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    let c = run_repl(&ReplSimConfig::for_rejoin_seed(4));
+    assert_ne!(format!("{a:?}"), format!("{c:?}"), "seed must matter");
+}

@@ -14,10 +14,10 @@
 use attrition_bench::{write_result, Prepared};
 use attrition_core::StabilityParams;
 use attrition_datagen::ScenarioConfig;
+use attrition_eval::{detection_latency, LatencyConfig};
 use attrition_rfm::{out_of_fold_scores, RfmModel};
 use attrition_types::{CustomerId, WindowIndex};
 use attrition_util::csv::CsvWriter;
-use attrition_util::stats::{quantile, Summary};
 use attrition_util::table::fmt_f64;
 use attrition_util::Table;
 use std::collections::HashMap;
@@ -112,61 +112,39 @@ fn main() {
     for (name, model) in [("stability", Model::Stability), ("rfm", Model::Rfm)] {
         let (customers, series) = collect_series(&prepared, model);
         let is_defector: Vec<bool> = prepared.labels_for(&customers);
-        // Threshold: the (1 − budget) quantile of loyal customers' maximum
-        // post-onset score — at most `budget` of loyal customers ever
-        // cross it during the evaluation period.
-        let loyal_max: Vec<f64> = series
+        // Shared protocol (attrition-eval::latency): threshold at the
+        // (1 − budget) quantile of loyal customers' maximum post-onset
+        // score, delay = end of the first flagged window minus the onset.
+        let onsets: Vec<Option<u32>> = is_defector
             .iter()
-            .zip(&is_defector)
-            .filter(|(_, &d)| !d)
-            .map(|(s, _)| {
-                s[onset_window as usize..]
-                    .iter()
-                    .copied()
-                    .fold(f64::NEG_INFINITY, f64::max)
-            })
+            .map(|&d| d.then_some(cfg.onset_month))
             .collect();
-        let threshold = quantile(&loyal_max, 1.0 - fpr_budget);
-        let loyal_fpr =
-            loyal_max.iter().filter(|&&m| m > threshold).count() as f64 / loyal_max.len() as f64;
-
-        // Delay per defector: first post-onset window above threshold.
-        let mut delays = Vec::new();
-        let mut detected = 0usize;
-        let mut total_defectors = 0usize;
-        for (s, &defector) in series.iter().zip(&is_defector) {
-            if !defector {
-                continue;
-            }
-            total_defectors += 1;
-            if let Some(offset) = s[onset_window as usize..]
-                .iter()
-                .position(|&v| v > threshold)
-            {
-                detected += 1;
-                // Delay = end of the flagged window minus the onset month.
-                let flagged_window = onset_window + offset as u32;
-                delays.push(((flagged_window + 1) * w_months - cfg.onset_month) as f64);
-            }
-        }
-        let summary = Summary::of(&delays);
+        let out = detection_latency(
+            &series,
+            &onsets,
+            &LatencyConfig {
+                fpr_budget,
+                w_months,
+                eval_from_window: onset_window,
+            },
+        );
         table.row([
             name.to_owned(),
-            fmt_f64(threshold, 3),
-            format!("{:.1}%", loyal_fpr * 100.0),
-            format!("{detected}/{total_defectors}"),
-            fmt_f64(summary.median, 1),
-            fmt_f64(quantile(&delays, 0.9), 1),
-            fmt_f64(summary.mean, 2),
+            fmt_f64(out.threshold, 3),
+            format!("{:.1}%", out.loyal_fpr * 100.0),
+            format!("{}/{}", out.detected, out.num_defectors),
+            fmt_f64(out.median_delay, 1),
+            fmt_f64(out.p90_delay, 1),
+            fmt_f64(out.mean_delay, 2),
         ]);
         csv.record(&[
             name,
-            &format!("{threshold:.6}"),
-            &format!("{loyal_fpr:.4}"),
-            &format!("{:.4}", detected as f64 / total_defectors as f64),
-            &format!("{:.2}", summary.median),
-            &format!("{:.2}", quantile(&delays, 0.9)),
-            &format!("{:.3}", summary.mean),
+            &format!("{:.6}", out.threshold),
+            &format!("{:.4}", out.loyal_fpr),
+            &format!("{:.4}", out.detected_fraction()),
+            &format!("{:.2}", out.median_delay),
+            &format!("{:.2}", out.p90_delay),
+            &format!("{:.3}", out.mean_delay),
         ]);
     }
     println!("{table}");

@@ -4,7 +4,12 @@
 //! **Replay mode** (default): replays a datagen scenario's receipts
 //! chronologically over the TCP line protocol at a target request rate,
 //! spreading requests over several connections, then fills the
-//! remaining run time with `SCORE` reads. An optional warmup phase runs
+//! remaining run time with `SCORE` reads. With `--scenario NAME` the
+//! workload comes from the named scenario-library simulation and the
+//! uniform pacer is replaced by the scenario's own arrival process: the
+//! simulated timeline is mapped onto the run (mean rate still `--rps`),
+//! so promo bursts, closure dips and seasonal swings show up as real
+//! traffic non-uniformity instead of a constant inter-arrival gap. An optional warmup phase runs
 //! first at the same rate and is excluded from the percentiles, so p99
 //! is not polluted by cold caches and connection setup. Reports
 //! per-request latency percentiles, the achieved rate, sample counts,
@@ -31,13 +36,14 @@
 //!       [--addr HOST:PORT] [--rps 500] [--duration-secs 5]
 //!       [--warmup-secs 1] [--batch 1] [--pipeline 4] [--sweep]
 //!       [--connections 4] [--customers 200] [--seed 7] [--shutdown]
-//!       [--wal-dir DIR] [--sync-policy always] [--results NAME]`
+//!       [--scenario NAME] [--wal-dir DIR] [--sync-policy always]
+//!       [--results NAME]`
 //!
 //! (`--duration-s` is kept as an alias of `--duration-secs`.)
 
 use attrition_bench::write_result;
 use attrition_core::StabilityParams;
-use attrition_datagen::ScenarioConfig;
+use attrition_datagen::{run_scenario, ScenarioConfig, ScenarioId};
 use attrition_serve::server::{self, DurabilityConfig, ServerConfig};
 use attrition_serve::{Client, Pipeline, Reply, RetryPolicy, SyncPolicy};
 use attrition_store::{chronological, WindowSpec};
@@ -60,6 +66,7 @@ struct Flags {
     customers: usize,
     seed: u64,
     shutdown: bool,
+    scenario: Option<ScenarioId>,
     wal_dir: Option<String>,
     sync_policy: SyncPolicy,
     results: String,
@@ -78,6 +85,7 @@ fn parse_flags() -> Flags {
         customers: 200,
         seed: 7,
         shutdown: false,
+        scenario: None,
         wal_dir: None,
         sync_policy: SyncPolicy::Always,
         results: "serve_latency".to_owned(),
@@ -109,6 +117,16 @@ fn parse_flags() -> Flags {
             "--customers" => flags.customers = value("--customers").parse().expect("--customers"),
             "--seed" => flags.seed = value("--seed").parse().expect("--seed"),
             "--shutdown" => flags.shutdown = true,
+            "--scenario" => {
+                let name = value("--scenario");
+                flags.scenario = Some(ScenarioId::parse(&name).unwrap_or_else(|| {
+                    let known: Vec<&str> = ScenarioId::ALL.iter().map(|i| i.name()).collect();
+                    panic!(
+                        "--scenario: unknown {name:?} (one of: {})",
+                        known.join(", ")
+                    )
+                }));
+            }
             "--wal-dir" => flags.wal_dir = Some(value("--wal-dir")),
             "--sync-policy" => {
                 flags.sync_policy =
@@ -197,15 +215,59 @@ fn main() {
 // Replay mode
 // ---------------------------------------------------------------------------
 
+/// Per-op arrival offsets for `--scenario` mode: the simulated timeline
+/// mapped onto the replay, at day resolution. Each simulated day owns a
+/// fixed-width slice of the replay and its receipts are spread across
+/// that slice, so a day with 3× the trips runs at 3× the instantaneous
+/// rate — the scenario's bursts and dips become real traffic shape
+/// while the mean rate stays at `--rps`.
+fn scenario_schedule(dates: &[Date], rps: f64) -> Vec<f64> {
+    if dates.is_empty() {
+        return Vec::new();
+    }
+    // Monotone day key (months are at most 31 days, so gaps between
+    // short months only shift slice boundaries, never reorder them).
+    let origin = dates[0].first_of_month();
+    let key = |d: Date| d.months_since(origin) as i64 * 31 + d.day() as i64 - 1;
+    let first = key(dates[0]);
+    let span = (key(*dates.last().unwrap()) - first + 1) as f64;
+    let replay_secs = dates.len() as f64 / rps;
+    let mut offsets = Vec::with_capacity(dates.len());
+    let mut i = 0;
+    while i < dates.len() {
+        let day = key(dates[i]);
+        let n = dates[i..].iter().take_while(|d| key(**d) == day).count();
+        for j in 0..n {
+            let within = (j as f64 + 0.5) / n as f64;
+            offsets.push(((day - first) as f64 + within) / span * replay_secs);
+        }
+        i += n;
+    }
+    offsets
+}
+
 fn run_replay(flags: &Flags) {
-    // The replay workload: the scenario's receipts, globally
-    // date-sorted (per-customer order is what the server enforces).
-    let mut cfg = ScenarioConfig::small();
-    cfg.seed = flags.seed;
-    cfg.n_loyal = flags.customers / 2;
-    cfg.n_defectors = flags.customers - flags.customers / 2;
-    let dataset = attrition_datagen::generate(&cfg);
-    let seg_store = dataset.segment_store();
+    // The replay workload: receipts globally date-sorted (per-customer
+    // order is what the server enforces) — from the legacy two-cohort
+    // generator, or from a scenario-library simulation with its own
+    // arrival schedule when `--scenario` is given.
+    let quick = std::env::var("ATTRITION_BENCH_QUICK").is_ok();
+    let (seg_store, start_date, workload) = match flags.scenario {
+        Some(id) => {
+            let run = run_scenario(id, flags.seed, quick);
+            let label = format!("scenario {}", run.name());
+            (run.segment_store(), run.start, label)
+        }
+        None => {
+            let mut cfg = ScenarioConfig::small();
+            cfg.seed = flags.seed;
+            cfg.n_loyal = flags.customers / 2;
+            cfg.n_defectors = flags.customers - flags.customers / 2;
+            let dataset = attrition_datagen::generate(&cfg);
+            (dataset.segment_store(), cfg.start, "cohort replay".into())
+        }
+    };
+    let dates: Vec<Date> = chronological(&seg_store).map(|r| r.date).collect();
     let ops: Vec<Op> = chronological(&seg_store)
         .map(|r| Op::Ingest {
             customer: r.customer.raw(),
@@ -213,6 +275,13 @@ fn run_replay(flags: &Flags) {
             items: r.items.iter().map(|i| i.raw()).collect(),
         })
         .collect();
+    // In scenario mode each replay op carries its own due time; the
+    // uniform pacer takes over for the SCORE fill past the replay end.
+    let schedule: Vec<f64> = if flags.scenario.is_some() {
+        scenario_schedule(&dates, flags.rps)
+    } else {
+        Vec::new()
+    };
     let customer_ids: Vec<u64> = {
         let mut ids: Vec<u64> = ops
             .iter()
@@ -232,7 +301,7 @@ fn run_replay(flags: &Flags) {
     let (addr, _server) = match &flags.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let spec = WindowSpec::months(cfg.start, 1);
+            let spec = WindowSpec::months(start_date, 1);
             let mut config = ServerConfig::new("127.0.0.1:0", spec, StabilityParams::PAPER);
             if let Some(dir) = &flags.wal_dir {
                 let mut dcfg = DurabilityConfig::new(dir);
@@ -244,7 +313,7 @@ fn run_replay(flags: &Flags) {
         }
     };
     eprintln!(
-        "loadgen: {} receipts from {} customers → {} at {} req/s over {} connections for {:?} (warmup {:?}, batch {}){}",
+        "loadgen [{workload}]: {} receipts from {} customers → {} at {} req/s over {} connections for {:?} (warmup {:?}, batch {}){}",
         ops.len(),
         customer_ids.len(),
         addr,
@@ -275,35 +344,56 @@ fn run_replay(flags: &Flags) {
         })
         .collect();
 
-    // The op stream: the receipt replay, then SCORE reads forever.
-    let mut ops_iter = ops.into_iter();
+    // The op stream: the receipt replay (each op carrying its scenario
+    // due time, when there is one), then SCORE reads forever.
+    let mut ops_iter = ops.into_iter().zip(
+        schedule
+            .into_iter()
+            .map(Some)
+            .chain(std::iter::repeat(None)),
+    );
     let mut issued = 0u64;
-    let mut next_op = move || {
-        let op = ops_iter.next().unwrap_or_else(|| Op::Score {
-            customer: customer_ids[issued as usize % customer_ids.len()],
+    let mut next_op = move || -> (Op, Option<f64>) {
+        let (op, at) = ops_iter.next().unwrap_or_else(|| {
+            (
+                Op::Score {
+                    customer: customer_ids[issued as usize % customer_ids.len()],
+                },
+                None,
+            )
         });
         issued += 1;
-        op
+        (op, at)
     };
 
-    // Paced closed-loop phases: request i is due at start + i/rps.
-    // Warmup first (samples discarded), then the measured window.
+    // Paced closed-loop phases: request i is due at start + i/rps, or at
+    // its scenario arrival offset when the workload carries one. Warmup
+    // first (samples discarded), then the measured window.
     let mut run_phase = |clients: &mut Vec<Client>, duration: Duration| -> Phase {
         let mut phase = Phase::default();
         let started = Instant::now();
         let mut members: Vec<String> = Vec::with_capacity(flags.batch);
-        loop {
-            let due = started + Duration::from_secs_f64(phase.ops as f64 / flags.rps);
+        let pace = |phase: &Phase, started: Instant, at: Option<f64>| -> bool {
+            let due = match at {
+                Some(secs) => started + Duration::from_secs_f64(secs),
+                None => started + Duration::from_secs_f64(phase.ops as f64 / flags.rps),
+            };
             let now = Instant::now();
             if now < due {
                 std::thread::sleep(due - now);
             }
+            started.elapsed() < duration
+        };
+        loop {
             if started.elapsed() >= duration {
                 break;
             }
             let slot = phase.ops as usize % flags.connections;
             if flags.batch <= 1 {
-                let op = next_op();
+                let (op, at) = next_op();
+                if !pace(&phase, started, at) {
+                    break;
+                }
                 if matches!(op, Op::Ingest { .. }) {
                     phase.ingests += 1;
                 }
@@ -328,12 +418,19 @@ fn run_replay(flags: &Flags) {
                 }
             } else {
                 members.clear();
-                for _ in 0..flags.batch {
-                    let op = next_op();
+                let mut first_at = None;
+                for k in 0..flags.batch {
+                    let (op, at) = next_op();
+                    if k == 0 {
+                        first_at = at;
+                    }
                     if matches!(op, Op::Ingest { .. }) {
                         phase.ingests += 1;
                     }
                     members.push(op.line());
+                }
+                if !pace(&phase, started, first_at) {
+                    break;
                 }
                 let t0 = Instant::now();
                 let replies = clients[slot]
@@ -404,7 +501,8 @@ fn run_replay(flags: &Flags) {
          \"sync_policy\": \"{sync_policy_label}\", \
          \"target_rps\": {:.1}, \"achieved_rps\": {achieved_rps:.3}, \
          \"p50_ms\": {p50:.6}, \"p95_ms\": {p95:.6}, \"p99_ms\": {p99:.6}, \
-         \"max_ms\": {max:.6}, \"connections\": {}, \"customers\": {}}}\n",
+         \"max_ms\": {max:.6}, \"connections\": {}, \"customers\": {}, \
+         \"workload\": \"{workload}\"}}\n",
         measured.ops,
         measured.ingests,
         measured.errors,

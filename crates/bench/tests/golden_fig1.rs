@@ -1,0 +1,58 @@
+//! Golden regression for the headline result: the paper-shaped baseline
+//! scenario's per-window stability AUROC must match the checked-in
+//! `results/fig1_auroc.csv` to within 1e-9.
+//!
+//! The pipeline under the pin — taxonomy/population sampling, the
+//! per-customer RNG streams, the month simulation loop, windowing and
+//! the stability engine — is exactly what the scenario-engine refactor
+//! reshaped, so any accidental change to the generated trips or the
+//! scoring shows up here as a numeric diff against the artifact.
+
+use attrition_bench::{stability_auroc_series, Prepared};
+use attrition_core::StabilityParams;
+use attrition_datagen::ScenarioConfig;
+
+#[test]
+fn baseline_fig1_stability_auroc_matches_checked_in_artifact() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fig1_auroc.csv");
+    let golden = std::fs::read_to_string(path).expect("checked-in results/fig1_auroc.csv");
+    let mut lines = golden.lines();
+    let header: Vec<&str> = lines.next().expect("header row").split(',').collect();
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| *h == name)
+            .unwrap_or_else(|| panic!("column {name:?} missing from {header:?}"))
+    };
+    let window_col = col("window");
+    let auroc_col = col("auroc_stability");
+
+    let cfg = ScenarioConfig::paper_default();
+    let prepared = Prepared::new(&cfg, 2, StabilityParams::PAPER);
+    let series = stability_auroc_series(&prepared, 0..prepared.db.num_windows);
+
+    let mut pinned = 0usize;
+    for line in lines.filter(|l| !l.trim().is_empty()) {
+        let fields: Vec<&str> = line.split(',').collect();
+        let window: usize = fields[window_col].parse().expect("window index");
+        let expected: f64 = fields[auroc_col].parse().expect("golden auroc");
+        let got = series
+            .get(window)
+            .unwrap_or_else(|| panic!("window {window} beyond computed series"))
+            .auroc;
+        // The artifact is written at 6 decimals; compare through the
+        // same formatting so the 1e-9 pin is exact at the artifact's
+        // own precision.
+        let got_at_artifact_precision: f64 = format!("{got:.6}").parse().unwrap();
+        assert!(
+            (got_at_artifact_precision - expected).abs() < 1e-9,
+            "window {window}: stability AUROC {got:.12} drifted from golden {expected:.12}"
+        );
+        pinned += 1;
+    }
+    assert_eq!(
+        pinned,
+        series.len(),
+        "golden artifact covers a different window count"
+    );
+}

@@ -186,6 +186,29 @@ A fenced fetch triggers the rejoin handshake automatically; `--rejoin`
 just runs it eagerly at startup. See README's Replication section for the
 failover and rejoin walkthroughs."
             .into(),
+        "scenarios" => "\
+attrition scenarios — evaluate both models on the scenario library
+
+FLAGS:
+    --scenario NAME     run one scenario (default: all seven); one of
+                        baseline, promo-shock, store-closure,
+                        competitor-entry, seasonal-drift, household-coshop,
+                        defection-mix
+    --seed N            simulation seed (default: the paper seed)
+    --quick             small population / short horizon (also enabled by
+                        the ATTRITION_BENCH_QUICK environment variable)
+    --out DIR           where scenario_eval.{json,csv} go (default: results)
+    --window N          window length in months (default 2)
+    --folds N           RFM cross-fitting folds (default 5)
+    --fpr-budget X      loyal false-alarm budget for detection latency
+                        (default 0.10)
+
+Each scenario is simulated by the agent/event engine, which emits an
+exact ground-truth label stream alongside the trips; both the stability
+model and the RFM baseline are scored against it (final-window AUROC and
+detection latency). Exits nonzero if any scenario yields an empty label
+stream."
+            .into(),
         other => return format!("no detailed help for {other:?}; run `attrition help`"),
     };
     format!("{body}{GLOBAL_FLAGS_HELP}")

@@ -19,6 +19,8 @@
 //!                    [--snapshot PATH | --restore PATH]
 //! attrition replicate --primary HOST:PORT --wal-dir DIR --origin DATE
 //!                    [--addr HOST:PORT] [--fetch-interval-ms 100] [--rejoin]
+//! attrition scenarios [--scenario NAME] [--seed N] [--quick] [--out DIR]
+//!                    [--window 2] [--folds 5] [--fpr-budget 0.10]
 //! ```
 //!
 //! Receipt files are CSV (`attrition-store::csv_io`) or the binary
@@ -29,6 +31,7 @@ mod args;
 mod commands;
 mod labels_csv;
 mod metrics;
+mod scenarios;
 
 use args::Args;
 use metrics::MetricsMode;
@@ -50,6 +53,7 @@ COMMANDS:
     monitor    replay receipts through the streaming monitor, printing alerts
     serve      run the online scoring server (TCP line protocol)
     replicate  follow a durable server as a read-only, promotable replica
+    scenarios  evaluate both models on the scenario library with exact ground truth
     help       show this message
 
 GLOBAL FLAGS:
@@ -101,6 +105,7 @@ fn main() -> ExitCode {
         "monitor" => commands::monitor(&parsed),
         "serve" => commands::serve(&parsed),
         "replicate" => commands::replicate(&parsed),
+        "scenarios" => scenarios::scenarios(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

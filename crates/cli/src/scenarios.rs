@@ -1,0 +1,347 @@
+//! `attrition scenarios` — per-scenario evaluation against exact ground
+//! truth.
+//!
+//! Runs every scenario in the library (or one, via `--scenario`),
+//! scores the stability model and the RFM baseline on the resulting
+//! trips, and reports final-window AUROC plus detection latency at a
+//! fixed false-alarm budget — all measured against the scenario's exact
+//! ground-truth label stream. Writes `scenario_eval.json` and
+//! `scenario_eval.csv` into `--out`.
+
+use crate::args::Args;
+use attrition_core::{StabilityEngine, StabilityParams};
+use attrition_datagen::{run_scenario, ScenarioId, ScenarioRun};
+use attrition_eval::{auroc, detection_latency, LatencyConfig, LatencySummary};
+use attrition_rfm::{out_of_fold_scores, RfmModel};
+use attrition_types::{CustomerId, WindowIndex};
+use attrition_util::csv::CsvWriter;
+use attrition_util::table::fmt_f64;
+use attrition_util::Table;
+use std::collections::HashMap;
+use std::error::Error;
+use std::path::Path;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// The paper seed; `--seed` overrides.
+const DEFAULT_SEED: u64 = 0x00A7_7121_7102;
+
+/// Everything measured about one scenario.
+struct ScenarioReport {
+    name: &'static str,
+    summary: &'static str,
+    customers: usize,
+    months: u32,
+    receipts: usize,
+    label_events: usize,
+    defectors: usize,
+    exits: usize,
+    reacquired: usize,
+    auroc_stability: f64,
+    auroc_rfm: f64,
+    stability_latency: LatencySummary,
+    rfm_latency: LatencySummary,
+}
+
+/// `attrition scenarios`
+pub fn scenarios(args: &Args) -> CliResult {
+    let seed: u64 = args.get_parsed("seed", DEFAULT_SEED)?;
+    let quick = args.get_bool("quick") || std::env::var("ATTRITION_BENCH_QUICK").is_ok();
+    let w_months: u32 = args.get_parsed("window", 2)?;
+    let folds: usize = args.get_parsed("folds", 5)?;
+    let fpr_budget: f64 = args.get_parsed("fpr-budget", 0.10)?;
+    let out_dir = args.get("out").unwrap_or("results");
+    let ids: Vec<ScenarioId> = match args.get("scenario") {
+        Some(name) => vec![ScenarioId::parse(name).ok_or_else(|| {
+            let known: Vec<&str> = ScenarioId::ALL.iter().map(|i| i.name()).collect();
+            format!("unknown scenario {name:?} (one of: {})", known.join(", "))
+        })?],
+        None => ScenarioId::ALL.to_vec(),
+    };
+
+    let mut reports = Vec::new();
+    for id in ids {
+        eprintln!("running scenario {}…", id.name());
+        let run = run_scenario(id, seed, quick);
+        if run.truth.events().is_empty() {
+            return Err(format!("scenario {} produced an empty label stream", id.name()).into());
+        }
+        reports.push(evaluate_run(&run, w_months, folds, fpr_budget)?);
+    }
+
+    print_table(&reports, seed, quick, fpr_budget);
+
+    let dir = Path::new(out_dir);
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("scenario_eval.json"),
+        render_json(&reports, seed, quick, w_months, fpr_budget),
+    )?;
+    std::fs::write(dir.join("scenario_eval.csv"), render_csv(&reports))?;
+    println!(
+        "\nwrote scenario_eval.json and scenario_eval.csv to {}",
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Score one scenario run with both models.
+fn evaluate_run(
+    run: &ScenarioRun,
+    w_months: u32,
+    folds: usize,
+    fpr_budget: f64,
+) -> Result<ScenarioReport, Box<dyn Error>> {
+    use attrition_store::{WindowAlignment, WindowedDatabase};
+
+    let seg_store = run.segment_store();
+    let spec = run.window_spec(w_months);
+    let n_windows = run.num_windows(w_months);
+    let db = WindowedDatabase::from_store(&seg_store, spec, n_windows, WindowAlignment::Global);
+    let matrix = StabilityEngine::new(StabilityParams::PAPER).compute(&db);
+    let labels = run.label_set();
+
+    // Per-customer binary labels + onsets, in the matrix's customer order.
+    let customers: Vec<CustomerId> = matrix.analyses().iter().map(|a| a.customer).collect();
+    let is_defector: Vec<bool> = customers
+        .iter()
+        .map(|c| {
+            labels
+                .cohort_of(*c)
+                .map(|k| k.is_defector())
+                .unwrap_or(false)
+        })
+        .collect();
+    let onsets: Vec<Option<u32>> = customers
+        .iter()
+        .map(|c| run.truth.record_of(*c).and_then(|r| r.onset_month))
+        .collect();
+    let eval_from_window = onsets
+        .iter()
+        .flatten()
+        .map(|m| m / w_months)
+        .min()
+        .unwrap_or(0);
+    let latency_cfg = LatencyConfig {
+        fpr_budget,
+        w_months,
+        eval_from_window,
+    };
+
+    // Stability: attrition score = 1 − stability, per window.
+    let stability_series: Vec<Vec<f64>> = matrix
+        .analyses()
+        .iter()
+        .map(|a| a.points.iter().map(|p| 1.0 - p.value).collect())
+        .collect();
+    let last = WindowIndex::new(n_windows.saturating_sub(1));
+    let stability_final: Vec<f64> = matrix
+        .attrition_scores_at(last)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    let auroc_stability = auroc(&is_defector, &stability_final);
+    let stability_latency = detection_latency(&stability_series, &onsets, &latency_cfg);
+
+    // RFM: out-of-fold probability per window (cross-fitting guard as in
+    // `attrition evaluate` — fewer positives/negatives than folds → NaN).
+    let rfm = RfmModel::new(1);
+    let positives = is_defector.iter().filter(|&&d| d).count();
+    let negatives = is_defector.len() - positives;
+    let (auroc_rfm, rfm_latency) = if positives >= folds && negatives >= folds {
+        let mut by_customer: HashMap<CustomerId, Vec<f64>> = HashMap::new();
+        let mut final_scores = Vec::new();
+        for k in 0..n_windows {
+            let rows = rfm.features_at(&db, WindowIndex::new(k));
+            let features: Vec<attrition_rfm::RfmFeatures> = rows.iter().map(|(_, f)| *f).collect();
+            let scores = out_of_fold_scores(&features, &is_defector, 1, folds, 42);
+            if k == n_windows - 1 {
+                final_scores = scores.clone();
+            }
+            for ((c, _), s) in rows.iter().zip(scores) {
+                by_customer.entry(*c).or_default().push(s);
+            }
+        }
+        let rfm_series: Vec<Vec<f64>> = customers
+            .iter()
+            .map(|c| by_customer.remove(c).expect("series built per customer"))
+            .collect();
+        (
+            auroc(&is_defector, &final_scores),
+            detection_latency(&rfm_series, &onsets, &latency_cfg),
+        )
+    } else {
+        let empty: Vec<Vec<f64>> = customers.iter().map(|_| vec![]).collect();
+        (f64::NAN, detection_latency(&empty, &onsets, &latency_cfg))
+    };
+
+    let records = run.truth.records();
+    Ok(ScenarioReport {
+        name: run.name(),
+        summary: run.id.summary(),
+        customers: run.n_customers,
+        months: run.n_months,
+        receipts: run.store.num_receipts(),
+        label_events: run.truth.events().len(),
+        defectors: run.truth.num_defectors(),
+        exits: records.iter().filter(|r| r.exit_month.is_some()).count(),
+        reacquired: records
+            .iter()
+            .filter(|r| r.reacquired_month.is_some())
+            .count(),
+        auroc_stability,
+        auroc_rfm,
+        stability_latency,
+        rfm_latency,
+    })
+}
+
+fn print_table(reports: &[ScenarioReport], seed: u64, quick: bool, fpr_budget: f64) {
+    println!(
+        "scenario library — seed {seed}{}, latency at ≤{:.0}% loyal false-alarm rate\n",
+        if quick { ", quick variant" } else { "" },
+        fpr_budget * 100.0
+    );
+    let mut table = Table::new([
+        "scenario",
+        "customers",
+        "defectors",
+        "exits",
+        "stability AUROC",
+        "RFM AUROC",
+        "stab delay (med)",
+        "rfm delay (med)",
+    ]);
+    for r in reports {
+        table.row([
+            r.name.to_string(),
+            r.customers.to_string(),
+            r.defectors.to_string(),
+            r.exits.to_string(),
+            fmt_f64(r.auroc_stability, 3),
+            fmt_f64(r.auroc_rfm, 3),
+            fmt_f64(r.stability_latency.median_delay, 1),
+            fmt_f64(r.rfm_latency.median_delay, 1),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// `f64` → JSON number, with non-finite values as `null`.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn latency_json(l: &LatencySummary) -> String {
+    format!(
+        "{{\"threshold\": {}, \"loyal_fpr\": {}, \"defectors\": {}, \"detected\": {}, \
+         \"detected_fraction\": {}, \"median_delay_months\": {}, \"p90_delay_months\": {}, \
+         \"mean_delay_months\": {}}}",
+        json_num(l.threshold),
+        json_num(l.loyal_fpr),
+        l.num_defectors,
+        l.detected,
+        json_num(l.detected_fraction()),
+        json_num(l.median_delay),
+        json_num(l.p90_delay),
+        json_num(l.mean_delay),
+    )
+}
+
+fn render_json(
+    reports: &[ScenarioReport],
+    seed: u64,
+    quick: bool,
+    w_months: u32,
+    fpr_budget: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"window_months\": {w_months},\n"));
+    out.push_str(&format!("  \"fpr_budget\": {},\n", json_num(fpr_budget)));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"summary\": \"{}\",\n", r.summary));
+        out.push_str(&format!("      \"customers\": {},\n", r.customers));
+        out.push_str(&format!("      \"months\": {},\n", r.months));
+        out.push_str(&format!("      \"receipts\": {},\n", r.receipts));
+        out.push_str(&format!("      \"label_events\": {},\n", r.label_events));
+        out.push_str(&format!("      \"defectors\": {},\n", r.defectors));
+        out.push_str(&format!("      \"exits\": {},\n", r.exits));
+        out.push_str(&format!("      \"reacquired\": {},\n", r.reacquired));
+        out.push_str(&format!(
+            "      \"auroc_stability\": {},\n",
+            json_num(r.auroc_stability)
+        ));
+        out.push_str(&format!(
+            "      \"auroc_rfm\": {},\n",
+            json_num(r.auroc_rfm)
+        ));
+        out.push_str(&format!(
+            "      \"stability_latency\": {},\n",
+            latency_json(&r.stability_latency)
+        ));
+        out.push_str(&format!(
+            "      \"rfm_latency\": {}\n",
+            latency_json(&r.rfm_latency)
+        ));
+        out.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn render_csv(reports: &[ScenarioReport]) -> String {
+    let mut csv = CsvWriter::new();
+    csv.record(&[
+        "scenario",
+        "customers",
+        "months",
+        "receipts",
+        "label_events",
+        "defectors",
+        "exits",
+        "reacquired",
+        "auroc_stability",
+        "auroc_rfm",
+        "stab_detected_fraction",
+        "stab_median_delay_months",
+        "stab_p90_delay_months",
+        "rfm_detected_fraction",
+        "rfm_median_delay_months",
+        "rfm_p90_delay_months",
+    ]);
+    for r in reports {
+        csv.record(&[
+            r.name,
+            &r.customers.to_string(),
+            &r.months.to_string(),
+            &r.receipts.to_string(),
+            &r.label_events.to_string(),
+            &r.defectors.to_string(),
+            &r.exits.to_string(),
+            &r.reacquired.to_string(),
+            &format!("{:.6}", r.auroc_stability),
+            &format!("{:.6}", r.auroc_rfm),
+            &format!("{:.4}", r.stability_latency.detected_fraction()),
+            &format!("{:.2}", r.stability_latency.median_delay),
+            &format!("{:.2}", r.stability_latency.p90_delay),
+            &format!("{:.4}", r.rfm_latency.detected_fraction()),
+            &format!("{:.2}", r.rfm_latency.median_delay),
+            &format!("{:.2}", r.rfm_latency.p90_delay),
+        ]);
+    }
+    csv.finish()
+}

@@ -1,0 +1,211 @@
+//! Scenario-library end-to-end tests against the real `attrition`
+//! binary: the `scenarios` subcommand writes deterministic artifacts,
+//! and a scenario's trips replayed through `attrition serve` over TCP
+//! produce CLOSED/SCORE protocol lines byte-equal to the offline
+//! pipeline run in-process on the same trips.
+
+use attrition_core::{StabilityMonitor, StabilityParams};
+use attrition_datagen::{run_scenario, ScenarioId};
+use attrition_serve::protocol::{format_closed, format_score};
+use attrition_store::{chronological, WindowSpec};
+use attrition_types::Basket;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_attrition")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary must execute")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("attrition_scenario_e2e")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn scenarios_subcommand_writes_deterministic_artifacts() {
+    let dirs = [temp_dir("artifacts_a"), temp_dir("artifacts_b")];
+    for dir in &dirs {
+        let out = run(&[
+            "scenarios",
+            "--quick",
+            "--scenario",
+            "promo-shock",
+            "--seed",
+            "11",
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "scenarios failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let table = String::from_utf8_lossy(&out.stdout);
+        assert!(table.contains("promo-shock"), "no table row:\n{table}");
+        assert!(table.contains("stability AUROC"), "no header:\n{table}");
+    }
+    let json_a = std::fs::read(dirs[0].join("scenario_eval.json")).expect("json written");
+    let json_b = std::fs::read(dirs[1].join("scenario_eval.json")).expect("json written");
+    assert_eq!(json_a, json_b, "same seed must reproduce the JSON exactly");
+    assert!(
+        String::from_utf8_lossy(&json_a).contains("\"name\": \"promo-shock\""),
+        "scenario missing from JSON"
+    );
+    let csv = std::fs::read_to_string(dirs[0].join("scenario_eval.csv")).expect("csv written");
+    assert_eq!(csv.lines().count(), 2, "header + one scenario row:\n{csv}");
+    assert!(csv.lines().next().unwrap().starts_with("scenario,"));
+    for dir in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn unknown_scenario_name_lists_the_library() {
+    let out = run(&["scenarios", "--scenario", "flash-crowd"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scenario"), "{err}");
+    assert!(err.contains("household-coshop"), "{err}");
+}
+
+/// Replay a scenario's trips through the real `attrition serve` binary
+/// over TCP and require the protocol output — every CLOSED line and the
+/// final SCORE line per customer — to be byte-equal to an offline
+/// `StabilityMonitor` fed the same trips in-process.
+#[test]
+fn serve_replay_of_scenario_bit_identical_to_offline() {
+    let seed = 0xE2E;
+    let run_data = run_scenario(ScenarioId::SeasonalDrift, seed, true);
+    let seg_store = run_data.segment_store();
+    let w_months = 2u32;
+    let spec = WindowSpec::months(run_data.start, w_months);
+    let end = run_data.start.add_months(run_data.n_months as i32);
+
+    // Offline reference: one monitor over the chronological replay,
+    // rendered through the same protocol formatter the server uses.
+    let mut offline = StabilityMonitor::new(spec, StabilityParams::PAPER);
+    let mut offline_closed: Vec<String> = Vec::new();
+    for receipt in chronological(&seg_store) {
+        let basket = Basket::new(receipt.items.to_vec());
+        for closed in offline.ingest(receipt.customer, receipt.date, &basket) {
+            offline_closed.push(format_closed(&closed));
+        }
+    }
+    for closed in offline.flush_until(end) {
+        offline_closed.push(format_closed(&closed));
+    }
+
+    // Online: the same trips through the binary, speaking raw protocol.
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--origin",
+            &run_data.start.to_string(),
+            "--window",
+            &w_months.to_string(),
+            "--alpha",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve must start");
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_owned();
+
+    let stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    // One write per request and no Nagle: the line + newline as two
+    // small packets otherwise hits the delayed-ACK stall (~40 ms per
+    // round trip — minutes over a full replay).
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let read_line = |reader: &mut BufReader<TcpStream>| -> String {
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        l.trim_end().to_owned()
+    };
+
+    let mut online_closed: Vec<String> = Vec::new();
+    let request = |writer: &mut TcpStream,
+                   reader: &mut BufReader<TcpStream>,
+                   mut line: String,
+                   closed: &mut Vec<String>| {
+        line.push('\n');
+        writer.write_all(line.as_bytes()).unwrap();
+        let reply = read_line(reader);
+        let n: usize = reply
+            .strip_prefix("OK ")
+            .unwrap_or_else(|| panic!("unexpected reply to {line:?}: {reply:?}"))
+            .parse()
+            .expect("closed-window count");
+        for _ in 0..n {
+            closed.push(read_line(reader));
+        }
+    };
+    for receipt in chronological(&seg_store) {
+        let mut line = format!("INGEST {} {}", receipt.customer.raw(), receipt.date);
+        for item in receipt.items {
+            line.push(' ');
+            line.push_str(&item.raw().to_string());
+        }
+        request(&mut writer, &mut reader, line, &mut online_closed);
+    }
+    request(
+        &mut writer,
+        &mut reader,
+        format!("FLUSH {end}"),
+        &mut online_closed,
+    );
+
+    offline_closed.sort_unstable();
+    online_closed.sort_unstable();
+    assert_eq!(
+        offline_closed, online_closed,
+        "served CLOSED lines diverged from the offline pipeline"
+    );
+    assert!(
+        !offline_closed.is_empty(),
+        "replay closed no windows — the comparison is vacuous"
+    );
+
+    // Final SCORE previews, byte-equal per customer.
+    for customer in offline.customer_ids() {
+        let expected = format_score(customer, &offline.preview(customer).expect("tracked"));
+        writer
+            .write_all(format!("SCORE {}\n", customer.raw()).as_bytes())
+            .unwrap();
+        let got = read_line(&mut reader);
+        assert_eq!(got, expected, "SCORE diverged for {customer}");
+    }
+
+    writer.write_all(b"SHUTDOWN\n").unwrap();
+    let reply = read_line(&mut reader);
+    assert_eq!(reply, "OK draining");
+    drop(writer);
+    drop(reader);
+    let status = child.wait().expect("serve must exit");
+    assert!(status.success());
+}

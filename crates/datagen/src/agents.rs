@@ -1,0 +1,263 @@
+//! Typed agents for the scenario engine.
+//!
+//! An [`Agent`] wraps the generative [`CustomerProfile`] with the typed
+//! properties the scenario library scripts against: a household (members
+//! co-shop and churn together), a demographic segment, a price
+//! sensitivity (who reacts to promotions and competitor entry) and a home
+//! store (who a closure displaces).
+//!
+//! Stream discipline: the *profile* of agent `i` is drawn from exactly
+//! the stream [`Population::generate`](crate::population::Population)
+//! would use (`seed ^ id·φ64`), so a scenario built on loyal agents
+//! shops identically to the legacy population with the same seed. Typed
+//! properties come from a second per-agent stream and households from a
+//! sequential stream — neither perturbs the profile draws.
+
+use crate::population::{sample_profile, BehaviorConfig};
+use crate::profile::CustomerProfile;
+use attrition_types::{CustomerId, Taxonomy};
+use attrition_util::{Rng, Zipf};
+
+/// Demographic segment of an agent, derived from household size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentSegment {
+    /// One-person household.
+    Single,
+    /// Two adults.
+    Couple,
+    /// Three or more members.
+    Family,
+    /// Retired single or couple.
+    Senior,
+}
+
+impl AgentSegment {
+    /// Stable lowercase name for logs and CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            AgentSegment::Single => "single",
+            AgentSegment::Couple => "couple",
+            AgentSegment::Family => "family",
+            AgentSegment::Senior => "senior",
+        }
+    }
+}
+
+/// One simulated person: generative profile plus typed properties.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    /// The generative shopping model (drives every trip draw).
+    pub profile: CustomerProfile,
+    /// Household index; members have consecutive customer ids.
+    pub household: u32,
+    /// Demographic segment.
+    pub segment: AgentSegment,
+    /// Price sensitivity in `[0, 1]` — reaction strength to promotions
+    /// and competitor entry.
+    pub price_sensitivity: f64,
+    /// Home store in `0..n_stores`; shared by the whole household.
+    pub home_store: u32,
+}
+
+/// Knobs for agent population generation.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Number of agents.
+    pub n_agents: usize,
+    /// Number of stores agents are homed to.
+    pub n_stores: u32,
+    /// Shared behavior knobs (profile sampling).
+    pub behavior: BehaviorConfig,
+}
+
+/// A generated agent population, in customer-id order.
+#[derive(Debug, Clone)]
+pub struct AgentPopulation {
+    /// All agents; `agents[i].profile.customer == CustomerId::new(i)`.
+    pub agents: Vec<Agent>,
+}
+
+impl AgentPopulation {
+    /// Generate `cfg.n_agents` agents against `taxonomy`.
+    pub fn generate(cfg: &AgentConfig, taxonomy: &Taxonomy, seed: u64) -> AgentPopulation {
+        assert!(cfg.n_stores > 0, "need at least one store");
+        let segment_zipf = Zipf::new(taxonomy.num_segments(), cfg.behavior.segment_zipf_s);
+        // Sequential stream for household structure only.
+        let mut hh_rng = Rng::seed_from_u64(seed ^ HOUSEHOLD_STREAM);
+        let mut agents = Vec::with_capacity(cfg.n_agents);
+        let mut household = 0u32;
+        let mut remaining = 0usize;
+        let mut size = 0usize;
+        let mut home_store = 0u32;
+        let mut senior = false;
+        for raw_id in 0..cfg.n_agents as u64 {
+            if remaining == 0 {
+                // Household sizes: 35 % single, 30 % couple, 20 % three,
+                // 15 % four; 25 % of 1–2-person households are seniors.
+                let roll = hh_rng.u64_below(100);
+                size = match roll {
+                    0..=34 => 1,
+                    35..=64 => 2,
+                    65..=84 => 3,
+                    _ => 4,
+                };
+                senior = size <= 2 && hh_rng.bernoulli(0.25);
+                home_store = hh_rng.u64_below(cfg.n_stores as u64) as u32;
+                household += 1;
+                remaining = size;
+            }
+            remaining -= 1;
+            let customer = CustomerId::new(raw_id);
+            // The SAME stream Population::generate uses — profiles (and
+            // therefore trips) match the legacy generator per seed.
+            let mut rng = Rng::seed_from_u64(seed ^ raw_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let profile =
+                sample_profile(customer, taxonomy, &cfg.behavior, &segment_zipf, &mut rng);
+            // Typed properties from an independent per-agent stream.
+            let mut props = Rng::seed_from_u64(
+                seed.rotate_left(29) ^ raw_id.wrapping_mul(0xA076_1D64_78BD_642F),
+            );
+            let segment = if senior {
+                AgentSegment::Senior
+            } else {
+                match size {
+                    1 => AgentSegment::Single,
+                    2 => AgentSegment::Couple,
+                    _ => AgentSegment::Family,
+                }
+            };
+            agents.push(Agent {
+                profile,
+                household: household - 1,
+                segment,
+                price_sensitivity: props.f64_in(0.0, 1.0),
+                home_store,
+            });
+        }
+        AgentPopulation { agents }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// Household groups as index ranges into `agents` (members are
+    /// consecutive by construction).
+    pub fn households(&self) -> Vec<std::ops::Range<usize>> {
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=self.agents.len() {
+            if i == self.agents.len() || self.agents[i].household != self.agents[start].household {
+                groups.push(start..i);
+                start = i;
+            }
+        }
+        groups
+    }
+}
+
+/// Stream label for the household RNG — keeps household structure
+/// independent of both the profile and typed-property streams.
+const HOUSEHOLD_STREAM: u64 = 0xB0B5_7EAD_0905_E501;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{generate_catalog, CatalogConfig};
+
+    fn taxonomy() -> Taxonomy {
+        generate_catalog(&CatalogConfig::default(), &mut Rng::seed_from_u64(1))
+    }
+
+    fn config(n: usize) -> AgentConfig {
+        AgentConfig {
+            n_agents: n,
+            n_stores: 5,
+            behavior: BehaviorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn profiles_match_legacy_population_stream() {
+        use crate::defection::DefectionPlan;
+        use crate::population::{Population, PopulationConfig};
+        let tax = taxonomy();
+        let agents = AgentPopulation::generate(&config(40), &tax, 77);
+        let legacy = Population::generate(
+            &PopulationConfig {
+                n_loyal: 40,
+                n_defectors: 0,
+                behavior: BehaviorConfig::default(),
+                defection: DefectionPlan::standard(6),
+            },
+            &tax,
+            77,
+        );
+        for (a, p) in agents.agents.iter().zip(&legacy.profiles) {
+            assert_eq!(&a.profile, p, "agent {}", a.profile.customer);
+        }
+    }
+
+    #[test]
+    fn households_are_consecutive_and_cover_all() {
+        let tax = taxonomy();
+        let agents = AgentPopulation::generate(&config(100), &tax, 3);
+        let groups = agents.households();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 100);
+        for g in &groups {
+            assert!(!g.is_empty() && g.len() <= 4);
+            let hh = agents.agents[g.start].household;
+            let store = agents.agents[g.start].home_store;
+            for i in g.clone() {
+                assert_eq!(agents.agents[i].household, hh);
+                assert_eq!(agents.agents[i].home_store, store);
+            }
+        }
+        // With 100 agents and mean size ~2.15 we expect several
+        // multi-member households.
+        assert!(groups.iter().any(|g| g.len() >= 2));
+    }
+
+    #[test]
+    fn typed_properties_in_range() {
+        let tax = taxonomy();
+        let agents = AgentPopulation::generate(&config(60), &tax, 9);
+        let mut seniors = 0;
+        for a in &agents.agents {
+            assert!((0.0..=1.0).contains(&a.price_sensitivity));
+            assert!(a.home_store < 5);
+            if a.segment == AgentSegment::Senior {
+                seniors += 1;
+            }
+        }
+        // ~25 % of small households → some seniors in 60 agents.
+        assert!(seniors > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tax = taxonomy();
+        let a = AgentPopulation::generate(&config(30), &tax, 5);
+        let b = AgentPopulation::generate(&config(30), &tax, 5);
+        for (x, y) in a.agents.iter().zip(&b.agents) {
+            assert_eq!(x.profile, y.profile);
+            assert_eq!(x.household, y.household);
+            assert_eq!(x.segment, y.segment);
+            assert_eq!(x.price_sensitivity, y.price_sensitivity);
+            assert_eq!(x.home_store, y.home_store);
+        }
+    }
+
+    #[test]
+    fn segment_names() {
+        assert_eq!(AgentSegment::Single.name(), "single");
+        assert_eq!(AgentSegment::Family.name(), "family");
+    }
+}

@@ -1,0 +1,329 @@
+//! Discrete-event scaffolding for the scenario engine.
+//!
+//! The scenario engine (see [`crate::scenario`]) runs a seeded,
+//! time-ordered event queue in the style of agent-based epi frameworks:
+//! world-level plan events (promotions, store closures, competitor entry,
+//! seasonal drift) and agent-level mutation events (defection onset, exit,
+//! re-acquisition) interleave with one `MonthTick` shopping event per
+//! active agent per month.
+//!
+//! # Determinism contract
+//!
+//! [`Event`] derives a **total** `Ord` over its entire content
+//! (`month`, then [`Phase`], then [`Actor`], then [`EventKind`] — every
+//! payload is an integer, so the derive covers all of it). The queue is a
+//! `BinaryHeap<Reverse<Event>>`, so pop order is the ascending total
+//! order regardless of insertion order: two events that compare equal are
+//! *indistinguishable*, and any tie the heap breaks arbitrarily is
+//! therefore unobservable. Same seed → same events → same pops → same
+//! trips, bytes and all. The shuffled-insertion property test below locks
+//! this in.
+//!
+//! # Phase ordering
+//!
+//! Within one month, `Plan < Mutate < Shop`: world interventions apply
+//! first, agent state changes second, shopping last. An `Exit` at
+//! `(m, Mutate)` therefore precedes the agent's `(m, Shop)` tick — a
+//! fully-exited agent emits no trips in its exit month.
+
+use attrition_types::CustomerId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Sub-month ordering of events. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// World-level interventions (promotions, closures, drift).
+    Plan,
+    /// Agent state mutations (defection onset, exit, re-acquisition).
+    Mutate,
+    /// Shopping: one `MonthTick` per active agent.
+    Shop,
+}
+
+/// How a scripted defection unfolds after its onset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DefectMode {
+    /// The paper's partial defection: the profile's baked-in item drops
+    /// and trip decay play out; the agent keeps shopping (reduced).
+    Partial,
+    /// Progressive ramp-down over `ramp_months`, then a full stop.
+    Gradual {
+        /// Months between onset and the full stop.
+        ramp_months: u32,
+    },
+    /// Full stop in the onset month itself.
+    Abrupt,
+}
+
+/// What happens when an event fires.
+///
+/// Continuous knobs are carried as integer **milli-units** (`1500` =
+/// `×1.5`) so the derived `Ord`/`Eq` stay total and exact — `f64` fields
+/// would forfeit `Eq` and with it the whole determinism argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A promotion window opens: trip and exploration rates scale up for
+    /// agents with price sensitivity ≥ the threshold.
+    PromoStart {
+        /// Trip-rate multiplier, milli (1600 = ×1.6).
+        trip_milli: u32,
+        /// Exploration-rate multiplier, milli.
+        explore_milli: u32,
+        /// Minimum price sensitivity to react, milli (350 = 0.35).
+        min_sensitivity_milli: u32,
+    },
+    /// The promotion window closes.
+    PromoEnd,
+    /// A store closes: its regulars' trip rates drop while they
+    /// re-home, and a fraction exits outright.
+    StoreClose {
+        /// The closing store.
+        store: u32,
+        /// Trip multiplier while re-homing, milli (450 = ×0.45).
+        closure_milli: u32,
+        /// Months until displaced regulars recover their full rate.
+        recovery_months: u32,
+        /// Probability a displaced regular exits instead, milli.
+        exit_milli: u32,
+    },
+    /// A competitor opens: price-sensitive agents defect with
+    /// probability `exit_scale × sensitivity`, staggered over the
+    /// following months, a fraction of them gradually.
+    CompetitorEntry {
+        /// Scale on sensitivity → exit probability, milli.
+        exit_scale_milli: u32,
+        /// Onsets are staggered uniformly over this many months.
+        stagger_months: u32,
+        /// Fraction of defectors that go gradually, milli.
+        gradual_frac_milli: u32,
+        /// Ramp length for the gradual ones.
+        ramp_months: u32,
+    },
+    /// Population-wide trip-rate drift begins: the seasonal factor's
+    /// deviation from 1 is amplified by `drift × months-elapsed`.
+    SeasonalDrift {
+        /// Monthly amplification, milli (80 = +8 % per month).
+        monthly_drift_milli: i32,
+    },
+    /// Ground-truth defection onset for one agent. This event *is* the
+    /// label timestamp — detection latency is measured from it.
+    DefectOnset(DefectMode),
+    /// The agent stops shopping entirely (no further `MonthTick`s).
+    Exit,
+    /// A previously exited agent returns with its original profile.
+    Reacquire,
+    /// One month of shopping for one active agent.
+    MonthTick,
+}
+
+/// Who an event applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Actor {
+    /// The shared world (promotions, closures, drift).
+    World,
+    /// One agent.
+    Agent(CustomerId),
+}
+
+/// One scheduled event. Fields are ordered so the derived `Ord` is the
+/// scheduling order: month, then phase, then actor, then kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    /// Month index (0-based from the observation start).
+    pub month: u32,
+    /// Sub-month phase.
+    pub phase: Phase,
+    /// Target of the event.
+    pub actor: Actor,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Plan => "plan",
+            Phase::Mutate => "mutate",
+            Phase::Shop => "shop",
+        };
+        match self.actor {
+            Actor::World => write!(f, "m{:02} {} world {:?}", self.month, phase, self.kind),
+            Actor::Agent(c) => write!(
+                f,
+                "m{:02} {} agent:{} {:?}",
+                self.month,
+                phase,
+                c.raw(),
+                self.kind
+            ),
+        }
+    }
+}
+
+/// A min-heap of events popping in ascending total order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, event: Event) {
+        self.heap.push(Reverse(event));
+    }
+
+    /// Pop the earliest event (ties are indistinguishable — see the
+    /// module docs).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrition_util::Rng;
+
+    fn tick(month: u32, agent: u64) -> Event {
+        Event {
+            month,
+            phase: Phase::Shop,
+            actor: Actor::Agent(CustomerId::new(agent)),
+            kind: EventKind::MonthTick,
+        }
+    }
+
+    #[test]
+    fn phases_order_plan_mutate_shop() {
+        assert!(Phase::Plan < Phase::Mutate);
+        assert!(Phase::Mutate < Phase::Shop);
+        let exit = Event {
+            month: 4,
+            phase: Phase::Mutate,
+            actor: Actor::Agent(CustomerId::new(9)),
+            kind: EventKind::Exit,
+        };
+        // Exit in month m sorts before the same agent's Shop tick of
+        // month m — no trips in the exit month.
+        assert!(exit < tick(4, 9));
+        // …and after every event of month m−1.
+        assert!(exit > tick(3, u64::MAX));
+    }
+
+    #[test]
+    fn month_dominates_phase_and_actor() {
+        let late_plan = Event {
+            month: 5,
+            phase: Phase::Plan,
+            actor: Actor::World,
+            kind: EventKind::PromoEnd,
+        };
+        assert!(tick(4, 0) < late_plan);
+        assert!(Actor::World < Actor::Agent(CustomerId::new(0)));
+    }
+
+    #[test]
+    fn queue_pops_in_ascending_order() {
+        let mut q = EventQueue::new();
+        q.push(tick(3, 1));
+        q.push(tick(1, 2));
+        q.push(tick(1, 0));
+        q.push(Event {
+            month: 1,
+            phase: Phase::Plan,
+            actor: Actor::World,
+            kind: EventKind::PromoEnd,
+        });
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order.len(), 4);
+        for pair in order.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert_eq!(order[0].phase, Phase::Plan);
+        assert_eq!(order[1], tick(1, 0));
+        assert_eq!(order[2], tick(1, 2));
+        assert_eq!(order[3], tick(3, 1));
+    }
+
+    #[test]
+    fn shuffled_insertion_same_pop_order() {
+        // The BinaryHeap tie-break must be unobservable: any insertion
+        // order of the same multiset pops the same sequence.
+        let mut events = Vec::new();
+        for month in 0..6 {
+            for agent in 0..10 {
+                events.push(tick(month, agent));
+            }
+            events.push(Event {
+                month,
+                phase: Phase::Mutate,
+                actor: Actor::Agent(CustomerId::new(month as u64)),
+                kind: EventKind::DefectOnset(DefectMode::Abrupt),
+            });
+        }
+        let reference: Vec<Event> = {
+            let mut q = EventQueue::new();
+            for &e in &events {
+                q.push(e);
+            }
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let mut rng = Rng::seed_from_u64(0xF1FE);
+        for _ in 0..16 {
+            // Fisher–Yates shuffle with the workspace RNG.
+            for i in (1..events.len()).rev() {
+                let j = rng.u64_below(i as u64 + 1) as usize;
+                events.swap(i, j);
+            }
+            let mut q = EventQueue::new();
+            for &e in &events {
+                q.push(e);
+            }
+            let popped: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+            assert_eq!(popped, reference);
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let e = Event {
+            month: 7,
+            phase: Phase::Mutate,
+            actor: Actor::Agent(CustomerId::new(42)),
+            kind: EventKind::DefectOnset(DefectMode::Gradual { ramp_months: 4 }),
+        };
+        assert_eq!(
+            e.to_string(),
+            "m07 mutate agent:42 DefectOnset(Gradual { ramp_months: 4 })"
+        );
+        let w = Event {
+            month: 0,
+            phase: Phase::Plan,
+            actor: Actor::World,
+            kind: EventKind::SeasonalDrift {
+                monthly_drift_milli: 80,
+            },
+        };
+        assert_eq!(
+            w.to_string(),
+            "m00 plan world SeasonalDrift { monthly_drift_milli: 80 }"
+        );
+    }
+}

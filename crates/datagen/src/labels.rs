@@ -95,6 +95,208 @@ impl LabelSet {
     }
 }
 
+/// How a scripted defection unfolds — the label-side mirror of
+/// [`crate::events::DefectMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectionStyle {
+    /// Paper-style partial defection: reduced but continuing activity.
+    Partial,
+    /// Ramp-down over several months, then a full stop.
+    Gradual,
+    /// Full stop in the onset month.
+    Abrupt,
+}
+
+impl DefectionStyle {
+    /// Stable lowercase name for logs and CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectionStyle::Partial => "partial",
+            DefectionStyle::Gradual => "gradual",
+            DefectionStyle::Abrupt => "abrupt",
+        }
+    }
+}
+
+/// One ground-truth label event, stamped with the logical month the
+/// corresponding engine event fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelEvent {
+    /// Month index (0-based from the observation start).
+    pub month: u32,
+    /// The customer.
+    pub customer: CustomerId,
+    /// What happened.
+    pub kind: LabelEventKind,
+}
+
+/// The kind of a [`LabelEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelEventKind {
+    /// Defection onset — detection latency is measured from this month.
+    DefectionOnset(DefectionStyle),
+    /// The customer stopped shopping entirely.
+    Exit,
+    /// A previously exited customer returned.
+    Reacquisition,
+}
+
+/// Per-customer ground-truth summary assembled from the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthRecord {
+    /// The customer.
+    pub customer: CustomerId,
+    /// Defection onset month, if the customer ever defected.
+    pub onset_month: Option<u32>,
+    /// Style of the defection, if any.
+    pub style: Option<DefectionStyle>,
+    /// Month all shopping stopped, if it did.
+    pub exit_month: Option<u32>,
+    /// Month the customer was re-acquired, if they were.
+    pub reacquired_month: Option<u32>,
+}
+
+impl TruthRecord {
+    fn new(customer: CustomerId) -> TruthRecord {
+        TruthRecord {
+            customer,
+            onset_month: None,
+            style: None,
+            exit_month: None,
+            reacquired_month: None,
+        }
+    }
+}
+
+/// Exact ground truth of one scenario run: the ordered label-event
+/// stream plus per-customer records derived from it. Every record field
+/// corresponds to exactly one event (the label-invariant suite checks
+/// this bijection).
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    events: Vec<LabelEvent>,
+    records: Vec<TruthRecord>, // sorted by customer id
+}
+
+impl GroundTruth {
+    /// An empty truth stream.
+    pub fn new() -> GroundTruth {
+        GroundTruth::default()
+    }
+
+    fn record_mut(&mut self, customer: CustomerId) -> &mut TruthRecord {
+        let idx = match self.records.binary_search_by_key(&customer, |r| r.customer) {
+            Ok(i) => i,
+            Err(i) => {
+                self.records.insert(i, TruthRecord::new(customer));
+                i
+            }
+        };
+        &mut self.records[idx]
+    }
+
+    /// Record a defection onset. Idempotent per customer: only the first
+    /// onset is kept (the engine never fires two, but scripted scenarios
+    /// guard here too).
+    pub fn record_onset(&mut self, month: u32, customer: CustomerId, style: DefectionStyle) {
+        let record = self.record_mut(customer);
+        if record.onset_month.is_some() {
+            return;
+        }
+        record.onset_month = Some(month);
+        record.style = Some(style);
+        self.events.push(LabelEvent {
+            month,
+            customer,
+            kind: LabelEventKind::DefectionOnset(style),
+        });
+    }
+
+    /// Record a full shopping stop.
+    pub fn record_exit(&mut self, month: u32, customer: CustomerId) {
+        let record = self.record_mut(customer);
+        if record.exit_month.is_some() {
+            return;
+        }
+        record.exit_month = Some(month);
+        self.events.push(LabelEvent {
+            month,
+            customer,
+            kind: LabelEventKind::Exit,
+        });
+    }
+
+    /// Record a re-acquisition.
+    pub fn record_reacquire(&mut self, month: u32, customer: CustomerId) {
+        let record = self.record_mut(customer);
+        if record.reacquired_month.is_some() {
+            return;
+        }
+        record.reacquired_month = Some(month);
+        self.events.push(LabelEvent {
+            month,
+            customer,
+            kind: LabelEventKind::Reacquisition,
+        });
+    }
+
+    /// The label events in the order they were recorded (= engine event
+    /// order, which is deterministic).
+    pub fn events(&self) -> &[LabelEvent] {
+        &self.events
+    }
+
+    /// Per-customer records, sorted by customer id.
+    pub fn records(&self) -> &[TruthRecord] {
+        &self.records
+    }
+
+    /// The record of one customer, if any event touched them.
+    pub fn record_of(&self, customer: CustomerId) -> Option<&TruthRecord> {
+        self.records
+            .binary_search_by_key(&customer, |r| r.customer)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Number of customers with a defection onset.
+    pub fn num_defectors(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.onset_month.is_some())
+            .count()
+    }
+
+    /// Collapse to the binary cohort [`LabelSet`] the eval pipeline
+    /// consumes, covering every customer in `all_customers`.
+    pub fn label_set(&self, all_customers: impl Iterator<Item = CustomerId>) -> LabelSet {
+        let labels = all_customers
+            .map(|customer| {
+                let cohort = match self.record_of(customer).and_then(|r| r.onset_month) {
+                    Some(onset_month) => Cohort::Defector { onset_month },
+                    None => Cohort::Loyal,
+                };
+                CustomerLabel { customer, cohort }
+            })
+            .collect();
+        LabelSet::new(labels)
+    }
+
+    /// Serialize the event stream as CSV (`month,customer,event`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("month,customer,event\n");
+        for e in &self.events {
+            let kind = match e.kind {
+                LabelEventKind::DefectionOnset(style) => format!("onset:{}", style.name()),
+                LabelEventKind::Exit => "exit".to_string(),
+                LabelEventKind::Reacquisition => "reacquire".to_string(),
+            };
+            out.push_str(&format!("{},{},{}\n", e.month, e.customer.raw(), kind));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +359,66 @@ mod tests {
     fn cohort_is_defector() {
         assert!(!Cohort::Loyal.is_defector());
         assert!(Cohort::Defector { onset_month: 0 }.is_defector());
+    }
+
+    #[test]
+    fn ground_truth_event_record_bijection() {
+        let mut truth = GroundTruth::new();
+        truth.record_onset(5, CustomerId::new(2), DefectionStyle::Gradual);
+        truth.record_exit(9, CustomerId::new(2));
+        truth.record_onset(3, CustomerId::new(7), DefectionStyle::Abrupt);
+        truth.record_exit(3, CustomerId::new(7));
+        truth.record_reacquire(8, CustomerId::new(7));
+        assert_eq!(truth.events().len(), 5);
+        assert_eq!(truth.num_defectors(), 2);
+        let r2 = truth.record_of(CustomerId::new(2)).unwrap();
+        assert_eq!(r2.onset_month, Some(5));
+        assert_eq!(r2.style, Some(DefectionStyle::Gradual));
+        assert_eq!(r2.exit_month, Some(9));
+        assert_eq!(r2.reacquired_month, None);
+        let r7 = truth.record_of(CustomerId::new(7)).unwrap();
+        assert_eq!(r7.exit_month, Some(3));
+        assert_eq!(r7.reacquired_month, Some(8));
+        assert!(truth.record_of(CustomerId::new(0)).is_none());
+    }
+
+    #[test]
+    fn ground_truth_is_idempotent() {
+        let mut truth = GroundTruth::new();
+        truth.record_onset(5, CustomerId::new(1), DefectionStyle::Abrupt);
+        truth.record_onset(6, CustomerId::new(1), DefectionStyle::Gradual);
+        truth.record_exit(5, CustomerId::new(1));
+        truth.record_exit(7, CustomerId::new(1));
+        assert_eq!(truth.events().len(), 2);
+        let r = truth.record_of(CustomerId::new(1)).unwrap();
+        assert_eq!(r.onset_month, Some(5));
+        assert_eq!(r.style, Some(DefectionStyle::Abrupt));
+        assert_eq!(r.exit_month, Some(5));
+    }
+
+    #[test]
+    fn ground_truth_label_set() {
+        let mut truth = GroundTruth::new();
+        truth.record_onset(4, CustomerId::new(1), DefectionStyle::Partial);
+        let set = truth.label_set((0..3).map(CustomerId::new));
+        assert_eq!(set.len(), 3);
+        assert_eq!(
+            set.cohort_of(CustomerId::new(1)),
+            Some(Cohort::Defector { onset_month: 4 })
+        );
+        assert_eq!(set.cohort_of(CustomerId::new(0)), Some(Cohort::Loyal));
+        assert_eq!(set.num_defectors(), 1);
+    }
+
+    #[test]
+    fn ground_truth_csv() {
+        let mut truth = GroundTruth::new();
+        truth.record_onset(4, CustomerId::new(9), DefectionStyle::Gradual);
+        truth.record_exit(8, CustomerId::new(9));
+        truth.record_reacquire(11, CustomerId::new(9));
+        assert_eq!(
+            truth.to_csv(),
+            "month,customer,event\n4,9,onset:gradual\n8,9,exit\n11,9,reacquire\n"
+        );
     }
 }

@@ -27,8 +27,10 @@
 //! Everything is driven by the workspace's deterministic PRNG: the same
 //! seed reproduces the same dataset byte-for-byte, forever.
 
+pub mod agents;
 pub mod catalog;
 pub mod defection;
+pub mod events;
 pub mod labels;
 pub mod population;
 pub mod profile;
@@ -36,11 +38,19 @@ pub mod scenario;
 pub mod seasonality;
 pub mod simulate;
 
+pub use agents::{Agent, AgentConfig, AgentPopulation, AgentSegment};
 pub use catalog::{generate_catalog, CatalogConfig};
 pub use defection::DefectionPlan;
-pub use labels::{Cohort, CustomerLabel, LabelSet};
+pub use events::{Actor, DefectMode, Event, EventKind, EventQueue, Phase};
+pub use labels::{
+    Cohort, CustomerLabel, DefectionStyle, GroundTruth, LabelEvent, LabelEventKind, LabelSet,
+    TruthRecord,
+};
 pub use population::{BehaviorConfig, Population, PopulationConfig};
 pub use profile::{CustomerProfile, PreferredItem, TripDecay};
-pub use scenario::{figure2_customer, generate, GeneratedDataset, ScenarioConfig};
+pub use scenario::{
+    figure2_customer, generate, run_scenario, GeneratedDataset, ScenarioConfig, ScenarioId,
+    ScenarioRun,
+};
 pub use seasonality::Seasonality;
 pub use simulate::Simulator;

@@ -120,8 +120,10 @@ impl Population {
     }
 }
 
-/// Sample one loyal profile.
-fn sample_profile(
+/// Sample one loyal profile. Shared with the agent layer
+/// ([`crate::agents`]), which draws typed properties from separate
+/// streams on top.
+pub(crate) fn sample_profile(
     customer: CustomerId,
     taxonomy: &Taxonomy,
     behavior: &BehaviorConfig,

@@ -80,56 +80,120 @@ impl Simulator {
         // preference; brand switching reassigns it within the segment.
         let mut current_brand: Vec<ItemId> = profile.preferred.iter().map(|p| p.item).collect();
         for month in 0..self.n_months {
-            if month >= profile.entry_month && profile.brand_switch_prob > 0.0 {
-                for brand in current_brand.iter_mut() {
-                    if rng.bernoulli(profile.brand_switch_prob) {
-                        let segment = taxonomy
-                            .segment_of(*brand)
-                            .expect("core items come from the taxonomy");
-                        let siblings = taxonomy.products_in(segment).expect("segment exists");
-                        if siblings.len() > 1 {
-                            *brand = *rng.choose(siblings).expect("non-empty");
-                        }
-                    }
-                }
-            }
             let month_start = self.start.add_months(month as i32);
             let month_end = self.start.add_months(month as i32 + 1);
-            let days_in_month = (month_end - month_start) as u64;
-            let rate =
-                profile.trip_rate_in_month(month) * self.seasonality.factor(month_start.month());
-            let n_trips = rng.poisson(rate);
-            for _ in 0..n_trips {
-                let date = month_start + rng.u64_below(days_in_month) as i32;
-                items_buf.clear();
-                for (pref, &brand) in profile.preferred.iter().zip(&current_brand) {
-                    if rng.bernoulli(pref.prob_in_month(month)) {
-                        items_buf.push(brand);
-                    }
+            let ctx = MonthContext {
+                taxonomy,
+                exploration,
+                month,
+                month_start,
+                days_in_month: (month_end - month_start) as u64,
+                seasonal_factor: self.seasonality.factor(month_start.month()),
+                trip_mult: 1.0,
+                explore_mult: 1.0,
+                extra_items: &[],
+            };
+            simulate_customer_month(
+                profile,
+                &ctx,
+                &mut rng,
+                &mut current_brand,
+                &mut items_buf,
+                &mut |r| {
+                    builder.push(r);
+                },
+            );
+        }
+    }
+}
+
+/// Everything one customer-month draw needs besides the customer state.
+///
+/// The scenario engine layers time-varying modifiers on top of the plain
+/// simulator through this struct; with `trip_mult`/`explore_mult` at `1.0`
+/// and no `extra_items` the draw sequence is bit-identical to
+/// [`Simulator::run`] (multiplying a rate by exactly `1.0` changes no
+/// bits, and empty extras consume no randomness) — the golden fig1
+/// regression depends on that.
+pub(crate) struct MonthContext<'a> {
+    pub taxonomy: &'a Taxonomy,
+    pub exploration: &'a Zipf,
+    pub month: u32,
+    pub month_start: Date,
+    pub days_in_month: u64,
+    pub seasonal_factor: f64,
+    /// Multiplier on the trip rate (promotions, store closures).
+    pub trip_mult: f64,
+    /// Multiplier on the exploration rate (promotions).
+    pub explore_mult: f64,
+    /// Pooled household items appended after exploration, each passing
+    /// its own per-trip Bernoulli (household co-shopping).
+    pub extra_items: &'a [(ItemId, f64)],
+}
+
+/// Play one month of one customer: brand switching, `Poisson(rate)`
+/// trips on uniform days, per-trip core Bernoullis plus exploration
+/// noise, quantity draws for the till total. Returns the trip count.
+pub(crate) fn simulate_customer_month(
+    profile: &CustomerProfile,
+    ctx: &MonthContext<'_>,
+    rng: &mut Rng,
+    current_brand: &mut [ItemId],
+    items_buf: &mut Vec<ItemId>,
+    sink: &mut dyn FnMut(Receipt),
+) -> u64 {
+    let month = ctx.month;
+    if month >= profile.entry_month && profile.brand_switch_prob > 0.0 {
+        for brand in current_brand.iter_mut() {
+            if rng.bernoulli(profile.brand_switch_prob) {
+                let segment = ctx
+                    .taxonomy
+                    .segment_of(*brand)
+                    .expect("core items come from the taxonomy");
+                let siblings = ctx.taxonomy.products_in(segment).expect("segment exists");
+                if siblings.len() > 1 {
+                    *brand = *rng.choose(siblings).expect("non-empty");
                 }
-                let n_explore = rng.poisson(profile.exploration_rate);
-                for _ in 0..n_explore {
-                    items_buf.push(ItemId::new(exploration.sample(&mut rng) as u32));
-                }
-                if items_buf.is_empty() {
-                    // A till receipt always has at least one line.
-                    items_buf.push(ItemId::new(exploration.sample(&mut rng) as u32));
-                }
-                let basket = Basket::new(items_buf.clone());
-                // Baskets are item *sets* (the model ignores quantity), but
-                // the till total reflects quantities: most lines are a
-                // single unit, with an occasional multi-pack.
-                let total: Cents = basket
-                    .iter()
-                    .map(|i| {
-                        let quantity = 1 + rng.poisson(0.25) as i64;
-                        taxonomy.price_of(i).unwrap_or(Cents::ZERO) * quantity
-                    })
-                    .sum();
-                builder.push(Receipt::new(profile.customer, date, basket, total));
             }
         }
     }
+    let rate = profile.trip_rate_in_month(month) * ctx.seasonal_factor * ctx.trip_mult;
+    let n_trips = rng.poisson(rate);
+    for _ in 0..n_trips {
+        let date = ctx.month_start + rng.u64_below(ctx.days_in_month) as i32;
+        items_buf.clear();
+        for (pref, &brand) in profile.preferred.iter().zip(current_brand.iter()) {
+            if rng.bernoulli(pref.prob_in_month(month)) {
+                items_buf.push(brand);
+            }
+        }
+        let n_explore = rng.poisson(profile.exploration_rate * ctx.explore_mult);
+        for _ in 0..n_explore {
+            items_buf.push(ItemId::new(ctx.exploration.sample(rng) as u32));
+        }
+        for &(item, prob) in ctx.extra_items {
+            if rng.bernoulli(prob) {
+                items_buf.push(item);
+            }
+        }
+        if items_buf.is_empty() {
+            // A till receipt always has at least one line.
+            items_buf.push(ItemId::new(ctx.exploration.sample(rng) as u32));
+        }
+        let basket = Basket::new(items_buf.clone());
+        // Baskets are item *sets* (the model ignores quantity), but
+        // the till total reflects quantities: most lines are a
+        // single unit, with an occasional multi-pack.
+        let total: Cents = basket
+            .iter()
+            .map(|i| {
+                let quantity = 1 + rng.poisson(0.25) as i64;
+                ctx.taxonomy.price_of(i).unwrap_or(Cents::ZERO) * quantity
+            })
+            .sum();
+        sink(Receipt::new(profile.customer, date, basket, total));
+    }
+    n_trips
 }
 
 #[cfg(test)]

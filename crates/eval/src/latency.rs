@@ -1,0 +1,249 @@
+//! Detection latency at a fixed false-alarm budget.
+//!
+//! AUROC says *whether* a model separates defectors from loyal
+//! customers; this module says *when*. The protocol (shared by the
+//! `detection_latency` bench bin and the per-scenario evaluation): pick
+//! the threshold as the `(1 − budget)` quantile of loyal customers'
+//! maximum score over the evaluation windows — at most `budget` of
+//! loyal customers are ever falsely flagged — then measure, per
+//! defector, the months between their true onset and the end of the
+//! first flagged window.
+//!
+//! Everything is index-based (`series[i][window]`, `onset_months[i]`),
+//! so the module stays free of store/model dependencies and one code
+//! path serves the stability model, the RFM baseline, and any future
+//! model-zoo member.
+
+use attrition_util::stats::{quantile, Summary};
+
+/// Protocol knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyConfig {
+    /// Maximum tolerated fraction of loyal customers ever falsely
+    /// flagged during the evaluation windows (the paper-style budget
+    /// is 0.10).
+    pub fpr_budget: f64,
+    /// Window length in months (delay is reported in months).
+    pub w_months: u32,
+    /// First window from which alarms count — typically the earliest
+    /// defection-onset window, so the pre-onset period (where both
+    /// cohorts behave identically) neither spends the budget nor
+    /// produces vacuous detections.
+    pub eval_from_window: u32,
+}
+
+/// The outcome of one latency evaluation.
+#[derive(Debug, Clone)]
+pub struct LatencySummary {
+    /// Score threshold implied by the budget.
+    pub threshold: f64,
+    /// Realized loyal false-alarm rate (≤ budget up to quantile ties).
+    pub loyal_fpr: f64,
+    /// Loyal customers considered.
+    pub num_loyal: usize,
+    /// Defectors considered (those with an onset).
+    pub num_defectors: usize,
+    /// Defectors flagged at least once after their onset.
+    pub detected: usize,
+    /// Per-detected-defector delay in months: end of the first flagged
+    /// window minus the onset month (minimum possible is `w_months`).
+    pub delays_months: Vec<f64>,
+    /// Median of `delays_months` (NaN when nothing was detected).
+    pub median_delay: f64,
+    /// 90th percentile of `delays_months`.
+    pub p90_delay: f64,
+    /// Mean of `delays_months`.
+    pub mean_delay: f64,
+}
+
+impl LatencySummary {
+    /// Detected fraction of defectors (NaN when there are none).
+    pub fn detected_fraction(&self) -> f64 {
+        self.detected as f64 / self.num_defectors as f64
+    }
+}
+
+/// Evaluate detection latency.
+///
+/// `series[i]` is customer `i`'s per-window score (higher = more
+/// attrition-suspect); `onset_months[i]` is their ground-truth defection
+/// onset, `None` for loyal customers. Customers whose onset lands at or
+/// beyond the end of `series[i]` contribute as loyal (their defection is
+/// outside the evaluated horizon).
+///
+/// # Panics
+/// When `series` and `onset_months` lengths differ.
+pub fn detection_latency(
+    series: &[Vec<f64>],
+    onset_months: &[Option<u32>],
+    cfg: &LatencyConfig,
+) -> LatencySummary {
+    assert_eq!(
+        series.len(),
+        onset_months.len(),
+        "one onset entry per score series"
+    );
+    let from = cfg.eval_from_window as usize;
+    // Threshold from loyal customers' maximum score over the evaluation
+    // windows.
+    let loyal_max: Vec<f64> = series
+        .iter()
+        .zip(onset_months)
+        .filter(|(_, onset)| onset.is_none())
+        .map(|(s, _)| {
+            s.get(from..)
+                .unwrap_or(&[])
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    let (threshold, loyal_fpr) = if loyal_max.is_empty() {
+        (f64::INFINITY, 0.0)
+    } else {
+        let t = quantile(&loyal_max, 1.0 - cfg.fpr_budget);
+        let fpr = loyal_max.iter().filter(|&&m| m > t).count() as f64 / loyal_max.len() as f64;
+        (t, fpr)
+    };
+
+    let mut delays = Vec::new();
+    let mut detected = 0usize;
+    let mut num_defectors = 0usize;
+    for (s, onset) in series.iter().zip(onset_months) {
+        let Some(onset_month) = onset else { continue };
+        // Scan from the later of the customer's own onset window and the
+        // evaluation start.
+        let onset_window = (onset_month / cfg.w_months).max(cfg.eval_from_window) as usize;
+        if onset_window >= s.len() {
+            continue; // onset beyond the scored horizon: not evaluable
+        }
+        num_defectors += 1;
+        if let Some(offset) = s[onset_window..].iter().position(|&v| v > threshold) {
+            detected += 1;
+            let flagged_window = (onset_window + offset) as u32;
+            delays.push(((flagged_window + 1) * cfg.w_months) as f64 - *onset_month as f64);
+        }
+    }
+    let summary = Summary::of(&delays);
+    LatencySummary {
+        threshold,
+        loyal_fpr,
+        num_loyal: loyal_max.len(),
+        num_defectors,
+        detected,
+        p90_delay: quantile(&delays, 0.9),
+        median_delay: summary.median,
+        mean_delay: summary.mean,
+        delays_months: delays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(from: u32) -> LatencyConfig {
+        LatencyConfig {
+            fpr_budget: 0.10,
+            w_months: 2,
+            eval_from_window: from,
+        }
+    }
+
+    #[test]
+    fn detects_step_change_with_minimal_delay() {
+        // 20 loyal customers flat at 0.1; one defector steps to 0.9 in
+        // window 5 (onset month 10, w=2).
+        let mut series: Vec<Vec<f64>> = (0..20).map(|_| vec![0.1; 10]).collect();
+        let mut onsets: Vec<Option<u32>> = vec![None; 20];
+        let mut defector = vec![0.1; 10];
+        for v in defector.iter_mut().skip(5) {
+            *v = 0.9;
+        }
+        series.push(defector);
+        onsets.push(Some(10));
+        let out = detection_latency(&series, &onsets, &cfg(5));
+        assert_eq!(out.num_loyal, 20);
+        assert_eq!(out.num_defectors, 1);
+        assert_eq!(out.detected, 1);
+        // Flagged in window 5 → delay = (5+1)*2 − 10 = 2 (the minimum).
+        assert_eq!(out.delays_months, vec![2.0]);
+        assert!(out.loyal_fpr <= 0.10 + 1e-12);
+        assert!(out.threshold >= 0.1 && out.threshold < 0.9);
+    }
+
+    #[test]
+    fn respects_fpr_budget_with_noisy_loyals() {
+        // Loyal maxima spread 0..1; threshold at the 0.9 quantile keeps
+        // the realized FPR within the budget.
+        let series: Vec<Vec<f64>> = (0..100).map(|i| vec![0.0, i as f64 / 99.0]).collect();
+        let onsets = vec![None; 100];
+        let out = detection_latency(&series, &onsets, &cfg(0));
+        assert_eq!(out.num_defectors, 0);
+        assert_eq!(out.detected, 0);
+        assert!(out.loyal_fpr <= 0.10 + 1e-12, "fpr {}", out.loyal_fpr);
+        assert!(out.delays_months.is_empty());
+        assert!(out.median_delay.is_nan());
+    }
+
+    #[test]
+    fn undetected_defector_counts_but_adds_no_delay() {
+        let mut series: Vec<Vec<f64>> = (0..10).map(|_| vec![0.5; 6]).collect();
+        let mut onsets: Vec<Option<u32>> = vec![None; 10];
+        series.push(vec![0.2; 6]); // never crosses the loyal threshold
+        onsets.push(Some(4));
+        let out = detection_latency(&series, &onsets, &cfg(2));
+        assert_eq!(out.num_defectors, 1);
+        assert_eq!(out.detected, 0);
+        assert_eq!(out.detected_fraction(), 0.0);
+    }
+
+    #[test]
+    fn per_customer_onsets_use_their_own_window() {
+        // Two defectors with different onsets; both step immediately.
+        let loyal: Vec<Vec<f64>> = (0..20).map(|_| vec![0.0; 8]).collect();
+        let mut series = loyal;
+        let mut onsets: Vec<Option<u32>> = vec![None; 20];
+        let mut early = vec![0.0; 8];
+        for v in early.iter_mut().skip(2) {
+            *v = 1.0;
+        }
+        series.push(early);
+        onsets.push(Some(4)); // window 2
+        let mut late = vec![0.0; 8];
+        for v in late.iter_mut().skip(6) {
+            *v = 1.0;
+        }
+        series.push(late);
+        onsets.push(Some(12)); // window 6
+        let out = detection_latency(&series, &onsets, &cfg(2));
+        assert_eq!(out.detected, 2);
+        // Both flagged in their own onset window: delay = w_months each.
+        assert_eq!(out.delays_months, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn onset_beyond_horizon_is_not_evaluable() {
+        let series = vec![vec![0.0; 4], vec![0.0; 4]];
+        let onsets = vec![None, Some(100)];
+        let out = detection_latency(&series, &onsets, &cfg(0));
+        assert_eq!(out.num_defectors, 0);
+        assert_eq!(out.num_loyal, 1);
+    }
+
+    #[test]
+    fn no_loyal_customers_means_infinite_threshold() {
+        let series = vec![vec![0.9; 4]];
+        let onsets = vec![Some(0)];
+        let out = detection_latency(&series, &onsets, &cfg(0));
+        assert_eq!(out.num_loyal, 0);
+        assert_eq!(out.detected, 0);
+        assert!(out.threshold.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "one onset entry per score series")]
+    fn mismatched_lengths_panic() {
+        detection_latency(&[vec![0.0]], &[], &cfg(0));
+    }
+}

@@ -11,6 +11,8 @@
 //!   (the paper selects α and the window length by 5-fold CV).
 //! * [`grid`] — grid search driven by a caller-supplied scorer.
 //! * [`calibration`] — Brier score and reliability bins.
+//! * [`latency`] — detection delay at a fixed false-alarm budget
+//!   (shared by the latency bench and the per-scenario evaluation).
 //!
 //! The crate is dependency-light (only `attrition-util`) and fully
 //! generic over where scores come from, so the stability model and the
@@ -22,6 +24,7 @@ pub mod confusion;
 pub mod cv;
 pub mod gains;
 pub mod grid;
+pub mod latency;
 pub mod pr;
 pub mod roc;
 
@@ -30,5 +33,6 @@ pub use confusion::ConfusionMatrix;
 pub use cv::{KFold, StratifiedKFold};
 pub use gains::{GainsCurve, GainsPoint};
 pub use grid::{grid_search, GridResult};
+pub use latency::{detection_latency, LatencyConfig, LatencySummary};
 pub use pr::{average_precision, PrCurve, PrPoint};
 pub use roc::{auroc, RocCurve, RocPoint};
